@@ -1,0 +1,23 @@
+//! Baseline malware classifiers the paper compares Soteria against
+//! (Table VII):
+//!
+//! * [`alasmary`] — Alasmary et al. (reference \[3\]): 23 graph-theoretic features
+//!   summarizing the whole CFG (node/edge counts, density, and
+//!   five-number summaries of shortest paths, closeness, betweenness and
+//!   degree centrality), fed to a small dense network.
+//! * [`cui`] — Cui et al. (reference \[5\]): each binary rendered as a fixed-size
+//!   grayscale image and classified by a 2-D CNN. The paper evaluates
+//!   24×24 and 48×48 (reporting that 96×96 and 192×192 perform poorly).
+//!
+//! Both baselines lack Soteria's reachability restriction and
+//! randomization, which is what the GEA attack and the byte-appending
+//! manipulations exploit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod alasmary;
+pub mod cui;
+
+pub use alasmary::AlasmaryClassifier;
+pub use cui::{CuiClassifier, ImageSize};

@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices DESIGN.md calls out: walk
+//! length multiplier, walk count, n-gram size mix, feature count, and
+//! labeling choice. Each measures extraction cost; the quality side of
+//! these sweeps lives in `tests/ablations.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soteria_cfg::Cfg;
+use soteria_corpus::{Family, SampleGenerator};
+use soteria_features::{ExtractorConfig, FeatureExtractor};
+use std::hint::black_box;
+
+fn train_graphs(n: usize, seed: u64) -> Vec<Cfg> {
+    let mut gen = SampleGenerator::new(seed);
+    (0..n)
+        .map(|_| gen.generate(Family::Gafgyt).graph().clone())
+        .collect()
+}
+
+fn bench_walk_multiplier(c: &mut Criterion) {
+    let train = train_graphs(8, 31);
+    let probe = train[0].clone();
+    let mut group = c.benchmark_group("ablation_walk_multiplier");
+    for mult in [1usize, 3, 5, 10] {
+        let config = ExtractorConfig {
+            walk_multiplier: mult,
+            ..ExtractorConfig::small()
+        };
+        let extractor = FeatureExtractor::fit(&config, &train, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(mult), &probe, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                extractor.extract(black_box(g), seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_count(c: &mut Criterion) {
+    let train = train_graphs(8, 32);
+    let probe = train[0].clone();
+    let mut group = c.benchmark_group("ablation_walk_count");
+    for count in [2usize, 5, 10, 20] {
+        let config = ExtractorConfig {
+            walks_per_labeling: count,
+            ..ExtractorConfig::small()
+        };
+        let extractor = FeatureExtractor::fit(&config, &train, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &probe, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                extractor.extract(black_box(g), seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ngram_mix(c: &mut Criterion) {
+    let train = train_graphs(8, 33);
+    let probe = train[0].clone();
+    let mut group = c.benchmark_group("ablation_ngram_mix");
+    for (name, sizes) in [
+        ("n2", vec![2]),
+        ("n3", vec![3]),
+        ("n4", vec![4]),
+        ("n234", vec![2, 3, 4]),
+    ] {
+        let config = ExtractorConfig {
+            ngram_sizes: sizes,
+            ..ExtractorConfig::small()
+        };
+        let extractor = FeatureExtractor::fit(&config, &train, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &probe, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                extractor.extract(black_box(g), seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let train = train_graphs(8, 34);
+    let probe = train[0].clone();
+    let mut group = c.benchmark_group("ablation_top_k");
+    for k in [100usize, 250, 500, 1000] {
+        let config = ExtractorConfig {
+            top_k: k,
+            ..ExtractorConfig::small()
+        };
+        let extractor = FeatureExtractor::fit(&config, &train, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &probe, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                extractor.extract(black_box(g), seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_multiplier,
+    bench_walk_count,
+    bench_ngram_mix,
+    bench_top_k
+);
+criterion_main!(benches);

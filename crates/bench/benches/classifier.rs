@@ -1,0 +1,46 @@
+//! Classifier benchmarks: CNN training cost and the 20-vector majority
+//! voting inference the deployed system performs per sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria::{FamilyClassifier, SoteriaConfig};
+use soteria_bench::bench_corpus;
+use soteria_cfg::Cfg;
+use soteria_features::{FeatureExtractor, SampleFeatures};
+use std::hint::black_box;
+
+fn setup() -> (Vec<SampleFeatures>, Vec<usize>) {
+    let corpus = bench_corpus(11);
+    let config = SoteriaConfig::tiny();
+    let graphs: Vec<&Cfg> = corpus.samples().iter().map(|s| s.graph()).collect();
+    let owned: Vec<Cfg> = graphs.iter().map(|g| (*g).clone()).collect();
+    let extractor = FeatureExtractor::fit(&config.extractor, &owned, 1);
+    let features = extractor.extract_batch(&graphs, 2);
+    let labels: Vec<usize> = corpus.samples().iter().map(|s| s.family().index()).collect();
+    (features, labels)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (features, labels) = setup();
+    let config = SoteriaConfig::tiny().classifier;
+    let mut group = c.benchmark_group("classifier_train");
+    group.sample_size(10);
+    group.bench_function("two_cnns_tiny", |b| {
+        b.iter(|| FamilyClassifier::train(&config, black_box(&features), &labels, 4, 3))
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (features, labels) = setup();
+    let config = SoteriaConfig::tiny().classifier;
+    let mut clf = FamilyClassifier::train(&config, &features, &labels, 4, 3);
+    c.bench_function("classifier/vote_one_sample", |b| {
+        b.iter(|| clf.classify(black_box(&features[0])))
+    });
+    c.bench_function("classifier/mean_probabilities", |b| {
+        b.iter(|| clf.mean_probabilities(black_box(&features[0])))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Detector benchmarks: auto-encoder training cost and per-sample
+//! screening throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use soteria::config::DetectorConfig;
+use soteria::AeDetector;
+use std::hint::black_box;
+
+fn synthetic_features(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut v = vec![0.0f64; dim];
+            // Sparse unit-ish vectors like real TF-IDF outputs.
+            for _ in 0..dim / 8 {
+                let i = rng.gen_range(0..dim);
+                v[i] = rng.gen_range(0.1..1.0);
+            }
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.iter_mut().for_each(|x| *x /= norm);
+            v
+        })
+        .collect()
+}
+
+fn small_config() -> DetectorConfig {
+    DetectorConfig {
+        hidden: [64, 96, 64],
+        epochs: 10,
+        batch_size: 32,
+        learning_rate: 1e-3,
+        alpha: 1.0,
+        validation_fraction: 0.2,
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_train");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let data = synthetic_features(n, 128, 3);
+        group.bench_with_input(BenchmarkId::new("10_epochs", n), &data, |b, data| {
+            b.iter(|| AeDetector::train(&small_config(), black_box(data), 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_screening(c: &mut Criterion) {
+    let data = synthetic_features(128, 128, 5);
+    let mut det = AeDetector::train(&small_config(), &data, 2);
+    let probe = data[0].clone();
+    c.bench_function("detector/reconstruction_error", |b| {
+        b.iter(|| det.reconstruction_error(black_box(&probe)))
+    });
+    c.bench_function("detector/batch_128", |b| {
+        b.iter(|| det.reconstruction_errors(black_box(&data)))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_screening);
+criterion_main!(benches);

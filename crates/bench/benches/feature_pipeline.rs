@@ -1,0 +1,98 @@
+//! Benchmarks for every stage of the feature pipeline: labeling,
+//! centrality, random walks, n-gram counting, and the end-to-end
+//! extraction, across graph sizes spanning Table III's range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use soteria_cfg::{CentralityFactors, Cfg, GraphStats};
+use soteria_corpus::{Family, SampleGenerator};
+use soteria_features::ngram::count_walk_set;
+use soteria_features::{label_nodes, walk_set, ExtractorConfig, FeatureExtractor, Labeling};
+use std::hint::black_box;
+
+fn graph_of(nodes: usize) -> Cfg {
+    let mut gen = SampleGenerator::new(1234);
+    gen.generate_with_size(Family::Mirai, nodes).graph().clone()
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling");
+    for nodes in [16, 64, 256] {
+        let g = graph_of(nodes);
+        group.bench_with_input(BenchmarkId::new("dbl", nodes), &g, |b, g| {
+            b.iter(|| label_nodes(black_box(g), Labeling::Density))
+        });
+        group.bench_with_input(BenchmarkId::new("lbl", nodes), &g, |b, g| {
+            b.iter(|| label_nodes(black_box(g), Labeling::Level))
+        });
+    }
+    group.finish();
+}
+
+fn bench_centrality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centrality");
+    for nodes in [16, 64, 256] {
+        let g = graph_of(nodes);
+        group.bench_with_input(BenchmarkId::new("factors", nodes), &g, |b, g| {
+            b.iter(|| CentralityFactors::compute(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("graph_stats", nodes), &g, |b, g| {
+            b.iter(|| GraphStats::compute(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_walks");
+    for nodes in [16, 64, 256] {
+        let g = graph_of(nodes);
+        let labels = label_nodes(&g, Labeling::Density);
+        group.bench_with_input(BenchmarkId::new("walk_set_10x5", nodes), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| walk_set(black_box(g), &labels, 5, 10, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ngrams(c: &mut Criterion) {
+    let g = graph_of(64);
+    let labels = label_nodes(&g, Labeling::Density);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let walks = walk_set(&g, &labels, 5, 10, &mut rng);
+    c.bench_function("ngrams/count_2_3_4", |b| {
+        b.iter(|| count_walk_set(black_box(&walks), &[2, 3, 4]))
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut gen = SampleGenerator::new(7);
+    let train: Vec<Cfg> = (0..10)
+        .map(|_| gen.generate(Family::Gafgyt).graph().clone())
+        .collect();
+    let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &train, 1);
+    let mut group = c.benchmark_group("extraction");
+    for nodes in [16, 64, 256] {
+        let g = graph_of(nodes);
+        group.bench_with_input(BenchmarkId::new("end_to_end", nodes), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                extractor.extract(black_box(g), seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_labeling,
+    bench_centrality,
+    bench_walks,
+    bench_ngrams,
+    bench_extraction
+);
+criterion_main!(benches);

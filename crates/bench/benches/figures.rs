@@ -1,0 +1,21 @@
+//! Regeneration cost of every paper *figure* (8, 9–11, 12, 13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria_eval::experiments;
+use soteria_eval::{EvalConfig, ExperimentContext};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::build(EvalConfig::quick(22));
+    let _ = ctx.clean_results();
+    let _ = ctx.adversarial_results();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in ["fig8", "fig9_11", "fig12", "fig13"] {
+        group.bench_function(id, |b| b.iter(|| experiments::run(id, &mut ctx)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! GEA attack benchmarks: merge throughput (by target size), batch
+//! generation, and the assemble/lift round trip underlying it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soteria_bench::bench_corpus;
+use soteria_corpus::{asm, disasm, Family, SampleGenerator};
+use soteria_gea::{attack, gea_merge, TargetSelection};
+use std::hint::black_box;
+
+fn bench_merge(c: &mut Criterion) {
+    let mut gen = SampleGenerator::new(5);
+    let original = gen.generate_with_size(Family::Mirai, 48);
+    let mut group = c.benchmark_group("gea_merge");
+    for target_nodes in [10usize, 50, 200] {
+        let target = gen.generate_with_size(Family::Benign, target_nodes);
+        group.bench_with_input(
+            BenchmarkId::new("target_nodes", target_nodes),
+            &target,
+            |b, target| b.iter(|| gea_merge(black_box(&original), black_box(target)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let corpus = bench_corpus(17);
+    let split = corpus.split(0.8, 1);
+    let selection = TargetSelection::select(&corpus);
+    let target = selection.targets()[0];
+    let mut group = c.benchmark_group("gea_batch");
+    group.sample_size(10);
+    group.bench_function("one_target_over_test_split", |b| {
+        b.iter(|| attack::generate_batch(&corpus, &selection, &target, black_box(&split.test)))
+    });
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut gen = SampleGenerator::new(9);
+    let sample = gen.generate_with_size(Family::Gafgyt, 64);
+    let cfg = sample.graph().clone();
+    c.bench_function("binary/assemble_64_nodes", |b| {
+        b.iter(|| asm::assemble(black_box(&cfg)))
+    });
+    let lowered = asm::assemble(&cfg);
+    c.bench_function("binary/lift_64_nodes", |b| {
+        b.iter(|| disasm::lift(black_box(&lowered.binary)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_merge, bench_batch, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regeneration cost of every paper *table* (II, III, IV, VI, VII, VIII).
+//!
+//! The shared context (corpus + trained system + adversarial evaluation)
+//! is built once; each bench then measures the cost of regenerating one
+//! table from it — i.e. the marginal cost of each report, mirroring how
+//! `soteria-exp` amortizes training across the whole suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria_eval::experiments;
+use soteria_eval::{EvalConfig, ExperimentContext};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::build(EvalConfig::quick(21));
+    // Pre-compute the shared evaluations so each table bench measures its
+    // own aggregation, not the first-touch cost.
+    let _ = ctx.clean_results();
+    let _ = ctx.adversarial_results();
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    for id in ["table2", "table3", "table4", "table6", "table8"] {
+        group.bench_function(id, |b| b.iter(|| experiments::run(id, &mut ctx)));
+    }
+    group.finish();
+
+    // Table VII retrains the baselines each run — keep it separate and
+    // small.
+    let mut group = c.benchmark_group("tables_with_training");
+    group.sample_size(10);
+    group.bench_function("table7", |b| {
+        b.iter(|| experiments::run("table7", &mut ctx))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

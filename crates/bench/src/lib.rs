@@ -1,0 +1,24 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `feature_pipeline` — labeling, centrality, walks, n-grams, extraction
+//! * `detector` — auto-encoder training and screening throughput
+//! * `classifier` — CNN training and voting inference
+//! * `gea` — merge and batch generation throughput
+//! * `tables` / `figures` — regeneration cost of every paper table/figure
+//! * `ablations` — the design-choice sweeps called out in DESIGN.md
+
+#![forbid(unsafe_code)]
+
+use soteria_corpus::{Corpus, CorpusConfig};
+
+/// A small fixed corpus shared by benches that need one.
+pub fn bench_corpus(seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        counts: [24, 24, 24, 24],
+        seed,
+        av_noise: false,
+        lineages: 6,
+    })
+}

@@ -1,0 +1,142 @@
+//! Basic blocks and block identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a basic block within its [`Cfg`](crate::Cfg).
+///
+/// `BlockId`s are dense: a graph with `n` blocks uses ids `0..n`. They are
+/// only meaningful relative to the graph that produced them.
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::BlockId;
+///
+/// let id = BlockId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "B3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn new(index: usize) -> Self {
+        BlockId(u32::try_from(index).expect("block index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl From<BlockId> for usize {
+    fn from(id: BlockId) -> usize {
+        id.index()
+    }
+}
+
+/// A basic block: a straight-line sequence of instructions with a single
+/// entry (its first instruction) and a single exit (its last).
+///
+/// The Soteria pipeline cares only about graph *structure*, so a block
+/// carries just enough payload to round-trip through the synthetic binary
+/// format: its start address and its instruction count.
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::BasicBlock;
+///
+/// let bb = BasicBlock::new(0x4000, 7);
+/// assert_eq!(bb.address(), 0x4000);
+/// assert_eq!(bb.instruction_count(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BasicBlock {
+    address: u64,
+    instruction_count: u32,
+}
+
+impl BasicBlock {
+    /// Creates a basic block starting at `address` containing
+    /// `instruction_count` instructions.
+    pub fn new(address: u64, instruction_count: u32) -> Self {
+        BasicBlock {
+            address,
+            instruction_count,
+        }
+    }
+
+    /// Start address of the block in the binary it was lifted from.
+    pub fn address(&self) -> u64 {
+        self.address
+    }
+
+    /// Number of instructions in the block.
+    pub fn instruction_count(&self) -> u32 {
+        self.instruction_count
+    }
+}
+
+impl Default for BasicBlock {
+    fn default() -> Self {
+        BasicBlock::new(0, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_round_trips_index() {
+        for i in [0usize, 1, 17, 100_000] {
+            assert_eq!(BlockId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn block_id_display_is_prefixed() {
+        assert_eq!(BlockId::new(0).to_string(), "B0");
+        assert_eq!(BlockId::new(42).to_string(), "B42");
+    }
+
+    #[test]
+    fn block_id_orders_by_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert_eq!(BlockId::new(5), BlockId::new(5));
+    }
+
+    #[test]
+    fn basic_block_accessors() {
+        let bb = BasicBlock::new(0xdead_beef, 12);
+        assert_eq!(bb.address(), 0xdead_beef);
+        assert_eq!(bb.instruction_count(), 12);
+    }
+
+    #[test]
+    fn default_block_is_single_instruction_at_zero() {
+        let bb = BasicBlock::default();
+        assert_eq!(bb.address(), 0);
+        assert_eq!(bb.instruction_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block index exceeds u32::MAX")]
+    fn block_id_rejects_oversized_index() {
+        let _ = BlockId::new(u32::MAX as usize + 1);
+    }
+}

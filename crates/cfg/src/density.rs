@@ -1,0 +1,113 @@
+//! Per-node density as defined by the Soteria paper.
+//!
+//! The paper: *"The density of a node is defined as the summation of in- and
+//! out-edges over the total number of edges in the graph."* Density-based
+//! labeling (DBL) ranks nodes by this quantity, most dense first.
+
+use crate::block::BlockId;
+use crate::graph::Cfg;
+
+/// Density of a single node: `(in_degree + out_degree) / |E|`.
+///
+/// Returns 0 for graphs with no edges.
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::{CfgBuilder, density};
+///
+/// # fn main() -> Result<(), soteria_cfg::CfgError> {
+/// let mut b = CfgBuilder::new();
+/// let e = b.add_block(0, 1);
+/// let f = b.add_block(1, 1);
+/// b.add_edge(e, f)?;
+/// let g = b.build(e)?;
+/// assert_eq!(density::node_density(&g, e), 1.0); // 1 of 1 edges touch e
+/// # Ok(())
+/// # }
+/// ```
+pub fn node_density(cfg: &Cfg, v: BlockId) -> f64 {
+    let e = cfg.edge_count();
+    if e == 0 {
+        return 0.0;
+    }
+    (cfg.in_degree(v) + cfg.out_degree(v)) as f64 / e as f64
+}
+
+/// Densities of every node in dense id order.
+pub fn node_densities(cfg: &Cfg) -> Vec<f64> {
+    cfg.block_ids().map(|v| node_density(cfg, v)).collect()
+}
+
+/// Whole-graph edge density `|E| / (|V|·(|V|-1))` — the fraction of possible
+/// directed edges present. Part of the Alasmary baseline feature set.
+pub fn graph_density(cfg: &Cfg) -> f64 {
+    let n = cfg.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    cfg.edge_count() as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfgBuilder;
+
+    #[test]
+    fn densities_of_diamond() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let l = b.add_block(1, 1);
+        let r = b.add_block(2, 1);
+        let x = b.add_block(3, 1);
+        b.add_edge(e, l).unwrap();
+        b.add_edge(e, r).unwrap();
+        b.add_edge(l, x).unwrap();
+        b.add_edge(r, x).unwrap();
+        let g = b.build(e).unwrap();
+
+        assert_eq!(node_density(&g, e), 2.0 / 4.0);
+        assert_eq!(node_density(&g, l), 2.0 / 4.0);
+        assert_eq!(node_density(&g, x), 2.0 / 4.0);
+        let all = node_densities(&g);
+        assert_eq!(all.len(), 4);
+        // Each edge contributes to exactly two endpoints, so densities sum
+        // to 2 (self-loops would contribute both endpoints to one node).
+        let sum: f64 = all.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edgeless_graph_has_zero_density() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let g = b.build(e).unwrap();
+        assert_eq!(node_density(&g, e), 0.0);
+        assert_eq!(graph_density(&g), 0.0);
+    }
+
+    #[test]
+    fn self_loop_counts_in_and_out() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        b.add_edge(e, e).unwrap();
+        let g = b.build(e).unwrap();
+        assert_eq!(node_density(&g, e), 2.0);
+    }
+
+    #[test]
+    fn graph_density_of_complete_digraph_is_one() {
+        let mut b = CfgBuilder::new();
+        let ids: Vec<_> = (0..3).map(|i| b.add_block(i, 1)).collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+        }
+        let g = b.build(ids[0]).unwrap();
+        assert!((graph_density(&g) - 1.0).abs() < 1e-12);
+    }
+}

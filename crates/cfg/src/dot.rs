@@ -1,0 +1,97 @@
+//! Graphviz DOT export for debugging and figure generation.
+
+use crate::graph::Cfg;
+use std::fmt::Write as _;
+
+/// Renders `cfg` in Graphviz DOT syntax.
+///
+/// Node labels show the block id and instruction count; the entry node is
+/// drawn with a double circle. Optional `node_labels` (e.g. DBL/LBL labels
+/// from the feature pipeline) replace the default labels when provided.
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::{CfgBuilder, dot};
+///
+/// # fn main() -> Result<(), soteria_cfg::CfgError> {
+/// let mut b = CfgBuilder::new();
+/// let e = b.add_block(0, 2);
+/// let f = b.add_block(8, 1);
+/// b.add_edge(e, f)?;
+/// let g = b.build(e)?;
+/// let rendered = dot::to_dot(&g, None);
+/// assert!(rendered.starts_with("digraph cfg {"));
+/// assert!(rendered.contains("n0 -> n1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(cfg: &Cfg, node_labels: Option<&[usize]>) -> String {
+    let mut out = String::from("digraph cfg {\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    for id in cfg.block_ids() {
+        let block = cfg.block(id);
+        let label = match node_labels {
+            Some(labels) => labels[id.index()].to_string(),
+            None => format!("{id} ({} insns)", block.instruction_count()),
+        };
+        let shape = if id == cfg.entry() {
+            ", peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} [label=\"{label}\"{shape}];", id.index());
+    }
+    for (f, t) in cfg.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", f.index(), t.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfgBuilder;
+
+    fn two_block() -> Cfg {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 2);
+        let f = b.add_block(8, 1);
+        b.add_edge(e, f).unwrap();
+        b.build(e).unwrap()
+    }
+
+    #[test]
+    fn default_labels_show_instruction_counts() {
+        let g = two_block();
+        let d = to_dot(&g, None);
+        assert!(d.contains("B0 (2 insns)"));
+        assert!(d.contains("B1 (1 insns)"));
+        assert!(d.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn entry_is_double_bordered() {
+        let d = to_dot(&two_block(), None);
+        assert!(d.contains("peripheries=2"));
+        // Only the entry gets the extra border.
+        assert_eq!(d.matches("peripheries=2").count(), 1);
+    }
+
+    #[test]
+    fn custom_labels_replace_defaults() {
+        let g = two_block();
+        let d = to_dot(&g, Some(&[7, 3]));
+        assert!(d.contains("label=\"7\""));
+        assert!(d.contains("label=\"3\""));
+        assert!(!d.contains("insns"));
+    }
+
+    #[test]
+    fn output_is_balanced() {
+        let d = to_dot(&two_block(), None);
+        assert!(d.starts_with("digraph cfg {"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for CFG construction and manipulation.
+
+use crate::block::BlockId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or transforming a [`Cfg`](crate::Cfg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfgError {
+    /// A referenced block id is not part of the graph under construction.
+    UnknownBlock(BlockId),
+    /// The same directed edge was added twice.
+    DuplicateEdge(BlockId, BlockId),
+    /// `build` was called on a builder with no blocks.
+    Empty,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UnknownBlock(id) => write!(f, "unknown block {id}"),
+            CfgError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            CfgError::Empty => write!(f, "cannot build a graph with no blocks"),
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = CfgError::UnknownBlock(BlockId::new(7));
+        assert_eq!(e.to_string(), "unknown block B7");
+        let e = CfgError::DuplicateEdge(BlockId::new(1), BlockId::new(2));
+        assert_eq!(e.to_string(), "duplicate edge B1 -> B2");
+        assert_eq!(CfgError::Empty.to_string(), "cannot build a graph with no blocks");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CfgError>();
+    }
+}

@@ -1,0 +1,338 @@
+//! The [`Cfg`] type: an immutable control flow graph.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::traversal;
+use serde::{Deserialize, Serialize};
+
+/// An immutable control flow graph.
+///
+/// Nodes are [`BasicBlock`]s indexed by dense [`BlockId`]s; edges are
+/// directed and deduplicated. Construct one with
+/// [`CfgBuilder`](crate::CfgBuilder).
+///
+/// The graph caches nothing: traversal and centrality results are computed
+/// on demand by the functions in the [`traversal`] and
+/// [`centrality`](crate::centrality) modules (convenience methods on `Cfg` forward
+/// to them).
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::CfgBuilder;
+///
+/// # fn main() -> Result<(), soteria_cfg::CfgError> {
+/// let mut b = CfgBuilder::new();
+/// let a = b.add_block(0, 1);
+/// let c = b.add_block(4, 1);
+/// b.add_edge(a, c)?;
+/// let cfg = b.build(a)?;
+/// assert_eq!(cfg.successors(a), &[c]);
+/// assert_eq!(cfg.predecessors(c), &[a]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfg {
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) succ: Vec<Vec<BlockId>>,
+    pub(crate) pred: Vec<Vec<BlockId>>,
+    pub(crate) entry: BlockId,
+    pub(crate) edge_count: usize,
+}
+
+impl Cfg {
+    /// Number of basic blocks (`|V|`).
+    pub fn node_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of directed edges (`|E|`).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The designated entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The basic block payload for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// All block ids in dense order.
+    pub fn block_ids(&self) -> impl ExactSizeIterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId::new)
+    }
+
+    /// Direct successors of `id`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn successors(&self, id: BlockId) -> &[BlockId] {
+        &self.succ[id.index()]
+    }
+
+    /// Direct predecessors of `id`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn predecessors(&self, id: BlockId) -> &[BlockId] {
+        &self.pred[id.index()]
+    }
+
+    /// In-degree of `id`.
+    pub fn in_degree(&self, id: BlockId) -> usize {
+        self.pred[id.index()].len()
+    }
+
+    /// Out-degree of `id`.
+    pub fn out_degree(&self, id: BlockId) -> usize {
+        self.succ[id.index()].len()
+    }
+
+    /// Undirected neighbors of `id`: the sorted, deduplicated union of
+    /// predecessors and successors.
+    ///
+    /// The paper's random walk treats the CFG as undirected; this is the
+    /// neighbor set the walk samples from.
+    pub fn undirected_neighbors(&self, id: BlockId) -> Vec<BlockId> {
+        let mut n: Vec<BlockId> = self.succ[id.index()]
+            .iter()
+            .chain(self.pred[id.index()].iter())
+            .copied()
+            .collect();
+        n.sort_unstable();
+        n.dedup();
+        n
+    }
+
+    /// Precomputed undirected neighbor lists for every node — use this
+    /// instead of calling [`undirected_neighbors`](Cfg::undirected_neighbors)
+    /// in a loop (walks, centrality BFS) to avoid per-step allocation.
+    pub fn undirected_adjacency(&self) -> Vec<Vec<BlockId>> {
+        self.block_ids().map(|v| self.undirected_neighbors(v)).collect()
+    }
+
+    /// Iterates over all directed edges `(from, to)` in dense order.
+    pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
+        self.succ.iter().enumerate().flat_map(|(i, outs)| {
+            outs.iter().map(move |&t| (BlockId::new(i), t))
+        })
+    }
+
+    /// Exit blocks: blocks with no successors.
+    pub fn exits(&self) -> Vec<BlockId> {
+        self.block_ids()
+            .filter(|&id| self.succ[id.index()].is_empty())
+            .collect()
+    }
+
+    /// BFS level of every block: `Some(0)` for the entry, `Some(k)` for a
+    /// block whose shortest directed path from the entry has `k` edges, and
+    /// `None` for blocks unreachable from the entry.
+    ///
+    /// The paper defines a node's *level* as `1 + S_v` where `S_v` is the
+    /// smallest number of steps from the entry; we return `S_v` itself and
+    /// let callers add 1 where the paper's 1-based convention matters.
+    pub fn levels(&self) -> Vec<Option<usize>> {
+        traversal::bfs_levels(self, self.entry)
+    }
+
+    /// The set of blocks reachable from the entry (always includes the
+    /// entry itself).
+    pub fn reachable(&self) -> Vec<bool> {
+        traversal::reachable_from(self, self.entry)
+    }
+
+    /// Returns the subgraph induced by the blocks reachable from the entry,
+    /// with ids re-densified, plus the mapping `old id -> new id`.
+    ///
+    /// This is the "feature extraction ignores unreachable blocks" property
+    /// the paper relies on to defeat byte-appending AEs: lifting a binary
+    /// may surface dead blocks, and this method drops them before labeling.
+    pub fn reachable_subgraph(&self) -> (Cfg, Vec<Option<BlockId>>) {
+        let reach = self.reachable();
+        let mut remap: Vec<Option<BlockId>> = vec![None; self.node_count()];
+        let mut blocks = Vec::new();
+        for (i, &r) in reach.iter().enumerate() {
+            if r {
+                remap[i] = Some(BlockId::new(blocks.len()));
+                blocks.push(self.blocks[i]);
+            }
+        }
+        let mut succ = vec![Vec::new(); blocks.len()];
+        let mut pred = vec![Vec::new(); blocks.len()];
+        let mut edge_count = 0;
+        for (i, outs) in self.succ.iter().enumerate() {
+            let Some(ni) = remap[i] else { continue };
+            for &t in outs {
+                // A reachable source implies a reachable target.
+                let nt = remap[t.index()].expect("edge from reachable block to unreachable block");
+                succ[ni.index()].push(nt);
+                pred[nt.index()].push(ni);
+                edge_count += 1;
+            }
+        }
+        for v in succ.iter_mut().chain(pred.iter_mut()) {
+            v.sort_unstable();
+        }
+        let entry = remap[self.entry.index()].expect("entry is always reachable");
+        (
+            Cfg {
+                blocks,
+                succ,
+                pred,
+                entry,
+                edge_count,
+            },
+            remap,
+        )
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn instruction_count(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.instruction_count())).sum()
+    }
+
+    /// Whether the directed edge `from -> to` exists.
+    pub fn has_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.succ[from.index()].binary_search(&to).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CfgBuilder;
+
+    fn diamond() -> crate::Cfg {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let l = b.add_block(1, 1);
+        let r = b.add_block(2, 1);
+        let x = b.add_block(3, 1);
+        b.add_edge(e, l).unwrap();
+        b.add_edge(e, r).unwrap();
+        b.add_edge(l, x).unwrap();
+        b.add_edge(r, x).unwrap();
+        b.build(e).unwrap()
+    }
+
+    #[test]
+    fn counts_and_entry() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.entry().index(), 0);
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_sorted() {
+        let g = diamond();
+        let e = crate::BlockId::new(0);
+        let x = crate::BlockId::new(3);
+        assert_eq!(g.successors(e), &[crate::BlockId::new(1), crate::BlockId::new(2)]);
+        assert_eq!(g.predecessors(x), &[crate::BlockId::new(1), crate::BlockId::new(2)]);
+        assert_eq!(g.in_degree(e), 0);
+        assert_eq!(g.out_degree(e), 2);
+    }
+
+    #[test]
+    fn undirected_neighbors_union_both_directions() {
+        let g = diamond();
+        let l = crate::BlockId::new(1);
+        assert_eq!(
+            g.undirected_neighbors(l),
+            vec![crate::BlockId::new(0), crate::BlockId::new(3)]
+        );
+    }
+
+    #[test]
+    fn edges_iterates_every_edge_once() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(crate::BlockId::new(0), crate::BlockId::new(1))));
+    }
+
+    #[test]
+    fn exits_are_sink_blocks() {
+        let g = diamond();
+        assert_eq!(g.exits(), vec![crate::BlockId::new(3)]);
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let g = diamond();
+        let lv = g.levels();
+        assert_eq!(lv[0], Some(0));
+        assert_eq!(lv[1], Some(1));
+        assert_eq!(lv[2], Some(1));
+        assert_eq!(lv[3], Some(2));
+    }
+
+    #[test]
+    fn reachable_subgraph_drops_dead_blocks() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let live = b.add_block(1, 1);
+        let dead = b.add_block(2, 1);
+        let dead2 = b.add_block(3, 1);
+        b.add_edge(e, live).unwrap();
+        b.add_edge(dead, dead2).unwrap();
+        let g = b.build(e).unwrap();
+
+        let (sub, remap) = g.reachable_subgraph();
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(remap[dead.index()].is_none());
+        assert!(remap[dead2.index()].is_none());
+        assert_eq!(remap[e.index()], Some(sub.entry()));
+    }
+
+    #[test]
+    fn reachable_subgraph_of_fully_reachable_graph_is_identity() {
+        let g = diamond();
+        let (sub, remap) = g.reachable_subgraph();
+        assert_eq!(sub, g);
+        assert!(remap.iter().enumerate().all(|(i, m)| m.map(|b| b.index()) == Some(i)));
+    }
+
+    #[test]
+    fn has_edge_matches_edge_list() {
+        let g = diamond();
+        for (f, t) in g.edges() {
+            assert!(g.has_edge(f, t));
+        }
+        assert!(!g.has_edge(crate::BlockId::new(3), crate::BlockId::new(0)));
+    }
+
+    #[test]
+    fn instruction_count_sums_blocks() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 5);
+        let f = b.add_block(1, 7);
+        b.add_edge(e, f).unwrap();
+        let g = b.build(e).unwrap();
+        assert_eq!(g.instruction_count(), 12);
+    }
+
+    #[test]
+    fn self_loop_counts_as_one_edge() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        b.add_edge(e, e).unwrap();
+        let g = b.build(e).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(e), &[e]);
+        assert_eq!(g.predecessors(e), &[e]);
+        assert_eq!(g.undirected_neighbors(e), vec![e]);
+    }
+}

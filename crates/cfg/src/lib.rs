@@ -1,0 +1,67 @@
+//! Control flow graph (CFG) representation and graph algorithms.
+//!
+//! This crate is the structural substrate of the Soteria reproduction: every
+//! stage of the pipeline — the synthetic corpus generator, the GEA attack,
+//! the density/level labeling, the random-walk feature extractor, and the
+//! Alasmary graph-theoretic baseline — operates on the [`Cfg`] type defined
+//! here.
+//!
+//! A [`Cfg`] is a directed graph of basic blocks with a designated entry
+//! block. The crate provides:
+//!
+//! * construction and validation ([`CfgBuilder`]),
+//! * traversals: BFS levels, reachability, DFS ([`traversal`]),
+//! * centrality measures: betweenness (Brandes) and closeness
+//!   ([`centrality`]),
+//! * per-node density as defined by the paper ([`density`]),
+//! * whole-graph statistics used by the Alasmary et al. baseline
+//!   ([`stats`]),
+//! * Graphviz DOT export ([`dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_cfg::{Cfg, CfgBuilder};
+//!
+//! # fn main() -> Result<(), soteria_cfg::CfgError> {
+//! // The diamond from Fig. 4 of the paper: entry branches into two blocks
+//! // that rejoin at the exit.
+//! let mut b = CfgBuilder::new();
+//! let entry = b.add_block(0x1000, 4);
+//! let left = b.add_block(0x1010, 2);
+//! let right = b.add_block(0x1020, 3);
+//! let exit = b.add_block(0x1030, 1);
+//! b.add_edge(entry, left)?;
+//! b.add_edge(entry, right)?;
+//! b.add_edge(left, exit)?;
+//! b.add_edge(right, exit)?;
+//! let cfg: Cfg = b.build(entry)?;
+//!
+//! assert_eq!(cfg.node_count(), 4);
+//! assert_eq!(cfg.edge_count(), 4);
+//! assert_eq!(cfg.levels()[exit.index()], Some(2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod block;
+pub mod builder;
+pub mod centrality;
+pub mod density;
+pub mod dominators;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod stats;
+pub mod traversal;
+
+pub use block::{BasicBlock, BlockId};
+pub use builder::CfgBuilder;
+pub use centrality::CentralityFactors;
+pub use dominators::Dominators;
+pub use error::CfgError;
+pub use graph::Cfg;
+pub use stats::GraphStats;

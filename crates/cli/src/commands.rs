@@ -1,0 +1,324 @@
+//! CLI subcommand implementations.
+
+use crate::store;
+use soteria::{Soteria, SoteriaConfig, Verdict};
+use soteria_cfg::{density, dot, GraphStats};
+use soteria_corpus::{disasm, Corpus, CorpusConfig, Family};
+use soteria_gea::gea_merge;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parses `--flag value` pairs plus positional arguments.
+fn parse(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "dot" {
+                flags.insert("dot".to_string(), "true".to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// `gen --out DIR [--scale F] [--seed N]`
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let out = flags.get("out").ok_or("gen needs --out DIR")?;
+    let scale = flag_f64(&flags, "scale", 0.01)?;
+    let seed = flag_u64(&flags, "seed", 7)?;
+    let corpus = Corpus::generate(&CorpusConfig::scaled(scale, seed));
+    store::write_corpus(&corpus, &PathBuf::from(out))?;
+    let counts = corpus.class_counts();
+    println!(
+        "wrote {} samples to {out} (benign {}, gafgyt {}, mirai {}, tsunami {})",
+        corpus.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3]
+    );
+    Ok(())
+}
+
+/// `inspect FILE [--dot]`
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse(args)?;
+    let file = positional.first().ok_or("inspect needs a FILE")?;
+    let bytes =
+        std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+    let binary = soteria_corpus::Binary::parse(&bytes).map_err(|e| e.to_string())?;
+    let lifted = disasm::lift(&binary).map_err(|e| e.to_string())?;
+    let (reachable, _) = lifted.cfg.reachable_subgraph();
+
+    if flags.contains_key("dot") {
+        print!("{}", dot::to_dot(&lifted.cfg, None));
+        return Ok(());
+    }
+
+    println!("{file}:");
+    println!("  image size        {} bytes", binary.len());
+    println!("  entry offset      {:#x}", binary.entry());
+    println!("  trailing bytes    {}", binary.trailing().len());
+    println!("  blocks (total)    {}", lifted.cfg.node_count());
+    println!("  blocks (dead)     {}", lifted.dead_block_count);
+    println!("  data ranges       {:?}", lifted.data_ranges);
+    println!("  reachable blocks  {}", reachable.node_count());
+    println!("  reachable edges   {}", reachable.edge_count());
+    println!("  graph density     {:.4}", density::graph_density(&reachable));
+    let stats = GraphStats::compute(&reachable);
+    println!(
+        "  shortest paths    min {:.0} / mean {:.2} / max {:.0}",
+        stats.shortest_paths.min, stats.shortest_paths.mean, stats.shortest_paths.max
+    );
+    println!(
+        "  degree centrality mean {:.4} / max {:.4}",
+        stats.degree_centrality.mean, stats.degree_centrality.max
+    );
+    Ok(())
+}
+
+/// `disasm FILE` — print an assembly listing with block boundaries.
+pub fn disassemble(args: &[String]) -> Result<(), String> {
+    let (_, positional) = parse(args)?;
+    let file = positional.first().ok_or("disasm needs a FILE")?;
+    let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+    let binary = soteria_corpus::Binary::parse(&bytes).map_err(|e| e.to_string())?;
+    let lifted = disasm::lift(&binary).map_err(|e| e.to_string())?;
+    let reachable = lifted.cfg.reachable();
+
+    // Block starts, for annotation.
+    let mut block_at = std::collections::HashMap::new();
+    for id in lifted.cfg.block_ids() {
+        block_at.insert(lifted.cfg.block(id).address() as u32, id);
+    }
+
+    let code = binary.code();
+    let mut off = 0u32;
+    while (off as usize) < code.len() {
+        if let Some(&id) = block_at.get(&off) {
+            let tag = if reachable[id.index()] { "" } else { "  ; unreachable" };
+            println!("
+{id}:{tag}");
+        }
+        // Skip data ranges the lifter marked.
+        if let Some(&(_, end)) = lifted.data_ranges.iter().find(|&&(s, e)| s <= off && off < e)
+        {
+            println!("  {off:#06x}  .data {} bytes", end - off);
+            off = end;
+            continue;
+        }
+        match soteria_corpus::isa::Instruction::decode(code, off as usize) {
+            Ok(insn) => {
+                println!("  {off:#06x}  {insn}");
+                off += insn.encoded_len() as u32;
+            }
+            Err(_) => {
+                println!("  {off:#06x}  .byte {:#04x}", code[off as usize]);
+                off += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `attack --original FILE --target FILE --out FILE`
+pub fn attack(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let original_path = flags.get("original").ok_or("attack needs --original FILE")?;
+    let target_path = flags.get("target").ok_or("attack needs --target FILE")?;
+    let out = flags.get("out").ok_or("attack needs --out FILE")?;
+
+    let original = store::read_binary(
+        &PathBuf::from(original_path),
+        Family::Benign, // class is irrelevant for crafting
+        "original",
+    )?;
+    let target = store::read_binary(&PathBuf::from(target_path), Family::Benign, "target")?;
+    let merged = gea_merge(&original, &target).map_err(|e| e.to_string())?;
+    std::fs::write(out, merged.sample().binary().to_bytes())
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote GEA example to {out}: {} + {} -> {} blocks",
+        original.graph().node_count(),
+        target.graph().node_count(),
+        merged.sample().graph().node_count()
+    );
+    Ok(())
+}
+
+/// Trains a system on a corpus directory.
+fn train_on_dir(corpus_dir: &str, seed: u64) -> Result<Soteria, String> {
+    eprintln!("loading corpus from {corpus_dir}...");
+    let samples = store::read_samples(&PathBuf::from(corpus_dir))?;
+    let corpus = Corpus::from_samples(samples, seed);
+    let split = corpus.split(0.8, seed);
+    eprintln!("training Soteria on {} samples...", split.train.len());
+    let mut system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed);
+    eprintln!(
+        "trained (threshold {:.4})",
+        system.detector_mut().stats().threshold()
+    );
+    Ok(system)
+}
+
+/// `train --corpus DIR --out MODEL.json [--seed N]`
+pub fn train(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let corpus_dir = flags.get("corpus").ok_or("train needs --corpus DIR")?;
+    let out = flags.get("out").ok_or("train needs --out MODEL.json")?;
+    let seed = flag_u64(&flags, "seed", 7)?;
+    let system = train_on_dir(corpus_dir, seed)?;
+    let json = system.save_state()?.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote model to {out} ({} bytes)", json.len());
+    Ok(())
+}
+
+/// `analyze (--corpus DIR | --model MODEL.json) [--seed N] FILE...`
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse(args)?;
+    let seed = flag_u64(&flags, "seed", 7)?;
+    if positional.is_empty() {
+        return Err("analyze needs at least one FILE".into());
+    }
+
+    let mut system = if let Some(model_path) = flags.get("model") {
+        let json = std::fs::read_to_string(model_path)
+            .map_err(|e| format!("read {model_path}: {e}"))?;
+        let state = soteria::SoteriaState::from_json(&json).map_err(|e| e.to_string())?;
+        eprintln!("loaded model from {model_path}");
+        Soteria::from_state(state)
+    } else if let Some(corpus_dir) = flags.get("corpus") {
+        train_on_dir(corpus_dir, seed)?
+    } else {
+        return Err("analyze needs --corpus DIR or --model MODEL.json".into());
+    };
+
+    for (i, file) in positional.iter().enumerate() {
+        let sample = store::read_binary(&PathBuf::from(file), Family::Benign, file)?;
+        match system.analyze(sample.graph(), seed ^ (1000 + i as u64)) {
+            Verdict::Adversarial {
+                reconstruction_error,
+            } => println!("{file}: ADVERSARIAL (RE {reconstruction_error:.4})"),
+            Verdict::Clean {
+                family,
+                reconstruction_error,
+                report,
+            } => println!(
+                "{file}: {family} (RE {reconstruction_error:.4}, votes {:?})",
+                report.votes
+            ),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_splits_flags_and_positionals() {
+        let (flags, pos) =
+            parse(&argv(&["--out", "/tmp/x", "file1", "--seed", "9", "file2"])).unwrap();
+        assert_eq!(flags.get("out").unwrap(), "/tmp/x");
+        assert_eq!(flags.get("seed").unwrap(), "9");
+        assert_eq!(pos, vec!["file1", "file2"]);
+    }
+
+    #[test]
+    fn parse_handles_bare_dot_flag() {
+        let (flags, pos) = parse(&argv(&["file", "--dot"])).unwrap();
+        assert!(flags.contains_key("dot"));
+        assert_eq!(pos, vec!["file"]);
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        assert!(parse(&argv(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn gen_requires_out() {
+        assert!(gen(&argv(&["--seed", "3"])).is_err());
+    }
+
+    #[test]
+    fn inspect_requires_file() {
+        assert!(inspect(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_and_inspect_round_trip() {
+        let dir = std::env::temp_dir().join(format!("soteria-cli-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        gen(&argv(&["--out", dir.to_str().unwrap(), "--scale", "0.0001", "--seed", "3"]))
+            .unwrap();
+        // Inspect the first generated file.
+        let manifest: crate::store::Manifest = serde_json::from_str(
+            &std::fs::read_to_string(dir.join(crate::store::MANIFEST)).unwrap(),
+        )
+        .unwrap();
+        let first = dir.join(&manifest.entries[0].file);
+        inspect(&argv(&[first.to_str().unwrap()])).unwrap();
+        inspect(&argv(&[first.to_str().unwrap(), "--dot"])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn attack_round_trip_produces_merged_binary() {
+        let dir = std::env::temp_dir().join(format!("soteria-cli-att-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        gen(&argv(&["--out", dir.to_str().unwrap(), "--scale", "0.0001", "--seed", "4"]))
+            .unwrap();
+        let manifest: crate::store::Manifest = serde_json::from_str(
+            &std::fs::read_to_string(dir.join(crate::store::MANIFEST)).unwrap(),
+        )
+        .unwrap();
+        let a = dir.join(&manifest.entries[0].file);
+        let b = dir.join(&manifest.entries[1].file);
+        let out = dir.join("merged.sotb");
+        attack(&argv(&[
+            "--original",
+            a.to_str().unwrap(),
+            "--target",
+            b.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The merged binary lifts and is bigger than either input.
+        let merged = crate::store::read_binary(&out, Family::Benign, "m").unwrap();
+        let ga = crate::store::read_binary(&a, Family::Benign, "a").unwrap();
+        assert!(merged.graph().node_count() > ga.graph().node_count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+//! `soteria-cli` — work with SotVM binaries from the command line.
+//!
+//! ```text
+//! soteria-cli gen --out DIR [--scale F] [--seed N]      generate a corpus to disk
+//! soteria-cli inspect FILE [--dot]                      lift a binary, print CFG facts
+//! soteria-cli disasm FILE                               print an assembly listing
+//! soteria-cli attack --original FILE --target FILE --out FILE
+//!                                                       craft a GEA adversarial example
+//! soteria-cli train --corpus DIR --out MODEL.json [--seed N]
+//!                                                       train and persist a system
+//! soteria-cli analyze (--corpus DIR | --model MODEL.json) [--seed N] FILE...
+//!                                                       screen files with a system
+//! ```
+
+mod commands;
+mod store;
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage:\n  soteria-cli gen --out DIR [--scale F] [--seed N]\n  \
+     soteria-cli inspect FILE [--dot]\n  \
+     soteria-cli disasm FILE\n  \
+     soteria-cli attack --original FILE --target FILE --out FILE\n  \
+     soteria-cli train --corpus DIR --out MODEL.json [--seed N]\n  \
+     soteria-cli analyze (--corpus DIR | --model MODEL.json) [--seed N] FILE..."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => commands::gen(&args[1..]),
+        Some("inspect") => commands::inspect(&args[1..]),
+        Some("disasm") => commands::disassemble(&args[1..]),
+        Some("attack") => commands::attack(&args[1..]),
+        Some("train") => commands::train(&args[1..]),
+        Some("analyze") => commands::analyze(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        Some(other) => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

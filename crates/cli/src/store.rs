@@ -1,0 +1,137 @@
+//! On-disk corpus layout: a directory of `.sotb` images plus a JSON
+//! manifest carrying each sample's name, ground-truth class, and AV
+//! label.
+
+use serde::{Deserialize, Serialize};
+use soteria_corpus::{corpus::Sample, Binary, Corpus, Family, SampleGenerator};
+use std::path::Path;
+#[cfg(test)]
+use std::path::PathBuf;
+
+/// One manifest row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Sample name (also the file stem).
+    pub name: String,
+    /// Ground-truth class.
+    pub family: Family,
+    /// Simulated AVClass label.
+    pub av_label: Family,
+    /// Relative path of the binary image.
+    pub file: String,
+}
+
+/// The corpus manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// All entries, corpus order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// File name of the manifest within a corpus directory.
+pub const MANIFEST: &str = "manifest.json";
+
+/// Writes `corpus` to `dir` (created if absent): one `.sotb` file per
+/// sample plus `manifest.json`.
+pub fn write_corpus(corpus: &Corpus, dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut entries = Vec::with_capacity(corpus.len());
+    for sample in corpus.samples() {
+        let file = format!("{}.sotb", sample.name());
+        let path = dir.join(&file);
+        std::fs::write(&path, sample.binary().to_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        entries.push(ManifestEntry {
+            name: sample.name().to_string(),
+            family: sample.family(),
+            av_label: sample.av_label(),
+            file,
+        });
+    }
+    let manifest = Manifest { entries };
+    let json = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
+    std::fs::write(dir.join(MANIFEST), json)
+        .map_err(|e| format!("write manifest: {e}"))?;
+    Ok(())
+}
+
+/// Reads a corpus directory back into samples (binaries are re-lifted
+/// through the disassembler, the canonical path).
+pub fn read_samples(dir: &Path) -> Result<Vec<Sample>, String> {
+    let manifest_path = dir.join(MANIFEST);
+    let json = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+    let manifest: Manifest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let mut samples = Vec::with_capacity(manifest.entries.len());
+    for entry in manifest.entries {
+        let path = dir.join(&entry.file);
+        let sample = read_binary(&path, entry.family, &entry.name)?;
+        let mut sample = sample;
+        sample.set_av_label(entry.av_label);
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+/// Reads one `.sotb` file and lifts it.
+pub fn read_binary(path: &Path, family: Family, name: &str) -> Result<Sample, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let binary = Binary::parse(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    SampleGenerator::lift(name.to_string(), family, binary)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::CorpusConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("soteria-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn corpus_round_trips_through_disk() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [3, 3, 3, 3],
+            seed: 5,
+            av_noise: true,
+            lineages: 2,
+        });
+        let dir = tmp_dir("roundtrip");
+        write_corpus(&corpus, &dir).unwrap();
+
+        let samples = read_samples(&dir).unwrap();
+        assert_eq!(samples.len(), corpus.len());
+        for (a, b) in samples.iter().zip(corpus.samples()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.family(), b.family());
+            assert_eq!(a.av_label(), b.av_label());
+            assert_eq!(a.binary(), b.binary());
+            assert_eq!(a.graph(), b.graph());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clean_error() {
+        let dir = tmp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = read_samples(&dir).unwrap_err();
+        assert!(err.contains("manifest.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_binary_is_a_clean_error() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.sotb");
+        std::fs::write(&path, b"not a sotb file").unwrap();
+        let err = read_binary(&path, Family::Benign, "x").unwrap_err();
+        assert!(err.contains("x.sotb"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,329 @@
+//! The family classifier: two 1-D CNNs (one per labeling) combined by
+//! majority voting over the twenty per-walk feature vectors.
+
+use crate::config::ClassifierConfig;
+use soteria_corpus::Family;
+use soteria_features::{Labeling, SampleFeatures};
+use soteria_nn::{
+    loss::{one_hot, softmax_row},
+    trainer::argmax_rows,
+    Activation, Conv1d, Dense, Dropout, Loss, Matrix, MaxPool1d, Sequential, TrainConfig,
+    Trainer,
+};
+
+/// Builds one CNN (the paper's ConvB1 → ConvB2 → CB stack) for inputs of
+/// `input_len` features and `classes` outputs.
+fn build_cnn(config: &ClassifierConfig, input_len: usize, classes: usize, seed: u64) -> Sequential {
+    let l1 = input_len;
+    let l1p = l1 / 2;
+    let l2p = l1p / 2;
+    Sequential::new(vec![
+        // ConvB1: two conv layers, pool, dropout.
+        Box::new(Conv1d::new(1, config.filters1, 3, l1, true, seed)),
+        Box::new(Conv1d::new(config.filters1, config.filters1, 3, l1, true, seed ^ 0x11)),
+        Box::new(MaxPool1d::new(config.filters1, l1, 2)),
+        Box::new(Dropout::new(config.conv_dropout, seed ^ 0x21)),
+        // ConvB2.
+        Box::new(Conv1d::new(config.filters1, config.filters2, 3, l1p, true, seed ^ 0x12)),
+        Box::new(Conv1d::new(config.filters2, config.filters2, 3, l1p, true, seed ^ 0x13)),
+        Box::new(MaxPool1d::new(config.filters2, l1p, 2)),
+        Box::new(Dropout::new(config.conv_dropout, seed ^ 0x22)),
+        // CB: dense + dropout + softmax (softmax fused into the loss; the
+        // final layer emits logits).
+        Box::new(Dense::new(config.filters2 * l2p, config.dense, Activation::Relu, seed ^ 0x31)),
+        Box::new(Dropout::new(config.dense_dropout, seed ^ 0x23)),
+        Box::new(Dense::new(config.dense, classes, Activation::Linear, seed ^ 0x32)),
+    ])
+}
+
+/// Per-sample classification detail: the vote tally and the labels the
+/// individual models produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierReport {
+    /// Votes per class across all 20 walk vectors.
+    pub votes: Vec<usize>,
+    /// Majority decision over DBL walks only.
+    pub dbl_label: Family,
+    /// Majority decision over LBL walks only.
+    pub lbl_label: Family,
+    /// Final majority decision over both.
+    pub voted_label: Family,
+}
+
+/// The two-CNN voting classifier.
+#[derive(Debug)]
+pub struct FamilyClassifier {
+    dbl_cnn: Sequential,
+    lbl_cnn: Sequential,
+    classes: usize,
+    config: ClassifierConfig,
+}
+
+impl FamilyClassifier {
+    /// Trains both CNNs. `features[i]` must pair with `labels[i]` (class
+    /// indices in `0..classes`); every walk vector of a sample becomes one
+    /// training row with the sample's label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths mismatch.
+    pub fn train(
+        config: &ClassifierConfig,
+        features: &[SampleFeatures],
+        labels: &[usize],
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        assert!(!features.is_empty(), "classifier needs training samples");
+        let input_len = features[0].dbl_walks()[0].len();
+
+        let mut dbl_cnn = build_cnn(config, input_len, classes, seed);
+        let mut lbl_cnn = build_cnn(config, input_len, classes, seed ^ 0xC1A55);
+        // Class-balanced oversampling: the corpus is heavily imbalanced
+        // (Gafgyt outnumbers Tsunami ~40:1) and plain cross-entropy starves
+        // the minority family at reduced scale. Each sample's walks are
+        // repeated so every class contributes a comparable number of rows
+        // (capped at 8x to bound the epoch cost).
+        let mut class_counts = vec![0usize; classes];
+        for &l in labels {
+            class_counts[l] += 1;
+        }
+        let max_count = class_counts.iter().max().copied().unwrap_or(1);
+        let repeat: Vec<usize> = class_counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    1
+                } else {
+                    max_count.div_ceil(c).clamp(1, 8)
+                }
+            })
+            .collect();
+
+        for (labeling, cnn) in [
+            (Labeling::Density, &mut dbl_cnn),
+            (Labeling::Level, &mut lbl_cnn),
+        ] {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let mut row_labels: Vec<usize> = Vec::new();
+            for (f, &l) in features.iter().zip(labels) {
+                for w in f.walks(labeling) {
+                    for _ in 0..repeat[l] {
+                        rows.push(w.clone());
+                        row_labels.push(l);
+                    }
+                }
+            }
+            let x = Matrix::from_rows(&rows);
+            let t = one_hot(&row_labels, classes);
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: config.epochs,
+                batch_size: config.batch_size,
+                learning_rate: config.learning_rate,
+                seed: seed ^ 0x7281,
+                ..TrainConfig::default()
+            });
+            let _ = trainer.fit(cnn, &x, &t, Loss::SoftmaxCrossEntropy);
+        }
+        FamilyClassifier {
+            dbl_cnn,
+            lbl_cnn,
+            classes,
+            config: config.clone(),
+        }
+    }
+
+    /// Reassembles a classifier from persisted parts.
+    pub fn from_parts(
+        dbl_cnn: Sequential,
+        lbl_cnn: Sequential,
+        classes: usize,
+        config: ClassifierConfig,
+    ) -> Self {
+        FamilyClassifier {
+            dbl_cnn,
+            lbl_cnn,
+            classes,
+            config,
+        }
+    }
+
+    /// The DBL CNN (used by model persistence).
+    pub fn dbl_model(&self) -> &Sequential {
+        &self.dbl_cnn
+    }
+
+    /// The LBL CNN (used by model persistence).
+    pub fn lbl_model(&self) -> &Sequential {
+        &self.lbl_cnn
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.config
+    }
+
+    /// Classifies one sample's features, returning the full report.
+    pub fn classify(&mut self, features: &SampleFeatures) -> ClassifierReport {
+        let dbl_preds = self.predict_walks(Labeling::Density, features.dbl_walks());
+        let lbl_preds = self.predict_walks(Labeling::Level, features.lbl_walks());
+
+        let mut votes = vec![0usize; self.classes];
+        for &p in dbl_preds.iter().chain(&lbl_preds) {
+            votes[p] += 1;
+        }
+        ClassifierReport {
+            dbl_label: Family::from_index(majority(&tally(&dbl_preds, self.classes))),
+            lbl_label: Family::from_index(majority(&tally(&lbl_preds, self.classes))),
+            voted_label: Family::from_index(majority(&votes)),
+            votes,
+        }
+    }
+
+    /// The voted family label only.
+    pub fn predict(&mut self, features: &SampleFeatures) -> Family {
+        self.classify(features).voted_label
+    }
+
+    /// Mean softmax probabilities over all walk vectors (used to analyze
+    /// the AEs that slip past the detector).
+    pub fn mean_probabilities(&mut self, features: &SampleFeatures) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.classes];
+        let mut count = 0usize;
+        for (labeling, walks) in [
+            (Labeling::Density, features.dbl_walks()),
+            (Labeling::Level, features.lbl_walks()),
+        ] {
+            let cnn = match labeling {
+                Labeling::Density => &mut self.dbl_cnn,
+                Labeling::Level => &mut self.lbl_cnn,
+            };
+            let x = Matrix::from_rows(walks);
+            let logits = cnn.predict(&x);
+            for r in 0..logits.rows() {
+                for (a, p) in acc.iter_mut().zip(softmax_row(logits.row(r))) {
+                    *a += f64::from(p);
+                }
+            }
+            count += logits.rows();
+        }
+        for a in &mut acc {
+            *a /= count.max(1) as f64;
+        }
+        acc
+    }
+
+    fn predict_walks(&mut self, labeling: Labeling, walks: &[Vec<f64>]) -> Vec<usize> {
+        let cnn = match labeling {
+            Labeling::Density => &mut self.dbl_cnn,
+            Labeling::Level => &mut self.lbl_cnn,
+        };
+        let x = Matrix::from_rows(walks);
+        argmax_rows(&cnn.predict(&x))
+    }
+}
+
+fn tally(preds: &[usize], classes: usize) -> Vec<usize> {
+    let mut t = vec![0usize; classes];
+    for &p in preds {
+        t[p] += 1;
+    }
+    t
+}
+
+/// Index of the highest vote count (first wins ties — deterministic).
+fn majority(votes: &[usize]) -> usize {
+    votes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .expect("non-empty vote tally")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SoteriaConfig;
+    use soteria_corpus::{Family, SampleGenerator};
+    use soteria_features::FeatureExtractor;
+
+    /// A tiny two-class training setup (benign vs mirai) that the CNN can
+    /// separate quickly.
+    fn setup() -> (FamilyClassifier, Vec<SampleFeatures>, Vec<usize>) {
+        let config = SoteriaConfig::tiny();
+        let mut gen = SampleGenerator::new(51);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..6 {
+            graphs.push(gen.generate(Family::Benign).graph().clone());
+            labels.push(Family::Benign.index());
+            graphs.push(gen.generate(Family::Mirai).graph().clone());
+            labels.push(Family::Mirai.index());
+        }
+        let extractor = FeatureExtractor::fit(&config.extractor, &graphs, 1);
+        let features: Vec<SampleFeatures> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| extractor.extract(g, i as u64))
+            .collect();
+        let clf = FamilyClassifier::train(&config.classifier, &features, &labels, 4, 9);
+        (clf, features, labels)
+    }
+
+    #[test]
+    fn learns_to_separate_training_classes() {
+        let (mut clf, features, labels) = setup();
+        let correct = features
+            .iter()
+            .zip(&labels)
+            .filter(|(f, &l)| clf.predict(f).index() == l)
+            .count();
+        assert!(
+            correct * 10 >= features.len() * 8,
+            "only {correct}/{} correct on training data",
+            features.len()
+        );
+    }
+
+    #[test]
+    fn votes_sum_to_walk_count() {
+        let (mut clf, features, _) = setup();
+        let report = clf.classify(&features[0]);
+        let total: usize = report.votes.iter().sum();
+        assert_eq!(total, 2 * SoteriaConfig::tiny().extractor.walks_per_labeling);
+    }
+
+    #[test]
+    fn voted_label_has_plurality() {
+        let (mut clf, features, _) = setup();
+        let report = clf.classify(&features[1]);
+        let max = report.votes.iter().max().copied().unwrap();
+        assert_eq!(report.votes[report.voted_label.index()], max);
+    }
+
+    #[test]
+    fn mean_probabilities_form_distribution() {
+        let (mut clf, features, _) = setup();
+        let p = clf.mean_probabilities(&features[0]);
+        assert_eq!(p.len(), 4);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn majority_breaks_ties_toward_lower_index() {
+        assert_eq!(majority(&[2, 2, 0]), 0);
+        assert_eq!(majority(&[0, 3, 3]), 1);
+        assert_eq!(majority(&[1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "features/labels mismatch")]
+    fn mismatched_inputs_panic() {
+        let cfg = SoteriaConfig::tiny();
+        let _ = FamilyClassifier::train(&cfg.classifier, &[], &[0], 4, 0);
+    }
+}

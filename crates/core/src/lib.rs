@@ -1,0 +1,50 @@
+//! Soteria: adversarial-example detection and family classification for
+//! CFG-based malware classifiers.
+//!
+//! This crate assembles the full system of the paper from the substrate
+//! crates:
+//!
+//! * [`soteria_features`] supplies the randomized feature pipeline
+//!   (DBL/LBL labeling → random walks → n-grams → TF-IDF),
+//! * [`detector`] wraps an auto-encoder trained to reconstruct *clean*
+//!   feature vectors; a sample whose reconstruction RMSE exceeds
+//!   `μ + α·σ` of the training errors is flagged adversarial,
+//! * [`classifier`] holds the two 1-D CNNs (one per labeling) whose twenty
+//!   per-walk predictions are combined by majority vote into a family
+//!   label,
+//! * [`pipeline`] chains them: a sample is first screened by the detector
+//!   and only clean samples reach the classifier.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use soteria::{Soteria, SoteriaConfig, Verdict};
+//! use soteria_corpus::{Corpus, CorpusConfig, Family};
+//!
+//! let corpus = Corpus::generate(&CorpusConfig::scaled(0.01, 7));
+//! let split = corpus.split(0.8, 1);
+//! let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 42);
+//!
+//! let sample = &corpus.samples()[split.test[0]];
+//! match soteria.analyze(sample.graph(), 1234) {
+//!     Verdict::Adversarial { reconstruction_error } => {
+//!         println!("AE detected (RE = {reconstruction_error:.4})");
+//!     }
+//!     Verdict::Clean { family, .. } => println!("classified as {family}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod classifier;
+pub mod config;
+pub mod detector;
+pub mod persist;
+pub mod pipeline;
+
+pub use classifier::{ClassifierReport, FamilyClassifier};
+pub use config::{ClassifierConfig, DetectorConfig, SoteriaConfig};
+pub use detector::AeDetector;
+pub use persist::SoteriaState;
+pub use pipeline::{Soteria, Verdict};

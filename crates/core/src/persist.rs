@@ -1,0 +1,135 @@
+//! Persistence for a trained [`Soteria`] system: the fitted feature
+//! extractor (vocabularies + IDF), the auto-encoder with its threshold
+//! statistics, and both CNNs — everything needed to deploy the system
+//! without retraining.
+
+use crate::classifier::FamilyClassifier;
+use crate::config::SoteriaConfig;
+use crate::detector::{AeDetector, ThresholdStats};
+use crate::pipeline::Soteria;
+use serde::{Deserialize, Serialize};
+use soteria_features::FeatureExtractor;
+use soteria_nn::persist::{spec_of, ModelSpec};
+
+/// The serializable state of a trained system.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SoteriaState {
+    /// Hyperparameters the system was trained with.
+    pub config: SoteriaConfig,
+    /// The fitted feature extractor (vocabularies, IDF weights).
+    pub extractor: FeatureExtractor,
+    /// The auto-encoder weights.
+    pub detector_model: ModelSpec,
+    /// The fitted threshold statistics.
+    pub detector_stats: ThresholdStats,
+    /// The DBL CNN weights.
+    pub dbl_cnn: ModelSpec,
+    /// The LBL CNN weights.
+    pub lbl_cnn: ModelSpec,
+}
+
+impl SoteriaState {
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde failures.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Soteria {
+    /// Captures the trained system's state for persistence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-extraction failures (unknown layer types cannot
+    /// occur for systems built by [`Soteria::train`]).
+    pub fn save_state(&self) -> Result<SoteriaState, String> {
+        Ok(SoteriaState {
+            config: self.config().clone(),
+            extractor: self.extractor().clone(),
+            detector_model: spec_of(self.detector_ref().model())?,
+            detector_stats: self.detector_ref().stats(),
+            dbl_cnn: spec_of(self.classifier_ref().dbl_model())?,
+            lbl_cnn: spec_of(self.classifier_ref().lbl_model())?,
+        })
+    }
+
+    /// Restores a system from saved state.
+    pub fn from_state(state: SoteriaState) -> Self {
+        let detector = AeDetector::from_parts(
+            state.detector_model.into_sequential(),
+            state.detector_stats,
+            state.config.detector.clone(),
+        );
+        let classifier = FamilyClassifier::from_parts(
+            state.dbl_cnn.into_sequential(),
+            state.lbl_cnn.into_sequential(),
+            state.config.classes,
+            state.config.classifier.clone(),
+        );
+        Soteria::from_parts(state.config, state.extractor, detector, classifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::{Corpus, CorpusConfig};
+
+    #[test]
+    fn trained_system_round_trips_through_json() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [10, 10, 10, 10],
+            seed: 55,
+            av_noise: false,
+            lineages: 3,
+        });
+        let split = corpus.split(0.8, 1);
+        let mut original = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5);
+
+        let json = original.save_state().unwrap().to_json().unwrap();
+        let mut restored = Soteria::from_state(SoteriaState::from_json(&json).unwrap());
+
+        assert_eq!(
+            restored.detector_mut().stats(),
+            original.detector_mut().stats()
+        );
+        // Identical verdicts on every test sample (same walk seeds).
+        for (i, &idx) in split.test.iter().enumerate() {
+            let g = corpus.samples()[idx].graph();
+            assert_eq!(
+                restored.analyze(g, i as u64),
+                original.analyze(g, i as u64),
+                "verdict mismatch on test sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_json_is_self_describing() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [8, 8, 8, 8],
+            seed: 56,
+            av_noise: false,
+            lineages: 2,
+        });
+        let split = corpus.split(0.8, 1);
+        let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 6);
+        let json = soteria.save_state().unwrap().to_json().unwrap();
+        assert!(json.contains("detector_stats"));
+        assert!(json.contains("dbl_cnn"));
+        assert!(json.len() > 10_000, "weights should dominate the payload");
+    }
+}

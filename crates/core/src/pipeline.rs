@@ -1,0 +1,306 @@
+//! The end-to-end Soteria pipeline: feature extraction → AE screening →
+//! family classification.
+
+use crate::classifier::{ClassifierReport, FamilyClassifier};
+use crate::config::SoteriaConfig;
+use crate::detector::AeDetector;
+use soteria_cfg::Cfg;
+use soteria_corpus::{Corpus, Family};
+use soteria_features::{FeatureExtractor, SampleFeatures};
+
+/// Outcome of analyzing one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The detector flagged the sample; it never reached the classifier.
+    Adversarial {
+        /// The sample's reconstruction error.
+        reconstruction_error: f64,
+    },
+    /// The sample passed the detector and was classified.
+    Clean {
+        /// The voted family label.
+        family: Family,
+        /// The sample's reconstruction error (below threshold).
+        reconstruction_error: f64,
+        /// Full voting detail.
+        report: ClassifierReport,
+    },
+}
+
+impl Verdict {
+    /// Whether the sample was flagged adversarial.
+    pub fn is_adversarial(&self) -> bool {
+        matches!(self, Verdict::Adversarial { .. })
+    }
+
+    /// The classified family, if the sample was clean.
+    pub fn family(&self) -> Option<Family> {
+        match self {
+            Verdict::Clean { family, .. } => Some(*family),
+            Verdict::Adversarial { .. } => None,
+        }
+    }
+}
+
+/// The trained Soteria system.
+#[derive(Debug)]
+pub struct Soteria {
+    config: SoteriaConfig,
+    extractor: FeatureExtractor,
+    detector: AeDetector,
+    classifier: FamilyClassifier,
+}
+
+impl Soteria {
+    /// Trains the full system on the given corpus rows (indices into
+    /// `corpus`, normally the training split). The detector and classifier
+    /// share one feature extraction pass — the cost-reuse property §III-A
+    /// highlights.
+    ///
+    /// Labels come from the *AV pipeline* labels (as the paper's
+    /// experimenters would have), not ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_indices` is empty.
+    pub fn train(config: &SoteriaConfig, corpus: &Corpus, train_indices: &[usize], seed: u64) -> Self {
+        assert!(!train_indices.is_empty(), "training split is empty");
+        let graphs: Vec<&Cfg> = train_indices
+            .iter()
+            .map(|&i| corpus.samples()[i].graph())
+            .collect();
+        let owned: Vec<Cfg> = graphs.iter().map(|g| (*g).clone()).collect();
+        let av_labels: Vec<usize> = train_indices
+            .iter()
+            .map(|&i| corpus.samples()[i].av_label().index())
+            .collect();
+        let extractor = FeatureExtractor::fit_stratified(
+            &config.extractor,
+            &owned,
+            &av_labels,
+            config.classes,
+            seed,
+        );
+        let features = extractor.extract_batch(&graphs, seed ^ 0xFEA7);
+
+        let combined: Vec<Vec<f64>> = features.iter().map(|f| f.combined().to_vec()).collect();
+        let labels = av_labels;
+        let detector = AeDetector::train_balanced(&config.detector, &combined, &labels, seed ^ 0xDE7);
+        let classifier =
+            FamilyClassifier::train(&config.classifier, &features, &labels, config.classes, seed ^ 0xC1F);
+
+        Soteria {
+            config: config.clone(),
+            extractor,
+            detector,
+            classifier,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SoteriaConfig {
+        &self.config
+    }
+
+    /// The fitted feature extractor.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Reassembles a system from persisted parts.
+    pub fn from_parts(
+        config: SoteriaConfig,
+        extractor: FeatureExtractor,
+        detector: AeDetector,
+        classifier: FamilyClassifier,
+    ) -> Self {
+        Soteria {
+            config,
+            extractor,
+            detector,
+            classifier,
+        }
+    }
+
+    /// Shared access to the detector (model persistence).
+    pub fn detector_ref(&self) -> &AeDetector {
+        &self.detector
+    }
+
+    /// Shared access to the classifier (model persistence).
+    pub fn classifier_ref(&self) -> &FamilyClassifier {
+        &self.classifier
+    }
+
+    /// Mutable access to the detector (threshold sweeps).
+    pub fn detector_mut(&mut self) -> &mut AeDetector {
+        &mut self.detector
+    }
+
+    /// Mutable access to the classifier (per-model evaluation).
+    pub fn classifier_mut(&mut self) -> &mut FamilyClassifier {
+        &mut self.classifier
+    }
+
+    /// Extracts features for a graph with this system's extractor.
+    /// `walk_seed` drives the randomized walks.
+    pub fn features(&self, cfg: &Cfg, walk_seed: u64) -> SampleFeatures {
+        self.extractor.extract(cfg, walk_seed)
+    }
+
+    /// Runs the full pipeline on one CFG.
+    pub fn analyze(&mut self, cfg: &Cfg, walk_seed: u64) -> Verdict {
+        let features = self.extractor.extract(cfg, walk_seed);
+        self.analyze_features(&features)
+    }
+
+    /// Analyzes many graphs at once: features are extracted in parallel
+    /// (per-graph walk seeds derived from `walk_seed`), then screened and
+    /// classified. Equivalent per graph to [`analyze`](Soteria::analyze)
+    /// with derived seeds, but much faster on multi-core hosts.
+    pub fn analyze_batch(&mut self, graphs: &[&Cfg], walk_seed: u64) -> Vec<Verdict> {
+        let features = self.extractor.extract_batch(graphs, walk_seed);
+        features.iter().map(|f| self.analyze_features(f)).collect()
+    }
+
+    /// Runs detector + classifier on pre-extracted features (the reuse
+    /// path).
+    pub fn analyze_features(&mut self, features: &SampleFeatures) -> Verdict {
+        let re = self.detector.reconstruction_error(features.combined());
+        if re > self.detector.stats().threshold() {
+            return Verdict::Adversarial {
+                reconstruction_error: re,
+            };
+        }
+        let report = self.classifier.classify(features);
+        Verdict::Clean {
+            family: report.voted_label,
+            reconstruction_error: re,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::CorpusConfig;
+    use soteria_gea::{gea_merge, TargetSelection};
+
+    fn trained() -> (Soteria, Corpus, Vec<usize>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [14, 14, 14, 12],
+            seed: 61,
+            av_noise: false,
+            lineages: 3,
+        });
+        let split = corpus.split(0.8, 3);
+        let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5);
+        (soteria, corpus, split.test)
+    }
+
+    #[test]
+    fn most_clean_test_samples_pass_the_detector() {
+        let (mut soteria, corpus, test) = trained();
+        let passed = test
+            .iter()
+            .filter(|&&i| !soteria.analyze(corpus.samples()[i].graph(), i as u64).is_adversarial())
+            .count();
+        assert!(
+            passed * 10 >= test.len() * 6,
+            "only {passed}/{} clean samples passed",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn gea_examples_are_flagged_more_often_than_clean() {
+        let (mut soteria, corpus, test) = trained();
+        let selection = TargetSelection::select(&corpus);
+        let target = selection.sample(
+            &corpus,
+            selection
+                .target(Family::Benign, soteria_gea::SizeClass::Large)
+                .unwrap(),
+        );
+        let mut flagged_ae = 0;
+        let mut flagged_clean = 0;
+        let mut n_ae = 0;
+        for &i in &test {
+            let s = &corpus.samples()[i];
+            if soteria.analyze(s.graph(), 1000 + i as u64).is_adversarial() {
+                flagged_clean += 1;
+            }
+            if s.family() != Family::Benign {
+                let merged = gea_merge(s, target).unwrap();
+                n_ae += 1;
+                if soteria
+                    .analyze(merged.sample().graph(), 2000 + i as u64)
+                    .is_adversarial()
+                {
+                    flagged_ae += 1;
+                }
+            }
+        }
+        let ae_rate = flagged_ae as f64 / n_ae.max(1) as f64;
+        let clean_rate = flagged_clean as f64 / test.len() as f64;
+        assert!(
+            ae_rate > clean_rate,
+            "AE detection rate {ae_rate:.2} not above clean false-positive rate {clean_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn clean_verdicts_carry_reports() {
+        let (mut soteria, corpus, test) = trained();
+        for &i in &test {
+            if let Verdict::Clean {
+                family,
+                report,
+                reconstruction_error,
+            } = soteria.analyze(corpus.samples()[i].graph(), i as u64)
+            {
+                assert_eq!(family, report.voted_label);
+                assert!(reconstruction_error <= soteria.detector_mut().stats().threshold());
+                return;
+            }
+        }
+        panic!("no clean verdict in the whole test split");
+    }
+
+    #[test]
+    fn analyze_batch_runs_every_graph() {
+        let (mut soteria, corpus, test) = trained();
+        let graphs: Vec<&soteria_cfg::Cfg> = test
+            .iter()
+            .map(|&i| corpus.samples()[i].graph())
+            .collect();
+        let verdicts = soteria.analyze_batch(&graphs, 99);
+        assert_eq!(verdicts.len(), graphs.len());
+        // Most clean samples pass (same invariant as the per-sample path).
+        let passed = verdicts.iter().filter(|v| !v.is_adversarial()).count();
+        assert!(passed * 10 >= verdicts.len() * 5);
+    }
+
+    #[test]
+    fn feature_reuse_path_matches_analyze() {
+        let (mut soteria, corpus, test) = trained();
+        let g = corpus.samples()[test[0]].graph();
+        let features = soteria.features(g, 7);
+        let a = soteria.analyze_features(&features);
+        let b = soteria.analyze(g, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "training split is empty")]
+    fn empty_training_split_panics() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [10, 10, 10, 10],
+            seed: 0,
+            av_noise: false,
+            lineages: 3,
+        });
+        let _ = Soteria::train(&SoteriaConfig::tiny(), &corpus, &[], 0);
+    }
+}

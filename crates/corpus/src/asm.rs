@@ -1,0 +1,316 @@
+//! Lowering a [`Cfg`] to a SotVM [`Binary`].
+//!
+//! Blocks are laid out in id order. Each block emits `instruction_count - 1`
+//! non-control body instructions (deterministically derived filler — the
+//! Soteria pipeline never inspects them) followed by one terminator chosen
+//! by out-degree:
+//!
+//! * 0 successors → `ret`
+//! * 1 successor → `jmp`
+//! * 2 successors → `br`
+//! * 3+ successors → `switch`
+
+use crate::binary::Binary;
+use crate::isa::Instruction;
+use soteria_cfg::{BlockId, Cfg, CfgBuilder};
+
+/// Result of lowering: the binary image plus the graph *as laid out* —
+/// structurally identical to the input but with block addresses and
+/// instruction counts exactly as they appear in the image. Round-tripping
+/// the binary through the disassembler reproduces `laid_out` (restricted to
+/// reachable blocks).
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The executable image.
+    pub binary: Binary,
+    /// The input graph with layout addresses and final instruction counts.
+    pub laid_out: Cfg,
+}
+
+/// Deterministic filler selection: a cheap integer mix of the build salt,
+/// block address and instruction index. Keeps `asm` free of RNG state
+/// while still producing varied body bytes.
+fn filler(salt: u64, addr: u32, i: u32) -> Instruction {
+    let mut x = (u64::from(addr) << 32) ^ u64::from(i) ^ salt ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    match x % 5 {
+        0 => Instruction::Nop,
+        1 => Instruction::Alu {
+            func: (x >> 8) as u8 & 0x0f,
+            regs: (x >> 16) as u16,
+        },
+        2 => Instruction::Load {
+            reg: (x >> 8) as u8 & 0x07,
+            offset: (x >> 16) as u16 & 0xff,
+        },
+        3 => Instruction::Store {
+            reg: (x >> 8) as u8 & 0x07,
+            offset: (x >> 16) as u16 & 0xff,
+        },
+        _ => Instruction::Syscall {
+            num: (x >> 8) as u8 & 0x3f,
+        },
+    }
+}
+
+fn terminator_len(out_degree: usize) -> usize {
+    match out_degree {
+        0 => 4,
+        1 => 8,
+        2 => 12,
+        k => 4 + 4 * k,
+    }
+}
+
+/// Lowers `cfg` to a binary image.
+///
+/// Every block contributes at least one instruction (its terminator); a
+/// block whose recorded `instruction_count` is 0 is emitted as terminator
+/// only.
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::CfgBuilder;
+/// use soteria_corpus::{asm, disasm};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CfgBuilder::new();
+/// let e = b.add_block(0, 3);
+/// let x = b.add_block(0, 1);
+/// b.add_edge(e, x)?;
+/// let cfg = b.build(e)?;
+///
+/// let lowered = asm::assemble(&cfg);
+/// let lifted = disasm::lift(&lowered.binary)?;
+/// assert_eq!(lifted.cfg, lowered.laid_out);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(cfg: &Cfg) -> Lowered {
+    assemble_salted(cfg, 0)
+}
+
+/// [`assemble`] with a *build salt* that varies the non-control filler
+/// instructions: two builds of the same CFG with different salts are
+/// byte-distinct (like real rebuilds with different strings or C2
+/// addresses) while lifting to identical graphs.
+pub fn assemble_salted(cfg: &Cfg, salt: u64) -> Lowered {
+    let n = cfg.node_count();
+    // Pass 1: compute each block's size and address.
+    let mut addrs = Vec::with_capacity(n);
+    let mut body_counts = Vec::with_capacity(n);
+    let mut cursor = 0u32;
+    for id in cfg.block_ids() {
+        let body = cfg.block(id).instruction_count().saturating_sub(1);
+        let size = 4 * body as usize + terminator_len(cfg.out_degree(id));
+        addrs.push(cursor);
+        body_counts.push(body);
+        cursor += size as u32;
+    }
+
+    // Pass 2: emit.
+    let mut code = Vec::with_capacity(cursor as usize);
+    for id in cfg.block_ids() {
+        let i = id.index();
+        for k in 0..body_counts[i] {
+            filler(salt, addrs[i], k).encode(&mut code);
+        }
+        let succ: Vec<u32> = cfg.successors(id).iter().map(|s| addrs[s.index()]).collect();
+        let term = match succ.len() {
+            0 => Instruction::Ret,
+            1 => Instruction::Jmp { target: succ[0] },
+            2 => Instruction::Br {
+                cond: (i & 0xff) as u8,
+                taken: succ[0],
+                not_taken: succ[1],
+            },
+            _ => Instruction::Switch { targets: succ },
+        };
+        term.encode(&mut code);
+    }
+    debug_assert_eq!(code.len(), cursor as usize);
+
+    // The as-laid-out graph: same structure, layout addresses, final counts.
+    let mut b = CfgBuilder::with_capacity(n);
+    for id in cfg.block_ids() {
+        let i = id.index();
+        b.add_block(u64::from(addrs[i]), body_counts[i] + 1);
+    }
+    for (f, t) in cfg.edges() {
+        b.add_edge(f, t).expect("copying edges of a valid graph");
+    }
+    let laid_out = b
+        .build(cfg.entry())
+        .expect("copy of a valid graph builds");
+
+    let entry_addr = addrs[cfg.entry().index()];
+    Lowered {
+        binary: Binary::new(entry_addr, code),
+        laid_out,
+    }
+}
+
+/// Emits a standalone dead-code fragment (a short chain of blocks ending in
+/// `ret`) suitable for [`Binary::append_dead_code`]. `base` is the byte
+/// offset the fragment will be placed at; internal jumps are relocated to
+/// it. Returns the encoded bytes.
+pub fn dead_fragment(base: u32, blocks: usize) -> Vec<u8> {
+    assert!(blocks >= 1, "fragment needs at least one block");
+    let mut b = CfgBuilder::new();
+    let ids: Vec<BlockId> = (0..blocks).map(|i| b.add_block(i as u64, 2)).collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1]).expect("fresh edges");
+    }
+    let frag = b.build(ids[0]).expect("non-empty");
+    let lowered = assemble(&frag);
+    // Relocate: re-emit with all targets shifted by `base`. The fragment's
+    // only branches are the chain `jmp`s, each an 8-byte instruction whose
+    // last 4 bytes are the target.
+    let mut code = lowered.binary.code().to_vec();
+    let mut off = 0usize;
+    while off < code.len() {
+        let insn = Instruction::decode(&code, off).expect("own encoding decodes");
+        if let Instruction::Jmp { target } = insn {
+            let new = target + base;
+            code[off + 4..off + 8].copy_from_slice(&new.to_le_bytes());
+        }
+        off += insn.encoded_len();
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instruction;
+
+    fn diamond(counts: [u32; 4]) -> Cfg {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, counts[0]);
+        let l = b.add_block(0, counts[1]);
+        let r = b.add_block(0, counts[2]);
+        let x = b.add_block(0, counts[3]);
+        b.add_edge(e, l).unwrap();
+        b.add_edge(e, r).unwrap();
+        b.add_edge(l, x).unwrap();
+        b.add_edge(r, x).unwrap();
+        b.build(e).unwrap()
+    }
+
+    #[test]
+    fn layout_is_contiguous_and_in_id_order() {
+        let g = diamond([3, 2, 2, 1]);
+        let lowered = assemble(&g);
+        let a: Vec<u64> = lowered
+            .laid_out
+            .block_ids()
+            .map(|id| lowered.laid_out.block(id).address())
+            .collect();
+        assert_eq!(a[0], 0);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // entry block: 2 body * 4 + br 12 = 20 bytes.
+        assert_eq!(a[1], 20);
+    }
+
+    #[test]
+    fn instruction_counts_preserved() {
+        let g = diamond([3, 2, 2, 1]);
+        let lowered = assemble(&g);
+        for id in g.block_ids() {
+            assert_eq!(
+                lowered.laid_out.block(id).instruction_count(),
+                g.block(id).instruction_count()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_count_block_still_gets_terminator() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 0);
+        let g = b.build(e).unwrap();
+        let lowered = assemble(&g);
+        assert_eq!(lowered.binary.code(), &[0x20, 0, 0, 0]); // ret
+        assert_eq!(lowered.laid_out.block(e).instruction_count(), 1);
+    }
+
+    #[test]
+    fn terminator_matches_out_degree() {
+        // 3-way switch block.
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let t1 = b.add_block(0, 1);
+        let t2 = b.add_block(0, 1);
+        let t3 = b.add_block(0, 1);
+        for t in [t1, t2, t3] {
+            b.add_edge(e, t).unwrap();
+        }
+        let g = b.build(e).unwrap();
+        let lowered = assemble(&g);
+        let first = Instruction::decode(lowered.binary.code(), 0).unwrap();
+        match first {
+            Instruction::Switch { targets } => assert_eq!(targets.len(), 3),
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filler_is_deterministic_and_non_control() {
+        for i in 0..64 {
+            let f1 = filler(0, 0x40, i);
+            let f2 = filler(0, 0x40, i);
+            assert_eq!(f1, f2);
+            assert!(!f1.is_terminator());
+        }
+    }
+
+    #[test]
+    fn salted_builds_differ_in_bytes_but_lift_identically() {
+        let g = diamond([3, 2, 2, 1]);
+        let a = assemble_salted(&g, 1);
+        let b = assemble_salted(&g, 2);
+        assert_ne!(a.binary, b.binary);
+        assert_eq!(a.laid_out, b.laid_out);
+        let la = crate::disasm::lift(&a.binary).unwrap();
+        let lb = crate::disasm::lift(&b.binary).unwrap();
+        assert_eq!(la.cfg, lb.cfg);
+    }
+
+    #[test]
+    fn entry_not_first_block_is_respected() {
+        let mut b = CfgBuilder::new();
+        let other = b.add_block(0, 1);
+        let entry = b.add_block(0, 1);
+        b.add_edge(entry, other).unwrap();
+        let g = b.build(entry).unwrap();
+        let lowered = assemble(&g);
+        // Block 0 (ret, 4 bytes) precedes the entry at offset 4.
+        assert_eq!(lowered.binary.entry(), 4);
+    }
+
+    #[test]
+    fn dead_fragment_decodes_cleanly_at_base() {
+        let base = 0x100;
+        let bytes = dead_fragment(base, 3);
+        let mut off = 0;
+        let mut jmps = 0;
+        while off < bytes.len() {
+            let insn = Instruction::decode(&bytes, off).unwrap();
+            if let Instruction::Jmp { target } = insn {
+                assert!(target >= base, "jump {target:#x} escapes fragment");
+                jmps += 1;
+            }
+            off += insn.encoded_len();
+        }
+        assert_eq!(jmps, 2); // 3-block chain has 2 internal jumps
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn dead_fragment_rejects_zero_blocks() {
+        let _ = dead_fragment(0, 0);
+    }
+}

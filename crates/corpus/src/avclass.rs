@@ -1,0 +1,263 @@
+//! Simulated VirusTotal scanning and AVClass label aggregation.
+//!
+//! The paper labels malware by scanning with VirusTotal (many AV engines,
+//! each emitting its own vendor-specific detection string) and feeding the
+//! scan report to AVClass, which normalizes vendor aliases and takes a
+//! plurality vote. We reproduce that pipeline with a panel of synthetic
+//! engines: each engine knows the ground truth but reports a noisy,
+//! vendor-flavored alias — sometimes the wrong family, sometimes a generic
+//! token AVClass must discard.
+
+use crate::families::Family;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One synthetic AV engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Engine {
+    /// Vendor name, e.g. `"avast-sim"`.
+    pub name: String,
+    /// Probability the engine reports the true family (under an alias).
+    pub accuracy: f64,
+    /// Probability of emitting a generic token instead of any family.
+    pub generic_rate: f64,
+}
+
+impl Engine {
+    /// Scans a sample of known ground-truth family and returns the vendor's
+    /// detection string.
+    pub fn scan<R: Rng>(&self, truth: Family, rng: &mut R) -> String {
+        if rng.gen_bool(self.generic_rate) {
+            let generics = ["trojan.generic", "malware.heur", "riskware.agent"];
+            return generics[rng.gen_range(0..generics.len())].to_string();
+        }
+        let family = if rng.gen_bool(self.accuracy) {
+            truth
+        } else {
+            // Confuse with a random *other* class (never "benign": engines
+            // either detect something or stay silent).
+            let others: Vec<Family> = Family::MALWARE
+                .into_iter()
+                .filter(|&f| f != truth)
+                .collect();
+            if others.is_empty() {
+                truth
+            } else {
+                others[rng.gen_range(0..others.len())]
+            }
+        };
+        if family == Family::Benign {
+            return String::new(); // silent on benign
+        }
+        let alias = alias_for(family, rng.gen_range(0..3));
+        format!("{}.{alias}.{}", self.name, rng.gen_range(1000..9999))
+    }
+}
+
+/// Vendor alias strings per family (index 0..3 selects a variant).
+fn alias_for(family: Family, variant: usize) -> &'static str {
+    match (family, variant % 3) {
+        (Family::Gafgyt, 0) => "gafgyt",
+        (Family::Gafgyt, 1) => "bashlite",
+        (Family::Gafgyt, _) => "qbot",
+        (Family::Mirai, 0) => "mirai",
+        (Family::Mirai, 1) => "satori",
+        (Family::Mirai, _) => "okiru",
+        (Family::Tsunami, 0) => "tsunami",
+        (Family::Tsunami, 1) => "kaiten",
+        (Family::Tsunami, _) => "amnesia",
+        (Family::Benign, _) => "",
+    }
+}
+
+/// The alias → canonical family table AVClass applies before voting.
+fn canonical(token: &str) -> Option<Family> {
+    let table: [(&str, Family); 9] = [
+        ("gafgyt", Family::Gafgyt),
+        ("bashlite", Family::Gafgyt),
+        ("qbot", Family::Gafgyt),
+        ("mirai", Family::Mirai),
+        ("satori", Family::Mirai),
+        ("okiru", Family::Mirai),
+        ("tsunami", Family::Tsunami),
+        ("kaiten", Family::Tsunami),
+        ("amnesia", Family::Tsunami),
+    ];
+    table.iter().find(|(a, _)| *a == token).map(|&(_, f)| f)
+}
+
+/// A panel of engines standing in for a VirusTotal scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanPanel {
+    engines: Vec<Engine>,
+}
+
+impl ScanPanel {
+    /// The default panel: a mix of accurate and sloppy engines.
+    pub fn standard() -> Self {
+        let engines = (0..12)
+            .map(|i| Engine {
+                name: format!("engine{i:02}"),
+                // Accuracies from 0.70 to 0.92.
+                accuracy: 0.70 + 0.02 * i as f64,
+                generic_rate: 0.10,
+            })
+            .collect();
+        ScanPanel { engines }
+    }
+
+    /// A panel with explicit engines (for tests and ablations).
+    pub fn new(engines: Vec<Engine>) -> Self {
+        ScanPanel { engines }
+    }
+
+    /// Number of engines on the panel.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the panel has no engines.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Scans a sample: every engine reports its detection string (empty =
+    /// no detection).
+    pub fn scan<R: Rng>(&self, truth: Family, rng: &mut R) -> Vec<String> {
+        self.engines.iter().map(|e| e.scan(truth, rng)).collect()
+    }
+}
+
+/// AVClass-style aggregation: normalize every detection string to a
+/// canonical family via the alias table, discard generic tokens, and take
+/// the plurality (ties broken toward the smaller class index for
+/// determinism). `None` means no family token survived — AVClass would
+/// call the sample unlabeled.
+///
+/// # Example
+///
+/// ```
+/// use soteria_corpus::avclass;
+/// use soteria_corpus::Family;
+///
+/// let report = vec![
+///     "engine00.bashlite.1234".to_string(),
+///     "engine01.gafgyt.5678".to_string(),
+///     "engine02.mirai.1111".to_string(),
+///     "trojan.generic".to_string(),
+/// ];
+/// assert_eq!(avclass::aggregate(&report), Some(Family::Gafgyt));
+/// ```
+pub fn aggregate(report: &[String]) -> Option<Family> {
+    let mut votes: HashMap<Family, usize> = HashMap::new();
+    for detection in report {
+        for token in detection.split('.') {
+            if let Some(f) = canonical(token) {
+                *votes.entry(f).or_insert(0) += 1;
+                break;
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .max_by_key(|&(f, n)| (n, std::cmp::Reverse(f.index())))
+        .map(|(f, _)| f)
+}
+
+/// Full labeling pipeline for one sample: scan with the panel, aggregate,
+/// fall back to `Benign` when nothing detects.
+pub fn label_sample<R: Rng>(panel: &ScanPanel, truth: Family, rng: &mut R) -> Family {
+    if truth == Family::Benign {
+        // Engines stay silent on benign inputs in our simulation.
+        return Family::Benign;
+    }
+    aggregate(&panel.scan(truth, rng)).unwrap_or(Family::Benign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_engines_always_recover_truth() {
+        let panel = ScanPanel::new(
+            (0..5)
+                .map(|i| Engine {
+                    name: format!("e{i}"),
+                    accuracy: 1.0,
+                    generic_rate: 0.0,
+                })
+                .collect(),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for f in Family::MALWARE {
+            for _ in 0..20 {
+                assert_eq!(label_sample(&panel, f, &mut rng), f);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_panel_recovers_truth_usually() {
+        let panel = ScanPanel::standard();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut hits = 0;
+        let trials = 300;
+        for i in 0..trials {
+            let f = Family::MALWARE[i % 3];
+            if label_sample(&panel, f, &mut rng) == f {
+                hits += 1;
+            }
+        }
+        assert!(hits as f64 / trials as f64 > 0.95, "only {hits}/{trials}");
+    }
+
+    #[test]
+    fn generic_tokens_are_discarded() {
+        let report = vec!["trojan.generic".into(), "malware.heur".into()];
+        assert_eq!(aggregate(&report), None);
+    }
+
+    #[test]
+    fn aliases_map_to_canonical_families() {
+        assert_eq!(canonical("bashlite"), Some(Family::Gafgyt));
+        assert_eq!(canonical("kaiten"), Some(Family::Tsunami));
+        assert_eq!(canonical("satori"), Some(Family::Mirai));
+        assert_eq!(canonical("unknown"), None);
+    }
+
+    #[test]
+    fn plurality_vote_wins() {
+        let report = vec![
+            "a.mirai.1".into(),
+            "b.mirai.2".into(),
+            "c.gafgyt.3".into(),
+        ];
+        assert_eq!(aggregate(&report), Some(Family::Mirai));
+    }
+
+    #[test]
+    fn tie_breaks_deterministically() {
+        let report = vec!["a.mirai.1".into(), "b.gafgyt.2".into()];
+        // Tie of 1-1: smaller class index (Gafgyt = 1) wins.
+        assert_eq!(aggregate(&report), Some(Family::Gafgyt));
+    }
+
+    #[test]
+    fn benign_is_never_scanned() {
+        let panel = ScanPanel::standard();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(label_sample(&panel, Family::Benign, &mut rng), Family::Benign);
+    }
+
+    #[test]
+    fn empty_panel_yields_benign_fallback() {
+        let panel = ScanPanel::new(vec![]);
+        assert!(panel.is_empty());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(label_sample(&panel, Family::Mirai, &mut rng), Family::Benign);
+    }
+}

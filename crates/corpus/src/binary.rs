@@ -1,0 +1,231 @@
+//! The SotVM binary container: a tiny ELF-like envelope around a code
+//! section.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0x00  magic        "SOTB"
+//! 0x04  version      u16 (currently 1)
+//! 0x06  reserved     u16
+//! 0x08  entry        u32   byte offset of the entry point within code
+//! 0x0c  code_len     u32   length of the code section
+//! 0x10  code         [u8; code_len]
+//! 0x10+ trailing     [u8]  anything after the code section (appended data)
+//! ```
+//!
+//! Trailing bytes are preserved and surfaced separately: byte-appending
+//! adversarial manipulations live there, and the disassembler treats them
+//! as candidate dead code.
+
+use crate::error::CorpusError;
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes identifying a SotVM binary.
+pub const MAGIC: [u8; 4] = *b"SOTB";
+/// Current container version.
+pub const VERSION: u16 = 1;
+/// Size of the fixed header.
+pub const HEADER_LEN: usize = 16;
+
+/// An owned SotVM binary image.
+///
+/// # Example
+///
+/// ```
+/// use soteria_corpus::Binary;
+///
+/// # fn main() -> Result<(), soteria_corpus::CorpusError> {
+/// let code = vec![0x20, 0, 0, 0]; // ret
+/// let bin = Binary::new(0, code.clone());
+/// let bytes = bin.to_bytes();
+/// let back = Binary::parse(&bytes)?;
+/// assert_eq!(back.code(), &code[..]);
+/// assert_eq!(back.entry(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binary {
+    entry: u32,
+    code: Vec<u8>,
+    trailing: Vec<u8>,
+}
+
+impl Binary {
+    /// Creates a binary with entry offset `entry` into `code` and no
+    /// trailing bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not within `code` (an empty code section admits
+    /// only entry 0).
+    pub fn new(entry: u32, code: Vec<u8>) -> Self {
+        assert!(
+            (entry as usize) < code.len().max(1),
+            "entry {entry} outside code of {} bytes",
+            code.len()
+        );
+        Binary {
+            entry,
+            code,
+            trailing: Vec::new(),
+        }
+    }
+
+    /// Entry-point byte offset within the code section.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The code section.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// Bytes after the code section (empty unless something was appended).
+    pub fn trailing(&self) -> &[u8] {
+        &self.trailing
+    }
+
+    /// Total size of the serialized image.
+    pub fn len(&self) -> usize {
+        HEADER_LEN + self.code.len() + self.trailing.len()
+    }
+
+    /// Whether the image carries no code.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Appends raw bytes *after* the code section. The header's `code_len`
+    /// is unchanged, so the appended bytes are outside the declared code —
+    /// this models the "append benign bytes to the end of the file" AE.
+    pub fn append_trailing(&mut self, bytes: &[u8]) {
+        self.trailing.extend_from_slice(bytes);
+    }
+
+    /// Appends `bytes` *inside* the code section (growing `code_len`)
+    /// without making them reachable — this models injecting a dead code
+    /// section. Returns the byte offset the appended code starts at.
+    pub fn append_dead_code(&mut self, bytes: &[u8]) -> u32 {
+        let at = self.code.len() as u32;
+        self.code.extend_from_slice(bytes);
+        at
+    }
+
+    /// Serializes the image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.code);
+        out.extend_from_slice(&self.trailing);
+        out
+    }
+
+    /// Parses a serialized image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::BadImage`] when the magic, version, entry, or
+    /// lengths are inconsistent.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CorpusError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CorpusError::BadImage("image shorter than header"));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(CorpusError::BadImage("bad magic"));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(CorpusError::BadImage("unsupported version"));
+        }
+        let entry = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let code_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let code_end = HEADER_LEN
+            .checked_add(code_len)
+            .ok_or(CorpusError::BadImage("code length overflow"))?;
+        if bytes.len() < code_end {
+            return Err(CorpusError::BadImage("code section truncated"));
+        }
+        if code_len > 0 && entry as usize >= code_len {
+            return Err(CorpusError::BadImage("entry outside code section"));
+        }
+        Ok(Binary {
+            entry,
+            code: bytes[HEADER_LEN..code_end].to_vec(),
+            trailing: bytes[code_end..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_without_trailing() {
+        let bin = Binary::new(4, vec![0u8; 16]);
+        let back = Binary::parse(&bin.to_bytes()).unwrap();
+        assert_eq!(back, bin);
+    }
+
+    #[test]
+    fn round_trip_with_trailing() {
+        let mut bin = Binary::new(0, vec![0x20, 0, 0, 0]);
+        bin.append_trailing(b"JUNKJUNK");
+        let back = Binary::parse(&bin.to_bytes()).unwrap();
+        assert_eq!(back.trailing(), b"JUNKJUNK");
+        assert_eq!(back.code(), bin.code());
+    }
+
+    #[test]
+    fn append_dead_code_grows_code_section() {
+        let mut bin = Binary::new(0, vec![0x20, 0, 0, 0]);
+        let at = bin.append_dead_code(&[0x21, 0, 0, 0]);
+        assert_eq!(at, 4);
+        assert_eq!(bin.code().len(), 8);
+        let back = Binary::parse(&bin.to_bytes()).unwrap();
+        assert_eq!(back.code().len(), 8);
+        assert!(back.trailing().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic() {
+        let mut bytes = Binary::new(0, vec![0x20, 0, 0, 0]).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(Binary::parse(&bytes), Err(CorpusError::BadImage(_))));
+    }
+
+    #[test]
+    fn parse_rejects_truncated_code() {
+        let mut bytes = Binary::new(0, vec![0u8; 8]).to_bytes();
+        bytes.truncate(HEADER_LEN + 4);
+        assert!(matches!(Binary::parse(&bytes), Err(CorpusError::BadImage(_))));
+    }
+
+    #[test]
+    fn parse_rejects_entry_outside_code() {
+        let bin = Binary::new(0, vec![0u8; 8]);
+        let mut bytes = bin.to_bytes();
+        bytes[8..12].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(Binary::parse(&bytes), Err(CorpusError::BadImage(_))));
+    }
+
+    #[test]
+    fn parse_rejects_short_header() {
+        assert!(matches!(
+            Binary::parse(&[0u8; 4]),
+            Err(CorpusError::BadImage(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside code")]
+    fn new_rejects_entry_outside_code() {
+        let _ = Binary::new(4, vec![0u8; 4]);
+    }
+}

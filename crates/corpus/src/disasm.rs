@@ -1,0 +1,445 @@
+//! Lifting a SotVM [`Binary`] back to a [`Cfg`] — the reproduction's
+//! stand-in for radare2.
+//!
+//! Lifting proceeds in three phases:
+//!
+//! 1. **Recursive descent** from the entry point: decode instruction runs,
+//!    queueing every branch target as a *leader*.
+//! 2. **Dead-code sweep**: linear scan over undecoded byte ranges of the
+//!    code section, running the same descent from each decodable gap —
+//!    recovering unreachable code (injected sections, orphaned functions).
+//!    Bytes that do not decode are treated as data and skipped. Trailing
+//!    bytes after the declared code section are never lifted.
+//! 3. **Block formation**: blocks start at leaders and end at the first
+//!    terminator or the next leader (jumping into the middle of a block
+//!    splits it, with an implicit continuation edge).
+//!
+//! The resulting [`Cfg`] contains *all* recovered blocks. Soteria's feature
+//! extraction then takes [`Cfg::reachable_subgraph`], which is exactly the
+//! paper's "the features ignore non-executable parts of samples" property.
+
+use crate::binary::Binary;
+use crate::error::CorpusError;
+use crate::isa::Instruction;
+use soteria_cfg::{BlockId, Cfg, CfgBuilder};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A lifted binary: the full CFG (including dead code) plus bookkeeping
+/// about what was recovered.
+#[derive(Debug, Clone)]
+pub struct Lifted {
+    /// The recovered graph; includes unreachable blocks.
+    pub cfg: Cfg,
+    /// Number of blocks not reachable from the entry.
+    pub dead_block_count: usize,
+    /// Byte ranges of the code section that did not decode (treated as
+    /// data).
+    pub data_ranges: Vec<(u32, u32)>,
+}
+
+impl Lifted {
+    /// The graph restricted to blocks reachable from the entry — the view
+    /// Soteria extracts features from.
+    pub fn reachable_cfg(&self) -> Cfg {
+        self.cfg.reachable_subgraph().0
+    }
+}
+
+/// Decodes instruction runs starting from every offset in `worklist`,
+/// inserting decoded instructions into `insns` and newly found branch
+/// targets into `leaders` + the worklist. Stops a run at a terminator or at
+/// an already-decoded offset. Invalid targets (out of bounds / mid-
+/// instruction garbage) abort the lift of reachable code but are tolerated
+/// (dropped) when `strict` is false, as real disassemblers do for dead code.
+fn descend(
+    code: &[u8],
+    worklist: &mut VecDeque<u32>,
+    insns: &mut BTreeMap<u32, Instruction>,
+    leaders: &mut BTreeSet<u32>,
+    strict: bool,
+) -> Result<(), CorpusError> {
+    while let Some(start) = worklist.pop_front() {
+        if start as usize >= code.len() {
+            if strict {
+                return Err(CorpusError::BadBranchTarget { target: start });
+            }
+            leaders.remove(&start);
+            continue;
+        }
+        let mut off = start;
+        loop {
+            if insns.contains_key(&off) {
+                break; // already decoded from here onward
+            }
+            let insn = match Instruction::decode(code, off as usize) {
+                Ok(i) => i,
+                Err(source) => {
+                    if strict {
+                        return Err(CorpusError::Decode {
+                            offset: off as usize,
+                            source,
+                        });
+                    }
+                    // Dead-code sweep: give up on this run.
+                    break;
+                }
+            };
+            let len = insn.encoded_len() as u32;
+            let terminator = insn.is_terminator();
+            for t in insn.targets() {
+                if !leaders.contains(&t) {
+                    leaders.insert(t);
+                    worklist.push_back(t);
+                }
+            }
+            insns.insert(off, insn);
+            if terminator {
+                break;
+            }
+            off += len;
+        }
+    }
+    Ok(())
+}
+
+/// Lifts `binary` to a CFG.
+///
+/// # Errors
+///
+/// Fails with [`CorpusError::Decode`] or [`CorpusError::BadBranchTarget`]
+/// if *reachable* code is malformed. Undecodable *unreachable* bytes are
+/// tolerated and reported as data ranges.
+///
+/// # Example
+///
+/// ```
+/// use soteria_corpus::{disasm, Binary};
+///
+/// # fn main() -> Result<(), soteria_corpus::CorpusError> {
+/// // jmp 8; ret  — two blocks.
+/// let code = vec![0x10, 0, 0, 0, 8, 0, 0, 0, 0x20, 0, 0, 0];
+/// let lifted = disasm::lift(&Binary::new(0, code))?;
+/// assert_eq!(lifted.cfg.node_count(), 2);
+/// assert_eq!(lifted.cfg.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lift(binary: &Binary) -> Result<Lifted, CorpusError> {
+    let code = binary.code();
+    if code.is_empty() {
+        return Err(CorpusError::BadImage("empty code section"));
+    }
+
+    let mut insns: BTreeMap<u32, Instruction> = BTreeMap::new();
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    let entry = binary.entry();
+    leaders.insert(entry);
+
+    // Phase 1: reachable code (strict).
+    let mut worklist = VecDeque::from([entry]);
+    descend(code, &mut worklist, &mut insns, &mut leaders, true)?;
+
+    // Phase 2: dead-code sweep over gaps (lenient).
+    let mut data_ranges = Vec::new();
+    loop {
+        let gap = next_gap(code.len() as u32, &insns, &data_ranges);
+        let Some(gap_start) = gap else { break };
+        let before = insns.len();
+        let mut wl = VecDeque::from([gap_start]);
+        leaders.insert(gap_start);
+        descend(code, &mut wl, &mut insns, &mut leaders, false)?;
+        if insns.len() == before {
+            // Nothing decoded: mark 4 bytes (one minimal instruction slot)
+            // as data and move on.
+            leaders.remove(&gap_start);
+            let end = (gap_start + 4).min(code.len() as u32);
+            match data_ranges.last_mut() {
+                Some((_, e)) if *e == gap_start => *e = end,
+                _ => data_ranges.push((gap_start, end)),
+            }
+        }
+    }
+
+    // Phase 3: block formation.
+    build_cfg(entry, &insns, &leaders, data_ranges)
+}
+
+/// First offset in the code section that is neither covered by a decoded
+/// instruction nor marked as data, if any.
+fn next_gap(
+    code_len: u32,
+    insns: &BTreeMap<u32, Instruction>,
+    data: &[(u32, u32)],
+) -> Option<u32> {
+    let mut off = 0u32;
+    while off < code_len {
+        if let Some(insn) = insns.get(&off) {
+            off += insn.encoded_len() as u32;
+            continue;
+        }
+        if let Some(&(_, end)) = data.iter().find(|&&(s, e)| s <= off && off < e) {
+            off = end;
+            continue;
+        }
+        // `off` may sit inside an instruction that started earlier (an
+        // overlapping decode from a mid-instruction jump target).
+        if let Some((&at, insn)) = insns.range(..=off).next_back() {
+            let end = at + insn.encoded_len() as u32;
+            if end > off {
+                off = end;
+                continue;
+            }
+        }
+        return Some(off);
+    }
+    None
+}
+
+fn build_cfg(
+    entry: u32,
+    insns: &BTreeMap<u32, Instruction>,
+    leaders: &BTreeSet<u32>,
+    data_ranges: Vec<(u32, u32)>,
+) -> Result<Lifted, CorpusError> {
+    // A block starts at each leader that actually decoded.
+    let starts: Vec<u32> = leaders
+        .iter()
+        .copied()
+        .filter(|l| insns.contains_key(l))
+        .collect();
+    let index_of: BTreeMap<u32, BlockId> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, BlockId::new(i)))
+        .collect();
+
+    let mut builder = CfgBuilder::with_capacity(starts.len());
+    #[derive(Debug)]
+    struct Pending {
+        from: BlockId,
+        to: u32,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+
+    for &start in &starts {
+        let mut count = 0u32;
+        let mut off = start;
+        let mut succ_offsets: Vec<u32> = Vec::new();
+        loop {
+            let insn = insns.get(&off).expect("leader run stays decoded");
+            count += 1;
+            if insn.is_terminator() {
+                succ_offsets = insn.targets();
+                break;
+            }
+            off += insn.encoded_len() as u32;
+            if leaders.contains(&off) {
+                // Split point: implicit continuation into the next block.
+                succ_offsets = vec![off];
+                break;
+            }
+            if !insns.contains_key(&off) {
+                // Dead-code run that fizzled out mid-stream: no successors.
+                break;
+            }
+        }
+        let id = builder.add_block(u64::from(start), count);
+        debug_assert_eq!(id, index_of[&start]);
+        for t in succ_offsets {
+            pending.push(Pending { from: id, to: t });
+        }
+    }
+
+    let mut dropped = 0usize;
+    for p in pending {
+        match index_of.get(&p.to) {
+            Some(&to) => {
+                builder.add_edge_idempotent(p.from, to)?;
+            }
+            None => dropped += 1, // dangling dead-code target
+        }
+    }
+    let _ = dropped;
+
+    let entry_id = *index_of
+        .get(&entry)
+        .ok_or(CorpusError::BadImage("entry did not decode"))?;
+    let cfg = builder.build(entry_id)?;
+    let dead_block_count = cfg.reachable().iter().filter(|&&r| !r).count();
+    Ok(Lifted {
+        cfg,
+        dead_block_count,
+        data_ranges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use soteria_cfg::CfgBuilder;
+
+    fn roundtrip(cfg: &Cfg) -> Lifted {
+        let lowered = asm::assemble(cfg);
+        let lifted = lift(&lowered.binary).expect("lift");
+        assert_eq!(lifted.cfg, lowered.laid_out, "round trip mismatch");
+        lifted
+    }
+
+    #[test]
+    fn round_trip_diamond() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 3);
+        let l = b.add_block(0, 2);
+        let r = b.add_block(0, 4);
+        let x = b.add_block(0, 1);
+        b.add_edge(e, l).unwrap();
+        b.add_edge(e, r).unwrap();
+        b.add_edge(l, x).unwrap();
+        b.add_edge(r, x).unwrap();
+        roundtrip(&b.build(e).unwrap());
+    }
+
+    #[test]
+    fn round_trip_loops_and_switch() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 2);
+        let d = b.add_block(0, 1); // dispatcher
+        let c1 = b.add_block(0, 3);
+        let c2 = b.add_block(0, 3);
+        let c3 = b.add_block(0, 3);
+        let x = b.add_block(0, 1);
+        b.add_edge(e, d).unwrap();
+        for c in [c1, c2, c3] {
+            b.add_edge(d, c).unwrap();
+            b.add_edge(c, d).unwrap(); // loop back
+        }
+        b.add_edge(d, x).unwrap();
+        b.add_edge(x, x).unwrap(); // self-loop
+        roundtrip(&b.build(e).unwrap());
+    }
+
+    #[test]
+    fn lift_detects_dead_code() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 2);
+        let g = b.build(e).unwrap();
+        let mut lowered = asm::assemble(&g);
+        let base = lowered.binary.code().len() as u32;
+        let frag = asm::dead_fragment(base, 3);
+        lowered.binary.append_dead_code(&frag);
+
+        let lifted = lift(&lowered.binary).unwrap();
+        assert_eq!(lifted.cfg.node_count(), 1 + 3);
+        assert_eq!(lifted.dead_block_count, 3);
+        // Reachable view is unchanged.
+        assert_eq!(lifted.reachable_cfg().node_count(), 1);
+    }
+
+    #[test]
+    fn trailing_bytes_are_never_lifted() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 2);
+        let g = b.build(e).unwrap();
+        let mut lowered = asm::assemble(&g);
+        lowered.binary.append_trailing(&[0x20, 0, 0, 0, 0x20, 0, 0, 0]);
+        let lifted = lift(&lowered.binary).unwrap();
+        assert_eq!(lifted.cfg.node_count(), 1);
+        assert_eq!(lifted.dead_block_count, 0);
+    }
+
+    #[test]
+    fn undecodable_dead_bytes_become_data() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let g = b.build(e).unwrap();
+        let mut lowered = asm::assemble(&g);
+        lowered.binary.append_dead_code(&[0xFF; 8]); // garbage
+        let lifted = lift(&lowered.binary).unwrap();
+        assert_eq!(lifted.cfg.node_count(), 1);
+        assert!(!lifted.data_ranges.is_empty());
+        let covered: u32 = lifted.data_ranges.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, 8);
+    }
+
+    #[test]
+    fn malformed_reachable_code_is_an_error() {
+        // Entry points at garbage.
+        let bin = Binary::new(0, vec![0xFF, 0, 0, 0]);
+        assert!(matches!(
+            lift(&bin),
+            Err(CorpusError::Decode { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn reachable_branch_out_of_bounds_is_an_error() {
+        // jmp 0x1000 with a 8-byte code section.
+        let mut code = Vec::new();
+        Instruction::Jmp { target: 0x1000 }.encode(&mut code);
+        let bin = Binary::new(0, code);
+        assert!(matches!(
+            lift(&bin),
+            Err(CorpusError::BadBranchTarget { target: 0x1000 })
+        ));
+    }
+
+    #[test]
+    fn jump_into_block_middle_splits_it() {
+        // Block A: nop; nop; ret. Block B (dead) jumps to A's second nop.
+        let mut code = Vec::new();
+        Instruction::Nop.encode(&mut code); // 0
+        Instruction::Nop.encode(&mut code); // 4
+        Instruction::Ret.encode(&mut code); // 8
+        Instruction::Jmp { target: 4 }.encode(&mut code); // 12, dead
+        let lifted = lift(&Binary::new(0, code)).unwrap();
+        // Blocks: [0..4) split head, [4..12) tail, [12..) dead jmp.
+        assert_eq!(lifted.cfg.node_count(), 3);
+        // Head has a continuation edge into the tail.
+        let head = lifted
+            .cfg
+            .block_ids()
+            .find(|&b| lifted.cfg.block(b).address() == 0)
+            .unwrap();
+        let tail = lifted
+            .cfg
+            .block_ids()
+            .find(|&b| lifted.cfg.block(b).address() == 4)
+            .unwrap();
+        assert!(lifted.cfg.has_edge(head, tail));
+        assert_eq!(lifted.cfg.block(head).instruction_count(), 1);
+        assert_eq!(lifted.cfg.block(tail).instruction_count(), 2);
+        assert_eq!(lifted.dead_block_count, 1);
+    }
+
+    #[test]
+    fn br_with_equal_arms_dedupes_edge() {
+        let mut code = Vec::new();
+        Instruction::Br {
+            cond: 0,
+            taken: 12,
+            not_taken: 12,
+        }
+        .encode(&mut code); // 0..12
+        Instruction::Ret.encode(&mut code); // 12
+        let lifted = lift(&Binary::new(0, code)).unwrap();
+        assert_eq!(lifted.cfg.node_count(), 2);
+        assert_eq!(lifted.cfg.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_code_is_rejected() {
+        // Construct via parse to bypass Binary::new's assertion.
+        let bytes = {
+            let mut v = Vec::new();
+            v.extend_from_slice(b"SOTB");
+            v.extend_from_slice(&1u16.to_le_bytes());
+            v.extend_from_slice(&[0, 0]);
+            v.extend_from_slice(&0u32.to_le_bytes());
+            v.extend_from_slice(&0u32.to_le_bytes());
+            v
+        };
+        let bin = Binary::parse(&bytes).unwrap();
+        assert!(matches!(lift(&bin), Err(CorpusError::BadImage(_))));
+    }
+}

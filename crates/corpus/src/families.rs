@@ -1,0 +1,253 @@
+//! Malware families and their structural generation profiles.
+//!
+//! The paper's corpus spans one benign class and three IoT malware
+//! families. Our synthetic generator gives each class a *structural
+//! profile*: a node-count distribution calibrated to the sizes the paper
+//! reports (Table III: per-class min/median/max node counts) and a mix of
+//! control-flow motifs loosely modeled on what those families actually look
+//! like (Mirai's wide attack-vector dispatcher, Gafgyt's command-loop
+//! if-else chains, Tsunami's compact IRC command loop, diverse benign
+//! code).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sample class: benign or one of the three IoT malware families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Benign IoT software.
+    Benign,
+    /// The Gafgyt (a.k.a. BASHLITE) botnet family.
+    Gafgyt,
+    /// The Mirai botnet family.
+    Mirai,
+    /// The Tsunami (a.k.a. Kaiten) IRC-bot family.
+    Tsunami,
+}
+
+impl Family {
+    /// All classes, in the fixed order used for class indices everywhere.
+    pub const ALL: [Family; 4] = [Family::Benign, Family::Gafgyt, Family::Mirai, Family::Tsunami];
+
+    /// The malware families (everything but `Benign`).
+    pub const MALWARE: [Family; 3] = [Family::Gafgyt, Family::Mirai, Family::Tsunami];
+
+    /// Dense class index (0..4) in `ALL` order.
+    pub fn index(self) -> usize {
+        match self {
+            Family::Benign => 0,
+            Family::Gafgyt => 1,
+            Family::Mirai => 2,
+            Family::Tsunami => 3,
+        }
+    }
+
+    /// Inverse of [`index`](Family::index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn from_index(i: usize) -> Family {
+        Family::ALL[i]
+    }
+
+    /// Whether this class is a malware family.
+    pub fn is_malware(self) -> bool {
+        self != Family::Benign
+    }
+
+    /// Canonical lowercase name (the form AVClass would output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Benign => "benign",
+            Family::Gafgyt => "gafgyt",
+            Family::Mirai => "mirai",
+            Family::Tsunami => "tsunami",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structural generation profile for a class.
+///
+/// `min/median/max_nodes` follow Table III of the paper. `size_sigma` is
+/// the log-scale spread of the node-count distribution (sampled as
+/// `median · exp(σ·z)`, clamped to `[min, max]`). The motif weights shape
+/// the recursive construct grammar in [`motifs`](crate::motifs); the
+/// dispatcher fields describe the family's signature motif.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FamilyProfile {
+    /// Smallest graph this class produces.
+    pub min_nodes: usize,
+    /// Median graph size.
+    pub median_nodes: usize,
+    /// Largest graph this class produces.
+    pub max_nodes: usize,
+    /// Log-normal spread of graph sizes.
+    pub size_sigma: f64,
+    /// Relative weight of straight-line sequences.
+    pub w_seq: f64,
+    /// Relative weight of one-armed conditionals.
+    pub w_if: f64,
+    /// Relative weight of two-armed conditionals.
+    pub w_if_else: f64,
+    /// Relative weight of `while` loops.
+    pub w_while: f64,
+    /// Relative weight of `do/while` loops.
+    pub w_do_while: f64,
+    /// Relative weight of multi-way dispatch.
+    pub w_switch: f64,
+    /// Range of `switch` arity (inclusive).
+    pub switch_width: (usize, usize),
+    /// Probability that a switch case loops back to the dispatcher (the
+    /// command-loop shape).
+    pub case_loopback: f64,
+    /// Range of instructions per basic block (inclusive).
+    pub block_insns: (u32, u32),
+    /// Fraction of the corpus-wide lineage budget this class uses. Benign
+    /// software comes from many unrelated codebases (share 1.0); each
+    /// malware family descends from one or two leaked sources, so its
+    /// variants cluster far more tightly.
+    pub lineage_share: f64,
+}
+
+impl Family {
+    /// This class's generation profile.
+    pub fn profile(self) -> FamilyProfile {
+        match self {
+            // Diverse application code: wide size range, balanced construct
+            // mix, narrow switches, few loop-backs.
+            Family::Benign => FamilyProfile {
+                min_nodes: 10,
+                median_nodes: 50,
+                max_nodes: 443,
+                size_sigma: 0.85,
+                w_seq: 0.30,
+                w_if: 0.20,
+                w_if_else: 0.20,
+                w_while: 0.15,
+                w_do_while: 0.05,
+                w_switch: 0.10,
+                switch_width: (3, 5),
+                case_loopback: 0.10,
+                block_insns: (1, 12),
+                lineage_share: 1.0,
+            },
+            // Command loop built from chained if/else on the command
+            // string; moderate sizes.
+            Family::Gafgyt => FamilyProfile {
+                min_nodes: 13,
+                median_nodes: 64,
+                max_nodes: 133,
+                size_sigma: 0.40,
+                w_seq: 0.18,
+                w_if: 0.12,
+                w_if_else: 0.42,
+                w_while: 0.16,
+                w_do_while: 0.02,
+                w_switch: 0.10,
+                switch_width: (3, 4),
+                case_loopback: 0.55,
+                block_insns: (2, 9),
+                lineage_share: 0.30,
+            },
+            // Attack-vector dispatcher: wide switches whose cases loop back,
+            // plus tight scanner loops.
+            Family::Mirai => FamilyProfile {
+                min_nodes: 12,
+                median_nodes: 48,
+                max_nodes: 235,
+                size_sigma: 0.55,
+                w_seq: 0.15,
+                w_if: 0.10,
+                w_if_else: 0.10,
+                w_while: 0.20,
+                w_do_while: 0.10,
+                w_switch: 0.35,
+                switch_width: (6, 14),
+                case_loopback: 0.80,
+                block_insns: (1, 6),
+                lineage_share: 0.45,
+            },
+            // Compact IRC bot: a central loop around a modest dispatcher.
+            Family::Tsunami => FamilyProfile {
+                min_nodes: 15,
+                median_nodes: 46,
+                max_nodes: 79,
+                size_sigma: 0.25,
+                w_seq: 0.22,
+                w_if: 0.18,
+                w_if_else: 0.15,
+                w_while: 0.25,
+                w_do_while: 0.05,
+                w_switch: 0.15,
+                switch_width: (4, 7),
+                case_loopback: 0.65,
+                block_insns: (2, 8),
+                lineage_share: 0.30,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_index(f.index()), f);
+        }
+    }
+
+    #[test]
+    fn benign_is_not_malware() {
+        assert!(!Family::Benign.is_malware());
+        for f in Family::MALWARE {
+            assert!(f.is_malware());
+        }
+    }
+
+    #[test]
+    fn names_are_lowercase() {
+        for f in Family::ALL {
+            assert_eq!(f.name(), f.name().to_lowercase());
+            assert_eq!(f.to_string(), f.name());
+        }
+    }
+
+    #[test]
+    fn profiles_match_table_iii_size_bounds() {
+        assert_eq!(Family::Benign.profile().min_nodes, 10);
+        assert_eq!(Family::Benign.profile().max_nodes, 443);
+        assert_eq!(Family::Gafgyt.profile().min_nodes, 13);
+        assert_eq!(Family::Gafgyt.profile().max_nodes, 133);
+        assert_eq!(Family::Mirai.profile().min_nodes, 12);
+        assert_eq!(Family::Mirai.profile().max_nodes, 235);
+        assert_eq!(Family::Tsunami.profile().min_nodes, 15);
+        assert_eq!(Family::Tsunami.profile().max_nodes, 79);
+    }
+
+    #[test]
+    fn profile_weights_are_positive_and_bounded() {
+        for f in Family::ALL {
+            let p = f.profile();
+            for w in [p.w_seq, p.w_if, p.w_if_else, p.w_while, p.w_do_while, p.w_switch] {
+                assert!((0.0..=1.0).contains(&w));
+            }
+            assert!(p.switch_width.0 >= 2);
+            assert!(p.switch_width.0 <= p.switch_width.1);
+            assert!(p.block_insns.0 >= 1);
+            assert!(p.block_insns.0 <= p.block_insns.1);
+            assert!(p.lineage_share > 0.0 && p.lineage_share <= 1.0);
+            assert!((0.0..=1.0).contains(&p.case_loopback));
+            assert!(p.min_nodes <= p.median_nodes && p.median_nodes <= p.max_nodes);
+        }
+    }
+}

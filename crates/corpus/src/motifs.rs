@@ -1,0 +1,319 @@
+//! Structured control-flow motifs: the recursive grammar that grows a CFG
+//! to a target size under a family profile.
+//!
+//! The grammar mirrors how structured source compiles: every construct is a
+//! single-entry/single-exit region, so the generated graphs are reducible
+//! and look like compiler output rather than random digraphs. Constructs:
+//!
+//! * `block` — one basic block,
+//! * `seq` — region followed by region,
+//! * `if` / `if-else` — one- and two-armed conditionals with a join block,
+//! * `while` — loop header branching to body and join, body returning to
+//!   the header,
+//! * `do-while` — body first, conditional latch back to the body,
+//! * `switch(k)` — a dispatcher block fanning out to `k` case regions that
+//!   either rejoin or loop back to the dispatcher (the bot command-loop
+//!   shape).
+
+use crate::families::FamilyProfile;
+use rand::Rng;
+use soteria_cfg::{BlockId, Cfg, CfgBuilder};
+
+/// A single-entry/single-exit region under construction.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    entry: BlockId,
+    exit: BlockId,
+}
+
+/// Grows a CFG with roughly `target_nodes` blocks under `profile`,
+/// returning the finished graph. The actual node count can exceed the
+/// target by a small constant (a construct is never left half-built) and is
+/// never below `min(target_nodes, 3)`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use soteria_corpus::{families::Family, motifs};
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let cfg = motifs::grow(&mut rng, &Family::Mirai.profile(), 40);
+/// assert!(cfg.node_count() >= 30);
+/// // Structured generation keeps every block reachable.
+/// assert!(cfg.reachable().iter().all(|&r| r));
+/// ```
+pub fn grow<R: Rng>(rng: &mut R, profile: &FamilyProfile, target_nodes: usize) -> Cfg {
+    let mut g = Grower {
+        b: CfgBuilder::with_capacity(target_nodes + 8),
+        rng,
+        profile,
+        // One slot is reserved up front for the final return block.
+        remaining: target_nodes.max(3) as isize - 1,
+        reserved: 0,
+    };
+    // The program is a top-level sequence of regions, appended until the
+    // node budget is spent, closed by a final return block.
+    let first = g.region(0);
+    let mut exit = first.exit;
+    while g.remaining > 1 {
+        let next = g.region(0);
+        g.edge(exit, next.entry);
+        exit = next.exit;
+    }
+    let end = g.block();
+    g.edge(exit, end);
+    let Grower { b, .. } = g;
+    b.build(first.entry).expect("grown graph is non-empty")
+}
+
+struct Grower<'a, R: Rng> {
+    b: CfgBuilder,
+    rng: &'a mut R,
+    profile: &'a FamilyProfile,
+    remaining: isize,
+    /// Blocks promised to pending sibling regions and join blocks; the
+    /// construct picker treats them as already spent so deeply nested
+    /// constructs cannot blow past the budget.
+    reserved: isize,
+}
+
+impl<R: Rng> Grower<'_, R> {
+    fn block(&mut self) -> BlockId {
+        self.remaining -= 1;
+        let (lo, hi) = self.profile.block_insns;
+        let insns = self.rng.gen_range(lo..=hi);
+        self.b.add_block(0, insns)
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        self.b
+            .add_edge_idempotent(from, to)
+            .expect("edges reference freshly created blocks");
+    }
+
+    /// Builds a sub-region while holding back `extra` budget slots for
+    /// pending siblings/joins of the enclosing construct.
+    fn sub_region(&mut self, depth: usize, extra: isize) -> Region {
+        self.reserved += extra;
+        let r = self.region(depth);
+        self.reserved -= extra;
+        r
+    }
+
+    /// Builds one region. `depth` bounds the recursion so pathological
+    /// weight mixes cannot stack-overflow.
+    fn region(&mut self, depth: usize) -> Region {
+        if self.remaining - self.reserved <= 1 || depth >= 24 {
+            let only = self.block();
+            return Region { entry: only, exit: only };
+        }
+        match self.pick_construct() {
+            Construct::Block => {
+                let only = self.block();
+                Region { entry: only, exit: only }
+            }
+            Construct::Seq => {
+                let first = self.sub_region(depth + 1, 1);
+                let second = self.region(depth + 1);
+                self.edge(first.exit, second.entry);
+                Region {
+                    entry: first.entry,
+                    exit: second.exit,
+                }
+            }
+            Construct::If => {
+                let head = self.block();
+                let then = self.sub_region(depth + 1, 1);
+                let join = self.block();
+                self.edge(head, then.entry);
+                self.edge(head, join);
+                self.edge(then.exit, join);
+                Region { entry: head, exit: join }
+            }
+            Construct::IfElse => {
+                let head = self.block();
+                let then = self.sub_region(depth + 1, 2);
+                let els = self.sub_region(depth + 1, 1);
+                let join = self.block();
+                self.edge(head, then.entry);
+                self.edge(head, els.entry);
+                self.edge(then.exit, join);
+                self.edge(els.exit, join);
+                Region { entry: head, exit: join }
+            }
+            Construct::While => {
+                let head = self.block();
+                let body = self.sub_region(depth + 1, 1);
+                let join = self.block();
+                self.edge(head, body.entry);
+                self.edge(head, join);
+                self.edge(body.exit, head);
+                Region { entry: head, exit: join }
+            }
+            Construct::DoWhile => {
+                let body = self.sub_region(depth + 1, 2);
+                let latch = self.block();
+                let join = self.block();
+                self.edge(body.exit, latch);
+                self.edge(latch, body.entry);
+                self.edge(latch, join);
+                Region {
+                    entry: body.entry,
+                    exit: join,
+                }
+            }
+            Construct::Switch(k) => {
+                let head = self.block();
+                let join = self.block();
+                for i in 0..k {
+                    // Hold one slot for every case still to be built.
+                    let case = self.sub_region(depth + 1, (k - 1 - i) as isize);
+                    self.edge(head, case.entry);
+                    if self.rng.gen_bool(self.profile.case_loopback) {
+                        self.edge(case.exit, head);
+                    } else {
+                        self.edge(case.exit, join);
+                    }
+                }
+                // The dispatcher's fall-out arm (default / exit command).
+                self.edge(head, join);
+                Region { entry: head, exit: join }
+            }
+        }
+    }
+
+    fn pick_construct(&mut self) -> Construct {
+        let p = self.profile;
+        // Big constructs are disabled near the budget's end so the graph
+        // lands near its target size.
+        let room = self.remaining - self.reserved;
+        let mut weights: Vec<(Construct, f64)> = vec![(Construct::Block, p.w_seq * 0.5)];
+        if room >= 2 {
+            weights.push((Construct::Seq, p.w_seq));
+        }
+        if room >= 3 {
+            weights.push((Construct::If, p.w_if));
+            weights.push((Construct::While, p.w_while));
+            weights.push((Construct::DoWhile, p.w_do_while));
+        }
+        if room >= 4 {
+            weights.push((Construct::IfElse, p.w_if_else));
+        }
+        let min_switch = p.switch_width.0 as isize + 2;
+        if room >= min_switch {
+            let hi = (p.switch_width.1 as isize).min(room - 2) as usize;
+            let k = self.rng.gen_range(p.switch_width.0..=hi.max(p.switch_width.0));
+            weights.push((Construct::Switch(k), p.w_switch));
+        }
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut roll = self.rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (c, w) in &weights {
+            if roll < *w {
+                return *c;
+            }
+            roll -= w;
+        }
+        Construct::Block
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Construct {
+    Block,
+    Seq,
+    If,
+    IfElse,
+    While,
+    DoWhile,
+    Switch(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::Family;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn grown_graphs_are_fully_reachable() {
+        for f in Family::ALL {
+            let mut r = rng(f.index() as u64);
+            let g = grow(&mut r, &f.profile(), 60);
+            assert!(
+                g.reachable().iter().all(|&x| x),
+                "{f}: unreachable block in structured graph"
+            );
+        }
+    }
+
+    #[test]
+    fn grown_graphs_track_target_size() {
+        let mut r = rng(9);
+        for target in [10, 40, 120, 400] {
+            let g = grow(&mut r, &Family::Benign.profile(), target);
+            let n = g.node_count();
+            assert!(
+                n >= target.min(3) && n <= target + target / 2 + 20,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g1 = grow(&mut rng(42), &Family::Mirai.profile(), 50);
+        let g2 = grow(&mut rng(42), &Family::Mirai.profile(), 50);
+        assert_eq!(g1, g2);
+        let g3 = grow(&mut rng(43), &Family::Mirai.profile(), 50);
+        assert_ne!(g1, g3, "different seeds should differ");
+    }
+
+    #[test]
+    fn graphs_have_single_sink() {
+        // The grammar ends every program with one return block; structured
+        // regions never create other sinks.
+        let mut r = rng(5);
+        let g = grow(&mut r, &Family::Tsunami.profile(), 45);
+        assert_eq!(g.exits().len(), 1);
+    }
+
+    #[test]
+    fn mirai_produces_wider_fanout_than_gafgyt() {
+        // Signature check: Mirai's dispatcher switches produce nodes of
+        // higher max out-degree than Gafgyt's if-else chains, on average.
+        let max_out = |fam: Family, seed| {
+            let mut r = rng(seed);
+            let g = grow(&mut r, &fam.profile(), 80);
+            g.block_ids().map(|b| g.out_degree(b)).max().unwrap_or(0)
+        };
+        let mirai: usize = (0..10).map(|s| max_out(Family::Mirai, s)).sum();
+        let gafgyt: usize = (0..10).map(|s| max_out(Family::Gafgyt, s)).sum();
+        assert!(
+            mirai > gafgyt,
+            "expected Mirai fanout ({mirai}) > Gafgyt fanout ({gafgyt})"
+        );
+    }
+
+    #[test]
+    fn tiny_target_still_builds() {
+        let mut r = rng(1);
+        let g = grow(&mut r, &Family::Benign.profile(), 1);
+        assert!(g.node_count() >= 2); // region + final return block
+    }
+
+    #[test]
+    fn entry_is_region_entry() {
+        let mut r = rng(2);
+        let g = grow(&mut r, &Family::Gafgyt.profile(), 30);
+        // The entry must have level 0 and every node a level.
+        let lv = g.levels();
+        assert_eq!(lv[g.entry().index()], Some(0));
+        assert!(lv.iter().all(|l| l.is_some()));
+    }
+}

@@ -1,0 +1,123 @@
+//! Small structural mutations applied to a lineage base graph to produce
+//! variant samples.
+//!
+//! Real IoT malware corpora are dominated by *variants*: thousands of
+//! builds patched from a handful of leaked codebases (Mirai, Gafgyt). A
+//! variant differs from its base by a few inserted blocks — an extra
+//! check, a new command, a changed loop — not by a wholesale rewrite.
+//! These mutations model that: each one splices a new block into an
+//! existing edge or hangs a small conditional off an existing block.
+
+use rand::Rng;
+use soteria_cfg::{BlockId, Cfg, CfgBuilder};
+
+/// Applies `count` random structural mutations to `cfg`, returning the
+/// mutated graph. Mutations preserve reachability (new blocks are spliced
+/// into reachable edges) and never remove existing behavior.
+pub fn mutate<R: Rng>(cfg: &Cfg, count: usize, rng: &mut R) -> Cfg {
+    let mut builder = CfgBuilder::from(cfg);
+    let mut edges: Vec<(BlockId, BlockId)> = cfg.edges().collect();
+    for _ in 0..count {
+        if edges.is_empty() {
+            break;
+        }
+        let (u, v) = edges[rng.gen_range(0..edges.len())];
+        let insns = rng.gen_range(1..=6);
+        let w = builder.add_block(0, insns);
+        match rng.gen_range(0..3u8) {
+            // Splice a pass-through block alongside the edge: u -> w -> v.
+            // The original edge stays, so u gains a branch (an inserted
+            // alternate path, e.g. a new sanity check).
+            0 => {
+                let _ = builder.add_edge_idempotent(u, w);
+                let _ = builder.add_edge_idempotent(w, v);
+            }
+            // Hang a conditional detour that returns to u (a retry loop).
+            1 => {
+                let _ = builder.add_edge_idempotent(u, w);
+                let _ = builder.add_edge_idempotent(w, u);
+            }
+            // A short dead-end handler off v (error-exit style): v -> w,
+            // w terminates.
+            _ => {
+                let _ = builder.add_edge_idempotent(v, w);
+            }
+        }
+        edges.push((u, w));
+    }
+    builder.build(cfg.entry()).expect("mutated graph builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use soteria_corpus_test_util::diamond;
+
+    /// Local test helper module (kept inline to avoid a dev-only crate).
+    mod soteria_corpus_test_util {
+        use soteria_cfg::{Cfg, CfgBuilder};
+
+        pub fn diamond() -> Cfg {
+            let mut b = CfgBuilder::new();
+            let e = b.add_block(0, 2);
+            let l = b.add_block(1, 2);
+            let r = b.add_block(2, 2);
+            let x = b.add_block(3, 1);
+            b.add_edge(e, l).unwrap();
+            b.add_edge(e, r).unwrap();
+            b.add_edge(l, x).unwrap();
+            b.add_edge(r, x).unwrap();
+            b.build(e).unwrap()
+        }
+    }
+
+    #[test]
+    fn mutations_grow_the_graph() {
+        let base = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = mutate(&base, 5, &mut rng);
+        assert_eq!(m.node_count(), base.node_count() + 5);
+        assert!(m.edge_count() > base.edge_count());
+    }
+
+    #[test]
+    fn zero_mutations_is_identity() {
+        let base = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(mutate(&base, 0, &mut rng), base);
+    }
+
+    #[test]
+    fn mutated_graphs_stay_fully_reachable() {
+        let base = diamond();
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let m = mutate(&base, 8, &mut rng);
+            assert!(
+                m.reachable().iter().all(|&r| r),
+                "seed {seed}: unreachable block after mutation"
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_preserve_original_blocks_and_edges() {
+        let base = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = mutate(&base, 4, &mut rng);
+        for (f, t) in base.edges() {
+            assert!(m.has_edge(f, t), "original edge {f}->{t} lost");
+        }
+        assert_eq!(m.entry(), base.entry());
+    }
+
+    #[test]
+    fn different_seeds_give_different_variants() {
+        let base = diamond();
+        let mut r1 = ChaCha8Rng::seed_from_u64(4);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        assert_ne!(mutate(&base, 4, &mut r1), mutate(&base, 4, &mut r2));
+    }
+}

@@ -1,0 +1,303 @@
+//! A reference interpreter for SotVM binaries.
+//!
+//! The paper's entire threat model rests on *functionality preservation*:
+//! a practical AE must execute exactly like the original, and the
+//! impractical byte-appending manipulations must not execute at all. The
+//! interpreter makes both claims testable — run a binary, collect its
+//! syscall trace and the set of executed blocks, and compare.
+//!
+//! ## Machine model
+//!
+//! * 8 general-purpose `u32` registers, all starting at 0.
+//! * 256 bytes-of-`u32` frame memory, zero-initialized.
+//! * `alu` applies `func % 4` ∈ {add, xor, rotate-left, multiply} of the
+//!   two packed operand registers into the first.
+//! * `load`/`store` move between a register and `frame[offset % 256]`.
+//! * `syscall` records `(num, reg0)` in the observable trace.
+//! * `br` takes its first arm iff `reg[cond % 8]` is even; `switch`
+//!   indexes its table by `reg0 % len`.
+//! * `ret`/`halt` stop the program; a fuel limit bounds runaway loops.
+
+use crate::binary::Binary;
+use crate::error::CorpusError;
+use crate::isa::Instruction;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Number of general-purpose registers.
+pub const REGISTERS: usize = 8;
+/// Frame memory slots.
+pub const FRAME_SLOTS: usize = 256;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stop {
+    /// A `ret` was executed.
+    Returned,
+    /// A `halt` was executed.
+    Halted,
+    /// The fuel limit was reached mid-execution.
+    OutOfFuel,
+}
+
+/// The observable result of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// `(syscall number, reg0 at the call)` in execution order.
+    pub syscalls: Vec<(u8, u32)>,
+    /// Byte offsets of every instruction executed at least once.
+    pub executed_offsets: BTreeSet<u32>,
+    /// Instructions executed (with multiplicity).
+    pub steps: u64,
+    /// Why the program stopped.
+    pub stop: Stop,
+}
+
+/// Executes `binary` with the given fuel (instruction budget).
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Decode`] if execution reaches undecodable bytes
+/// and [`CorpusError::BadBranchTarget`] if a branch leaves the code
+/// section — neither can happen for assembler-produced binaries.
+///
+/// # Example
+///
+/// ```
+/// use soteria_corpus::{vm, Binary};
+///
+/// # fn main() -> Result<(), soteria_corpus::CorpusError> {
+/// // syscall 7; ret
+/// let code = vec![0x04, 7, 0, 0, 0x20, 0, 0, 0];
+/// let trace = vm::run(&Binary::new(0, code), 100)?;
+/// assert_eq!(trace.syscalls, vec![(7, 0)]);
+/// assert_eq!(trace.stop, vm::Stop::Returned);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(binary: &Binary, fuel: u64) -> Result<Trace, CorpusError> {
+    let code = binary.code();
+    let mut regs = [0u32; REGISTERS];
+    let mut frame = [0u32; FRAME_SLOTS];
+    let mut pc = binary.entry();
+    let mut trace = Trace {
+        syscalls: Vec::new(),
+        executed_offsets: BTreeSet::new(),
+        steps: 0,
+        stop: Stop::OutOfFuel,
+    };
+
+    while trace.steps < fuel {
+        if pc as usize >= code.len() {
+            return Err(CorpusError::BadBranchTarget { target: pc });
+        }
+        let insn = Instruction::decode(code, pc as usize).map_err(|source| {
+            CorpusError::Decode {
+                offset: pc as usize,
+                source,
+            }
+        })?;
+        trace.executed_offsets.insert(pc);
+        trace.steps += 1;
+        let len = insn.encoded_len() as u32;
+        match insn {
+            Instruction::Nop => pc += len,
+            Instruction::Alu { func, regs: packed } => {
+                let dst = (packed & 0x7) as usize;
+                let src = ((packed >> 3) & 0x7) as usize;
+                regs[dst] = match func % 4 {
+                    0 => regs[dst].wrapping_add(regs[src] | 1),
+                    1 => regs[dst] ^ regs[src] ^ u32::from(func),
+                    2 => regs[dst].rotate_left(u32::from(func) % 31 + 1),
+                    _ => regs[dst].wrapping_mul(regs[src] | 3),
+                };
+                pc += len;
+            }
+            Instruction::Load { reg, offset } => {
+                regs[reg as usize % REGISTERS] = frame[offset as usize % FRAME_SLOTS];
+                pc += len;
+            }
+            Instruction::Store { reg, offset } => {
+                frame[offset as usize % FRAME_SLOTS] = regs[reg as usize % REGISTERS];
+                pc += len;
+            }
+            Instruction::Syscall { num } => {
+                trace.syscalls.push((num, regs[0]));
+                pc += len;
+            }
+            Instruction::Call { .. } => pc += len,
+            Instruction::Jmp { target } => pc = target,
+            Instruction::Br {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                pc = if regs[cond as usize % REGISTERS] % 2 == 0 {
+                    taken
+                } else {
+                    not_taken
+                };
+            }
+            Instruction::Switch { targets } => {
+                if targets.is_empty() {
+                    trace.stop = Stop::Halted;
+                    return Ok(trace);
+                }
+                pc = targets[regs[0] as usize % targets.len()];
+            }
+            Instruction::Ret => {
+                trace.stop = Stop::Returned;
+                return Ok(trace);
+            }
+            Instruction::Halt => {
+                trace.stop = Stop::Halted;
+                return Ok(trace);
+            }
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use crate::disasm;
+    use crate::{Family, SampleGenerator};
+
+    fn sample_binary() -> Binary {
+        SampleGenerator::new(123)
+            .generate(Family::Gafgyt)
+            .binary()
+            .clone()
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let bin = sample_binary();
+        let a = run(&bin, 10_000).unwrap();
+        let b = run(&bin, 10_000).unwrap();
+        assert_eq!(a, b);
+        assert!(a.steps > 0);
+    }
+
+    #[test]
+    fn appended_bytes_never_execute() {
+        // The paper's impractical-AE premise, proven by execution.
+        let clean = sample_binary();
+        let reference = run(&clean, 10_000).unwrap();
+
+        let mut trailed = clean.clone();
+        trailed.append_trailing(&[0xAB; 512]);
+        assert_eq!(run(&trailed, 10_000).unwrap(), reference);
+
+        let mut dead = clean.clone();
+        let base = dead.code().len() as u32;
+        dead.append_dead_code(&asm::dead_fragment(base, 4));
+        let dead_trace = run(&dead, 10_000).unwrap();
+        assert_eq!(dead_trace.syscalls, reference.syscalls);
+        // No executed offset lies in the injected region.
+        assert!(dead_trace.executed_offsets.iter().all(|&o| o < base));
+    }
+
+    #[test]
+    fn executed_blocks_are_a_subset_of_reachable_blocks() {
+        let bin = sample_binary();
+        let trace = run(&bin, 50_000).unwrap();
+        let lifted = disasm::lift(&bin).unwrap();
+        let reachable = lifted.cfg.reachable();
+        // Map each executed offset to its containing block and check
+        // reachability.
+        for &off in &trace.executed_offsets {
+            let block = lifted
+                .cfg
+                .block_ids()
+                .filter(|&b| lifted.cfg.block(b).address() <= u64::from(off))
+                .max_by_key(|&b| lifted.cfg.block(b).address())
+                .expect("offset within some block");
+            assert!(
+                reachable[block.index()],
+                "executed offset {off:#x} in unreachable block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        // jmp 0 — a tight infinite loop.
+        let code = vec![0x10, 0, 0, 0, 0, 0, 0, 0];
+        let trace = run(&Binary::new(0, code), 500).unwrap();
+        assert_eq!(trace.stop, Stop::OutOfFuel);
+        assert_eq!(trace.steps, 500);
+    }
+
+    #[test]
+    fn branch_follows_register_parity() {
+        // store 0 -> reg0 stays 0 (even) -> br takes first arm (ret at 12);
+        // second arm is halt at 16.
+        let mut code = Vec::new();
+        Instruction::Br {
+            cond: 0,
+            taken: 12,
+            not_taken: 16,
+        }
+        .encode(&mut code); // 0..12
+        Instruction::Ret.encode(&mut code); // 12
+        Instruction::Halt.encode(&mut code); // 16
+        let trace = run(&Binary::new(0, code), 10).unwrap();
+        assert_eq!(trace.stop, Stop::Returned);
+    }
+
+    #[test]
+    fn switch_dispatches_by_reg0() {
+        // switch [8, 12]; ret; halt — reg0 = 0 -> first target (ret).
+        let mut code = Vec::new();
+        Instruction::Switch {
+            targets: vec![12, 16],
+        }
+        .encode(&mut code); // 0..12
+        Instruction::Ret.encode(&mut code); // 12
+        Instruction::Halt.encode(&mut code); // 16
+        let trace = run(&Binary::new(0, code), 10).unwrap();
+        assert_eq!(trace.stop, Stop::Returned);
+    }
+
+    #[test]
+    fn empty_switch_halts() {
+        let mut code = Vec::new();
+        Instruction::Switch { targets: vec![] }.encode(&mut code);
+        let trace = run(&Binary::new(0, code), 10).unwrap();
+        assert_eq!(trace.stop, Stop::Halted);
+    }
+
+    #[test]
+    fn branch_out_of_code_is_an_error() {
+        let mut code = Vec::new();
+        Instruction::Jmp { target: 4096 }.encode(&mut code);
+        assert!(matches!(
+            run(&Binary::new(0, code), 10),
+            Err(CorpusError::BadBranchTarget { target: 4096 })
+        ));
+    }
+
+    #[test]
+    fn syscalls_record_number_and_reg0() {
+        // alu add reg0 += reg1|1 (=1); syscall 9; ret.
+        let mut code = Vec::new();
+        Instruction::Alu { func: 0, regs: 0b001_000 }.encode(&mut code);
+        Instruction::Syscall { num: 9 }.encode(&mut code);
+        Instruction::Ret.encode(&mut code);
+        let trace = run(&Binary::new(0, code), 10).unwrap();
+        assert_eq!(trace.syscalls, vec![(9, 1)]);
+    }
+
+    #[test]
+    fn all_generated_families_execute_to_completion_or_fuel() {
+        let mut gen = SampleGenerator::new(9);
+        for f in Family::ALL {
+            let s = gen.generate(f);
+            let trace = run(s.binary(), 20_000).unwrap();
+            assert!(trace.steps > 0, "{f}: no instructions executed");
+        }
+    }
+}

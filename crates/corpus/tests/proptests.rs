@@ -1,0 +1,88 @@
+//! Property-based tests: the assembler/disassembler round trip and the
+//! generator's structural guarantees.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use soteria_corpus::{asm, disasm, motifs, Binary, Family, SampleGenerator};
+
+proptest! {
+    /// Any structured graph the motif grammar can produce must survive the
+    /// assemble -> lift round trip exactly.
+    #[test]
+    fn structured_graphs_round_trip(seed in 0u64..500, target in 3usize..120,
+                                    fam in 0usize..4) {
+        let family = Family::from_index(fam);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = motifs::grow(&mut rng, &family.profile(), target);
+        let lowered = asm::assemble(&cfg);
+        let lifted = disasm::lift(&lowered.binary).expect("lift");
+        prop_assert_eq!(lifted.cfg, lowered.laid_out);
+        prop_assert_eq!(lifted.dead_block_count, 0);
+        prop_assert!(lifted.data_ranges.is_empty());
+    }
+
+    /// Appending trailing junk never changes the lifted graph.
+    #[test]
+    fn trailing_junk_is_invisible(seed in 0u64..200, junk in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut gen = SampleGenerator::new(seed);
+        let sample = gen.generate(Family::Gafgyt);
+        let clean = disasm::lift(sample.binary()).expect("lift clean");
+
+        let mut bytes = sample.binary().to_bytes();
+        bytes.extend_from_slice(&junk);
+        let dirty_bin = Binary::parse(&bytes).expect("still parses");
+        let dirty = disasm::lift(&dirty_bin).expect("lift dirty");
+        prop_assert_eq!(clean.cfg, dirty.cfg);
+    }
+
+    /// Dead-code injection grows the full graph but never the reachable
+    /// view.
+    #[test]
+    fn dead_code_never_reaches_features(seed in 0u64..200, blocks in 1usize..6) {
+        let mut gen = SampleGenerator::new(seed);
+        let sample = gen.generate(Family::Mirai);
+        let mut binary = sample.binary().clone();
+        let base = binary.code().len() as u32;
+        binary.append_dead_code(&asm::dead_fragment(base, blocks));
+
+        let lifted = disasm::lift(&binary).expect("lift");
+        prop_assert_eq!(lifted.dead_block_count, blocks);
+        prop_assert_eq!(
+            lifted.reachable_cfg().node_count(),
+            sample.graph().node_count()
+        );
+    }
+
+    /// The generator's samples always have levels for every node (fully
+    /// reachable) and at least one exit block.
+    #[test]
+    fn generated_samples_are_well_formed(seed in 0u64..300, fam in 0usize..4) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::from_index(fam));
+        let g = s.graph();
+        prop_assert!(g.levels().iter().all(|l| l.is_some()));
+        prop_assert!(!g.exits().is_empty());
+        let p = Family::from_index(fam).profile();
+        prop_assert!(g.node_count() >= p.min_nodes.min(3));
+    }
+
+    /// Structured motif growth always produces *reducible* graphs (all
+    /// loops natural) — the property that makes the synthetic corpus look
+    /// like compiler output.
+    #[test]
+    fn generated_graphs_are_reducible(seed in 0u64..200, fam in 0usize..4) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::from_index(fam));
+        prop_assert!(soteria_cfg::dominators::is_reducible(s.graph()));
+    }
+
+    /// Binary serialization round-trips byte-for-byte.
+    #[test]
+    fn binary_bytes_round_trip(seed in 0u64..200) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::Tsunami);
+        let parsed = Binary::parse(&s.binary().to_bytes()).expect("parse");
+        prop_assert_eq!(&parsed, s.binary());
+    }
+}

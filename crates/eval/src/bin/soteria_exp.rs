@@ -1,0 +1,181 @@
+//! `soteria-exp` — regenerate any table or figure of the Soteria paper.
+//!
+//! ```text
+//! soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F]
+//!             [--out DIR] <experiment>...
+//!
+//! experiments: table2 table3 table4 table6 table7 table8
+//!              fig8 fig9_11 fig12 fig13 adaptive robustness
+//!              | all (paper artifacts) | ext (everything)
+//! ```
+//!
+//! Tables print to stdout; with `--out DIR`, each table is also written as
+//! CSV for plotting.
+
+use soteria_eval::experiments::{self, ALL_EXPERIMENTS, PAPER_EXPERIMENTS};
+use soteria_eval::{EvalConfig, ExperimentContext};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    preset: String,
+    seed: u64,
+    scale: Option<f64>,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F] \
+     [--out DIR] <experiment>...\n       experiments: table2 table3 table4 table6 \
+     table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        preset: "standard".into(),
+        seed: 7,
+        scale: None,
+        out: None,
+        experiments: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--preset" => {
+                args.preset = it.next().ok_or("--preset needs a value")?.clone();
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--scale" => {
+                args.scale = Some(
+                    it.next()
+                        .ok_or("--scale needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad scale: {e}"))?,
+                );
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            exp if !exp.starts_with('-') => args.experiments.push(exp.to_string()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.experiments.is_empty() {
+        return Err(format!("no experiment given\n{}", usage()));
+    }
+    if args.experiments.iter().any(|e| e == "all") {
+        args.experiments = PAPER_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if args.experiments.iter().any(|e| e == "ext") {
+        args.experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for e in &args.experiments {
+        if !ALL_EXPERIMENTS.contains(&e.as_str()) {
+            return Err(format!("unknown experiment {e}\n{}", usage()));
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = match args.preset.as_str() {
+        "quick" => EvalConfig::quick(args.seed),
+        "standard" => EvalConfig::standard(args.seed),
+        "paper" => EvalConfig::paper(args.seed),
+        other => {
+            eprintln!("unknown preset {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(scale) = args.scale {
+        config.corpus_scale = scale;
+    }
+
+    let started = std::time::Instant::now();
+    let mut ctx = ExperimentContext::build(config);
+    for id in &args.experiments {
+        let output = experiments::run(id, &mut ctx);
+        println!("{output}");
+        if let Some(dir) = &args.out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (i, table) in output.tables.iter().enumerate() {
+                let path = dir.join(format!("{id}_{i}.csv"));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[soteria-exp] {} experiment(s) finished in {:.1?}",
+        args.experiments.len(),
+        started.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse_args(&argv(&[
+            "--preset", "quick", "--seed", "9", "--scale", "0.02", "--out", "/tmp/x", "table4",
+            "fig13",
+        ]))
+        .unwrap();
+        assert_eq!(a.preset, "quick");
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.scale, Some(0.02));
+        assert_eq!(a.experiments, vec!["table4", "fig13"]);
+    }
+
+    #[test]
+    fn all_expands_to_the_paper_artifacts() {
+        let a = parse_args(&argv(&["all"])).unwrap();
+        assert_eq!(a.experiments.len(), PAPER_EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn ext_expands_to_every_experiment() {
+        let a = parse_args(&argv(&["ext"])).unwrap();
+        assert_eq!(a.experiments.len(), ALL_EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn rejects_unknown_experiment() {
+        assert!(parse_args(&argv(&["table99"])).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_command_line() {
+        assert!(parse_args(&[]).is_err());
+    }
+}

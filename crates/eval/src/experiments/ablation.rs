@@ -1,0 +1,221 @@
+//! Extension experiment: quality ablations of the feature-pipeline design
+//! choices (walk count, walk length, n-gram mix, feature count).
+//!
+//! For each configuration we re-fit only the feature extractor (models are
+//! not retrained — these metrics are model-free):
+//!
+//! * **stability** — mean cosine similarity between two independent
+//!   extractions of the same sample; the randomization defense costs
+//!   feature stability, and the paper's 10×`5·|V|` walks are the point
+//!   where it stops hurting,
+//! * **separation** — mean distance between class centroids over mean
+//!   within-class spread (a Fisher-style ratio; higher = easier
+//!   classification).
+
+use super::ExperimentOutput;
+use crate::{ExperimentContext, TextTable};
+use soteria_cfg::Cfg;
+use soteria_features::{ExtractorConfig, FeatureExtractor};
+
+/// Samples per class used for the ablation metrics.
+const PER_CLASS: usize = 15;
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na * nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Metrics for one extractor configuration over a probe set.
+fn evaluate(
+    config: &ExtractorConfig,
+    graphs: &[Cfg],
+    labels: &[usize],
+    seed: u64,
+) -> (f64, f64) {
+    let extractor = FeatureExtractor::fit_stratified(config, graphs, labels, 4, seed);
+    let features_a: Vec<Vec<f64>> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| extractor.extract(g, 2 * i as u64).combined().to_vec())
+        .collect();
+    let features_b: Vec<Vec<f64>> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| extractor.extract(g, 2 * i as u64 + 1).combined().to_vec())
+        .collect();
+
+    let stability = features_a
+        .iter()
+        .zip(&features_b)
+        .map(|(a, b)| cosine(a, b))
+        .sum::<f64>()
+        / graphs.len() as f64;
+
+    // Fisher-style separation over the first extraction.
+    let dim = features_a[0].len();
+    let mut centroids = vec![vec![0.0f64; dim]; 4];
+    let mut counts = [0usize; 4];
+    for (f, &l) in features_a.iter().zip(labels) {
+        counts[l] += 1;
+        for (c, x) in centroids[l].iter_mut().zip(f) {
+            *c += x;
+        }
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        if n > 0 {
+            c.iter_mut().for_each(|x| *x /= n as f64);
+        }
+    }
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+    let mut between = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..4 {
+        for j in i + 1..4 {
+            if counts[i] > 0 && counts[j] > 0 {
+                between += dist(&centroids[i], &centroids[j]);
+                pairs += 1;
+            }
+        }
+    }
+    between /= pairs.max(1) as f64;
+    let mut within = 0.0;
+    for (f, &l) in features_a.iter().zip(labels) {
+        within += dist(f, &centroids[l]);
+    }
+    within /= graphs.len() as f64;
+    let separation = if within > 1e-12 { between / within } else { 0.0 };
+    (stability, separation)
+}
+
+/// Runs the ablation sweeps.
+pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
+    // Probe set: a class-balanced slice of the training split.
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..4usize {
+        let mut n = 0;
+        for &idx in &ctx.split.train {
+            let s = &ctx.corpus.samples()[idx];
+            if s.family().index() == class {
+                graphs.push(s.graph().clone());
+                labels.push(class);
+                n += 1;
+                if n >= PER_CLASS {
+                    break;
+                }
+            }
+        }
+    }
+    let base = ctx.config.soteria.extractor.clone();
+    let seed = ctx.config.seed ^ 0xAB1A;
+
+    let mut tables = Vec::new();
+    let sweep = |title: &str, configs: Vec<(String, ExtractorConfig)>| {
+        let mut t = TextTable::new(vec![
+            "config".into(),
+            "stability (cosine)".into(),
+            "class separation".into(),
+        ])
+        .with_title(title.to_string());
+        for (name, config) in configs {
+            let (stab, sep) = evaluate(&config, &graphs, &labels, seed);
+            t.row(vec![name, format!("{stab:.4}"), format!("{sep:.4}")]);
+        }
+        t
+    };
+
+    tables.push(sweep(
+        "Ablation — walks per labeling (paper: 10)",
+        [2usize, 5, 10, 20]
+            .iter()
+            .map(|&c| {
+                (c.to_string(), ExtractorConfig {
+                    walks_per_labeling: c,
+                    ..base.clone()
+                })
+            })
+            .collect(),
+    ));
+    tables.push(sweep(
+        "Ablation — walk length multiplier (paper: 5)",
+        [1usize, 3, 5, 10]
+            .iter()
+            .map(|&m| {
+                (format!("{m}x|V|"), ExtractorConfig {
+                    walk_multiplier: m,
+                    ..base.clone()
+                })
+            })
+            .collect(),
+    ));
+    tables.push(sweep(
+        "Ablation — n-gram sizes (paper: 2+3+4)",
+        [
+            ("2".to_string(), vec![2]),
+            ("3".to_string(), vec![3]),
+            ("4".to_string(), vec![4]),
+            ("2+3+4".to_string(), vec![2, 3, 4]),
+        ]
+        .into_iter()
+        .map(|(name, sizes)| {
+            (name, ExtractorConfig {
+                ngram_sizes: sizes,
+                ..base.clone()
+            })
+        })
+        .collect(),
+    ));
+    tables.push(sweep(
+        "Ablation — features per labeling (paper: 500)",
+        [32usize, 64, 128, 256]
+            .iter()
+            .map(|&k| {
+                (k.to_string(), ExtractorConfig {
+                    top_k: k,
+                    ..base.clone()
+                })
+            })
+            .collect(),
+    ));
+
+    ExperimentOutput {
+        id: "ablation",
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn ablation_emits_four_sweeps() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(14));
+        let out = run(&mut ctx);
+        assert_eq!(out.tables.len(), 4);
+        for t in &out.tables {
+            assert_eq!(t.len(), 4);
+        }
+    }
+
+    #[test]
+    fn more_walks_never_reduce_stability_much() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(15));
+        let out = run(&mut ctx);
+        let csv = out.tables[0].to_csv();
+        let stab = |line: &str| -> f64 { line.split(',').nth(1).unwrap().parse().unwrap() };
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        let s2 = stab(rows[0]);
+        let s20 = stab(rows[3]);
+        assert!(s20 + 0.02 >= s2, "stability at 20 walks ({s20}) below 2 walks ({s2})");
+    }
+}

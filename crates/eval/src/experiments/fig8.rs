@@ -1,0 +1,124 @@
+//! Fig. 8: 2-D PCA of the Alasmary et al. graph-theoretic features,
+//! benign vs malware families (200 samples per class in the paper).
+//!
+//! The runner prints the projected points (CSV-ready) plus per-class
+//! centroids — the "shape" to compare with the paper is which classes
+//! form separable clusters.
+
+use super::ExperimentOutput;
+use crate::{ExperimentContext, TextTable};
+use soteria_baselines::AlasmaryClassifier;
+use soteria_corpus::Family;
+use soteria_features::Pca;
+
+/// Samples per class to project.
+pub const PER_CLASS: usize = 200;
+
+/// Reproduces Fig. 8.
+pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
+    let mut rows: Vec<(Family, Vec<f64>)> = Vec::new();
+    for family in Family::ALL {
+        for s in ctx
+            .corpus
+            .samples()
+            .iter()
+            .filter(|s| s.family() == family)
+            .take(PER_CLASS)
+        {
+            rows.push((family, AlasmaryClassifier::features(s.graph())));
+        }
+    }
+    let data: Vec<Vec<f64>> = rows.iter().map(|(_, v)| v.clone()).collect();
+    let pca = Pca::fit(&data, 2);
+    let projected = pca.transform_batch(&data);
+
+    let mut points = TextTable::new(vec!["class".into(), "pc1".into(), "pc2".into()])
+        .with_title("Fig. 8 — PCA of Alasmary graph-theoretic features (points)");
+    for ((family, _), p) in rows.iter().zip(&projected) {
+        points.row(vec![
+            family.to_string(),
+            format!("{:.4}", p[0]),
+            format!("{:.4}", p[1]),
+        ]);
+    }
+
+    let centroids = centroid_table(
+        "Fig. 8 — per-class centroids",
+        &rows.iter().map(|(f, _)| f.to_string()).collect::<Vec<_>>(),
+        &projected,
+    );
+    ExperimentOutput {
+        id: "fig8",
+        tables: vec![centroids, points],
+    }
+}
+
+/// Builds a per-tag centroid/spread summary of 2-D points.
+pub(crate) fn centroid_table(title: &str, tags: &[String], points: &[Vec<f64>]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "tag".into(),
+        "n".into(),
+        "centroid_x".into(),
+        "centroid_y".into(),
+        "spread".into(),
+    ])
+    .with_title(title.to_string());
+    let mut unique: Vec<String> = tags.to_vec();
+    unique.sort();
+    unique.dedup();
+    for tag in unique {
+        let pts: Vec<&Vec<f64>> = tags
+            .iter()
+            .zip(points)
+            .filter(|(t, _)| **t == tag)
+            .map(|(_, p)| p)
+            .collect();
+        if pts.is_empty() {
+            continue;
+        }
+        let n = pts.len() as f64;
+        let cx = pts.iter().map(|p| p[0]).sum::<f64>() / n;
+        let cy = pts.iter().map(|p| p[1]).sum::<f64>() / n;
+        let spread = (pts
+            .iter()
+            .map(|p| (p[0] - cx).powi(2) + (p[1] - cy).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        t.row(vec![
+            tag,
+            pts.len().to_string(),
+            format!("{cx:.4}"),
+            format!("{cy:.4}"),
+            format!("{spread:.4}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn fig8_projects_every_sampled_point() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(7));
+        let out = run(&mut ctx);
+        // Centroid table: one row per class present.
+        assert_eq!(out.tables[0].len(), 4);
+        // Points table: bounded by corpus size.
+        assert!(out.tables[1].len() <= ctx.corpus.len());
+        assert!(out.tables[1].len() >= 4);
+    }
+
+    #[test]
+    fn centroid_table_summarizes_by_tag() {
+        let tags = vec!["a".to_string(), "a".into(), "b".into()];
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![5.0, 5.0]];
+        let t = centroid_table("t", &tags, &pts);
+        assert_eq!(t.len(), 2);
+        let rendered = t.to_string();
+        assert!(rendered.contains("1.0000")); // centroid of a
+    }
+}

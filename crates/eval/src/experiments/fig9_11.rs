@@ -1,0 +1,124 @@
+//! Figs. 9, 10 and 11: 2-D PCA of the DBL, LBL and combined feature
+//! vectors — part (a) scatters the clean classes, part (b) contrasts
+//! clean samples with GEA adversarial examples.
+//!
+//! The shape to reproduce: classes form separable clusters in (a), and in
+//! (b) the AE cloud sits visibly apart from the clean cloud (most cleanly
+//! in the combined view, Fig. 11(b)).
+
+use super::fig8::centroid_table;
+use super::ExperimentOutput;
+use crate::{ExperimentContext, TextTable};
+use soteria_features::Pca;
+
+/// Which slice of the combined vector a figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Half {
+    Dbl,
+    Lbl,
+    Combined,
+}
+
+fn slice(v: &[f64], half: Half) -> &[f64] {
+    let k = v.len() / 2;
+    match half {
+        Half::Dbl => &v[..k],
+        Half::Lbl => &v[k..],
+        Half::Combined => v,
+    }
+}
+
+/// Cap on points per population (the paper samples 200 per class).
+pub const CAP: usize = 200;
+
+/// Reproduces Figs. 9–11 (both panels of each).
+pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
+    // Force both evaluations before borrowing results.
+    let _ = ctx.clean_results();
+    let _ = ctx.adversarial_results();
+    let clean: Vec<(String, Vec<f64>)> = ctx
+        .clean_results()
+        .iter()
+        .take(4 * CAP)
+        .map(|r| (r.family.to_string(), r.combined.clone()))
+        .collect();
+    let adversarial: Vec<Vec<f64>> = ctx
+        .adversarial_results()
+        .iter()
+        .flat_map(|t| t.results.iter().map(|r| r.combined.clone()))
+        .take(4 * CAP)
+        .collect();
+
+    let mut tables = Vec::new();
+    for (fig, half) in [(9, Half::Dbl), (10, Half::Lbl), (11, Half::Combined)] {
+        // Panel (a): clean classes.
+        let data_a: Vec<Vec<f64>> = clean
+            .iter()
+            .map(|(_, v)| slice(v, half).to_vec())
+            .collect();
+        let pca_a = Pca::fit(&data_a, 2);
+        let proj_a = pca_a.transform_batch(&data_a);
+        let tags_a: Vec<String> = clean.iter().map(|(f, _)| f.clone()).collect();
+        tables.push(centroid_table(
+            &format!("Fig. {fig}(a) — class centroids ({half:?} features)"),
+            &tags_a,
+            &proj_a,
+        ));
+
+        // Panel (b): clean vs adversarial, PCA refit on the union.
+        let mut data_b = data_a.clone();
+        let mut tags_b: Vec<String> = vec!["clean".into(); data_a.len()];
+        for v in &adversarial {
+            data_b.push(slice(v, half).to_vec());
+            tags_b.push("adversarial".into());
+        }
+        let pca_b = Pca::fit(&data_b, 2);
+        let proj_b = pca_b.transform_batch(&data_b);
+        tables.push(centroid_table(
+            &format!("Fig. {fig}(b) — clean vs adversarial centroids ({half:?} features)"),
+            &tags_b,
+            &proj_b,
+        ));
+
+        // Point dump for panel (b) — the richer panel.
+        let mut points = TextTable::new(vec!["tag".into(), "pc1".into(), "pc2".into()])
+            .with_title(format!("Fig. {fig}(b) — points"));
+        for (tag, p) in tags_b.iter().zip(&proj_b) {
+            points.row(vec![
+                tag.clone(),
+                format!("{:.4}", p[0]),
+                format!("{:.4}", p[1]),
+            ]);
+        }
+        tables.push(points);
+    }
+    ExperimentOutput {
+        id: "fig9_11",
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn figures_emit_three_tables_each() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(8));
+        let out = run(&mut ctx);
+        assert_eq!(out.tables.len(), 9);
+        let rendered = out.to_string();
+        assert!(rendered.contains("Fig. 9(a)"));
+        assert!(rendered.contains("Fig. 11(b)"));
+        assert!(rendered.contains("adversarial"));
+    }
+
+    #[test]
+    fn slices_partition_the_vector() {
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(slice(&v, Half::Dbl).len(), 5);
+        assert_eq!(slice(&v, Half::Lbl)[0], 5.0);
+        assert_eq!(slice(&v, Half::Combined).len(), 10);
+    }
+}

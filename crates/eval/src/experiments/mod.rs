@@ -1,0 +1,76 @@
+//! One runner per paper table/figure. Every runner takes the shared
+//! [`ExperimentContext`](crate::ExperimentContext) and returns renderable
+//! [`TextTable`] values (tables print aligned text; figures
+//! print their underlying data series, also exportable as CSV).
+
+pub mod ablation;
+pub mod adaptive;
+pub mod fig12;
+pub mod fig13;
+pub mod fig8;
+pub mod fig9_11;
+pub mod robustness;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use crate::table::TextTable;
+
+/// A finished experiment: a name plus one or more rendered tables.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Identifier, e.g. `"table4"` or `"fig13"`.
+    pub id: &'static str,
+    /// Rendered tables/series in print order.
+    pub tables: Vec<TextTable>,
+}
+
+impl std::fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids: the paper's tables/figures in order, then the two
+/// extension experiments (§V adaptive adversary and the attack-aware
+/// detector comparison).
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "table2", "table3", "table4", "table6", "table7", "table8", "fig8", "fig9_11", "fig12",
+    "fig13", "adaptive", "robustness", "ablation",
+];
+
+/// Just the paper artifacts (what `all` runs by default).
+pub const PAPER_EXPERIMENTS: [&str; 10] = [
+    "table2", "table3", "table4", "table6", "table7", "table8", "fig8", "fig9_11", "fig12",
+    "fig13",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates first).
+pub fn run(id: &str, ctx: &mut crate::ExperimentContext) -> ExperimentOutput {
+    match id {
+        "table2" => table2::run(ctx),
+        "table3" => table3::run(ctx),
+        "table4" => table4::run(ctx),
+        "table6" => table6::run(ctx),
+        "table7" => table7::run(ctx),
+        "table8" => table8::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9_11" => fig9_11::run(ctx),
+        "fig12" => fig12::run(ctx),
+        "fig13" => fig13::run(ctx),
+        "adaptive" => adaptive::run(ctx),
+        "robustness" => robustness::run(ctx),
+        "ablation" => ablation::run(ctx),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}

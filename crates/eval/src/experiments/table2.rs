@@ -1,0 +1,61 @@
+//! Table II: corpus distribution across classes with the 80/20 split.
+
+use super::ExperimentOutput;
+use crate::{ExperimentContext, TextTable};
+use soteria_corpus::Family;
+
+/// Reproduces Table II for the generated corpus.
+pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
+    let mut t = TextTable::new(vec![
+        "Class".into(),
+        "# Samples".into(),
+        "# Train".into(),
+        "# Test".into(),
+        "% of corpus".into(),
+    ])
+    .with_title(format!(
+        "Table II — corpus distribution (preset {}, scale {})",
+        ctx.config.preset, ctx.config.corpus_scale
+    ));
+    let totals = ctx.corpus.class_counts();
+    let total: usize = totals.iter().sum();
+    for family in Family::ALL {
+        let n = totals[family.index()];
+        let train = ctx.corpus.of_class(&ctx.split.train, family).len();
+        let test = ctx.corpus.of_class(&ctx.split.test, family).len();
+        t.row(vec![
+            family.to_string(),
+            n.to_string(),
+            train.to_string(),
+            test.to_string(),
+            format!("{:.2}%", n as f64 / total as f64 * 100.0),
+        ]);
+    }
+    t.row(vec![
+        "overall".into(),
+        total.to_string(),
+        ctx.split.train.len().to_string(),
+        ctx.split.test.len().to_string(),
+        "100.00%".into(),
+    ]);
+    ExperimentOutput {
+        id: "table2",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn table2_has_five_rows() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(1));
+        let out = run(&mut ctx);
+        assert_eq!(out.tables[0].len(), 5);
+        let rendered = out.to_string();
+        assert!(rendered.contains("gafgyt"));
+        assert!(rendered.contains("overall"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Table VI: detector behavior over *clean* test samples — false
+//! positives per class (the paper reports 6.16% overall, concentrated in
+//! Gafgyt).
+
+use super::ExperimentOutput;
+use crate::{ExperimentContext, TextTable};
+use soteria_corpus::Family;
+
+/// Reproduces Table VI.
+pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
+    let clean = ctx.clean_results();
+    let mut t = TextTable::new(vec![
+        "Class".into(),
+        "# Samples".into(),
+        "# DE".into(),
+        "% DE".into(),
+    ])
+    .with_title("Table VI — detector false positives on clean samples (lower is better)");
+    let mut total = 0usize;
+    let mut total_flagged = 0usize;
+    for family in Family::ALL {
+        let of_class: Vec<_> = clean.iter().filter(|r| r.family == family).collect();
+        let flagged = of_class.iter().filter(|r| r.flagged).count();
+        total += of_class.len();
+        total_flagged += flagged;
+        let rate = if of_class.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.2}%", flagged as f64 / of_class.len() as f64 * 100.0)
+        };
+        t.row(vec![
+            family.to_string(),
+            of_class.len().to_string(),
+            flagged.to_string(),
+            rate,
+        ]);
+    }
+    t.row(vec![
+        "overall".into(),
+        total.to_string(),
+        total_flagged.to_string(),
+        format!("{:.2}%", total_flagged as f64 / total.max(1) as f64 * 100.0),
+    ]);
+    ExperimentOutput {
+        id: "table6",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn table6_counts_sum_to_test_split() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(4));
+        let out = run(&mut ctx);
+        let rendered = out.to_string();
+        assert!(rendered.contains(&ctx.split.test.len().to_string()));
+        assert_eq!(out.tables[0].len(), 5);
+    }
+}

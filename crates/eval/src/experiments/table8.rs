@@ -1,0 +1,72 @@
+//! Table VIII: what the classifier does with the AEs the detector missed
+//! (the paper: most land in Benign, the rest in Gafgyt, and large-size
+//! targets dominate the misses).
+
+use super::ExperimentOutput;
+use crate::{ExperimentContext, TextTable};
+use soteria_corpus::Family;
+
+/// Reproduces Table VIII.
+pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
+    let evals = ctx.adversarial_results();
+    let mut header = vec!["Target class".to_string(), "Size".into(), "# Missed AEs".into()];
+    header.extend(Family::ALL.iter().map(|f| format!("-> {f}")));
+    let mut t = TextTable::new(header)
+        .with_title("Table VIII — classifier verdicts on AEs missed by the detector");
+    let mut totals = [0usize; 4];
+    let mut total_missed = 0usize;
+    for e in evals {
+        let mut per_class = [0usize; 4];
+        for r in &e.results {
+            if let Some(family) = r.voted_if_missed {
+                per_class[family.index()] += 1;
+            }
+        }
+        let missed: usize = per_class.iter().sum();
+        total_missed += missed;
+        for (tally, n) in totals.iter_mut().zip(per_class) {
+            *tally += n;
+        }
+        let mut row = vec![
+            e.target_family.to_string(),
+            e.target_size.to_string(),
+            missed.to_string(),
+        ];
+        row.extend(per_class.iter().map(|n| n.to_string()));
+        t.row(row);
+    }
+    let mut row = vec!["overall".to_string(), "-".into(), total_missed.to_string()];
+    row.extend(totals.iter().map(|n| n.to_string()));
+    t.row(row);
+    ExperimentOutput {
+        id: "table8",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalConfig;
+
+    #[test]
+    fn table8_missed_counts_are_consistent() {
+        let mut ctx = ExperimentContext::build(EvalConfig::quick(6));
+        let out = run(&mut ctx);
+        // Row count: one per target + overall.
+        assert_eq!(out.tables[0].len(), ctx.selection.targets().len() + 1);
+        // The missed count equals total - detected from the raw results.
+        let evals = ctx.adversarial_results();
+        let missed: usize = evals
+            .iter()
+            .flat_map(|e| &e.results)
+            .filter(|r| r.voted_if_missed.is_some())
+            .count();
+        let not_flagged: usize = evals
+            .iter()
+            .flat_map(|e| &e.results)
+            .filter(|r| !r.flagged)
+            .count();
+        assert_eq!(missed, not_flagged);
+    }
+}

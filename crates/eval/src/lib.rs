@@ -1,0 +1,35 @@
+//! Experiment harness reproducing every table and figure of the Soteria
+//! paper's evaluation (§IV) on the synthetic corpus.
+//!
+//! The mapping from paper artifact to runner:
+//!
+//! | Paper | Runner | What it reports |
+//! |---|---|---|
+//! | Table II | [`experiments::table2`] | corpus distribution and split |
+//! | Table III | [`experiments::table3`] | GEA target selection and AE counts |
+//! | Table IV | [`experiments::table4`] | detector accuracy over AEs |
+//! | Table VI | [`experiments::table6`] | detector false positives on clean samples |
+//! | Table VII | [`experiments::table7`] | classification accuracy vs baselines |
+//! | Table VIII | [`experiments::table8`] | classifier verdicts on missed AEs |
+//! | Fig. 8 | [`experiments::fig8`] | PCA of the Alasmary baseline features |
+//! | Figs. 9–11 | [`experiments::fig9_11`] | PCA of DBL / LBL / combined features |
+//! | Fig. 12 | [`experiments::fig12`] | threshold trade-off curve |
+//! | Fig. 13 | [`experiments::fig13`] | detection error vs α |
+//!
+//! All runners share one [`ExperimentContext`]: a generated corpus, its
+//! 80/20 split, a trained Soteria system, the GEA target selection and the
+//! adversarial batches — so the whole suite trains each model exactly
+//! once, mirroring the paper's "features are extracted once and reused"
+//! design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod context;
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+
+pub use context::{EvalConfig, ExperimentContext};
+pub use metrics::ConfusionMatrix;
+pub use table::TextTable;

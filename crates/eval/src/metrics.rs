@@ -1,0 +1,154 @@
+//! Classification metrics: confusion matrices and accuracies.
+
+use serde::{Deserialize, Serialize};
+use soteria_corpus::Family;
+
+/// A square confusion matrix over the four classes.
+///
+/// Rows are true classes, columns predicted classes.
+///
+/// # Example
+///
+/// ```
+/// use soteria_eval::ConfusionMatrix;
+/// use soteria_corpus::Family;
+///
+/// let mut cm = ConfusionMatrix::new(4);
+/// cm.record(Family::Mirai.index(), Family::Mirai.index());
+/// cm.record(Family::Mirai.index(), Family::Benign.index());
+/// assert_eq!(cm.class_accuracy(Family::Mirai.index()), Some(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty `classes × classes` matrix.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(truth, prediction)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// The count at `(truth, predicted)`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total samples of a true class.
+    pub fn class_total(&self, truth: usize) -> u64 {
+        (0..self.classes).map(|p| self.count(truth, p)).sum()
+    }
+
+    /// Per-class accuracy (`None` if the class has no samples).
+    pub fn class_accuracy(&self, truth: usize) -> Option<f64> {
+        let total = self.class_total(truth);
+        if total == 0 {
+            None
+        } else {
+            Some(self.count(truth, truth) as f64 / total as f64)
+        }
+    }
+
+    /// Overall accuracy (`None` if empty).
+    pub fn accuracy(&self) -> Option<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        Some(correct as f64 / total as f64)
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals, `"-"` when absent.
+pub fn pct(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{:.2}%", v * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Per-class accuracy row over all four families plus overall, as used by
+/// several tables.
+pub fn accuracy_row(cm: &ConfusionMatrix) -> Vec<String> {
+    let mut row: Vec<String> = Family::ALL
+        .iter()
+        .map(|f| pct(cm.class_accuracy(f.index())))
+        .collect();
+    row.push(pct(cm.accuracy()));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_accuracy() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), None);
+        assert_eq!(cm.class_accuracy(0), None);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn accuracies_match_hand_counts() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.class_accuracy(0), Some(0.5));
+        assert_eq!(cm.class_accuracy(1), Some(1.0));
+        assert_eq!(cm.accuracy(), Some(0.75));
+        assert_eq!(cm.class_total(0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+    }
+
+    #[test]
+    fn pct_formats_and_handles_none() {
+        assert_eq!(pct(Some(0.9791)), "97.91%");
+        assert_eq!(pct(None), "-");
+    }
+
+    #[test]
+    fn accuracy_row_has_five_entries() {
+        let mut cm = ConfusionMatrix::new(4);
+        cm.record(0, 0);
+        let row = accuracy_row(&cm);
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[0], "100.00%");
+        assert_eq!(row[1], "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

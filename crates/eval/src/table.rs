@@ -1,0 +1,164 @@
+//! A minimal aligned-text table renderer for experiment output.
+
+use std::fmt;
+
+/// A text table with a header row and aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use soteria_eval::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Class".into(), "Accuracy".into()]);
+/// t.row(vec!["mirai".into(), "99.1%".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("Class"));
+/// assert!(rendered.contains("mirai"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (for figure data consumed by plotting
+    /// scripts).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec!["a".into(), "bee".into()]);
+        t.row(vec!["long-cell".into(), "x".into()]);
+        t
+    }
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let rendered = sample().to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("a        "));
+        assert!(lines[2].starts_with("long-cell"));
+    }
+
+    #[test]
+    fn title_is_printed_first() {
+        let t = sample().with_title("Table X");
+        assert!(t.to_string().starts_with("Table X\n"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["x".into()]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let t = TextTable::new(vec!["h".into()]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Consistent node labeling: density-based (DBL) and level-based (LBL).
+//!
+//! Both labelings follow the paper's strict tie-break hierarchy so that
+//! *any* structural modification of the graph is reflected in the label
+//! assignment:
+//!
+//! * **DBL** orders nodes by density (descending); ties by centrality
+//!   factor `CF = betweenness + closeness` (descending); remaining ties by
+//!   level (ascending, entry first); remaining ties ("symmetric nodes") by
+//!   node index (ascending).
+//! * **LBL** orders nodes by BFS level from the entry (ascending — the
+//!   entry always gets label 0); ties within a level follow the DBL
+//!   mechanism (density, then centrality factor, then index).
+//!
+//! Labels are dense: every node gets a unique label in `[0, |V|-1]`.
+
+use serde::{Deserialize, Serialize};
+use soteria_cfg::{density, CentralityFactors, Cfg};
+use std::cmp::Ordering;
+
+/// Which labeling to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Labeling {
+    /// Density-based labeling.
+    Density,
+    /// Level-based labeling.
+    Level,
+}
+
+impl Labeling {
+    /// Both labelings in the order the paper reports them.
+    pub const BOTH: [Labeling; 2] = [Labeling::Density, Labeling::Level];
+}
+
+impl std::fmt::Display for Labeling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Labeling::Density => "DBL",
+            Labeling::Level => "LBL",
+        })
+    }
+}
+
+/// Computes the label of every node under `labeling`.
+///
+/// Returns `labels[node_index] = label`. Nodes unreachable from the entry
+/// sort after all reachable nodes (callers normally pass the reachable
+/// subgraph, where this cannot occur).
+///
+/// # Example
+///
+/// ```
+/// use soteria_cfg::CfgBuilder;
+/// use soteria_features::{label_nodes, Labeling};
+///
+/// # fn main() -> Result<(), soteria_cfg::CfgError> {
+/// // entry -> {a, b} -> exit: the entry must get LBL label 0.
+/// let mut bld = CfgBuilder::new();
+/// let e = bld.add_block(0, 1);
+/// let a = bld.add_block(1, 1);
+/// let b = bld.add_block(2, 1);
+/// let x = bld.add_block(3, 1);
+/// bld.add_edge(e, a)?;
+/// bld.add_edge(e, b)?;
+/// bld.add_edge(a, x)?;
+/// bld.add_edge(b, x)?;
+/// let g = bld.build(e)?;
+///
+/// let lbl = label_nodes(&g, Labeling::Level);
+/// assert_eq!(lbl[e.index()], 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn label_nodes(cfg: &Cfg, labeling: Labeling) -> Vec<usize> {
+    let keys = NodeKeys::compute(cfg);
+    label_nodes_with(cfg, labeling, &keys)
+}
+
+/// Like [`label_nodes`] but reusing precomputed [`NodeKeys`] — both
+/// labelings share the density/centrality/level computation, so callers
+/// labeling a graph twice should compute keys once.
+pub fn label_nodes_with(cfg: &Cfg, labeling: Labeling, keys: &NodeKeys) -> Vec<usize> {
+    let n = cfg.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    match labeling {
+        Labeling::Density => order.sort_by(|&a, &b| keys.density_order(a, b)),
+        Labeling::Level => order.sort_by(|&a, &b| keys.level_order(a, b)),
+    }
+    let mut labels = vec![0usize; n];
+    for (label, &node) in order.iter().enumerate() {
+        labels[node] = label;
+    }
+    labels
+}
+
+/// Per-node sort keys shared by both labelings.
+#[derive(Debug, Clone)]
+pub struct NodeKeys {
+    density: Vec<f64>,
+    factor: Vec<f64>,
+    /// BFS level; `usize::MAX` for unreachable nodes.
+    level: Vec<usize>,
+}
+
+impl NodeKeys {
+    /// Computes densities, centrality factors, and levels for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let density = density::node_densities(cfg);
+        let cf = CentralityFactors::compute(cfg);
+        let factor = cfg.block_ids().map(|v| cf.factor(v)).collect();
+        let level = cfg
+            .levels()
+            .into_iter()
+            .map(|l| l.unwrap_or(usize::MAX))
+            .collect();
+        NodeKeys {
+            density,
+            factor,
+            level,
+        }
+    }
+
+    /// DBL comparison: density desc, factor desc, level asc, index asc.
+    fn density_order(&self, a: usize, b: usize) -> Ordering {
+        cmp_f64_desc(self.density[a], self.density[b])
+            .then_with(|| cmp_f64_desc(self.factor[a], self.factor[b]))
+            .then_with(|| self.level[a].cmp(&self.level[b]))
+            .then_with(|| a.cmp(&b))
+    }
+
+    /// LBL comparison: level asc, then the DBL mechanism.
+    fn level_order(&self, a: usize, b: usize) -> Ordering {
+        self.level[a]
+            .cmp(&self.level[b])
+            .then_with(|| cmp_f64_desc(self.density[a], self.density[b]))
+            .then_with(|| cmp_f64_desc(self.factor[a], self.factor[b]))
+            .then_with(|| a.cmp(&b))
+    }
+}
+
+/// Descending total order over the non-NaN floats produced by the density
+/// and centrality computations.
+fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
+    b.partial_cmp(&a).expect("density/centrality values are never NaN")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_cfg::{BlockId, CfgBuilder};
+
+    /// The paper's Fig. 4 style example: a diamond with an extra tail.
+    ///
+    /// ```text
+    ///        e
+    ///       / \
+    ///      a   b
+    ///       \ /
+    ///        j
+    ///        |
+    ///        t
+    /// ```
+    fn fig4() -> (Cfg, [BlockId; 5]) {
+        let mut bld = CfgBuilder::new();
+        let e = bld.add_block(0, 1);
+        let a = bld.add_block(1, 1);
+        let b = bld.add_block(2, 1);
+        let j = bld.add_block(3, 1);
+        let t = bld.add_block(4, 1);
+        bld.add_edge(e, a).unwrap();
+        bld.add_edge(e, b).unwrap();
+        bld.add_edge(a, j).unwrap();
+        bld.add_edge(b, j).unwrap();
+        bld.add_edge(j, t).unwrap();
+        (bld.build(e).unwrap(), [e, a, b, j, t])
+    }
+
+    #[test]
+    fn labels_are_a_permutation() {
+        let (g, _) = fig4();
+        for labeling in Labeling::BOTH {
+            let mut labels = label_nodes(&g, labeling);
+            labels.sort_unstable();
+            assert_eq!(labels, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn lbl_gives_entry_label_zero() {
+        let (g, [e, ..]) = fig4();
+        let labels = label_nodes(&g, Labeling::Level);
+        assert_eq!(labels[e.index()], 0);
+    }
+
+    #[test]
+    fn lbl_orders_by_level_first() {
+        let (g, [e, a, b, j, t]) = fig4();
+        let labels = label_nodes(&g, Labeling::Level);
+        // Levels: e=0; a,b=1; j=2; t=3.
+        assert!(labels[e.index()] < labels[a.index()]);
+        assert!(labels[a.index()] < labels[j.index()]);
+        assert!(labels[b.index()] < labels[j.index()]);
+        assert!(labels[j.index()] < labels[t.index()]);
+    }
+
+    #[test]
+    fn dbl_ranks_most_dense_first() {
+        let (g, [e, _a, _b, j, t]) = fig4();
+        let labels = label_nodes(&g, Labeling::Density);
+        // j has degree 3 like e... e: out 2; j: in 2 + out 1 = 3. e = 2.
+        // So j (density 3/5) gets label 0, e (2/5) next among the rest.
+        assert_eq!(labels[j.index()], 0);
+        assert!(labels[e.index()] < labels[t.index()]);
+    }
+
+    #[test]
+    fn symmetric_nodes_break_ties_by_index() {
+        let (g, [_, a, b, ..]) = fig4();
+        // a and b are perfectly symmetric: same density, same centrality,
+        // same level. The lower index gets the lower label.
+        for labeling in Labeling::BOTH {
+            let labels = label_nodes(&g, labeling);
+            assert_eq!(labels[b.index()], labels[a.index()] + 1, "{labeling}");
+        }
+    }
+
+    #[test]
+    fn centrality_factor_breaks_density_ties() {
+        // Path e -> m -> x -> t: m and x have equal density (2 edges
+        // each... e:1, m:2, x:2, t:1 of 3 edges) but m has higher
+        // centrality factor? Both are interior; by symmetry of the path
+        // their betweenness is equal and closeness is equal, so the tie
+        // falls through to level: m (level 1) before x (level 2).
+        let mut bld = CfgBuilder::new();
+        let e = bld.add_block(0, 1);
+        let m = bld.add_block(1, 1);
+        let x = bld.add_block(2, 1);
+        let t = bld.add_block(3, 1);
+        bld.add_edge(e, m).unwrap();
+        bld.add_edge(m, x).unwrap();
+        bld.add_edge(x, t).unwrap();
+        let g = bld.build(e).unwrap();
+        let labels = label_nodes(&g, Labeling::Density);
+        assert!(labels[m.index()] < labels[x.index()]);
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let (g, _) = fig4();
+        for labeling in Labeling::BOTH {
+            assert_eq!(label_nodes(&g, labeling), label_nodes(&g, labeling));
+        }
+    }
+
+    #[test]
+    fn modification_shifts_labels() {
+        // The consistency property the paper relies on: grafting a subgraph
+        // changes the labels of pre-existing nodes.
+        let (g, [_, _, _, j, _]) = fig4();
+        let before = label_nodes(&g, Labeling::Density);
+
+        let mut bld = soteria_cfg::CfgBuilder::from(&g);
+        // Attach a hub that rivals j's density.
+        let hub = bld.add_block(9, 1);
+        let l1 = bld.add_block(10, 1);
+        let l2 = bld.add_block(11, 1);
+        bld.add_edge(j, hub).unwrap();
+        bld.add_edge(hub, l1).unwrap();
+        bld.add_edge(hub, l2).unwrap();
+        let g2 = bld.build(g.entry()).unwrap();
+        let after = label_nodes(&g2, Labeling::Density);
+        assert_ne!(&before[..], &after[..before.len()]);
+    }
+
+    #[test]
+    fn shared_keys_match_fresh_computation() {
+        let (g, _) = fig4();
+        let keys = NodeKeys::compute(&g);
+        for labeling in Labeling::BOTH {
+            assert_eq!(
+                label_nodes_with(&g, labeling, &keys),
+                label_nodes(&g, labeling)
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_graph_gets_label_zero() {
+        let mut bld = CfgBuilder::new();
+        let e = bld.add_block(0, 1);
+        let g = bld.build(e).unwrap();
+        assert_eq!(label_nodes(&g, Labeling::Density), vec![0]);
+        assert_eq!(label_nodes(&g, Labeling::Level), vec![0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Soteria's feature pipeline: consistent CFG labeling, random-walk
+//! traversal, n-gram representation, TF-IDF weighting, discriminative
+//! feature selection, and PCA for the paper's feature-analysis figures.
+//!
+//! The pipeline (Fig. 3 of the paper):
+//!
+//! 1. Lift the binary to a CFG and restrict it to the blocks reachable
+//!    from the entry (appended/unreachable code never influences features).
+//! 2. Label every node twice: **density-based** (DBL — rank by
+//!    `(in+out)/|E|`, ties broken by centrality factor, then level, then
+//!    index) and **level-based** (LBL — rank by BFS level from the entry,
+//!    ties broken the DBL way).
+//! 3. Run 10 random walks of length `5·|V|` over the undirected graph per
+//!    labeling, recording the label sequence.
+//! 4. Extract 2-, 3- and 4-grams from each walk; weight by TF-IDF against
+//!    a vocabulary of the top-500 most frequent grams per labeling fit on
+//!    the training corpus.
+//!
+//! Per sample this yields twenty `1×500` walk vectors (ten per labeling,
+//! consumed by the voting classifier) and one combined `1×1000` vector
+//! (consumed by the auto-encoder detector and the PCA figures).
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_corpus::{Family, SampleGenerator};
+//! use soteria_features::{FeatureExtractor, ExtractorConfig};
+//!
+//! let mut gen = SampleGenerator::new(1);
+//! let train: Vec<_> = (0..8).map(|_| gen.generate(Family::Gafgyt)).collect();
+//! let graphs: Vec<_> = train.iter().map(|s| s.graph().clone()).collect();
+//!
+//! let extractor = FeatureExtractor::fit(&ExtractorConfig::default(), &graphs, 99);
+//! let fv = extractor.extract(&graphs[0], 7);
+//! assert_eq!(fv.combined().len(), extractor.combined_dim());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod extractor;
+pub mod labeling;
+pub mod ngram;
+pub mod pca;
+pub mod tfidf;
+pub mod walk;
+
+pub use extractor::{ExtractorConfig, FeatureExtractor, SampleFeatures};
+pub use labeling::{label_nodes, Labeling};
+pub use ngram::{Gram, GramCounts};
+pub use pca::Pca;
+pub use tfidf::Vocabulary;
+pub use walk::{random_walk, walk_set};

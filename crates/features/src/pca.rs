@@ -1,0 +1,374 @@
+//! Principal component analysis for the paper's feature-space figures
+//! (Figs. 8–11 project feature vectors to two dimensions).
+//!
+//! Implementation: mean-center, then power iteration with per-step
+//! Gram–Schmidt re-orthogonalization against already-found components.
+//! When the sample count is below the feature dimension the eigenproblem
+//! is solved on the `n×n` Gram matrix and mapped back (the usual small-n
+//! trick), so fitting 800 samples of 1,000-dim vectors stays cheap.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Row-major components, each unit length, mutually orthogonal.
+    components: Vec<Vec<f64>>,
+    /// Eigenvalue (variance) per component.
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal components on `data` (rows are
+    /// samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows have inconsistent widths, or
+    /// `n_components` is 0.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soteria_features::Pca;
+    ///
+    /// // Points along the x-axis: the first component is (±1, 0).
+    /// let data = vec![
+    ///     vec![-2.0, 0.1],
+    ///     vec![-1.0, -0.1],
+    ///     vec![1.0, 0.1],
+    ///     vec![2.0, -0.1],
+    /// ];
+    /// let pca = Pca::fit(&data, 1);
+    /// let p = pca.transform(&[10.0, 0.0]);
+    /// assert!(p[0].abs() > 9.0);
+    /// ```
+    pub fn fit(data: &[Vec<f64>], n_components: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit PCA on no samples");
+        assert!(n_components >= 1, "need at least one component");
+        let d = data[0].len();
+        assert!(
+            data.iter().all(|r| r.len() == d),
+            "inconsistent feature widths"
+        );
+        let n = data.len();
+        let k = n_components.min(d).min(n);
+
+        let mut mean = vec![0.0; d];
+        for row in data {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let centered: Vec<Vec<f64>> = data
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(&x, &m)| x - m).collect())
+            .collect();
+
+        let (components, eigenvalues) = if n < d {
+            Self::fit_gram(&centered, k)
+        } else {
+            Self::fit_covariance(&centered, k)
+        };
+        Pca {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Power iteration on the `d×d` covariance matrix.
+    fn fit_covariance(centered: &[Vec<f64>], k: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let n = centered.len();
+        let d = centered[0].len();
+        let mut cov = vec![0.0f64; d * d];
+        for row in centered {
+            for i in 0..d {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    cov[i * d + j] += ri * row[j];
+                }
+            }
+        }
+        for c in &mut cov {
+            *c /= n as f64;
+        }
+        let matvec = |v: &[f64], out: &mut [f64]| {
+            for i in 0..d {
+                out[i] = cov[i * d..(i + 1) * d]
+                    .iter()
+                    .zip(v)
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+            }
+        };
+        power_iterate(d, k, matvec)
+    }
+
+    /// Small-n trick: eigenvectors of the `n×n` Gram matrix `X·Xᵀ/n`
+    /// mapped back through `Xᵀ`.
+    fn fit_gram(centered: &[Vec<f64>], k: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let n = centered.len();
+        let d = centered[0].len();
+        let mut gram = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = centered[i]
+                    .iter()
+                    .zip(&centered[j])
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                gram[i * n + j] = dot / n as f64;
+                gram[j * n + i] = dot / n as f64;
+            }
+        }
+        let matvec = |v: &[f64], out: &mut [f64]| {
+            for i in 0..n {
+                out[i] = gram[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(v)
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+            }
+        };
+        let (gram_vecs, eigenvalues) = power_iterate(n, k, matvec);
+        // Map u (n-dim) back to feature space: v = Xᵀ u, normalized.
+        let components = gram_vecs
+            .into_iter()
+            .map(|u| {
+                let mut v = vec![0.0f64; d];
+                for (row, &ui) in centered.iter().zip(&u) {
+                    if ui == 0.0 {
+                        continue;
+                    }
+                    for (vj, &xj) in v.iter_mut().zip(row) {
+                        *vj += ui * xj;
+                    }
+                }
+                normalize(&mut v);
+                v
+            })
+            .collect();
+        (components, eigenvalues)
+    }
+
+    /// The fitted mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Number of components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Variance captured by each component.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Projects one vector onto the components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(x.iter().zip(&self.mean))
+                    .map(|(&ci, (&xi, &mi))| ci * (xi - mi))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a batch of vectors.
+    pub fn transform_batch(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+/// Finds the top-`k` eigenpairs of a symmetric PSD operator via power
+/// iteration with Gram–Schmidt deflation.
+fn power_iterate(
+    dim: usize,
+    k: usize,
+    matvec: impl Fn(&[f64], &mut [f64]),
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut eigenvalues = Vec::with_capacity(k);
+    for c in 0..k {
+        // Deterministic pseudo-random start vector.
+        let mut v: Vec<f64> = (0..dim)
+            .map(|i| {
+                let x = ((i as u64 + 1).wrapping_mul(0x9e37_79b9).wrapping_add(c as u64 * 77))
+                    % 1000;
+                x as f64 / 1000.0 - 0.5
+            })
+            .collect();
+        orthogonalize(&mut v, &components);
+        if normalize(&mut v) == 0.0 {
+            v[c % dim] = 1.0;
+        }
+        let mut next = vec![0.0; dim];
+        let mut lambda = 0.0;
+        for _ in 0..500 {
+            matvec(&v, &mut next);
+            orthogonalize(&mut next, &components);
+            let norm = normalize(&mut next);
+            if norm == 0.0 {
+                break; // operator annihilates the remaining subspace
+            }
+            let delta: f64 = v
+                .iter()
+                .zip(&next)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            std::mem::swap(&mut v, &mut next);
+            lambda = norm;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        components.push(v.clone());
+        eigenvalues.push(lambda);
+    }
+    (components, eigenvalues)
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let dot: f64 = v.iter().zip(b).map(|(&a, &c)| a * c).sum();
+        for (vi, &bi) in v.iter_mut().zip(b) {
+            *vi -= dot * bi;
+        }
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+        norm
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anisotropic_cloud(n: usize) -> Vec<Vec<f64>> {
+        // Variance 100 along (1,1,0)/√2, variance 1 along (1,-1,0)/√2,
+        // ~0 along z.
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 / n as f64 - 0.5) * 20.0;
+                let s = ((i * 7 % 13) as f64 / 13.0 - 0.5) * 2.0;
+                vec![t + s, t - s, 0.001 * (i % 3) as f64]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let data = anisotropic_cloud(60);
+        let pca = Pca::fit(&data, 2);
+        let c0 = &pca.transform(&[1.0, 1.0, 0.0]);
+        let c0_mag = c0[0].abs();
+        let c1_mag = pca.transform(&[1.0, -1.0, 0.0])[0].abs();
+        assert!(c0_mag > c1_mag, "first PC should align with (1,1,0)");
+        assert!(pca.eigenvalues()[0] > pca.eigenvalues()[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = anisotropic_cloud(50);
+        let pca = Pca::fit(&data, 2);
+        let c = &pca.components;
+        let dot: f64 = c[0].iter().zip(&c[1]).map(|(&a, &b)| a * b).sum();
+        assert!(dot.abs() < 1e-6, "components not orthogonal: {dot}");
+        for comp in c {
+            let norm: f64 = comp.iter().map(|&x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gram_trick_matches_covariance_path() {
+        // n < d triggers the Gram path; compare projections against the
+        // covariance path on transposable data.
+        let data: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..8).map(|j| ((i * j) as f64).sin()).collect())
+            .collect();
+        let gram = Pca::fit(&data, 2); // n=5 < d=8 -> Gram
+        let wide: Vec<Vec<f64>> = data.clone();
+        // Re-fit forcing covariance by replicating rows so n >= d.
+        let mut tall = wide.clone();
+        while tall.len() < 9 {
+            tall.extend(wide.iter().cloned());
+        }
+        let cov = Pca::fit(&tall, 2);
+        // Same subspace: projections of a probe differ at most by sign.
+        let probe: Vec<f64> = (0..8).map(|j| (j as f64).cos()).collect();
+        let pg = gram.transform(&probe);
+        let pc = cov.transform(&probe);
+        for (a, b) in pg.iter().zip(&pc) {
+            assert!(
+                (a.abs() - b.abs()).abs() < 0.5,
+                "projections diverge: {pg:?} vs {pc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn transform_of_mean_is_origin() {
+        let data = anisotropic_cloud(30);
+        let pca = Pca::fit(&data, 2);
+        let mean = pca.mean().to_vec();
+        let p = pca.transform(&mean);
+        assert!(p.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn constant_data_yields_zero_projections() {
+        let data = vec![vec![3.0, 3.0]; 10];
+        let pca = Pca::fit(&data, 2);
+        let p = pca.transform(&[3.0, 3.0]);
+        assert!(p.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let data = anisotropic_cloud(20);
+        let pca = Pca::fit(&data, 2);
+        let batch = pca.transform_batch(&data);
+        assert_eq!(batch[3], pca.transform(&data[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        let _ = Pca::fit(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_width_transform_panics() {
+        let pca = Pca::fit(&[vec![1.0, 2.0]], 1);
+        let _ = pca.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Random walks over the labeled CFG.
+//!
+//! The paper: place a marker at the entry block of the *undirected* view of
+//! the graph; at each step move to a uniformly random adjacent vertex;
+//! record the label of every visited vertex. A walk of length `|W|` visits
+//! `|W| + 1` labeled nodes. Soteria uses `|W| = 5·|V|` and repeats the walk
+//! ten times per labeling, so each sample yields twenty label sequences.
+//!
+//! The walk is the randomization that defeats adaptive adversaries: the
+//! features extracted from a sample differ from run to run, so an attacker
+//! cannot predict which grams the deployed model will see.
+
+use rand::Rng;
+use soteria_cfg::Cfg;
+
+/// Performs one random walk of `len` steps from the entry of `cfg`,
+/// returning the visited labels (`len + 1` entries, or fewer only if the
+/// walk reaches an isolated node with no undirected neighbors).
+///
+/// `labels[i]` must hold the label of node `i` (see
+/// [`label_nodes`](crate::label_nodes)).
+///
+/// # Panics
+///
+/// Panics if `labels` is shorter than the node count.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use soteria_cfg::CfgBuilder;
+/// use soteria_features::random_walk;
+///
+/// # fn main() -> Result<(), soteria_cfg::CfgError> {
+/// let mut b = CfgBuilder::new();
+/// let e = b.add_block(0, 1);
+/// let f = b.add_block(1, 1);
+/// b.add_edge(e, f)?;
+/// let g = b.build(e)?;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let walk = random_walk(&g, &[7, 9], 4, &mut rng);
+/// assert_eq!(walk, vec![7, 9, 7, 9, 7]); // two nodes: the walk alternates
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_walk<R: Rng>(cfg: &Cfg, labels: &[usize], len: usize, rng: &mut R) -> Vec<usize> {
+    let adj = cfg.undirected_adjacency();
+    walk_adjacency(&adj, cfg.entry(), labels, len, rng)
+}
+
+/// [`random_walk`] over a precomputed adjacency table (one table serves
+/// every walk of a walk set).
+pub fn walk_adjacency<R: Rng>(
+    adj: &[Vec<soteria_cfg::BlockId>],
+    entry: soteria_cfg::BlockId,
+    labels: &[usize],
+    len: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(labels.len() >= adj.len(), "labels cover every node");
+    let mut out = Vec::with_capacity(len + 1);
+    let mut at = entry;
+    out.push(labels[at.index()]);
+    for _ in 0..len {
+        let neighbors = &adj[at.index()];
+        if neighbors.is_empty() {
+            break;
+        }
+        at = neighbors[rng.gen_range(0..neighbors.len())];
+        out.push(labels[at.index()]);
+    }
+    out
+}
+
+/// The paper's full walk set for one labeling: `count` walks of length
+/// `multiplier · |V|` each.
+pub fn walk_set<R: Rng>(
+    cfg: &Cfg,
+    labels: &[usize],
+    multiplier: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    let len = multiplier * cfg.node_count();
+    let adj = cfg.undirected_adjacency();
+    (0..count)
+        .map(|_| walk_adjacency(&adj, cfg.entry(), labels, len, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use soteria_cfg::CfgBuilder;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn diamond() -> Cfg {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let l = b.add_block(1, 1);
+        let r = b.add_block(2, 1);
+        let x = b.add_block(3, 1);
+        b.add_edge(e, l).unwrap();
+        b.add_edge(e, r).unwrap();
+        b.add_edge(l, x).unwrap();
+        b.add_edge(r, x).unwrap();
+        b.build(e).unwrap()
+    }
+
+    #[test]
+    fn walk_has_len_plus_one_labels() {
+        let g = diamond();
+        let labels = vec![0, 1, 2, 3];
+        let w = random_walk(&g, &labels, 10, &mut rng(0));
+        assert_eq!(w.len(), 11);
+    }
+
+    #[test]
+    fn walk_starts_at_entry_label() {
+        let g = diamond();
+        let labels = vec![9, 1, 2, 3];
+        let w = random_walk(&g, &labels, 5, &mut rng(1));
+        assert_eq!(w[0], 9);
+    }
+
+    #[test]
+    fn consecutive_labels_are_adjacent_nodes() {
+        let g = diamond();
+        let labels = vec![0, 1, 2, 3];
+        let w = random_walk(&g, &labels, 50, &mut rng(2));
+        // In the diamond, 0 is adjacent to 1,2; 3 is adjacent to 1,2.
+        for pair in w.windows(2) {
+            let ok = matches!(
+                (pair[0], pair[1]),
+                (0, 1) | (0, 2) | (1, 0) | (2, 0) | (1, 3) | (2, 3) | (3, 1) | (3, 2)
+            );
+            assert!(ok, "non-edge step {pair:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_entry_stops_immediately() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        let g = b.build(e).unwrap();
+        let w = random_walk(&g, &[0], 10, &mut rng(3));
+        assert_eq!(w, vec![0]);
+    }
+
+    #[test]
+    fn walks_differ_across_draws_but_not_across_equal_seeds() {
+        let g = diamond();
+        let labels = vec![0, 1, 2, 3];
+        let a = random_walk(&g, &labels, 30, &mut rng(7));
+        let b = random_walk(&g, &labels, 30, &mut rng(7));
+        assert_eq!(a, b);
+        let mut r = rng(7);
+        let c = random_walk(&g, &labels, 30, &mut r);
+        let d = random_walk(&g, &labels, 30, &mut r);
+        assert_ne!(c, d, "successive walks from one stream should differ");
+    }
+
+    #[test]
+    fn walk_set_matches_paper_dimensions() {
+        let g = diamond();
+        let labels = vec![0, 1, 2, 3];
+        let set = walk_set(&g, &labels, 5, 10, &mut rng(4));
+        assert_eq!(set.len(), 10);
+        for w in &set {
+            assert_eq!(w.len(), 5 * g.node_count() + 1);
+        }
+    }
+
+    #[test]
+    fn walk_visits_whole_connected_graph_eventually() {
+        let g = diamond();
+        let labels = vec![0, 1, 2, 3];
+        let w = random_walk(&g, &labels, 200, &mut rng(5));
+        for l in 0..4 {
+            assert!(w.contains(&l), "label {l} never visited");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the feature pipeline.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use soteria_corpus::{motifs, Family};
+use soteria_features::ngram::{count_walk_set, Gram, GramCounts};
+use soteria_features::{label_nodes, random_walk, walk_set, Labeling, Pca, Vocabulary};
+
+
+proptest! {
+    /// Labels are always a permutation of 0..|V| under both labelings.
+    #[test]
+    fn labels_are_permutations(seed in 0u64..300, target in 3usize..80, fam in 0usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = motifs::grow(&mut rng, &Family::from_index(fam).profile(), target);
+        for labeling in Labeling::BOTH {
+            let mut labels = label_nodes(&g, labeling);
+            labels.sort_unstable();
+            prop_assert!(labels.iter().enumerate().all(|(i, &l)| i == l));
+        }
+    }
+
+    /// The LBL entry label is always 0.
+    #[test]
+    fn lbl_entry_is_zero(seed in 0u64..300, target in 3usize..60) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = motifs::grow(&mut rng, &Family::Benign.profile(), target);
+        let labels = label_nodes(&g, Labeling::Level);
+        prop_assert_eq!(labels[g.entry().index()], 0);
+    }
+
+    /// Every step of a random walk crosses an undirected edge.
+    #[test]
+    fn walks_follow_edges(seed in 0u64..200, target in 3usize..40, len in 1usize..200) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = motifs::grow(&mut rng, &Family::Mirai.profile(), target);
+        // Identity labels let us recover the node sequence.
+        let labels: Vec<usize> = (0..g.node_count()).collect();
+        let walk = random_walk(&g, &labels, len, &mut rng);
+        for w in walk.windows(2) {
+            let a = soteria_cfg::BlockId::new(w[0]);
+            let b = soteria_cfg::BlockId::new(w[1]);
+            prop_assert!(
+                g.undirected_neighbors(a).contains(&b),
+                "step {} -> {} is not an edge",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    /// Gram counting is exact: total grams = Σ_n (len - n + 1) over the
+    /// sizes that fit.
+    #[test]
+    fn gram_totals_are_exact(len in 1usize..120, sizes in proptest::sample::subsequence(vec![2usize,3,4], 1..=3)) {
+        let walk: Vec<usize> = (0..len).map(|i| i % 9).collect();
+        let mut c = GramCounts::new();
+        c.add_walk(&walk, &sizes);
+        let expected: usize = sizes
+            .iter()
+            .filter(|&&n| len >= n)
+            .map(|&n| len - n + 1)
+            .sum();
+        prop_assert_eq!(c.total(), expected as u64);
+    }
+
+    /// Grams round-trip their labels for every legal shape.
+    #[test]
+    fn grams_round_trip(labels in proptest::collection::vec(0usize..60_000, 1..=4)) {
+        let g = Gram::new(&labels);
+        prop_assert_eq!(g.labels(), labels);
+    }
+
+    /// TF-IDF vectors are always finite and non-negative.
+    #[test]
+    fn tfidf_vectors_are_finite_nonnegative(seed in 0u64..100, k in 1usize..64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = motifs::grow(&mut rng, &Family::Gafgyt.profile(), 20);
+        let labels = label_nodes(&g, Labeling::Density);
+        let walks = walk_set(&g, &labels, 3, 4, &mut rng);
+        let doc = count_walk_set(&walks, &[2, 3]);
+        let vocab = Vocabulary::fit(std::slice::from_ref(&doc), k);
+        for x in vocab.transform(&doc) {
+            prop_assert!(x.is_finite());
+            prop_assert!(x >= 0.0);
+        }
+    }
+
+    /// Stratified vocabularies never exceed the budget and cover every
+    /// class that has documents.
+    #[test]
+    fn stratified_vocab_respects_budget(k in 4usize..64) {
+        let mut docs = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..4usize {
+            for d in 0..3usize {
+                let walk: Vec<usize> = (0..30).map(|i| (i + class * 100 + d) % (10 + class * 10)).collect();
+                let mut c = GramCounts::new();
+                c.add_walk(&walk, &[2]);
+                docs.push(c);
+                labels.push(class);
+            }
+        }
+        let vocab = Vocabulary::fit_stratified(&docs, &labels, 4, k);
+        prop_assert!(vocab.len() <= k);
+    }
+
+    /// PCA projections are finite for arbitrary well-formed data.
+    #[test]
+    fn pca_is_finite(rows in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 4), 2..20)) {
+        let pca = Pca::fit(&rows, 2);
+        for r in &rows {
+            for x in pca.transform(r) {
+                prop_assert!(x.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Adaptive adversary strategies from the paper's discussion (§V):
+//! manipulations that stay *within* the threat model but probe Soteria's
+//! specific weaknesses.
+//!
+//! * [`insert_low_density_block`] — §V: *"inserting a single block with a
+//!   low density near the exit block will not highly affect the labeling
+//!   of the sample, and will not be detected as an AE by Soteria.
+//!   However, Soteria can classify the sample to its original class,
+//!   since the labels are intact."* The experiment harness verifies both
+//!   halves of that claim.
+//! * [`split_blocks`] — §V limitation 1: semantics-preserving rewrites
+//!   (an equivalence transform that splits straight-line blocks) change
+//!   the CFG structure without adding functionality; the paper concedes
+//!   these shift the feature space.
+//! * [`obfuscate`] — §V limitation 2: function/string obfuscation yields
+//!   an *incomplete* CFG ("hiding parts of the code"); we model it by
+//!   truncating lifted edges, which degrades feature quality exactly as
+//!   the paper warns.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use soteria_cfg::{BlockId, Cfg, CfgBuilder};
+use soteria_corpus::{asm, corpus::Sample, CorpusError, SampleGenerator};
+
+/// Inserts a single low-density block *after* an exit block (the exit
+/// jumps to it and it becomes the new exit) and re-emits the binary.
+///
+/// This is the gentlest structural edit expressible: no existing
+/// shortest path changes, no node's level changes, and the new block has
+/// the minimum possible density (`1/|E|`), so existing labels are nearly
+/// intact — the paper's example of a manipulation that evades the
+/// detector but cannot flip the classification.
+///
+/// # Errors
+///
+/// Propagates assembly/lift failures.
+pub fn insert_low_density_block(sample: &Sample) -> Result<Sample, CorpusError> {
+    let g = sample.graph();
+    let exit = g
+        .exits()
+        .first()
+        .copied()
+        .unwrap_or_else(|| BlockId::new(g.node_count() - 1));
+    let mut b = CfgBuilder::from(g);
+    let w = b.add_block(0, 1);
+    let _ = b.add_edge_idempotent(exit, w)?;
+    let cfg = b.build(g.entry())?;
+    relift(sample, &cfg, "lowdensity")
+}
+
+/// Splits `count` randomly chosen multi-instruction blocks into two
+/// halves joined by an unconditional edge — a semantics-preserving
+/// equivalence rewrite (no new branching decisions, but `|V|` and every
+/// label change).
+///
+/// # Errors
+///
+/// Propagates assembly/lift failures.
+pub fn split_blocks(sample: &Sample, count: usize, seed: u64) -> Result<Sample, CorpusError> {
+    let g = sample.graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Rebuild from scratch so we can rewrite block payloads.
+    let mut b = CfgBuilder::with_capacity(g.node_count() + count);
+    let mut insns: Vec<u32> = Vec::with_capacity(g.node_count());
+    for id in g.block_ids() {
+        let block = g.block(id);
+        insns.push(block.instruction_count());
+        b.push_block(*block);
+    }
+    for (f, t) in g.edges() {
+        b.add_edge(f, t)?;
+    }
+    let splittable: Vec<BlockId> = g
+        .block_ids()
+        .filter(|&id| g.block(id).instruction_count() >= 2)
+        .collect();
+    let mut chosen = splittable;
+    for _ in 0..count.min(chosen.len()) {
+        let pick = rng.gen_range(0..chosen.len());
+        let victim = chosen.swap_remove(pick);
+        // Tail block takes half the instructions and a continuation edge.
+        let half = (insns[victim.index()] / 2).max(1);
+        let tail = b.add_block(0, half);
+        b.add_edge(victim, tail)?;
+    }
+    let cfg = b.build(g.entry())?;
+    relift(sample, &cfg, "blocksplit")
+}
+
+/// Models obfuscation-induced CFG incompleteness: a fraction of the
+/// blocks (never the entry) become invisible to the disassembler — their
+/// incident edges vanish from the lifted graph, exactly the "incomplete
+/// CFG may result in an incomplete feature representation" failure mode
+/// of §V.
+///
+/// `hidden_fraction` in `[0, 1)`; the returned sample keeps the original
+/// ground-truth class.
+///
+/// # Errors
+///
+/// Propagates assembly/lift failures.
+pub fn obfuscate(
+    sample: &Sample,
+    hidden_fraction: f64,
+    seed: u64,
+) -> Result<Sample, CorpusError> {
+    assert!(
+        (0.0..1.0).contains(&hidden_fraction),
+        "hidden fraction must be in [0, 1)"
+    );
+    let g = sample.graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = g.node_count();
+    let hide_count = ((n as f64) * hidden_fraction).round() as usize;
+    let mut hidden = vec![false; n];
+    let mut candidates: Vec<usize> = (0..n).filter(|&i| i != g.entry().index()).collect();
+    for _ in 0..hide_count.min(candidates.len()) {
+        let pick = rng.gen_range(0..candidates.len());
+        hidden[candidates.swap_remove(pick)] = true;
+    }
+    // Rebuild without hidden blocks' edges; hidden blocks stay as opaque
+    // stubs (the disassembler sees *something* at the address, but no
+    // control flow through it).
+    let mut b = CfgBuilder::with_capacity(n);
+    for id in g.block_ids() {
+        b.push_block(*g.block(id));
+    }
+    for (f, t) in g.edges() {
+        if !hidden[f.index()] && !hidden[t.index()] {
+            b.add_edge(f, t)?;
+        }
+    }
+    let cfg = b.build(g.entry())?;
+    relift(sample, &cfg, "obf")
+}
+
+fn relift(sample: &Sample, cfg: &Cfg, tag: &str) -> Result<Sample, CorpusError> {
+    let lowered = asm::assemble(cfg);
+    SampleGenerator::lift(
+        format!("{tag}[{}]", sample.name()),
+        sample.family(),
+        lowered.binary,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::Family;
+
+    fn sample() -> Sample {
+        SampleGenerator::new(77).generate(Family::Gafgyt)
+    }
+
+    #[test]
+    fn low_density_insertion_adds_exactly_one_block() {
+        let s = sample();
+        let out = insert_low_density_block(&s).unwrap();
+        assert_eq!(out.graph().node_count(), s.graph().node_count() + 1);
+        assert_eq!(out.graph().edge_count(), s.graph().edge_count() + 1);
+        assert_eq!(out.family(), s.family());
+    }
+
+    #[test]
+    fn low_density_insertion_preserves_existing_levels() {
+        // The paper's premise: the edit "will not highly affect the
+        // labeling". Appending past the exit leaves every existing node's
+        // BFS level intact.
+        let s = sample();
+        let out = insert_low_density_block(&s).unwrap();
+        let before = s.graph().levels();
+        let after = out.graph().levels();
+        assert_eq!(&after[..before.len()], &before[..]);
+    }
+
+    #[test]
+    fn inserted_block_has_minimal_density() {
+        let s = sample();
+        let out = insert_low_density_block(&s).unwrap();
+        let g = out.graph();
+        let densities = soteria_cfg::density::node_densities(g);
+        // The new block (appears with the highest address) has density
+        // 2/|E| — the minimum possible for a reachable pass-through block.
+        let new_block = g
+            .block_ids()
+            .max_by_key(|&id| g.block(id).address())
+            .unwrap();
+        let min = densities.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((densities[new_block.index()] - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_splitting_grows_nodes_without_branches() {
+        let s = sample();
+        let out = split_blocks(&s, 4, 1).unwrap();
+        assert_eq!(out.graph().node_count(), s.graph().node_count() + 4);
+        // The maximum out-degree cannot have grown by more than the
+        // continuation edges (no new conditional branching decisions).
+        let max_out = |g: &Cfg| g.block_ids().map(|b| g.out_degree(b)).max().unwrap();
+        assert!(max_out(out.graph()) <= max_out(s.graph()) + 1);
+    }
+
+    #[test]
+    fn split_count_larger_than_blocks_is_clamped() {
+        let s = sample();
+        let out = split_blocks(&s, 10_000, 2).unwrap();
+        assert!(out.graph().node_count() <= s.graph().node_count() * 2);
+    }
+
+    #[test]
+    fn obfuscation_shrinks_the_reachable_graph() {
+        let s = sample();
+        let out = obfuscate(&s, 0.3, 3).unwrap();
+        let (clean_reach, _) = s.graph().reachable_subgraph();
+        let (obf_reach, _) = out.graph().reachable_subgraph();
+        assert!(
+            obf_reach.node_count() < clean_reach.node_count(),
+            "hiding blocks must cut reachability ({} vs {})",
+            obf_reach.node_count(),
+            clean_reach.node_count()
+        );
+    }
+
+    #[test]
+    fn zero_obfuscation_preserves_reachable_structure() {
+        let s = sample();
+        let out = obfuscate(&s, 0.0, 4).unwrap();
+        assert_eq!(
+            out.graph().reachable_subgraph().0.node_count(),
+            s.graph().reachable_subgraph().0.node_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden fraction")]
+    fn full_obfuscation_is_rejected() {
+        let s = sample();
+        let _ = obfuscate(&s, 1.0, 5);
+    }
+}

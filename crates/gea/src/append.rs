@@ -1,0 +1,96 @@
+//! Binary-level byte-appending manipulations — the paper's *impractical*
+//! adversarial examples.
+//!
+//! Two flavors, both leaving the executable behavior untouched:
+//!
+//! * appending raw bytes after the code section ("appending the benign
+//!   bytes to the end of malicious code"),
+//! * injecting a well-formed but unreachable code section ("adding a new
+//!   section").
+//!
+//! Image- and raw-byte-based classifiers see a different file; Soteria's
+//! reachability-restricted CFG features do not — the property tested in
+//! `crates/core` and exercised by the discussion section's experiments.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use soteria_corpus::{asm, corpus::Sample, Binary, CorpusError, SampleGenerator};
+
+/// Appends `len` pseudo-random trailing bytes to a copy of `sample`'s
+/// binary and re-lifts it.
+///
+/// # Errors
+///
+/// Propagates lifting failures (none occur for valid inputs — trailing
+/// bytes are never decoded).
+pub fn append_trailing_bytes(sample: &Sample, len: usize, seed: u64) -> Result<Sample, CorpusError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let junk: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+    let mut binary: Binary = sample.binary().clone();
+    binary.append_trailing(&junk);
+    SampleGenerator::lift(
+        format!("append[{}+{len}B]", sample.name()),
+        sample.family(),
+        binary,
+    )
+}
+
+/// Injects an unreachable but well-formed code fragment of `blocks` basic
+/// blocks into a copy of `sample`'s binary and re-lifts it.
+///
+/// # Errors
+///
+/// Propagates lifting failures.
+pub fn inject_dead_section(sample: &Sample, blocks: usize) -> Result<Sample, CorpusError> {
+    let mut binary: Binary = sample.binary().clone();
+    let base = binary.code().len() as u32;
+    binary.append_dead_code(&asm::dead_fragment(base, blocks));
+    SampleGenerator::lift(
+        format!("deadsec[{}+{blocks}b]", sample.name()),
+        sample.family(),
+        binary,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::Family;
+
+    fn sample() -> Sample {
+        SampleGenerator::new(41).generate(Family::Gafgyt)
+    }
+
+    #[test]
+    fn trailing_bytes_leave_graph_unchanged() {
+        let s = sample();
+        let ae = append_trailing_bytes(&s, 256, 0).unwrap();
+        assert_eq!(ae.graph(), s.graph());
+        assert_eq!(ae.binary().trailing().len(), 256);
+    }
+
+    #[test]
+    fn dead_section_is_unreachable() {
+        let s = sample();
+        let ae = inject_dead_section(&s, 4).unwrap();
+        // Full graph grows...
+        assert_eq!(ae.graph().node_count(), s.graph().node_count() + 4);
+        // ...but the reachable view (what features see) does not.
+        let (reach, _) = ae.graph().reachable_subgraph();
+        assert_eq!(reach, s.graph().reachable_subgraph().0);
+    }
+
+    #[test]
+    fn appended_samples_keep_their_class() {
+        let s = sample();
+        assert_eq!(append_trailing_bytes(&s, 8, 1).unwrap().family(), s.family());
+        assert_eq!(inject_dead_section(&s, 1).unwrap().family(), s.family());
+    }
+
+    #[test]
+    fn zero_length_append_is_identity_on_code() {
+        let s = sample();
+        let ae = append_trailing_bytes(&s, 0, 0).unwrap();
+        assert_eq!(ae.binary().code(), s.binary().code());
+    }
+}

@@ -1,0 +1,196 @@
+//! Target-sample selection: the paper picks, for each class, one sample of
+//! each size — Small (minimum node count in the class), Medium (median) and
+//! Large (maximum) — as the GEA embedding targets (Table III).
+
+use serde::{Deserialize, Serialize};
+use soteria_corpus::{corpus::Sample, Corpus, Family};
+use std::fmt;
+
+/// The paper's three target sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Minimum node count in the class.
+    Small,
+    /// Median node count.
+    Medium,
+    /// Maximum node count.
+    Large,
+}
+
+impl SizeClass {
+    /// All size classes in report order.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SizeClass::Small => "Small",
+            SizeClass::Medium => "Medium",
+            SizeClass::Large => "Large",
+        })
+    }
+}
+
+/// One selected GEA target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Target {
+    /// Class the target belongs to (= the class the adversary steers
+    /// classifiers toward).
+    pub family: Family,
+    /// Which quantile of the class's size distribution it represents.
+    pub size: SizeClass,
+    /// Index of the sample in the corpus.
+    pub corpus_index: usize,
+    /// The target's node count.
+    pub nodes: usize,
+}
+
+/// The full target table: one sample per (class, size) pair — 12 targets
+/// for the 4-class corpus, exactly Table III's selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSelection {
+    targets: Vec<Target>,
+}
+
+impl TargetSelection {
+    /// Selects targets from `corpus` — per class, the samples of minimum,
+    /// median and maximum node count (the paper selects from the whole
+    /// dataset; pass the corpus the experiment uses).
+    ///
+    /// Classes with no samples are skipped.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soteria_corpus::{Corpus, CorpusConfig};
+    /// use soteria_gea::TargetSelection;
+    ///
+    /// let corpus = Corpus::generate(&CorpusConfig::scaled(0.003, 5));
+    /// let sel = TargetSelection::select(&corpus);
+    /// assert_eq!(sel.targets().len(), 12); // 4 classes x 3 sizes
+    /// ```
+    pub fn select(corpus: &Corpus) -> Self {
+        let mut targets = Vec::new();
+        for family in Family::ALL {
+            let mut of_class: Vec<(usize, usize)> = corpus
+                .samples()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.family() == family)
+                .map(|(i, s)| (i, s.graph().node_count()))
+                .collect();
+            if of_class.is_empty() {
+                continue;
+            }
+            of_class.sort_by_key(|&(_, n)| n);
+            let picks = [
+                (SizeClass::Small, 0),
+                (SizeClass::Medium, of_class.len() / 2),
+                (SizeClass::Large, of_class.len() - 1),
+            ];
+            for (size, pos) in picks {
+                let (corpus_index, nodes) = of_class[pos];
+                targets.push(Target {
+                    family,
+                    size,
+                    corpus_index,
+                    nodes,
+                });
+            }
+        }
+        TargetSelection { targets }
+    }
+
+    /// All selected targets in (class, size) order.
+    pub fn targets(&self) -> &[Target] {
+        &self.targets
+    }
+
+    /// The target for a given (class, size) pair, if the class had samples.
+    pub fn target(&self, family: Family, size: SizeClass) -> Option<&Target> {
+        self.targets
+            .iter()
+            .find(|t| t.family == family && t.size == size)
+    }
+
+    /// Resolves a target to its sample in `corpus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` does not belong to `corpus` (index out of range).
+    pub fn sample<'a>(&self, corpus: &'a Corpus, target: &Target) -> &'a Sample {
+        &corpus.samples()[target.corpus_index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            counts: [15, 15, 15, 15],
+            seed: 23,
+            av_noise: false,
+            lineages: 5,
+        })
+    }
+
+    #[test]
+    fn twelve_targets_for_four_classes() {
+        let sel = TargetSelection::select(&corpus());
+        assert_eq!(sel.targets().len(), 12);
+        for family in Family::ALL {
+            for size in SizeClass::ALL {
+                assert!(sel.target(family, size).is_some(), "{family}/{size}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_ordered_within_class() {
+        let sel = TargetSelection::select(&corpus());
+        for family in Family::ALL {
+            let small = sel.target(family, SizeClass::Small).unwrap().nodes;
+            let medium = sel.target(family, SizeClass::Medium).unwrap().nodes;
+            let large = sel.target(family, SizeClass::Large).unwrap().nodes;
+            assert!(small <= medium && medium <= large, "{family}");
+        }
+    }
+
+    #[test]
+    fn targets_match_corpus_quantiles() {
+        let c = corpus();
+        let sel = TargetSelection::select(&c);
+        for family in Family::ALL {
+            let (min, _, max) = c.size_quantiles(family).unwrap();
+            assert_eq!(sel.target(family, SizeClass::Small).unwrap().nodes, min);
+            assert_eq!(sel.target(family, SizeClass::Large).unwrap().nodes, max);
+        }
+    }
+
+    #[test]
+    fn selected_samples_have_matching_class() {
+        let c = corpus();
+        let sel = TargetSelection::select(&c);
+        for t in sel.targets() {
+            assert_eq!(sel.sample(&c, t).family(), t.family);
+            assert_eq!(sel.sample(&c, t).graph().node_count(), t.nodes);
+        }
+    }
+
+    #[test]
+    fn empty_class_is_skipped() {
+        let c = Corpus::generate(&CorpusConfig {
+            counts: [10, 10, 0, 10],
+            seed: 1,
+            av_noise: false,
+            lineages: 4,
+        });
+        let sel = TargetSelection::select(&c);
+        assert_eq!(sel.targets().len(), 9);
+        assert!(sel.target(Family::Mirai, SizeClass::Small).is_none());
+    }
+}

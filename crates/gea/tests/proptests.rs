@@ -1,0 +1,106 @@
+//! Property-based tests for the GEA attack and the adaptive
+//! manipulations.
+
+use proptest::prelude::*;
+use soteria_corpus::{Family, SampleGenerator};
+use soteria_gea::{adaptive, append, gea_merge};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The merged graph always contains both subgraphs plus exactly the
+    /// shared entry and exit, stays fully reachable, and lowers/lifts
+    /// consistently.
+    #[test]
+    fn merge_structure_invariants(seed in 0u64..500, fam_a in 0usize..4, fam_b in 0usize..4) {
+        let mut gen = SampleGenerator::new(seed);
+        let a = gen.generate(Family::from_index(fam_a));
+        let b = gen.generate(Family::from_index(fam_b));
+        let m = gea_merge(&a, &b).expect("merge");
+        let g = m.sample().graph();
+        prop_assert_eq!(
+            g.node_count(),
+            a.graph().node_count() + b.graph().node_count() + 2
+        );
+        prop_assert!(g.reachable().iter().all(|&r| r));
+        prop_assert_eq!(g.out_degree(g.entry()), 2);
+        prop_assert_eq!(g.exits().len(), 1);
+        // Edge count: both graphs' edges + 2 entry edges + one edge per
+        // original exit of each subgraph.
+        let expected_edges = a.graph().edge_count()
+            + b.graph().edge_count()
+            + 2
+            + a.graph().exits().len()
+            + b.graph().exits().len();
+        prop_assert_eq!(g.edge_count(), expected_edges);
+    }
+
+    /// Byte appending never changes the lifted reachable graph, for any
+    /// junk length.
+    #[test]
+    fn appended_bytes_invisible(seed in 0u64..300, len in 0usize..4096) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::Gafgyt);
+        let out = append::append_trailing_bytes(&s, len, seed ^ 1).expect("append");
+        prop_assert_eq!(out.graph(), s.graph());
+    }
+
+    /// Dead-section injection grows the lifted graph but never its
+    /// reachable view.
+    #[test]
+    fn dead_sections_unreachable(seed in 0u64..300, blocks in 1usize..8) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::Mirai);
+        let out = append::inject_dead_section(&s, blocks).expect("inject");
+        prop_assert_eq!(out.graph().node_count(), s.graph().node_count() + blocks);
+        prop_assert_eq!(
+            out.graph().reachable_subgraph().0.node_count(),
+            s.graph().reachable_subgraph().0.node_count()
+        );
+    }
+
+    /// The low-density insertion preserves every existing node's level
+    /// and adds exactly one node.
+    #[test]
+    fn low_density_insertion_is_minimal(seed in 0u64..300, fam in 0usize..4) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::from_index(fam));
+        let out = adaptive::insert_low_density_block(&s).expect("insert");
+        prop_assert_eq!(out.graph().node_count(), s.graph().node_count() + 1);
+        let before = s.graph().levels();
+        let after = out.graph().levels();
+        prop_assert_eq!(&after[..before.len()], &before[..]);
+    }
+
+    /// Block splitting adds exactly the requested number of nodes (when
+    /// enough splittable blocks exist) and keeps the graph reachable.
+    #[test]
+    fn block_splitting_invariants(seed in 0u64..300, count in 1usize..6) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::Tsunami);
+        let out = adaptive::split_blocks(&s, count, seed ^ 2).expect("split");
+        prop_assert!(out.graph().node_count() <= s.graph().node_count() + count);
+        prop_assert!(out.graph().reachable().iter().all(|&r| r));
+    }
+
+    /// Obfuscation monotonically shrinks (or preserves) the reachable
+    /// node count as the hidden fraction grows.
+    #[test]
+    fn obfuscation_monotone(seed in 0u64..200) {
+        let mut gen = SampleGenerator::new(seed);
+        let s = gen.generate(Family::Benign);
+        let reach = |frac: f64| -> usize {
+            adaptive::obfuscate(&s, frac, seed ^ 3)
+                .expect("obfuscate")
+                .graph()
+                .reachable_subgraph()
+                .0
+                .node_count()
+        };
+        let r0 = reach(0.0);
+        let r3 = reach(0.3);
+        let r6 = reach(0.6);
+        prop_assert!(r3 <= r0);
+        prop_assert!(r6 <= r3 + r0 / 10, "r6 {} r3 {} r0 {}", r6, r3, r0);
+    }
+}

@@ -1,0 +1,273 @@
+//! 1-D convolution over `[batch × (channels · length)]` inputs.
+//!
+//! The classifier treats a feature vector as a 1-channel signal of length
+//! `top_k`. Convolutions use stride 1 and *same* zero padding so pooling
+//! layers always see even lengths. Layout: channel-major within a row,
+//! i.e. `row = [c0 t0..tL, c1 t0..tL, ...]`.
+
+use crate::init;
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A same-padded, stride-1, 1-D convolution with fused ReLU.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    length: usize,
+    relu: bool,
+    /// `[out_c × in_c × kernel]`, flattened.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    #[serde(skip)]
+    grad_weights: Vec<f32>,
+    #[serde(skip)]
+    grad_bias: Vec<f32>,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    #[serde(skip)]
+    cached_output: Option<Matrix>,
+}
+
+impl Conv1d {
+    /// Creates the layer for signals of `length` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even (same padding needs an odd kernel) or
+    /// zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        length: usize,
+        relu: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "same padding requires an odd kernel");
+        let fan_in = in_channels * kernel;
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            length,
+            relu,
+            weights: init::he_uniform(out_channels * in_channels * kernel, fan_in, seed),
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; out_channels * in_channels * kernel],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Output width per sample (`out_channels · length`; same padding keeps
+    /// the length).
+    pub fn out_width(&self) -> usize {
+        self.out_channels * self.length
+    }
+
+    /// Input width per sample.
+    pub fn in_width(&self) -> usize {
+        self.in_channels * self.length
+    }
+
+    /// Restores transient buffers after deserialization (serde skips the
+    /// gradient/cache fields).
+    pub fn rebuild_buffers(&mut self) {
+        self.grad_weights = vec![0.0; self.weights.len()];
+        self.grad_bias = vec![0.0; self.bias.len()];
+    }
+
+    #[inline]
+    fn w(&self, oc: usize, ic: usize, k: usize) -> f32 {
+        self.weights[(oc * self.in_channels + ic) * self.kernel + k]
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "conv1d input width mismatch");
+        let (l, half) = (self.length, self.kernel / 2);
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let y = out.row_mut(r);
+            for oc in 0..self.out_channels {
+                for t in 0..l {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_channels {
+                        let base = ic * l;
+                        for k in 0..self.kernel {
+                            let ti = t as isize + k as isize - half as isize;
+                            if ti >= 0 && (ti as usize) < l {
+                                acc += self.w(oc, ic, k) * x[base + ti as usize];
+                            }
+                        }
+                    }
+                    y[oc * l + t] = if self.relu { acc.max(0.0) } else { acc };
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train=true)");
+        let output = self.cached_output.take().expect("output cache present");
+        let (l, half) = (self.length, self.kernel / 2);
+
+        // δ = grad_out ⊙ relu'(y)
+        let mut delta = grad_out.clone();
+        if self.relu {
+            for (d, &y) in delta.data_mut().iter_mut().zip(output.data()) {
+                if y <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+
+        let mut grad_in = Matrix::zeros(input.rows(), self.in_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let d = delta.row(r);
+            for oc in 0..self.out_channels {
+                for t in 0..l {
+                    let g = d[oc * l + t];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias[oc] += g;
+                    for ic in 0..self.in_channels {
+                        let base = ic * l;
+                        for k in 0..self.kernel {
+                            let ti = t as isize + k as isize - half as isize;
+                            if ti >= 0 && (ti as usize) < l {
+                                let widx = (oc * self.in_channels + ic) * self.kernel + k;
+                                self.grad_weights[widx] += g * x[base + ti as usize];
+                                grad_in.row_mut(r)[base + ti as usize] +=
+                                    g * self.weights[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // Single channel, kernel [0,1,0] => output == input.
+        let mut conv = Conv1d::new(1, 1, 3, 5, false, 0);
+        conv.weights.copy_from_slice(&[0.0, 1.0, 0.0]);
+        conv.bias[0] = 0.0;
+        let x = Matrix::from_vec(1, 5, vec![1., 2., 3., 4., 5.]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn shift_kernel_pads_with_zero() {
+        // Kernel [1,0,0] picks x[t-1]; the first output must be 0.
+        let mut conv = Conv1d::new(1, 1, 3, 4, false, 0);
+        conv.weights.copy_from_slice(&[1.0, 0.0, 0.0]);
+        let x = Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn multi_channel_sums_contributions() {
+        // Two input channels, kernel δ on both: y = x_c0 + x_c1.
+        let mut conv = Conv1d::new(2, 1, 1, 3, false, 0);
+        conv.weights.copy_from_slice(&[1.0, 1.0]);
+        let x = Matrix::from_vec(1, 6, vec![1., 2., 3., 10., 20., 30.]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut conv = Conv1d::new(2, 3, 3, 4, true, 5);
+        let x = Matrix::from_vec(
+            2,
+            8,
+            vec![0.5, -0.3, 0.8, 0.1, -0.2, 0.7, 0.4, -0.6, 0.9, 0.2, -0.5, 0.3, 0.6, -0.1, 0.8, 0.2],
+        );
+        let loss = |c: &mut Conv1d, x: &Matrix| -> f32 { c.forward(x, false).data().iter().sum() };
+        let _ = conv.forward(&x, true);
+        let ones = Matrix::from_vec(2, conv.out_width(), vec![1.0; 2 * conv.out_width()]);
+        let dx = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11] {
+            let orig = conv.weights[idx];
+            conv.weights[idx] = orig + eps;
+            let hi = loss(&mut conv, &x);
+            conv.weights[idx] = orig - eps;
+            let lo = loss(&mut conv, &x);
+            conv.weights[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - conv.grad_weights[idx]).abs() < 3e-2,
+                "dW[{idx}]: numeric {numeric} vs {}",
+                conv.grad_weights[idx]
+            );
+        }
+        for idx in [1usize, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let hi = loss(&mut conv, &xp);
+            xp.data_mut()[idx] -= 2.0 * eps;
+            let lo = loss(&mut conv, &xp);
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 3e-2,
+                "dx[{idx}]: numeric {numeric} vs {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn out_width_keeps_length() {
+        let conv = Conv1d::new(1, 46, 3, 500, true, 0);
+        assert_eq!(conv.out_width(), 46 * 500);
+        assert_eq!(conv.in_width(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let _ = Conv1d::new(1, 1, 2, 8, true, 0);
+    }
+
+    #[test]
+    fn param_count_matches_shape() {
+        let mut conv = Conv1d::new(2, 4, 3, 10, true, 1);
+        assert_eq!(conv.param_count(), 4 * 2 * 3 + 4);
+    }
+}

@@ -1,0 +1,437 @@
+//! 2-D convolution over `[batch × (channels · height · width)]` inputs —
+//! the substrate for the image-based baseline classifier (Cui et al.),
+//! which renders each binary as a grayscale image.
+//!
+//! Layout: channel-major, then row-major within a channel:
+//! `row = [c0 r0c0..r0cW, c0 r1c0.., ..., c1 ...]`. Same zero padding,
+//! stride 1, odd square kernels.
+
+use crate::init;
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A same-padded, stride-1, square-kernel 2-D convolution with fused ReLU.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    height: usize,
+    width: usize,
+    relu: bool,
+    /// `[out_c × in_c × kernel × kernel]`, flattened.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    #[serde(skip)]
+    grad_weights: Vec<f32>,
+    #[serde(skip)]
+    grad_bias: Vec<f32>,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    #[serde(skip)]
+    cached_output: Option<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates the layer for `height × width` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even or zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        height: usize,
+        width: usize,
+        relu: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "same padding requires an odd kernel");
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            height,
+            width,
+            relu,
+            weights: init::he_uniform(out_channels * fan_in, fan_in, seed),
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; out_channels * fan_in],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Output width per sample (same padding keeps spatial dims).
+    pub fn out_width(&self) -> usize {
+        self.out_channels * self.height * self.width
+    }
+
+    /// Input width per sample.
+    pub fn in_width(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+
+    /// Restores transient buffers after deserialization (serde skips the
+    /// gradient/cache fields).
+    pub fn rebuild_buffers(&mut self) {
+        self.grad_weights = vec![0.0; self.weights.len()];
+        self.grad_bias = vec![0.0; self.bias.len()];
+    }
+
+    #[inline]
+    fn w_index(&self, oc: usize, ic: usize, kr: usize, kc: usize) -> usize {
+        ((oc * self.in_channels + ic) * self.kernel + kr) * self.kernel + kc
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "conv2d input width mismatch");
+        let (h, w, half) = (self.height, self.width, self.kernel / 2);
+        let plane = h * w;
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let y = out.row_mut(r);
+            for oc in 0..self.out_channels {
+                for row in 0..h {
+                    for col in 0..w {
+                        let mut acc = self.bias[oc];
+                        for ic in 0..self.in_channels {
+                            let base = ic * plane;
+                            for kr in 0..self.kernel {
+                                let ri = row as isize + kr as isize - half as isize;
+                                if ri < 0 || ri as usize >= h {
+                                    continue;
+                                }
+                                for kc in 0..self.kernel {
+                                    let ci = col as isize + kc as isize - half as isize;
+                                    if ci < 0 || ci as usize >= w {
+                                        continue;
+                                    }
+                                    acc += self.weights[self.w_index(oc, ic, kr, kc)]
+                                        * x[base + ri as usize * w + ci as usize];
+                                }
+                            }
+                        }
+                        y[oc * plane + row * w + col] =
+                            if self.relu { acc.max(0.0) } else { acc };
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train=true)");
+        let output = self.cached_output.take().expect("output cache present");
+        let (h, w, half) = (self.height, self.width, self.kernel / 2);
+        let plane = h * w;
+
+        let mut delta = grad_out.clone();
+        if self.relu {
+            for (d, &y) in delta.data_mut().iter_mut().zip(output.data()) {
+                if y <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+
+        let mut grad_in = Matrix::zeros(input.rows(), self.in_width());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            for oc in 0..self.out_channels {
+                for row in 0..h {
+                    for col in 0..w {
+                        let g = delta.get(r, oc * plane + row * w + col);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_bias[oc] += g;
+                        for ic in 0..self.in_channels {
+                            let base = ic * plane;
+                            for kr in 0..self.kernel {
+                                let ri = row as isize + kr as isize - half as isize;
+                                if ri < 0 || ri as usize >= h {
+                                    continue;
+                                }
+                                for kc in 0..self.kernel {
+                                    let ci = col as isize + kc as isize - half as isize;
+                                    if ci < 0 || ci as usize >= w {
+                                        continue;
+                                    }
+                                    let xi = base + ri as usize * w + ci as usize;
+                                    let wi = self.w_index(oc, ic, kr, kc);
+                                    self.grad_weights[wi] += g * x[xi];
+                                    grad_in.row_mut(r)[xi] += g * self.weights[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// 2-D max pooling with equal window and stride.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    channels: usize,
+    height: usize,
+    width: usize,
+    window: usize,
+    #[serde(skip)]
+    argmax: Option<Vec<usize>>,
+    #[serde(skip)]
+    in_shape: (usize, usize),
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer for `channels` planes of `height × width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or exceeds either spatial dimension.
+    pub fn new(channels: usize, height: usize, width: usize, window: usize) -> Self {
+        assert!(
+            window >= 1 && window <= height && window <= width,
+            "window must fit the image"
+        );
+        MaxPool2d {
+            channels,
+            height,
+            width,
+            window,
+            argmax: None,
+            in_shape: (0, 0),
+        }
+    }
+
+    /// Pooled height.
+    pub fn out_height(&self) -> usize {
+        self.height / self.window
+    }
+
+    /// Pooled width.
+    pub fn out_w(&self) -> usize {
+        self.width / self.window
+    }
+
+    /// Output width per sample.
+    pub fn out_width(&self) -> usize {
+        self.channels * self.out_height() * self.out_w()
+    }
+
+    /// Input width per sample.
+    pub fn in_width(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "pool2d input width mismatch");
+        let (oh, ow) = (self.out_height(), self.out_w());
+        let plane = self.height * self.width;
+        let out_plane = oh * ow;
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        let mut argmax = vec![0usize; input.rows() * self.out_width()];
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            for c in 0..self.channels {
+                for prow in 0..oh {
+                    for pcol in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for dr in 0..self.window {
+                            for dc in 0..self.window {
+                                let i = c * plane
+                                    + (prow * self.window + dr) * self.width
+                                    + pcol * self.window
+                                    + dc;
+                                if x[i] > best {
+                                    best = x[i];
+                                    best_i = i;
+                                }
+                            }
+                        }
+                        let o = c * out_plane + prow * ow + pcol;
+                        out.set(r, o, best);
+                        argmax[r * self.out_width() + o] = best_i;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = (input.rows(), input.cols());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let argmax = self.argmax.take().expect("backward without forward(train=true)");
+        let (rows, cols) = self.in_shape;
+        let mut grad_in = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for j in 0..self.out_width() {
+                let src = argmax[r * self.out_width() + j];
+                grad_in.row_mut(r)[src] += grad_out.get(r, j);
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_reproduces_image() {
+        let mut conv = Conv2d::new(1, 1, 3, 3, 3, false, 0);
+        conv.weights.fill(0.0);
+        let center = conv.w_index(0, 0, 1, 1);
+        conv.weights[center] = 1.0; // center tap
+        let x = Matrix::from_vec(1, 9, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn edge_pixels_see_zero_padding() {
+        let mut conv = Conv2d::new(1, 1, 3, 2, 2, false, 0);
+        conv.weights.fill(1.0); // sum of 3x3 neighborhood
+        let x = Matrix::from_vec(1, 4, vec![1., 1., 1., 1.]);
+        let y = conv.forward(&x, false);
+        // Every output = sum of the in-bounds 2x2 = 4.
+        assert_eq!(y.data(), &[4., 4., 4., 4.]);
+    }
+
+    #[test]
+    fn conv2d_gradient_matches_finite_difference() {
+        let mut conv = Conv2d::new(1, 2, 3, 3, 4, true, 5);
+        let x = Matrix::from_vec(
+            1,
+            12,
+            vec![0.5, -0.3, 0.8, 0.1, -0.2, 0.7, 0.4, -0.6, 0.9, 0.2, -0.5, 0.3],
+        );
+        let loss = |c: &mut Conv2d, x: &Matrix| -> f32 { c.forward(x, false).data().iter().sum() };
+        let _ = conv.forward(&x, true);
+        let ones = Matrix::from_vec(1, conv.out_width(), vec![1.0; conv.out_width()]);
+        let dx = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 4, 10] {
+            let orig = conv.weights[idx];
+            conv.weights[idx] = orig + eps;
+            let hi = loss(&mut conv, &x);
+            conv.weights[idx] = orig - eps;
+            let lo = loss(&mut conv, &x);
+            conv.weights[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - conv.grad_weights[idx]).abs() < 3e-2,
+                "dW[{idx}]: {numeric} vs {}",
+                conv.grad_weights[idx]
+            );
+        }
+        for idx in [2usize, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let hi = loss(&mut conv, &xp);
+            xp.data_mut()[idx] -= 2.0 * eps;
+            let lo = loss(&mut conv, &xp);
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 3e-2,
+                "dx[{idx}]: {numeric} vs {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn pool2d_takes_window_maxima() {
+        let mut pool = MaxPool2d::new(1, 4, 4, 2);
+        #[rustfmt::skip]
+        let x = Matrix::from_vec(1, 16, vec![
+            1., 2., 5., 6.,
+            3., 4., 7., 8.,
+            9., 10., 13., 14.,
+            11., 12., 15., 16.,
+        ]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn pool2d_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(1, 2, 2, 2);
+        let x = Matrix::from_vec(1, 4, vec![1., 9., 3., 4.]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Matrix::from_vec(1, 1, vec![5.0]));
+        assert_eq!(g.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn pool2d_channels_are_independent() {
+        let mut pool = MaxPool2d::new(2, 2, 2, 2);
+        let x = Matrix::from_vec(1, 8, vec![1., 2., 3., 4., 8., 7., 6., 5.]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[4., 8.]);
+    }
+
+    #[test]
+    fn shapes_compose_for_cui_stack() {
+        // 24x24 image -> conv(8) -> pool2 -> conv(16) -> pool2 -> 6x6x16.
+        let conv1 = Conv2d::new(1, 8, 3, 24, 24, true, 0);
+        assert_eq!(conv1.out_width(), 8 * 24 * 24);
+        let pool1 = MaxPool2d::new(8, 24, 24, 2);
+        assert_eq!(pool1.out_width(), 8 * 12 * 12);
+        let conv2 = Conv2d::new(8, 16, 3, 12, 12, true, 1);
+        assert_eq!(conv2.out_width(), 16 * 12 * 12);
+        let pool2 = MaxPool2d::new(16, 12, 12, 2);
+        assert_eq!(pool2.out_width(), 16 * 6 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let _ = Conv2d::new(1, 1, 4, 8, 8, true, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must fit")]
+    fn oversized_pool_rejected() {
+        let _ = MaxPool2d::new(1, 2, 2, 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at inference the
+/// layer is the identity.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Dropout {
+    p: f64,
+    seed: u64,
+    #[serde(skip)]
+    draws: u64,
+    #[serde(skip)]
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            seed,
+            draws: 0,
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            return input.clone();
+        }
+        // A fresh, deterministic stream per forward pass.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(self.draws));
+        self.draws += 1;
+        let keep = 1.0 - self.p;
+        let scale = (1.0 / keep) as f32;
+        let mask: Vec<f32> = (0..input.data().len())
+            .map(|_| if rng.gen_bool(keep) { scale } else { 0.0 })
+            .collect();
+        let mut out = input.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        if let Some(mask) = self.mask.take() {
+            for (gi, &m) in g.data_mut().iter_mut().zip(&mask) {
+                *gi *= m;
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.25, 1);
+        let x = Matrix::from_vec(1, 4000, vec![1.0; 4000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "dropped {frac}");
+        // Survivors are scaled by 1/(1-p).
+        let survivor = y.data().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Matrix::from_vec(1, 10_000, vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let mean: f32 = y.data().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Matrix::from_vec(1, 8, vec![1.0; 8]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Matrix::from_vec(1, 8, vec![1.0; 8]));
+        // The gradient is zero exactly where the output was zero.
+        for (gy, gg) in y.data().iter().zip(g.data()) {
+            assert_eq!(*gy == 0.0, *gg == 0.0);
+        }
+    }
+
+    #[test]
+    fn successive_passes_use_fresh_masks() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Matrix::from_vec(1, 64, vec![1.0; 64]);
+        let a = d.forward(&x, true);
+        let _ = d.backward(&x);
+        let b = d.forward(&x, true);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn p_of_one_is_rejected() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

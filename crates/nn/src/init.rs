@@ -1,0 +1,51 @@
+//! Seeded weight initialization.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// He-uniform initialization for a weight tensor with `fan_in` inputs:
+/// uniform in `±sqrt(6 / fan_in)`. Appropriate for ReLU networks (all of
+/// Soteria's layers).
+pub fn he_uniform(len: usize, fan_in: usize, seed: u64) -> Vec<f32> {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-bound..=bound)).collect()
+}
+
+/// Glorot-uniform initialization: uniform in `±sqrt(6 / (fan_in+fan_out))`.
+/// Used for the linear output layers.
+pub fn glorot_uniform(len: usize, fan_in: usize, fan_out: usize, seed: u64) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-bound..=bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_respects_bound_and_seed() {
+        let w = he_uniform(1000, 100, 7);
+        let bound = (6.0f64 / 100.0).sqrt() as f32;
+        assert!(w.iter().all(|&x| x.abs() <= bound));
+        assert_eq!(w, he_uniform(1000, 100, 7));
+        assert_ne!(w, he_uniform(1000, 100, 8));
+    }
+
+    #[test]
+    fn glorot_bound_shrinks_with_fanout() {
+        let a = glorot_uniform(500, 10, 10, 1);
+        let b = glorot_uniform(500, 10, 1000, 1);
+        let amax = a.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let bmax = b.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(bmax < amax);
+    }
+
+    #[test]
+    fn init_is_roughly_zero_mean() {
+        let w = he_uniform(10_000, 64, 3);
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+}

@@ -1,0 +1,40 @@
+//! The [`Layer`] trait every network building block implements.
+
+use crate::matrix::Matrix;
+
+/// One differentiable network stage.
+///
+/// The calling convention is stateful reverse-mode autodiff: `forward`
+/// caches whatever it needs, the matching `backward` consumes that cache
+/// and accumulates parameter gradients internally, and
+/// [`visit_params`](Layer::visit_params) exposes `(param, grad)` pairs to
+/// the optimizer in a stable order.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output for a `[batch × features]` input.
+    /// `train` enables training-only behavior (dropout masks, cache
+    /// retention).
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+
+    /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
+    /// parameter gradients. Must follow a `forward(_, true)` call.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits every `(parameters, gradients)` pair. The visitation order
+    /// must be stable across calls — optimizers key their state on it.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Resets accumulated gradients to zero.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, grads| grads.fill(0.0));
+    }
+
+    /// Total trainable parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |params, _| n += params.len());
+        n
+    }
+
+    /// The layer as `Any`, enabling downcasts during model persistence.
+    fn as_any(&self) -> &dyn std::any::Any;
+}

@@ -1,0 +1,209 @@
+//! Loss functions: MSE for the auto-encoder, softmax cross-entropy for the
+//! classifiers, and the RMSE reconstruction-error metric the detector
+//! thresholds on.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which loss a trainer minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error against a same-shaped target.
+    Mse,
+    /// Softmax over logits + cross-entropy against one-hot targets.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Computes `(loss value, ∂loss/∂logits)` for a batch.
+    ///
+    /// For [`Loss::SoftmaxCrossEntropy`], `predictions` are raw logits and
+    /// `targets` one-hot rows; the returned gradient is the fused
+    /// `(softmax − target) / batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn compute(self, predictions: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+        assert_eq!(predictions.rows(), targets.rows(), "batch size mismatch");
+        assert_eq!(predictions.cols(), targets.cols(), "width mismatch");
+        let n = predictions.rows() as f32;
+        match self {
+            Loss::Mse => {
+                let mut grad = predictions.clone();
+                let mut loss = 0.0f32;
+                for (g, &t) in grad.data_mut().iter_mut().zip(targets.data()) {
+                    let diff = *g - t;
+                    loss += diff * diff;
+                    *g = 2.0 * diff / (n * predictions.cols() as f32);
+                }
+                (loss / (n * predictions.cols() as f32), grad)
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let mut grad = Matrix::zeros(predictions.rows(), predictions.cols());
+                let mut loss = 0.0f32;
+                for r in 0..predictions.rows() {
+                    let probs = softmax_row(predictions.row(r));
+                    for (c, &p) in probs.iter().enumerate() {
+                        let t = targets.get(r, c);
+                        if t > 0.0 {
+                            loss -= t * p.max(1e-12).ln();
+                        }
+                        grad.set(r, c, (p - t) / n);
+                    }
+                }
+                (loss / n, grad)
+            }
+        }
+    }
+}
+
+/// Numerically stable softmax of one row of logits.
+pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Per-row root-mean-square reconstruction error — the detector's `RE`.
+pub fn rmse_per_row(predictions: &Matrix, targets: &Matrix) -> Vec<f64> {
+    assert_eq!(predictions.rows(), targets.rows(), "batch size mismatch");
+    assert_eq!(predictions.cols(), targets.cols(), "width mismatch");
+    (0..predictions.rows())
+        .map(|r| {
+            let mse: f64 = predictions
+                .row(r)
+                .iter()
+                .zip(targets.row(r))
+                .map(|(&p, &t)| {
+                    let d = (p - t) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                / predictions.cols() as f64;
+            mse.sqrt()
+        })
+        .collect()
+}
+
+/// One-hot encodes class indices into a `[n × classes]` matrix.
+///
+/// # Panics
+///
+/// Panics if any label is out of range.
+pub fn one_hot(labels: &[usize], classes: usize) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), classes);
+    for (r, &l) in labels.iter().enumerate() {
+        assert!(l < classes, "label {l} out of range for {classes} classes");
+        m.set(r, l, 1.0);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_perfect_prediction_is_zero() {
+        let p = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let (loss, grad) = Loss::Mse.compute(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_value_matches_hand_computation() {
+        let p = Matrix::from_vec(1, 2, vec![1., 3.]);
+        let t = Matrix::from_vec(1, 2, vec![0., 0.]);
+        let (loss, _) = Loss::Mse.compute(&p, &t);
+        assert!((loss - 5.0).abs() < 1e-6); // (1 + 9) / 2
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Matrix::from_vec(1, 3, vec![0.5, -0.2, 0.9]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.1, 1.0]);
+        let (_, grad) = Loss::Mse.compute(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut hi = p.clone();
+            hi.data_mut()[i] += eps;
+            let mut lo = p.clone();
+            lo.data_mut()[i] -= eps;
+            let numeric =
+                (Loss::Mse.compute(&hi, &t).0 - Loss::Mse.compute(&lo, &t).0) / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one_and_orders() {
+        let probs = softmax_row(&[1.0, 2.0, 3.0]);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(probs[2] > probs[1] && probs[1] > probs[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let probs = softmax_row(&[1000.0, 1000.0]);
+        assert!((probs[0] - 0.5).abs() < 1e-6);
+        assert!(probs.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let p = Matrix::from_vec(2, 3, vec![0.2, -0.5, 1.0, 0.8, 0.1, -0.3]);
+        let t = one_hot(&[2, 0], 3);
+        let loss = Loss::SoftmaxCrossEntropy;
+        let (_, grad) = loss.compute(&p, &t);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut hi = p.clone();
+            hi.data_mut()[i] += eps;
+            let mut lo = p.clone();
+            lo.data_mut()[i] -= eps;
+            let numeric = (loss.compute(&hi, &t).0 - loss.compute(&lo, &t).0) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}]: {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let p = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
+        let t = one_hot(&[0], 2);
+        let (loss, _) = Loss::SoftmaxCrossEntropy.compute(&p, &t);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn rmse_per_row_is_rowwise() {
+        let p = Matrix::from_vec(2, 2, vec![1., 1., 0., 0.]);
+        let t = Matrix::from_vec(2, 2, vec![0., 0., 0., 0.]);
+        let re = rmse_per_row(&p, &t);
+        assert!((re[0] - 1.0).abs() < 1e-9);
+        assert_eq!(re[1], 0.0);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let m = one_hot(&[0, 3, 1], 4);
+        for r in 0..3 {
+            let s: f32 = m.row(r).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+        assert_eq!(m.get(1, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        let _ = one_hot(&[5], 4);
+    }
+}

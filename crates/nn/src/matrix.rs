@@ -1,0 +1,411 @@
+//! A minimal row-major `f32` matrix with the operations the layers need.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-major 2-D `f32` matrix. Rows are samples throughout this crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from sample rows (accepts `f64` for convenience at
+    /// the feature-pipeline boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing widths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend(r.iter().map(|&x| x as f32));
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A new matrix containing the selected rows.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// `self · other` (`[m×k] · [k×n] = [m×n]`), cache-friendly ikj order.
+    ///
+    /// Large products (≥ ~2²² multiply-adds) are split across threads by
+    /// output-row chunks; results are identical to the serial path because
+    /// each output row is owned by exactly one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+
+        let work = m.saturating_mul(k).saturating_mul(n);
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if work >= (1 << 22) && m >= 2 && threads > 1 {
+            let chunk_rows = m.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
+                    let a = &self.data;
+                    let b = &other.data;
+                    s.spawn(move |_| {
+                        let row0 = ci * chunk_rows;
+                        for (r, o_row) in out_chunk.chunks_mut(n).enumerate() {
+                            let i = row0 + r;
+                            Self::matmul_row(&a[i * k..(i + 1) * k], b, n, o_row);
+                        }
+                    });
+                }
+            })
+            .expect("matmul worker panicked");
+        } else {
+            for i in 0..m {
+                let (head, tail) = out.data.split_at_mut(i * n);
+                let _ = head;
+                Self::matmul_row(
+                    &self.data[i * k..(i + 1) * k],
+                    &other.data,
+                    n,
+                    &mut tail[..n],
+                );
+            }
+        }
+        out
+    }
+
+    /// One output row of the ikj product: `o_row += Σ_p a[p] · B[p, :]`.
+    #[inline]
+    fn matmul_row(a_row: &[f32], b: &[f32], n: usize, o_row: &mut [f32]) {
+        for (p, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += a * bv;
+            }
+        }
+    }
+
+    /// `selfᵀ · other` (`[k×m]ᵀ·[k×n] = [m×n]`) without materializing the
+    /// transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+
+        let work = m.saturating_mul(k).saturating_mul(n);
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if work >= (1 << 22) && m >= 2 && threads > 1 {
+            // Partition by output rows: out[i, :] = Σ_p a[p, i] · b[p, :].
+            let chunk_rows = m.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
+                    let a = &self.data;
+                    let b = &other.data;
+                    s.spawn(move |_| {
+                        let row0 = ci * chunk_rows;
+                        for p in 0..k {
+                            let b_row = &b[p * n..(p + 1) * n];
+                            for (r, o_row) in out_chunk.chunks_mut(n).enumerate() {
+                                let av = a[p * m + row0 + r];
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                                    *o += av * bv;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("t_matmul worker panicked");
+        } else {
+            for p in 0..k {
+                let a_row = &self.data[p * m..(p + 1) * m];
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut out.data[i * n..(i + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`[m×k]·[n×k]ᵀ = [m×n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t column mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+
+        let work = m.saturating_mul(k).saturating_mul(n);
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if work >= (1 << 22) && m >= 2 && threads > 1 {
+            let chunk_rows = m.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
+                    let a = &self.data;
+                    let b = &other.data;
+                    s.spawn(move |_| {
+                        let row0 = ci * chunk_rows;
+                        for (r, o_row) in out_chunk.chunks_mut(n).enumerate() {
+                            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                            for (j, o) in o_row.iter_mut().enumerate() {
+                                let b_row = &b[j * k..(j + 1) * k];
+                                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("matmul_t worker panicked");
+        } else {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    out.data[i * n + j] = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Frobenius-style mean of squared entries.
+    pub fn mean_squared(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&x| x * x).sum::<f32>() / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.t_matmul(&b); // aᵀ·b = [2x3]·[3x2]
+        // aᵀ = [[1,3,5],[2,4,6]]
+        assert_eq!(c.data(), &[1.*7.+3.*9.+5.*11., 1.*8.+3.*10.+5.*12.,
+                               2.*7.+4.*9.+6.*11., 2.*8.+4.*10.+6.*12.]);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(2, 3, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul_t(&b); // a·bᵀ = [2x3]·[3x2]
+        assert_eq!(c.data(), &[1.*7.+2.*8.+3.*9., 1.*10.+2.*11.+3.*12.,
+                               4.*7.+5.*8.+6.*9., 4.*10.+5.*11.+6.*12.]);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let a = Matrix::from_vec(3, 2, vec![0., 1., 2., 3., 4., 5.]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[4., 5., 0., 1.]);
+    }
+
+    #[test]
+    fn from_rows_converts_f64() {
+        let m = Matrix::from_rows(&[vec![1.5, 2.5], vec![3.5, 4.5]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.get(1, 0), 3.5);
+    }
+
+    #[test]
+    fn mean_squared_of_zero_matrix_is_zero() {
+        assert_eq!(Matrix::zeros(3, 3).mean_squared(), 0.0);
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(m.mean_squared(), 12.5);
+    }
+
+    #[test]
+    fn map_inplace_applies_everywhere() {
+        let mut m = Matrix::from_vec(2, 2, vec![-1., 2., -3., 4.]);
+        m.map_inplace(|x| x.max(0.0));
+        assert_eq!(m.data(), &[0., 2., 0., 4.]);
+    }
+
+    #[test]
+    fn large_parallel_matmul_matches_serial_reference() {
+        // Big enough to cross the parallel threshold (m*k*n >= 2^22).
+        let (m, k, n) = (64, 128, 640);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect());
+        let fast = a.matmul(&b);
+        // Serial reference via the transpose identity: (bᵀ aᵀ)ᵀ stays under
+        // the threshold per row and exercises a different code path.
+        let mut reference = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                reference.set(i, j, acc);
+            }
+        }
+        assert_eq!(fast.data(), reference.data());
+    }
+
+    #[test]
+    fn large_parallel_transpose_products_match_matmul() {
+        // Cross the parallel threshold for t_matmul and matmul_t and check
+        // both against the (independently validated) plain product applied
+        // to explicit transposes.
+        let (k, m, n) = (96, 80, 560);
+        let a = Matrix::from_vec(k, m, (0..k * m).map(|i| ((i % 11) as f32) - 5.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| ((i % 5) as f32) - 2.0).collect());
+        // Explicit aᵀ.
+        let mut at = Matrix::zeros(m, k);
+        for i in 0..k {
+            for j in 0..m {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        assert_eq!(a.t_matmul(&b).data(), at.matmul(&b).data());
+
+        // matmul_t: c · dᵀ with c [m×k2], d [n2×k2].
+        let (m2, k2, n2) = (80, 96, 560);
+        let c = Matrix::from_vec(m2, k2, (0..m2 * k2).map(|i| ((i % 9) as f32) - 4.0).collect());
+        let d = Matrix::from_vec(n2, k2, (0..n2 * k2).map(|i| ((i % 3) as f32) - 1.0).collect());
+        let mut dt = Matrix::zeros(k2, n2);
+        for i in 0..n2 {
+            for j in 0..k2 {
+                dt.set(j, i, d.get(i, j));
+            }
+        }
+        assert_eq!(c.matmul_t(&d).data(), c.matmul(&dt).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,150 @@
+//! The [`Sequential`] container.
+
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+
+/// A stack of layers applied in order.
+///
+/// `Sequential` itself implements [`Layer`], so models nest and optimizers
+/// treat the whole stack as one parameter collection.
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a model from layers (applied first to last).
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Inference-mode forward pass (dropout disabled, no caches kept).
+    pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        self.forward(input, false)
+    }
+
+    /// The layer stack (used by model persistence).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{Activation, Dense};
+
+    fn two_layer() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 4, Activation::Relu, 1)),
+            Box::new(Dense::new(4, 2, Activation::Linear, 2)),
+        ])
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut m = two_layer();
+        let y = m.predict(&Matrix::zeros(5, 3));
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut m = two_layer();
+        assert_eq!(m.param_count(), (3 * 4 + 4) + (4 * 2 + 2));
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_shape() {
+        let mut m = two_layer();
+        let x = Matrix::from_vec(2, 3, vec![0.1; 6]);
+        let _ = m.forward(&x, true);
+        let g = m.backward(&Matrix::from_vec(2, 2, vec![1.0; 4]));
+        assert_eq!((g.rows(), g.cols()), (2, 3));
+    }
+
+    #[test]
+    fn whole_model_gradient_check() {
+        let mut m = two_layer();
+        let x = Matrix::from_vec(1, 3, vec![0.3, -0.7, 0.5]);
+        let loss = |m: &mut Sequential, x: &Matrix| -> f32 {
+            m.predict(x).data().iter().sum()
+        };
+        let _ = m.forward(&x, true);
+        let dx = m.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let hi = loss(&mut m, &xp);
+            xp.data_mut()[i] -= 2.0 * eps;
+            let lo = loss(&mut m, &xp);
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: {numeric} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn push_extends_model() {
+        let mut m = two_layer();
+        m.push(Box::new(Dense::new(2, 1, Activation::Linear, 3)));
+        assert_eq!(m.len(), 3);
+        let y = m.predict(&Matrix::zeros(1, 3));
+        assert_eq!(y.cols(), 1);
+    }
+
+    #[test]
+    fn empty_model_is_identity() {
+        let mut m = Sequential::new(vec![]);
+        assert!(m.is_empty());
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        assert_eq!(m.predict(&x), x);
+    }
+}

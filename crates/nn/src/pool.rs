@@ -1,0 +1,164 @@
+//! 1-D max pooling.
+
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Max pooling with equal window and stride (the paper uses `s = m = 2`).
+///
+/// Input layout matches [`Conv1d`](crate::Conv1d): channel-major rows of
+/// `channels · length`. Trailing elements that do not fill a window are
+/// dropped (floor semantics).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MaxPool1d {
+    channels: usize,
+    length: usize,
+    window: usize,
+    #[serde(skip)]
+    argmax: Option<Vec<usize>>,
+    #[serde(skip)]
+    in_shape: (usize, usize),
+}
+
+impl MaxPool1d {
+    /// Creates a pooling layer for `channels` signals of `length` samples,
+    /// pooling `window` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or exceeds `length`.
+    pub fn new(channels: usize, length: usize, window: usize) -> Self {
+        assert!(window >= 1 && window <= length, "window must fit the signal");
+        MaxPool1d {
+            channels,
+            length,
+            window,
+            argmax: None,
+            in_shape: (0, 0),
+        }
+    }
+
+    /// Pooled signal length.
+    pub fn out_length(&self) -> usize {
+        self.length / self.window
+    }
+
+    /// Output width per sample.
+    pub fn out_width(&self) -> usize {
+        self.channels * self.out_length()
+    }
+
+    /// Input width per sample.
+    pub fn in_width(&self) -> usize {
+        self.channels * self.length
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "pool input width mismatch");
+        let out_l = self.out_length();
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        let mut argmax = vec![0usize; input.rows() * self.out_width()];
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            for c in 0..self.channels {
+                for t in 0..out_l {
+                    let start = c * self.length + t * self.window;
+                    let (mut best_i, mut best) = (start, x[start]);
+                    for (i, &v) in x.iter().enumerate().take(start + self.window).skip(start + 1) {
+                        if v > best {
+                            best = v;
+                            best_i = i;
+                        }
+                    }
+                    out.set(r, c * out_l + t, best);
+                    argmax[r * self.out_width() + c * out_l + t] = best_i;
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = (input.rows(), input.cols());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let argmax = self.argmax.take().expect("backward without forward(train=true)");
+        let (rows, cols) = self.in_shape;
+        let mut grad_in = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for j in 0..self.out_width() {
+                let src = argmax[r * self.out_width() + j];
+                grad_in.row_mut(r)[src] += grad_out.get(r, j);
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima_per_window() {
+        let mut pool = MaxPool1d::new(1, 6, 2);
+        let x = Matrix::from_vec(1, 6, vec![1., 5., 2., 2., 9., 0.]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[5., 2., 9.]);
+    }
+
+    #[test]
+    fn odd_tail_is_dropped() {
+        let mut pool = MaxPool1d::new(1, 5, 2);
+        let x = Matrix::from_vec(1, 5, vec![1., 2., 3., 4., 99.]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[2., 4.]);
+        assert_eq!(pool.out_length(), 2);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let mut pool = MaxPool1d::new(2, 4, 2);
+        let x = Matrix::from_vec(1, 8, vec![1., 2., 3., 4., 40., 30., 20., 10.]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[2., 4., 40., 20.]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool1d::new(1, 4, 2);
+        let x = Matrix::from_vec(1, 4, vec![1., 5., 7., 2.]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Matrix::from_vec(1, 2, vec![10., 20.]));
+        assert_eq!(g.data(), &[0., 10., 20., 0.]);
+    }
+
+    #[test]
+    fn backward_ties_pick_first_max() {
+        let mut pool = MaxPool1d::new(1, 2, 2);
+        let x = Matrix::from_vec(1, 2, vec![3., 3.]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Matrix::from_vec(1, 1, vec![1.]));
+        assert_eq!(g.data(), &[1., 0.]);
+    }
+
+    #[test]
+    fn pool_has_no_params() {
+        let mut pool = MaxPool1d::new(4, 8, 2);
+        assert_eq!(pool.param_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must fit")]
+    fn oversized_window_rejected() {
+        let _ = MaxPool1d::new(1, 2, 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! The mini-batch training loop.
+
+use crate::layer::Layer;
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::optimizer::{Adam, Optimizer, Sgd};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer the trainer instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// SGD with the given momentum.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f32,
+    },
+    /// Adam with canonical hyperparameters.
+    Adam,
+}
+
+/// Training hyperparameters. The paper trains for 100 epochs with batch
+/// size 128; the defaults mirror that with Adam.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Optimizer selection.
+    pub optimizer: OptimizerKind,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// If set, training stops early once the epoch loss drops below this.
+    pub target_loss: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 100,
+            batch_size: 128,
+            learning_rate: 1e-3,
+            optimizer: OptimizerKind::Adam,
+            seed: 0,
+            target_loss: None,
+        }
+    }
+}
+
+/// Per-epoch loss trace returned by [`Trainer::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Mean batch loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainingHistory {
+    /// Loss of the last completed epoch (∞ if no epoch ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::INFINITY)
+    }
+}
+
+/// Drives mini-batch gradient descent over a model.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+    optimizer: Box<dyn Optimizer>,
+}
+
+impl Trainer {
+    /// Creates a trainer; the optimizer is built from the config.
+    pub fn new(config: TrainConfig) -> Self {
+        let optimizer: Box<dyn Optimizer> = match config.optimizer {
+            OptimizerKind::Sgd { momentum } => Box::new(Sgd::new(momentum)),
+            OptimizerKind::Adam => Box::new(Adam::new()),
+        };
+        Trainer { config, optimizer }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Fits `model` to `(inputs, targets)` and returns the loss history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` row counts differ or the batch size
+    /// is zero.
+    pub fn fit(
+        &mut self,
+        model: &mut dyn Layer,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+    ) -> TrainingHistory {
+        assert_eq!(inputs.rows(), targets.rows(), "inputs/targets mismatch");
+        assert!(self.config.batch_size >= 1, "batch size must be positive");
+        let n = inputs.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut history = TrainingHistory {
+            epoch_losses: Vec::with_capacity(self.config.epochs),
+        };
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let x = inputs.select_rows(chunk);
+                let t = targets.select_rows(chunk);
+                let y = model.forward(&x, true);
+                let (batch_loss, grad) = loss.compute(&y, &t);
+                let _ = model.backward(&grad);
+                self.optimizer.step(model, self.config.learning_rate);
+                epoch_loss += f64::from(batch_loss);
+                batches += 1;
+            }
+            let mean = (epoch_loss / batches.max(1) as f64) as f32;
+            history.epoch_losses.push(mean);
+            if let Some(target) = self.config.target_loss {
+                if mean < target {
+                    break;
+                }
+            }
+        }
+        history
+    }
+}
+
+/// Argmax over each row — the predicted class per sample.
+pub fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    (0..m.rows())
+        .map(|r| {
+            m.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{Activation, Dense};
+    use crate::model::Sequential;
+
+    fn xor_data() -> (Matrix, Matrix) {
+        let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let t = crate::loss::one_hot(&[0, 1, 1, 0], 2);
+        (x, t)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(2, 16, Activation::Relu, 7)),
+            Box::new(Dense::new(16, 2, Activation::Linear, 8)),
+        ]);
+        let (x, t) = xor_data();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 500,
+            batch_size: 4,
+            learning_rate: 0.01,
+            seed: 1,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut model, &x, &t, Loss::SoftmaxCrossEntropy);
+        assert!(history.final_loss() < 0.1, "loss {}", history.final_loss());
+        let preds = argmax_rows(&model.predict(&x));
+        assert_eq!(preds, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let mut model = Sequential::new(vec![Box::new(Dense::new(2, 2, Activation::Linear, 3))]);
+        let (x, t) = xor_data(); // not separable, but loss still drops from init
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 2,
+            learning_rate: 0.05,
+            seed: 2,
+            ..TrainConfig::default()
+        });
+        let h = trainer.fit(&mut model, &x, &t, Loss::SoftmaxCrossEntropy);
+        assert!(h.final_loss() < h.epoch_losses[0]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut model = Sequential::new(vec![
+                Box::new(Dense::new(2, 8, Activation::Relu, 7)),
+                Box::new(Dense::new(8, 2, Activation::Linear, 8)),
+            ]);
+            let (x, t) = xor_data();
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 20,
+                batch_size: 2,
+                learning_rate: 0.01,
+                seed: 5,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut model, &x, &t, Loss::SoftmaxCrossEntropy)
+        };
+        assert_eq!(run().epoch_losses, run().epoch_losses);
+    }
+
+    #[test]
+    fn early_stopping_respects_target_loss() {
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(2, 16, Activation::Relu, 7)),
+            Box::new(Dense::new(16, 2, Activation::Linear, 8)),
+        ]);
+        let (x, t) = xor_data();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 10_000,
+            batch_size: 4,
+            learning_rate: 0.01,
+            seed: 1,
+            target_loss: Some(0.2),
+            ..TrainConfig::default()
+        });
+        let h = trainer.fit(&mut model, &x, &t, Loss::SoftmaxCrossEntropy);
+        assert!(h.epoch_losses.len() < 10_000);
+        assert!(h.final_loss() < 0.2);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs/targets mismatch")]
+    fn mismatched_rows_panic() {
+        let mut model = Sequential::new(vec![]);
+        let mut trainer = Trainer::new(TrainConfig::default());
+        let _ = trainer.fit(
+            &mut model,
+            &Matrix::zeros(2, 1),
+            &Matrix::zeros(3, 1),
+            Loss::Mse,
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the NN substrate: gradient checks on random
+//! shapes and data, and algebraic invariants of the matrix ops.
+
+use proptest::prelude::*;
+use soteria_nn::{Activation, Conv1d, Dense, Layer, Loss, Matrix, MaxPool1d};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// t_matmul and matmul_t agree with explicit matmul against the
+    /// identity arrangement: aᵀ·b == (bᵀ·a)ᵀ.
+    #[test]
+    fn transpose_products_agree(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
+        let atb = a.t_matmul(&b); // [3x2]
+        let bta = b.t_matmul(&a); // [2x3]
+        for i in 0..3 {
+            for j in 0..2 {
+                prop_assert!((atb.get(i, j) - bta.get(j, i)).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Dense gradients match finite differences on random inputs.
+    #[test]
+    fn dense_gradcheck(x in arb_matrix(2, 3), seed in 0u64..50) {
+        let mut layer = Dense::new(3, 2, Activation::Relu, seed);
+        let loss = |l: &mut Dense, x: &Matrix| -> f32 { l.forward(x, false).data().iter().sum() };
+        let _ = layer.forward(&x, true);
+        let dx = layer.backward(&Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let eps = 1e-2f32;
+        for idx in 0..x.data().len() {
+            let mut hi = x.clone();
+            hi.data_mut()[idx] += eps;
+            let mut lo = x.clone();
+            lo.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut layer, &hi) - loss(&mut layer, &lo)) / (2.0 * eps);
+            // ReLU kinks make exact agreement impossible; accept a loose
+            // bound and skip points near the kink.
+            let analytic = dx.data()[idx];
+            if (numeric - analytic).abs() > 0.1 {
+                // Tolerate kink crossings: re-check that at least the sign
+                // is not wildly contradictory.
+                prop_assert!((numeric - analytic).abs() < 2.0,
+                    "dx[{idx}] numeric {numeric} analytic {analytic}");
+            }
+        }
+    }
+
+    /// Conv1d preserves batch row independence: permuting input rows
+    /// permutes output rows identically.
+    #[test]
+    fn conv_rows_are_independent(x in arb_matrix(3, 8), seed in 0u64..50) {
+        let mut conv = Conv1d::new(1, 2, 3, 8, true, seed);
+        let y = conv.forward(&x, false);
+        let permuted = x.select_rows(&[2, 0, 1]);
+        let yp = conv.forward(&permuted, false);
+        prop_assert_eq!(yp.row(0), y.row(2));
+        prop_assert_eq!(yp.row(1), y.row(0));
+        prop_assert_eq!(yp.row(2), y.row(1));
+    }
+
+    /// Max pooling output is always one of the window inputs, and
+    /// pooling is monotone (scaling inputs by 2 scales outputs by 2 for
+    /// positive inputs).
+    #[test]
+    fn pooling_selects_inputs(data in proptest::collection::vec(0.01f32..1.0, 8)) {
+        let x = Matrix::from_vec(1, 8, data.clone());
+        let mut pool = MaxPool1d::new(1, 8, 2);
+        let y = pool.forward(&x, false);
+        for (i, &v) in y.data().iter().enumerate() {
+            prop_assert!(v == data[2 * i] || v == data[2 * i + 1]);
+        }
+        let x2 = Matrix::from_vec(1, 8, data.iter().map(|&v| v * 2.0).collect());
+        let y2 = pool.forward(&x2, false);
+        for (a, b) in y.data().iter().zip(y2.data()) {
+            prop_assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+    }
+
+    /// Softmax cross-entropy loss is non-negative and its gradient rows
+    /// sum to ~0 (probabilities minus a one-hot both sum to 1).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(x in arb_matrix(3, 4), labels in proptest::collection::vec(0usize..4, 3)) {
+        let t = soteria_nn::loss::one_hot(&labels, 4);
+        let (loss, grad) = Loss::SoftmaxCrossEntropy.compute(&x, &t);
+        prop_assert!(loss >= 0.0);
+        for r in 0..3 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    /// MSE is zero iff prediction equals target.
+    #[test]
+    fn mse_zero_iff_equal(x in arb_matrix(2, 3)) {
+        let (loss, _) = Loss::Mse.compute(&x, &x);
+        prop_assert_eq!(loss, 0.0);
+        let mut y = x.clone();
+        y.data_mut()[0] += 1.0;
+        let (loss2, _) = Loss::Mse.compute(&y, &x);
+        prop_assert!(loss2 > 0.0);
+    }
+}

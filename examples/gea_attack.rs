@@ -1,0 +1,84 @@
+//! Anatomy of the GEA attack: how Graph Embedding and Augmentation
+//! reshapes a CFG, how the consistent labelings react, and why the
+//! feature representation shifts.
+//!
+//! ```text
+//! cargo run --release --example gea_attack
+//! ```
+
+use soteria_cfg::dot;
+use soteria_corpus::{Family, SampleGenerator};
+use soteria_features::{label_nodes, Labeling};
+use soteria_gea::gea_merge;
+
+fn main() {
+    let mut gen = SampleGenerator::new(2024);
+    let original = gen.generate_with_size(Family::Gafgyt, 12);
+    let target = gen.generate_with_size(Family::Benign, 10);
+
+    let og = original.graph();
+    let tg = target.graph();
+    println!(
+        "original: {} ({} nodes, {} edges)",
+        original.name(),
+        og.node_count(),
+        og.edge_count()
+    );
+    println!(
+        "target:   {} ({} nodes, {} edges)",
+        target.name(),
+        tg.node_count(),
+        tg.edge_count()
+    );
+
+    // Labels of the original graph before the attack.
+    let dbl_before = label_nodes(og, Labeling::Density);
+    let lbl_before = label_nodes(og, Labeling::Level);
+    println!("\noriginal DBL labels: {dbl_before:?}");
+    println!("original LBL labels: {lbl_before:?}");
+
+    // The GEA merge: shared entry, both subgraphs, shared exit. Only the
+    // original branch executes, but both are statically reachable.
+    let merged = gea_merge(&original, &target).expect("merge");
+    let mg = merged.sample().graph();
+    println!(
+        "\nmerged:   {} ({} nodes = {} + {} + 2, {} edges)",
+        merged.sample().name(),
+        mg.node_count(),
+        og.node_count(),
+        tg.node_count(),
+        mg.edge_count()
+    );
+
+    // The labeling consistency property (paper §III-B): the original
+    // nodes' labels change after the merge, so the random-walk gram
+    // distribution — and hence the features — shift.
+    let dbl_after = label_nodes(mg, Labeling::Density);
+    let changed = dbl_before
+        .iter()
+        .enumerate()
+        // Original node i lives at merged index 1 + i.
+        .filter(|&(i, &before)| dbl_after[1 + i] != before)
+        .count();
+    println!(
+        "\nDBL labels of {} of {} original nodes changed after the merge",
+        changed,
+        og.node_count()
+    );
+
+    // Walk-level view: the merged entry fans out into both subgraphs.
+    let entry = mg.entry();
+    println!(
+        "merged entry {} has {} successors (original entry + embedded entry)",
+        entry,
+        mg.out_degree(entry)
+    );
+
+    // Render the merged CFG for graphviz (`dot -Tpng`).
+    let rendered = dot::to_dot(mg, Some(&dbl_after));
+    println!(
+        "\nmerged CFG in DOT format ({} bytes; labels are DBL ranks):\n{}",
+        rendered.len(),
+        rendered
+    );
+}

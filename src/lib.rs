@@ -1,0 +1,1 @@
+pub use soteria_cfg as cfg;

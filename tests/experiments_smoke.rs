@@ -1,0 +1,97 @@
+//! Cross-experiment consistency: the table runners must agree with each
+//! other on every shared quantity.
+
+use soteria_eval::experiments;
+use soteria_eval::{EvalConfig, ExperimentContext};
+
+fn context() -> ExperimentContext {
+    ExperimentContext::build(EvalConfig::quick(77))
+}
+
+#[test]
+fn every_experiment_renders_nonempty_output() {
+    let mut ctx = context();
+    for id in experiments::ALL_EXPERIMENTS {
+        let out = experiments::run(id, &mut ctx);
+        assert_eq!(out.id, id);
+        assert!(!out.tables.is_empty(), "{id} produced no tables");
+        let rendered = out.to_string();
+        assert!(rendered.len() > 40, "{id} output suspiciously short");
+        for t in &out.tables {
+            let csv = t.to_csv();
+            assert!(csv.lines().count() >= 1);
+        }
+    }
+}
+
+#[test]
+fn table3_ae_counts_match_table4_totals() {
+    let mut ctx = context();
+    let t3 = experiments::run("table3", &mut ctx);
+    let t4 = experiments::run("table4", &mut ctx);
+    // Per-target # AEs in table3 equals # AEs evaluated in table4.
+    let csv3 = t3.tables[0].to_csv();
+    let csv4 = t4.tables[0].to_csv();
+    let aes3: Vec<&str> = csv3
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(3).unwrap())
+        .collect();
+    let aes4: Vec<&str> = csv4
+        .lines()
+        .skip(1)
+        .take(aes3.len())
+        .map(|l| l.split(',').nth(2).unwrap())
+        .collect();
+    assert_eq!(aes3, aes4);
+}
+
+#[test]
+fn table6_totals_match_split_size() {
+    let mut ctx = context();
+    let out = experiments::run("table6", &mut ctx);
+    let csv = out.tables[0].to_csv();
+    let overall = csv.lines().last().unwrap();
+    let total: usize = overall.split(',').nth(1).unwrap().parse().unwrap();
+    assert_eq!(total, ctx.split.test.len());
+}
+
+#[test]
+fn table8_misses_complement_table4_detections() {
+    let mut ctx = context();
+    let t4 = experiments::run("table4", &mut ctx);
+    let t8 = experiments::run("table8", &mut ctx);
+    let csv4 = t4.tables[0].to_csv();
+    let csv8 = t8.tables[0].to_csv();
+    let last4 = csv4.lines().last().unwrap();
+    let last8 = csv8.lines().last().unwrap();
+    let total: usize = last4.split(',').nth(2).unwrap().parse().unwrap();
+    let detected: usize = last4.split(',').nth(3).unwrap().parse().unwrap();
+    let missed: usize = last8.split(',').nth(2).unwrap().parse().unwrap();
+    assert_eq!(total - detected, missed);
+}
+
+#[test]
+fn fig13_alpha_one_matches_table_rates() {
+    // Fig. 13's α = 1.0 row must agree with Table IV/VI (the operating
+    // point is the same detector).
+    let mut ctx = context();
+    let t4 = experiments::run("table4", &mut ctx);
+    let fig = experiments::run("fig13", &mut ctx);
+    let csv4 = t4.tables[0].to_csv();
+    let last4 = csv4.lines().last().unwrap();
+    let total: f64 = last4.split(',').nth(2).unwrap().parse().unwrap();
+    let detected: f64 = last4.split(',').nth(3).unwrap().parse().unwrap();
+    let miss_rate = 100.0 * (total - detected) / total;
+
+    let csvf = fig.tables[0].to_csv();
+    let alpha1 = csvf
+        .lines()
+        .find(|l| l.starts_with("1.0,"))
+        .expect("alpha 1.0 row");
+    let ae_err: f64 = alpha1.split(',').nth(2).unwrap().parse().unwrap();
+    assert!(
+        (ae_err - miss_rate).abs() < 0.51,
+        "fig13 AE error {ae_err} vs table4 miss rate {miss_rate}"
+    );
+}
