@@ -5,8 +5,8 @@ use serde::{Deserialize, Serialize};
 use soteria_cfg::{Cfg, GraphStats};
 use soteria_corpus::Family;
 use soteria_nn::{
-    loss::one_hot, trainer::argmax_rows, Activation, Dense, Loss, Matrix, Sequential,
-    TrainConfig, Trainer,
+    loss::one_hot, trainer::argmax_rows, Activation, Dense, Loss, Matrix, Sequential, TrainConfig,
+    Trainer,
 };
 
 /// Training hyperparameters for the baseline.
@@ -110,7 +110,12 @@ impl AlasmaryClassifier {
         let x = Matrix::from_rows(&rows);
         let t = one_hot(labels, classes);
         let mut model = Sequential::new(vec![
-            Box::new(Dense::new(x.cols(), config.hidden[0], Activation::Relu, seed)),
+            Box::new(Dense::new(
+                x.cols(),
+                config.hidden[0],
+                Activation::Relu,
+                seed,
+            )),
             Box::new(Dense::new(
                 config.hidden[0],
                 config.hidden[1],
@@ -179,8 +184,7 @@ mod tests {
         let c = corpus();
         let graphs: Vec<&Cfg> = c.samples().iter().map(|s| s.graph()).collect();
         let labels: Vec<usize> = c.samples().iter().map(|s| s.family().index()).collect();
-        let mut clf =
-            AlasmaryClassifier::train(&AlasmaryConfig::default(), &graphs, &labels, 4, 5);
+        let mut clf = AlasmaryClassifier::train(&AlasmaryConfig::default(), &graphs, &labels, 4, 5);
         let correct = graphs
             .iter()
             .zip(&labels)

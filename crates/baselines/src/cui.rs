@@ -66,7 +66,9 @@ pub fn binary_to_image(sample: &Sample, size: ImageSize) -> Vec<f64> {
     for (p, slot) in out.iter_mut().enumerate() {
         // Bin [start, end) of the byte stream maps to pixel p.
         let start = p * bytes.len() / pixels;
-        let end = (((p + 1) * bytes.len()) / pixels).max(start + 1).min(bytes.len());
+        let end = (((p + 1) * bytes.len()) / pixels)
+            .max(start + 1)
+            .min(bytes.len());
         let sum: u64 = bytes[start..end.max(start + 1)]
             .iter()
             .map(|&b| u64::from(b))
@@ -155,7 +157,12 @@ impl CuiClassifier {
                 seed ^ 0x2,
             )),
             Box::new(Dropout::new(config.dropout, seed ^ 0x3)),
-            Box::new(Dense::new(config.dense, classes, Activation::Linear, seed ^ 0x4)),
+            Box::new(Dense::new(
+                config.dense,
+                classes,
+                Activation::Linear,
+                seed ^ 0x4,
+            )),
         ]);
         let mut trainer = Trainer::new(TrainConfig {
             epochs: config.epochs,
@@ -222,12 +229,8 @@ mod tests {
         let clean = binary_to_image(s, ImageSize::S24);
         let mut binary = s.binary().clone();
         binary.append_trailing(&[0xFFu8; 4096]);
-        let dirty_sample = soteria_corpus::SampleGenerator::lift(
-            "dirty".into(),
-            s.family(),
-            binary,
-        )
-        .unwrap();
+        let dirty_sample =
+            soteria_corpus::SampleGenerator::lift("dirty".into(), s.family(), binary).unwrap();
         let dirty = binary_to_image(&dirty_sample, ImageSize::S24);
         assert_ne!(clean, dirty);
     }

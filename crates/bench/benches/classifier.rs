@@ -15,7 +15,11 @@ fn setup() -> (Vec<SampleFeatures>, Vec<usize>) {
     let owned: Vec<Cfg> = graphs.iter().map(|g| (*g).clone()).collect();
     let extractor = FeatureExtractor::fit(&config.extractor, &owned, 1);
     let features = extractor.extract_batch(&graphs, 2);
-    let labels: Vec<usize> = corpus.samples().iter().map(|s| s.family().index()).collect();
+    let labels: Vec<usize> = corpus
+        .samples()
+        .iter()
+        .map(|s| s.family().index())
+        .collect();
     (features, labels)
 }
 

@@ -52,7 +52,8 @@ impl CfgBuilder {
     /// its id.
     pub fn add_block(&mut self, address: u64, instruction_count: u32) -> BlockId {
         let id = BlockId::new(self.blocks.len());
-        self.blocks.push(BasicBlock::new(address, instruction_count));
+        self.blocks
+            .push(BasicBlock::new(address, instruction_count));
         id
     }
 
@@ -118,12 +119,15 @@ impl CfgBuilder {
     /// Returns [`CfgError::Empty`] if no blocks were added and
     /// [`CfgError::UnknownBlock`] if `entry` is out of range.
     pub fn build(self, entry: BlockId) -> Result<Cfg, CfgError> {
+        let _span = soteria_telemetry::span("cfg.build");
         if self.blocks.is_empty() {
             return Err(CfgError::Empty);
         }
         if entry.index() >= self.blocks.len() {
             return Err(CfgError::UnknownBlock(entry));
         }
+        soteria_telemetry::counter("cfg.built", 1);
+        soteria_telemetry::counter("cfg.built.nodes", self.blocks.len() as u64);
         let n = self.blocks.len();
         let mut succ = vec![Vec::new(); n];
         let mut pred = vec![Vec::new(); n];
@@ -164,7 +168,10 @@ mod tests {
 
     #[test]
     fn build_empty_graph_fails() {
-        assert_eq!(CfgBuilder::new().build(BlockId::new(0)), Err(CfgError::Empty));
+        assert_eq!(
+            CfgBuilder::new().build(BlockId::new(0)),
+            Err(CfgError::Empty)
+        );
     }
 
     #[test]

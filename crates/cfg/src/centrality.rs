@@ -58,6 +58,7 @@ impl CentralityFactors {
     /// paper's `Δ(v)/Δ(m)` ratio) in `O(V·E)` plus one BFS per node for
     /// closeness.
     pub fn compute(cfg: &Cfg) -> Self {
+        let _span = soteria_telemetry::span("cfg.centrality");
         CentralityFactors {
             betweenness: betweenness_ratio(cfg),
             closeness: closeness(cfg),

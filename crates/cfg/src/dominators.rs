@@ -8,7 +8,6 @@
 
 use crate::block::BlockId;
 use crate::graph::Cfg;
-use crate::traversal;
 
 /// The immediate-dominator tree of the blocks reachable from the entry.
 #[derive(Debug, Clone, PartialEq, Eq)]

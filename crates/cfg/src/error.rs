@@ -38,7 +38,10 @@ mod tests {
         assert_eq!(e.to_string(), "unknown block B7");
         let e = CfgError::DuplicateEdge(BlockId::new(1), BlockId::new(2));
         assert_eq!(e.to_string(), "duplicate edge B1 -> B2");
-        assert_eq!(CfgError::Empty.to_string(), "cannot build a graph with no blocks");
+        assert_eq!(
+            CfgError::Empty.to_string(),
+            "cannot build a graph with no blocks"
+        );
     }
 
     #[test]

@@ -118,14 +118,17 @@ impl Cfg {
     /// instead of calling [`undirected_neighbors`](Cfg::undirected_neighbors)
     /// in a loop (walks, centrality BFS) to avoid per-step allocation.
     pub fn undirected_adjacency(&self) -> Vec<Vec<BlockId>> {
-        self.block_ids().map(|v| self.undirected_neighbors(v)).collect()
+        self.block_ids()
+            .map(|v| self.undirected_neighbors(v))
+            .collect()
     }
 
     /// Iterates over all directed edges `(from, to)` in dense order.
     pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
-        self.succ.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |&t| (BlockId::new(i), t))
-        })
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |&t| (BlockId::new(i), t)))
     }
 
     /// Exit blocks: blocks with no successors.
@@ -199,7 +202,10 @@ impl Cfg {
 
     /// Total instruction count across all blocks.
     pub fn instruction_count(&self) -> u64 {
-        self.blocks.iter().map(|b| u64::from(b.instruction_count())).sum()
+        self.blocks
+            .iter()
+            .map(|b| u64::from(b.instruction_count()))
+            .sum()
     }
 
     /// Whether the directed edge `from -> to` exists.
@@ -238,8 +244,14 @@ mod tests {
         let g = diamond();
         let e = crate::BlockId::new(0);
         let x = crate::BlockId::new(3);
-        assert_eq!(g.successors(e), &[crate::BlockId::new(1), crate::BlockId::new(2)]);
-        assert_eq!(g.predecessors(x), &[crate::BlockId::new(1), crate::BlockId::new(2)]);
+        assert_eq!(
+            g.successors(e),
+            &[crate::BlockId::new(1), crate::BlockId::new(2)]
+        );
+        assert_eq!(
+            g.predecessors(x),
+            &[crate::BlockId::new(1), crate::BlockId::new(2)]
+        );
         assert_eq!(g.in_degree(e), 0);
         assert_eq!(g.out_degree(e), 2);
     }
@@ -302,7 +314,10 @@ mod tests {
         let g = diamond();
         let (sub, remap) = g.reachable_subgraph();
         assert_eq!(sub, g);
-        assert!(remap.iter().enumerate().all(|(i, m)| m.map(|b| b.index()) == Some(i)));
+        assert!(remap
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.map(|b| b.index()) == Some(i)));
     }
 
     #[test]

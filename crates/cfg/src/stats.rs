@@ -101,11 +101,15 @@ pub struct GraphStats {
 impl GraphStats {
     /// Computes all 23 features for `cfg`.
     pub fn compute(cfg: &Cfg) -> Self {
+        let _span = soteria_telemetry::span("cfg.graph_stats");
         let n = cfg.node_count();
 
         let mut path_lengths = Vec::new();
         for v in cfg.block_ids() {
-            for d in traversal::undirected_distances(cfg, v).into_iter().flatten() {
+            for d in traversal::undirected_distances(cfg, v)
+                .into_iter()
+                .flatten()
+            {
                 if d > 0 {
                     path_lengths.push(d as f64);
                 }
@@ -261,6 +265,9 @@ mod tests {
             b.add_edge(e, f).unwrap();
             b.build(e).unwrap()
         };
-        assert_eq!(GraphStats::compute(&build(1)), GraphStats::compute(&build(50)));
+        assert_eq!(
+            GraphStats::compute(&build(1)),
+            GraphStats::compute(&build(50))
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests for the CFG substrate.
 
 use proptest::prelude::*;
-use soteria_cfg::{centrality, density, dominators, traversal, BlockId, Cfg, CfgBuilder, GraphStats};
+use soteria_cfg::{
+    centrality, density, dominators, traversal, BlockId, Cfg, CfgBuilder, GraphStats,
+};
 
 /// Strategy: a random connected-ish digraph with `n` in 1..=max_nodes.
 /// Every non-entry node gets at least one incoming edge from an

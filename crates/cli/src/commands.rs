@@ -19,15 +19,23 @@ fn parse(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Stri
                 flags.insert("dot".to_string(), "true".to_string());
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value.clone());
         } else {
             positional.push(a.clone());
         }
     }
     Ok((flags, positional))
+}
+
+/// Honors `--metrics PATH`: writes the telemetry snapshot (counters +
+/// span timings for everything the command just did) as pretty JSON.
+fn write_metrics_if_requested(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("metrics") {
+        soteria_telemetry::snapshot().write_json(&PathBuf::from(path))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
 }
 
 fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
@@ -68,8 +76,7 @@ pub fn gen(args: &[String]) -> Result<(), String> {
 pub fn inspect(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse(args)?;
     let file = positional.first().ok_or("inspect needs a FILE")?;
-    let bytes =
-        std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+    let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
     let binary = soteria_corpus::Binary::parse(&bytes).map_err(|e| e.to_string())?;
     let lifted = disasm::lift(&binary).map_err(|e| e.to_string())?;
     let (reachable, _) = lifted.cfg.reachable_subgraph();
@@ -88,7 +95,10 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     println!("  data ranges       {:?}", lifted.data_ranges);
     println!("  reachable blocks  {}", reachable.node_count());
     println!("  reachable edges   {}", reachable.edge_count());
-    println!("  graph density     {:.4}", density::graph_density(&reachable));
+    println!(
+        "  graph density     {:.4}",
+        density::graph_density(&reachable)
+    );
     let stats = GraphStats::compute(&reachable);
     println!(
         "  shortest paths    min {:.0} / mean {:.2} / max {:.0}",
@@ -120,12 +130,21 @@ pub fn disassemble(args: &[String]) -> Result<(), String> {
     let mut off = 0u32;
     while (off as usize) < code.len() {
         if let Some(&id) = block_at.get(&off) {
-            let tag = if reachable[id.index()] { "" } else { "  ; unreachable" };
-            println!("
-{id}:{tag}");
+            let tag = if reachable[id.index()] {
+                ""
+            } else {
+                "  ; unreachable"
+            };
+            println!(
+                "
+{id}:{tag}"
+            );
         }
         // Skip data ranges the lifter marked.
-        if let Some(&(_, end)) = lifted.data_ranges.iter().find(|&&(s, e)| s <= off && off < e)
+        if let Some(&(_, end)) = lifted
+            .data_ranges
+            .iter()
+            .find(|&&(s, e)| s <= off && off < e)
         {
             println!("  {off:#06x}  .data {} bytes", end - off);
             off = end;
@@ -148,7 +167,9 @@ pub fn disassemble(args: &[String]) -> Result<(), String> {
 /// `attack --original FILE --target FILE --out FILE`
 pub fn attack(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
-    let original_path = flags.get("original").ok_or("attack needs --original FILE")?;
+    let original_path = flags
+        .get("original")
+        .ok_or("attack needs --original FILE")?;
     let target_path = flags.get("target").ok_or("attack needs --target FILE")?;
     let out = flags.get("out").ok_or("attack needs --out FILE")?;
 
@@ -185,7 +206,7 @@ fn train_on_dir(corpus_dir: &str, seed: u64) -> Result<Soteria, String> {
     Ok(system)
 }
 
-/// `train --corpus DIR --out MODEL.json [--seed N]`
+/// `train --corpus DIR --out MODEL.json [--seed N] [--metrics PATH]`
 pub fn train(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
     let corpus_dir = flags.get("corpus").ok_or("train needs --corpus DIR")?;
@@ -195,10 +216,10 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let json = system.save_state()?.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote model to {out} ({} bytes)", json.len());
-    Ok(())
+    write_metrics_if_requested(&flags)
 }
 
-/// `analyze (--corpus DIR | --model MODEL.json) [--seed N] FILE...`
+/// `analyze (--corpus DIR | --model MODEL.json) [--seed N] [--metrics PATH] FILE...`
 pub fn analyze(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse(args)?;
     let seed = flag_u64(&flags, "seed", 7)?;
@@ -207,8 +228,8 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
     }
 
     let mut system = if let Some(model_path) = flags.get("model") {
-        let json = std::fs::read_to_string(model_path)
-            .map_err(|e| format!("read {model_path}: {e}"))?;
+        let json =
+            std::fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
         let state = soteria::SoteriaState::from_json(&json).map_err(|e| e.to_string())?;
         eprintln!("loaded model from {model_path}");
         Soteria::from_state(state)
@@ -234,7 +255,7 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
             ),
         }
     }
-    Ok(())
+    write_metrics_if_requested(&flags)
 }
 
 #[cfg(test)]
@@ -280,8 +301,15 @@ mod tests {
     fn gen_and_inspect_round_trip() {
         let dir = std::env::temp_dir().join(format!("soteria-cli-gen-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        gen(&argv(&["--out", dir.to_str().unwrap(), "--scale", "0.0001", "--seed", "3"]))
-            .unwrap();
+        gen(&argv(&[
+            "--out",
+            dir.to_str().unwrap(),
+            "--scale",
+            "0.0001",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
         // Inspect the first generated file.
         let manifest: crate::store::Manifest = serde_json::from_str(
             &std::fs::read_to_string(dir.join(crate::store::MANIFEST)).unwrap(),
@@ -297,8 +325,15 @@ mod tests {
     fn attack_round_trip_produces_merged_binary() {
         let dir = std::env::temp_dir().join(format!("soteria-cli-att-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        gen(&argv(&["--out", dir.to_str().unwrap(), "--scale", "0.0001", "--seed", "4"]))
-            .unwrap();
+        gen(&argv(&[
+            "--out",
+            dir.to_str().unwrap(),
+            "--scale",
+            "0.0001",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
         let manifest: crate::store::Manifest = serde_json::from_str(
             &std::fs::read_to_string(dir.join(crate::store::MANIFEST)).unwrap(),
         )

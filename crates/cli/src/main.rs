@@ -22,8 +22,10 @@ fn usage() -> &'static str {
      soteria-cli inspect FILE [--dot]\n  \
      soteria-cli disasm FILE\n  \
      soteria-cli attack --original FILE --target FILE --out FILE\n  \
-     soteria-cli train --corpus DIR --out MODEL.json [--seed N]\n  \
-     soteria-cli analyze (--corpus DIR | --model MODEL.json) [--seed N] FILE..."
+     soteria-cli train --corpus DIR --out MODEL.json [--seed N] [--metrics PATH]\n  \
+     soteria-cli analyze (--corpus DIR | --model MODEL.json) [--seed N] [--metrics PATH] FILE...\n\n\
+     --metrics PATH writes a telemetry snapshot (counters + span timings) as JSON.\n  \
+     SOTERIA_METRICS=summary prints a timing summary table to stderr on exit."
 }
 
 fn main() -> ExitCode {
@@ -35,12 +37,19 @@ fn main() -> ExitCode {
         Some("attack") => commands::attack(&args[1..]),
         Some("train") => commands::train(&args[1..]),
         Some("analyze") => commands::analyze(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("--help") | Some("-h") => {
+            // An explicitly requested help text is a successful run and
+            // belongs on stdout (so `soteria-cli --help | less` works).
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        None => {
             eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
         Some(other) => Err(format!("unknown command {other}\n{}", usage())),
     };
+    soteria_telemetry::print_summary_if_requested();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

@@ -50,8 +50,7 @@ pub fn write_corpus(corpus: &Corpus, dir: &Path) -> Result<(), String> {
     }
     let manifest = Manifest { entries };
     let json = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
-    std::fs::write(dir.join(MANIFEST), json)
-        .map_err(|e| format!("write manifest: {e}"))?;
+    std::fs::write(dir.join(MANIFEST), json).map_err(|e| format!("write manifest: {e}"))?;
     Ok(())
 }
 
@@ -87,7 +86,8 @@ mod tests {
     use soteria_corpus::CorpusConfig;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("soteria-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("soteria-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

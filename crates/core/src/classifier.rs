@@ -7,8 +7,7 @@ use soteria_features::{Labeling, SampleFeatures};
 use soteria_nn::{
     loss::{one_hot, softmax_row},
     trainer::argmax_rows,
-    Activation, Conv1d, Dense, Dropout, Loss, Matrix, MaxPool1d, Sequential, TrainConfig,
-    Trainer,
+    Activation, Conv1d, Dense, Dropout, Loss, Matrix, MaxPool1d, Sequential, TrainConfig, Trainer,
 };
 
 /// Builds one CNN (the paper's ConvB1 → ConvB2 → CB stack) for inputs of
@@ -20,19 +19,50 @@ fn build_cnn(config: &ClassifierConfig, input_len: usize, classes: usize, seed: 
     Sequential::new(vec![
         // ConvB1: two conv layers, pool, dropout.
         Box::new(Conv1d::new(1, config.filters1, 3, l1, true, seed)),
-        Box::new(Conv1d::new(config.filters1, config.filters1, 3, l1, true, seed ^ 0x11)),
+        Box::new(Conv1d::new(
+            config.filters1,
+            config.filters1,
+            3,
+            l1,
+            true,
+            seed ^ 0x11,
+        )),
         Box::new(MaxPool1d::new(config.filters1, l1, 2)),
         Box::new(Dropout::new(config.conv_dropout, seed ^ 0x21)),
         // ConvB2.
-        Box::new(Conv1d::new(config.filters1, config.filters2, 3, l1p, true, seed ^ 0x12)),
-        Box::new(Conv1d::new(config.filters2, config.filters2, 3, l1p, true, seed ^ 0x13)),
+        Box::new(Conv1d::new(
+            config.filters1,
+            config.filters2,
+            3,
+            l1p,
+            true,
+            seed ^ 0x12,
+        )),
+        Box::new(Conv1d::new(
+            config.filters2,
+            config.filters2,
+            3,
+            l1p,
+            true,
+            seed ^ 0x13,
+        )),
         Box::new(MaxPool1d::new(config.filters2, l1p, 2)),
         Box::new(Dropout::new(config.conv_dropout, seed ^ 0x22)),
         // CB: dense + dropout + softmax (softmax fused into the loss; the
         // final layer emits logits).
-        Box::new(Dense::new(config.filters2 * l2p, config.dense, Activation::Relu, seed ^ 0x31)),
+        Box::new(Dense::new(
+            config.filters2 * l2p,
+            config.dense,
+            Activation::Relu,
+            seed ^ 0x31,
+        )),
         Box::new(Dropout::new(config.dense_dropout, seed ^ 0x23)),
-        Box::new(Dense::new(config.dense, classes, Activation::Linear, seed ^ 0x32)),
+        Box::new(Dense::new(
+            config.dense,
+            classes,
+            Activation::Linear,
+            seed ^ 0x32,
+        )),
     ])
 }
 
@@ -292,7 +322,10 @@ mod tests {
         let (mut clf, features, _) = setup();
         let report = clf.classify(&features[0]);
         let total: usize = report.votes.iter().sum();
-        assert_eq!(total, 2 * SoteriaConfig::tiny().extractor.walks_per_labeling);
+        assert_eq!(
+            total,
+            2 * SoteriaConfig::tiny().extractor.walks_per_labeling
+        );
     }
 
     #[test]

@@ -49,9 +49,24 @@ impl ThresholdStats {
 fn build_autoencoder(input_dim: usize, hidden: [usize; 3], seed: u64) -> Sequential {
     Sequential::new(vec![
         Box::new(Dense::new(input_dim, hidden[0], Activation::Relu, seed)),
-        Box::new(Dense::new(hidden[0], hidden[1], Activation::Relu, seed ^ 0x1)),
-        Box::new(Dense::new(hidden[1], hidden[2], Activation::Relu, seed ^ 0x2)),
-        Box::new(Dense::new(hidden[2], input_dim, Activation::Linear, seed ^ 0x3)),
+        Box::new(Dense::new(
+            hidden[0],
+            hidden[1],
+            Activation::Relu,
+            seed ^ 0x1,
+        )),
+        Box::new(Dense::new(
+            hidden[1],
+            hidden[2],
+            Activation::Relu,
+            seed ^ 0x2,
+        )),
+        Box::new(Dense::new(
+            hidden[2],
+            input_dim,
+            Activation::Linear,
+            seed ^ 0x3,
+        )),
     ])
 }
 
@@ -81,8 +96,15 @@ impl AeDetector {
         labels: &[usize],
         seed: u64,
     ) -> Self {
-        assert!(!clean_features.is_empty(), "detector needs training samples");
-        assert_eq!(clean_features.len(), labels.len(), "features/labels mismatch");
+        assert!(
+            !clean_features.is_empty(),
+            "detector needs training samples"
+        );
+        assert_eq!(
+            clean_features.len(),
+            labels.len(),
+            "features/labels mismatch"
+        );
         // Hold out a slice for the threshold statistics (deterministic:
         // every k-th sample) so memorized training errors do not deflate
         // μ and σ. With validation_fraction = 0 (the paper's protocol) the
@@ -126,7 +148,11 @@ impl AeDetector {
             .filter(|&i| is_val(i))
             .map(|i| clean_features[i].clone())
             .collect();
-        let stat_rows = if val_rows.is_empty() { &fit_rows } else { &val_rows };
+        let stat_rows = if val_rows.is_empty() {
+            &fit_rows
+        } else {
+            &val_rows
+        };
 
         let x = Matrix::from_rows(&fit_rows);
         let mut autoencoder = build_autoencoder(x.cols(), config.hidden, seed);
@@ -252,7 +278,13 @@ mod tests {
     fn anomaly(dim: usize, seed: u64) -> Vec<f64> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..dim)
-            .map(|d| if d >= dim / 2 { rng.gen_range(0.3..0.9) } else { 0.0 })
+            .map(|d| {
+                if d >= dim / 2 {
+                    rng.gen_range(0.3..0.9)
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 

@@ -47,4 +47,4 @@ pub use classifier::{ClassifierReport, FamilyClassifier};
 pub use config::{ClassifierConfig, DetectorConfig, SoteriaConfig};
 pub use detector::AeDetector;
 pub use persist::SoteriaState;
-pub use pipeline::{Soteria, Verdict};
+pub use pipeline::{PipelineMetrics, Soteria, StageTime, Verdict};

@@ -4,9 +4,11 @@
 use crate::classifier::{ClassifierReport, FamilyClassifier};
 use crate::config::SoteriaConfig;
 use crate::detector::AeDetector;
+use serde::{Deserialize, Serialize};
 use soteria_cfg::Cfg;
 use soteria_corpus::{Corpus, Family};
 use soteria_features::{FeatureExtractor, SampleFeatures};
+use std::time::Instant;
 
 /// Outcome of analyzing one sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +44,87 @@ impl Verdict {
     }
 }
 
+/// Wall-clock breakdown of one pipeline run ([`Soteria::train_with_metrics`]
+/// or [`Soteria::analyze_batch_with_metrics`]): the stages in execution
+/// order, plus totals. Purely observational — computing it never changes
+/// any result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineMetrics {
+    /// Number of samples that went through the run.
+    pub samples: usize,
+    /// `(stage name, wall milliseconds)` in execution order.
+    pub stages: Vec<StageTime>,
+    /// Total wall milliseconds for the run.
+    pub total_ms: f64,
+}
+
+/// One stage entry of a [`PipelineMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTime {
+    /// Stage name, e.g. `"extract"`.
+    pub name: String,
+    /// Wall milliseconds spent in the stage.
+    pub ms: f64,
+}
+
+impl PipelineMetrics {
+    /// Milliseconds spent in the named stage, if it ran.
+    pub fn stage_ms(&self, name: &str) -> Option<f64> {
+        self.stages.iter().find(|s| s.name == name).map(|s| s.ms)
+    }
+
+    /// End-to-end throughput in samples per second (0 for an empty or
+    /// instantaneous run).
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / (self.total_ms / 1e3)
+        }
+    }
+}
+
+/// Collects stage timings and mirrors them into the global telemetry
+/// registry under `prefix.stage`.
+struct StageClock {
+    prefix: &'static str,
+    run_start: Instant,
+    stages: Vec<StageTime>,
+}
+
+impl StageClock {
+    fn start(prefix: &'static str) -> Self {
+        StageClock {
+            prefix,
+            run_start: Instant::now(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Times `f` as stage `name`.
+    fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        soteria_telemetry::record(&format!("{}.{name}", self.prefix), ms);
+        self.stages.push(StageTime {
+            name: name.to_string(),
+            ms,
+        });
+        out
+    }
+
+    fn finish(self, samples: usize) -> PipelineMetrics {
+        let total_ms = self.run_start.elapsed().as_secs_f64() * 1e3;
+        soteria_telemetry::record(self.prefix, total_ms);
+        PipelineMetrics {
+            samples,
+            stages: self.stages,
+            total_ms,
+        }
+    }
+}
+
 /// The trained Soteria system.
 #[derive(Debug)]
 pub struct Soteria {
@@ -63,8 +146,31 @@ impl Soteria {
     /// # Panics
     ///
     /// Panics if `train_indices` is empty.
-    pub fn train(config: &SoteriaConfig, corpus: &Corpus, train_indices: &[usize], seed: u64) -> Self {
+    pub fn train(
+        config: &SoteriaConfig,
+        corpus: &Corpus,
+        train_indices: &[usize],
+        seed: u64,
+    ) -> Self {
+        Self::train_with_metrics(config, corpus, train_indices, seed).0
+    }
+
+    /// Like [`train`](Soteria::train), and additionally returns the
+    /// wall-clock breakdown of the four training stages (`fit`, `extract`,
+    /// `detector`, `classifier`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_indices` is empty.
+    pub fn train_with_metrics(
+        config: &SoteriaConfig,
+        corpus: &Corpus,
+        train_indices: &[usize],
+        seed: u64,
+    ) -> (Self, PipelineMetrics) {
         assert!(!train_indices.is_empty(), "training split is empty");
+        let mut clock = StageClock::start("pipeline.train");
+        soteria_telemetry::counter("pipeline.train.samples", train_indices.len() as u64);
         let graphs: Vec<&Cfg> = train_indices
             .iter()
             .map(|&i| corpus.samples()[i].graph())
@@ -74,27 +180,42 @@ impl Soteria {
             .iter()
             .map(|&i| corpus.samples()[i].av_label().index())
             .collect();
-        let extractor = FeatureExtractor::fit_stratified(
-            &config.extractor,
-            &owned,
-            &av_labels,
-            config.classes,
-            seed,
-        );
-        let features = extractor.extract_batch(&graphs, seed ^ 0xFEA7);
+        let extractor = clock.stage("fit", || {
+            FeatureExtractor::fit_stratified(
+                &config.extractor,
+                &owned,
+                &av_labels,
+                config.classes,
+                seed,
+            )
+        });
+        let features = clock.stage("extract", || {
+            extractor.extract_batch(&graphs, seed ^ 0xFEA7)
+        });
 
         let combined: Vec<Vec<f64>> = features.iter().map(|f| f.combined().to_vec()).collect();
         let labels = av_labels;
-        let detector = AeDetector::train_balanced(&config.detector, &combined, &labels, seed ^ 0xDE7);
-        let classifier =
-            FamilyClassifier::train(&config.classifier, &features, &labels, config.classes, seed ^ 0xC1F);
+        let detector = clock.stage("detector", || {
+            AeDetector::train_balanced(&config.detector, &combined, &labels, seed ^ 0xDE7)
+        });
+        let classifier = clock.stage("classifier", || {
+            FamilyClassifier::train(
+                &config.classifier,
+                &features,
+                &labels,
+                config.classes,
+                seed ^ 0xC1F,
+            )
+        });
 
-        Soteria {
+        let system = Soteria {
             config: config.clone(),
             extractor,
             detector,
             classifier,
-        }
+        };
+        let metrics = clock.finish(train_indices.len());
+        (system, metrics)
     }
 
     /// The system configuration.
@@ -150,6 +271,7 @@ impl Soteria {
 
     /// Runs the full pipeline on one CFG.
     pub fn analyze(&mut self, cfg: &Cfg, walk_seed: u64) -> Verdict {
+        let _span = soteria_telemetry::span("pipeline.analyze");
         let features = self.extractor.extract(cfg, walk_seed);
         self.analyze_features(&features)
     }
@@ -159,8 +281,29 @@ impl Soteria {
     /// classified. Equivalent per graph to [`analyze`](Soteria::analyze)
     /// with derived seeds, but much faster on multi-core hosts.
     pub fn analyze_batch(&mut self, graphs: &[&Cfg], walk_seed: u64) -> Vec<Verdict> {
-        let features = self.extractor.extract_batch(graphs, walk_seed);
-        features.iter().map(|f| self.analyze_features(f)).collect()
+        self.analyze_batch_with_metrics(graphs, walk_seed).0
+    }
+
+    /// Like [`analyze_batch`](Soteria::analyze_batch), and additionally
+    /// returns the wall-clock breakdown of the two stages (`extract`,
+    /// `screen`).
+    pub fn analyze_batch_with_metrics(
+        &mut self,
+        graphs: &[&Cfg],
+        walk_seed: u64,
+    ) -> (Vec<Verdict>, PipelineMetrics) {
+        let mut clock = StageClock::start("pipeline.analyze_batch");
+        let features = clock.stage("extract", || {
+            self.extractor.extract_batch(graphs, walk_seed)
+        });
+        let verdicts = clock.stage("screen", || {
+            features
+                .iter()
+                .map(|f| self.analyze_features(f))
+                .collect::<Vec<_>>()
+        });
+        let metrics = clock.finish(graphs.len());
+        (verdicts, metrics)
     }
 
     /// Runs detector + classifier on pre-extracted features (the reuse
@@ -168,11 +311,13 @@ impl Soteria {
     pub fn analyze_features(&mut self, features: &SampleFeatures) -> Verdict {
         let re = self.detector.reconstruction_error(features.combined());
         if re > self.detector.stats().threshold() {
+            soteria_telemetry::counter("pipeline.verdicts.adversarial", 1);
             return Verdict::Adversarial {
                 reconstruction_error: re,
             };
         }
         let report = self.classifier.classify(features);
+        soteria_telemetry::counter("pipeline.verdicts.clean", 1);
         Verdict::Clean {
             family: report.voted_label,
             reconstruction_error: re,
@@ -204,7 +349,11 @@ mod tests {
         let (mut soteria, corpus, test) = trained();
         let passed = test
             .iter()
-            .filter(|&&i| !soteria.analyze(corpus.samples()[i].graph(), i as u64).is_adversarial())
+            .filter(|&&i| {
+                !soteria
+                    .analyze(corpus.samples()[i].graph(), i as u64)
+                    .is_adversarial()
+            })
             .count();
         assert!(
             passed * 10 >= test.len() * 6,
@@ -271,10 +420,8 @@ mod tests {
     #[test]
     fn analyze_batch_runs_every_graph() {
         let (mut soteria, corpus, test) = trained();
-        let graphs: Vec<&soteria_cfg::Cfg> = test
-            .iter()
-            .map(|&i| corpus.samples()[i].graph())
-            .collect();
+        let graphs: Vec<&soteria_cfg::Cfg> =
+            test.iter().map(|&i| corpus.samples()[i].graph()).collect();
         let verdicts = soteria.analyze_batch(&graphs, 99);
         assert_eq!(verdicts.len(), graphs.len());
         // Most clean samples pass (same invariant as the per-sample path).
@@ -290,6 +437,58 @@ mod tests {
         let a = soteria.analyze_features(&features);
         let b = soteria.analyze(g, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_and_analyze_metrics_cover_all_stages() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [8, 8, 8, 8],
+            seed: 77,
+            av_noise: false,
+            lineages: 3,
+        });
+        let split = corpus.split(0.75, 1);
+        let (mut soteria, train_metrics) =
+            Soteria::train_with_metrics(&SoteriaConfig::tiny(), &corpus, &split.train, 5);
+        assert_eq!(train_metrics.samples, split.train.len());
+        for stage in ["fit", "extract", "detector", "classifier"] {
+            assert!(
+                train_metrics.stage_ms(stage).is_some_and(|ms| ms >= 0.0),
+                "missing stage {stage}"
+            );
+        }
+        // Stages nest inside the run, so their sum cannot exceed it.
+        let stage_sum: f64 = train_metrics.stages.iter().map(|s| s.ms).sum();
+        assert!(stage_sum <= train_metrics.total_ms + 1.0);
+        assert!(train_metrics.samples_per_sec() > 0.0);
+
+        let graphs: Vec<&Cfg> = split
+            .test
+            .iter()
+            .map(|&i| corpus.samples()[i].graph())
+            .collect();
+        let (verdicts, analyze_metrics) = soteria.analyze_batch_with_metrics(&graphs, 3);
+        assert_eq!(verdicts.len(), graphs.len());
+        assert_eq!(analyze_metrics.samples, graphs.len());
+        assert!(analyze_metrics.stage_ms("extract").is_some());
+        assert!(analyze_metrics.stage_ms("screen").is_some());
+        assert!(analyze_metrics.stage_ms("no_such_stage").is_none());
+    }
+
+    #[test]
+    fn verdicts_are_identical_with_telemetry_on_and_off() {
+        // Telemetry must be purely observational: toggling it cannot
+        // change a single verdict bit. Train once, then compare full
+        // analyze_batch output under both settings.
+        let (mut soteria, corpus, test) = trained();
+        let graphs: Vec<&Cfg> = test.iter().map(|&i| corpus.samples()[i].graph()).collect();
+        let was_enabled = soteria_telemetry::enabled();
+        soteria_telemetry::set_enabled(true);
+        let with_telemetry = soteria.analyze_batch(&graphs, 42);
+        soteria_telemetry::set_enabled(false);
+        let without_telemetry = soteria.analyze_batch(&graphs, 42);
+        soteria_telemetry::set_enabled(was_enabled);
+        assert_eq!(with_telemetry, without_telemetry);
     }
 
     #[test]

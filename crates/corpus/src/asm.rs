@@ -118,7 +118,11 @@ pub fn assemble_salted(cfg: &Cfg, salt: u64) -> Lowered {
         for k in 0..body_counts[i] {
             filler(salt, addrs[i], k).encode(&mut code);
         }
-        let succ: Vec<u32> = cfg.successors(id).iter().map(|s| addrs[s.index()]).collect();
+        let succ: Vec<u32> = cfg
+            .successors(id)
+            .iter()
+            .map(|s| addrs[s.index()])
+            .collect();
         let term = match succ.len() {
             0 => Instruction::Ret,
             1 => Instruction::Jmp { target: succ[0] },
@@ -142,9 +146,7 @@ pub fn assemble_salted(cfg: &Cfg, salt: u64) -> Lowered {
     for (f, t) in cfg.edges() {
         b.add_edge(f, t).expect("copying edges of a valid graph");
     }
-    let laid_out = b
-        .build(cfg.entry())
-        .expect("copy of a valid graph builds");
+    let laid_out = b.build(cfg.entry()).expect("copy of a valid graph builds");
 
     let entry_addr = addrs[cfg.entry().index()];
     Lowered {

@@ -231,11 +231,7 @@ mod tests {
 
     #[test]
     fn plurality_vote_wins() {
-        let report = vec![
-            "a.mirai.1".into(),
-            "b.mirai.2".into(),
-            "c.gafgyt.3".into(),
-        ];
+        let report = vec!["a.mirai.1".into(), "b.mirai.2".into(), "c.gafgyt.3".into()];
         assert_eq!(aggregate(&report), Some(Family::Mirai));
     }
 
@@ -250,7 +246,10 @@ mod tests {
     fn benign_is_never_scanned() {
         let panel = ScanPanel::standard();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        assert_eq!(label_sample(&panel, Family::Benign, &mut rng), Family::Benign);
+        assert_eq!(
+            label_sample(&panel, Family::Benign, &mut rng),
+            Family::Benign
+        );
     }
 
     #[test]
@@ -258,6 +257,9 @@ mod tests {
         let panel = ScanPanel::new(vec![]);
         assert!(panel.is_empty());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        assert_eq!(label_sample(&panel, Family::Mirai, &mut rng), Family::Benign);
+        assert_eq!(
+            label_sample(&panel, Family::Mirai, &mut rng),
+            Family::Benign
+        );
     }
 }

@@ -197,14 +197,20 @@ mod tests {
     fn parse_rejects_bad_magic() {
         let mut bytes = Binary::new(0, vec![0x20, 0, 0, 0]).to_bytes();
         bytes[0] = b'X';
-        assert!(matches!(Binary::parse(&bytes), Err(CorpusError::BadImage(_))));
+        assert!(matches!(
+            Binary::parse(&bytes),
+            Err(CorpusError::BadImage(_))
+        ));
     }
 
     #[test]
     fn parse_rejects_truncated_code() {
         let mut bytes = Binary::new(0, vec![0u8; 8]).to_bytes();
         bytes.truncate(HEADER_LEN + 4);
-        assert!(matches!(Binary::parse(&bytes), Err(CorpusError::BadImage(_))));
+        assert!(matches!(
+            Binary::parse(&bytes),
+            Err(CorpusError::BadImage(_))
+        ));
     }
 
     #[test]
@@ -212,7 +218,10 @@ mod tests {
         let bin = Binary::new(0, vec![0u8; 8]);
         let mut bytes = bin.to_bytes();
         bytes[8..12].copy_from_slice(&100u32.to_le_bytes());
-        assert!(matches!(Binary::parse(&bytes), Err(CorpusError::BadImage(_))));
+        assert!(matches!(
+            Binary::parse(&bytes),
+            Err(CorpusError::BadImage(_))
+        ));
     }
 
     #[test]

@@ -283,7 +283,11 @@ impl Corpus {
             return None;
         }
         sizes.sort_unstable();
-        Some((sizes[0], sizes[sizes.len() / 2], *sizes.last().expect("non-empty")))
+        Some((
+            sizes[0],
+            sizes[sizes.len() / 2],
+            *sizes.last().expect("non-empty"),
+        ))
     }
 }
 

@@ -166,11 +166,7 @@ pub fn lift(binary: &Binary) -> Result<Lifted, CorpusError> {
 
 /// First offset in the code section that is neither covered by a decoded
 /// instruction nor marked as data, if any.
-fn next_gap(
-    code_len: u32,
-    insns: &BTreeMap<u32, Instruction>,
-    data: &[(u32, u32)],
-) -> Option<u32> {
+fn next_gap(code_len: u32, insns: &BTreeMap<u32, Instruction>, data: &[(u32, u32)]) -> Option<u32> {
     let mut off = 0u32;
     while off < code_len {
         if let Some(insn) = insns.get(&off) {
@@ -342,7 +338,9 @@ mod tests {
         let e = b.add_block(0, 2);
         let g = b.build(e).unwrap();
         let mut lowered = asm::assemble(&g);
-        lowered.binary.append_trailing(&[0x20, 0, 0, 0, 0x20, 0, 0, 0]);
+        lowered
+            .binary
+            .append_trailing(&[0x20, 0, 0, 0, 0x20, 0, 0, 0]);
         let lifted = lift(&lowered.binary).unwrap();
         assert_eq!(lifted.cfg.node_count(), 1);
         assert_eq!(lifted.dead_block_count, 0);

@@ -37,7 +37,10 @@ impl fmt::Display for CorpusError {
                 write!(f, "decode failed at offset {offset}: {source}")
             }
             CorpusError::BadBranchTarget { target } => {
-                write!(f, "branch target {target:#x} is not an instruction boundary")
+                write!(
+                    f,
+                    "branch target {target:#x} is not an instruction boundary"
+                )
             }
             CorpusError::Graph(e) => write!(f, "graph construction failed: {e}"),
         }

@@ -27,7 +27,12 @@ pub enum Family {
 
 impl Family {
     /// All classes, in the fixed order used for class indices everywhere.
-    pub const ALL: [Family; 4] = [Family::Benign, Family::Gafgyt, Family::Mirai, Family::Tsunami];
+    pub const ALL: [Family; 4] = [
+        Family::Benign,
+        Family::Gafgyt,
+        Family::Mirai,
+        Family::Tsunami,
+    ];
 
     /// The malware families (everything but `Benign`).
     pub const MALWARE: [Family; 3] = [Family::Gafgyt, Family::Mirai, Family::Tsunami];
@@ -238,7 +243,14 @@ mod tests {
     fn profile_weights_are_positive_and_bounded() {
         for f in Family::ALL {
             let p = f.profile();
-            for w in [p.w_seq, p.w_if, p.w_if_else, p.w_while, p.w_do_while, p.w_switch] {
+            for w in [
+                p.w_seq,
+                p.w_if,
+                p.w_if_else,
+                p.w_while,
+                p.w_do_while,
+                p.w_switch,
+            ] {
                 assert!((0.0..=1.0).contains(&w));
             }
             assert!(p.switch_width.0 >= 2);

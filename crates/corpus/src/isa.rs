@@ -172,7 +172,9 @@ impl Instruction {
     pub fn targets(&self) -> Vec<u32> {
         match self {
             Instruction::Jmp { target } => vec![*target],
-            Instruction::Br { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Instruction::Br {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Instruction::Switch { targets } => targets.clone(),
             _ => Vec::new(),
         }
@@ -246,7 +248,11 @@ impl Instruction {
             Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
         };
         let header = code.get(offset..offset + 4).ok_or(DecodeError::Truncated)?;
-        let (op, a, b) = (header[0], header[1], u16::from_le_bytes([header[2], header[3]]));
+        let (op, a, b) = (
+            header[0],
+            header[1],
+            u16::from_le_bytes([header[2], header[3]]),
+        );
         match op {
             0x00 => Ok(Instruction::Nop),
             0x01 => Ok(Instruction::Alu { func: a, regs: b }),
@@ -283,7 +289,10 @@ mod tests {
     fn all_variants() -> Vec<Instruction> {
         vec![
             Instruction::Nop,
-            Instruction::Alu { func: 3, regs: 0x0102 },
+            Instruction::Alu {
+                func: 3,
+                regs: 0x0102,
+            },
             Instruction::Load { reg: 1, offset: 16 },
             Instruction::Store { reg: 2, offset: 32 },
             Instruction::Syscall { num: 42 },
@@ -344,11 +353,19 @@ mod tests {
     fn targets_enumerate_all_successors() {
         assert_eq!(Instruction::Jmp { target: 9 }.targets(), vec![9]);
         assert_eq!(
-            Instruction::Br { cond: 0, taken: 1, not_taken: 2 }.targets(),
+            Instruction::Br {
+                cond: 0,
+                taken: 1,
+                not_taken: 2
+            }
+            .targets(),
             vec![1, 2]
         );
         assert_eq!(
-            Instruction::Switch { targets: vec![4, 5, 6] }.targets(),
+            Instruction::Switch {
+                targets: vec![4, 5, 6]
+            }
+            .targets(),
             vec![4, 5, 6]
         );
         assert!(Instruction::Ret.targets().is_empty());
@@ -380,11 +397,19 @@ mod tests {
         assert_eq!(Instruction::Syscall { num: 9 }.to_string(), "syscall 9");
         assert_eq!(Instruction::Jmp { target: 16 }.to_string(), "jmp 0x10");
         assert_eq!(
-            Instruction::Br { cond: 1, taken: 4, not_taken: 8 }.to_string(),
+            Instruction::Br {
+                cond: 1,
+                taken: 4,
+                not_taken: 8
+            }
+            .to_string(),
             "br r1, 0x4, 0x8"
         );
         assert_eq!(
-            Instruction::Switch { targets: vec![4, 8] }.to_string(),
+            Instruction::Switch {
+                targets: vec![4, 8]
+            }
+            .to_string(),
             "switch [0x4, 0x8]"
         );
         assert_eq!(

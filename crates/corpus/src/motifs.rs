@@ -106,12 +106,18 @@ impl<R: Rng> Grower<'_, R> {
     fn region(&mut self, depth: usize) -> Region {
         if self.remaining - self.reserved <= 1 || depth >= 24 {
             let only = self.block();
-            return Region { entry: only, exit: only };
+            return Region {
+                entry: only,
+                exit: only,
+            };
         }
         match self.pick_construct() {
             Construct::Block => {
                 let only = self.block();
-                Region { entry: only, exit: only }
+                Region {
+                    entry: only,
+                    exit: only,
+                }
             }
             Construct::Seq => {
                 let first = self.sub_region(depth + 1, 1);
@@ -129,7 +135,10 @@ impl<R: Rng> Grower<'_, R> {
                 self.edge(head, then.entry);
                 self.edge(head, join);
                 self.edge(then.exit, join);
-                Region { entry: head, exit: join }
+                Region {
+                    entry: head,
+                    exit: join,
+                }
             }
             Construct::IfElse => {
                 let head = self.block();
@@ -140,7 +149,10 @@ impl<R: Rng> Grower<'_, R> {
                 self.edge(head, els.entry);
                 self.edge(then.exit, join);
                 self.edge(els.exit, join);
-                Region { entry: head, exit: join }
+                Region {
+                    entry: head,
+                    exit: join,
+                }
             }
             Construct::While => {
                 let head = self.block();
@@ -149,7 +161,10 @@ impl<R: Rng> Grower<'_, R> {
                 self.edge(head, body.entry);
                 self.edge(head, join);
                 self.edge(body.exit, head);
-                Region { entry: head, exit: join }
+                Region {
+                    entry: head,
+                    exit: join,
+                }
             }
             Construct::DoWhile => {
                 let body = self.sub_region(depth + 1, 2);
@@ -178,7 +193,10 @@ impl<R: Rng> Grower<'_, R> {
                 }
                 // The dispatcher's fall-out arm (default / exit command).
                 self.edge(head, join);
-                Region { entry: head, exit: join }
+                Region {
+                    entry: head,
+                    exit: join,
+                }
             }
         }
     }
@@ -203,7 +221,9 @@ impl<R: Rng> Grower<'_, R> {
         let min_switch = p.switch_width.0 as isize + 2;
         if room >= min_switch {
             let hi = (p.switch_width.1 as isize).min(room - 2) as usize;
-            let k = self.rng.gen_range(p.switch_width.0..=hi.max(p.switch_width.0));
+            let k = self
+                .rng
+                .gen_range(p.switch_width.0..=hi.max(p.switch_width.0));
             weights.push((Construct::Switch(k), p.w_switch));
         }
         let total: f64 = weights.iter().map(|(_, w)| w).sum();

@@ -91,12 +91,11 @@ pub fn run(binary: &Binary, fuel: u64) -> Result<Trace, CorpusError> {
         if pc as usize >= code.len() {
             return Err(CorpusError::BadBranchTarget { target: pc });
         }
-        let insn = Instruction::decode(code, pc as usize).map_err(|source| {
-            CorpusError::Decode {
+        let insn =
+            Instruction::decode(code, pc as usize).map_err(|source| CorpusError::Decode {
                 offset: pc as usize,
                 source,
-            }
-        })?;
+            })?;
         trace.executed_offsets.insert(pc);
         trace.steps += 1;
         let len = insn.encoded_len() as u32;
@@ -284,7 +283,11 @@ mod tests {
     fn syscalls_record_number_and_reg0() {
         // alu add reg0 += reg1|1 (=1); syscall 9; ret.
         let mut code = Vec::new();
-        Instruction::Alu { func: 0, regs: 0b001_000 }.encode(&mut code);
+        Instruction::Alu {
+            func: 0,
+            regs: 0b001_000,
+        }
+        .encode(&mut code);
         Instruction::Syscall { num: 9 }.encode(&mut code);
         Instruction::Ret.encode(&mut code);
         let trace = run(&Binary::new(0, code), 10).unwrap();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F]
-//!             [--out DIR] <experiment>...
+//!             [--out DIR] [--metrics PATH] <experiment>...
+//! soteria-exp bench [--seed N] [--scale F] [--out DIR]
 //!
 //! experiments: table2 table3 table4 table6 table7 table8
 //!              fig8 fig9_11 fig12 fig13 adaptive robustness
@@ -10,8 +11,18 @@
 //! ```
 //!
 //! Tables print to stdout; with `--out DIR`, each table is also written as
-//! CSV for plotting.
+//! CSV for plotting, plus a `<experiment>_metrics.json` telemetry snapshot.
+//! `--metrics PATH` writes the whole-run snapshot, and
+//! `SOTERIA_METRICS=summary` prints a timing table to stderr on exit.
+//!
+//! `bench` trains the tiny preset and batch-analyzes the test split purely
+//! to measure the pipeline, writing stage wall times and throughput to
+//! `BENCH_pipeline.json`.
 
+use serde::Serialize;
+use soteria::{PipelineMetrics, Soteria, SoteriaConfig};
+use soteria_cfg::Cfg;
+use soteria_corpus::{Corpus, CorpusConfig};
 use soteria_eval::experiments::{self, ALL_EXPERIMENTS, PAPER_EXPERIMENTS};
 use soteria_eval::{EvalConfig, ExperimentContext};
 use std::path::PathBuf;
@@ -23,13 +34,18 @@ struct Args {
     seed: u64,
     scale: Option<f64>,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 fn usage() -> &'static str {
     "usage: soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F] \
-     [--out DIR] <experiment>...\n       experiments: table2 table3 table4 table6 \
-     table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext"
+     [--out DIR] [--metrics PATH] <experiment>...\n       \
+     soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
+     experiments: table2 table3 table4 table6 \
+     table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext\n\n       \
+     --metrics PATH writes the run's telemetry snapshot (counters + span timings) as JSON.\n       \
+     SOTERIA_METRICS=summary prints a timing summary table to stderr on exit."
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -38,6 +54,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 7,
         scale: None,
         out: None,
+        metrics: None,
         experiments: Vec::new(),
     };
     let mut it = argv.iter();
@@ -64,7 +81,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--out" => {
                 args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--metrics" => {
+                args.metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a value")?));
+            }
             exp if !exp.starts_with('-') => args.experiments.push(exp.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -86,8 +105,122 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Stage-time + throughput report of one `bench` run, serialized to
+/// `BENCH_pipeline.json`.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    corpus_scale: f64,
+    train_samples: usize,
+    analyze_samples: usize,
+    train: PipelineMetrics,
+    analyze: PipelineMetrics,
+    train_samples_per_sec: f64,
+    analyze_samples_per_sec: f64,
+    verdicts_adversarial: usize,
+    verdicts_clean: usize,
+}
+
+/// `bench [--seed N] [--scale F] [--out DIR]` — train the tiny preset and
+/// batch-analyze the held-out split purely to time the pipeline.
+fn run_bench(argv: &[String]) -> Result<(), String> {
+    let mut seed = 7u64;
+    let mut scale = 0.01f64;
+    let mut out = PathBuf::from(".");
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            other => return Err(format!("unknown bench flag {other}\n{}", usage())),
+        }
+    }
+
+    let corpus = Corpus::generate(&CorpusConfig::scaled(scale, seed));
+    let split = corpus.split(0.8, seed);
+    eprintln!(
+        "[bench] corpus scale {scale} -> {} samples ({} train / {} test)",
+        corpus.len(),
+        split.train.len(),
+        split.test.len()
+    );
+    let (mut system, train) =
+        Soteria::train_with_metrics(&SoteriaConfig::tiny(), &corpus, &split.train, seed);
+    let graphs: Vec<&Cfg> = split
+        .test
+        .iter()
+        .map(|&i| corpus.samples()[i].graph())
+        .collect();
+    let (verdicts, analyze) = system.analyze_batch_with_metrics(&graphs, seed ^ 0xBE7C);
+    let adversarial = verdicts.iter().filter(|v| v.is_adversarial()).count();
+
+    let report = BenchReport {
+        seed,
+        corpus_scale: scale,
+        train_samples: split.train.len(),
+        analyze_samples: graphs.len(),
+        train_samples_per_sec: train.samples_per_sec(),
+        analyze_samples_per_sec: analyze.samples_per_sec(),
+        verdicts_adversarial: adversarial,
+        verdicts_clean: verdicts.len() - adversarial,
+        train,
+        analyze,
+    };
+
+    println!("bench (seed {seed}, scale {scale}):");
+    for (run, metrics, per_sec) in [
+        ("train", &report.train, report.train_samples_per_sec),
+        ("analyze", &report.analyze, report.analyze_samples_per_sec),
+    ] {
+        println!(
+            "  {run:<8} {:>4} samples  {:>9.1} ms total  {per_sec:>8.1} samples/s",
+            metrics.samples, metrics.total_ms
+        );
+        for stage in &metrics.stages {
+            println!("    {:<12} {:>9.1} ms", stage.name, stage.ms);
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        // Requested help is a successful run and belongs on stdout.
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        let result = run_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -109,10 +242,15 @@ fn main() -> ExitCode {
         config.corpus_scale = scale;
     }
 
-    let started = std::time::Instant::now();
-    let mut ctx = ExperimentContext::build(config);
+    let mut ctx = {
+        let _span = soteria_telemetry::span("exp.context_build");
+        ExperimentContext::build(config)
+    };
     for id in &args.experiments {
-        let output = experiments::run(id, &mut ctx);
+        let output = {
+            let _span = soteria_telemetry::span(&format!("exp.{id}"));
+            experiments::run(id, &mut ctx)
+        };
         println!("{output}");
         if let Some(dir) = &args.out {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -126,13 +264,37 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            // Everything recorded so far in the run, including this
+            // experiment's own `exp.<id>` span.
+            let path = dir.join(format!("{id}_metrics.json"));
+            if let Err(e) = soteria_telemetry::snapshot().write_json(&path) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+
+    let report = soteria_telemetry::snapshot();
+    if let Some(path) = &args.metrics {
+        if let Err(e) = report.write_json(path) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote metrics to {}", path.display());
+    }
+    // Context build + every experiment span, read back from telemetry.
+    let total_ms: f64 = report
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("exp."))
+        .map(|s| s.total_ms)
+        .sum();
     eprintln!(
-        "[soteria-exp] {} experiment(s) finished in {:.1?}",
+        "[soteria-exp] {} experiment(s) finished in {:.1}s",
         args.experiments.len(),
-        started.elapsed()
+        total_ms / 1e3
     );
+    soteria_telemetry::print_summary_if_requested();
     ExitCode::SUCCESS
 }
 
@@ -158,6 +320,12 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_flag() {
+        let a = parse_args(&argv(&["--metrics", "/tmp/m.json", "table4"])).unwrap();
+        assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.json")));
+    }
+
+    #[test]
     fn all_expands_to_the_paper_artifacts() {
         let a = parse_args(&argv(&["all"])).unwrap();
         assert_eq!(a.experiments.len(), PAPER_EXPERIMENTS.len());
@@ -177,5 +345,36 @@ mod tests {
     #[test]
     fn rejects_empty_command_line() {
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn bench_writes_a_pipeline_report() {
+        let dir = std::env::temp_dir().join(format!("soteria-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        run_bench(&argv(&[
+            "--seed",
+            "3",
+            "--scale",
+            "0.004",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_pipeline.json")).unwrap();
+        for key in [
+            "train_samples_per_sec",
+            "analyze_samples_per_sec",
+            "\"extract\"",
+            "\"screen\"",
+            "\"classifier\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_rejects_unknown_flags() {
+        assert!(run_bench(&argv(&["--bogus", "1"])).is_err());
     }
 }

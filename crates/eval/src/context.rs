@@ -111,10 +111,7 @@ impl TargetEval {
         if self.results.is_empty() {
             return None;
         }
-        Some(
-            self.results.iter().filter(|r| r.flagged).count() as f64
-                / self.results.len() as f64,
-        )
+        Some(self.results.iter().filter(|r| r.flagged).count() as f64 / self.results.len() as f64)
     }
 }
 
@@ -169,7 +166,10 @@ impl ExperimentContext {
     /// Feature extraction is batched across worker threads.
     pub fn clean_results(&mut self) -> &[CleanResult] {
         if self.clean.is_none() {
-            eprintln!("[soteria-exp] evaluating {} clean test samples...", self.split.test.len());
+            eprintln!(
+                "[soteria-exp] evaluating {} clean test samples...",
+                self.split.test.len()
+            );
             let threshold = self.soteria.detector_mut().stats().threshold();
             let graphs: Vec<&soteria_cfg::Cfg> = self
                 .split
@@ -232,10 +232,10 @@ impl ExperimentContext {
                 }
                 let graphs: Vec<&soteria_cfg::Cfg> =
                     merged_samples.iter().map(|m| m.sample().graph()).collect();
-                let features = self.soteria.extractor().extract_batch(
-                    &graphs,
-                    self.config.seed ^ (0xAE000 + ti as u64 * 100_000),
-                );
+                let features = self
+                    .soteria
+                    .extractor()
+                    .extract_batch(&graphs, self.config.seed ^ (0xAE000 + ti as u64 * 100_000));
                 let mut results = Vec::new();
                 for (f, &(idx, family)) in features.iter().zip(&origins) {
                     let re = self

@@ -32,12 +32,7 @@ fn cosine(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Metrics for one extractor configuration over a probe set.
-fn evaluate(
-    config: &ExtractorConfig,
-    graphs: &[Cfg],
-    labels: &[usize],
-    seed: u64,
-) -> (f64, f64) {
+fn evaluate(config: &ExtractorConfig, graphs: &[Cfg], labels: &[usize], seed: u64) -> (f64, f64) {
     let extractor = FeatureExtractor::fit_stratified(config, graphs, labels, 4, seed);
     let features_a: Vec<Vec<f64>> = graphs
         .iter()
@@ -73,7 +68,11 @@ fn evaluate(
         }
     }
     let dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
     let mut between = 0.0;
     let mut pairs = 0usize;
@@ -91,7 +90,11 @@ fn evaluate(
         within += dist(f, &centroids[l]);
     }
     within /= graphs.len() as f64;
-    let separation = if within > 1e-12 { between / within } else { 0.0 };
+    let separation = if within > 1e-12 {
+        between / within
+    } else {
+        0.0
+    };
     (stability, separation)
 }
 
@@ -137,10 +140,13 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         [2usize, 5, 10, 20]
             .iter()
             .map(|&c| {
-                (c.to_string(), ExtractorConfig {
-                    walks_per_labeling: c,
-                    ..base.clone()
-                })
+                (
+                    c.to_string(),
+                    ExtractorConfig {
+                        walks_per_labeling: c,
+                        ..base.clone()
+                    },
+                )
             })
             .collect(),
     ));
@@ -149,10 +155,13 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         [1usize, 3, 5, 10]
             .iter()
             .map(|&m| {
-                (format!("{m}x|V|"), ExtractorConfig {
-                    walk_multiplier: m,
-                    ..base.clone()
-                })
+                (
+                    format!("{m}x|V|"),
+                    ExtractorConfig {
+                        walk_multiplier: m,
+                        ..base.clone()
+                    },
+                )
             })
             .collect(),
     ));
@@ -166,10 +175,13 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         ]
         .into_iter()
         .map(|(name, sizes)| {
-            (name, ExtractorConfig {
-                ngram_sizes: sizes,
-                ..base.clone()
-            })
+            (
+                name,
+                ExtractorConfig {
+                    ngram_sizes: sizes,
+                    ..base.clone()
+                },
+            )
         })
         .collect(),
     ));
@@ -178,10 +190,13 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         [32usize, 64, 128, 256]
             .iter()
             .map(|&k| {
-                (k.to_string(), ExtractorConfig {
-                    top_k: k,
-                    ..base.clone()
-                })
+                (
+                    k.to_string(),
+                    ExtractorConfig {
+                        top_k: k,
+                        ..base.clone()
+                    },
+                )
             })
             .collect(),
     ));
@@ -216,6 +231,9 @@ mod tests {
         let rows: Vec<&str> = csv.lines().skip(1).collect();
         let s2 = stab(rows[0]);
         let s20 = stab(rows[3]);
-        assert!(s20 + 0.02 >= s2, "stability at 20 walks ({s20}) below 2 walks ({s2})");
+        assert!(
+            s20 + 0.02 >= s2,
+            "stability at 20 walks ({s20}) below 2 walks ({s2})"
+        );
     }
 }

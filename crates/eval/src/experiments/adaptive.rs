@@ -71,7 +71,9 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         // Probe 2.
         for (si, &count) in split_counts.iter().enumerate() {
             let split = adaptive::split_blocks(&sample, count, seed ^ 0x20).expect("split");
-            let f = ctx.soteria.features(split.graph(), seed ^ (0x30 + si as u64));
+            let f = ctx
+                .soteria
+                .features(split.graph(), seed ^ (0x30 + si as u64));
             if ctx
                 .soteria
                 .detector_mut()

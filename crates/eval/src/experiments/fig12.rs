@@ -38,10 +38,9 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
     .with_title("Fig. 12 — detection sensitivity vs clean misdetection across thresholds");
     for step in 0..=STEPS {
         let thr = lo + (hi - lo) * step as f64 / STEPS as f64;
-        let fp = clean_res.iter().filter(|&&r| r > thr).count() as f64
-            / clean_res.len().max(1) as f64;
-        let miss =
-            ae_res.iter().filter(|&&r| r <= thr).count() as f64 / ae_res.len().max(1) as f64;
+        let fp =
+            clean_res.iter().filter(|&&r| r > thr).count() as f64 / clean_res.len().max(1) as f64;
+        let miss = ae_res.iter().filter(|&&r| r <= thr).count() as f64 / ae_res.len().max(1) as f64;
         t.row(vec![
             format!("{thr:.5}"),
             format!("{:.2}", fp * 100.0),
@@ -51,7 +50,10 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
     let chosen = ctx.soteria.detector_mut().stats().threshold();
     let mut info = TextTable::new(vec!["quantity".into(), "value".into()])
         .with_title("Fig. 12 — operating point");
-    info.row(vec!["chosen threshold (mu + sigma)".into(), format!("{chosen:.5}")]);
+    info.row(vec![
+        "chosen threshold (mu + sigma)".into(),
+        format!("{chosen:.5}"),
+    ]);
     info.row(vec!["RE range low".into(), format!("{lo:.5}")]);
     info.row(vec!["RE range high".into(), format!("{hi:.5}")]);
     ExperimentOutput {

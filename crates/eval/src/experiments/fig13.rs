@@ -37,8 +37,8 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
     for step in 0..=ALPHA_STEPS {
         let alpha = ALPHA_MAX * step as f64 / ALPHA_STEPS as f64;
         let thr = stats.threshold_at(alpha);
-        let clean_err = clean_res.iter().filter(|&&r| r > thr).count() as f64
-            / clean_res.len().max(1) as f64;
+        let clean_err =
+            clean_res.iter().filter(|&&r| r > thr).count() as f64 / clean_res.len().max(1) as f64;
         let ae_err =
             ae_res.iter().filter(|&&r| r <= thr).count() as f64 / ae_res.len().max(1) as f64;
         let sign = clean_err > ae_err;
@@ -60,7 +60,10 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         "error-curve crossing alpha".into(),
         crossing.map_or("none in sweep".into(), |a| format!("~{a:.1}")),
     ]);
-    info.row(vec!["Soteria's alpha".into(), format!("{:.1}", stats.alpha)]);
+    info.row(vec![
+        "Soteria's alpha".into(),
+        format!("{:.1}", stats.alpha),
+    ]);
     ExperimentOutput {
         id: "fig13",
         tables: vec![t, info],

@@ -52,10 +52,7 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
     let mut tables = Vec::new();
     for (fig, half) in [(9, Half::Dbl), (10, Half::Lbl), (11, Half::Combined)] {
         // Panel (a): clean classes.
-        let data_a: Vec<Vec<f64>> = clean
-            .iter()
-            .map(|(_, v)| slice(v, half).to_vec())
-            .collect();
+        let data_a: Vec<Vec<f64>> = clean.iter().map(|(_, v)| slice(v, half).to_vec()).collect();
         let pca_a = Pca::fit(&data_a, 2);
         let proj_a = pca_a.transform_batch(&data_a);
         let tags_a: Vec<String> = clean.iter().map(|(f, _)| f.clone()).collect();

@@ -41,14 +41,24 @@ impl std::fmt::Display for ExperimentOutput {
 /// extension experiments (§V adaptive adversary and the attack-aware
 /// detector comparison).
 pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "table2", "table3", "table4", "table6", "table7", "table8", "fig8", "fig9_11", "fig12",
-    "fig13", "adaptive", "robustness", "ablation",
+    "table2",
+    "table3",
+    "table4",
+    "table6",
+    "table7",
+    "table8",
+    "fig8",
+    "fig9_11",
+    "fig12",
+    "fig13",
+    "adaptive",
+    "robustness",
+    "ablation",
 ];
 
 /// Just the paper artifacts (what `all` runs by default).
 pub const PAPER_EXPERIMENTS: [&str; 10] = [
-    "table2", "table3", "table4", "table6", "table7", "table8", "fig8", "fig9_11", "fig12",
-    "fig13",
+    "table2", "table3", "table4", "table6", "table7", "table8", "fig8", "fig9_11", "fig12", "fig13",
 ];
 
 /// Runs one experiment by id.

@@ -14,8 +14,8 @@ use super::ExperimentOutput;
 use crate::context::TargetEval;
 use crate::{ExperimentContext, TextTable};
 use soteria_nn::{
-    loss::one_hot, trainer::argmax_rows, Activation, Dense, Loss, Matrix, Sequential,
-    TrainConfig, Trainer,
+    loss::one_hot, trainer::argmax_rows, Activation, Dense, Loss, Matrix, Sequential, TrainConfig,
+    Trainer,
 };
 
 /// Trains the attack-aware supervised detector on clean training vectors
@@ -103,8 +103,11 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         ]);
     }
 
-    let mut summary = TextTable::new(vec!["detector".into(), "mean detection on unseen attacks %".into()])
-        .with_title("Extension — generalization to attacks not seen in training");
+    let mut summary = TextTable::new(vec![
+        "detector".into(),
+        "mean detection on unseen attacks %".into(),
+    ])
+    .with_title("Extension — generalization to attacks not seen in training");
     summary.row(vec![
         "Soteria (clean-only)".into(),
         format!("{:.2}", blind_other / others.max(1) as f64),

@@ -32,8 +32,12 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
         .iter()
         .map(|&i| ctx.corpus.samples()[i].graph())
         .collect();
-    let train_samples: Vec<&Sample> =
-        ctx.split.train.iter().map(|&i| &ctx.corpus.samples()[i]).collect();
+    let train_samples: Vec<&Sample> = ctx
+        .split
+        .train
+        .iter()
+        .map(|&i| &ctx.corpus.samples()[i])
+        .collect();
     let labels: Vec<usize> = ctx
         .split
         .train

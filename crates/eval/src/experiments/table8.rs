@@ -9,7 +9,11 @@ use soteria_corpus::Family;
 /// Reproduces Table VIII.
 pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
     let evals = ctx.adversarial_results();
-    let mut header = vec!["Target class".to_string(), "Size".into(), "# Missed AEs".into()];
+    let mut header = vec![
+        "Target class".to_string(),
+        "Size".into(),
+        "# Missed AEs".into(),
+    ];
     header.extend(Family::ALL.iter().map(|f| format!("-> {f}")));
     let mut t = TextTable::new(header)
         .with_title("Table VIII — classifier verdicts on AEs missed by the detector");

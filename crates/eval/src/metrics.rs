@@ -44,7 +44,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 

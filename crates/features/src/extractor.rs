@@ -108,13 +108,17 @@ impl FeatureExtractor {
         labels: &[usize],
         rng: &mut ChaCha8Rng,
     ) -> SampleGrams {
-        let walks = walk::walk_set(
-            cfg,
-            labels,
-            config.walk_multiplier,
-            config.walks_per_labeling,
-            rng,
-        );
+        let walks = {
+            let _span = soteria_telemetry::span("features.stage.walks");
+            walk::walk_set(
+                cfg,
+                labels,
+                config.walk_multiplier,
+                config.walks_per_labeling,
+                rng,
+            )
+        };
+        let _span = soteria_telemetry::span("features.stage.ngrams");
         let per_walk: Vec<GramCounts> = walks
             .iter()
             .map(|w| count_walk_set(std::slice::from_ref(w), &config.ngram_sizes))
@@ -127,15 +131,15 @@ impl FeatureExtractor {
     }
 
     /// Labels both ways and walks both labelings.
-    fn both_grams(
-        config: &ExtractorConfig,
-        cfg: &Cfg,
-        seed: u64,
-    ) -> (SampleGrams, SampleGrams) {
+    fn both_grams(config: &ExtractorConfig, cfg: &Cfg, seed: u64) -> (SampleGrams, SampleGrams) {
         let (reachable, _) = cfg.reachable_subgraph();
-        let keys = NodeKeys::compute(&reachable);
-        let dbl = labeling::label_nodes_with(&reachable, Labeling::Density, &keys);
-        let lbl = labeling::label_nodes_with(&reachable, Labeling::Level, &keys);
+        let (dbl, lbl) = {
+            let _span = soteria_telemetry::span("features.stage.labeling");
+            let keys = NodeKeys::compute(&reachable);
+            let dbl = labeling::label_nodes_with(&reachable, Labeling::Density, &keys);
+            let lbl = labeling::label_nodes_with(&reachable, Labeling::Level, &keys);
+            (dbl, lbl)
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let d = Self::grams_for(config, &reachable, &dbl, &mut rng);
         let l = Self::grams_for(config, &reachable, &lbl, &mut rng);
@@ -148,7 +152,10 @@ impl FeatureExtractor {
     /// `seed` drives the training walks; per-graph seeds are derived from
     /// it so results do not depend on iteration order.
     pub fn fit(config: &ExtractorConfig, train: &[Cfg], seed: u64) -> Self {
+        let _span = soteria_telemetry::span("features.fit");
+        soteria_telemetry::counter("features.fit.samples", train.len() as u64);
         let (dbl_docs, lbl_docs) = Self::train_documents(config, train, seed);
+        let _tfidf = soteria_telemetry::span("features.stage.tfidf_fit");
         FeatureExtractor {
             config: config.clone(),
             dbl_vocab: Vocabulary::fit(&dbl_docs, config.top_k),
@@ -172,7 +179,10 @@ impl FeatureExtractor {
         seed: u64,
     ) -> Self {
         assert_eq!(train.len(), labels.len(), "train/labels mismatch");
+        let _span = soteria_telemetry::span("features.fit");
+        soteria_telemetry::counter("features.fit.samples", train.len() as u64);
         let (dbl_docs, lbl_docs) = Self::train_documents(config, train, seed);
+        let _tfidf = soteria_telemetry::span("features.stage.tfidf_fit");
         FeatureExtractor {
             config: config.clone(),
             dbl_vocab: Vocabulary::fit_stratified(&dbl_docs, labels, classes, config.top_k),
@@ -219,8 +229,11 @@ impl FeatureExtractor {
     /// normalization keeps clean vectors at unit magnitude so the
     /// auto-encoder and CNNs see well-conditioned inputs.
     pub fn extract(&self, cfg: &Cfg, seed: u64) -> SampleFeatures {
+        let _span = soteria_telemetry::span("features.extract");
+        soteria_telemetry::counter("features.extracted", 1);
         let k = self.config.top_k;
         let (d, l) = Self::both_grams(&self.config, cfg, seed);
+        let _tfidf = soteria_telemetry::span("features.stage.tfidf_transform");
         let dbl_walks = d
             .per_walk
             .iter()
@@ -248,6 +261,8 @@ impl FeatureExtractor {
     /// Extracts features for many samples in parallel (crossbeam scoped
     /// threads; deterministic per-sample seeds derived from `seed`).
     pub fn extract_batch(&self, graphs: &[&Cfg], seed: u64) -> Vec<SampleFeatures> {
+        let _span = soteria_telemetry::span("features.extract_batch");
+        soteria_telemetry::counter("features.extract_batch.samples", graphs.len() as u64);
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -258,6 +273,9 @@ impl FeatureExtractor {
             for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 s.spawn(move |_| {
+                    // Per-worker span: the spread between workers shows
+                    // chunking imbalance in the summary table.
+                    let _worker = soteria_telemetry::span("features.extract_batch.worker");
                     for (j, slot) in slot_chunk.iter_mut().enumerate() {
                         let i = start + j;
                         *slot = Some(self.extract(graphs[i], derive_seed(seed, i as u64)));
@@ -266,7 +284,9 @@ impl FeatureExtractor {
             }
         })
         .expect("feature extraction worker panicked");
-        out.into_iter().map(|o| o.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|o| o.expect("all slots filled"))
+            .collect()
     }
 }
 
@@ -296,7 +316,9 @@ mod tests {
 
     fn graphs(n: usize, family: Family, seed: u64) -> Vec<Cfg> {
         let mut gen = SampleGenerator::new(seed);
-        (0..n).map(|_| gen.generate(family).graph().clone()).collect()
+        (0..n)
+            .map(|_| gen.generate(family).graph().clone())
+            .collect()
     }
 
     fn fitted() -> (FeatureExtractor, Vec<Cfg>) {

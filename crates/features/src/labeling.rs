@@ -141,7 +141,8 @@ impl NodeKeys {
 /// Descending total order over the non-NaN floats produced by the density
 /// and centrality computations.
 fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
-    b.partial_cmp(&a).expect("density/centrality values are never NaN")
+    b.partial_cmp(&a)
+        .expect("density/centrality values are never NaN")
 }
 
 #[cfg(test)]

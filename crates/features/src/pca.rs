@@ -211,7 +211,9 @@ fn power_iterate(
         // Deterministic pseudo-random start vector.
         let mut v: Vec<f64> = (0..dim)
             .map(|i| {
-                let x = ((i as u64 + 1).wrapping_mul(0x9e37_79b9).wrapping_add(c as u64 * 77))
+                let x = ((i as u64 + 1)
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(c as u64 * 77))
                     % 1000;
                 x as f64 / 1000.0 - 0.5
             })

@@ -132,8 +132,7 @@ impl Vocabulary {
     }
 
     fn from_grams(grams: Vec<Gram>, documents: &[GramCounts]) -> Self {
-        let index: HashMap<Gram, usize> =
-            grams.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let index: HashMap<Gram, usize> = grams.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         let n = documents.len() as f64;
         let mut df = vec![0usize; grams.len()];
         for d in documents {

@@ -7,7 +7,6 @@ use soteria_corpus::{motifs, Family};
 use soteria_features::ngram::{count_walk_set, Gram, GramCounts};
 use soteria_features::{label_nodes, random_walk, walk_set, Labeling, Pca, Vocabulary};
 
-
 proptest! {
     /// Labels are always a permutation of 0..|V| under both labelings.
     #[test]

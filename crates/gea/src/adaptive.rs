@@ -99,11 +99,7 @@ pub fn split_blocks(sample: &Sample, count: usize, seed: u64) -> Result<Sample, 
 /// # Errors
 ///
 /// Propagates assembly/lift failures.
-pub fn obfuscate(
-    sample: &Sample,
-    hidden_fraction: f64,
-    seed: u64,
-) -> Result<Sample, CorpusError> {
+pub fn obfuscate(sample: &Sample, hidden_fraction: f64, seed: u64) -> Result<Sample, CorpusError> {
     assert!(
         (0.0..1.0).contains(&hidden_fraction),
         "hidden fraction must be in [0, 1)"

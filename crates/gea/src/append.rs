@@ -23,7 +23,11 @@ use soteria_corpus::{asm, corpus::Sample, Binary, CorpusError, SampleGenerator};
 ///
 /// Propagates lifting failures (none occur for valid inputs — trailing
 /// bytes are never decoded).
-pub fn append_trailing_bytes(sample: &Sample, len: usize, seed: u64) -> Result<Sample, CorpusError> {
+pub fn append_trailing_bytes(
+    sample: &Sample,
+    len: usize,
+    seed: u64,
+) -> Result<Sample, CorpusError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let junk: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
     let mut binary: Binary = sample.binary().clone();
@@ -83,7 +87,10 @@ mod tests {
     #[test]
     fn appended_samples_keep_their_class() {
         let s = sample();
-        assert_eq!(append_trailing_bytes(&s, 8, 1).unwrap().family(), s.family());
+        assert_eq!(
+            append_trailing_bytes(&s, 8, 1).unwrap().family(),
+            s.family()
+        );
         assert_eq!(inject_dead_section(&s, 1).unwrap().family(), s.family());
     }
 

@@ -96,7 +96,11 @@ pub fn generate_all(
 }
 
 /// The expected batch size for a target: test samples outside its class.
-pub fn expected_batch_size(corpus: &Corpus, test_indices: &[usize], target_family: Family) -> usize {
+pub fn expected_batch_size(
+    corpus: &Corpus,
+    test_indices: &[usize],
+    target_family: Family,
+) -> usize {
     test_indices
         .iter()
         .filter(|&&i| corpus.samples()[i].family() != target_family)

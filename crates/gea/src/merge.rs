@@ -107,8 +107,10 @@ pub fn gea_merge(original: &Sample, target: &Sample) -> Result<MergedSample, Cor
 
     // Shared entry branches to both sub-entries (only the original arm is
     // ever taken at run time).
-    b.add_edge(entry, o_map(og.entry())).expect("entry -> original");
-    b.add_edge(entry, t_map(tg.entry())).expect("entry -> target");
+    b.add_edge(entry, o_map(og.entry()))
+        .expect("entry -> original");
+    b.add_edge(entry, t_map(tg.entry()))
+        .expect("entry -> target");
 
     // Every exit of either subgraph flows into the shared exit.
     for e in og.exits() {
@@ -197,7 +199,10 @@ mod tests {
         let (o, t) = pair();
         let m1 = gea_merge(&o, &t).unwrap();
         let m2 = gea_merge(&t, &o).unwrap();
-        assert_eq!(m1.sample().graph().node_count(), m2.sample().graph().node_count());
+        assert_eq!(
+            m1.sample().graph().node_count(),
+            m2.sample().graph().node_count()
+        );
         assert_ne!(m1.original_family(), m2.original_family());
     }
 

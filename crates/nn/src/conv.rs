@@ -154,8 +154,7 @@ impl Layer for Conv1d {
                             if ti >= 0 && (ti as usize) < l {
                                 let widx = (oc * self.in_channels + ic) * self.kernel + k;
                                 self.grad_weights[widx] += g * x[base + ti as usize];
-                                grad_in.row_mut(r)[base + ti as usize] +=
-                                    g * self.weights[widx];
+                                grad_in.row_mut(r)[base + ti as usize] += g * self.weights[widx];
                             }
                         }
                     }
@@ -215,7 +214,9 @@ mod tests {
         let x = Matrix::from_vec(
             2,
             8,
-            vec![0.5, -0.3, 0.8, 0.1, -0.2, 0.7, 0.4, -0.6, 0.9, 0.2, -0.5, 0.3, 0.6, -0.1, 0.8, 0.2],
+            vec![
+                0.5, -0.3, 0.8, 0.1, -0.2, 0.7, 0.4, -0.6, 0.9, 0.2, -0.5, 0.3, 0.6, -0.1, 0.8, 0.2,
+            ],
         );
         let loss = |c: &mut Conv1d, x: &Matrix| -> f32 { c.forward(x, false).data().iter().sum() };
         let _ = conv.forward(&x, true);

@@ -119,8 +119,7 @@ impl Layer for Conv2d {
                                 }
                             }
                         }
-                        y[oc * plane + row * w + col] =
-                            if self.relu { acc.max(0.0) } else { acc };
+                        y[oc * plane + row * w + col] = if self.relu { acc.max(0.0) } else { acc };
                     }
                 }
             }
@@ -293,7 +292,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let argmax = self.argmax.take().expect("backward without forward(train=true)");
+        let argmax = self
+            .argmax
+            .take()
+            .expect("backward without forward(train=true)");
         let (rows, cols) = self.in_shape;
         let mut grad_in = Matrix::zeros(rows, cols);
         for r in 0..rows {
@@ -342,7 +344,9 @@ mod tests {
         let x = Matrix::from_vec(
             1,
             12,
-            vec![0.5, -0.3, 0.8, 0.1, -0.2, 0.7, 0.4, -0.6, 0.9, 0.2, -0.5, 0.3],
+            vec![
+                0.5, -0.3, 0.8, 0.1, -0.2, 0.7, 0.4, -0.6, 0.9, 0.2, -0.5, 0.3,
+            ],
         );
         let loss = |c: &mut Conv2d, x: &Matrix| -> f32 { c.forward(x, false).data().iter().sum() };
         let _ = conv.forward(&x, true);

@@ -161,9 +161,8 @@ mod tests {
         let mut layer = Dense::new(3, 2, activation, 9);
         let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.8, -0.1, 0.4, 0.9]);
         // Loss = sum(y); grad_out = ones.
-        let fwd_loss = |layer: &mut Dense, x: &Matrix| -> f32 {
-            layer.forward(x, false).data().iter().sum()
-        };
+        let fwd_loss =
+            |layer: &mut Dense, x: &Matrix| -> f32 { layer.forward(x, false).data().iter().sum() };
         let _ = layer.forward(&x, true);
         let grad_out = Matrix::from_vec(2, 2, vec![1.0; 4]);
         let dx = layer.backward(&grad_out);

@@ -26,7 +26,10 @@ impl Dropout {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             p,
             seed,

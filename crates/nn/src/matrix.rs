@@ -301,9 +301,16 @@ mod tests {
         let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
         let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.t_matmul(&b); // aᵀ·b = [2x3]·[3x2]
-        // aᵀ = [[1,3,5],[2,4,6]]
-        assert_eq!(c.data(), &[1.*7.+3.*9.+5.*11., 1.*8.+3.*10.+5.*12.,
-                               2.*7.+4.*9.+6.*11., 2.*8.+4.*10.+6.*12.]);
+                                // aᵀ = [[1,3,5],[2,4,6]]
+        assert_eq!(
+            c.data(),
+            &[
+                1. * 7. + 3. * 9. + 5. * 11.,
+                1. * 8. + 3. * 10. + 5. * 12.,
+                2. * 7. + 4. * 9. + 6. * 11.,
+                2. * 8. + 4. * 10. + 6. * 12.
+            ]
+        );
     }
 
     #[test]
@@ -311,8 +318,15 @@ mod tests {
         let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         let b = Matrix::from_vec(2, 3, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.matmul_t(&b); // a·bᵀ = [2x3]·[3x2]
-        assert_eq!(c.data(), &[1.*7.+2.*8.+3.*9., 1.*10.+2.*11.+3.*12.,
-                               4.*7.+5.*8.+6.*9., 4.*10.+5.*11.+6.*12.]);
+        assert_eq!(
+            c.data(),
+            &[
+                1. * 7. + 2. * 8. + 3. * 9.,
+                1. * 10. + 2. * 11. + 3. * 12.,
+                4. * 7. + 5. * 8. + 6. * 9.,
+                4. * 10. + 5. * 11. + 6. * 12.
+            ]
+        );
     }
 
     #[test]
@@ -384,8 +398,16 @@ mod tests {
 
         // matmul_t: c · dᵀ with c [m×k2], d [n2×k2].
         let (m2, k2, n2) = (80, 96, 560);
-        let c = Matrix::from_vec(m2, k2, (0..m2 * k2).map(|i| ((i % 9) as f32) - 4.0).collect());
-        let d = Matrix::from_vec(n2, k2, (0..n2 * k2).map(|i| ((i % 3) as f32) - 1.0).collect());
+        let c = Matrix::from_vec(
+            m2,
+            k2,
+            (0..m2 * k2).map(|i| ((i % 9) as f32) - 4.0).collect(),
+        );
+        let d = Matrix::from_vec(
+            n2,
+            k2,
+            (0..n2 * k2).map(|i| ((i % 3) as f32) - 1.0).collect(),
+        );
         let mut dt = Matrix::zeros(k2, n2);
         for i in 0..n2 {
             for j in 0..k2 {

@@ -110,9 +110,7 @@ mod tests {
     fn whole_model_gradient_check() {
         let mut m = two_layer();
         let x = Matrix::from_vec(1, 3, vec![0.3, -0.7, 0.5]);
-        let loss = |m: &mut Sequential, x: &Matrix| -> f32 {
-            m.predict(x).data().iter().sum()
-        };
+        let loss = |m: &mut Sequential, x: &Matrix| -> f32 { m.predict(x).data().iter().sum() };
         let _ = m.forward(&x, true);
         let dx = m.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
         let eps = 1e-3f32;

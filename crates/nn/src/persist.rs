@@ -129,7 +129,7 @@ impl ModelSpec {
 /// Returns a message naming the offending position if the model contains
 /// a layer type this enum does not know, or if serde fails.
 pub fn spec_of(model: &Sequential) -> Result<ModelSpec, String> {
-    fn clone_via_serde<T: Serialize + for<'de> Deserialize<'de>>(layer: &T) -> Result<T, String> {
+    fn clone_via_serde<T: Serialize + serde::de::DeserializeOwned>(layer: &T) -> Result<T, String> {
         let json = serde_json::to_string(layer).map_err(|e| e.to_string())?;
         serde_json::from_str(&json).map_err(|e| e.to_string())
     }
@@ -237,7 +237,10 @@ mod tests {
         });
 
         let probe = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
-        assert_eq!(restored.predict(&probe).data(), model.predict(&probe).data());
+        assert_eq!(
+            restored.predict(&probe).data(),
+            model.predict(&probe).data()
+        );
     }
 
     #[test]
@@ -293,7 +296,10 @@ mod tests {
         let spec = spec_of(&model).unwrap();
         let mut restored = spec.into_sequential();
         let probe = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
-        assert_eq!(restored.predict(&probe).data(), model.predict(&probe).data());
+        assert_eq!(
+            restored.predict(&probe).data(),
+            model.predict(&probe).data()
+        );
     }
 
     #[test]

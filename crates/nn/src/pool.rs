@@ -28,7 +28,10 @@ impl MaxPool1d {
     ///
     /// Panics if `window` is zero or exceeds `length`.
     pub fn new(channels: usize, length: usize, window: usize) -> Self {
-        assert!(window >= 1 && window <= length, "window must fit the signal");
+        assert!(
+            window >= 1 && window <= length,
+            "window must fit the signal"
+        );
         MaxPool1d {
             channels,
             length,
@@ -66,7 +69,12 @@ impl Layer for MaxPool1d {
                 for t in 0..out_l {
                     let start = c * self.length + t * self.window;
                     let (mut best_i, mut best) = (start, x[start]);
-                    for (i, &v) in x.iter().enumerate().take(start + self.window).skip(start + 1) {
+                    for (i, &v) in x
+                        .iter()
+                        .enumerate()
+                        .take(start + self.window)
+                        .skip(start + 1)
+                    {
                         if v > best {
                             best = v;
                             best_i = i;
@@ -85,7 +93,10 @@ impl Layer for MaxPool1d {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let argmax = self.argmax.take().expect("backward without forward(train=true)");
+        let argmax = self
+            .argmax
+            .take()
+            .expect("backward without forward(train=true)");
         let (rows, cols) = self.in_shape;
         let mut grad_in = Matrix::zeros(rows, cols);
         for r in 0..rows {

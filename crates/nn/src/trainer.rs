@@ -52,17 +52,33 @@ impl Default for TrainConfig {
     }
 }
 
-/// Per-epoch loss trace returned by [`Trainer::fit`].
+/// Per-epoch training trace returned by [`Trainer::fit`]. All three
+/// vectors are indexed by epoch and have equal lengths.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingHistory {
     /// Mean batch loss per epoch.
     pub epoch_losses: Vec<f32>,
+    /// Wall-clock time per epoch, in milliseconds.
+    pub epoch_times_ms: Vec<f64>,
+    /// Mean per-batch gradient L2 norm per epoch (over all trainable
+    /// parameters, measured after `backward`, before the optimizer step).
+    pub epoch_grad_norms: Vec<f32>,
 }
 
 impl TrainingHistory {
     /// Loss of the last completed epoch (∞ if no epoch ran).
     pub fn final_loss(&self) -> f32 {
         self.epoch_losses.last().copied().unwrap_or(f32::INFINITY)
+    }
+
+    /// Total wall-clock training time in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.epoch_times_ms.iter().sum()
+    }
+
+    /// Gradient norm of the last completed epoch (0 if no epoch ran).
+    pub fn final_grad_norm(&self) -> f32 {
+        self.epoch_grad_norms.last().copied().unwrap_or(0.0)
     }
 }
 
@@ -103,15 +119,20 @@ impl Trainer {
     ) -> TrainingHistory {
         assert_eq!(inputs.rows(), targets.rows(), "inputs/targets mismatch");
         assert!(self.config.batch_size >= 1, "batch size must be positive");
+        let _span = soteria_telemetry::span("nn.fit");
         let n = inputs.rows();
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut history = TrainingHistory {
             epoch_losses: Vec::with_capacity(self.config.epochs),
+            epoch_times_ms: Vec::with_capacity(self.config.epochs),
+            epoch_grad_norms: Vec::with_capacity(self.config.epochs),
         };
         for _epoch in 0..self.config.epochs {
+            let epoch_start = std::time::Instant::now();
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
+            let mut grad_norm_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
                 let x = inputs.select_rows(chunk);
@@ -119,12 +140,21 @@ impl Trainer {
                 let y = model.forward(&x, true);
                 let (batch_loss, grad) = loss.compute(&y, &t);
                 let _ = model.backward(&grad);
+                grad_norm_sum += grad_l2_norm(model);
                 self.optimizer.step(model, self.config.learning_rate);
                 epoch_loss += f64::from(batch_loss);
                 batches += 1;
             }
             let mean = (epoch_loss / batches.max(1) as f64) as f32;
             history.epoch_losses.push(mean);
+            history
+                .epoch_times_ms
+                .push(epoch_start.elapsed().as_secs_f64() * 1e3);
+            history
+                .epoch_grad_norms
+                .push((grad_norm_sum / batches.max(1) as f64) as f32);
+            soteria_telemetry::record("nn.epoch", epoch_start.elapsed().as_secs_f64() * 1e3);
+            soteria_telemetry::counter("nn.epochs", 1);
             if let Some(target) = self.config.target_loss {
                 if mean < target {
                     break;
@@ -133,6 +163,18 @@ impl Trainer {
         }
         history
     }
+}
+
+/// L2 norm of the concatenated parameter gradients of `model`.
+fn grad_l2_norm(model: &mut dyn Layer) -> f64 {
+    let mut sum_sq = 0.0f64;
+    model.visit_params(&mut |_, grads| {
+        sum_sq += grads
+            .iter()
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum::<f64>();
+    });
+    sum_sq.sqrt()
 }
 
 /// Argmax over each row — the predicted class per sample.
@@ -234,6 +276,31 @@ mod tests {
         let h = trainer.fit(&mut model, &x, &t, Loss::SoftmaxCrossEntropy);
         assert!(h.epoch_losses.len() < 10_000);
         assert!(h.final_loss() < 0.2);
+    }
+
+    #[test]
+    fn history_tracks_time_and_gradients_per_epoch() {
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(2, 8, Activation::Relu, 7)),
+            Box::new(Dense::new(8, 2, Activation::Linear, 8)),
+        ]);
+        let (x, t) = xor_data();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 12,
+            batch_size: 2,
+            learning_rate: 0.01,
+            seed: 5,
+            ..TrainConfig::default()
+        });
+        let h = trainer.fit(&mut model, &x, &t, Loss::SoftmaxCrossEntropy);
+        assert_eq!(h.epoch_losses.len(), 12);
+        assert_eq!(h.epoch_times_ms.len(), 12);
+        assert_eq!(h.epoch_grad_norms.len(), 12);
+        assert!(h.epoch_times_ms.iter().all(|&t| t >= 0.0));
+        assert!(h.total_time_ms() >= h.epoch_times_ms[0]);
+        // A net mid-training has nonzero, finite gradients.
+        assert!(h.epoch_grad_norms.iter().all(|&g| g > 0.0 && g.is_finite()));
+        assert!(h.final_grad_norm() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Offline shim for `crossbeam`: the `thread::scope` API implemented on
+//! `std::thread::scope` (std has had scoped threads since 1.63).
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * crossbeam joins all threads and returns `Err` if any panicked;
+//!   std's scope re-raises the panic instead. Every caller in this
+//!   workspace immediately `.expect()`s the result, so the observable
+//!   behavior — abort the process with the panic message — is the same.
+//! * The closure passed to `spawn` receives the scope again (crossbeam's
+//!   nested-spawn affordance), which this shim also provides.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; lets spawned threads spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before this returns.
+    ///
+    /// Unlike upstream, a panicking child propagates its panic here rather
+    /// than surfacing as `Err` — callers that `.expect()` the result see
+    /// identical process behavior.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_locals() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        crate::thread::scope(|s| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_the_thread_result() {
+        let r = crate::thread::scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,123 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest defaults to 256; the shim trades a little
+        // coverage for suite latency (generation here is not shrunk, so
+        // failures replay instantly either way).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+pub enum TestCaseError {
+    /// A `prop_assert*` failed; the test fails with this message.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is discarded.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Runs `config.cases` successful cases of `f`, panicking on the first
+/// failure. Case `i` of test `name` always sees the same RNG stream.
+pub fn run(
+    config: ProptestConfig,
+    name: &str,
+    f: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let attempt_limit = config.cases as u64 * 10 + 100;
+    while passed < config.cases {
+        attempt += 1;
+        if attempt > attempt_limit {
+            panic!(
+                "proptest `{name}`: gave up after {attempt_limit} attempts \
+                 ({passed}/{} cases passed, rest rejected by prop_assume!)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::seed_from_u64(base ^ attempt);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case #{attempt} (seed {base:#x} ^ {attempt}):\n{msg}")
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut seen_a = Vec::new();
+        run(ProptestConfig::with_cases(8), "det", |rng| {
+            seen_a.push((0u64..1_000_000).generate(rng));
+            Ok(())
+        });
+        let mut seen_b = Vec::new();
+        run(ProptestConfig::with_cases(8), "det", |rng| {
+            seen_b.push((0u64..1_000_000).generate(rng));
+            Ok(())
+        });
+        assert_eq!(seen_a, seen_b);
+        assert!(seen_a.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn rejection_storm_gives_up() {
+        run(ProptestConfig::with_cases(4), "reject", |_| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run(ProptestConfig::with_cases(4), "fail", |_| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline shim for `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this shim trades that
+//! generality for a simple value-tree model that is entirely sufficient
+//! for the workspace's use (JSON persistence of owned data):
+//!
+//! * [`Serialize`] renders a type into a [`Value`] tree;
+//! * [`Deserialize`] rebuilds a type from a [`Value`] tree;
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   shim) generates both, honoring `#[serde(skip)]` on fields and
+//!   `#[serde(from = "T", into = "T")]` on containers;
+//! * the `serde_json` shim converts [`Value`] to and from JSON text.
+//!
+//! The derived representations mirror serde's defaults so persisted JSON
+//! looks the way readers expect: structs are objects, newtype structs are
+//! their inner value, unit enum variants are strings, and data-carrying
+//! variants are single-key objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization tree (the shim's data model).
+///
+/// Object fields keep insertion order so emitted JSON is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered key-value map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error (shared with the `serde_json`
+/// shim).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom(format!("{u} overflows i64")))?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u64 = match v {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} is negative")))?,
+                    Value::UInt(u) => *u,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as f64;
+                // JSON has no NaN/infinity; follow serde_json and emit null.
+                if x.is_finite() {
+                    Value::Float(x)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!("expected single-char string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// In real serde, `DeserializeOwned` frees callers from naming the
+    /// deserializer lifetime; the shim's [`Deserialize`](crate::Deserialize)
+    /// has no lifetime, so this is a plain alias trait.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error::custom(format!(
+                        "expected {}-tuple, found array of {}",
+                        ARITY,
+                        items.len()
+                    ))),
+                    other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support functions called by `serde_derive`-generated code. Not part of
+/// the public API surface the workspace programs against.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Extracts and deserializes a named field of a struct object.
+    pub fn field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(_) => match v.get(name) {
+                Some(inner) => T::from_value(inner)
+                    .map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
+                None => Err(Error::custom(format!("{ty}: missing field `{name}`"))),
+            },
+            other => Err(Error::custom(format!(
+                "{ty}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Borrows the elements of an array value, checking arity.
+    pub fn elements<'a>(v: &'a Value, ty: &str, arity: usize) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == arity => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "{ty}: expected {arity} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "{ty}: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Splits an externally tagged enum value into `(variant, payload)`.
+    /// Unit variants are plain strings (payload `None`); data variants are
+    /// single-key objects.
+    pub fn variant<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, Option<&'a Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "{ty}: expected variant string or single-key object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Error for an unknown enum variant name.
+    pub fn unknown_variant(ty: &str, got: &str) -> Error {
+        Error::custom(format!("{ty}: unknown variant `{got}`"))
+    }
+
+    /// Error for a variant that got the wrong payload shape.
+    pub fn bad_payload(ty: &str, variant: &str) -> Error {
+        Error::custom(format!("{ty}: wrong payload for variant `{variant}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_and_range_check() {
+        let v = 300u64.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), 300);
+        assert!(u8::from_value(&v).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(i32::from_value(&Value::Int(-5)).unwrap(), -5);
+        // A u64 beyond i64::MAX survives.
+        let big = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&big).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn floats_accept_integers_and_null() {
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert!(f32::from_value(&Value::Null).unwrap().is_nan());
+        assert_eq!(f32::INFINITY.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn options_map_null() {
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&Value::Int(4)).unwrap(), Some(4));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn arrays_enforce_length() {
+        let v = vec![1u8, 2, 3].to_value();
+        assert_eq!(<[u8; 3]>::from_value(&v).unwrap(), [1, 2, 3]);
+        assert!(<[u8; 4]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let v = (1u8, 2u32).to_value();
+        assert_eq!(<(u8, u32)>::from_value(&v).unwrap(), (1, 2));
+        assert!(<(u8, u32, u8)>::from_value(&v).is_err());
+    }
+}

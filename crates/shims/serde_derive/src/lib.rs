@@ -1,0 +1,233 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the `serde` shim's value-tree model, parsing the item with a small
+//! hand-written cursor over `proc_macro::TokenTree` (the build
+//! environment has no `syn`/`quote`).
+//!
+//! Supported item shapes — exactly what this workspace declares:
+//!
+//! * named-field structs (→ JSON objects),
+//! * tuple structs (newtype → inner value; wider → arrays),
+//! * unit structs (→ `null`),
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   serde's default),
+//! * field attribute `#[serde(skip)]` (omitted on write, `Default` on
+//!   read) and `#[serde(default)]` (`Default` when missing on read),
+//! * container attribute `#[serde(from = "T", into = "T")]`.
+//!
+//! Generics and lifetimes are intentionally rejected with a compile
+//! error: nothing in the workspace derives serde on a generic type, and
+//! failing loudly beats miscompiling quietly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Input, Shape, VariantKind};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Input::parse(input);
+    let body = match (&item.into_ty, &item.shape) {
+        (Some(proxy), _) => format!(
+            "let __proxy: {proxy} = <{proxy} as ::core::convert::From<Self>>::from(self.clone());\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        ),
+        (None, Shape::NamedStruct { fields }) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        (None, Shape::TupleStruct { arity: 1 }) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        (None, Shape::TupleStruct { arity }) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        (None, Shape::UnitStruct) => "::serde::Value::Null".to_string(),
+        (None, Shape::Enum { variants }) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let name = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{ty}::{name} => ::serde::Value::Str(\"{name}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{ty}::{name}({binds}) => ::serde::Value::Object(vec![(\"{name}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{name} {{ {binds} }} => ::serde::Value::Object(vec![(\"{name}\".to_string(), ::serde::Value::Object(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        item.name
+    );
+    out.parse().expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Input::parse(input);
+    let ty = &item.name;
+    let body = match (&item.from_ty, &item.shape) {
+        (Some(proxy), _) => format!(
+            "let __proxy: {proxy} = ::serde::Deserialize::from_value(__v)?;\n\
+             Ok(<Self as ::core::convert::From<{proxy}>>::from(__proxy))"
+        ),
+        (None, Shape::NamedStruct { fields }) => {
+            format!(
+                "Ok({ty} {{\n{}}})",
+                named_field_inits(ty, fields, "__v")
+            )
+        }
+        (None, Shape::TupleStruct { arity: 1 }) => {
+            format!("Ok({ty}(::serde::Deserialize::from_value(__v)?))")
+        }
+        (None, Shape::TupleStruct { arity }) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__private::elements(__v, \"{ty}\", {arity})?;\n\
+                 Ok({ty}({}))",
+                items.join(", ")
+            )
+        }
+        (None, Shape::UnitStruct) => format!("Ok({ty})"),
+        (None, Shape::Enum { variants }) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "(\"{name}\", None) => Ok({ty}::{name}),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "(\"{name}\", Some(__payload)) => Ok({ty}::{name}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "(\"{name}\", Some(__payload)) => {{\n\
+                                 let __items = ::serde::__private::elements(__payload, \"{ty}::{name}\", {arity})?;\n\
+                                 Ok({ty}::{name}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        arms.push_str(&format!(
+                            "(\"{name}\", Some(__payload)) => Ok({ty}::{name} {{\n{}}}),\n",
+                            named_field_inits(&format!("{ty}::{name}"), fields, "__payload")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match ::serde::__private::variant(__v, \"{ty}\")? {{\n\
+                     {arms}\
+                     (__other, _) => Err(::serde::__private::unknown_variant(\"{ty}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("derive(Deserialize) generated invalid Rust")
+}
+
+/// `field: <expr>,` initializers for a named-field composite.
+fn named_field_inits(ty: &str, fields: &[parse::Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{0}: match ::serde::Value::get({source}, \"{0}\") {{\n\
+                     Some(__inner) => ::serde::Deserialize::from_value(__inner)?,\n\
+                     None => ::core::default::Default::default(),\n\
+                 }},\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: ::serde::__private::field({source}, \"{ty}\", \"{0}\")?,\n",
+                f.name
+            ));
+        }
+    }
+    out
+}
+
+/// Panics with a location-free diagnostic; proc-macro panics surface as
+/// compile errors on the derive site.
+pub(crate) fn bail(msg: &str) -> ! {
+    panic!("serde_derive shim: {msg}")
+}
+
+/// Returns the tokens inside a group if the tree is one with the given
+/// delimiter.
+pub(crate) fn group_tokens(tree: &TokenTree, delim: Delimiter) -> Option<Vec<TokenTree>> {
+    match tree {
+        TokenTree::Group(g) if g.delimiter() == delim => Some(g.stream().into_iter().collect()),
+        _ => None,
+    }
+}

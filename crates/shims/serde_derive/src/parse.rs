@@ -1,0 +1,347 @@
+//! A minimal item parser over `proc_macro::TokenTree`.
+//!
+//! Parses just enough of a `struct`/`enum` item for the derives: names,
+//! field lists, variant shapes, and the `#[serde(...)]` attributes the
+//! shim supports. Everything the derives do not understand fails the
+//! build with a clear message rather than generating wrong code.
+
+use crate::{bail, group_tokens};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One field of a struct or struct variant.
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// `#[serde(skip)]`: omit on write, `Default` on read.
+    pub skip: bool,
+    /// `#[serde(default)]`: `Default` when absent on read.
+    pub default: bool,
+}
+
+/// The shape of the derived item.
+pub enum Shape {
+    /// `struct S { .. }`
+    NamedStruct {
+        /// Fields in declaration order.
+        fields: Vec<Field>,
+    },
+    /// `struct S(..);`
+    TupleStruct {
+        /// Number of tuple elements.
+        arity: usize,
+    },
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { .. }`
+    Enum {
+        /// Variants in declaration order.
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Payload shape.
+    pub kind: VariantKind,
+}
+
+/// Payload shape of an enum variant.
+pub enum VariantKind {
+    /// `Name`
+    Unit,
+    /// `Name(..)` with the element count.
+    Tuple(usize),
+    /// `Name { .. }`
+    Named(Vec<Field>),
+}
+
+/// A parsed derive input.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// `#[serde(from = "T")]` proxy type, if any.
+    pub from_ty: Option<String>,
+    /// `#[serde(into = "T")]` proxy type, if any.
+    pub into_ty: Option<String>,
+    /// Item shape.
+    pub shape: Shape,
+}
+
+/// Serde attributes collected from one attribute site.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(toks: Vec<TokenTree>) -> Self {
+        Cursor { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.is_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char, context: &str) {
+        if !self.eat_punct(ch) {
+            bail(&format!("expected `{ch}` {context}"));
+        }
+    }
+
+    fn ident(&mut self, context: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => bail(&format!("expected identifier {context}, found {other:?}")),
+        }
+    }
+
+    /// Consumes leading attributes, merging any `#[serde(...)]` contents.
+    fn attrs(&mut self) -> SerdeAttrs {
+        let mut out = SerdeAttrs::default();
+        while self.is_punct('#') {
+            self.pos += 1;
+            let Some(tree) = self.next() else {
+                bail("dangling `#`");
+            };
+            let Some(tokens) = group_tokens(&tree, Delimiter::Bracket) else {
+                bail("expected `[...]` after `#`");
+            };
+            parse_attr(&tokens, &mut out);
+        }
+        out
+    }
+
+    /// Consumes `pub`, `pub(crate)`, etc.
+    fn visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips a type (or expression) until a top-level comma, tracking
+    /// `<...>` nesting so `HashMap<K, V>` does not split early.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(tree) = self.peek() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Parses the contents of one `#[...]` attribute into `out` (non-serde
+/// attributes are ignored).
+fn parse_attr(tokens: &[TokenTree], out: &mut SerdeAttrs) {
+    let mut c = Cursor::new(tokens.to_vec());
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return, // e.g. `#[doc = "..."]` styles we don't care about
+    };
+    if name != "serde" {
+        return;
+    }
+    let Some(tree) = c.next() else {
+        bail("bare `#[serde]` attribute");
+    };
+    let Some(inner) = group_tokens(&tree, Delimiter::Parenthesis) else {
+        bail("expected `#[serde(...)]`");
+    };
+    let mut c = Cursor::new(inner);
+    while !c.at_end() {
+        let key = c.ident("in #[serde(...)]");
+        match key.as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => out.skip = true,
+            "default" => out.default = true,
+            "from" | "into" => {
+                c.expect_punct('=', "after from/into");
+                let ty = match c.next() {
+                    Some(TokenTree::Literal(l)) => {
+                        let s = l.to_string();
+                        s.trim_matches('"').to_string()
+                    }
+                    other => bail(&format!("expected string literal, found {other:?}")),
+                };
+                if key == "from" {
+                    out.from_ty = Some(ty);
+                } else {
+                    out.into_ty = Some(ty);
+                }
+            }
+            other => bail(&format!(
+                "unsupported serde attribute `{other}` (shim supports skip/default/from/into)"
+            )),
+        }
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+}
+
+/// Parses `name: Type` fields from the tokens of a brace group.
+fn named_fields(tokens: Vec<TokenTree>) -> Vec<Field> {
+    let mut c = Cursor::new(tokens);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.attrs();
+        if c.at_end() {
+            break;
+        }
+        c.visibility();
+        let name = c.ident("as field name");
+        c.expect_punct(':', "after field name");
+        c.skip_until_comma();
+        c.eat_punct(',');
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Counts the elements of a tuple struct/variant from its paren-group
+/// tokens.
+fn tuple_arity(tokens: Vec<TokenTree>) -> usize {
+    let mut c = Cursor::new(tokens);
+    let mut arity = 0;
+    while !c.at_end() {
+        let attrs = c.attrs();
+        if attrs.skip || attrs.default {
+            bail("serde field attributes on tuple fields are not supported by the shim");
+        }
+        if c.at_end() {
+            break;
+        }
+        c.visibility();
+        c.skip_until_comma();
+        arity += 1;
+        c.eat_punct(',');
+    }
+    arity
+}
+
+fn variants(tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let mut c = Cursor::new(tokens);
+    let mut out = Vec::new();
+    while !c.at_end() {
+        let _ = c.attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.ident("as variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks = g.stream().into_iter().collect();
+                c.pos += 1;
+                VariantKind::Tuple(tuple_arity(toks))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks = g.stream().into_iter().collect();
+                c.pos += 1;
+                VariantKind::Named(named_fields(toks))
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip the expression.
+            c.skip_until_comma();
+        }
+        c.eat_punct(',');
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+impl Input {
+    /// Parses a derive input item.
+    pub fn parse(input: TokenStream) -> Input {
+        let mut c = Cursor::new(input.into_iter().collect());
+        let attrs = c.attrs();
+        c.visibility();
+        let kind = c.ident("(`struct` or `enum`)");
+        let name = c.ident("as type name");
+        if c.is_punct('<') {
+            bail(&format!(
+                "generic type `{name}` is not supported by the serde shim derives"
+            ));
+        }
+        let shape = match kind.as_str() {
+            "struct" => match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::NamedStruct {
+                        fields: named_fields(g.stream().into_iter().collect()),
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::TupleStruct {
+                        arity: tuple_arity(g.stream().into_iter().collect()),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+                other => bail(&format!("unexpected token after struct name: {other:?}")),
+            },
+            "enum" => match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                    variants: variants(g.stream().into_iter().collect()),
+                },
+                other => bail(&format!("unexpected token after enum name: {other:?}")),
+            },
+            other => bail(&format!("cannot derive serde for `{other}` items")),
+        };
+        if (attrs.from_ty.is_some()) != (attrs.into_ty.is_some()) {
+            // Allow one-sided use: from only matters to Deserialize and
+            // into only to Serialize, mirroring serde.
+        }
+        Input {
+            name,
+            from_ty: attrs.from_ty,
+            into_ty: attrs.into_ty,
+            shape,
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Workspace-wide observability: counters, latency histograms, and RAII
+//! span timers behind one thread-safe global registry.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Recording never touches any RNG and never feeds
+//!    back into computation, so enabling or disabling telemetry cannot
+//!    change a verdict, a loss, or a feature vector (there is a test for
+//!    this in `soteria`).
+//! 2. **Cheap when off.** [`set_enabled`]`(false)` reduces every
+//!    recording call to one relaxed atomic load.
+//! 3. **No new dependencies.** Built on `parking_lot` + `serde`, which
+//!    the workspace already carries.
+//!
+//! # Usage
+//!
+//! ```
+//! use soteria_telemetry as telemetry;
+//!
+//! telemetry::counter("samples.analyzed", 3);
+//! {
+//!     let _span = telemetry::span("pipeline.analyze");
+//!     // ... timed work ...
+//! } // duration recorded on drop, in milliseconds
+//! let report = telemetry::snapshot();
+//! assert_eq!(report.counter("samples.analyzed"), Some(3));
+//! assert!(report.span("pipeline.analyze").is_some());
+//! ```
+//!
+//! Span names are dot-separated paths (`features.extract.walks`); the
+//! summary table and JSON export sort by name, so related spans group
+//! together.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Raw samples kept per histogram for quantile estimation. Aggregates
+/// (count/sum/min/max) stay exact past the cap; quantiles then describe
+/// the first `SAMPLE_CAP` observations.
+const SAMPLE_CAP: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static REGISTRY: Mutex<Option<Inner>> = Mutex::new(None);
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Default)]
+struct Histogram {
+    samples: Vec<f64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(value);
+        }
+    }
+
+    fn entry(&self, name: &str) -> SpanStats {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        SpanStats {
+            name: name.to_string(),
+            count: self.count,
+            total_ms: self.sum,
+            mean_ms: if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            },
+            min_ms: if self.count == 0 { 0.0 } else { self.min },
+            max_ms: if self.count == 0 { 0.0 } else { self.max },
+            p50_ms: quantile(&sorted, 0.50),
+            p90_ms: quantile(&sorted, 0.90),
+            p99_ms: quantile(&sorted, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank quantile over an ascending slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn with_inner<R>(f: impl FnOnce(&mut Inner) -> R) -> R {
+    let mut guard = REGISTRY.lock();
+    f(guard.get_or_insert_with(Inner::default))
+}
+
+/// Globally enables or disables all recording.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `delta` to the named monotonic counter.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Records one raw histogram observation under `name` (same stream the
+/// span timers write their millisecond durations to).
+pub fn record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    });
+}
+
+/// Starts an RAII span timer; the elapsed wall time in milliseconds is
+/// recorded under `name` when the guard drops.
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    Span {
+        active: Some((name.to_string(), Instant::now())),
+    }
+}
+
+/// Guard returned by [`span`]. Records on drop; [`Span::cancel`] discards
+/// the measurement instead.
+#[must_use = "a span records its duration when dropped; binding it to `_` drops immediately"]
+pub struct Span {
+    active: Option<(String, Instant)>,
+}
+
+impl Span {
+    /// Discards the measurement.
+    pub fn cancel(mut self) {
+        self.active = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.active.take() {
+            record(&name, start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+}
+
+/// Clears all recorded metrics (the enabled flag is unchanged).
+pub fn reset() {
+    *REGISTRY.lock() = None;
+}
+
+/// Takes a consistent copy of everything recorded so far.
+pub fn snapshot() -> MetricsReport {
+    with_inner(|inner| MetricsReport {
+        counters: inner
+            .counters
+            .iter()
+            .map(|(name, value)| CounterStats {
+                name: name.clone(),
+                value: *value,
+            })
+            .collect(),
+        spans: inner
+            .histograms
+            .iter()
+            .map(|(name, h)| h.entry(name))
+            .collect(),
+    })
+}
+
+/// A point-in-time export of the registry. Serializes to stable JSON:
+/// both lists are sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Monotonic counters.
+    pub counters: Vec<CounterStats>,
+    /// Histogram/span statistics (milliseconds for span-recorded names).
+    pub spans: Vec<SpanStats>,
+}
+
+/// One counter in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterStats {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Summary statistics for one histogram in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Histogram name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub total_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Smallest observation.
+    pub min_ms: f64,
+    /// Largest observation.
+    pub max_ms: f64,
+    /// Median (nearest rank).
+    pub p50_ms: f64,
+    /// 90th percentile (nearest rank).
+    pub p90_ms: f64,
+    /// 99th percentile (nearest rank).
+    pub p99_ms: f64,
+}
+
+impl MetricsReport {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up span statistics by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's message (the report model cannot actually
+    /// fail to serialize).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Writes the report as pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path on I/O failure.
+    pub fn write_json(&self, path: &std::path::Path) -> Result<(), String> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Renders a human-readable summary table (spans first, then
+    /// counters; empty sections are omitted).
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>11} {:>11} {:>11} {:>11} {:>12}\n",
+                "span", "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "total_ms"
+            ));
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "{:<44} {:>8} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>12.1}\n",
+                    s.name, s.count, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms, s.total_ms
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<44} {:>12}\n", "counter", "value"));
+            for c in &self.counters {
+                out.push_str(&format!("{:<44} {:>12}\n", c.name, c.value));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Prints the summary table to stderr when `SOTERIA_METRICS=summary` is
+/// set. Binaries call this once before exiting.
+pub fn print_summary_if_requested() {
+    if std::env::var("SOTERIA_METRICS").as_deref() == Ok("summary") {
+        eprintln!("--- telemetry summary ---");
+        eprint!("{}", snapshot().summary_table());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is global, so tests that reset it must not run
+    /// concurrently with each other.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        counter("t.a", 2);
+        counter("t.a", 3);
+        counter("t.b", 1);
+        let report = snapshot();
+        assert_eq!(report.counter("t.a"), Some(5));
+        assert_eq!(report.counter("t.b"), Some(1));
+        assert_eq!(report.counter("t.missing"), None);
+        reset();
+        assert_eq!(snapshot().counter("t.a"), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_exact() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        // 1..=100 in scrambled order: quantiles are known exactly.
+        for i in 0..100u64 {
+            record("t.h", ((i * 37 + 11) % 100 + 1) as f64);
+        }
+        let report = snapshot();
+        let s = report.span("t.h").expect("histogram exists");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(s.total_ms, 5050.0);
+        assert_eq!(s.mean_ms, 50.5);
+        // Nearest-rank: index round(0.5 * 99) = 50 of the ascending
+        // 1..=100 sequence.
+        assert_eq!(s.p50_ms, 51.0);
+        assert_eq!(s.p90_ms, 90.0);
+        assert_eq!(s.p99_ms, 99.0);
+    }
+
+    #[test]
+    fn span_records_on_drop_and_cancel_discards() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        {
+            let _s = span("t.span");
+        }
+        span("t.cancelled").cancel();
+        let report = snapshot();
+        assert_eq!(report.span("t.span").map(|s| s.count), Some(1));
+        assert!(report.span("t.span").unwrap().total_ms >= 0.0);
+        assert!(report.span("t.cancelled").is_none());
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        set_enabled(false);
+        counter("t.off", 1);
+        record("t.off.h", 1.0);
+        let _s = span("t.off.span");
+        drop(_s);
+        set_enabled(true);
+        let report = snapshot();
+        assert_eq!(report.counter("t.off"), None);
+        assert!(report.span("t.off.h").is_none());
+        assert!(report.span("t.off.span").is_none());
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        counter("t.conc", 1);
+                        record("t.conc.h", (t * 1000 + i) as f64);
+                    }
+                });
+            }
+        });
+        let report = snapshot();
+        assert_eq!(report.counter("t.conc"), Some(8000));
+        let h = report.span("t.conc.h").unwrap();
+        assert_eq!(h.count, 8000);
+        assert_eq!(h.min_ms, 0.0);
+        assert_eq!(h.max_ms, 7999.0);
+        // Sum of 0..8000 regardless of interleaving.
+        assert_eq!(h.total_ms, (7999.0 * 8000.0) / 2.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        counter("t.json", 7);
+        record("t.json.h", 1.25);
+        record("t.json.h", 2.5);
+        let report = snapshot();
+        let json = report.to_json().unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn summary_table_lists_everything() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        counter("t.table.c", 4);
+        record("t.table.h", 3.0);
+        let table = snapshot().summary_table();
+        assert!(table.contains("t.table.c"));
+        assert!(table.contains("t.table.h"));
+        reset();
+        assert!(snapshot().summary_table().contains("no metrics"));
+    }
+
+    #[test]
+    fn sample_cap_keeps_aggregates_exact() {
+        let _l = TEST_LOCK.lock();
+        reset();
+        let n = (SAMPLE_CAP + 100) as u64;
+        for i in 0..n {
+            record("t.cap", i as f64);
+        }
+        let report = snapshot();
+        let h = report.span("t.cap").unwrap();
+        assert_eq!(h.count, n);
+        assert_eq!(h.max_ms, (n - 1) as f64);
+        assert_eq!(h.total_ms, (n * (n - 1) / 2) as f64);
+    }
+}

@@ -7,9 +7,7 @@
 
 use soteria_corpus::{disasm, Family, SampleGenerator};
 use soteria_features::ngram::count_walk_set;
-use soteria_features::{
-    label_nodes, walk_set, ExtractorConfig, FeatureExtractor, Labeling,
-};
+use soteria_features::{label_nodes, walk_set, ExtractorConfig, FeatureExtractor, Labeling};
 
 fn main() {
     let mut gen = SampleGenerator::new(99);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full test suite.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -2,8 +2,8 @@
 //! (The cost side lives in `crates/bench/benches/ablations.rs`.)
 
 use soteria_corpus::{Corpus, CorpusConfig, Family};
-use soteria_features::{ExtractorConfig, FeatureExtractor, Vocabulary};
 use soteria_features::ngram::GramCounts;
+use soteria_features::{ExtractorConfig, FeatureExtractor, Vocabulary};
 
 fn corpus() -> Corpus {
     Corpus::generate(&CorpusConfig {
@@ -32,7 +32,12 @@ fn more_walks_stabilize_features() {
     // independent extractions of the same sample) must grow with the walk
     // count — the justification for the paper's 10 walks.
     let c = corpus();
-    let graphs: Vec<_> = c.samples().iter().take(10).map(|s| s.graph().clone()).collect();
+    let graphs: Vec<_> = c
+        .samples()
+        .iter()
+        .take(10)
+        .map(|s| s.graph().clone())
+        .collect();
     let stability_at = |count: usize| -> f64 {
         let config = ExtractorConfig {
             walks_per_labeling: count,
@@ -58,7 +63,12 @@ fn more_walks_stabilize_features() {
 #[test]
 fn longer_walks_stabilize_features() {
     let c = corpus();
-    let graphs: Vec<_> = c.samples().iter().take(10).map(|s| s.graph().clone()).collect();
+    let graphs: Vec<_> = c
+        .samples()
+        .iter()
+        .take(10)
+        .map(|s| s.graph().clone())
+        .collect();
     let stability_at = |mult: usize| -> f64 {
         let config = ExtractorConfig {
             walk_multiplier: mult,
@@ -131,7 +141,12 @@ fn ngram_mix_adds_distinct_grams() {
 fn top_k_tradeoff_monotone_in_coverage() {
     // A larger vocabulary can only increase per-sample coverage.
     let c = corpus();
-    let graphs: Vec<_> = c.samples().iter().take(12).map(|s| s.graph().clone()).collect();
+    let graphs: Vec<_> = c
+        .samples()
+        .iter()
+        .take(12)
+        .map(|s| s.graph().clone())
+        .collect();
     let docs: Vec<GramCounts> = graphs
         .iter()
         .map(|g| {
@@ -151,7 +166,10 @@ fn top_k_tradeoff_monotone_in_coverage() {
     };
     let c64 = coverage(64);
     let c256 = coverage(256);
-    assert!(c256 >= c64, "coverage must not shrink with k: {c64} vs {c256}");
+    assert!(
+        c256 >= c64,
+        "coverage must not shrink with k: {c64} vs {c256}"
+    );
 }
 
 #[test]

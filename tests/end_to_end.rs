@@ -33,7 +33,10 @@ fn detector_separates_adversarial_from_clean() {
     let mut ae_total = 0usize;
     for (i, &idx) in test.iter().enumerate() {
         let s = &corpus.samples()[idx];
-        if soteria.analyze(s.graph(), 10_000 + i as u64).is_adversarial() {
+        if soteria
+            .analyze(s.graph(), 10_000 + i as u64)
+            .is_adversarial()
+        {
             clean_flagged += 1;
         }
         if s.family() != Family::Benign {
@@ -70,7 +73,10 @@ fn classifier_beats_chance_by_a_wide_margin() {
             }
         }
     }
-    assert!(classified > test.len() / 2, "detector flagged too many clean");
+    assert!(
+        classified > test.len() / 2,
+        "detector flagged too many clean"
+    );
     let acc = correct as f64 / classified as f64;
     assert!(acc > 0.7, "accuracy {acc:.2} on {classified} samples");
 }
