@@ -28,6 +28,12 @@ impl fmt::Display for CfgError {
 
 impl Error for CfgError {}
 
+impl From<CfgError> for soteria_resilience::FaultKind {
+    fn from(err: CfgError) -> Self {
+        soteria_resilience::FaultKind::malformed(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

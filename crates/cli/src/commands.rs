@@ -1,7 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::store;
-use soteria::{Soteria, SoteriaConfig, Verdict};
+use soteria::{Soteria, SoteriaConfig, SoteriaState, TrainCheckpoint, Verdict};
 use soteria_cfg::{density, dot, GraphStats};
 use soteria_corpus::{disasm, Corpus, CorpusConfig, Family};
 use soteria_gea::gea_merge;
@@ -191,14 +191,16 @@ pub fn attack(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Trains a system on a corpus directory.
+/// Trains a system on a corpus directory (no checkpointing — the
+/// `analyze --corpus` path).
 fn train_on_dir(corpus_dir: &str, seed: u64) -> Result<Soteria, String> {
     eprintln!("loading corpus from {corpus_dir}...");
     let samples = store::read_samples(&PathBuf::from(corpus_dir))?;
     let corpus = Corpus::from_samples(samples, seed);
     let split = corpus.split(0.8, seed);
     eprintln!("training Soteria on {} samples...", split.train.len());
-    let mut system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed);
+    let mut system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "trained (threshold {:.4})",
         system.detector_mut().stats().threshold()
@@ -206,16 +208,70 @@ fn train_on_dir(corpus_dir: &str, seed: u64) -> Result<Soteria, String> {
     Ok(system)
 }
 
-/// `train --corpus DIR --out MODEL.json [--seed N] [--metrics PATH]`
+/// `train --corpus DIR --out MODEL [--seed N] [--metrics PATH]
+///        [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]`
+///
+/// With `--checkpoint-every N` the run snapshots its training state every
+/// N epochs of each network fit (to `--checkpoint PATH`, default
+/// `OUT.ckpt`, written atomically). `--resume PATH` continues a killed run
+/// from its last checkpoint and produces the bit-for-bit identical model
+/// an uninterrupted run would have.
 pub fn train(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
     let corpus_dir = flags.get("corpus").ok_or("train needs --corpus DIR")?;
-    let out = flags.get("out").ok_or("train needs --out MODEL.json")?;
+    let out = flags.get("out").ok_or("train needs --out MODEL")?;
     let seed = flag_u64(&flags, "seed", 7)?;
-    let system = train_on_dir(corpus_dir, seed)?;
-    let json = system.save_state()?.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
-    println!("wrote model to {out} ({} bytes)", json.len());
+    let checkpoint_every = flag_u64(&flags, "checkpoint-every", 0)? as usize;
+    let ckpt_path = flags
+        .get("checkpoint")
+        .cloned()
+        .unwrap_or_else(|| format!("{out}.ckpt"));
+
+    let resume = match flags.get("resume") {
+        Some(path) => {
+            let ckpt =
+                TrainCheckpoint::load_from_path(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+            eprintln!("resuming from checkpoint {path}");
+            Some(ckpt)
+        }
+        None => None,
+    };
+
+    eprintln!("loading corpus from {corpus_dir}...");
+    let samples = store::read_samples(&PathBuf::from(corpus_dir))?;
+    let corpus = Corpus::from_samples(samples, seed);
+    let split = corpus.split(0.8, seed);
+    eprintln!("training Soteria on {} samples...", split.train.len());
+
+    let mut system = if checkpoint_every > 0 || resume.is_some() {
+        let ckpt_file = PathBuf::from(&ckpt_path);
+        Soteria::train_resumable(
+            &SoteriaConfig::tiny(),
+            &corpus,
+            &split.train,
+            seed,
+            resume,
+            checkpoint_every,
+            &mut |ckpt| {
+                ckpt.save_to_path(&ckpt_file).map_err(|e| e.to_string())?;
+                soteria_telemetry::counter("cli.train.checkpoints", 1);
+                Ok(())
+            },
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+            .map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "trained (threshold {:.4})",
+        system.detector_mut().stats().threshold()
+    );
+    system
+        .save_state()?
+        .save_to_path(&PathBuf::from(out))
+        .map_err(|e| e.to_string())?;
+    println!("wrote model to {out}");
     write_metrics_if_requested(&flags)
 }
 
@@ -228,9 +284,8 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
     }
 
     let mut system = if let Some(model_path) = flags.get("model") {
-        let json =
-            std::fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
-        let state = soteria::SoteriaState::from_json(&json).map_err(|e| e.to_string())?;
+        let state =
+            SoteriaState::load_from_path(&PathBuf::from(model_path)).map_err(|e| e.to_string())?;
         eprintln!("loaded model from {model_path}");
         Soteria::from_state(state)
     } else if let Some(corpus_dir) = flags.get("corpus") {
@@ -239,9 +294,10 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
         return Err("analyze needs --corpus DIR or --model MODEL.json".into());
     };
 
+    let mut degraded = 0usize;
     for (i, file) in positional.iter().enumerate() {
-        let sample = store::read_binary(&PathBuf::from(file), Family::Benign, file)?;
-        match system.analyze(sample.graph(), seed ^ (1000 + i as u64)) {
+        let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+        match system.screen_binary(&bytes, seed ^ (1000 + i as u64)) {
             Verdict::Adversarial {
                 reconstruction_error,
             } => println!("{file}: ADVERSARIAL (RE {reconstruction_error:.4})"),
@@ -253,9 +309,20 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
                 "{file}: {family} (RE {reconstruction_error:.4}, votes {:?})",
                 report.votes
             ),
+            Verdict::Degraded { reason } => {
+                degraded += 1;
+                println!("{file}: DEGRADED ({reason})");
+            }
         }
     }
-    write_metrics_if_requested(&flags)
+    write_metrics_if_requested(&flags)?;
+    if degraded > 0 {
+        return Err(format!(
+            "{degraded} of {} files could not be analyzed",
+            positional.len()
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -6,11 +6,14 @@
 //! soteria-cli disasm FILE                               print an assembly listing
 //! soteria-cli attack --original FILE --target FILE --out FILE
 //!                                                       craft a GEA adversarial example
-//! soteria-cli train --corpus DIR --out MODEL.json [--seed N]
+//! soteria-cli train --corpus DIR --out MODEL [--seed N]
+//!                   [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
 //!                                                       train and persist a system
-//! soteria-cli analyze (--corpus DIR | --model MODEL.json) [--seed N] FILE...
+//! soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] FILE...
 //!                                                       screen files with a system
 //! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod commands;
 mod store;
@@ -22,8 +25,11 @@ fn usage() -> &'static str {
      soteria-cli inspect FILE [--dot]\n  \
      soteria-cli disasm FILE\n  \
      soteria-cli attack --original FILE --target FILE --out FILE\n  \
-     soteria-cli train --corpus DIR --out MODEL.json [--seed N] [--metrics PATH]\n  \
-     soteria-cli analyze (--corpus DIR | --model MODEL.json) [--seed N] [--metrics PATH] FILE...\n\n\
+     soteria-cli train --corpus DIR --out MODEL [--seed N] [--metrics PATH]\n    \
+     [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]\n  \
+     soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--metrics PATH] FILE...\n\n\
+     --checkpoint-every N snapshots training state every N epochs (atomic,\n  \
+     crash-safe); --resume PATH continues a killed run bit-for-bit.\n  \
      --metrics PATH writes a telemetry snapshot (counters + span timings) as JSON.\n  \
      SOTERIA_METRICS=summary prints a timing summary table to stderr on exit."
 }

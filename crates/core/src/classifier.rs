@@ -1,9 +1,11 @@
 //! The family classifier: two 1-D CNNs (one per labeling) combined by
 //! majority voting over the twenty per-walk feature vectors.
 
+use crate::checkpoint::StageCheckpoint;
 use crate::config::ClassifierConfig;
 use soteria_corpus::Family;
 use soteria_features::{Labeling, SampleFeatures};
+use soteria_nn::persist::spec_of;
 use soteria_nn::{
     loss::{one_hot, softmax_row},
     trainer::argmax_rows,
@@ -104,6 +106,45 @@ impl FamilyClassifier {
         classes: usize,
         seed: u64,
     ) -> Self {
+        Self::train_resumable(
+            config,
+            features,
+            labels,
+            classes,
+            seed,
+            [StageCheckpoint::Pending, StageCheckpoint::Pending],
+            0,
+            &mut |_, _| Ok(()),
+        )
+        .expect("non-checkpointed classifier training cannot fail")
+    }
+
+    /// Like [`train`](FamilyClassifier::train), but resumable: `stages`
+    /// carries the `[DBL, LBL]` CNN progress, `sink` receives
+    /// `(labeling, stage)` every `checkpoint_every` epochs plus a
+    /// [`StageCheckpoint::Done`] when each CNN finishes, so a killed run
+    /// resumes from the exact epoch it left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error when a checkpoint does not match this
+    /// dataset or when `sink` fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths mismatch (caller bugs, same
+    /// as [`train`](FamilyClassifier::train)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_resumable(
+        config: &ClassifierConfig,
+        features: &[SampleFeatures],
+        labels: &[usize],
+        classes: usize,
+        seed: u64,
+        stages: [StageCheckpoint; 2],
+        checkpoint_every: usize,
+        sink: &mut dyn FnMut(Labeling, StageCheckpoint) -> Result<(), String>,
+    ) -> Result<Self, String> {
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         assert!(!features.is_empty(), "classifier needs training samples");
         let input_len = features[0].dbl_walks()[0].len();
@@ -131,10 +172,19 @@ impl FamilyClassifier {
             })
             .collect();
 
-        for (labeling, cnn) in [
-            (Labeling::Density, &mut dbl_cnn),
-            (Labeling::Level, &mut lbl_cnn),
+        let [dbl_stage, lbl_stage] = stages;
+        for (labeling, cnn, stage) in [
+            (Labeling::Density, &mut dbl_cnn, dbl_stage),
+            (Labeling::Level, &mut lbl_cnn, lbl_stage),
         ] {
+            if let StageCheckpoint::Done(spec) = stage {
+                *cnn = spec.into_sequential();
+                continue;
+            }
+            let resume = match stage {
+                StageCheckpoint::InProgress(tc) => Some(tc),
+                _ => None,
+            };
             let mut rows: Vec<Vec<f64>> = Vec::new();
             let mut row_labels: Vec<usize> = Vec::new();
             for (f, &l) in features.iter().zip(labels) {
@@ -154,14 +204,23 @@ impl FamilyClassifier {
                 seed: seed ^ 0x7281,
                 ..TrainConfig::default()
             });
-            let _ = trainer.fit(cnn, &x, &t, Loss::SoftmaxCrossEntropy);
+            let _ = trainer.fit_resumable(
+                cnn,
+                &x,
+                &t,
+                Loss::SoftmaxCrossEntropy,
+                resume,
+                checkpoint_every,
+                &mut |tc| sink(labeling, StageCheckpoint::InProgress(tc)),
+            )?;
+            sink(labeling, StageCheckpoint::Done(spec_of(cnn)?))?;
         }
-        FamilyClassifier {
+        Ok(FamilyClassifier {
             dbl_cnn,
             lbl_cnn,
             classes,
             config: config.clone(),
-        }
+        })
     }
 
     /// Reassembles a classifier from persisted parts.

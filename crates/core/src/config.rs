@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use soteria_features::ExtractorConfig;
+use soteria_resilience::ResourceGuards;
 
 /// Auto-encoder detector hyperparameters.
 ///
@@ -64,6 +65,12 @@ pub struct SoteriaConfig {
     pub classifier: ClassifierConfig,
     /// Number of classes (benign + three families).
     pub classes: usize,
+    /// Per-sample resource limits enforced during analysis. Defaults are
+    /// orders of magnitude above any legitimate sample, so they only trip
+    /// on pathological or adversarial inputs. Absent from configs saved
+    /// before this field existed (serde default).
+    #[serde(default)]
+    pub guards: ResourceGuards,
 }
 
 impl SoteriaConfig {
@@ -91,6 +98,7 @@ impl SoteriaConfig {
                 learning_rate: 1e-3,
             },
             classes: 4,
+            guards: ResourceGuards::default(),
         }
     }
 
@@ -126,6 +134,7 @@ impl SoteriaConfig {
                 learning_rate: 1e-3,
             },
             classes: 4,
+            guards: ResourceGuards::default(),
         }
     }
 
@@ -157,6 +166,7 @@ impl SoteriaConfig {
                 learning_rate: 3e-3,
             },
             classes: 4,
+            guards: ResourceGuards::default(),
         }
     }
 }

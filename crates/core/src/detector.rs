@@ -8,8 +8,10 @@
 //! of the clean training set, α = 1 — the sample is declared adversarial
 //! and never reaches the classifier.
 
+use crate::checkpoint::StageCheckpoint;
 use crate::config::DetectorConfig;
 use serde::{Deserialize, Serialize};
+use soteria_nn::persist::spec_of;
 use soteria_nn::{
     loss::rmse_per_row, Activation, Dense, Loss, Matrix, Sequential, TrainConfig, Trainer,
 };
@@ -96,15 +98,24 @@ impl AeDetector {
         labels: &[usize],
         seed: u64,
     ) -> Self {
-        assert!(
-            !clean_features.is_empty(),
-            "detector needs training samples"
-        );
-        assert_eq!(
-            clean_features.len(),
-            labels.len(),
-            "features/labels mismatch"
-        );
+        Self::train_balanced_resumable(
+            config,
+            clean_features,
+            labels,
+            seed,
+            StageCheckpoint::Pending,
+            0,
+            &mut |_| Ok(()),
+        )
+        .expect("non-checkpointed detector training cannot fail")
+    }
+
+    /// Class-balanced fit/stat row split shared by the training paths.
+    fn prepare_rows(
+        config: &DetectorConfig,
+        clean_features: &[Vec<f64>],
+        labels: &[usize],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         // Hold out a slice for the threshold statistics (deterministic:
         // every k-th sample) so memorized training errors do not deflate
         // μ and σ. With validation_fraction = 0 (the paper's protocol) the
@@ -148,6 +159,45 @@ impl AeDetector {
             .filter(|&i| is_val(i))
             .map(|i| clean_features[i].clone())
             .collect();
+        (fit_rows, val_rows)
+    }
+
+    /// Like [`train_balanced`](AeDetector::train_balanced), but resumable:
+    /// `stage` carries either nothing, an in-flight trainer checkpoint, or
+    /// a finished model; `sink` receives a [`StageCheckpoint`] every
+    /// `checkpoint_every` epochs and once more when the auto-encoder
+    /// finishes. Threshold statistics are always recomputed from the data
+    /// (they are a deterministic function of the final model), so they
+    /// never need to live in a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error when the checkpoint does not match this
+    /// dataset or when `sink` fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths differ (caller bugs, same as
+    /// [`train_balanced`](AeDetector::train_balanced)).
+    pub fn train_balanced_resumable(
+        config: &DetectorConfig,
+        clean_features: &[Vec<f64>],
+        labels: &[usize],
+        seed: u64,
+        stage: StageCheckpoint,
+        checkpoint_every: usize,
+        sink: &mut dyn FnMut(StageCheckpoint) -> Result<(), String>,
+    ) -> Result<Self, String> {
+        assert!(
+            !clean_features.is_empty(),
+            "detector needs training samples"
+        );
+        assert_eq!(
+            clean_features.len(),
+            labels.len(),
+            "features/labels mismatch"
+        );
+        let (fit_rows, val_rows) = Self::prepare_rows(config, clean_features, labels);
         let stat_rows = if val_rows.is_empty() {
             &fit_rows
         } else {
@@ -156,14 +206,34 @@ impl AeDetector {
 
         let x = Matrix::from_rows(&fit_rows);
         let mut autoencoder = build_autoencoder(x.cols(), config.hidden, seed);
-        let mut trainer = Trainer::new(TrainConfig {
-            epochs: config.epochs,
-            batch_size: config.batch_size,
-            learning_rate: config.learning_rate,
-            seed: seed ^ 0xDE7EC7,
-            ..TrainConfig::default()
-        });
-        let _ = trainer.fit(&mut autoencoder, &x, &x, Loss::Mse);
+        match stage {
+            StageCheckpoint::Done(spec) => {
+                autoencoder = spec.into_sequential();
+            }
+            stage => {
+                let resume = match stage {
+                    StageCheckpoint::InProgress(tc) => Some(tc),
+                    _ => None,
+                };
+                let mut trainer = Trainer::new(TrainConfig {
+                    epochs: config.epochs,
+                    batch_size: config.batch_size,
+                    learning_rate: config.learning_rate,
+                    seed: seed ^ 0xDE7EC7,
+                    ..TrainConfig::default()
+                });
+                let _ = trainer.fit_resumable(
+                    &mut autoencoder,
+                    &x,
+                    &x,
+                    Loss::Mse,
+                    resume,
+                    checkpoint_every,
+                    &mut |tc| sink(StageCheckpoint::InProgress(tc)),
+                )?;
+                sink(StageCheckpoint::Done(spec_of(&autoencoder)?))?;
+            }
+        }
 
         // Threshold statistics over the held-out clean samples.
         let xs = Matrix::from_rows(stat_rows);
@@ -172,7 +242,7 @@ impl AeDetector {
         let n = errors.len() as f64;
         let mean = errors.iter().sum::<f64>() / n;
         let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
-        AeDetector {
+        Ok(AeDetector {
             autoencoder,
             stats: ThresholdStats {
                 mean,
@@ -180,7 +250,7 @@ impl AeDetector {
                 alpha: config.alpha,
             },
             config: config.clone(),
-        }
+        })
     }
 
     /// Reassembles a detector from persisted parts.

@@ -23,7 +23,8 @@
 //!
 //! let corpus = Corpus::generate(&CorpusConfig::scaled(0.01, 7));
 //! let split = corpus.split(0.8, 1);
-//! let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 42);
+//! let mut soteria =
+//!     Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 42).expect("train");
 //!
 //! let sample = &corpus.samples()[split.test[0]];
 //! match soteria.analyze(sample.graph(), 1234) {
@@ -31,20 +32,26 @@
 //!         println!("AE detected (RE = {reconstruction_error:.4})");
 //!     }
 //!     Verdict::Clean { family, .. } => println!("classified as {family}"),
+//!     Verdict::Degraded { reason } => println!("analysis degraded: {reason}"),
 //! }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod checkpoint;
 pub mod classifier;
 pub mod config;
 pub mod detector;
+pub mod error;
 pub mod persist;
 pub mod pipeline;
 
+pub use checkpoint::{StageCheckpoint, TrainCheckpoint};
 pub use classifier::{ClassifierReport, FamilyClassifier};
 pub use config::{ClassifierConfig, DetectorConfig, SoteriaConfig};
 pub use detector::AeDetector;
-pub use persist::SoteriaState;
+pub use error::TrainError;
+pub use persist::{SoteriaState, StateError};
 pub use pipeline::{PipelineMetrics, Soteria, StageTime, Verdict};

@@ -2,6 +2,23 @@
 //! extractor (vocabularies + IDF), the auto-encoder with its threshold
 //! statistics, and both CNNs — everything needed to deploy the system
 //! without retraining.
+//!
+//! # On-disk format
+//!
+//! Saved states are wrapped in a one-line envelope followed by the JSON
+//! payload:
+//!
+//! ```text
+//! SOTERIA-STATE v2 crc32=89abcdef
+//! {"config":{...},...}
+//! ```
+//!
+//! The CRC-32 covers the payload bytes, so truncation and bit rot are
+//! diagnosed as [`StateError::ChecksumMismatch`] instead of a confusing
+//! parse failure deep inside serde. Files are written via
+//! [`soteria_resilience::atomic_write`] (temp file + fsync + rename), so a
+//! crash mid-save leaves the previous state intact. States saved before
+//! the envelope existed (bare JSON, first byte `{`) still load.
 
 use crate::classifier::FamilyClassifier;
 use crate::config::SoteriaConfig;
@@ -10,6 +27,108 @@ use crate::pipeline::Soteria;
 use serde::{Deserialize, Serialize};
 use soteria_features::FeatureExtractor;
 use soteria_nn::persist::{spec_of, ModelSpec};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Magic for full-system state files.
+const STATE_MAGIC: &str = "SOTERIA-STATE";
+/// Current state format version.
+const STATE_VERSION: u32 = 2;
+
+/// Why a persisted file failed to load (or save).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StateError {
+    /// Filesystem failure, rendered.
+    Io(String),
+    /// The file does not start with the expected envelope header.
+    BadHeader(String),
+    /// The envelope declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// The payload checksum does not match the envelope — the file is
+    /// truncated or corrupted.
+    ChecksumMismatch {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC of the payload actually on disk.
+        actual: u32,
+    },
+    /// The payload passed its checksum but is not valid JSON for this
+    /// schema.
+    Parse(String),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Io(why) => write!(f, "i/o error: {why}"),
+            StateError::BadHeader(why) => write!(f, "bad state header: {why}"),
+            StateError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "state format v{found} is newer than supported v{supported}"
+            ),
+            StateError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "state checksum mismatch (header {expected:08x}, payload {actual:08x}): \
+                 file is truncated or corrupted"
+            ),
+            StateError::Parse(why) => write!(f, "state payload does not parse: {why}"),
+        }
+    }
+}
+
+impl Error for StateError {}
+
+/// Wraps a JSON payload in a `MAGIC vN crc32=XXXXXXXX` envelope.
+pub(crate) fn encode_envelope(magic: &str, version: u32, payload: &str) -> String {
+    let crc = soteria_resilience::crc32(payload.as_bytes());
+    format!("{magic} v{version} crc32={crc:08x}\n{payload}")
+}
+
+/// Validates and strips an envelope, returning the payload slice.
+pub(crate) fn decode_envelope<'a>(
+    magic: &str,
+    supported: u32,
+    data: &'a str,
+) -> Result<&'a str, StateError> {
+    let (header, payload) = data.split_once('\n').ok_or_else(|| {
+        StateError::BadHeader("missing newline after envelope header".to_string())
+    })?;
+    let mut parts = header.split_whitespace();
+    let found_magic = parts.next().unwrap_or("");
+    if found_magic != magic {
+        return Err(StateError::BadHeader(format!(
+            "expected magic {magic:?}, found {found_magic:?}"
+        )));
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| StateError::BadHeader("missing or malformed version field".to_string()))?;
+    if version > supported {
+        return Err(StateError::UnsupportedVersion {
+            found: version,
+            supported,
+        });
+    }
+    let expected: u32 = parts
+        .next()
+        .and_then(|v| v.strip_prefix("crc32="))
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| StateError::BadHeader("missing or malformed crc32 field".to_string()))?;
+    let actual = soteria_resilience::crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(StateError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
 
 /// The serializable state of a trained system.
 #[derive(Debug, Serialize, Deserialize)]
@@ -29,7 +148,7 @@ pub struct SoteriaState {
 }
 
 impl SoteriaState {
-    /// Serializes to JSON.
+    /// Serializes to JSON (the bare payload, no envelope).
     ///
     /// # Errors
     ///
@@ -38,13 +157,68 @@ impl SoteriaState {
         serde_json::to_string(self)
     }
 
-    /// Parses from JSON.
+    /// Parses from bare JSON.
     ///
     /// # Errors
     ///
     /// Propagates serde failures.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Serializes to the enveloped on-disk format (header line with format
+    /// version and payload CRC, then the JSON payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Parse`] if serialization itself fails.
+    pub fn to_envelope(&self) -> Result<String, StateError> {
+        let payload = self
+            .to_json()
+            .map_err(|e| StateError::Parse(e.to_string()))?;
+        Ok(encode_envelope(STATE_MAGIC, STATE_VERSION, &payload))
+    }
+
+    /// Parses the enveloped format, verifying version and checksum. Bare
+    /// JSON (a file starting with `{`) is accepted for states saved before
+    /// the envelope existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`StateError`] diagnosing what is wrong with
+    /// the file.
+    pub fn from_envelope(data: &str) -> Result<Self, StateError> {
+        if data.starts_with('{') {
+            return Self::from_json(data).map_err(|e| StateError::Parse(e.to_string()));
+        }
+        let payload = decode_envelope(STATE_MAGIC, STATE_VERSION, data)?;
+        Self::from_json(payload).map_err(|e| StateError::Parse(e.to_string()))
+    }
+
+    /// Writes the enveloped state to `path` crash-safely (temp file +
+    /// fsync + atomic rename): a crash mid-save leaves the previous file
+    /// intact, never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] on filesystem failure.
+    pub fn save_to_path(&self, path: &Path) -> Result<(), StateError> {
+        let enveloped = self.to_envelope()?;
+        soteria_resilience::atomic_write(path, enveloped.as_bytes())
+            .map_err(|e| StateError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Reads and validates a state file written by
+    /// [`save_to_path`](SoteriaState::save_to_path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`StateError`] diagnosing what is wrong with
+    /// the file.
+    pub fn load_from_path(path: &Path) -> Result<Self, StateError> {
+        let data = std::fs::read_to_string(path)
+            .map_err(|e| StateError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_envelope(&data)
     }
 }
 
@@ -88,8 +262,7 @@ mod tests {
     use super::*;
     use soteria_corpus::{Corpus, CorpusConfig};
 
-    #[test]
-    fn trained_system_round_trips_through_json() {
+    fn small_trained() -> (Soteria, Corpus, Vec<usize>) {
         let corpus = Corpus::generate(&CorpusConfig {
             counts: [10, 10, 10, 10],
             seed: 55,
@@ -97,7 +270,14 @@ mod tests {
             lineages: 3,
         });
         let split = corpus.split(0.8, 1);
-        let mut original = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5);
+        let soteria =
+            Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5).expect("train");
+        (soteria, corpus, split.test)
+    }
+
+    #[test]
+    fn trained_system_round_trips_through_json() {
+        let (mut original, corpus, test) = small_trained();
 
         let json = original.save_state().unwrap().to_json().unwrap();
         let mut restored = Soteria::from_state(SoteriaState::from_json(&json).unwrap());
@@ -107,7 +287,7 @@ mod tests {
             original.detector_mut().stats()
         );
         // Identical verdicts on every test sample (same walk seeds).
-        for (i, &idx) in split.test.iter().enumerate() {
+        for (i, &idx) in test.iter().enumerate() {
             let g = corpus.samples()[idx].graph();
             assert_eq!(
                 restored.analyze(g, i as u64),
@@ -126,10 +306,95 @@ mod tests {
             lineages: 2,
         });
         let split = corpus.split(0.8, 1);
-        let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 6);
+        let soteria =
+            Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 6).expect("train");
         let json = soteria.save_state().unwrap().to_json().unwrap();
         assert!(json.contains("detector_stats"));
         assert!(json.contains("dbl_cnn"));
         assert!(json.len() > 10_000, "weights should dominate the payload");
+    }
+
+    #[test]
+    fn envelope_round_trips_and_legacy_json_still_loads() {
+        let (original, ..) = small_trained();
+        let state = original.save_state().unwrap();
+        let enveloped = state.to_envelope().unwrap();
+        assert!(enveloped.starts_with("SOTERIA-STATE v2 crc32="));
+        let back = SoteriaState::from_envelope(&enveloped).unwrap();
+        assert_eq!(back.detector_stats, state.detector_stats);
+        // Pre-envelope files are bare JSON; they must keep loading.
+        let legacy = state.to_json().unwrap();
+        let back = SoteriaState::from_envelope(&legacy).unwrap();
+        assert_eq!(back.detector_stats, state.detector_stats);
+    }
+
+    #[test]
+    fn bit_flip_is_diagnosed_as_checksum_mismatch() {
+        let (original, ..) = small_trained();
+        let enveloped = original.save_state().unwrap().to_envelope().unwrap();
+        // Flip one bit somewhere inside the payload.
+        let mut bytes = enveloped.into_bytes();
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x04;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        match SoteriaState::from_envelope(&corrupted) {
+            Err(StateError::ChecksumMismatch { expected, actual }) => {
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_diagnosed_as_checksum_mismatch() {
+        let (original, ..) = small_trained();
+        let enveloped = original.save_state().unwrap().to_envelope().unwrap();
+        let truncated = &enveloped[..enveloped.len() - enveloped.len() / 3];
+        assert!(matches!(
+            SoteriaState::from_envelope(truncated),
+            Err(StateError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_problems_are_typed() {
+        assert!(matches!(
+            SoteriaState::from_envelope("WRONG-MAGIC v2 crc32=00000000\n{}"),
+            Err(StateError::BadHeader(_))
+        ));
+        assert!(matches!(
+            SoteriaState::from_envelope("SOTERIA-STATE v9999 crc32=00000000\n{}"),
+            Err(StateError::UnsupportedVersion {
+                found: 9999,
+                supported: 2
+            })
+        ));
+        assert!(matches!(
+            SoteriaState::from_envelope("SOTERIA-STATE v2\n{}"),
+            Err(StateError::BadHeader(_))
+        ));
+        assert!(matches!(
+            SoteriaState::from_envelope("no newline at all"),
+            Err(StateError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let (original, corpus, test) = small_trained();
+        let dir = std::env::temp_dir().join(format!("soteria-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.soteria");
+        original.save_state().unwrap().save_to_path(&path).unwrap();
+        let mut restored = Soteria::from_state(SoteriaState::load_from_path(&path).unwrap());
+        let mut original = original;
+        let g = corpus.samples()[test[0]].graph();
+        assert_eq!(restored.analyze(g, 3), original.analyze(g, 3));
+        // Loading a missing path is an Io error, not a panic.
+        assert!(matches!(
+            SoteriaState::load_from_path(&dir.join("nope")),
+            Err(StateError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -4,10 +4,13 @@
 use crate::classifier::{ClassifierReport, FamilyClassifier};
 use crate::config::SoteriaConfig;
 use crate::detector::AeDetector;
+use crate::error::TrainError;
 use serde::{Deserialize, Serialize};
 use soteria_cfg::Cfg;
 use soteria_corpus::{Corpus, Family};
 use soteria_features::{FeatureExtractor, SampleFeatures};
+use soteria_resilience::FaultKind;
+use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
 /// Outcome of analyzing one sample.
@@ -27,6 +30,13 @@ pub enum Verdict {
         /// Full voting detail.
         report: ClassifierReport,
     },
+    /// The sample could not be analyzed — it was malformed, tripped a
+    /// resource guard, or crashed its pipeline stage. The fault is
+    /// confined to this sample; the rest of the batch is unaffected.
+    Degraded {
+        /// What went wrong.
+        reason: FaultKind,
+    },
 }
 
 impl Verdict {
@@ -35,13 +45,33 @@ impl Verdict {
         matches!(self, Verdict::Adversarial { .. })
     }
 
+    /// Whether analysis degraded instead of completing.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Verdict::Degraded { .. })
+    }
+
+    /// The fault behind a degraded verdict, if any.
+    pub fn fault(&self) -> Option<&FaultKind> {
+        match self {
+            Verdict::Degraded { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
     /// The classified family, if the sample was clean.
     pub fn family(&self) -> Option<Family> {
         match self {
             Verdict::Clean { family, .. } => Some(*family),
-            Verdict::Adversarial { .. } => None,
+            Verdict::Adversarial { .. } | Verdict::Degraded { .. } => None,
         }
     }
+}
+
+/// Counts a degraded verdict into telemetry and wraps the fault.
+fn degraded(reason: FaultKind) -> Verdict {
+    soteria_telemetry::counter("pipeline.verdicts.degraded", 1);
+    soteria_telemetry::counter(&format!("resilience.faults.{}", reason.slug()), 1);
+    Verdict::Degraded { reason }
 }
 
 /// Wall-clock breakdown of one pipeline run ([`Soteria::train_with_metrics`]
@@ -143,32 +173,43 @@ impl Soteria {
     /// Labels come from the *AV pipeline* labels (as the paper's
     /// experimenters would have), not ground truth.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `train_indices` is empty.
+    /// Fails with [`TrainError::EmptySplit`] on an empty split,
+    /// [`TrainError::IndexOutOfRange`] on a bad index, and
+    /// [`TrainError::Extraction`] if a training sample faults during
+    /// feature extraction.
     pub fn train(
         config: &SoteriaConfig,
         corpus: &Corpus,
         train_indices: &[usize],
         seed: u64,
-    ) -> Self {
-        Self::train_with_metrics(config, corpus, train_indices, seed).0
+    ) -> Result<Self, TrainError> {
+        Ok(Self::train_with_metrics(config, corpus, train_indices, seed)?.0)
     }
 
     /// Like [`train`](Soteria::train), and additionally returns the
     /// wall-clock breakdown of the four training stages (`fit`, `extract`,
     /// `detector`, `classifier`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `train_indices` is empty.
+    /// Same conditions as [`train`](Soteria::train).
     pub fn train_with_metrics(
         config: &SoteriaConfig,
         corpus: &Corpus,
         train_indices: &[usize],
         seed: u64,
-    ) -> (Self, PipelineMetrics) {
-        assert!(!train_indices.is_empty(), "training split is empty");
+    ) -> Result<(Self, PipelineMetrics), TrainError> {
+        if train_indices.is_empty() {
+            return Err(TrainError::EmptySplit);
+        }
+        if let Some(&bad) = train_indices.iter().find(|&&i| i >= corpus.samples().len()) {
+            return Err(TrainError::IndexOutOfRange {
+                index: bad,
+                len: corpus.samples().len(),
+            });
+        }
         let mut clock = StageClock::start("pipeline.train");
         soteria_telemetry::counter("pipeline.train.samples", train_indices.len() as u64);
         let graphs: Vec<&Cfg> = train_indices
@@ -190,8 +231,13 @@ impl Soteria {
             )
         });
         let features = clock.stage("extract", || {
-            extractor.extract_batch(&graphs, seed ^ 0xFEA7)
+            extractor.extract_batch_isolated(&graphs, seed ^ 0xFEA7, &config.guards)
         });
+        let features: Vec<SampleFeatures> = features
+            .into_iter()
+            .enumerate()
+            .map(|(index, r)| r.map_err(|fault| TrainError::Extraction { index, fault }))
+            .collect::<Result<_, _>>()?;
 
         let combined: Vec<Vec<f64>> = features.iter().map(|f| f.combined().to_vec()).collect();
         let labels = av_labels;
@@ -215,7 +261,7 @@ impl Soteria {
             classifier,
         };
         let metrics = clock.finish(train_indices.len());
-        (system, metrics)
+        Ok((system, metrics))
     }
 
     /// The system configuration.
@@ -269,17 +315,23 @@ impl Soteria {
         self.extractor.extract(cfg, walk_seed)
     }
 
-    /// Runs the full pipeline on one CFG.
+    /// Runs the full pipeline on one CFG. A sample that faults (oversized
+    /// graph, walk-budget overrun, stage panic) yields
+    /// [`Verdict::Degraded`] instead of unwinding.
     pub fn analyze(&mut self, cfg: &Cfg, walk_seed: u64) -> Verdict {
         let _span = soteria_telemetry::span("pipeline.analyze");
-        let features = self.extractor.extract(cfg, walk_seed);
-        self.analyze_features(&features)
+        let guards = self.config.guards.clone();
+        match self.extractor.try_extract(cfg, walk_seed, &guards) {
+            Ok(features) => self.screen_isolated(&features, walk_seed),
+            Err(fault) => degraded(fault),
+        }
     }
 
     /// Analyzes many graphs at once: features are extracted in parallel
     /// (per-graph walk seeds derived from `walk_seed`), then screened and
     /// classified. Equivalent per graph to [`analyze`](Soteria::analyze)
-    /// with derived seeds, but much faster on multi-core hosts.
+    /// with derived seeds, but much faster on multi-core hosts. Faulting
+    /// samples degrade individually; they never abort the batch.
     pub fn analyze_batch(&mut self, graphs: &[&Cfg], walk_seed: u64) -> Vec<Verdict> {
         self.analyze_batch_with_metrics(graphs, walk_seed).0
     }
@@ -293,17 +345,55 @@ impl Soteria {
         walk_seed: u64,
     ) -> (Vec<Verdict>, PipelineMetrics) {
         let mut clock = StageClock::start("pipeline.analyze_batch");
+        let guards = self.config.guards.clone();
         let features = clock.stage("extract", || {
-            self.extractor.extract_batch(graphs, walk_seed)
+            self.extractor
+                .extract_batch_isolated(graphs, walk_seed, &guards)
         });
         let verdicts = clock.stage("screen", || {
             features
-                .iter()
-                .map(|f| self.analyze_features(f))
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| match f {
+                    Ok(f) => self.screen_isolated(&f, walk_seed.wrapping_add(i as u64)),
+                    Err(fault) => degraded(fault),
+                })
                 .collect::<Vec<_>>()
         });
         let metrics = clock.finish(graphs.len());
         (verdicts, metrics)
+    }
+
+    /// Runs the full pipeline on a serialized binary: parse → lift →
+    /// analyze, with every failure mode — malformed container, undecodable
+    /// reachable code, guard trips, stage panics — confined to a
+    /// [`Verdict::Degraded`]. This is the serving-path entry point for
+    /// untrusted input.
+    pub fn screen_binary(&mut self, bytes: &[u8], walk_seed: u64) -> Verdict {
+        let _span = soteria_telemetry::span("pipeline.screen_binary");
+        let lifted = soteria_resilience::isolate(AssertUnwindSafe(|| {
+            let binary = soteria_corpus::Binary::parse(bytes).map_err(FaultKind::from)?;
+            let lifted = soteria_corpus::disasm::lift(&binary).map_err(FaultKind::from)?;
+            Ok(lifted.cfg)
+        }));
+        match lifted {
+            Ok(Ok(cfg)) => self.analyze(&cfg, walk_seed),
+            Ok(Err(fault)) | Err(fault) => degraded(fault),
+        }
+    }
+
+    /// Screens pre-extracted features with the screen stage confined: a
+    /// panic (organic or chaos-injected) in the detector or classifier
+    /// degrades this sample only.
+    fn screen_isolated(&mut self, features: &SampleFeatures, key: u64) -> Verdict {
+        let result = soteria_resilience::isolate(AssertUnwindSafe(|| {
+            soteria_resilience::chaos_point("pipeline.screen", key);
+            self.analyze_features(features)
+        }));
+        match result {
+            Ok(verdict) => verdict,
+            Err(fault) => degraded(fault),
+        }
     }
 
     /// Runs detector + classifier on pre-extracted features (the reuse
@@ -340,7 +430,8 @@ mod tests {
             lineages: 3,
         });
         let split = corpus.split(0.8, 3);
-        let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5);
+        let soteria =
+            Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5).expect("train");
         (soteria, corpus, split.test)
     }
 
@@ -449,7 +540,8 @@ mod tests {
         });
         let split = corpus.split(0.75, 1);
         let (mut soteria, train_metrics) =
-            Soteria::train_with_metrics(&SoteriaConfig::tiny(), &corpus, &split.train, 5);
+            Soteria::train_with_metrics(&SoteriaConfig::tiny(), &corpus, &split.train, 5)
+                .expect("train");
         assert_eq!(train_metrics.samples, split.train.len());
         for stage in ["fit", "extract", "detector", "classifier"] {
             assert!(
@@ -492,14 +584,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "training split is empty")]
-    fn empty_training_split_panics() {
+    fn empty_training_split_is_a_typed_error() {
         let corpus = Corpus::generate(&CorpusConfig {
             counts: [10, 10, 10, 10],
             seed: 0,
             av_noise: false,
             lineages: 3,
         });
-        let _ = Soteria::train(&SoteriaConfig::tiny(), &corpus, &[], 0);
+        let err = Soteria::train(&SoteriaConfig::tiny(), &corpus, &[], 0).unwrap_err();
+        assert_eq!(err, TrainError::EmptySplit);
+        let err = Soteria::train(&SoteriaConfig::tiny(), &corpus, &[usize::MAX], 0).unwrap_err();
+        assert!(matches!(err, TrainError::IndexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn oversized_graph_degrades_instead_of_panicking() {
+        let (mut soteria, corpus, test) = trained();
+        // Tighten the guards far below any real sample: every graph trips.
+        soteria.config.guards.max_nodes = Some(1);
+        let verdict = soteria.analyze(corpus.samples()[test[0]].graph(), 7);
+        assert!(verdict.is_degraded());
+        assert!(matches!(
+            verdict.fault(),
+            Some(FaultKind::GraphTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn screen_binary_degrades_on_garbage_and_analyzes_real_binaries() {
+        let (mut soteria, corpus, test) = trained();
+        // Arbitrary bytes must never unwind out of the pipeline.
+        let garbage = vec![0xA5u8; 64];
+        let verdict = soteria.screen_binary(&garbage, 1);
+        assert!(verdict.is_degraded(), "garbage must degrade: {verdict:?}");
+        // A genuine corpus binary round-trips to a real verdict.
+        let bytes = corpus.samples()[test[0]].binary().to_bytes();
+        let verdict = soteria.screen_binary(&bytes, 2);
+        assert!(!verdict.is_degraded(), "real binary degraded: {verdict:?}");
     }
 }

@@ -126,6 +126,7 @@ fn descend(
 /// ```
 pub fn lift(binary: &Binary) -> Result<Lifted, CorpusError> {
     let code = binary.code();
+    soteria_resilience::chaos_point("corpus.lift", code.len() as u64);
     if code.is_empty() {
         return Err(CorpusError::BadImage("empty code section"));
     }

@@ -63,6 +63,12 @@ impl From<soteria_cfg::CfgError> for CorpusError {
     }
 }
 
+impl From<CorpusError> for soteria_resilience::FaultKind {
+    fn from(err: CorpusError) -> Self {
+        soteria_resilience::FaultKind::malformed(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

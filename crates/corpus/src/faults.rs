@@ -1,0 +1,215 @@
+//! Deterministic byte-level fault injection over serialized binaries.
+//!
+//! The resilience harness needs a reproducible stream of *corrupted*
+//! inputs: binaries whose container header, code section, or length has
+//! been damaged the way a hostile or broken submitter would damage them.
+//! Unlike [`mutate`](crate::mutate), which produces structurally valid
+//! variants, these mutators operate below the parser — on raw bytes — so
+//! most outputs are rejected by [`Binary::parse`](crate::Binary) and the
+//! survivors stress every later pipeline stage with near-valid garbage.
+//!
+//! All randomness flows through a caller-seeded [`ChaCha8Rng`], so a
+//! `(seed, index)` pair always names the same corrupted byte vector.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// The kind of byte-level damage applied to a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Mutation {
+    /// Flip between 1 and 8 random bits anywhere in the image.
+    BitFlip,
+    /// Drop a random-length suffix (possibly cutting into the header).
+    Truncate,
+    /// Overwrite a random span with uniform random bytes.
+    Garbage,
+    /// Duplicate a random span and splice it in, growing the image.
+    Splice,
+}
+
+impl Mutation {
+    /// All mutation kinds, in the order the injector cycles through them.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::BitFlip,
+        Mutation::Truncate,
+        Mutation::Garbage,
+        Mutation::Splice,
+    ];
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Mutation::BitFlip => "bit-flip",
+            Mutation::Truncate => "truncate",
+            Mutation::Garbage => "garbage",
+            Mutation::Splice => "splice",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A seeded source of corrupted binary images.
+///
+/// Each call to [`corrupt`](FaultInjector::corrupt) derives an independent
+/// generator from `(seed, index)`, so corruption `i` is stable regardless
+/// of how many other indices were requested, in any order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose entire output stream is determined by
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { seed }
+    }
+
+    /// Returns the seed this injector was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Produces corruption number `index` of `base`, returning the damaged
+    /// bytes and the mutation kind that was applied. The base is never
+    /// modified. Indices cycle through every [`Mutation`] kind so a run of
+    /// `N >= 4` samples exercises all of them.
+    pub fn corrupt(&self, base: &[u8], index: u64) -> (Vec<u8>, Mutation) {
+        let mut rng = self.rng_for(index);
+        let kind = Mutation::ALL[(index % Mutation::ALL.len() as u64) as usize];
+        let bytes = apply(kind, base, &mut rng);
+        (bytes, kind)
+    }
+
+    /// Like [`corrupt`](FaultInjector::corrupt) but with a caller-chosen
+    /// mutation kind.
+    pub fn corrupt_with(&self, base: &[u8], index: u64, kind: Mutation) -> Vec<u8> {
+        let mut rng = self.rng_for(index);
+        apply(kind, base, &mut rng)
+    }
+
+    fn rng_for(&self, index: u64) -> ChaCha8Rng {
+        // SplitMix64-style mix of (seed, index) so nearby indices do not
+        // share generator prefixes.
+        let mut z = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+    }
+}
+
+fn apply(kind: Mutation, base: &[u8], rng: &mut ChaCha8Rng) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    if bytes.is_empty() {
+        return bytes;
+    }
+    match kind {
+        Mutation::BitFlip => {
+            let flips = rng.gen_range(1..=8usize);
+            for _ in 0..flips {
+                let pos = rng.gen_range(0..bytes.len());
+                let bit = rng.gen_range(0..8u32);
+                bytes[pos] ^= 1 << bit;
+            }
+        }
+        Mutation::Truncate => {
+            // Keep anywhere from zero bytes to all-but-one, so both the
+            // header and the code section get cut.
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        Mutation::Garbage => {
+            let start = rng.gen_range(0..bytes.len());
+            let max_len = bytes.len() - start;
+            let len = rng.gen_range(1..=max_len.min(64));
+            for b in &mut bytes[start..start + len] {
+                *b = rng.gen_range(0..=u8::MAX);
+            }
+        }
+        Mutation::Splice => {
+            let start = rng.gen_range(0..bytes.len());
+            let max_len = bytes.len() - start;
+            let len = rng.gen_range(1..=max_len.min(32));
+            let chunk: Vec<u8> = bytes[start..start + len].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, chunk);
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Family, SampleGenerator};
+
+    fn base_image() -> Vec<u8> {
+        let mut gen = SampleGenerator::new(3);
+        gen.generate(Family::Gafgyt).binary().to_bytes()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed_and_index() {
+        let base = base_image();
+        let inj = FaultInjector::new(42);
+        for index in 0..8 {
+            assert_eq!(inj.corrupt(&base, index), inj.corrupt(&base, index));
+        }
+    }
+
+    #[test]
+    fn indices_are_order_independent() {
+        let base = base_image();
+        let inj = FaultInjector::new(9);
+        let forward: Vec<_> = (0..6).map(|i| inj.corrupt(&base, i)).collect();
+        let backward: Vec<_> = (0..6).rev().map(|i| inj.corrupt(&base, i)).collect();
+        for (i, fwd) in forward.iter().enumerate() {
+            assert_eq!(*fwd, backward[5 - i], "index {i} depends on call order");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = base_image();
+        let a = FaultInjector::new(1).corrupt(&base, 0).0;
+        let b = FaultInjector::new(2).corrupt(&base, 0).0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_mutation_kinds_are_cycled() {
+        let base = base_image();
+        let inj = FaultInjector::new(7);
+        let kinds: Vec<Mutation> = (0..4).map(|i| inj.corrupt(&base, i).1).collect();
+        assert_eq!(kinds, Mutation::ALL.to_vec());
+    }
+
+    #[test]
+    fn every_kind_actually_damages_the_image() {
+        let base = base_image();
+        let inj = FaultInjector::new(11);
+        for (i, kind) in Mutation::ALL.iter().enumerate() {
+            let out = inj.corrupt_with(&base, i as u64, *kind);
+            assert_ne!(out, base, "{kind} left the image untouched");
+        }
+    }
+
+    #[test]
+    fn truncate_shrinks_and_splice_grows() {
+        let base = base_image();
+        let inj = FaultInjector::new(5);
+        assert!(inj.corrupt_with(&base, 0, Mutation::Truncate).len() < base.len());
+        assert!(inj.corrupt_with(&base, 0, Mutation::Splice).len() > base.len());
+    }
+
+    #[test]
+    fn empty_input_is_returned_unchanged() {
+        let inj = FaultInjector::new(0);
+        assert!(inj.corrupt(&[], 0).0.is_empty());
+    }
+}

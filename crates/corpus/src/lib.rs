@@ -34,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod asm;
 pub mod avclass;
@@ -42,6 +43,7 @@ pub mod corpus;
 pub mod disasm;
 pub mod error;
 pub mod families;
+pub mod faults;
 pub mod generator;
 pub mod isa;
 pub mod motifs;
@@ -52,4 +54,5 @@ pub use binary::Binary;
 pub use corpus::{Corpus, CorpusConfig, Sample, Split};
 pub use error::CorpusError;
 pub use families::Family;
+pub use faults::{FaultInjector, Mutation};
 pub use generator::SampleGenerator;

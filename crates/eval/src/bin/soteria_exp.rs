@@ -4,11 +4,19 @@
 //! soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F]
 //!             [--out DIR] [--metrics PATH] <experiment>...
 //! soteria-exp bench [--seed N] [--scale F] [--out DIR]
+//! soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]
 //!
 //! experiments: table2 table3 table4 table6 table7 table8
 //!              fig8 fig9_11 fig12 fig13 adaptive robustness
 //!              | all (paper artifacts) | ext (everything)
 //! ```
+//!
+//! `chaos` is the resilience gate: it trains the tiny preset, arms the
+//! deterministic chaos hook, feeds hundreds of systematically corrupted
+//! binaries (bit flips, truncations, garbage, splices) through the full
+//! parse → lift → extract → screen pipeline, and fails unless every single
+//! sample came back with a verdict — no panic may escape, no abort may
+//! occur.
 //!
 //! Tables print to stdout; with `--out DIR`, each table is also written as
 //! CSV for plotting, plus a `<experiment>_metrics.json` telemetry snapshot.
@@ -42,8 +50,11 @@ fn usage() -> &'static str {
     "usage: soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F] \
      [--out DIR] [--metrics PATH] <experiment>...\n       \
      soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
+     soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
      experiments: table2 table3 table4 table6 \
      table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext\n\n       \
+     chaos corrupts binaries and injects deterministic faults, asserting the\n       \
+     pipeline degrades per-sample instead of aborting.\n       \
      --metrics PATH writes the run's telemetry snapshot (counters + span timings) as JSON.\n       \
      SOTERIA_METRICS=summary prints a timing summary table to stderr on exit."
 }
@@ -158,7 +169,8 @@ fn run_bench(argv: &[String]) -> Result<(), String> {
         split.test.len()
     );
     let (mut system, train) =
-        Soteria::train_with_metrics(&SoteriaConfig::tiny(), &corpus, &split.train, seed);
+        Soteria::train_with_metrics(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+            .map_err(|e| format!("bench training failed: {e}"))?;
     let graphs: Vec<&Cfg> = split
         .test
         .iter()
@@ -202,12 +214,148 @@ fn run_bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]` — the
+/// fault-injection gate. Returns `Err` (nonzero exit) if any corrupted
+/// sample failed to produce a verdict.
+fn run_chaos(argv: &[String]) -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut samples = 500usize;
+    let mut scale = 0.004f64;
+    let mut metrics: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--samples" => {
+                samples = it
+                    .next()
+                    .ok_or("--samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad samples: {e}"))?;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a value")?))
+            }
+            other => return Err(format!("unknown chaos flag {other}\n{}", usage())),
+        }
+    }
+
+    // Train on a pristine corpus with chaos disarmed — the gate exercises
+    // the *serving* path, not training.
+    soteria_resilience::set_chaos_seed(None);
+    let corpus = Corpus::generate(&CorpusConfig::scaled(scale, seed));
+    let split = corpus.split(0.8, seed);
+    eprintln!(
+        "[chaos] corpus scale {scale} -> {} samples; training tiny system...",
+        corpus.len()
+    );
+    let mut system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| format!("baseline training failed: {e}"))?;
+
+    // Arm deterministic chaos and silence the panic hook: hundreds of
+    // *caught* panics are about to happen on purpose, and the default hook
+    // would spray backtraces over the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    soteria_resilience::set_chaos_seed(Some(seed));
+
+    let injector = soteria_corpus::FaultInjector::new(seed);
+    let mut clean = 0usize;
+    let mut adversarial = 0usize;
+    let mut degraded_by_slug: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    let mut by_mutation: std::collections::BTreeMap<String, [usize; 2]> =
+        std::collections::BTreeMap::new();
+    let mut verdicts = 0usize;
+    for i in 0..samples {
+        let base = corpus.samples()[i % corpus.len()].binary().to_bytes();
+        let (corrupted, mutation) = injector.corrupt(&base, i as u64);
+        let verdict = system.screen_binary(&corrupted, seed.wrapping_add(i as u64));
+        verdicts += 1;
+        let entry = by_mutation.entry(mutation.to_string()).or_default();
+        match &verdict {
+            soteria::Verdict::Clean { .. } => {
+                clean += 1;
+                entry[0] += 1;
+            }
+            soteria::Verdict::Adversarial { .. } => {
+                adversarial += 1;
+                entry[0] += 1;
+            }
+            soteria::Verdict::Degraded { reason } => {
+                *degraded_by_slug.entry(reason.slug()).or_default() += 1;
+                entry[1] += 1;
+            }
+        }
+    }
+
+    // Restore normal panic reporting and disarm chaos.
+    let _ = std::panic::take_hook();
+    soteria_resilience::set_chaos_seed(None);
+
+    let degraded: usize = degraded_by_slug.values().sum();
+    println!("chaos (seed {seed}, {samples} corrupted samples):");
+    println!("  clean        {clean}");
+    println!("  adversarial  {adversarial}");
+    println!("  degraded     {degraded}");
+    for (slug, n) in &degraded_by_slug {
+        println!("    {slug:<16} {n}");
+    }
+    println!("  by mutation (survived/degraded):");
+    for (mutation, [ok, bad]) in &by_mutation {
+        println!("    {mutation:<10} {ok:>4} / {bad}");
+    }
+
+    if let Some(path) = &metrics {
+        soteria_telemetry::snapshot().write_json(path)?;
+        eprintln!("wrote metrics to {}", path.display());
+    }
+
+    if verdicts != samples {
+        return Err(format!(
+            "verdict coverage hole: {verdicts}/{samples} samples produced a verdict"
+        ));
+    }
+    if degraded == 0 {
+        return Err(
+            "suspicious run: heavy corruption plus armed chaos degraded zero samples \
+             (is fault injection wired up?)"
+                .to_string(),
+        );
+    }
+    println!("ok: zero aborts, {samples}/{samples} verdicts");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
         // Requested help is a successful run and belongs on stdout.
         println!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        let result = run_chaos(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if argv.first().map(String::as_str) == Some("bench") {
         let result = run_bench(&argv[1..]);

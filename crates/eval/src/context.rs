@@ -147,7 +147,8 @@ impl ExperimentContext {
             split.train.len(),
             split.test.len()
         );
-        let soteria = Soteria::train(&config.soteria, &corpus, &split.train, config.seed);
+        let soteria = Soteria::train(&config.soteria, &corpus, &split.train, config.seed)
+            .expect("training split is non-empty by construction");
         let selection = TargetSelection::select(&corpus);
         eprintln!("[soteria-exp] training done");
         ExperimentContext {

@@ -8,6 +8,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use soteria_cfg::Cfg;
+use soteria_resilience::{FaultKind, ResourceGuards};
+use std::panic::AssertUnwindSafe;
 
 /// Extraction parameters; defaults are the paper's.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -258,18 +260,67 @@ impl FeatureExtractor {
         }
     }
 
+    /// Fallible extraction for one sample: admission control against
+    /// `guards` (graph size, walk-step budget), chaos injection, panic
+    /// isolation, and a post-hoc wall-clock check. A pathological graph
+    /// yields an `Err(FaultKind)` instead of unwinding into the caller.
+    pub fn try_extract(
+        &self,
+        cfg: &Cfg,
+        seed: u64,
+        guards: &ResourceGuards,
+    ) -> Result<SampleFeatures, FaultKind> {
+        let budget = guards.start_budget();
+        guards.admit_graph(cfg.node_count(), cfg.edge_count())?;
+        // Total steps this sample will walk: 2 labelings × walks ×
+        // (multiplier · |V|) steps per walk.
+        let steps = 2usize
+            .saturating_mul(self.config.walks_per_labeling)
+            .saturating_mul(self.config.walk_multiplier)
+            .saturating_mul(cfg.node_count());
+        guards.admit_walk_steps(steps)?;
+        let features = soteria_resilience::isolate(AssertUnwindSafe(|| {
+            soteria_resilience::chaos_point("features.extract", seed);
+            self.extract(cfg, seed)
+        }))?;
+        budget.check()?;
+        Ok(features)
+    }
+
     /// Extracts features for many samples in parallel (crossbeam scoped
     /// threads; deterministic per-sample seeds derived from `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample faults. Batch callers that must survive bad
+    /// samples use [`extract_batch_isolated`](Self::extract_batch_isolated).
     pub fn extract_batch(&self, graphs: &[&Cfg], seed: u64) -> Vec<SampleFeatures> {
+        self.extract_batch_isolated(graphs, seed, &ResourceGuards::unlimited())
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|fault| panic!("feature extraction failed: {fault}")))
+            .collect()
+    }
+
+    /// Extracts features for many samples in parallel with per-sample fault
+    /// isolation: a panic, oversized graph, or budget overrun in sample `i`
+    /// yields `Err(FaultKind)` in slot `i` and leaves every other sample
+    /// untouched. Seeds are derived per sample from `seed`, exactly as in
+    /// [`extract_batch`](Self::extract_batch).
+    pub fn extract_batch_isolated(
+        &self,
+        graphs: &[&Cfg],
+        seed: u64,
+        guards: &ResourceGuards,
+    ) -> Vec<Result<SampleFeatures, FaultKind>> {
         let _span = soteria_telemetry::span("features.extract_batch");
         soteria_telemetry::counter("features.extract_batch.samples", graphs.len() as u64);
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .min(graphs.len().max(1));
-        let mut out: Vec<Option<SampleFeatures>> = vec![None; graphs.len()];
+        let mut out: Vec<Option<Result<SampleFeatures, FaultKind>>> = vec![None; graphs.len()];
         let chunk = graphs.len().div_ceil(threads.max(1));
-        crossbeam::thread::scope(|s| {
+        let scope_result = crossbeam::thread::scope(|s| {
             for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 s.spawn(move |_| {
@@ -278,14 +329,26 @@ impl FeatureExtractor {
                     let _worker = soteria_telemetry::span("features.extract_batch.worker");
                     for (j, slot) in slot_chunk.iter_mut().enumerate() {
                         let i = start + j;
-                        *slot = Some(self.extract(graphs[i], derive_seed(seed, i as u64)));
+                        *slot =
+                            Some(self.try_extract(graphs[i], derive_seed(seed, i as u64), guards));
                     }
                 });
             }
-        })
-        .expect("feature extraction worker panicked");
+        });
+        // try_extract confines panics per sample, so a worker dying outright
+        // is unexpected — but if it happens, degrade its unfilled slots
+        // instead of aborting the batch.
+        if scope_result.is_err() {
+            soteria_telemetry::counter("features.extract_batch.worker_deaths", 1);
+        }
         out.into_iter()
-            .map(|o| o.expect("all slots filled"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(FaultKind::Panic {
+                        message: "extraction worker died before reaching this sample".to_owned(),
+                    })
+                })
+            })
             .collect()
     }
 }

@@ -11,7 +11,7 @@ use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// A same-padded, stride-1, 1-D convolution with fused ReLU.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv1d {
     in_channels: usize,
     out_channels: usize,

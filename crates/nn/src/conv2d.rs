@@ -12,7 +12,7 @@ use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// A same-padded, stride-1, square-kernel 2-D convolution with fused ReLU.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
@@ -196,7 +196,7 @@ impl Layer for Conv2d {
 }
 
 /// 2-D max pooling with equal window and stride.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MaxPool2d {
     channels: usize,
     height: usize,

@@ -42,7 +42,7 @@ impl Activation {
 }
 
 /// A fully connected layer: `y = act(x·W + b)`.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     in_dim: usize,
     out_dim: usize,

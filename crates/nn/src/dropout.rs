@@ -9,11 +9,13 @@ use serde::{Deserialize, Serialize};
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`; at inference the
 /// layer is the identity.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dropout {
     p: f64,
     seed: u64,
-    #[serde(skip)]
+    /// Training-forward count; serialized (defaulting to 0 for states saved
+    /// before it was) so a resumed model continues the same mask stream.
+    #[serde(default)]
     draws: u64,
     #[serde(skip)]
     mask: Option<Vec<f32>>,

@@ -62,6 +62,6 @@ pub use layer::Layer;
 pub use loss::Loss;
 pub use matrix::Matrix;
 pub use model::Sequential;
-pub use optimizer::{Adam, Optimizer, Sgd};
+pub use optimizer::{Adam, Optimizer, OptimizerState, Sgd};
 pub use pool::MaxPool1d;
-pub use trainer::{TrainConfig, Trainer, TrainingHistory};
+pub use trainer::{RngState, TrainConfig, Trainer, TrainerCheckpoint, TrainingHistory};

@@ -10,6 +10,31 @@ pub trait Optimizer: std::fmt::Debug {
     /// Applies one update step with the given learning rate, then zeroes
     /// the gradients.
     fn step(&mut self, model: &mut dyn Layer, learning_rate: f32);
+
+    /// Captures the optimizer's complete state (momentum/moment buffers,
+    /// timestep) for checkpointing.
+    fn snapshot(&self) -> OptimizerState;
+}
+
+/// A serializable snapshot of an optimizer, sufficient to continue
+/// training exactly where it stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OptimizerState {
+    /// SGD with its momentum coefficient and velocity buffers.
+    Sgd(Sgd),
+    /// Adam with its hyperparameters, timestep, and moment buffers.
+    Adam(Adam),
+}
+
+impl OptimizerState {
+    /// Rebuilds the live optimizer this state was captured from.
+    pub fn into_boxed(self) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerState::Sgd(s) => Box::new(s),
+            OptimizerState::Adam(a) => Box::new(a),
+        }
+    }
 }
 
 /// Stochastic gradient descent with classical momentum.
@@ -52,6 +77,10 @@ impl Optimizer for Sgd {
             }
             slot += 1;
         });
+    }
+
+    fn snapshot(&self) -> OptimizerState {
+        OptimizerState::Sgd(self.clone())
     }
 }
 
@@ -110,6 +139,10 @@ impl Optimizer for Adam {
             }
             slot += 1;
         });
+    }
+
+    fn snapshot(&self) -> OptimizerState {
+        OptimizerState::Adam(self.clone())
     }
 }
 

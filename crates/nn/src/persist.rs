@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 /// A serializable layer. Construct via [`From`] impls on the concrete
 /// layer types, or convert back with [`LayerSpec::into_layer`].
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum LayerSpec {
     /// A dense layer (weights included).
@@ -75,7 +75,7 @@ impl LayerSpec {
 /// let mut original = model;
 /// assert_eq!(restored.predict(&x).data(), original.predict(&x).data());
 /// ```
-#[derive(Debug, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct ModelSpec {
     layers: Vec<LayerSpec>,
 }

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Input layout matches [`Conv1d`](crate::Conv1d): channel-major rows of
 /// `channels · length`. Trailing elements that do not fill a window are
 /// dropped (floor semantics).
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MaxPool1d {
     channels: usize,
     length: usize,

@@ -12,7 +12,8 @@ use soteria_gea::{gea_merge, SizeClass, TargetSelection};
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::scaled(0.015, 11));
     let split = corpus.split(0.8, 2);
-    let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3);
+    let mut soteria =
+        Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3).expect("train");
     let stats = soteria.detector_mut().stats();
     println!(
         "clean-training RE: mu {:.4}, sigma {:.4}",

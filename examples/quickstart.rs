@@ -24,7 +24,8 @@ fn main() {
     // 2. Train the full system: feature extractor (DBL/LBL labeling,
     //    random walks, n-grams, TF-IDF), auto-encoder detector, and the
     //    two-CNN voting classifier.
-    let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 7);
+    let mut soteria =
+        Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 7).expect("train");
     println!(
         "trained; detector threshold = {:.4}",
         soteria.detector_mut().stats().threshold()
@@ -51,6 +52,9 @@ fn main() {
             "clean sample {} flagged as AE (RE {reconstruction_error:.4})",
             mirai.name()
         ),
+        Verdict::Degraded { reason } => {
+            println!("clean sample {} degraded: {reason}", mirai.name())
+        }
     }
 
     // 4. Attack it with GEA: embed a large benign target so a CFG-based
@@ -71,6 +75,7 @@ fn main() {
         Verdict::Clean { family, .. } => {
             println!("GEA example slipped through, classified {family}")
         }
+        Verdict::Degraded { reason } => println!("GEA example degraded: {reason}"),
     }
 
     // 5. Byte-appending (the paper's *impractical* AE): the appended bytes
@@ -83,5 +88,6 @@ fn main() {
             "byte-appended copy still classified {family} (features ignore appended bytes)"
         ),
         Verdict::Adversarial { .. } => println!("byte-appended copy flagged (unexpected)"),
+        Verdict::Degraded { reason } => println!("byte-appended copy degraded: {reason}"),
     }
 }

@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Chaos smoke gate: corrupted binaries + injected faults through the full
+# serving path must yield a verdict per sample and zero process aborts.
+# (clippy above already denies unwrap_used in non-test code via the
+# per-crate cfg_attr warns escalated by -D warnings.)
+echo "==> chaos gate: soteria-exp chaos --seed 42 --samples 200"
+cargo run -q --release -p soteria-eval --bin soteria-exp -- chaos --seed 42 --samples 200
+
 echo "==> all checks passed"

@@ -13,7 +13,7 @@ fn setup() -> (Soteria, Corpus, Vec<usize>) {
         lineages: 4,
     });
     let split = corpus.split(0.8, 9);
-    let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 31);
+    let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 31).expect("train");
     (soteria, corpus, split.test)
 }
 

@@ -53,8 +53,8 @@ fn feature_extraction_is_seed_stable() {
 fn trained_detector_stats_are_reproducible() {
     let corpus = Corpus::generate(&config());
     let split = corpus.split(0.8, 1);
-    let mut a = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3);
-    let mut b = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3);
+    let mut a = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3).expect("train");
+    let mut b = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3).expect("train");
     assert_eq!(a.detector_mut().stats(), b.detector_mut().stats());
 
     // And the verdicts agree sample by sample.
@@ -70,7 +70,7 @@ fn walk_randomization_varies_with_seed_but_not_verdict_struct() {
     // while the pipeline still runs deterministically per seed.
     let corpus = Corpus::generate(&config());
     let split = corpus.split(0.8, 1);
-    let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3);
+    let soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3).expect("train");
     let g = corpus.samples()[split.test[0]].graph();
     let f1 = soteria.features(g, 1);
     let f2 = soteria.features(g, 2);

@@ -1,0 +1,65 @@
+//! Resilience properties of the serving path: arbitrary corruption may
+//! degrade a sample, but it must never panic out of the pipeline, never
+//! abort a batch, and always produce a verdict.
+
+use proptest::prelude::*;
+use soteria::{Soteria, SoteriaConfig, Verdict};
+use soteria_corpus::{Corpus, CorpusConfig, FaultInjector};
+use std::sync::{Mutex, OnceLock};
+
+/// One system trained once and shared across all property cases (training
+/// dominates the test's cost; screening is cheap).
+fn system() -> &'static Mutex<(Soteria, Corpus)> {
+    static SYSTEM: OnceLock<Mutex<(Soteria, Corpus)>> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [8, 8, 8, 8],
+            seed: 77,
+            av_noise: false,
+            lineages: 2,
+        });
+        let split = corpus.split(0.8, 1);
+        let soteria =
+            Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 9).expect("train");
+        Mutex::new((soteria, corpus))
+    })
+}
+
+proptest! {
+    /// Systematically corrupted real binaries (bit flips, truncations,
+    /// garbage spans, splices) always come back with a verdict; corrupted
+    /// input can degrade, never unwind.
+    #[test]
+    fn corrupted_binaries_always_produce_a_verdict(
+        seed in 0u64..1000, index in 0u64..1000, sample in 0usize..32
+    ) {
+        let mut guard = system().lock().expect("lock");
+        let (soteria, corpus) = &mut *guard;
+        let base = corpus.samples()[sample % corpus.len()].binary().to_bytes();
+        let (corrupted, _mutation) = FaultInjector::new(seed).corrupt(&base, index);
+        // Returning at all is the property: every panic path is confined
+        // inside `screen_binary`. The verdict enum is total, so matching
+        // suffices to prove a verdict was produced.
+        match soteria.screen_binary(&corrupted, seed ^ index) {
+            Verdict::Clean { .. } | Verdict::Adversarial { .. } => {}
+            Verdict::Degraded { reason } => prop_assert!(!reason.to_string().is_empty()),
+        }
+    }
+
+    /// Entirely arbitrary byte soup — not even derived from a valid
+    /// binary — is handled the same way.
+    #[test]
+    fn arbitrary_bytes_always_produce_a_verdict(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512), walk_seed in 0u64..1000
+    ) {
+        let mut guard = system().lock().expect("lock");
+        let (soteria, _) = &mut *guard;
+        let verdict = soteria.screen_binary(&bytes, walk_seed);
+        // Byte soup virtually never parses; whatever happens, it must be
+        // a verdict, not an unwind.
+        prop_assert!(matches!(
+            verdict,
+            Verdict::Clean { .. } | Verdict::Adversarial { .. } | Verdict::Degraded { .. }
+        ));
+    }
+}
