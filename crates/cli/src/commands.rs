@@ -5,6 +5,7 @@ use soteria::{Soteria, SoteriaConfig, SoteriaState, TrainCheckpoint, Verdict};
 use soteria_cfg::{density, dot, GraphStats};
 use soteria_corpus::{disasm, Corpus, CorpusConfig, Family};
 use soteria_gea::gea_merge;
+use soteria_serve::{protocol, ScreeningService, ServeConfig, Submit};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -321,6 +322,148 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
             "{degraded} of {} files could not be analyzed",
             positional.len()
         ));
+    }
+    Ok(())
+}
+
+/// `serve (--corpus DIR | --model MODEL.json) [--seed N] [--workers N]
+///        [--queue N] [--cache N] [--batch-window-ms N] [--max-batch N]
+///        [--listen ADDR] [--metrics PATH]`
+///
+/// Runs the concurrent screening service over a line protocol: each
+/// request line is a file path or `hex:`-prefixed bytes, each response
+/// line a JSON verdict. Without `--listen` the protocol runs over
+/// stdin/stdout (EOF drains and shuts down); with `--listen ADDR` it runs
+/// over a TCP accept loop (`quit` closes a connection, `shutdown` stops
+/// the server).
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let seed = flag_u64(&flags, "seed", 7)?;
+    let system = if let Some(model_path) = flags.get("model") {
+        let state =
+            SoteriaState::load_from_path(&PathBuf::from(model_path)).map_err(|e| e.to_string())?;
+        eprintln!("loaded model from {model_path}");
+        Soteria::from_state(state)
+    } else if let Some(corpus_dir) = flags.get("corpus") {
+        train_on_dir(corpus_dir, seed)?
+    } else {
+        return Err("serve needs --corpus DIR or --model MODEL.json".into());
+    };
+
+    let config = ServeConfig {
+        workers: flag_u64(&flags, "workers", 2)? as usize,
+        queue_capacity: flag_u64(&flags, "queue", 64)? as usize,
+        cache_capacity: flag_u64(&flags, "cache", 1024)? as usize,
+        batch_window: std::time::Duration::from_millis(flag_u64(&flags, "batch-window-ms", 2)?),
+        max_batch: flag_u64(&flags, "max-batch", 32)? as usize,
+        seed,
+        ..ServeConfig::default()
+    };
+    let service = ScreeningService::start(system, &config);
+
+    if let Some(addr) = flags.get("listen") {
+        serve_tcp(&service, addr)?;
+    } else {
+        serve_stdin(&service)?;
+    }
+
+    let stats = service.stats();
+    service.shutdown();
+    eprintln!(
+        "serve: {} submitted, {} rejected, cache {}/{} hits ({:.0}%)",
+        stats.submitted,
+        stats.rejected,
+        stats.cache.hits,
+        stats.cache.lookups,
+        stats.cache.hit_rate() * 100.0
+    );
+    write_metrics_if_requested(&flags)
+}
+
+/// Resolves one request line to one JSON response line (`None` for blank
+/// lines, which are ignored).
+fn serve_line(service: &ScreeningService, line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let bytes = if let Some(hex) = line.strip_prefix("hex:") {
+        match protocol::parse_hex(hex) {
+            Some(bytes) => bytes,
+            None => {
+                return Some(format!(
+                    "{{\"error\":\"bad hex: {}\"}}",
+                    protocol::escape_json(line)
+                ))
+            }
+        }
+    } else {
+        match std::fs::read(line) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                return Some(format!(
+                    "{{\"error\":\"read {}: {}\"}}",
+                    protocol::escape_json(line),
+                    protocol::escape_json(&e.to_string())
+                ))
+            }
+        }
+    };
+    Some(match service.submit(bytes) {
+        Submit::Accepted(ticket) => protocol::verdict_json(&ticket.wait()),
+        Submit::Rejected => "{\"error\":\"rejected: queue full\"}".to_owned(),
+    })
+}
+
+/// stdin/stdout front end: one request line in, one JSON line out.
+fn serve_stdin(service: &ScreeningService) -> Result<(), String> {
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("read stdin: {e}"))?;
+        if let Some(response) = serve_line(service, &line) {
+            println!("{response}");
+        }
+    }
+    Ok(())
+}
+
+/// TCP front end: same line protocol per connection, connections handled
+/// in accept order (the concurrency lives inside the service).
+fn serve_tcp(service: &ScreeningService, addr: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    eprintln!("listening on {local}");
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept: {e}");
+                continue;
+            }
+        };
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        let mut writer = stream;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            match line.trim() {
+                "quit" => break,
+                "shutdown" => return Ok(()),
+                _ => {}
+            }
+            if let Some(response) = serve_line(service, &line) {
+                if writeln!(writer, "{response}").is_err() {
+                    break;
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -11,6 +11,8 @@
 //!                                                       train and persist a system
 //! soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] FILE...
 //!                                                       screen files with a system
+//! soteria-cli serve (--corpus DIR | --model MODEL) [--listen ADDR]
+//!                                                       run the screening service
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -27,7 +29,14 @@ fn usage() -> &'static str {
      soteria-cli attack --original FILE --target FILE --out FILE\n  \
      soteria-cli train --corpus DIR --out MODEL [--seed N] [--metrics PATH]\n    \
      [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]\n  \
-     soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--metrics PATH] FILE...\n\n\
+     soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--metrics PATH] FILE...\n  \
+     soteria-cli serve (--corpus DIR | --model MODEL) [--seed N] [--workers N] [--queue N]\n    \
+     [--cache N] [--batch-window-ms N] [--max-batch N] [--listen ADDR] [--metrics PATH]\n\n\
+     serve reads one request per line (a file path, or hex:<bytes>) and answers\n  \
+     with one JSON verdict per line; without --listen the protocol runs on\n  \
+     stdin/stdout, with --listen ADDR over TCP (quit ends a connection,\n  \
+     shutdown stops the server). Verdicts are cached by content and screened\n  \
+     in micro-batches; identical content always gets the identical verdict.\n\n\
      --checkpoint-every N snapshots training state every N epochs (atomic,\n  \
      crash-safe); --resume PATH continues a killed run bit-for-bit.\n  \
      --metrics PATH writes a telemetry snapshot (counters + span timings) as JSON.\n  \
@@ -43,6 +52,7 @@ fn main() -> ExitCode {
         Some("attack") => commands::attack(&args[1..]),
         Some("train") => commands::train(&args[1..]),
         Some("analyze") => commands::analyze(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
         Some("--help") | Some("-h") => {
             // An explicitly requested help text is a successful run and
             // belongs on stdout (so `soteria-cli --help | less` works).

@@ -270,6 +270,42 @@ impl FamilyClassifier {
         }
     }
 
+    /// Classifies many samples in one micro-batched forward pass per CNN:
+    /// every sample's walk vectors are stacked into a single matrix so the
+    /// threaded matmul amortizes across samples, then votes are tallied per
+    /// sample. Each report is bit-identical to
+    /// [`classify`](FamilyClassifier::classify) on the same features —
+    /// every layer's forward pass is row-independent, so batching is purely
+    /// a throughput optimization.
+    pub fn classify_batch(&mut self, features: &[&SampleFeatures]) -> Vec<ClassifierReport> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        soteria_telemetry::record("classifier.batch_size", features.len() as f64);
+        let dbl_groups: Vec<&[Vec<f64>]> = features.iter().map(|f| f.dbl_walks()).collect();
+        let lbl_groups: Vec<&[Vec<f64>]> = features.iter().map(|f| f.lbl_walks()).collect();
+        let dbl_logits = self.dbl_cnn.predict_stacked(&dbl_groups);
+        let lbl_logits = self.lbl_cnn.predict_stacked(&lbl_groups);
+        dbl_logits
+            .iter()
+            .zip(&lbl_logits)
+            .map(|(d, l)| {
+                let dbl_preds = argmax_rows(d);
+                let lbl_preds = argmax_rows(l);
+                let mut votes = vec![0usize; self.classes];
+                for &p in dbl_preds.iter().chain(&lbl_preds) {
+                    votes[p] += 1;
+                }
+                ClassifierReport {
+                    dbl_label: Family::from_index(majority(&tally(&dbl_preds, self.classes))),
+                    lbl_label: Family::from_index(majority(&tally(&lbl_preds, self.classes))),
+                    voted_label: Family::from_index(majority(&votes)),
+                    votes,
+                }
+            })
+            .collect()
+    }
+
     /// The voted family label only.
     pub fn predict(&mut self, features: &SampleFeatures) -> Family {
         self.classify(features).voted_label
@@ -403,6 +439,18 @@ mod tests {
         let sum: f64 = p.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6);
         assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn classify_batch_is_bit_identical_to_classify() {
+        let (mut clf, features, _) = setup();
+        let refs: Vec<&SampleFeatures> = features.iter().collect();
+        let batched = clf.classify_batch(&refs);
+        assert_eq!(batched.len(), features.len());
+        for (f, report) in features.iter().zip(&batched) {
+            assert_eq!(report, &clf.classify(f));
+        }
+        assert!(clf.classify_batch(&[]).is_empty());
     }
 
     #[test]

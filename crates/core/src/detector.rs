@@ -298,6 +298,20 @@ impl AeDetector {
         rmse_per_row(&y, &x)
     }
 
+    /// Reconstruction errors for borrowed vectors (the micro-batched
+    /// serving path stacks many samples' combined vectors into one forward
+    /// pass). Each result is bit-identical to
+    /// [`reconstruction_error`](AeDetector::reconstruction_error) on the
+    /// same row: every layer's forward pass is row-independent.
+    pub fn reconstruction_errors_of(&mut self, rows: &[&[f64]]) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let x = Matrix::from_row_slices(rows);
+        let y = self.autoencoder.predict(&x);
+        rmse_per_row(&y, &x)
+    }
+
     /// Whether the vector is flagged adversarial at the configured α.
     pub fn is_adversarial(&mut self, features: &[f64]) -> bool {
         self.reconstruction_error(features) > self.stats.threshold()
@@ -409,6 +423,18 @@ mod tests {
             assert!((batch[i] - det.reconstruction_error(f)).abs() < 1e-9);
         }
         assert!(det.reconstruction_errors(&[]).is_empty());
+    }
+
+    #[test]
+    fn slice_batch_errors_are_bit_identical_to_single() {
+        let data = clean_data(9, 8, 8);
+        let mut det = AeDetector::train(&config(), &data, 9);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let batch = det.reconstruction_errors_of(&refs);
+        for (i, f) in data.iter().enumerate() {
+            assert_eq!(batch[i], det.reconstruction_error(f));
+        }
+        assert!(det.reconstruction_errors_of(&[]).is_empty());
     }
 
     #[test]

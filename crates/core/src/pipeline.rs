@@ -396,6 +396,199 @@ impl Soteria {
         }
     }
 
+    /// Screens many serialized binaries in one call: parse, lift, and
+    /// feature extraction run in parallel across worker threads, then the
+    /// detector and classifier each run a single batched forward pass over
+    /// every surviving sample (so the threaded matmul in `soteria-nn`
+    /// amortizes across the batch). Per-sample walk seeds are derived as
+    /// `walk_seed.wrapping_add(i)`.
+    ///
+    /// Bit-identical per item to calling
+    /// [`screen_binary`](Soteria::screen_binary)`(bytes[i], walk_seed + i)`
+    /// sequentially: every forward pass is row-independent, so batching is
+    /// purely a throughput optimization. Faults degrade their sample only.
+    pub fn screen_many(&mut self, binaries: &[&[u8]], walk_seed: u64) -> Vec<Verdict> {
+        let items: Vec<(&[u8], u64)> = binaries
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| (bytes, walk_seed.wrapping_add(i as u64)))
+            .collect();
+        self.screen_many_seeded(&items)
+    }
+
+    /// [`screen_many`](Soteria::screen_many) with an explicit walk seed per
+    /// binary. This is the serving-path batch entry point: the screening
+    /// service derives each seed from the sample's content so verdicts are
+    /// a pure function of the bytes.
+    pub fn screen_many_seeded(&mut self, items: &[(&[u8], u64)]) -> Vec<Verdict> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let _span = soteria_telemetry::span("pipeline.screen_many");
+        soteria_telemetry::counter("pipeline.screen_many.samples", items.len() as u64);
+        let guards = self.config.guards.clone();
+        let extractor = &self.extractor;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(items.len());
+        let chunk = items.len().div_ceil(threads.max(1));
+        let mut extracted: Vec<Option<Result<SampleFeatures, FaultKind>>> = vec![None; items.len()];
+        let scope_result = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .zip(extracted.chunks_mut(chunk))
+                .map(|(item_chunk, slot_chunk)| {
+                    let guards = &guards;
+                    s.spawn(move |_| {
+                        for ((bytes, seed), slot) in item_chunk.iter().zip(slot_chunk) {
+                            let lifted = soteria_resilience::isolate(AssertUnwindSafe(|| {
+                                let binary = soteria_corpus::Binary::parse(bytes)
+                                    .map_err(FaultKind::from)?;
+                                let lifted = soteria_corpus::disasm::lift(&binary)
+                                    .map_err(FaultKind::from)?;
+                                Ok(lifted.cfg)
+                            }));
+                            *slot = Some(match lifted {
+                                Ok(Ok(cfg)) => extractor.try_extract(&cfg, *seed, guards),
+                                Ok(Err(fault)) | Err(fault) => Err(fault),
+                            });
+                        }
+                    })
+                })
+                .collect();
+            // Every stage above is isolated per sample, so a worker dying is
+            // unexpected — but joining each handle keeps a panic from
+            // unwinding out of the scope; its chunk's unfilled slots degrade
+            // individually below.
+            for handle in handles {
+                if handle.join().is_err() {
+                    soteria_telemetry::counter("pipeline.screen_many.worker_deaths", 1);
+                }
+            }
+        });
+        if scope_result.is_err() {
+            // Unreachable with every handle joined above; kept so an
+            // upstream crossbeam behavior change stays observable.
+            soteria_telemetry::counter("pipeline.screen_many.worker_deaths", 1);
+        }
+
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; items.len()];
+        let mut batch: Vec<(SampleFeatures, u64)> = Vec::new();
+        let mut batch_indices: Vec<usize> = Vec::new();
+        for (i, slot) in extracted.into_iter().enumerate() {
+            match slot {
+                Some(Ok(features)) => {
+                    batch_indices.push(i);
+                    batch.push((features, items[i].1));
+                }
+                Some(Err(fault)) => verdicts[i] = Some(degraded(fault)),
+                None => {
+                    verdicts[i] = Some(degraded(FaultKind::Panic {
+                        message: "screening worker died before reaching this sample".to_owned(),
+                    }))
+                }
+            }
+        }
+        let screened = self.screen_features_batch(&batch);
+        for (i, verdict) in batch_indices.into_iter().zip(screened) {
+            verdicts[i] = Some(verdict);
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every sample resolved"))
+            .collect()
+    }
+
+    /// Screens many pre-extracted feature sets in one batched pass: the
+    /// detector computes every reconstruction error from one stacked matrix
+    /// and the classifier's two CNNs each run a single forward pass over
+    /// all surviving samples. Each item carries its own screen key (chaos
+    /// gate + provenance); a fault degrades that item only.
+    ///
+    /// Bit-identical per item to the per-sample screen path — every layer's
+    /// forward pass is row-independent, so stacking rows cannot change any
+    /// output bit.
+    pub fn screen_features_batch(&mut self, items: &[(SampleFeatures, u64)]) -> Vec<Verdict> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let _span = soteria_telemetry::span("pipeline.screen_features_batch");
+        soteria_telemetry::record("pipeline.screen_batch_size", items.len() as f64);
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; items.len()];
+        // Run each sample's chaos gate first, isolated, so an injected
+        // fault degrades its sample exactly as on the per-sample path.
+        let mut live: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, (_, key)) in items.iter().enumerate() {
+            let gate = soteria_resilience::isolate(AssertUnwindSafe(|| {
+                soteria_resilience::chaos_point("pipeline.screen", *key);
+            }));
+            match gate {
+                Ok(()) => live.push(i),
+                Err(fault) => verdicts[i] = Some(degraded(fault)),
+            }
+        }
+        if !live.is_empty() {
+            let batched = soteria_resilience::isolate(AssertUnwindSafe(|| {
+                let rows: Vec<&[f64]> = live.iter().map(|&i| items[i].0.combined()).collect();
+                let errors = self.detector.reconstruction_errors_of(&rows);
+                let threshold = self.detector.stats().threshold();
+                let mut resolved: Vec<(usize, Verdict)> = Vec::with_capacity(live.len());
+                let mut clean: Vec<(usize, f64)> = Vec::new();
+                for (idx, &i) in live.iter().enumerate() {
+                    let re = errors[idx];
+                    if re > threshold {
+                        soteria_telemetry::counter("pipeline.verdicts.adversarial", 1);
+                        resolved.push((
+                            i,
+                            Verdict::Adversarial {
+                                reconstruction_error: re,
+                            },
+                        ));
+                    } else {
+                        clean.push((i, re));
+                    }
+                }
+                let clean_features: Vec<&SampleFeatures> =
+                    clean.iter().map(|&(i, _)| &items[i].0).collect();
+                let reports = self.classifier.classify_batch(&clean_features);
+                for (&(i, re), report) in clean.iter().zip(reports) {
+                    soteria_telemetry::counter("pipeline.verdicts.clean", 1);
+                    resolved.push((
+                        i,
+                        Verdict::Clean {
+                            family: report.voted_label,
+                            reconstruction_error: re,
+                            report,
+                        },
+                    ));
+                }
+                resolved
+            }));
+            match batched {
+                Ok(resolved) => {
+                    for (i, verdict) in resolved {
+                        verdicts[i] = Some(verdict);
+                    }
+                }
+                Err(_) => {
+                    // A panic in the batched math can't be attributed to one
+                    // sample; re-run the survivors through the per-sample
+                    // isolated path so each resolves (or degrades) on its
+                    // own. The chaos gate already passed for these keys and
+                    // is deterministic, so it passes again.
+                    for &i in &live {
+                        verdicts[i] = Some(self.screen_isolated(&items[i].0, items[i].1));
+                    }
+                }
+            }
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every item resolved"))
+            .collect()
+    }
+
     /// Runs detector + classifier on pre-extracted features (the reuse
     /// path).
     pub fn analyze_features(&mut self, features: &SampleFeatures) -> Verdict {
@@ -608,6 +801,53 @@ mod tests {
             verdict.fault(),
             Some(FaultKind::GraphTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn screen_many_is_bit_identical_to_sequential_screen_binary() {
+        let (mut soteria, corpus, test) = trained();
+        let mut binaries: Vec<Vec<u8>> = test
+            .iter()
+            .take(6)
+            .map(|&i| corpus.samples()[i].binary().to_bytes())
+            .collect();
+        // A malformed sample in the middle must degrade alone.
+        binaries.insert(3, vec![0xA5u8; 64]);
+        let refs: Vec<&[u8]> = binaries.iter().map(Vec::as_slice).collect();
+        let batched = soteria.screen_many(&refs, 41);
+        let sequential: Vec<Verdict> = refs
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| soteria.screen_binary(bytes, 41u64.wrapping_add(i as u64)))
+            .collect();
+        assert_eq!(batched, sequential);
+        assert!(batched[3].is_degraded());
+        assert!(batched.iter().filter(|v| !v.is_degraded()).count() >= 4);
+    }
+
+    #[test]
+    fn screen_features_batch_matches_per_sample_screen() {
+        let (mut soteria, corpus, test) = trained();
+        let items: Vec<(soteria_features::SampleFeatures, u64)> = test
+            .iter()
+            .take(5)
+            .map(|&i| {
+                let seed = 300 + i as u64;
+                (soteria.features(corpus.samples()[i].graph(), seed), seed)
+            })
+            .collect();
+        let batched = soteria.screen_features_batch(&items);
+        for ((features, key), batched_verdict) in items.iter().zip(&batched) {
+            let single = soteria.screen_isolated(features, *key);
+            assert_eq!(*batched_verdict, single);
+        }
+    }
+
+    #[test]
+    fn empty_batches_screen_to_empty() {
+        let (mut soteria, _, _) = trained();
+        assert!(soteria.screen_many(&[], 0).is_empty());
+        assert!(soteria.screen_features_batch(&[]).is_empty());
     }
 
     #[test]

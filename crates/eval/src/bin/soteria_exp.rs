@@ -4,6 +4,8 @@
 //! soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F]
 //!             [--out DIR] [--metrics PATH] <experiment>...
 //! soteria-exp bench [--seed N] [--scale F] [--out DIR]
+//! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
+//! soteria-exp serve-smoke [--seed N] [--scale F]
 //! soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]
 //!
 //! experiments: table2 table3 table4 table6 table7 table8
@@ -27,8 +29,8 @@
 //! to measure the pipeline, writing stage wall times and throughput to
 //! `BENCH_pipeline.json`.
 
-use serde::Serialize;
-use soteria::{PipelineMetrics, Soteria, SoteriaConfig};
+use serde::{Deserialize, Serialize};
+use soteria::{PipelineMetrics, Soteria, SoteriaConfig, Verdict};
 use soteria_cfg::Cfg;
 use soteria_corpus::{Corpus, CorpusConfig};
 use soteria_eval::experiments::{self, ALL_EXPERIMENTS, PAPER_EXPERIMENTS};
@@ -50,6 +52,8 @@ fn usage() -> &'static str {
     "usage: soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F] \
      [--out DIR] [--metrics PATH] <experiment>...\n       \
      soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
+     soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
+     soteria-exp serve-smoke [--seed N] [--scale F]\n       \
      soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
      experiments: table2 table3 table4 table6 \
      table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext\n\n       \
@@ -214,6 +218,380 @@ fn run_bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Serving throughput/latency report, serialized to `BENCH_serve.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBenchReport {
+    seed: u64,
+    corpus_scale: f64,
+    requests: usize,
+    unique_binaries: usize,
+    /// Sequential `screen_binary` replay of the same request list — the
+    /// baseline every service run is compared against.
+    sequential: ServeBenchRun,
+    /// Service runs at increasing submitter concurrency.
+    runs: Vec<ServeBenchRun>,
+}
+
+/// One replay of the request list (sequential, or through the service at a
+/// given submitter concurrency).
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBenchRun {
+    concurrency: usize,
+    workers: usize,
+    total_ms: f64,
+    throughput_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    cache_hit_rate: f64,
+    speedup_vs_sequential: f64,
+    bit_identical: bool,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// `serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]` —
+/// replay the synthetic corpus through the screening service at varying
+/// submitter concurrency, comparing throughput and verdicts against a
+/// sequential `screen_binary` replay of the identical request list.
+///
+/// Every request's walk seed is derived from its content
+/// (`request_seed`), so all runs — sequential, any concurrency, cache hit
+/// or miss — must produce bit-identical verdicts; the run fails if any
+/// differ. With `--baseline PATH` the fresh numbers are compared against a
+/// committed report and drift is *noted* (never fatal: wall-clock numbers
+/// are hardware-dependent).
+fn run_serve_bench(argv: &[String]) -> Result<(), String> {
+    use soteria_serve::{request_seed, ScreeningService, ServeConfig, Submit};
+
+    let mut seed = 7u64;
+    let mut scale = 0.01f64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            other => return Err(format!("unknown serve-bench flag {other}\n{}", usage())),
+        }
+    }
+
+    let corpus = Corpus::generate(&CorpusConfig::scaled(scale, seed));
+    let split = corpus.split(0.8, seed);
+    eprintln!(
+        "[serve-bench] corpus scale {scale} -> {} samples; training tiny system...",
+        corpus.len()
+    );
+    let mut system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| format!("serve-bench training failed: {e}"))?;
+
+    // Request list: every held-out binary three times. Repeat passes model
+    // a realistic screening stream (the same binaries resurface) and give
+    // the content-addressed cache real work without making the comparison
+    // trivial — the sequential baseline replays the identical list.
+    let unique: Vec<Vec<u8>> = split
+        .test
+        .iter()
+        .map(|&i| corpus.samples()[i].binary().to_bytes())
+        .collect();
+    let requests: Vec<&[u8]> = unique
+        .iter()
+        .chain(unique.iter())
+        .chain(unique.iter())
+        .map(Vec::as_slice)
+        .collect();
+
+    // Sequential baseline: plain screen_binary replay, content-derived
+    // seeds, no cache, no batching.
+    let mut latencies = Vec::with_capacity(requests.len());
+    let started = std::time::Instant::now();
+    let expected: Vec<Verdict> = requests
+        .iter()
+        .map(|bytes| {
+            let t = std::time::Instant::now();
+            let verdict = system.screen_binary(bytes, request_seed(seed, bytes));
+            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+            verdict
+        })
+        .collect();
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let sequential = ServeBenchRun {
+        concurrency: 1,
+        workers: 0,
+        total_ms,
+        throughput_per_sec: requests.len() as f64 / (total_ms / 1e3),
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p95_ms: percentile_ms(&latencies, 95.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        cache_hit_rate: 0.0,
+        speedup_vs_sequential: 1.0,
+        bit_identical: true,
+    };
+
+    let mut runs = Vec::new();
+    for concurrency in [1usize, 2, 4, 8] {
+        let config = ServeConfig {
+            workers: concurrency,
+            queue_capacity: requests.len().max(1),
+            cache_capacity: requests.len().max(1),
+            cache_shards: 8,
+            batch_window: std::time::Duration::ZERO,
+            max_batch: 32,
+            seed,
+        };
+        let service = ScreeningService::start(system, &config);
+        let started = std::time::Instant::now();
+        // Closed-loop submitters: each thread owns an interleaved slice of
+        // the request list and drives submit → wait back to back.
+        let measured: Vec<(usize, f64, Verdict)> = std::thread::scope(|s| {
+            let service = &service;
+            let requests = &requests;
+            let handles: Vec<_> = (0..concurrency)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in (t..requests.len()).step_by(concurrency) {
+                            let clock = std::time::Instant::now();
+                            let verdict = match service.submit(requests[i].to_vec()) {
+                                Submit::Accepted(ticket) => ticket.wait(),
+                                Submit::Rejected => unreachable!("queue sized to request count"),
+                            };
+                            mine.push((i, clock.elapsed().as_secs_f64() * 1e3, verdict));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect()
+        });
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        let stats = service.stats();
+        system = service.shutdown();
+
+        let bit_identical = measured.iter().all(|(i, _, v)| *v == expected[*i]);
+        let mut latencies: Vec<f64> = measured.iter().map(|&(_, ms, _)| ms).collect();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let throughput = requests.len() as f64 / (total_ms / 1e3);
+        runs.push(ServeBenchRun {
+            concurrency,
+            workers: concurrency,
+            total_ms,
+            throughput_per_sec: throughput,
+            p50_ms: percentile_ms(&latencies, 50.0),
+            p95_ms: percentile_ms(&latencies, 95.0),
+            p99_ms: percentile_ms(&latencies, 99.0),
+            cache_hit_rate: stats.cache.hit_rate(),
+            speedup_vs_sequential: throughput / sequential.throughput_per_sec,
+            bit_identical,
+        });
+    }
+
+    let report = ServeBenchReport {
+        seed,
+        corpus_scale: scale,
+        requests: requests.len(),
+        unique_binaries: unique.len(),
+        sequential,
+        runs,
+    };
+
+    println!(
+        "serve-bench (seed {seed}, scale {scale}, {} requests over {} unique binaries):",
+        report.requests, report.unique_binaries
+    );
+    println!("  mode            req/s    p50ms    p95ms    p99ms  hit%  speedup  identical");
+    let row = |label: &str, run: &ServeBenchRun| {
+        println!(
+            "  {label:<12} {:>8.1} {:>8.2} {:>8.2} {:>8.2} {:>5.0} {:>7.2}x  {}",
+            run.throughput_per_sec,
+            run.p50_ms,
+            run.p95_ms,
+            run.p99_ms,
+            run.cache_hit_rate * 100.0,
+            run.speedup_vs_sequential,
+            if run.bit_identical { "yes" } else { "NO" }
+        );
+    };
+    row("sequential", &report.sequential);
+    for run in &report.runs {
+        row(&format!("service c={}", run.concurrency), run);
+    }
+
+    if report.runs.iter().any(|r| !r.bit_identical) {
+        return Err("serve-bench: service verdicts diverged from sequential replay".into());
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<ServeBenchReport>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(committed) => {
+                for (old, new) in committed.runs.iter().zip(&report.runs) {
+                    let ratio = new.throughput_per_sec / old.throughput_per_sec.max(1e-9);
+                    if ratio < 0.7 {
+                        eprintln!(
+                            "note: serve-bench drift at c={}: {:.1} req/s vs baseline {:.1} \
+                             ({:.0}% of baseline) — wall-clock numbers are hardware-dependent, \
+                             refresh results/BENCH_serve.json if this host is the reference",
+                            new.concurrency,
+                            new.throughput_per_sec,
+                            old.throughput_per_sec,
+                            ratio * 100.0
+                        );
+                    }
+                }
+            }
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// `serve-smoke [--seed N] [--scale F]` — the serving gate for CI: train
+/// the tiny preset, start the service, screen a small mixed batch (clean
+/// binaries plus one corrupted), and assert clean shutdown with exactly
+/// the corrupted sample degraded and consistent cache accounting.
+fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
+    use soteria_serve::{ScreeningService, ServeConfig, Submit};
+
+    let mut seed = 11u64;
+    let mut scale = 0.004f64;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            other => return Err(format!("unknown serve-smoke flag {other}\n{}", usage())),
+        }
+    }
+
+    let corpus = Corpus::generate(&CorpusConfig::scaled(scale, seed));
+    let split = corpus.split(0.8, seed);
+    eprintln!(
+        "[serve-smoke] corpus scale {scale} -> {} samples; training tiny system...",
+        corpus.len()
+    );
+    let system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| format!("serve-smoke training failed: {e}"))?;
+
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 32,
+        cache_shards: 4,
+        batch_window: std::time::Duration::from_millis(1),
+        max_batch: 8,
+        seed,
+    };
+    let service = ScreeningService::start(system, &config);
+
+    // 20 samples: 19 genuine binaries plus one pile of garbage in the
+    // middle, which must degrade — alone.
+    const GARBAGE_AT: usize = 7;
+    let mut requests: Vec<Vec<u8>> = (0..19)
+        .map(|i| {
+            corpus.samples()[split.test[i % split.test.len()]]
+                .binary()
+                .to_bytes()
+        })
+        .collect();
+    requests.insert(GARBAGE_AT, vec![0xA5u8; 64]);
+
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|bytes| match service.submit(bytes.clone()) {
+            Submit::Accepted(ticket) => Ok(ticket),
+            Submit::Rejected => Err("smoke queue rejected a sample (sized for 32)".to_string()),
+        })
+        .collect::<Result<_, _>>()?;
+    let verdicts: Vec<Verdict> = tickets.into_iter().map(|t| t.wait()).collect();
+    let stats = service.stats();
+    let _system = service.shutdown(); // must not panic: clean drain
+
+    let degraded: Vec<usize> = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_degraded())
+        .map(|(i, _)| i)
+        .collect();
+    println!(
+        "serve-smoke: {} verdicts, degraded at {:?}, cache {}/{} hits",
+        verdicts.len(),
+        degraded,
+        stats.cache.hits,
+        stats.cache.lookups
+    );
+    if degraded != vec![GARBAGE_AT] {
+        return Err(format!(
+            "expected exactly the corrupted sample (index {GARBAGE_AT}) to degrade, got {degraded:?}"
+        ));
+    }
+    if stats.cache.hits + stats.cache.misses != stats.cache.lookups {
+        return Err(format!(
+            "cache accounting broken: {} hits + {} misses != {} lookups",
+            stats.cache.hits, stats.cache.misses, stats.cache.lookups
+        ));
+    }
+    if stats.submitted != requests.len() as u64 || stats.rejected != 0 {
+        return Err(format!(
+            "submit accounting broken: {} submitted, {} rejected",
+            stats.submitted, stats.rejected
+        ));
+    }
+    println!("ok: serve smoke passed (clean shutdown, fault isolated)");
+    Ok(())
+}
+
 /// `chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]` — the
 /// fault-injection gate. Returns `Err` (nonzero exit) if any corrupted
 /// sample failed to produce a verdict.
@@ -359,6 +737,28 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("bench") {
         let result = run_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("serve-bench") {
+        let result = run_serve_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("serve-smoke") {
+        let result = run_serve_smoke(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

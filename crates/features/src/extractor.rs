@@ -222,6 +222,17 @@ impl FeatureExtractor {
         2 * self.config.top_k
     }
 
+    /// The fitted DBL vocabulary, in feature order (inspection and
+    /// golden-fixture tooling).
+    pub fn dbl_vocabulary(&self) -> &Vocabulary {
+        &self.dbl_vocab
+    }
+
+    /// The fitted LBL vocabulary, in feature order.
+    pub fn lbl_vocabulary(&self) -> &Vocabulary {
+        &self.lbl_vocab
+    }
+
     /// Extracts features for one sample. `seed` drives this sample's
     /// random walks — pass a fresh value per extraction to exercise the
     /// randomization property, or a fixed one for reproducible tests.
@@ -314,39 +325,61 @@ impl FeatureExtractor {
     ) -> Vec<Result<SampleFeatures, FaultKind>> {
         let _span = soteria_telemetry::span("features.extract_batch");
         soteria_telemetry::counter("features.extract_batch.samples", graphs.len() as u64);
+        if graphs.is_empty() {
+            return Vec::new();
+        }
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(graphs.len().max(1));
+            .min(graphs.len());
         let mut out: Vec<Option<Result<SampleFeatures, FaultKind>>> = vec![None; graphs.len()];
         let chunk = graphs.len().div_ceil(threads.max(1));
+        let mut chunk_faults: Vec<Option<FaultKind>> = vec![None; graphs.len().div_ceil(chunk)];
         let scope_result = crossbeam::thread::scope(|s| {
-            for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                s.spawn(move |_| {
-                    // Per-worker span: the spread between workers shows
-                    // chunking imbalance in the summary table.
-                    let _worker = soteria_telemetry::span("features.extract_batch.worker");
-                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                        let i = start + j;
-                        *slot =
-                            Some(self.try_extract(graphs[i], derive_seed(seed, i as u64), guards));
-                    }
-                });
+            let handles: Vec<_> = out
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(t, slot_chunk)| {
+                    let start = t * chunk;
+                    s.spawn(move |_| {
+                        // Per-worker span: the spread between workers shows
+                        // chunking imbalance in the summary table.
+                        let _worker = soteria_telemetry::span("features.extract_batch.worker");
+                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                            let i = start + j;
+                            *slot = Some(self.try_extract(
+                                graphs[i],
+                                derive_seed(seed, i as u64),
+                                guards,
+                            ));
+                        }
+                    })
+                })
+                .collect();
+            // try_extract confines panics per sample, so a worker dying
+            // outright is unexpected — but if it happens, joining each
+            // handle individually captures the payload as a typed fault for
+            // that worker's chunk instead of unwinding out of the scope (or
+            // silently degrading the whole batch).
+            for (t, handle) in handles.into_iter().enumerate() {
+                if let Err(payload) = handle.join() {
+                    soteria_telemetry::counter("features.extract_batch.worker_deaths", 1);
+                    chunk_faults[t] = Some(FaultKind::from_panic(payload));
+                }
             }
         });
-        // try_extract confines panics per sample, so a worker dying outright
-        // is unexpected — but if it happens, degrade its unfilled slots
-        // instead of aborting the batch.
         if scope_result.is_err() {
+            // Unreachable with every handle joined above; kept so an
+            // upstream crossbeam behavior change stays observable.
             soteria_telemetry::counter("features.extract_batch.worker_deaths", 1);
         }
         out.into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(i, slot)| {
                 slot.unwrap_or_else(|| {
-                    Err(FaultKind::Panic {
+                    Err(chunk_faults[i / chunk].clone().unwrap_or(FaultKind::Panic {
                         message: "extraction worker died before reaching this sample".to_owned(),
-                    })
+                    }))
                 })
             })
             .collect()
@@ -453,6 +486,14 @@ mod tests {
         for (i, f) in batch.iter().enumerate() {
             assert_eq!(f, &ex.extract(&train[i], derive_seed(7, i as u64)));
         }
+    }
+
+    #[test]
+    fn empty_batch_extraction_is_empty() {
+        let (ex, _) = fitted();
+        assert!(ex
+            .extract_batch_isolated(&[], 0, &ResourceGuards::unlimited())
+            .is_empty());
     }
 
     #[test]

@@ -51,6 +51,52 @@ impl Matrix {
         }
     }
 
+    /// Builds a matrix from borrowed sample rows without intermediate
+    /// copies (the micro-batching path stacks rows from many samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing widths or `rows` is empty.
+    pub fn from_row_slices(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend(r.iter().map(|&x| x as f32));
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Splits the matrix into consecutive row groups of the given sizes
+    /// (the inverse of stacking groups for one batched forward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not sum to the row count.
+    pub fn split_rows(&self, counts: &[usize]) -> Vec<Matrix> {
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            self.rows,
+            "split_rows counts must sum to the row count"
+        );
+        let mut out = Vec::with_capacity(counts.len());
+        let mut start = 0usize;
+        for &n in counts {
+            out.push(Matrix {
+                rows: n,
+                cols: self.cols,
+                data: self.data[start * self.cols..(start + n) * self.cols].to_vec(),
+            });
+            start += n;
+        }
+        out
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -429,5 +475,28 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn from_rows_rejects_ragged_input() {
         let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn from_row_slices_matches_from_rows() {
+        let rows = [vec![1.5, 2.5], vec![3.5, 4.5], vec![-1.0, 0.25]];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        assert_eq!(Matrix::from_row_slices(&refs), Matrix::from_rows(&rows));
+    }
+
+    #[test]
+    fn split_rows_partitions_in_order() {
+        let m = Matrix::from_vec(4, 2, vec![0., 1., 2., 3., 4., 5., 6., 7.]);
+        let parts = m.split_rows(&[1, 0, 3]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].data(), &[0., 1.]);
+        assert_eq!((parts[1].rows(), parts[1].cols()), (0, 2));
+        assert_eq!(parts[2].data(), &[2., 3., 4., 5., 6., 7.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the row count")]
+    fn split_rows_rejects_bad_counts() {
+        let _ = Matrix::zeros(3, 2).split_rows(&[1, 1]);
     }
 }

@@ -38,6 +38,31 @@ impl Sequential {
         self.forward(input, false)
     }
 
+    /// Micro-batched inference: stacks every group's rows into one matrix,
+    /// runs a single forward pass (so the threaded matmul amortizes across
+    /// groups), and splits the output back per group.
+    ///
+    /// Every layer's forward pass is row-independent, so each output row
+    /// is bit-identical to what a per-group [`predict`](Sequential::predict)
+    /// would produce — batching is purely a throughput optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if groups have ragged row widths.
+    pub fn predict_stacked(&mut self, groups: &[&[Vec<f64>]]) -> Vec<Matrix> {
+        let rows: Vec<&[f64]> = groups
+            .iter()
+            .flat_map(|g| g.iter().map(Vec::as_slice))
+            .collect();
+        if rows.is_empty() {
+            return groups.iter().map(|_| Matrix::zeros(0, 0)).collect();
+        }
+        let stacked = Matrix::from_row_slices(&rows);
+        let out = self.predict(&stacked);
+        let counts: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        out.split_rows(&counts)
+    }
+
     /// The layer stack (used by model persistence).
     pub fn layers(&self) -> &[Box<dyn Layer>] {
         &self.layers
@@ -136,6 +161,27 @@ mod tests {
         assert_eq!(m.len(), 3);
         let y = m.predict(&Matrix::zeros(1, 3));
         assert_eq!(y.cols(), 1);
+    }
+
+    #[test]
+    fn predict_stacked_matches_per_group_predict() {
+        let mut m = two_layer();
+        let g1: Vec<Vec<f64>> = vec![vec![0.1, -0.2, 0.3], vec![0.5, 0.0, -0.1]];
+        let g2: Vec<Vec<f64>> = vec![vec![-0.4, 0.7, 0.2]];
+        let batched = m.predict_stacked(&[&g1, &g2]);
+        assert_eq!(batched.len(), 2);
+        assert_eq!(batched[0], m.predict(&Matrix::from_rows(&g1)));
+        assert_eq!(batched[1], m.predict(&Matrix::from_rows(&g2)));
+    }
+
+    #[test]
+    fn predict_stacked_handles_empty_input() {
+        let mut m = two_layer();
+        assert!(m.predict_stacked(&[]).is_empty());
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let out = m.predict_stacked(&[&empty]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows(), 0);
     }
 
     #[test]

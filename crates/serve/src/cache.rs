@@ -1,0 +1,323 @@
+//! Sharded, content-addressed verdict cache.
+//!
+//! Keys are [`fnv1a64`] hashes of the raw binary bytes, so two submissions
+//! with identical content share one entry. Because the service derives each
+//! sample's walk seed from the same hash (see
+//! [`request_seed`](crate::request_seed)), a cached verdict is *bit-identical*
+//! to what the cold path would recompute — caching never changes an answer,
+//! only its latency.
+//!
+//! The map is split into shards, each behind its own mutex, so concurrent
+//! submitters rarely contend. Within a shard, eviction is LRU by a per-shard
+//! access tick.
+
+use soteria::Verdict;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit hash over the byte length (little-endian) followed by the
+/// bytes themselves. Folding the length in keeps pathological
+/// prefix-padding inputs from colliding trivially.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in (bytes.len() as u64).to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Point-in-time counters of a [`VerdictCache`].
+///
+/// `lookups == hits + misses` always holds, even under concurrent access:
+/// every lookup increments exactly one of the two outcome counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total [`get`](VerdictCache::get) calls.
+    pub lookups: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Total [`insert`](VerdictCache::insert) calls that stored an entry.
+    pub inserts: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+struct Entry {
+    verdict: Verdict,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// A sharded LRU map from content hash to [`Verdict`].
+pub struct VerdictCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerdictCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `capacity` entries across `shards`
+    /// shards (both rounded up so every shard holds at least one entry).
+    /// A `capacity` of zero disables caching: every lookup misses and
+    /// inserts are dropped.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        VerdictCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // The multiplicative FNV mix leaves the high bits best distributed.
+        let i = (key >> 32) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Looks up a verdict by content hash, refreshing its recency.
+    pub fn get(&self, key: u64) -> Option<Verdict> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            soteria_telemetry::counter("serve.cache.misses", 1);
+            return None;
+        }
+        let mut shard = lock(self.shard(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let verdict = entry.verdict.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                soteria_telemetry::counter("serve.cache.hits", 1);
+                Some(verdict)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                soteria_telemetry::counter("serve.cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a verdict, evicting the shard's least-recently-used entry if
+    /// the shard is full.
+    pub fn insert(&self, key: u64, verdict: Verdict) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = lock(self.shard(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            // O(shard) scan; shards are small enough that a heap or
+            // intrusive list would cost more than it saves.
+            if let Some(&lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                soteria_telemetry::counter("serve.cache.evictions", 1);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                verdict,
+                last_used: tick,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        soteria_telemetry::counter("serve.cache.inserts", 1);
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Locks a shard, recovering from a poisoned mutex: cache state is a plain
+/// map that is valid after any interrupted operation, so a panicking peer
+/// must not wedge every later request.
+fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_resilience::FaultKind;
+
+    fn verdict(tag: f64) -> Verdict {
+        Verdict::Adversarial {
+            reconstruction_error: tag,
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_length_and_content() {
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_eq!(fnv1a64(b"soteria"), fnv1a64(b"soteria"));
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache = VerdictCache::new(8, 2);
+        assert_eq!(cache.get(1), None);
+        cache.insert(1, verdict(0.5));
+        assert_eq!(cache.get(1), Some(verdict(0.5)));
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // Single shard so eviction order is fully observable.
+        let cache = VerdictCache::new(2, 1);
+        cache.insert(1, verdict(1.0));
+        cache.insert(2, verdict(2.0));
+        assert_eq!(cache.get(1), Some(verdict(1.0))); // refresh 1; 2 is now LRU
+        cache.insert(3, verdict(3.0));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(2), None, "cold entry should have been evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_does_not_evict() {
+        let cache = VerdictCache::new(2, 1);
+        cache.insert(1, verdict(1.0));
+        cache.insert(2, verdict(2.0));
+        cache.insert(1, verdict(9.0));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(1), Some(verdict(9.0)));
+        assert_eq!(cache.get(2), Some(verdict(2.0)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = VerdictCache::new(0, 4);
+        cache.insert(1, verdict(1.0));
+        assert_eq!(cache.get(1), None);
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn caches_degraded_verdicts_too() {
+        let cache = VerdictCache::new(4, 1);
+        let v = Verdict::Degraded {
+            reason: FaultKind::Panic {
+                message: "boom".to_owned(),
+            },
+        };
+        cache.insert(7, v.clone());
+        assert_eq!(cache.get(7), Some(v));
+    }
+
+    #[test]
+    fn stats_are_consistent_under_concurrent_hammering() {
+        let cache = std::sync::Arc::new(VerdictCache::new(16, 4));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = (t * 31 + i) % 40;
+                        if cache.get(key).is_none() {
+                            cache.insert(key, verdict(key as f64));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 800);
+        assert_eq!(stats.hits + stats.misses, stats.lookups);
+        assert!(
+            stats.entries <= 16 + 3,
+            "entries {} over cap",
+            stats.entries
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # soteria-serve — concurrent screening as a service
+//!
+//! Wraps a trained [`Soteria`](soteria::Soteria) behind a bounded work
+//! queue, a worker pool, and a micro-batching inference thread, with a
+//! sharded content-addressed verdict cache in front:
+//!
+//! - [`ScreeningService`] — the service itself: `start` → `submit` →
+//!   [`Ticket::wait`] → `shutdown`.
+//! - [`VerdictCache`] — FNV-keyed, sharded, LRU-per-shard memoization of
+//!   verdicts by exact binary content.
+//! - [`protocol`] — the line protocol (path or hex in, JSON verdict out)
+//!   used by `soteria-cli serve`.
+//!
+//! ## Why caching and batching cannot change an answer
+//!
+//! The service seeds each sample's random walks from its *content*
+//! ([`request_seed`]), and every inference stage is row-independent, so a
+//! verdict is a pure function of `(model, bytes, service seed)`. Worker
+//! count, batch window, arrival order, and cache hits are all invisible in
+//! the output — the equivalence suite in the workspace `tests/` directory
+//! asserts this bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+mod service;
+
+pub use cache::{fnv1a64, CacheStats, VerdictCache};
+pub use service::{request_seed, ScreeningService, ServeConfig, ServiceStats, Submit, Ticket};

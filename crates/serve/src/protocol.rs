@@ -1,0 +1,151 @@
+//! Line protocol helpers for the serving front ends.
+//!
+//! One request per line (a filesystem path or `hex:`-prefixed bytes), one
+//! JSON verdict per line back. The encoder is hand-rolled over the small,
+//! closed [`Verdict`] shape so the wire format stays explicit and
+//! dependency-free.
+
+use soteria::Verdict;
+
+/// Encodes a verdict as a single-line JSON object.
+///
+/// Shapes:
+/// - `{"verdict":"adversarial","reconstruction_error":…}`
+/// - `{"verdict":"clean","family":"mirai","reconstruction_error":…,"votes":[…]}`
+/// - `{"verdict":"degraded","kind":"panic","reason":"…"}`
+pub fn verdict_json(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Adversarial {
+            reconstruction_error,
+        } => format!(
+            "{{\"verdict\":\"adversarial\",\"reconstruction_error\":{}}}",
+            json_f64(*reconstruction_error)
+        ),
+        Verdict::Clean {
+            family,
+            reconstruction_error,
+            report,
+        } => {
+            let votes: Vec<String> = report.votes.iter().map(ToString::to_string).collect();
+            format!(
+                "{{\"verdict\":\"clean\",\"family\":\"{}\",\"reconstruction_error\":{},\"votes\":[{}]}}",
+                family.name(),
+                json_f64(*reconstruction_error),
+                votes.join(",")
+            )
+        }
+        Verdict::Degraded { reason } => format!(
+            "{{\"verdict\":\"degraded\",\"kind\":\"{}\",\"reason\":\"{}\"}}",
+            reason.slug(),
+            escape_json(&reason.to_string())
+        ),
+    }
+}
+
+/// A finite float in JSON spelling (`null` for NaN/∞, which JSON cannot
+/// carry as numbers).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Rust's shortest-roundtrip float formatting is valid JSON.
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decodes an even-length hex string (case-insensitive) into bytes.
+pub fn parse_hex(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// Encodes bytes as lowercase hex (the inverse of [`parse_hex`]).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_resilience::FaultKind;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes = vec![0x00, 0xA5, 0xff, 0x10];
+        assert_eq!(parse_hex(&to_hex(&bytes)), Some(bytes.clone()));
+        assert_eq!(parse_hex("00A5FF10"), Some(bytes));
+        assert_eq!(parse_hex("abc"), None, "odd length");
+        assert_eq!(parse_hex("zz"), None, "non-hex digit");
+        assert_eq!(parse_hex(""), Some(Vec::new()));
+    }
+
+    #[test]
+    fn adversarial_and_degraded_encode_stably() {
+        let adv = Verdict::Adversarial {
+            reconstruction_error: 0.25,
+        };
+        assert_eq!(
+            verdict_json(&adv),
+            "{\"verdict\":\"adversarial\",\"reconstruction_error\":0.25}"
+        );
+        let deg = Verdict::Degraded {
+            reason: FaultKind::Panic {
+                message: "say \"hi\"\n".to_owned(),
+            },
+        };
+        let line = verdict_json(&deg);
+        assert!(line.starts_with("{\"verdict\":\"degraded\",\"kind\":\"panic\""));
+        assert!(line.contains("\\\"hi\\\""), "quotes escaped: {line}");
+        assert!(line.contains("\\n"), "newline escaped: {line}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape_json("a\u{01}b"), "a\\u0001b");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+}

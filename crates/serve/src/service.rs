@@ -1,0 +1,576 @@
+//! The concurrent screening service.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit(bytes) ──cache hit──────────────────────────────▶ Ticket(ready)
+//!       │ miss
+//!       ▼
+//!  bounded queue ──▶ worker pool ──▶ batcher ──▶ verdict ──▶ Ticket(wait)
+//!  (try_send:        parse + lift    collects       │
+//!   Full ⇒           + extract,      a window,      └──▶ cache insert
+//!   Rejected)        per-sample      one stacked
+//!                    isolation       CNN pass
+//! ```
+//!
+//! Workers do the embarrassingly parallel front half (container parsing,
+//! lifting, feature extraction) with every fault confined to its sample.
+//! A single batcher thread owns the trained [`Soteria`] and screens queued
+//! samples together — reconstruction errors from one stacked matrix, both
+//! CNNs one forward pass each — so the threaded matmul in `soteria-nn`
+//! amortizes across concurrent requests.
+//!
+//! # Determinism
+//!
+//! Each request's walk seed is [`request_seed`]`(service_seed, bytes)` — a
+//! pure function of the submitted content. Combined with the
+//! row-independence of every inference stage, this makes the service's
+//! verdict for given bytes *bit-identical* regardless of worker count,
+//! batch window, arrival order, or whether the answer came from the cache.
+
+use crate::cache::{fnv1a64, CacheStats, VerdictCache};
+use soteria::{Soteria, Verdict};
+use soteria_features::{FeatureExtractor, SampleFeatures};
+use soteria_resilience::{FaultKind, ResourceGuards};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The walk seed the service uses for submitted content: the content hash
+/// folded with the service seed. Deriving the seed from the bytes (rather
+/// than from arrival order) is what makes verdicts a pure function of
+/// content — and therefore cacheable and reproducible under any
+/// concurrency.
+pub fn request_seed(service_seed: u64, bytes: &[u8]) -> u64 {
+    fnv1a64(bytes) ^ service_seed
+}
+
+/// Tuning knobs for [`ScreeningService::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Extraction worker threads (minimum 1).
+    pub workers: usize,
+    /// Bounded submit-queue depth; a full queue rejects new work
+    /// ([`Submit::Rejected`]) instead of buffering unboundedly.
+    pub queue_capacity: usize,
+    /// Total verdict-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Verdict-cache shard count.
+    pub cache_shards: usize,
+    /// How long the batcher waits for stragglers after the first queued
+    /// sample of a batch. Zero means "batch only what is already queued" —
+    /// still amortizing under load, never adding latency.
+    pub batch_window: Duration,
+    /// Most samples screened in one stacked pass.
+    pub max_batch: usize,
+    /// Service seed folded into every request seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of [`ScreeningService::submit`].
+#[derive(Debug)]
+pub enum Submit {
+    /// The sample was admitted; the ticket resolves to its verdict.
+    Accepted(Ticket),
+    /// The queue was full — backpressure. The caller decides whether to
+    /// retry, shed, or block.
+    Rejected,
+}
+
+impl Submit {
+    /// Whether the sample was turned away.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Submit::Rejected)
+    }
+
+    /// The ticket, if the sample was admitted.
+    pub fn into_ticket(self) -> Option<Ticket> {
+        match self {
+            Submit::Accepted(t) => Some(t),
+            Submit::Rejected => None,
+        }
+    }
+}
+
+/// A claim on one submitted sample's verdict.
+#[derive(Debug)]
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+#[derive(Debug)]
+enum TicketInner {
+    /// Resolved at submit time from the verdict cache.
+    Ready(Verdict),
+    /// In flight; the pipeline replies on this channel.
+    Pending(Receiver<Verdict>),
+}
+
+impl Ticket {
+    /// Whether the verdict came from the cache (already resolved).
+    pub fn is_cached(&self) -> bool {
+        matches!(self.inner, TicketInner::Ready(_))
+    }
+
+    /// Blocks until the verdict is available. Every accepted submission
+    /// resolves: if the service side dies before replying (it should not —
+    /// all per-sample work is fault-isolated), the ticket degrades instead
+    /// of hanging or panicking.
+    pub fn wait(self) -> Verdict {
+        match self.inner {
+            TicketInner::Ready(verdict) => verdict,
+            TicketInner::Pending(rx) => rx.recv().unwrap_or_else(|_| Verdict::Degraded {
+                reason: FaultKind::Panic {
+                    message: "screening service dropped the request".to_owned(),
+                },
+            }),
+        }
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Total [`submit`](ScreeningService::submit) calls.
+    pub submitted: u64,
+    /// Submissions turned away by backpressure.
+    pub rejected: u64,
+    /// Verdict-cache counters.
+    pub cache: CacheStats,
+}
+
+/// One queued request.
+struct Job {
+    bytes: Vec<u8>,
+    key: u64,
+    seed: u64,
+    reply: Sender<Verdict>,
+}
+
+/// A request after the worker half: extracted (or faulted) and waiting for
+/// the batcher.
+struct InferJob {
+    key: u64,
+    seed: u64,
+    reply: Sender<Verdict>,
+    features: Result<SampleFeatures, FaultKind>,
+}
+
+/// A running screening service wrapping one trained [`Soteria`].
+///
+/// Submissions are admitted through a bounded queue, extracted by a worker
+/// pool, screened in micro-batches by a single batcher thread that owns the
+/// model, and memoized in a content-addressed verdict cache. Dropping the
+/// service (or calling [`shutdown`](ScreeningService::shutdown)) drains
+/// every admitted sample before the threads exit.
+#[derive(Debug)]
+pub struct ScreeningService {
+    submit_tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<Soteria>>,
+    cache: Arc<VerdictCache>,
+    seed: u64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ScreeningService {
+    /// Starts the worker pool and batcher around a trained system.
+    pub fn start(soteria: Soteria, config: &ServeConfig) -> Self {
+        let cache = Arc::new(VerdictCache::new(
+            config.cache_capacity,
+            config.cache_shards.max(1),
+        ));
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let submit_rx = Arc::new(Mutex::new(submit_rx));
+        let (infer_tx, infer_rx) = mpsc::channel::<InferJob>();
+
+        let extractor = soteria.extractor().clone();
+        let guards = soteria.config().guards.clone();
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let submit_rx = Arc::clone(&submit_rx);
+                let infer_tx = infer_tx.clone();
+                let extractor = extractor.clone();
+                let guards = guards.clone();
+                std::thread::Builder::new()
+                    .name(format!("soteria-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&submit_rx, &infer_tx, &extractor, &guards))
+                    .expect("spawn screening worker")
+            })
+            .collect();
+        // Workers hold the only remaining senders: once they exit, the
+        // batcher's queue closes and it drains to completion.
+        drop(infer_tx);
+
+        let batch_window = config.batch_window;
+        let max_batch = config.max_batch.max(1);
+        let batcher_cache = Arc::clone(&cache);
+        let batcher = std::thread::Builder::new()
+            .name("soteria-serve-batcher".to_owned())
+            .spawn(move || {
+                batcher_loop(soteria, &infer_rx, batch_window, max_batch, &batcher_cache)
+            })
+            .expect("spawn screening batcher");
+
+        ScreeningService {
+            submit_tx: Some(submit_tx),
+            workers,
+            batcher: Some(batcher),
+            cache,
+            seed: config.seed,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a binary for screening. Identical content always produces an
+    /// identical verdict, so the content-addressed cache is consulted
+    /// first; on a miss the sample enters the bounded queue, and a full
+    /// queue pushes back with [`Submit::Rejected`].
+    pub fn submit(&self, bytes: Vec<u8>) -> Submit {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        soteria_telemetry::counter("serve.submitted", 1);
+        let key = fnv1a64(&bytes);
+        if let Some(verdict) = self.cache.get(key) {
+            return Submit::Accepted(Ticket {
+                inner: TicketInner::Ready(verdict),
+            });
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            seed: key ^ self.seed,
+            bytes,
+            key,
+            reply: reply_tx,
+        };
+        let submit_tx = self
+            .submit_tx
+            .as_ref()
+            .expect("submit on a running service");
+        match submit_tx.try_send(job) {
+            Ok(()) => Submit::Accepted(Ticket {
+                inner: TicketInner::Pending(reply_rx),
+            }),
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                soteria_telemetry::counter("serve.submit.rejected", 1);
+                Submit::Rejected
+            }
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// The service seed (for deriving [`request_seed`] externally).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drains every admitted sample, stops the threads, and hands the model
+    /// back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batcher thread itself died (per-sample faults never
+    /// kill it; this would indicate a bug in the batching scaffolding).
+    pub fn shutdown(mut self) -> Soteria {
+        self.stop_intake();
+        let batcher = self.batcher.take().expect("batcher still attached");
+        match batcher.join() {
+            Ok(soteria) => soteria,
+            Err(_) => panic!("screening batcher thread panicked"),
+        }
+    }
+
+    /// Closes the queue and joins the workers (queued jobs drain first).
+    fn stop_intake(&mut self) {
+        drop(self.submit_tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScreeningService {
+    fn drop(&mut self) {
+        self.stop_intake();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+/// Worker half: pull a job, parse + lift + extract with per-sample fault
+/// isolation, pass the result to the batcher.
+fn worker_loop(
+    submit_rx: &Arc<Mutex<Receiver<Job>>>,
+    infer_tx: &Sender<InferJob>,
+    extractor: &FeatureExtractor,
+    guards: &ResourceGuards,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never while working.
+        let job = {
+            let rx = submit_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let _span = soteria_telemetry::span("serve.worker.extract");
+        let features = extract_features(extractor, guards, &job.bytes, job.seed);
+        let handoff = infer_tx.send(InferJob {
+            key: job.key,
+            seed: job.seed,
+            reply: job.reply,
+            features,
+        });
+        if handoff.is_err() {
+            // Batcher gone; the job's reply sender just dropped, so its
+            // ticket degrades rather than hangs.
+            break;
+        }
+    }
+}
+
+/// Parse → lift → extract with every failure confined to the sample —
+/// exactly the front half of `Soteria::screen_binary`, so verdicts stay
+/// bit-identical to the sequential path.
+fn extract_features(
+    extractor: &FeatureExtractor,
+    guards: &ResourceGuards,
+    bytes: &[u8],
+    seed: u64,
+) -> Result<SampleFeatures, FaultKind> {
+    let lifted = soteria_resilience::isolate(AssertUnwindSafe(|| {
+        let binary = soteria_corpus::Binary::parse(bytes).map_err(FaultKind::from)?;
+        let lifted = soteria_corpus::disasm::lift(&binary).map_err(FaultKind::from)?;
+        Ok(lifted.cfg)
+    }));
+    match lifted {
+        Ok(Ok(cfg)) => extractor.try_extract(&cfg, seed, guards),
+        Ok(Err(fault)) | Err(fault) => Err(fault),
+    }
+}
+
+/// Batcher half: own the model, collect a latency-bounded window of
+/// extracted samples, screen them in one stacked pass, reply and memoize.
+fn batcher_loop(
+    mut soteria: Soteria,
+    infer_rx: &Receiver<InferJob>,
+    window: Duration,
+    max_batch: usize,
+    cache: &VerdictCache,
+) -> Soteria {
+    loop {
+        // Block for the batch's first sample; queue closed means drained.
+        let first = match infer_rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut jobs = vec![first];
+        // Whatever is already queued batches for free — amortization with
+        // zero added latency, even with a zero window.
+        while jobs.len() < max_batch {
+            match infer_rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        // Then wait out the remaining window for stragglers.
+        if !window.is_zero() && jobs.len() < max_batch {
+            let deadline = Instant::now() + window;
+            loop {
+                let now = Instant::now();
+                if now >= deadline || jobs.len() >= max_batch {
+                    break;
+                }
+                match infer_rx.recv_timeout(deadline - now) {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        process_batch(&mut soteria, jobs, cache);
+    }
+    soteria
+}
+
+/// Screens one collected batch and resolves its tickets.
+fn process_batch(soteria: &mut Soteria, jobs: Vec<InferJob>, cache: &VerdictCache) {
+    let _span = soteria_telemetry::span("serve.batch");
+    soteria_telemetry::record("serve.batch.size", jobs.len() as f64);
+    let mut pending: Vec<(u64, Sender<Verdict>, Option<Verdict>)> = Vec::with_capacity(jobs.len());
+    let mut items: Vec<(SampleFeatures, u64)> = Vec::new();
+    let mut item_slots: Vec<usize> = Vec::new();
+    for job in jobs {
+        match job.features {
+            Ok(features) => {
+                item_slots.push(pending.len());
+                items.push((features, job.seed));
+                pending.push((job.key, job.reply, None));
+            }
+            Err(fault) => {
+                soteria_telemetry::counter("serve.verdicts.degraded", 1);
+                pending.push((
+                    job.key,
+                    job.reply,
+                    Some(Verdict::Degraded { reason: fault }),
+                ));
+            }
+        }
+    }
+    let screened = soteria.screen_features_batch(&items);
+    for (slot, verdict) in item_slots.into_iter().zip(screened) {
+        pending[slot].2 = Some(verdict);
+    }
+    for (key, reply, verdict) in pending {
+        let verdict = verdict.expect("every batched job resolved");
+        cache.insert(key, verdict.clone());
+        // A dropped receiver just means the submitter stopped waiting.
+        let _ = reply.send(verdict);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria::SoteriaConfig;
+    use soteria_corpus::{Corpus, CorpusConfig};
+
+    fn trained() -> (Soteria, Vec<Vec<u8>>) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [8, 8, 8, 8],
+            seed: 77,
+            av_noise: false,
+            lineages: 3,
+        });
+        let split = corpus.split(0.75, 1);
+        let soteria =
+            Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 5).expect("train");
+        let binaries = split
+            .test
+            .iter()
+            .map(|&i| corpus.samples()[i].binary().to_bytes())
+            .collect();
+        (soteria, binaries)
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            cache_shards: 4,
+            batch_window: Duration::from_millis(1),
+            max_batch: 8,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn service_matches_sequential_screening_and_shuts_down_clean() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(soteria, &config());
+        let tickets: Vec<Ticket> = binaries
+            .iter()
+            .map(|b| {
+                service
+                    .submit(b.clone())
+                    .into_ticket()
+                    .expect("queue has room")
+            })
+            .collect();
+        let served: Vec<Verdict> = tickets.into_iter().map(Ticket::wait).collect();
+        let mut soteria = service.shutdown();
+        let sequential: Vec<Verdict> = binaries
+            .iter()
+            .map(|b| soteria.screen_binary(b, request_seed(9, b)))
+            .collect();
+        assert_eq!(served, sequential);
+    }
+
+    #[test]
+    fn resubmitting_identical_content_hits_the_cache() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(soteria, &config());
+        let cold = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("accepted");
+        assert!(!cold.is_cached());
+        let cold_verdict = cold.wait();
+        let warm = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("accepted");
+        assert!(warm.is_cached(), "verdict should be memoized");
+        assert_eq!(warm.wait(), cold_verdict);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.hits + stats.cache.misses, stats.cache.lookups);
+        drop(service);
+    }
+
+    #[test]
+    fn garbage_degrades_without_killing_the_service() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(soteria, &config());
+        let garbage = service
+            .submit(vec![0xA5u8; 64])
+            .into_ticket()
+            .expect("accepted")
+            .wait();
+        assert!(garbage.is_degraded(), "garbage must degrade: {garbage:?}");
+        // The service keeps answering real requests afterwards.
+        let real = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("accepted")
+            .wait();
+        let mut soteria = service.shutdown();
+        assert_eq!(
+            real,
+            soteria.screen_binary(&binaries[0], request_seed(9, &binaries[0]))
+        );
+    }
+
+    #[test]
+    fn drop_without_shutdown_still_drains() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(soteria, &config());
+        let ticket = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("accepted");
+        drop(service);
+        // The in-flight sample was drained before the threads exited, so
+        // the ticket resolves to a real verdict (not a drop-degrade).
+        let verdict = ticket.wait();
+        assert!(!verdict.is_degraded(), "drained verdict: {verdict:?}");
+    }
+}

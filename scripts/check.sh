@@ -20,4 +20,21 @@ cargo test -q --workspace
 echo "==> chaos gate: soteria-exp chaos --seed 42 --samples 200"
 cargo run -q --release -p soteria-eval --bin soteria-exp -- chaos --seed 42 --samples 200
 
+# Serve smoke gate: a live ScreeningService under a clean/garbage mix must
+# accept every submission, degrade exactly the malformed one, keep the
+# cache accounting consistent, and shut down without panicking.
+echo "==> serve gate: soteria-exp serve-smoke"
+cargo run -q --release -p soteria-eval --bin soteria-exp -- serve-smoke
+
+# Bench-drift note (non-fatal): wall-clock throughput is hardware-bound,
+# so a slowdown against the committed baseline only prints a warning —
+# but a non-bit-identical serve run fails the command itself.
+if [[ -f results/BENCH_serve.json ]]; then
+    echo "==> serve bench drift check vs results/BENCH_serve.json"
+    tmpdir="$(mktemp -d)"
+    cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+        serve-bench --out "$tmpdir" --baseline results/BENCH_serve.json
+    rm -rf "$tmpdir"
+fi
+
 echo "==> all checks passed"

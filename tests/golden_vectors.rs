@@ -1,0 +1,129 @@
+//! Golden-vector regression fixtures for the feature extractor.
+//!
+//! A committed fixture (`tests/fixtures/golden_features.json`) pins, for a
+//! fixed corpus seed and extractor seed:
+//!
+//! * the top grams of the fitted DBL and LBL vocabularies (label paths),
+//! * a CRC-32 of each sample's combined TF-IDF vector (f64 little-endian
+//!   bytes).
+//!
+//! Any drift in walk generation, gram counting, vocabulary selection, or
+//! TF-IDF weighting fails this test loudly. If the drift is *intentional*
+//! (an algorithm change, not an accident), regenerate the fixture with:
+//!
+//! ```text
+//! SOTERIA_BLESS=1 cargo test --test golden_vectors
+//! ```
+
+use serde::{Deserialize, Serialize};
+use soteria_corpus::{Corpus, CorpusConfig};
+use soteria_features::{ExtractorConfig, FeatureExtractor};
+use soteria_resilience::crc32;
+use std::path::PathBuf;
+
+const CORPUS_SEED: u64 = 123;
+const EXTRACTOR_SEED: u64 = 7;
+const SAMPLES: usize = 6;
+const TOP_GRAMS: usize = 12;
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenFixture {
+    corpus_seed: u64,
+    extractor_seed: u64,
+    combined_dim: usize,
+    dbl_top_grams: Vec<Vec<usize>>,
+    lbl_top_grams: Vec<Vec<usize>>,
+    samples: Vec<GoldenSample>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenSample {
+    index: usize,
+    walk_seed: u64,
+    combined_crc32: u32,
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_features.json")
+}
+
+fn compute_current() -> GoldenFixture {
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: [8, 8, 8, 8],
+        seed: CORPUS_SEED,
+        av_noise: false,
+        lineages: 3,
+    });
+    let graphs: Vec<_> = corpus
+        .samples()
+        .iter()
+        .take(SAMPLES)
+        .map(|s| s.graph().clone())
+        .collect();
+    let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &graphs, EXTRACTOR_SEED);
+
+    let top = |grams: &[soteria_features::ngram::Gram]| -> Vec<Vec<usize>> {
+        grams.iter().take(TOP_GRAMS).map(|g| g.labels()).collect()
+    };
+    let samples = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let walk_seed = 1_000 + i as u64;
+            let features = extractor.extract(g, walk_seed);
+            let mut bytes = Vec::with_capacity(features.combined().len() * 8);
+            for &x in features.combined() {
+                bytes.extend_from_slice(&x.to_le_bytes());
+            }
+            GoldenSample {
+                index: i,
+                walk_seed,
+                combined_crc32: crc32(&bytes),
+            }
+        })
+        .collect();
+
+    GoldenFixture {
+        corpus_seed: CORPUS_SEED,
+        extractor_seed: EXTRACTOR_SEED,
+        combined_dim: extractor.combined_dim(),
+        dbl_top_grams: top(extractor.dbl_vocabulary().grams()),
+        lbl_top_grams: top(extractor.lbl_vocabulary().grams()),
+        samples,
+    }
+}
+
+#[test]
+fn feature_extractor_matches_committed_golden_vectors() {
+    let current = compute_current();
+    let path = fixture_path();
+
+    if std::env::var("SOTERIA_BLESS").is_ok() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize fixture");
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        eprintln!("blessed golden fixture at {}", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             `SOTERIA_BLESS=1 cargo test --test golden_vectors`",
+            path.display()
+        )
+    });
+    let recorded: GoldenFixture = serde_json::from_str(&raw).expect("parse golden fixture");
+
+    assert_eq!(
+        recorded,
+        current,
+        "FEATURE EXTRACTOR DRIFT: the pipeline no longer reproduces the \
+         committed golden vectors in {}. If this change is intentional, \
+         re-bless with `SOTERIA_BLESS=1 cargo test --test golden_vectors` \
+         and explain the drift in the commit message; otherwise this is a \
+         regression in walks, gram counting, vocabulary selection, or \
+         TF-IDF weighting.",
+        fixture_path().display()
+    );
+}

@@ -1,9 +1,11 @@
 //! Determinism across the whole stack: equal seeds must give bit-equal
 //! corpora, feature vectors, model statistics and verdicts.
 
-use soteria::{Soteria, SoteriaConfig};
+use soteria::{Soteria, SoteriaConfig, Verdict};
 use soteria_corpus::{Corpus, CorpusConfig};
 use soteria_features::{ExtractorConfig, FeatureExtractor};
+use soteria_serve::{ScreeningService, ServeConfig};
+use std::time::Duration;
 
 fn config() -> CorpusConfig {
     CorpusConfig {
@@ -62,6 +64,48 @@ fn trained_detector_stats_are_reproducible() {
         let g = corpus.samples()[idx].graph();
         assert_eq!(a.analyze(g, i as u64), b.analyze(g, i as u64));
     }
+}
+
+#[test]
+fn screening_service_reproduces_a_recorded_run() {
+    // Same corpus seed, same training seed, same service seed: two
+    // independently-trained systems behind services with *different*
+    // worker counts and batch windows must replay the exact same verdict
+    // list. Request seeds derive from content, so neither scheduling nor
+    // batching can leak into the answers.
+    let corpus = Corpus::generate(&config());
+    let split = corpus.split(0.8, 1);
+    let requests: Vec<Vec<u8>> = split
+        .test
+        .iter()
+        .map(|&i| corpus.samples()[i].binary().to_bytes())
+        .collect();
+
+    let run = |workers: usize, window: Duration| -> Vec<Verdict> {
+        let soteria =
+            Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 3).expect("train");
+        let service = ScreeningService::start(
+            soteria,
+            &ServeConfig {
+                workers,
+                queue_capacity: requests.len().max(1),
+                batch_window: window,
+                seed: 99,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|b| service.submit(b.clone()).into_ticket().expect("accepted"))
+            .collect();
+        let verdicts = tickets.into_iter().map(|t| t.wait()).collect();
+        drop(service.shutdown());
+        verdicts
+    };
+
+    let recorded = run(1, Duration::ZERO);
+    let replayed = run(3, Duration::from_millis(2));
+    assert_eq!(recorded, replayed);
 }
 
 #[test]
