@@ -428,19 +428,23 @@ impl Soteria {
         soteria_telemetry::counter("pipeline.screen_many.samples", items.len() as u64);
         let guards = self.config.guards.clone();
         let extractor = &self.extractor;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(items.len());
-        let chunk = items.len().div_ceil(threads.max(1));
+        // Extraction chunks run on the shared soteria-nn worker pool (the
+        // same threads the batched forward passes below will use), with the
+        // calling thread participating as one more worker.
+        let jobs = (soteria_nn::backend::warm() + 1).min(items.len());
+        let chunk = items.len().div_ceil(jobs.max(1));
         let mut extracted: Vec<Option<Result<SampleFeatures, FaultKind>>> = vec![None; items.len()];
-        let scope_result = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .zip(extracted.chunks_mut(chunk))
-                .map(|(item_chunk, slot_chunk)| {
-                    let guards = &guards;
-                    s.spawn(move |_| {
+        let tasks: Vec<soteria_nn::backend::ScopedTask<'_>> = items
+            .chunks(chunk)
+            .zip(extracted.chunks_mut(chunk))
+            .map(|(item_chunk, slot_chunk)| {
+                let guards = &guards;
+                Box::new(move || {
+                    // Every stage below is isolated per sample, so this
+                    // outer isolate tripping is unexpected — but it keeps a
+                    // stray panic from poisoning the pool barrier; the
+                    // chunk's unfilled slots degrade individually below.
+                    let worker = soteria_resilience::isolate(AssertUnwindSafe(|| {
                         for ((bytes, seed), slot) in item_chunk.iter().zip(slot_chunk) {
                             let lifted = soteria_resilience::isolate(AssertUnwindSafe(|| {
                                 let binary = soteria_corpus::Binary::parse(bytes)
@@ -454,24 +458,14 @@ impl Soteria {
                                 Ok(Err(fault)) | Err(fault) => Err(fault),
                             });
                         }
-                    })
-                })
-                .collect();
-            // Every stage above is isolated per sample, so a worker dying is
-            // unexpected — but joining each handle keeps a panic from
-            // unwinding out of the scope; its chunk's unfilled slots degrade
-            // individually below.
-            for handle in handles {
-                if handle.join().is_err() {
-                    soteria_telemetry::counter("pipeline.screen_many.worker_deaths", 1);
-                }
-            }
-        });
-        if scope_result.is_err() {
-            // Unreachable with every handle joined above; kept so an
-            // upstream crossbeam behavior change stays observable.
-            soteria_telemetry::counter("pipeline.screen_many.worker_deaths", 1);
-        }
+                    }));
+                    if worker.is_err() {
+                        soteria_telemetry::counter("pipeline.screen_many.worker_deaths", 1);
+                    }
+                }) as soteria_nn::backend::ScopedTask<'_>
+            })
+            .collect();
+        soteria_nn::backend::run_scoped(tasks);
 
         let mut verdicts: Vec<Option<Verdict>> = vec![None; items.len()];
         let mut batch: Vec<(SampleFeatures, u64)> = Vec::new();

@@ -4,6 +4,7 @@
 //! soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F]
 //!             [--out DIR] [--metrics PATH] <experiment>...
 //! soteria-exp bench [--seed N] [--scale F] [--out DIR]
+//! soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
 //! soteria-exp serve-smoke [--seed N] [--scale F]
 //! soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]
@@ -52,6 +53,7 @@ fn usage() -> &'static str {
     "usage: soteria-exp [--preset quick|standard|paper] [--seed N] [--scale F] \
      [--out DIR] [--metrics PATH] <experiment>...\n       \
      soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
+     soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
      soteria-exp serve-smoke [--seed N] [--scale F]\n       \
      soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
@@ -212,6 +214,296 @@ fn run_bench(argv: &[String]) -> Result<(), String> {
 
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let path = out.join("BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Compute-kernel throughput report, serialized to `BENCH_nn.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct NnBenchReport {
+    seed: u64,
+    smoke: bool,
+    /// Worker threads in the shared pool (the caller participates too).
+    pool_threads: usize,
+    matmul: Vec<MatmulBench>,
+    conv1d: Conv1dBench,
+    classifier: ClassifierBench,
+}
+
+/// One `matmul` shape: `[m×k]·[k×n]`, best-of-reps wall time.
+#[derive(Debug, Serialize, Deserialize)]
+struct MatmulBench {
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    best_ms: f64,
+    gflops: f64,
+}
+
+/// Conv1d forward/backward throughput on a CNN-classifier-like shape.
+#[derive(Debug, Serialize, Deserialize)]
+struct Conv1dBench {
+    batch: usize,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    length: usize,
+    reps: usize,
+    forward_samples_per_sec: f64,
+    backward_samples_per_sec: f64,
+}
+
+/// Full training-loop throughput of a small conv classifier.
+#[derive(Debug, Serialize, Deserialize)]
+struct ClassifierBench {
+    samples: usize,
+    epochs: usize,
+    epochs_per_sec: f64,
+    final_loss: f32,
+}
+
+/// `nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]` — time
+/// the soteria-nn compute backend in isolation: blocked-GEMM throughput by
+/// shape, im2col Conv1d forward/backward throughput, and epochs/sec of a
+/// small end-to-end classifier training loop. `--smoke` shrinks every
+/// dimension for the CI gate. With `--baseline PATH`, drift against a
+/// committed report is *noted* (never fatal: wall-clock numbers are
+/// hardware-dependent).
+fn run_nn_bench(argv: &[String]) -> Result<(), String> {
+    use soteria_nn::{
+        Activation, Conv1d, Dense, Layer, Loss, Matrix, MaxPool1d, Sequential, TrainConfig, Trainer,
+    };
+
+    let mut seed = 7u64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown nn-bench flag {other}\n{}", usage())),
+        }
+    }
+
+    let pool_threads = soteria_nn::backend::warm();
+
+    // Deterministic dense filler (no zeros: the zero-skip fast path would
+    // flatter the FLOP count).
+    let fill = |len: usize, mut s: u64| -> Vec<f32> {
+        s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 1999) as f32 - 999.0) / 1000.0 + 1.5e-4
+            })
+            .collect()
+    };
+
+    // GEMM shapes drawn from the models in this repo: the AE detector's
+    // dense stack (1000→2000→3000) and the CNN classifier's batch GEMMs.
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(64, 256, 256), (32, 1000, 200)]
+    } else {
+        &[
+            (128, 1000, 2000),
+            (128, 2000, 3000),
+            (64, 256, 256),
+            (256, 512, 512),
+        ]
+    };
+    let reps = if smoke { 2 } else { 5 };
+    let mut matmul = Vec::new();
+    for &(m, k, n) in shapes {
+        let a = Matrix::from_vec(m, k, fill(m * k, seed ^ (m as u64)));
+        let b = Matrix::from_vec(k, n, fill(k * n, seed ^ (n as u64)));
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            let c = a.matmul(&b);
+            let dt = t.elapsed().as_secs_f64();
+            assert!(c.data()[0].is_finite());
+            best = best.min(dt);
+        }
+        matmul.push(MatmulBench {
+            m,
+            k,
+            n,
+            reps,
+            best_ms: best * 1e3,
+            gflops: 2.0 * (m * k * n) as f64 / best / 1e9,
+        });
+    }
+
+    // Conv1d on a classifier-like shape (the paper's CNN runs 64-channel
+    // 1-D convolutions over length-~1000 feature rows).
+    let (batch, in_c, out_c, kernel, length) = if smoke {
+        (8, 1, 8, 3, 256)
+    } else {
+        (32, 4, 16, 5, 1024)
+    };
+    let conv_reps = if smoke { 3 } else { 10 };
+    let mut conv = Conv1d::new(in_c, out_c, kernel, length, true, seed);
+    let x = Matrix::from_vec(
+        batch,
+        in_c * length,
+        fill(batch * in_c * length, seed ^ 0xC0),
+    );
+    let g = Matrix::from_vec(
+        batch,
+        out_c * length,
+        fill(batch * out_c * length, seed ^ 0xC1),
+    );
+    let mut fwd_best = f64::INFINITY;
+    let mut bwd_best = f64::INFINITY;
+    for _ in 0..conv_reps {
+        let t = std::time::Instant::now();
+        let y = conv.forward(&x, true);
+        fwd_best = fwd_best.min(t.elapsed().as_secs_f64());
+        assert!(y.data()[0].is_finite());
+        let t = std::time::Instant::now();
+        let gi = conv.backward(&g);
+        bwd_best = bwd_best.min(t.elapsed().as_secs_f64());
+        assert!(gi.data()[0].is_finite());
+        conv.zero_grads();
+    }
+    let conv1d = Conv1dBench {
+        batch,
+        in_channels: in_c,
+        out_channels: out_c,
+        kernel,
+        length,
+        reps: conv_reps,
+        forward_samples_per_sec: batch as f64 / fwd_best,
+        backward_samples_per_sec: batch as f64 / bwd_best,
+    };
+
+    // End-to-end: a small conv classifier trained with the real Trainer
+    // (batch gather, forward, backward, optimizer step).
+    let (samples, feat_len, epochs) = if smoke { (64, 64, 2) } else { (256, 256, 8) };
+    let mut model = Sequential::new(vec![
+        Box::new(Conv1d::new(1, 8, 3, feat_len, true, seed)),
+        Box::new(MaxPool1d::new(8, feat_len, 2)),
+        Box::new(Dense::new(
+            8 * (feat_len / 2),
+            32,
+            Activation::Relu,
+            seed ^ 1,
+        )),
+        Box::new(Dense::new(32, 2, Activation::Linear, seed ^ 2)),
+    ]);
+    let train_x = Matrix::from_vec(samples, feat_len, fill(samples * feat_len, seed ^ 0xF0));
+    let labels: Vec<usize> = (0..samples).map(|i| i % 2).collect();
+    let train_t = soteria_nn::loss::one_hot(&labels, 2);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 32,
+        learning_rate: 1e-3,
+        seed,
+        ..TrainConfig::default()
+    });
+    let history = trainer.fit(&mut model, &train_x, &train_t, Loss::SoftmaxCrossEntropy);
+    let classifier = ClassifierBench {
+        samples,
+        epochs: history.epoch_losses.len(),
+        epochs_per_sec: history.epoch_losses.len() as f64 / (history.total_time_ms() / 1e3),
+        final_loss: history.final_loss(),
+    };
+
+    let report = NnBenchReport {
+        seed,
+        smoke,
+        pool_threads,
+        matmul,
+        conv1d,
+        classifier,
+    };
+
+    println!(
+        "nn-bench (seed {seed}{}, {} pool threads):",
+        if smoke { ", smoke" } else { "" },
+        report.pool_threads
+    );
+    println!("  matmul         m      k      n   best ms   GFLOP/s");
+    for mm in &report.matmul {
+        println!(
+            "         {:>7} {:>6} {:>6} {:>9.2} {:>9.2}",
+            mm.m, mm.k, mm.n, mm.best_ms, mm.gflops
+        );
+    }
+    println!(
+        "  conv1d  [{}x{}c len {} k{} -> {}c]  fwd {:>8.1} samples/s  bwd {:>8.1} samples/s",
+        report.conv1d.batch,
+        report.conv1d.in_channels,
+        report.conv1d.length,
+        report.conv1d.kernel,
+        report.conv1d.out_channels,
+        report.conv1d.forward_samples_per_sec,
+        report.conv1d.backward_samples_per_sec
+    );
+    println!(
+        "  classifier  {} samples x {} epochs  {:.2} epochs/s  final loss {:.4}",
+        report.classifier.samples,
+        report.classifier.epochs,
+        report.classifier.epochs_per_sec,
+        report.classifier.final_loss
+    );
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<NnBenchReport>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(committed) => {
+                for old in &committed.matmul {
+                    let Some(new) = report
+                        .matmul
+                        .iter()
+                        .find(|b| (b.m, b.k, b.n) == (old.m, old.k, old.n))
+                    else {
+                        continue;
+                    };
+                    let ratio = new.gflops / old.gflops.max(1e-9);
+                    if ratio < 0.7 {
+                        eprintln!(
+                            "note: nn-bench drift at {}x{}x{}: {:.2} GFLOP/s vs baseline {:.2} \
+                             ({:.0}% of baseline) — wall-clock numbers are hardware-dependent, \
+                             refresh results/BENCH_nn.json if this host is the reference",
+                            new.m,
+                            new.k,
+                            new.n,
+                            new.gflops,
+                            old.gflops,
+                            ratio * 100.0
+                        );
+                    }
+                }
+            }
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_nn.json");
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {}", path.display());
@@ -737,6 +1029,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("bench") {
         let result = run_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("nn-bench") {
+        let result = run_nn_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

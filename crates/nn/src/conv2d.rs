@@ -5,7 +5,12 @@
 //! Layout: channel-major, then row-major within a channel:
 //! `row = [c0 r0c0..r0cW, c0 r1c0.., ..., c1 ...]`. Same zero padding,
 //! stride 1, odd square kernels.
+//!
+//! Like [`crate::conv::Conv1d`], forward and backward are lowered onto
+//! GEMM via im2col with the naive loops retained as bit-identity oracles
+//! ([`Conv2d::forward_reference`] / [`Conv2d::backward_reference`]).
 
+use crate::backend;
 use crate::init;
 use crate::layer::Layer;
 use crate::matrix::Matrix;
@@ -20,17 +25,33 @@ pub struct Conv2d {
     height: usize,
     width: usize,
     relu: bool,
-    /// `[out_c × in_c × kernel × kernel]`, flattened.
+    /// `[out_c × in_c × kernel × kernel]`, flattened — equivalently a
+    /// row-major `[out_c × (in_c·kernel²)]` GEMM operand.
     weights: Vec<f32>,
     bias: Vec<f32>,
     #[serde(skip)]
     grad_weights: Vec<f32>,
     #[serde(skip)]
     grad_bias: Vec<f32>,
+    /// im2col of the last forward batch (per sample, `h·w` pixel rows of
+    /// `in_c·kernel²` patch columns). Reused across steps.
     #[serde(skip)]
-    cached_input: Option<Matrix>,
+    col: Vec<f32>,
+    /// ReLU mask of the last training forward.
     #[serde(skip)]
-    cached_output: Option<Matrix>,
+    mask: Vec<u8>,
+    /// Masked upstream gradient arena.
+    #[serde(skip)]
+    delta: Vec<f32>,
+    /// Per-job im2col scratch for the transposed convolution.
+    #[serde(skip)]
+    delta_col: Vec<f32>,
+    /// 180°-rotated kernels `[in_c × (out_c·kernel²)]` for grad-input.
+    #[serde(skip)]
+    wflip: Vec<f32>,
+    /// Batch size of the pending training forward (arms `backward`).
+    #[serde(skip)]
+    cached_rows: Option<usize>,
 }
 
 impl Conv2d {
@@ -61,8 +82,12 @@ impl Conv2d {
             bias: vec![0.0; out_channels],
             grad_weights: vec![0.0; out_channels * fan_in],
             grad_bias: vec![0.0; out_channels],
-            cached_input: None,
-            cached_output: None,
+            col: Vec::new(),
+            mask: Vec::new(),
+            delta: Vec::new(),
+            delta_col: Vec::new(),
+            wflip: Vec::new(),
+            cached_rows: None,
         }
     }
 
@@ -77,7 +102,7 @@ impl Conv2d {
     }
 
     /// Restores transient buffers after deserialization (serde skips the
-    /// gradient/cache fields).
+    /// gradient/arena fields).
     pub fn rebuild_buffers(&mut self) {
         self.grad_weights = vec![0.0; self.weights.len()];
         self.grad_bias = vec![0.0; self.bias.len()];
@@ -87,10 +112,10 @@ impl Conv2d {
     fn w_index(&self, oc: usize, ic: usize, kr: usize, kc: usize) -> usize {
         ((oc * self.in_channels + ic) * self.kernel + kr) * self.kernel + kc
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+    /// The original nested-loop forward, kept as the bit-identity oracle
+    /// for the im2col lowering (no caching, no mutation).
+    pub fn forward_reference(&self, input: &Matrix) -> Matrix {
         assert_eq!(input.cols(), self.in_width(), "conv2d input width mismatch");
         let (h, w, half) = (self.height, self.width, self.kernel / 2);
         let plane = h * w;
@@ -124,22 +149,20 @@ impl Layer for Conv2d {
                 }
             }
         }
-        if train {
-            self.cached_input = Some(input.clone());
-            self.cached_output = Some(out.clone());
-        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .take()
-            .expect("backward without forward(train=true)");
-        let output = self.cached_output.take().expect("output cache present");
+    /// The original naive backward, kept as the bit-identity oracle.
+    /// Returns `(grad_in, grad_weights, grad_bias)` accumulated from zero
+    /// for the given forward pass (`output = forward_reference(input)`).
+    pub fn backward_reference(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        grad_out: &Matrix,
+    ) -> (Matrix, Vec<f32>, Vec<f32>) {
         let (h, w, half) = (self.height, self.width, self.kernel / 2);
         let plane = h * w;
-
         let mut delta = grad_out.clone();
         if self.relu {
             for (d, &y) in delta.data_mut().iter_mut().zip(output.data()) {
@@ -148,10 +171,14 @@ impl Layer for Conv2d {
                 }
             }
         }
-
+        let mut grad_weights = vec![0.0f32; self.weights.len()];
+        let mut grad_bias = vec![0.0f32; self.bias.len()];
         let mut grad_in = Matrix::zeros(input.rows(), self.in_width());
         for r in 0..input.rows() {
             let x = input.row(r);
+            // Index loops are the point here: this is the naive oracle,
+            // written to mirror the paper's triple loop literally.
+            #[allow(clippy::needless_range_loop)]
             for oc in 0..self.out_channels {
                 for row in 0..h {
                     for col in 0..w {
@@ -159,7 +186,7 @@ impl Layer for Conv2d {
                         if g == 0.0 {
                             continue;
                         }
-                        self.grad_bias[oc] += g;
+                        grad_bias[oc] += g;
                         for ic in 0..self.in_channels {
                             let base = ic * plane;
                             for kr in 0..self.kernel {
@@ -174,7 +201,7 @@ impl Layer for Conv2d {
                                     }
                                     let xi = base + ri as usize * w + ci as usize;
                                     let wi = self.w_index(oc, ic, kr, kc);
-                                    self.grad_weights[wi] += g * x[xi];
+                                    grad_weights[wi] += g * x[xi];
                                     grad_in.row_mut(r)[xi] += g * self.weights[wi];
                                 }
                             }
@@ -183,6 +210,186 @@ impl Layer for Conv2d {
                 }
             }
         }
+        (grad_in, grad_weights, grad_bias)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_width(), "conv2d input width mismatch");
+        let rows = input.rows();
+        let plane = self.height * self.width;
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let ow = self.out_width();
+        let mut out = Matrix::zeros(rows, ow);
+        backend::ensure_len(&mut self.col, rows * plane * patch);
+        let with_mask = train && self.relu;
+        self.mask.resize(if with_mask { rows * ow } else { 0 }, 0);
+
+        let jobs = backend::job_count(
+            rows * self.out_channels * plane * patch.saturating_mul(2),
+            rows,
+        );
+        let rows_per = rows.div_ceil(jobs.max(1)).max(1);
+        let (weights, bias, relu) = (&self.weights, &self.bias, self.relu);
+        let (in_c, kernel, h, w) = (self.in_channels, self.kernel, self.height, self.width);
+        let mut tasks: Vec<backend::ScopedTask<'_>> = Vec::with_capacity(jobs);
+        let mut col_rest: &mut [f32] = &mut self.col;
+        let mut mask_rest: &mut [u8] = &mut self.mask;
+        let mut out_rest: &mut [f32] = out.data_mut();
+        let mut r0 = 0usize;
+        while r0 < rows {
+            let nr = rows_per.min(rows - r0);
+            let (col_c, rest) = col_rest.split_at_mut(nr * plane * patch);
+            col_rest = rest;
+            let (out_c, rest) = out_rest.split_at_mut(nr * ow);
+            out_rest = rest;
+            let (mask_c, rest) = if with_mask {
+                mask_rest.split_at_mut(nr * ow)
+            } else {
+                (&mut [][..], mask_rest)
+            };
+            mask_rest = rest;
+            let base = r0;
+            tasks.push(Box::new(move || {
+                for r in 0..nr {
+                    let colr = &mut col_c[r * plane * patch..(r + 1) * plane * patch];
+                    backend::im2col_2d(input.row(base + r), in_c, h, w, kernel, colr);
+                    let y = &mut out_c[r * ow..(r + 1) * ow];
+                    backend::gemm_nt_serial(weights, colr, patch, plane, Some(bias), y);
+                    if relu {
+                        if with_mask {
+                            let m = &mut mask_c[r * ow..(r + 1) * ow];
+                            for (v, mv) in y.iter_mut().zip(m.iter_mut()) {
+                                let act = v.max(0.0);
+                                *v = act;
+                                *mv = u8::from(act > 0.0);
+                            }
+                        } else {
+                            for v in y.iter_mut() {
+                                *v = v.max(0.0);
+                            }
+                        }
+                    }
+                }
+            }));
+            r0 += nr;
+        }
+        backend::run_scoped(tasks);
+        if train {
+            self.cached_rows = Some(rows);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let rows = self
+            .cached_rows
+            .take()
+            .expect("backward without forward(train=true)");
+        let plane = self.height * self.width;
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let ow = self.out_width();
+        assert_eq!(grad_out.rows(), rows, "conv2d grad batch mismatch");
+        assert_eq!(grad_out.cols(), ow, "conv2d grad width mismatch");
+        let (oc, in_c, kernel) = (self.out_channels, self.in_channels, self.kernel);
+
+        backend::ensure_len(&mut self.delta, rows * ow);
+        if self.relu {
+            for ((d, &g), &m) in self
+                .delta
+                .iter_mut()
+                .zip(grad_out.data())
+                .zip(self.mask.iter())
+            {
+                *d = if m == 0 { 0.0 } else { g };
+            }
+        } else {
+            self.delta.copy_from_slice(grad_out.data());
+        }
+
+        // dW / db: one straight (r, pixel)-ascending chain per (oc, tap),
+        // partitioned over output channels only.
+        {
+            let dw_jobs = backend::job_count(rows * plane * oc * patch, oc);
+            let oc_per = oc.div_ceil(dw_jobs.max(1)).max(1);
+            let (delta, col) = (&self.delta, &self.col);
+            let tasks: Vec<backend::ScopedTask<'_>> = self
+                .grad_weights
+                .chunks_mut(oc_per * patch)
+                .zip(self.grad_bias.chunks_mut(oc_per))
+                .enumerate()
+                .map(|(ci, (gw, gb))| {
+                    let oc0 = ci * oc_per;
+                    Box::new(move || {
+                        let n_oc = gb.len();
+                        for r in 0..rows {
+                            let d_row = &delta[r * ow..(r + 1) * ow];
+                            let col_r = &col[r * plane * patch..(r + 1) * plane * patch];
+                            for o in 0..n_oc {
+                                let d_ch = &d_row[(oc0 + o) * plane..(oc0 + o + 1) * plane];
+                                let gw_row = &mut gw[o * patch..(o + 1) * patch];
+                                for (t, &g) in d_ch.iter().enumerate() {
+                                    if g == 0.0 {
+                                        continue;
+                                    }
+                                    gb[o] += g;
+                                    let patch_row = &col_r[t * patch..(t + 1) * patch];
+                                    for (wv, &c) in gw_row.iter_mut().zip(patch_row) {
+                                        *wv += g * c;
+                                    }
+                                }
+                            }
+                        }
+                    }) as backend::ScopedTask<'_>
+                })
+                .collect();
+            backend::run_scoped(tasks);
+        }
+
+        // grad_in: transposed convolution with 180°-rotated kernels.
+        let kk = kernel * kernel;
+        let ock = oc * kk;
+        backend::ensure_len(&mut self.wflip, in_c * ock);
+        for ic in 0..in_c {
+            for o in 0..oc {
+                for jr in 0..kernel {
+                    for jc in 0..kernel {
+                        self.wflip[ic * ock + o * kk + jr * kernel + jc] =
+                            self.weights[self.w_index(o, ic, kernel - 1 - jr, kernel - 1 - jc)];
+                    }
+                }
+            }
+        }
+        let iw = self.in_width();
+        let mut grad_in = Matrix::zeros(rows, iw);
+        let gi_jobs = backend::job_count(rows * in_c * plane * ock.saturating_mul(2), rows);
+        let rows_per = rows.div_ceil(gi_jobs.max(1)).max(1);
+        backend::ensure_len(&mut self.delta_col, gi_jobs * plane * ock);
+        let (delta, wflip) = (&self.delta, &self.wflip);
+        let (h, w) = (self.height, self.width);
+        let mut tasks: Vec<backend::ScopedTask<'_>> = Vec::with_capacity(gi_jobs);
+        let mut gi_rest: &mut [f32] = grad_in.data_mut();
+        let mut scratch_rest: &mut [f32] = &mut self.delta_col;
+        let mut r0 = 0usize;
+        while r0 < rows {
+            let nr = rows_per.min(rows - r0);
+            let (gi_c, rest) = gi_rest.split_at_mut(nr * iw);
+            gi_rest = rest;
+            let (scratch, rest) = scratch_rest.split_at_mut(plane * ock);
+            scratch_rest = rest;
+            let base = r0;
+            tasks.push(Box::new(move || {
+                for r in 0..nr {
+                    let d_row = &delta[(base + r) * ow..(base + r + 1) * ow];
+                    backend::im2col_2d(d_row, oc, h, w, kernel, scratch);
+                    let gi_row = &mut gi_c[r * iw..(r + 1) * iw];
+                    backend::gemm_nt_serial(wflip, scratch, ock, plane, None, gi_row);
+                }
+            }));
+            r0 += nr;
+        }
+        backend::run_scoped(tasks);
         grad_in
     }
 
@@ -202,10 +409,12 @@ pub struct MaxPool2d {
     height: usize,
     width: usize,
     window: usize,
+    /// Winning input index per output element; reused across steps.
     #[serde(skip)]
-    argmax: Option<Vec<usize>>,
+    argmax: Vec<usize>,
+    /// Input shape of the pending training forward (arms `backward`).
     #[serde(skip)]
-    in_shape: (usize, usize),
+    in_shape: Option<(usize, usize)>,
 }
 
 impl MaxPool2d {
@@ -224,8 +433,8 @@ impl MaxPool2d {
             height,
             width,
             window,
-            argmax: None,
-            in_shape: (0, 0),
+            argmax: Vec::new(),
+            in_shape: None,
         }
     }
 
@@ -256,8 +465,9 @@ impl Layer for MaxPool2d {
         let (oh, ow) = (self.out_height(), self.out_w());
         let plane = self.height * self.width;
         let out_plane = oh * ow;
-        let mut out = Matrix::zeros(input.rows(), self.out_width());
-        let mut argmax = vec![0usize; input.rows() * self.out_width()];
+        let out_w = self.out_width();
+        let mut out = Matrix::zeros(input.rows(), out_w);
+        self.argmax.resize(input.rows() * out_w, 0);
         for r in 0..input.rows() {
             let x = input.row(r);
             for c in 0..self.channels {
@@ -279,28 +489,26 @@ impl Layer for MaxPool2d {
                         }
                         let o = c * out_plane + prow * ow + pcol;
                         out.set(r, o, best);
-                        argmax[r * self.out_width() + o] = best_i;
+                        self.argmax[r * out_w + o] = best_i;
                     }
                 }
             }
         }
         if train {
-            self.argmax = Some(argmax);
-            self.in_shape = (input.rows(), input.cols());
+            self.in_shape = Some((input.rows(), input.cols()));
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let argmax = self
-            .argmax
+        let (rows, cols) = self
+            .in_shape
             .take()
             .expect("backward without forward(train=true)");
-        let (rows, cols) = self.in_shape;
         let mut grad_in = Matrix::zeros(rows, cols);
         for r in 0..rows {
             for j in 0..self.out_width() {
-                let src = argmax[r * self.out_width() + j];
+                let src = self.argmax[r * self.out_width() + j];
                 grad_in.row_mut(r)[src] += grad_out.get(r, j);
             }
         }
@@ -336,6 +544,48 @@ mod tests {
         let y = conv.forward(&x, false);
         // Every output = sum of the in-bounds 2x2 = 4.
         assert_eq!(y.data(), &[4., 4., 4., 4.]);
+    }
+
+    #[test]
+    fn lowered_forward_is_bit_identical_to_reference() {
+        let mut conv = Conv2d::new(2, 3, 3, 4, 5, true, 13);
+        let x = Matrix::from_vec(
+            2,
+            40,
+            (0..80)
+                .map(|i| ((i * 31 % 23) as f32 - 11.0) / 4.0)
+                .collect(),
+        );
+        let fast = conv.forward(&x, false);
+        let reference = conv.forward_reference(&x);
+        let bits = |m: &Matrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fast), bits(&reference));
+    }
+
+    #[test]
+    fn lowered_backward_is_bit_identical_to_reference() {
+        let mut conv = Conv2d::new(2, 2, 3, 3, 4, true, 7);
+        let x = Matrix::from_vec(
+            2,
+            24,
+            (0..48)
+                .map(|i| ((i * 29 % 17) as f32 - 8.0) / 4.0)
+                .collect(),
+        );
+        let y = conv.forward(&x, true);
+        let g = Matrix::from_vec(
+            2,
+            conv.out_width(),
+            (0..2 * conv.out_width())
+                .map(|i| ((i * 13 % 11) as f32 - 5.0) / 8.0)
+                .collect(),
+        );
+        let grad_in = conv.backward(&g);
+        let (ref_gi, ref_gw, ref_gb) = conv.backward_reference(&x, &y, &g);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(grad_in.data()), bits(ref_gi.data()));
+        assert_eq!(bits(&conv.grad_weights), bits(&ref_gw));
+        assert_eq!(bits(&conv.grad_bias), bits(&ref_gb));
     }
 
     #[test]

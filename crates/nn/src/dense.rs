@@ -1,5 +1,10 @@
 //! Fully connected layers with fused activations.
+//!
+//! Training caches are reused arenas: the layer keeps a copy of its input
+//! (refreshed in place each step) and the activation derivative evaluated
+//! at forward time, instead of cloning both matrices every call.
 
+use crate::backend;
 use crate::init;
 use crate::layer::Layer;
 use crate::matrix::Matrix;
@@ -54,10 +59,20 @@ pub struct Dense {
     grad_weights: Vec<f32>,
     #[serde(skip)]
     grad_bias: Vec<f32>,
+    /// Input of the pending training forward; refreshed in place.
     #[serde(skip)]
-    cached_input: Option<Matrix>,
+    cached_input: Matrix,
+    /// `act'(y)` per output element, evaluated during forward (`y` is the
+    /// same value backward would recompute it from, so the product
+    /// `grad_out · act'(y)` is bit-identical either way).
     #[serde(skip)]
-    cached_output: Option<Matrix>,
+    act_deriv: Vec<f32>,
+    /// δ arena for backward.
+    #[serde(skip)]
+    delta: Matrix,
+    /// Arms `backward`; cleared when the cached step is consumed.
+    #[serde(skip)]
+    cache_ready: bool,
 }
 
 impl Dense {
@@ -79,8 +94,10 @@ impl Dense {
             bias: vec![0.0; out_dim],
             grad_weights: vec![0.0; in_dim * out_dim],
             grad_bias: vec![0.0; out_dim],
-            cached_input: None,
-            cached_output: None,
+            cached_input: Matrix::default(),
+            act_deriv: Vec::new(),
+            delta: Matrix::default(),
+            cache_ready: false,
         }
     }
 
@@ -100,6 +117,38 @@ impl Dense {
         self.grad_weights = vec![0.0; self.in_dim * self.out_dim];
         self.grad_bias = vec![0.0; self.out_dim];
     }
+
+    /// The parameter-gradient half of `backward`: builds δ in the arena
+    /// and accumulates dW/db. The input gradient (`δ·Wᵀ`) is separable and
+    /// computed only by [`Layer::backward`].
+    fn backward_params(&mut self, grad_out: &Matrix) {
+        assert!(
+            std::mem::take(&mut self.cache_ready),
+            "backward without forward(train=true)"
+        );
+        // δ = grad_out ⊙ act'(y), built in the reused arena.
+        self.delta.copy_from(grad_out);
+        for (d, &dv) in self.delta.data_mut().iter_mut().zip(&self.act_deriv) {
+            *d *= dv;
+        }
+        // dW += xᵀ·δ, accumulated directly into the (zeroed) grad buffer —
+        // the same ascending-p chains as building a temporary and adding it.
+        let rows = self.delta.rows();
+        backend::gemm_tn(
+            self.cached_input.data(),
+            self.delta.data(),
+            self.in_dim,
+            rows,
+            self.out_dim,
+            &mut self.grad_weights,
+        );
+        // db += Σ_batch δ
+        for r in 0..rows {
+            for (g, &d) in self.grad_bias.iter_mut().zip(self.delta.row(r)) {
+                *g += d;
+            }
+        }
+    }
 }
 
 impl Layer for Dense {
@@ -113,34 +162,27 @@ impl Layer for Dense {
             }
         }
         if train {
-            self.cached_input = Some(input.clone());
-            self.cached_output = Some(out.clone());
+            self.cached_input.copy_from(input);
+            backend::ensure_len(&mut self.act_deriv, out.rows() * out.cols());
+            for (d, &y) in self.act_deriv.iter_mut().zip(out.data()) {
+                *d = self.activation.derivative_from_output(y);
+            }
+            self.cache_ready = true;
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .take()
-            .expect("backward without forward(train=true)");
-        let output = self.cached_output.take().expect("output cache present");
-        // δ = grad_out ⊙ act'(y)
-        let mut delta = grad_out.clone();
-        for (d, &y) in delta.data_mut().iter_mut().zip(output.data()) {
-            *d *= self.activation.derivative_from_output(y);
-        }
-        // dW += xᵀ·δ ; db += Σ_batch δ ; dx = δ·Wᵀ
-        let dw = input.t_matmul(&delta);
-        for (g, &d) in self.grad_weights.iter_mut().zip(dw.data()) {
-            *g += d;
-        }
-        for r in 0..delta.rows() {
-            for (g, &d) in self.grad_bias.iter_mut().zip(delta.row(r)) {
-                *g += d;
-            }
-        }
-        delta.matmul_t(&self.weights)
+        self.backward_params(grad_out);
+        // dx = δ·Wᵀ
+        self.delta.matmul_t(&self.weights)
+    }
+
+    fn backward_discard(&mut self, grad_out: &Matrix) {
+        // First layer of the stack: `δ·Wᵀ` would be thrown away, so only
+        // the parameter gradients are accumulated (bit-identical to the
+        // ones `backward` computes).
+        self.backward_params(grad_out);
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::matrix::Matrix;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +19,9 @@ pub struct Dropout {
     draws: u64,
     #[serde(skip)]
     mask: Option<Vec<f32>>,
+    /// Retired mask buffer, recycled by the next forward pass.
+    #[serde(skip)]
+    spare: Vec<f32>,
 }
 
 impl Dropout {
@@ -37,6 +40,7 @@ impl Dropout {
             seed,
             draws: 0,
             mask: None,
+            spare: Vec::new(),
         }
     }
 
@@ -56,12 +60,27 @@ impl Layer for Dropout {
         self.draws += 1;
         let keep = 1.0 - self.p;
         let scale = (1.0 / keep) as f32;
-        let mask: Vec<f32> = (0..input.data().len())
-            .map(|_| if rng.gen_bool(keep) { scale } else { 0.0 })
-            .collect();
+        // `gen_bool(keep)` is `(next_u64() >> 11) as f64 · 2⁻⁵³ < keep`;
+        // the conversion and the power-of-two scale are both exact, so the
+        // test equals the integer compare `(x >> 11) < ⌈keep · 2⁵³⌉` — one
+        // u64 draw per element as before, identical booleans, no per-draw
+        // float conversion.
+        let thresh = (keep * 9_007_199_254_740_992.0).ceil() as u64;
+        // Reuse last step's mask buffer and build mask + output in one pass
+        // (same per-element draw order, so the mask stream is unchanged).
+        let mut mask = self
+            .mask
+            .take()
+            .unwrap_or_else(|| std::mem::take(&mut self.spare));
+        mask.resize(input.data().len(), 0.0);
         let mut out = input.clone();
-        for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
-            *o *= m;
+        for (o, m) in out.data_mut().iter_mut().zip(mask.iter_mut()) {
+            *m = if (rng.next_u64() >> 11) < thresh {
+                scale
+            } else {
+                0.0
+            };
+            *o *= *m;
         }
         self.mask = Some(mask);
         out
@@ -73,6 +92,7 @@ impl Layer for Dropout {
             for (gi, &m) in g.data_mut().iter_mut().zip(&mask) {
                 *gi *= m;
             }
+            self.spare = mask;
         }
         g
     }
@@ -125,6 +145,23 @@ mod tests {
         // The gradient is zero exactly where the output was zero.
         for (gy, gg) in y.data().iter().zip(g.data()) {
             assert_eq!(*gy == 0.0, *gg == 0.0);
+        }
+    }
+
+    #[test]
+    fn mask_stream_matches_gen_bool_reference() {
+        use rand::Rng;
+        let mut d = Dropout::new(0.3, 11);
+        let x = Matrix::from_vec(1, 512, vec![1.0; 512]);
+        let y = d.forward(&x, true);
+        // Replay the draws through `gen_bool` itself: the integer-threshold
+        // fast path must produce the identical mask.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let keep = 1.0 - d.probability();
+        let scale = (1.0 / keep) as f32;
+        for (i, &v) in y.data().iter().enumerate() {
+            let expect = if rng.gen_bool(keep) { scale } else { 0.0 };
+            assert_eq!(v.to_bits(), expect.to_bits(), "element {i}");
         }
     }
 

@@ -19,6 +19,16 @@ pub trait Layer: std::fmt::Debug + Send {
     /// parameter gradients. Must follow a `forward(_, true)` call.
     fn backward(&mut self, grad_out: &Matrix) -> Matrix;
 
+    /// Like [`backward`](Layer::backward), but the caller will discard the
+    /// returned input gradient (this is the first layer of the stack).
+    /// Layers whose input-gradient computation is separable from their
+    /// parameter-gradient accumulation override this to skip it; the
+    /// parameter gradients are bit-identical either way. The default just
+    /// delegates.
+    fn backward_discard(&mut self, grad_out: &Matrix) {
+        let _ = self.backward(grad_out);
+    }
+
     /// Visits every `(parameters, gradients)` pair. The visitation order
     /// must be stable across calls — optimizers key their state on it.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32]));

@@ -37,9 +37,10 @@
 //! assert!(history.final_loss() < 0.05);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod backend;
 pub mod conv;
 pub mod conv2d;
 pub mod dense;

@@ -1,9 +1,14 @@
 //! A minimal row-major `f32` matrix with the operations the layers need.
+//!
+//! The three products dispatch to the [`crate::backend`] kernels, which
+//! are bit-identical to the naive loops regardless of pool size or
+//! blocking (see the backend's determinism contract).
 
+use crate::backend;
 use serde::{Deserialize, Serialize};
 
 /// Row-major 2-D `f32` matrix. Rows are samples throughout this crate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -141,18 +146,39 @@ impl Matrix {
 
     /// A new matrix containing the selected rows.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &r) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r));
-        }
+        let mut out = Matrix::zeros(0, self.cols);
+        self.select_rows_into(indices, &mut out);
         out
     }
 
-    /// `self · other` (`[m×k] · [k×n] = [m×n]`), cache-friendly ikj order.
+    /// Gathers the selected rows into `out`, reusing its allocation (the
+    /// trainer calls this once per mini-batch).
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &r in indices {
+            out.data.extend_from_slice(self.row(r));
+        }
+    }
+
+    /// Copies `src` into `self`, reusing the allocation (layer caches call
+    /// this every training step instead of cloning).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// `self · other` (`[m×k] · [k×n] = [m×n]`) via the backend's blocked
+    /// ikj kernel, skipping `a == 0.0` terms.
     ///
-    /// Large products (≥ ~2²² multiply-adds) are split across threads by
-    /// output-row chunks; results are identical to the serial path because
-    /// each output row is owned by exactly one thread.
+    /// Large products are split across the worker pool by output-row
+    /// chunks; results are bit-identical to the serial path because each
+    /// output element's accumulation chain (ascending `p`) is owned by
+    /// exactly one task.
     ///
     /// # Panics
     ///
@@ -161,54 +187,8 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-
-        let work = m.saturating_mul(k).saturating_mul(n);
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
-        if work >= (1 << 22) && m >= 2 && threads > 1 {
-            let chunk_rows = m.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
-                for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
-                    let a = &self.data;
-                    let b = &other.data;
-                    s.spawn(move |_| {
-                        let row0 = ci * chunk_rows;
-                        for (r, o_row) in out_chunk.chunks_mut(n).enumerate() {
-                            let i = row0 + r;
-                            Self::matmul_row(&a[i * k..(i + 1) * k], b, n, o_row);
-                        }
-                    });
-                }
-            })
-            .expect("matmul worker panicked");
-        } else {
-            for i in 0..m {
-                let (head, tail) = out.data.split_at_mut(i * n);
-                let _ = head;
-                Self::matmul_row(
-                    &self.data[i * k..(i + 1) * k],
-                    &other.data,
-                    n,
-                    &mut tail[..n],
-                );
-            }
-        }
+        backend::gemm_nn(&self.data, &other.data, m, k, n, &mut out.data);
         out
-    }
-
-    /// One output row of the ikj product: `o_row += Σ_p a[p] · B[p, :]`.
-    #[inline]
-    fn matmul_row(a_row: &[f32], b: &[f32], n: usize, o_row: &mut [f32]) {
-        for (p, &a) in a_row.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += a * bv;
-            }
-        }
     }
 
     /// `selfᵀ · other` (`[k×m]ᵀ·[k×n] = [m×n]`) without materializing the
@@ -221,55 +201,12 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-
-        let work = m.saturating_mul(k).saturating_mul(n);
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
-        if work >= (1 << 22) && m >= 2 && threads > 1 {
-            // Partition by output rows: out[i, :] = Σ_p a[p, i] · b[p, :].
-            let chunk_rows = m.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
-                for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
-                    let a = &self.data;
-                    let b = &other.data;
-                    s.spawn(move |_| {
-                        let row0 = ci * chunk_rows;
-                        for p in 0..k {
-                            let b_row = &b[p * n..(p + 1) * n];
-                            for (r, o_row) in out_chunk.chunks_mut(n).enumerate() {
-                                let av = a[p * m + row0 + r];
-                                if av == 0.0 {
-                                    continue;
-                                }
-                                for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                                    *o += av * bv;
-                                }
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("t_matmul worker panicked");
-        } else {
-            for p in 0..k {
-                let a_row = &self.data[p * m..(p + 1) * m];
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (i, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let o_row = &mut out.data[i * n..(i + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        backend::gemm_tn(&self.data, &other.data, m, k, n, &mut out.data);
         out
     }
 
-    /// `self · otherᵀ` (`[m×k]·[n×k]ᵀ = [m×n]`).
+    /// `self · otherᵀ` (`[m×k]·[n×k]ᵀ = [m×n]`) as blocked dot products
+    /// (no zero-skip, matching the historical serial semantics).
     ///
     /// # Panics
     ///
@@ -278,39 +215,7 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t column mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-
-        let work = m.saturating_mul(k).saturating_mul(n);
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
-        if work >= (1 << 22) && m >= 2 && threads > 1 {
-            let chunk_rows = m.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
-                for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
-                    let a = &self.data;
-                    let b = &other.data;
-                    s.spawn(move |_| {
-                        let row0 = ci * chunk_rows;
-                        for (r, o_row) in out_chunk.chunks_mut(n).enumerate() {
-                            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-                            for (j, o) in o_row.iter_mut().enumerate() {
-                                let b_row = &b[j * k..(j + 1) * k];
-                                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("matmul_t worker panicked");
-        } else {
-            for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    out.data[i * n + j] = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-                }
-            }
-        }
+        backend::gemm_nt(&self.data, &other.data, m, k, n, None, &mut out.data);
         out
     }
 

@@ -86,6 +86,20 @@ impl Layer for Sequential {
         g
     }
 
+    fn backward_discard(&mut self, grad_out: &Matrix) {
+        // Every layer but the first still needs its input gradient (it is
+        // the next-lower layer's output gradient); only the first layer's
+        // can be skipped.
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return;
+        };
+        let mut g = grad_out.clone();
+        for layer in rest.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        first.backward_discard(&g);
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         for layer in &mut self.layers {
             layer.visit_params(visitor);

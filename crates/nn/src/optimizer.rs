@@ -128,14 +128,22 @@ impl Optimizer for Adam {
             }
             let (m, v) = &mut moments[slot];
             debug_assert_eq!(m.len(), params.len(), "param shape changed across steps");
-            for i in 0..params.len() {
-                let g = grads[i];
-                m[i] = b1 * m[i] + (1.0 - b1) * g;
-                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
-                let m_hat = m[i] / bias1;
-                let v_hat = v[i] / bias2;
-                params[i] -= learning_rate * m_hat / (v_hat.sqrt() + eps);
-                grads[i] = 0.0;
+            // Lockstep iterators: no bounds checks, and every lane is
+            // element-independent IEEE arithmetic, so the loop vectorizes
+            // while staying bit-identical to the scalar update.
+            for (((p, g), mi), vi) in params
+                .iter_mut()
+                .zip(grads.iter_mut())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                let gr = *g;
+                *mi = b1 * *mi + (1.0 - b1) * gr;
+                *vi = b2 * *vi + (1.0 - b2) * gr * gr;
+                let m_hat = *mi / bias1;
+                let v_hat = *vi / bias2;
+                *p -= learning_rate * m_hat / (v_hat.sqrt() + eps);
+                *g = 0.0;
             }
             slot += 1;
         });

@@ -14,10 +14,12 @@ pub struct MaxPool1d {
     channels: usize,
     length: usize,
     window: usize,
+    /// Winning input index per output element; reused across steps.
     #[serde(skip)]
-    argmax: Option<Vec<usize>>,
+    argmax: Vec<usize>,
+    /// Input shape of the pending training forward (arms `backward`).
     #[serde(skip)]
-    in_shape: (usize, usize),
+    in_shape: Option<(usize, usize)>,
 }
 
 impl MaxPool1d {
@@ -36,8 +38,8 @@ impl MaxPool1d {
             channels,
             length,
             window,
-            argmax: None,
-            in_shape: (0, 0),
+            argmax: Vec::new(),
+            in_shape: None,
         }
     }
 
@@ -61,47 +63,66 @@ impl Layer for MaxPool1d {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(input.cols(), self.in_width(), "pool input width mismatch");
         let out_l = self.out_length();
-        let mut out = Matrix::zeros(input.rows(), self.out_width());
-        let mut argmax = vec![0usize; input.rows() * self.out_width()];
+        let out_w = self.out_width();
+        let mut out = Matrix::zeros(input.rows(), out_w);
+        self.argmax.resize(input.rows() * out_w, 0);
         for r in 0..input.rows() {
             let x = input.row(r);
+            let o_row = out.row_mut(r);
+            let am_row = &mut self.argmax[r * out_w..(r + 1) * out_w];
             for c in 0..self.channels {
-                for t in 0..out_l {
-                    let start = c * self.length + t * self.window;
-                    let (mut best_i, mut best) = (start, x[start]);
-                    for (i, &v) in x
-                        .iter()
-                        .enumerate()
-                        .take(start + self.window)
-                        .skip(start + 1)
-                    {
-                        if v > best {
-                            best = v;
-                            best_i = i;
+                let base = c * self.length;
+                let o_ch = &mut o_row[c * out_l..(c + 1) * out_l];
+                let am_ch = &mut am_row[c * out_l..(c + 1) * out_l];
+                if self.window == 2 {
+                    // Strict `>` keeps the first of tied maxima, matching
+                    // the general scan below.
+                    for ((t, o), am) in o_ch.iter_mut().enumerate().zip(am_ch.iter_mut()) {
+                        let i = base + 2 * t;
+                        let (a, b) = (x[i], x[i + 1]);
+                        if b > a {
+                            *o = b;
+                            *am = i + 1;
+                        } else {
+                            *o = a;
+                            *am = i;
                         }
                     }
-                    out.set(r, c * out_l + t, best);
-                    argmax[r * self.out_width() + c * out_l + t] = best_i;
+                } else {
+                    for (t, (o, am)) in o_ch.iter_mut().zip(am_ch.iter_mut()).enumerate() {
+                        let start = base + t * self.window;
+                        let (mut best_i, mut best) = (start, x[start]);
+                        for (i, &v) in x[start + 1..start + self.window]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, v)| (start + 1 + k, v))
+                        {
+                            if v > best {
+                                best = v;
+                                best_i = i;
+                            }
+                        }
+                        *o = best;
+                        *am = best_i;
+                    }
                 }
             }
         }
         if train {
-            self.argmax = Some(argmax);
-            self.in_shape = (input.rows(), input.cols());
+            self.in_shape = Some((input.rows(), input.cols()));
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let argmax = self
-            .argmax
+        let (rows, cols) = self
+            .in_shape
             .take()
             .expect("backward without forward(train=true)");
-        let (rows, cols) = self.in_shape;
         let mut grad_in = Matrix::zeros(rows, cols);
         for r in 0..rows {
             for j in 0..self.out_width() {
-                let src = argmax[r * self.out_width() + j];
+                let src = self.argmax[r * self.out_width() + j];
                 grad_in.row_mut(r)[src] += grad_out.get(r, j);
             }
         }

@@ -189,6 +189,7 @@ impl Trainer {
             epoch_times_ms: Vec::with_capacity(self.config.epochs),
             epoch_grad_norms: Vec::with_capacity(self.config.epochs),
         };
+        let (mut x, mut t) = (Matrix::default(), Matrix::default());
         for _epoch in 0..self.config.epochs {
             let epoch_start = std::time::Instant::now();
             order.shuffle(&mut rng);
@@ -196,11 +197,11 @@ impl Trainer {
             let mut grad_norm_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
-                let x = inputs.select_rows(chunk);
-                let t = targets.select_rows(chunk);
+                inputs.select_rows_into(chunk, &mut x);
+                targets.select_rows_into(chunk, &mut t);
                 let y = model.forward(&x, true);
                 let (batch_loss, grad) = loss.compute(&y, &t);
-                let _ = model.backward(&grad);
+                model.backward_discard(&grad);
                 grad_norm_sum += grad_l2_norm(model);
                 self.optimizer.step(model, self.config.learning_rate);
                 epoch_loss += f64::from(batch_loss);
@@ -295,6 +296,7 @@ impl Trainer {
             ),
         };
 
+        let (mut x, mut t) = (Matrix::default(), Matrix::default());
         for epoch in start_epoch..self.config.epochs {
             let epoch_start = std::time::Instant::now();
             order.shuffle(&mut rng);
@@ -302,11 +304,11 @@ impl Trainer {
             let mut grad_norm_sum = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
-                let x = inputs.select_rows(chunk);
-                let t = targets.select_rows(chunk);
+                inputs.select_rows_into(chunk, &mut x);
+                targets.select_rows_into(chunk, &mut t);
                 let y = model.forward(&x, true);
                 let (batch_loss, grad) = loss.compute(&y, &t);
-                let _ = model.backward(&grad);
+                model.backward_discard(&grad);
                 grad_norm_sum += grad_l2_norm(model);
                 self.optimizer.step(model, self.config.learning_rate);
                 epoch_loss += f64::from(batch_loss);

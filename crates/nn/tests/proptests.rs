@@ -2,11 +2,55 @@
 //! shapes and data, and algebraic invariants of the matrix ops.
 
 use proptest::prelude::*;
-use soteria_nn::{Activation, Conv1d, Dense, Layer, Loss, Matrix, MaxPool1d};
+use soteria_nn::{Activation, Conv1d, Conv2d, Dense, Layer, Loss, Matrix, MaxPool1d};
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-1.0f32..1.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Deterministic filler with exact zeros sprinkled in (the GEMM kernels
+/// have zero-skip paths whose bit-identity must hold on zero terms too).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s.is_multiple_of(7) {
+                0.0
+            } else {
+                ((s % 2003) as f32 - 1001.0) / 500.0
+            }
+        })
+        .collect()
+}
+
+/// Snapshot `(param, grad)` pairs via `visit_params` (weights then bias).
+fn grads_of(layer: &mut dyn Layer) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |_, g| out.push(g.to_vec()));
+    out
+}
+
+/// Overwrite the bias (the second visited param) with `values`,
+/// normalizing `-0.0` to `+0.0` — the determinism contract only covers
+/// biases reachable by training, which can never become `-0.0`.
+fn set_bias(layer: &mut dyn Layer, values: &[f32]) {
+    let mut idx = 0;
+    layer.visit_params(&mut |p, _| {
+        if idx == 1 {
+            for (b, &v) in p.iter_mut().zip(values) {
+                *b = if v == 0.0 { 0.0 } else { v };
+            }
+        }
+        idx += 1;
+    });
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
 }
 
 proptest! {
@@ -105,6 +149,66 @@ proptest! {
         }
     }
 
+    /// The im2col/GEMM Conv1d forward and backward are bit-identical to
+    /// the retained naive reference across random shapes, batch sizes,
+    /// kernels, data (with exact zeros), and nonzero biases.
+    #[test]
+    fn conv1d_lowering_is_bit_identical(
+        in_c in 1usize..4,
+        out_c in 1usize..4,
+        kernel in (0usize..3).prop_map(|i| [1usize, 3, 5][i]),
+        length in 5usize..11,
+        batch in 1usize..5,
+        relu in (0u8..2).prop_map(|v| v == 1),
+        seed in 0u64..1000,
+    ) {
+        let mut conv = Conv1d::new(in_c, out_c, kernel, length, relu, seed);
+        set_bias(&mut conv, &fill(out_c, seed ^ 0xB1A5));
+        let x = Matrix::from_vec(batch, in_c * length, fill(batch * in_c * length, seed ^ 1));
+
+        let fast = conv.forward(&x, true);
+        let reference = conv.forward_reference(&x);
+        prop_assert_eq!(bits(fast.data()), bits(reference.data()));
+
+        let g = Matrix::from_vec(batch, out_c * length, fill(batch * out_c * length, seed ^ 2));
+        let grad_in = conv.backward(&g);
+        let (ref_gi, ref_gw, ref_gb) = conv.backward_reference(&x, &reference, &g);
+        prop_assert_eq!(bits(grad_in.data()), bits(ref_gi.data()));
+        let grads = grads_of(&mut conv);
+        prop_assert_eq!(bits(&grads[0]), bits(&ref_gw));
+        prop_assert_eq!(bits(&grads[1]), bits(&ref_gb));
+    }
+
+    /// Same contract for Conv2d.
+    #[test]
+    fn conv2d_lowering_is_bit_identical(
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        kernel in (0usize..2).prop_map(|i| [1usize, 3][i]),
+        height in 3usize..7,
+        width in 3usize..7,
+        batch in 1usize..4,
+        relu in (0u8..2).prop_map(|v| v == 1),
+        seed in 0u64..1000,
+    ) {
+        let mut conv = Conv2d::new(in_c, out_c, kernel, height, width, relu, seed);
+        set_bias(&mut conv, &fill(out_c, seed ^ 0xB2A5));
+        let plane = height * width;
+        let x = Matrix::from_vec(batch, in_c * plane, fill(batch * in_c * plane, seed ^ 1));
+
+        let fast = conv.forward(&x, true);
+        let reference = conv.forward_reference(&x);
+        prop_assert_eq!(bits(fast.data()), bits(reference.data()));
+
+        let g = Matrix::from_vec(batch, out_c * plane, fill(batch * out_c * plane, seed ^ 2));
+        let grad_in = conv.backward(&g);
+        let (ref_gi, ref_gw, ref_gb) = conv.backward_reference(&x, &reference, &g);
+        prop_assert_eq!(bits(grad_in.data()), bits(ref_gi.data()));
+        let grads = grads_of(&mut conv);
+        prop_assert_eq!(bits(&grads[0]), bits(&ref_gw));
+        prop_assert_eq!(bits(&grads[1]), bits(&ref_gb));
+    }
+
     /// MSE is zero iff prediction equals target.
     #[test]
     fn mse_zero_iff_equal(x in arb_matrix(2, 3)) {
@@ -115,4 +219,34 @@ proptest! {
         let (loss2, _) = Loss::Mse.compute(&y, &x);
         prop_assert!(loss2 > 0.0);
     }
+}
+
+/// A pool-dispatched `matmul` (work ≥ the parallel threshold, workers
+/// running) is bit-identical to the naive ascending-`p` serial product.
+/// Not a proptest: warming the pool is process-global, and the shape must
+/// sit above the dispatch threshold, so one deterministic heavy case with
+/// zero-laden data is the right trade.
+#[test]
+fn pooled_matmul_is_bit_identical_to_serial_reference() {
+    let (m, k, n) = (64, 256, 256); // m·k·n == 1 << 22, the dispatch floor
+    let a = Matrix::from_vec(m, k, fill(m * k, 41));
+    let b = Matrix::from_vec(k, n, fill(k * n, 42));
+
+    let mut reference = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.data()[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                reference[i * n + j] += av * b.data()[p * n + j];
+            }
+        }
+    }
+
+    let spawned = soteria_nn::backend::ensure_threads(2);
+    assert!(spawned >= 1, "worker pool failed to start");
+    let c = a.matmul(&b);
+    assert_eq!(bits(c.data()), bits(&reference));
 }

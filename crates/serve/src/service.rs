@@ -194,6 +194,9 @@ pub struct ScreeningService {
 impl ScreeningService {
     /// Starts the worker pool and batcher around a trained system.
     pub fn start(soteria: Soteria, config: &ServeConfig) -> Self {
+        // Spin up the shared compute pool before the first request so the
+        // batcher's forward passes never pay thread-spawn latency.
+        let _ = soteria_nn::backend::warm();
         let cache = Arc::new(VerdictCache::new(
             config.cache_capacity,
             config.cache_shards.max(1),

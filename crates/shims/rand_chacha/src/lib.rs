@@ -14,31 +14,45 @@ use rand::{RngCore, SeedableRng};
 const ROUNDS: usize = 8;
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
+/// Keystream blocks generated per refill. Batching lets the block function
+/// run on `LANES` independent counters at once — each 32-bit state word
+/// becomes a small lane vector the compiler turns into SIMD — without
+/// changing a single byte of the keystream (block `c` is a pure function
+/// of `(key, stream, c)` regardless of how many siblings are computed
+/// alongside it).
+const LANES: usize = 4;
+
 /// A ChaCha generator with 8 rounds.
 #[derive(Debug, Clone)]
 pub struct ChaCha8Rng {
     /// Key (8 words), set once from the seed.
     key: [u32; 8],
-    /// 64-bit block counter, incremented per generated block.
+    /// 64-bit block counter: the next block to generate (blocks are
+    /// generated `LANES` at a time, so after a refill this is the counter
+    /// of the first block *beyond* the buffer).
     counter: u64,
     /// 64-bit stream id (zero unless `set_stream` is called).
     stream: u64,
-    /// The current 16-word output block.
-    buffer: [u32; 16],
-    /// Next unread word in `buffer` (16 = exhausted).
+    /// `LANES` consecutive 16-word output blocks, in counter order.
+    buffer: [u32; 16 * LANES],
+    /// Next unread word in `buffer` (`16 * LANES` = exhausted).
     index: usize,
 }
 
+/// One lane-parallel quarter round: word indices `a..d` of `LANES`
+/// independent block states, each held as a `[u32; LANES]` lane vector.
 #[inline(always)]
-fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
+fn quarter_round(state: &mut [[u32; LANES]; 16], a: usize, b: usize, c: usize, d: usize) {
+    for l in 0..LANES {
+        state[a][l] = state[a][l].wrapping_add(state[b][l]);
+        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(16);
+        state[c][l] = state[c][l].wrapping_add(state[d][l]);
+        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(12);
+        state[a][l] = state[a][l].wrapping_add(state[b][l]);
+        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(8);
+        state[c][l] = state[c][l].wrapping_add(state[d][l]);
+        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(7);
+    }
 }
 
 /// A snapshot of a [`ChaCha8Rng`]'s position, sufficient to reconstruct
@@ -58,13 +72,32 @@ pub struct ChaChaState {
 }
 
 impl ChaCha8Rng {
-    /// Captures the generator's exact position.
+    /// Captures the generator's exact position, expressed in the logical
+    /// single-block form `ChaChaState` has always used: `counter` is the
+    /// next block to generate, `index` the next unread word of block
+    /// `counter - 1` (16 = that block is exhausted). Snapshots taken at the
+    /// same consumed-word count are byte-identical regardless of `LANES`.
     pub fn state(&self) -> ChaChaState {
+        let (counter, index) = if self.index >= 16 * LANES {
+            // Fresh or fully drained: next refill starts at `self.counter`.
+            (self.counter, 16u8)
+        } else {
+            let base = self.counter.wrapping_sub(LANES as u64);
+            let block = (self.index / 16) as u64;
+            let word = self.index % 16;
+            if word == 0 && self.index > 0 {
+                // On a block boundary the single-block generator would have
+                // just exhausted block `base + block - 1`.
+                (base.wrapping_add(block), 16u8)
+            } else {
+                (base.wrapping_add(block).wrapping_add(1), word as u8)
+            }
+        };
         ChaChaState {
             key: self.key,
-            counter: self.counter,
+            counter,
             stream: self.stream,
-            index: self.index as u8,
+            index,
         }
     }
 
@@ -75,12 +108,12 @@ impl ChaCha8Rng {
             key: state.key,
             counter: state.counter,
             stream: state.stream,
-            buffer: [0; 16],
-            index: 16,
+            buffer: [0; 16 * LANES],
+            index: 16 * LANES,
         };
         if state.index < 16 {
-            // The captured buffer came from block `counter - 1`; rewind and
-            // regenerate it, then restore the read position.
+            // The captured position is inside block `counter - 1`; refill
+            // the batch starting there, then restore the read position.
             rng.counter = state.counter.wrapping_sub(1);
             rng.refill();
             rng.index = state.index as usize;
@@ -93,18 +126,28 @@ impl ChaCha8Rng {
     pub fn set_stream(&mut self, stream: u64) {
         self.stream = stream;
         self.counter = 0;
-        self.index = 16;
+        self.index = 16 * LANES;
     }
 
-    /// Generates the next keystream block into `buffer`.
+    /// Generates the next `LANES` keystream blocks into `buffer`. Each
+    /// block is the same pure function of `(key, stream, counter)` as in a
+    /// one-block-at-a-time generator, so the concatenated stream is
+    /// unchanged; only the batching differs.
     fn refill(&mut self) {
-        let mut state = [0u32; 16];
-        state[..4].copy_from_slice(&CONSTANTS);
-        state[4..12].copy_from_slice(&self.key);
-        state[12] = self.counter as u32;
-        state[13] = (self.counter >> 32) as u32;
-        state[14] = self.stream as u32;
-        state[15] = (self.stream >> 32) as u32;
+        let mut state = [[0u32; LANES]; 16];
+        for (word, c) in state.iter_mut().zip(CONSTANTS.iter()) {
+            *word = [*c; LANES];
+        }
+        for (word, k) in state[4..12].iter_mut().zip(self.key.iter()) {
+            *word = [*k; LANES];
+        }
+        for l in 0..LANES {
+            let counter = self.counter.wrapping_add(l as u64);
+            state[12][l] = counter as u32;
+            state[13][l] = (counter >> 32) as u32;
+            state[14][l] = self.stream as u32;
+            state[15][l] = (self.stream >> 32) as u32;
+        }
 
         let input = state;
         for _ in 0..ROUNDS / 2 {
@@ -120,17 +163,24 @@ impl ChaCha8Rng {
             quarter_round(&mut state, 3, 4, 9, 14);
         }
         for (out, inp) in state.iter_mut().zip(input.iter()) {
-            *out = out.wrapping_add(*inp);
+            for l in 0..LANES {
+                out[l] = out[l].wrapping_add(inp[l]);
+            }
         }
-        self.buffer = state;
-        self.counter = self.counter.wrapping_add(1);
+        // Transpose lane-major round output into counter-ordered blocks.
+        for l in 0..LANES {
+            for (w, word) in state.iter().enumerate() {
+                self.buffer[l * 16 + w] = word[l];
+            }
+        }
+        self.counter = self.counter.wrapping_add(LANES as u64);
         self.index = 0;
     }
 }
 
 impl RngCore for ChaCha8Rng {
     fn next_u32(&mut self) -> u32 {
-        if self.index >= 16 {
+        if self.index >= 16 * LANES {
             self.refill();
         }
         let w = self.buffer[self.index];
@@ -157,8 +207,8 @@ impl SeedableRng for ChaCha8Rng {
             key,
             counter: 0,
             stream: 0,
-            buffer: [0; 16],
-            index: 16,
+            buffer: [0; 16 * LANES],
+            index: 16 * LANES,
         }
     }
 }
@@ -210,9 +260,60 @@ mod tests {
         assert!(hist.iter().all(|&c| (128..=384).contains(&c)));
     }
 
+    /// One-block-at-a-time ChaCha8 block function: the reference the
+    /// batched `refill` must reproduce word-for-word.
+    fn scalar_block(key: &[u32; 8], counter: u64, stream: u64) -> [u32; 16] {
+        fn qr(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            s[a] = s[a].wrapping_add(s[b]);
+            s[d] = (s[d] ^ s[a]).rotate_left(16);
+            s[c] = s[c].wrapping_add(s[d]);
+            s[b] = (s[b] ^ s[c]).rotate_left(12);
+            s[a] = s[a].wrapping_add(s[b]);
+            s[d] = (s[d] ^ s[a]).rotate_left(8);
+            s[c] = s[c].wrapping_add(s[d]);
+            s[b] = (s[b] ^ s[c]).rotate_left(7);
+        }
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&CONSTANTS);
+        s[4..12].copy_from_slice(key);
+        s[12] = counter as u32;
+        s[13] = (counter >> 32) as u32;
+        s[14] = stream as u32;
+        s[15] = (stream >> 32) as u32;
+        let input = s;
+        for _ in 0..ROUNDS / 2 {
+            qr(&mut s, 0, 4, 8, 12);
+            qr(&mut s, 1, 5, 9, 13);
+            qr(&mut s, 2, 6, 10, 14);
+            qr(&mut s, 3, 7, 11, 15);
+            qr(&mut s, 0, 5, 10, 15);
+            qr(&mut s, 1, 6, 11, 12);
+            qr(&mut s, 2, 7, 8, 13);
+            qr(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        s
+    }
+
+    #[test]
+    fn batched_refill_matches_scalar_blocks() {
+        for (seed, stream) in [(0u64, 0u64), (42, 0), (7, 3), (u64::MAX, 9)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            rng.set_stream(stream);
+            let key = rng.key;
+            let got: Vec<u32> = (0..16 * LANES * 3).map(|_| rng.next_u32()).collect();
+            let want: Vec<u32> = (0..LANES as u64 * 3)
+                .flat_map(|c| scalar_block(&key, c, stream))
+                .collect();
+            assert_eq!(got, want, "keystream drift for seed {seed} stream {stream}");
+        }
+    }
+
     #[test]
     fn state_round_trip_is_exact() {
-        for consumed in [0usize, 1, 7, 16, 17, 100] {
+        for consumed in [0usize, 1, 7, 15, 16, 17, 31, 32, 48, 63, 64, 65, 100, 257] {
             let mut rng = ChaCha8Rng::seed_from_u64(99);
             for _ in 0..consumed {
                 let _ = rng.next_u32();

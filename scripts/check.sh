@@ -26,6 +26,21 @@ cargo run -q --release -p soteria-eval --bin soteria-exp -- chaos --seed 42 --sa
 echo "==> serve gate: soteria-exp serve-smoke"
 cargo run -q --release -p soteria-eval --bin soteria-exp -- serve-smoke
 
+# Compute-backend smoke gate: a shrunk nn-bench run drives the GEMM /
+# im2col-conv kernels and a real training loop end to end. Throughput
+# drift against the committed baseline is a *note*, never fatal —
+# wall-clock numbers are hardware-bound (the overlapping 64x256x256
+# matmul shape is what gets compared).
+echo "==> nn bench gate: soteria-exp nn-bench --smoke"
+tmpdir="$(mktemp -d)"
+nn_baseline=()
+if [[ -f results/BENCH_nn.json ]]; then
+    nn_baseline=(--baseline results/BENCH_nn.json)
+fi
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    nn-bench --smoke --out "$tmpdir" "${nn_baseline[@]}"
+rm -rf "$tmpdir"
+
 # Bench-drift note (non-fatal): wall-clock throughput is hardware-bound,
 # so a slowdown against the committed baseline only prints a warning —
 # but a non-bit-identical serve run fails the command itself.
