@@ -147,6 +147,7 @@ impl CfgBuilder {
             pred,
             entry,
             edge_count,
+            csr: std::sync::OnceLock::new(),
         })
     }
 }

@@ -3,6 +3,57 @@
 use crate::block::{BasicBlock, BlockId};
 use crate::traversal;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Compressed-sparse-row form of a graph's **undirected** adjacency: all
+/// neighbor lists flattened into one `targets` array with per-node
+/// `offsets`. Neighbor order is identical to
+/// [`Cfg::undirected_neighbors`] (sorted, deduplicated), so walking CSR
+/// visits exactly the nodes the `Vec<Vec<BlockId>>` form would — this is
+/// what lets the feature-extraction fast path swap representations without
+/// perturbing a single RNG draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrAdjacency {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for node `v`
+    /// (`node_count + 1` entries, first 0, last `targets.len()`).
+    offsets: Vec<u32>,
+    /// Concatenated neighbor indices, each list sorted ascending.
+    targets: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    fn build(cfg: &Cfg) -> Self {
+        let n = cfg.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        let mut scratch: Vec<BlockId> = Vec::new();
+        for v in 0..n {
+            scratch.clear();
+            scratch.extend(cfg.succ[v].iter().chain(cfg.pred[v].iter()).copied());
+            scratch.sort_unstable();
+            scratch.dedup();
+            targets.extend(scratch.iter().map(|b| b.index() as u32));
+            offsets.push(u32::try_from(targets.len()).expect("edge count exceeds u32::MAX"));
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Undirected neighbors of node `v` as dense indices, sorted ascending.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Undirected degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+}
 
 /// An immutable control flow graph.
 ///
@@ -10,10 +61,13 @@ use serde::{Deserialize, Serialize};
 /// directed and deduplicated. Construct one with
 /// [`CfgBuilder`](crate::CfgBuilder).
 ///
-/// The graph caches nothing: traversal and centrality results are computed
-/// on demand by the functions in the [`traversal`] and
-/// [`centrality`](crate::centrality) modules (convenience methods on `Cfg` forward
-/// to them).
+/// Traversal and centrality results are computed on demand by the
+/// functions in the [`traversal`] and [`centrality`](crate::centrality)
+/// modules (convenience methods on `Cfg` forward to them). The one thing
+/// the graph *does* cache is its undirected CSR adjacency
+/// ([`Cfg::csr_adjacency`]), built lazily on first use — sound because the
+/// graph is immutable, and invisible to equality, serialization, and the
+/// builder round-trip.
 ///
 /// # Example
 ///
@@ -31,13 +85,29 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cfg {
     pub(crate) blocks: Vec<BasicBlock>,
     pub(crate) succ: Vec<Vec<BlockId>>,
     pub(crate) pred: Vec<Vec<BlockId>>,
     pub(crate) entry: BlockId,
     pub(crate) edge_count: usize,
+    /// Lazily built undirected CSR adjacency. Pure function of the fields
+    /// above, so it is excluded from equality and serialization.
+    #[serde(skip)]
+    pub(crate) csr: OnceLock<CsrAdjacency>,
+}
+
+/// Equality ignores the lazily built CSR cache: two graphs with the same
+/// structure are equal whether or not either has been walked yet.
+impl PartialEq for Cfg {
+    fn eq(&self, other: &Self) -> bool {
+        self.blocks == other.blocks
+            && self.succ == other.succ
+            && self.pred == other.pred
+            && self.entry == other.entry
+            && self.edge_count == other.edge_count
+    }
 }
 
 impl Cfg {
@@ -123,6 +193,18 @@ impl Cfg {
             .collect()
     }
 
+    /// The undirected adjacency in CSR form, built on first call and cached
+    /// for the graph's lifetime. Neighbor lists are identical (content and
+    /// order) to [`undirected_adjacency`](Cfg::undirected_adjacency); the
+    /// flat layout is what the walk fast path in `soteria-features` chases
+    /// instead of re-materializing `Vec<Vec<BlockId>>` per labeling.
+    pub fn csr_adjacency(&self) -> &CsrAdjacency {
+        self.csr.get_or_init(|| {
+            soteria_telemetry::counter("cfg.csr.builds", 1);
+            CsrAdjacency::build(self)
+        })
+    }
+
     /// Iterates over all directed edges `(from, to)` in dense order.
     pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
         self.succ
@@ -195,6 +277,7 @@ impl Cfg {
                 pred,
                 entry,
                 edge_count,
+                csr: OnceLock::new(),
             },
             remap,
         )
@@ -337,6 +420,47 @@ mod tests {
         b.add_edge(e, f).unwrap();
         let g = b.build(e).unwrap();
         assert_eq!(g.instruction_count(), 12);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_vec_adjacency() {
+        let g = diamond();
+        let csr = g.csr_adjacency();
+        let vecs = g.undirected_adjacency();
+        assert_eq!(csr.node_count(), g.node_count());
+        for (v, neighbors) in vecs.iter().enumerate() {
+            let want: Vec<u32> = neighbors.iter().map(|b| b.index() as u32).collect();
+            assert_eq!(csr.neighbors(v), want.as_slice(), "node {v}");
+            assert_eq!(csr.degree(v), neighbors.len());
+        }
+    }
+
+    #[test]
+    fn csr_cache_is_invisible_to_equality_and_serde() {
+        let g = diamond();
+        let cold = diamond();
+        let _ = g.csr_adjacency();
+        assert_eq!(g, cold, "populated cache must not affect equality");
+        let json = serde_json::to_string(&g).unwrap();
+        let back: crate::Cfg = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+        // The deserialized graph rebuilds its own cache on demand.
+        assert_eq!(back.csr_adjacency(), g.csr_adjacency());
+    }
+
+    #[test]
+    fn csr_covers_self_loops_and_isolated_entries() {
+        let mut b = CfgBuilder::new();
+        let e = b.add_block(0, 1);
+        b.add_edge(e, e).unwrap();
+        let g = b.build(e).unwrap();
+        assert_eq!(g.csr_adjacency().neighbors(0), &[0]);
+
+        let mut b = CfgBuilder::new();
+        let lone = b.add_block(0, 1);
+        let g = b.build(lone).unwrap();
+        assert_eq!(g.csr_adjacency().neighbors(0), &[] as &[u32]);
+        assert_eq!(g.csr_adjacency().degree(0), 0);
     }
 
     #[test]

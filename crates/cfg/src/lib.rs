@@ -63,5 +63,5 @@ pub use builder::CfgBuilder;
 pub use centrality::CentralityFactors;
 pub use dominators::Dominators;
 pub use error::CfgError;
-pub use graph::Cfg;
+pub use graph::{Cfg, CsrAdjacency};
 pub use stats::GraphStats;

@@ -206,14 +206,13 @@ impl Soteria {
             .iter()
             .map(|&i| corpus.samples()[i].graph())
             .collect();
-        let owned: Vec<Cfg> = graphs.iter().map(|g| (*g).clone()).collect();
         let av_labels: Vec<usize> = train_indices
             .iter()
             .map(|&i| corpus.samples()[i].av_label().index())
             .collect();
         let extractor = FeatureExtractor::fit_stratified(
             &config.extractor,
-            &owned,
+            &graphs,
             &av_labels,
             config.classes,
             seed,

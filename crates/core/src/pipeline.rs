@@ -216,7 +216,6 @@ impl Soteria {
             .iter()
             .map(|&i| corpus.samples()[i].graph())
             .collect();
-        let owned: Vec<Cfg> = graphs.iter().map(|g| (*g).clone()).collect();
         let av_labels: Vec<usize> = train_indices
             .iter()
             .map(|&i| corpus.samples()[i].av_label().index())
@@ -224,7 +223,7 @@ impl Soteria {
         let extractor = clock.stage("fit", || {
             FeatureExtractor::fit_stratified(
                 &config.extractor,
-                &owned,
+                &graphs,
                 &av_labels,
                 config.classes,
                 seed,
@@ -817,6 +816,33 @@ mod tests {
         assert_eq!(batched, sequential);
         assert!(batched[3].is_degraded());
         assert!(batched.iter().filter(|v| !v.is_degraded()).count() >= 4);
+    }
+
+    #[test]
+    fn seeded_batch_screening_matches_one_by_one_extraction() {
+        // Batch extraction (worker-pool fan-out, fast path) vs one-by-one
+        // screening with the same explicit per-item seeds: verdicts — and
+        // therefore the underlying feature vectors — must be bit-identical
+        // through `screen_many_seeded`, including non-consecutive seeds the
+        // `screen_many` wrapper would never produce.
+        let (mut soteria, corpus, test) = trained();
+        let binaries: Vec<Vec<u8>> = test
+            .iter()
+            .take(5)
+            .map(|&i| corpus.samples()[i].binary().to_bytes())
+            .collect();
+        let items: Vec<(&[u8], u64)> = binaries
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.as_slice(), 0xC0FF_EE00 ^ (i as u64).wrapping_mul(0x9E37)))
+            .collect();
+        let batched = soteria.screen_many_seeded(&items);
+        let sequential: Vec<Verdict> = items
+            .iter()
+            .map(|(bytes, seed)| soteria.screen_binary(bytes, *seed))
+            .collect();
+        assert_eq!(batched, sequential);
+        assert!(batched.iter().all(|v| !v.is_degraded()));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!             [--out DIR] [--metrics PATH] <experiment>...
 //! soteria-exp bench [--seed N] [--scale F] [--out DIR]
 //! soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
+//! soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
 //! soteria-exp serve-smoke [--seed N] [--scale F]
 //! soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]
@@ -54,6 +55,7 @@ fn usage() -> &'static str {
      [--out DIR] [--metrics PATH] <experiment>...\n       \
      soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
      soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
+     soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
      soteria-exp serve-smoke [--seed N] [--scale F]\n       \
      soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
@@ -504,6 +506,200 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
 
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let path = out.join("BENCH_nn.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Feature-extraction benchmark report, serialized to `BENCH_extract.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct ExtractBenchReport {
+    seed: u64,
+    smoke: bool,
+    /// Worker threads in the shared pool during the fast-path runs.
+    pool_threads: usize,
+    samples: usize,
+    avg_nodes: f64,
+    top_k: usize,
+    walks_per_labeling: usize,
+    /// Sequential reference path: best wall time for one full pass.
+    reference_ms: f64,
+    /// Fast path (`extract`): best wall time for the same pass.
+    fast_ms: f64,
+    /// reference_ms / fast_ms.
+    speedup: f64,
+    /// Batch entry point (`extract_batch`) over the same samples.
+    batch_ms: f64,
+    batch_samples_per_sec: f64,
+    /// Every fast-path output compared equal (as `f64` bytes) to the
+    /// reference output during the measured runs.
+    bit_identical: bool,
+}
+
+/// `extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]` —
+/// time the feature-extraction stage in isolation: the sequential
+/// reference implementation against the parallel fast path (per-walk RNG
+/// streams + interned gram counting + scratch arenas) at an 8-worker pool,
+/// asserting bit-identical output while measuring. `--smoke` shrinks the
+/// corpus and config for the CI gate. With `--baseline PATH`, drift
+/// against a committed report is *noted* (never fatal: wall-clock numbers
+/// are hardware-dependent).
+fn run_extract_bench(argv: &[String]) -> Result<(), String> {
+    use soteria_features::{ExtractorConfig, FeatureExtractor};
+
+    let mut seed = 7u64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown extract-bench flag {other}\n{}", usage())),
+        }
+    }
+
+    // The acceptance target is quoted at an 8-worker pool; the fast path
+    // must produce the same bytes at any size (the pool only grows, so
+    // this also covers every smaller size for later subcommands).
+    soteria_pool::ensure_threads(8);
+    let pool_threads = soteria_pool::pool_threads();
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: if smoke { [3, 3, 3, 3] } else { [8, 8, 8, 8] },
+        seed,
+        av_noise: false,
+        lineages: 3,
+    });
+    let graphs: Vec<&Cfg> = corpus.samples().iter().map(|s| s.graph()).collect();
+    let avg_nodes =
+        graphs.iter().map(|g| g.node_count()).sum::<usize>() as f64 / graphs.len().max(1) as f64;
+    let config = if smoke {
+        ExtractorConfig::small()
+    } else {
+        ExtractorConfig::default()
+    };
+    let extractor = FeatureExtractor::fit(&config, &graphs, seed);
+
+    let reps = if smoke { 2 } else { 5 };
+    let walk_seed = |i: usize| seed ^ (0xE17 + i as u64 * 131);
+
+    // Reference pass (the retained sequential oracle).
+    let mut reference_ms = f64::INFINITY;
+    let mut oracle = Vec::with_capacity(graphs.len());
+    for r in 0..reps {
+        let t = std::time::Instant::now();
+        let pass: Vec<_> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| extractor.extract_reference(g, walk_seed(i)))
+            .collect();
+        reference_ms = reference_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        if r == 0 {
+            oracle = pass;
+        }
+    }
+
+    // Fast-path pass, verified against the oracle while timing (the
+    // comparison runs after the clock stops).
+    let mut fast_ms = f64::INFINITY;
+    let mut bit_identical = true;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let pass: Vec<_> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| extractor.extract(g, walk_seed(i)))
+            .collect();
+        fast_ms = fast_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        bit_identical &= pass == oracle;
+    }
+
+    // Batch entry point (per-sample derived seeds differ from the loop
+    // above by design, so this measures throughput, not identity).
+    let mut batch_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let pass = extractor.extract_batch(&graphs, seed);
+        batch_ms = batch_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(pass.len(), graphs.len());
+    }
+
+    let report = ExtractBenchReport {
+        seed,
+        smoke,
+        pool_threads,
+        samples: graphs.len(),
+        avg_nodes,
+        top_k: config.top_k,
+        walks_per_labeling: config.walks_per_labeling,
+        reference_ms,
+        fast_ms,
+        speedup: reference_ms / fast_ms.max(1e-9),
+        batch_ms,
+        batch_samples_per_sec: graphs.len() as f64 / (batch_ms / 1e3).max(1e-9),
+        bit_identical,
+    };
+
+    println!(
+        "extract-bench (seed {seed}{}, {} pool threads): {} samples, avg {:.1} nodes, top_k {}",
+        if smoke { ", smoke" } else { "" },
+        report.pool_threads,
+        report.samples,
+        report.avg_nodes,
+        report.top_k,
+    );
+    println!(
+        "  reference {:>8.2} ms   fast {:>8.2} ms   speedup {:.2}x   bit-identical: {}",
+        report.reference_ms, report.fast_ms, report.speedup, report.bit_identical
+    );
+    println!(
+        "  batch     {:>8.2} ms   {:.1} samples/s",
+        report.batch_ms, report.batch_samples_per_sec
+    );
+    if !report.bit_identical {
+        return Err("extract-bench: fast path diverged from the reference output".into());
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<ExtractBenchReport>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(committed) => {
+                let ratio = report.speedup / committed.speedup.max(1e-9);
+                if ratio < 0.7 {
+                    eprintln!(
+                        "note: extract-bench drift: speedup {:.2}x vs baseline {:.2}x ({:.0}% of \
+                         baseline) — wall-clock numbers are hardware-dependent, refresh \
+                         results/BENCH_extract.json if this host is the reference",
+                        report.speedup,
+                        committed.speedup,
+                        ratio * 100.0
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_extract.json");
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {}", path.display());
@@ -1040,6 +1236,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("nn-bench") {
         let result = run_nn_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("extract-bench") {
+        let result = run_extract_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

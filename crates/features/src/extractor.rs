@@ -1,5 +1,6 @@
 //! The end-to-end feature extractor: labeling + walks + n-grams + TF-IDF.
 
+use crate::fastpath::{self, FastTables};
 use crate::labeling::{self, Labeling, NodeKeys};
 use crate::ngram::{count_walk_set, GramCounts};
 use crate::tfidf::Vocabulary;
@@ -9,7 +10,9 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use soteria_cfg::Cfg;
 use soteria_resilience::{FaultKind, ResourceGuards};
+use std::borrow::Borrow;
 use std::panic::AssertUnwindSafe;
+use std::sync::OnceLock;
 
 /// Extraction parameters; defaults are the paper's.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +94,12 @@ pub struct FeatureExtractor {
     config: ExtractorConfig,
     dbl_vocab: Vocabulary,
     lbl_vocab: Vocabulary,
+    /// Interned gram-lookup tables for the fast path, built lazily from the
+    /// vocabularies. Skipped by serde and reset by `Default` on
+    /// deserialization; rebuilding is cheap and changes no observable
+    /// state.
+    #[serde(skip)]
+    fast: OnceLock<FastTables>,
 }
 
 /// Per-labeling gram bags for one sample.
@@ -152,8 +161,12 @@ impl FeatureExtractor {
     /// globally-frequent gram selection.
     ///
     /// `seed` drives the training walks; per-graph seeds are derived from
-    /// it so results do not depend on iteration order.
-    pub fn fit(config: &ExtractorConfig, train: &[Cfg], seed: u64) -> Self {
+    /// it so results do not depend on iteration order (training samples are
+    /// walked in parallel on the shared worker pool when it is warm).
+    ///
+    /// Accepts any slice of graphs, owned or borrowed (`&[Cfg]` and
+    /// `&[&Cfg]` both work).
+    pub fn fit<B: Borrow<Cfg> + Sync>(config: &ExtractorConfig, train: &[B], seed: u64) -> Self {
         let _span = soteria_telemetry::span("features.fit");
         soteria_telemetry::counter("features.fit.samples", train.len() as u64);
         let (dbl_docs, lbl_docs) = Self::train_documents(config, train, seed);
@@ -162,6 +175,7 @@ impl FeatureExtractor {
             config: config.clone(),
             dbl_vocab: Vocabulary::fit(&dbl_docs, config.top_k),
             lbl_vocab: Vocabulary::fit(&lbl_docs, config.top_k),
+            fast: OnceLock::new(),
         }
     }
 
@@ -173,9 +187,9 @@ impl FeatureExtractor {
     /// # Panics
     ///
     /// Panics if `train` and `labels` lengths differ.
-    pub fn fit_stratified(
+    pub fn fit_stratified<B: Borrow<Cfg> + Sync>(
         config: &ExtractorConfig,
-        train: &[Cfg],
+        train: &[B],
         labels: &[usize],
         classes: usize,
         seed: u64,
@@ -189,20 +203,56 @@ impl FeatureExtractor {
             config: config.clone(),
             dbl_vocab: Vocabulary::fit_stratified(&dbl_docs, labels, classes, config.top_k),
             lbl_vocab: Vocabulary::fit_stratified(&lbl_docs, labels, classes, config.top_k),
+            fast: OnceLock::new(),
         }
     }
 
-    fn train_documents(
+    /// Walks every training sample and returns its merged DBL/LBL gram
+    /// bags, in input order. Samples fan out over the shared worker pool
+    /// (per-sample derived seeds and order-preserving slots keep the result
+    /// independent of scheduling).
+    fn train_documents<B: Borrow<Cfg> + Sync>(
         config: &ExtractorConfig,
-        train: &[Cfg],
+        train: &[B],
         seed: u64,
     ) -> (Vec<GramCounts>, Vec<GramCounts>) {
-        let mut dbl_docs = Vec::with_capacity(train.len());
-        let mut lbl_docs = Vec::with_capacity(train.len());
-        for (i, cfg) in train.iter().enumerate() {
-            let (d, l) = Self::both_grams(config, cfg, derive_seed(seed, i as u64));
-            dbl_docs.push(d.merged);
-            lbl_docs.push(l.merged);
+        let n = train.len();
+        let mut slots: Vec<Option<(GramCounts, GramCounts)>> = vec![None; n];
+        let jobs = (soteria_pool::pool_threads() + 1).min(n.max(1));
+        if jobs <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let (d, l) =
+                    Self::both_grams(config, train[i].borrow(), derive_seed(seed, i as u64));
+                *slot = Some((d.merged, l.merged));
+            }
+        } else {
+            let per = n.div_ceil(jobs);
+            let tasks: Vec<soteria_pool::ScopedTask<'_>> = slots
+                .chunks_mut(per)
+                .enumerate()
+                .map(|(t, chunk)| {
+                    Box::new(move || {
+                        let _worker = soteria_telemetry::span("features.fit.worker");
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let i = t * per + j;
+                            let (d, l) = Self::both_grams(
+                                config,
+                                train[i].borrow(),
+                                derive_seed(seed, i as u64),
+                            );
+                            *slot = Some((d.merged, l.merged));
+                        }
+                    }) as soteria_pool::ScopedTask<'_>
+                })
+                .collect();
+            soteria_pool::run_scoped(tasks);
+        }
+        let mut dbl_docs = Vec::with_capacity(n);
+        let mut lbl_docs = Vec::with_capacity(n);
+        for slot in slots {
+            let (d, l) = slot.expect("every training sample walked");
+            dbl_docs.push(d);
+            lbl_docs.push(l);
         }
         (dbl_docs, lbl_docs)
     }
@@ -241,9 +291,42 @@ impl FeatureExtractor {
     /// TF-IDF): raw term frequencies scale inversely with walk length, and
     /// normalization keeps clean vectors at unit magnitude so the
     /// auto-encoder and CNNs see well-conditioned inputs.
+    ///
+    /// Runs on the parallel fast path (per-walk RNG streams, interned gram
+    /// counting, scratch arenas — see the `fastpath` module) and falls back
+    /// to [`extract_reference`](Self::extract_reference) whenever the fast
+    /// path cannot guarantee bit-identical output. Both paths produce the
+    /// same bytes for the same `(cfg, seed)`.
     pub fn extract(&self, cfg: &Cfg, seed: u64) -> SampleFeatures {
         let _span = soteria_telemetry::span("features.extract");
         soteria_telemetry::counter("features.extracted", 1);
+        let tables = self
+            .fast
+            .get_or_init(|| FastTables::build(&self.dbl_vocab, &self.lbl_vocab));
+        if let Some(out) = fastpath::extract_fast(
+            &self.config,
+            &self.dbl_vocab,
+            &self.lbl_vocab,
+            tables,
+            cfg,
+            seed,
+        ) {
+            soteria_telemetry::counter("features.fastpath.hits", 1);
+            return SampleFeatures {
+                dbl_walks: out.dbl_walks,
+                lbl_walks: out.lbl_walks,
+                combined: out.combined,
+            };
+        }
+        soteria_telemetry::counter("features.fastpath.fallbacks", 1);
+        self.extract_reference(cfg, seed)
+    }
+
+    /// The sequential reference implementation of [`extract`](Self::extract):
+    /// one RNG stream, materialized walks, hash-map gram counting. Retained
+    /// verbatim as the differential oracle for the fast path's test battery
+    /// and as the fallback when the fast path declines a sample.
+    pub fn extract_reference(&self, cfg: &Cfg, seed: u64) -> SampleFeatures {
         let k = self.config.top_k;
         let (d, l) = Self::both_grams(&self.config, cfg, seed);
         let _tfidf = soteria_telemetry::span("features.stage.tfidf_transform");
@@ -298,14 +381,19 @@ impl FeatureExtractor {
         Ok(features)
     }
 
-    /// Extracts features for many samples in parallel (crossbeam scoped
-    /// threads; deterministic per-sample seeds derived from `seed`).
+    /// Extracts features for many samples in parallel on the shared worker
+    /// pool (deterministic per-sample seeds derived from `seed`). Accepts
+    /// any slice of graphs, owned or borrowed.
     ///
     /// # Panics
     ///
     /// Panics if any sample faults. Batch callers that must survive bad
     /// samples use [`extract_batch_isolated`](Self::extract_batch_isolated).
-    pub fn extract_batch(&self, graphs: &[&Cfg], seed: u64) -> Vec<SampleFeatures> {
+    pub fn extract_batch<B: Borrow<Cfg> + Sync>(
+        &self,
+        graphs: &[B],
+        seed: u64,
+    ) -> Vec<SampleFeatures> {
         self.extract_batch_isolated(graphs, seed, &ResourceGuards::unlimited())
             .into_iter()
             .map(|r| r.unwrap_or_else(|fault| panic!("feature extraction failed: {fault}")))
@@ -317,9 +405,13 @@ impl FeatureExtractor {
     /// yields `Err(FaultKind)` in slot `i` and leaves every other sample
     /// untouched. Seeds are derived per sample from `seed`, exactly as in
     /// [`extract_batch`](Self::extract_batch).
-    pub fn extract_batch_isolated(
+    ///
+    /// Samples fan out over the shared worker pool ([`soteria_pool`]); the
+    /// pool is warmed here so batch extraction is parallel by default, as
+    /// the previous scoped-thread implementation was.
+    pub fn extract_batch_isolated<B: Borrow<Cfg> + Sync>(
         &self,
-        graphs: &[&Cfg],
+        graphs: &[B],
         seed: u64,
         guards: &ResourceGuards,
     ) -> Vec<Result<SampleFeatures, FaultKind>> {
@@ -328,58 +420,51 @@ impl FeatureExtractor {
         if graphs.is_empty() {
             return Vec::new();
         }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(graphs.len());
+        soteria_pool::warm();
+        let jobs = (soteria_pool::pool_threads() + 1).min(graphs.len());
         let mut out: Vec<Option<Result<SampleFeatures, FaultKind>>> = vec![None; graphs.len()];
-        let chunk = graphs.len().div_ceil(threads.max(1));
-        let mut chunk_faults: Vec<Option<FaultKind>> = vec![None; graphs.len().div_ceil(chunk)];
-        let scope_result = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = out
+        let run_one = |i: usize, slot: &mut Option<Result<SampleFeatures, FaultKind>>| {
+            // try_extract already confines faults per sample; this outer
+            // net only catches panics from the dispatch plumbing itself, so
+            // one bad sample can never poison its chunk-mates.
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.try_extract(graphs[i].borrow(), derive_seed(seed, i as u64), guards)
+            }));
+            *slot = Some(caught.unwrap_or_else(|payload| {
+                soteria_telemetry::counter("features.extract_batch.worker_deaths", 1);
+                Err(FaultKind::from_panic(payload))
+            }));
+        };
+        if jobs <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                run_one(i, slot);
+            }
+        } else {
+            let chunk = graphs.len().div_ceil(jobs);
+            let run_one = &run_one;
+            let tasks: Vec<soteria_pool::ScopedTask<'_>> = out
                 .chunks_mut(chunk)
                 .enumerate()
                 .map(|(t, slot_chunk)| {
                     let start = t * chunk;
-                    s.spawn(move |_| {
+                    Box::new(move || {
                         // Per-worker span: the spread between workers shows
                         // chunking imbalance in the summary table.
                         let _worker = soteria_telemetry::span("features.extract_batch.worker");
                         for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                            let i = start + j;
-                            *slot = Some(self.try_extract(
-                                graphs[i],
-                                derive_seed(seed, i as u64),
-                                guards,
-                            ));
+                            run_one(start + j, slot);
                         }
-                    })
+                    }) as soteria_pool::ScopedTask<'_>
                 })
                 .collect();
-            // try_extract confines panics per sample, so a worker dying
-            // outright is unexpected — but if it happens, joining each
-            // handle individually captures the payload as a typed fault for
-            // that worker's chunk instead of unwinding out of the scope (or
-            // silently degrading the whole batch).
-            for (t, handle) in handles.into_iter().enumerate() {
-                if let Err(payload) = handle.join() {
-                    soteria_telemetry::counter("features.extract_batch.worker_deaths", 1);
-                    chunk_faults[t] = Some(FaultKind::from_panic(payload));
-                }
-            }
-        });
-        if scope_result.is_err() {
-            // Unreachable with every handle joined above; kept so an
-            // upstream crossbeam behavior change stays observable.
-            soteria_telemetry::counter("features.extract_batch.worker_deaths", 1);
+            soteria_pool::run_scoped(tasks);
         }
         out.into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
+            .map(|slot| {
                 slot.unwrap_or_else(|| {
-                    Err(chunk_faults[i / chunk].clone().unwrap_or(FaultKind::Panic {
+                    Err(FaultKind::Panic {
                         message: "extraction worker died before reaching this sample".to_owned(),
-                    }))
+                    })
                 })
             })
             .collect()
@@ -492,7 +577,7 @@ mod tests {
     fn empty_batch_extraction_is_empty() {
         let (ex, _) = fitted();
         assert!(ex
-            .extract_batch_isolated(&[], 0, &ResourceGuards::unlimited())
+            .extract_batch_isolated::<Cfg>(&[], 0, &ResourceGuards::unlimited())
             .is_empty());
     }
 

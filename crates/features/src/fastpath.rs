@@ -1,0 +1,552 @@
+//! The deterministic parallel fast path for feature extraction.
+//!
+//! [`extract_fast`] produces output bit-identical to the sequential
+//! reference implementation
+//! ([`FeatureExtractor::extract_reference`](crate::FeatureExtractor::extract_reference))
+//! while replacing its three hot data structures:
+//!
+//! * **Per-walk RNG streams.** The reference draws all `2·count` walks from
+//!   one sequential ChaCha8 stream: DBL walks first, then LBL walks. Each
+//!   accepted `gen_range` draw consumes exactly one `next_u64` — two 32-bit
+//!   keystream words — so walk `w` starts at word `w · 2·len` *unless* a
+//!   Lemire rejection (probability ≈ `span / 2⁶⁴` per draw) consumed an
+//!   extra draw somewhere before it. The fast path speculates that no
+//!   rejection occurs: each walk seeds its own rng, jumps to its predicted
+//!   word offset with `set_word_pos`, and afterwards verifies it consumed
+//!   exactly the predicted number of words. Any mismatch anywhere flips a
+//!   shared flag and the whole sample is recomputed on the reference path,
+//!   so a speculation miss costs time, never correctness.
+//!
+//! * **Interned gram counting.** Instead of a `HashMap<Gram, u32>` per
+//!   walk, grams are packed on the fly from a ring buffer of the last four
+//!   labels and looked up in a frozen open-addressing table built from the
+//!   fitted vocabulary ([`VocabIndex`]). In-vocabulary grams bump a slot in
+//!   a dense `u32` array indexed by feature id; out-of-vocabulary grams
+//!   only bump the walk's total (the reference's TF denominator counts
+//!   them too). Walks are never materialized as label vectors.
+//!
+//! * **Scratch arenas.** The flat count/total buffers are checked out of a
+//!   process-wide pool and returned after use, so steady-state extraction
+//!   does not reallocate them. The arena is a checkout/checkin pool rather
+//!   than a thread-local because pool workers *help drain* the queue while
+//!   waiting: one OS thread can interleave two extractions' tasks.
+//!
+//! Bit-identity of the floating-point output holds because every per-gram
+//! count and per-walk total is an integer on both paths, and the float
+//! expressions (`tf = count / total`, `tf * idf`, index-order L2 norm) are
+//! replicated operation for operation.
+
+use crate::ngram::MAX_LABEL;
+use crate::tfidf::Vocabulary;
+use crate::{labeling, ExtractorConfig, Labeling};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use soteria_cfg::{Cfg, CsrAdjacency};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A frozen open-addressing lookup table from packed gram to feature id.
+///
+/// Linear probing over a power-of-two slot array sized at 4× the
+/// vocabulary (load factor ≤ 0.25), keyed by `(len, packed)`. `len == 0`
+/// marks an empty slot — constructed grams always have `1 ≤ len ≤ 4`.
+#[derive(Debug, Clone)]
+pub(crate) struct VocabIndex {
+    slots: Vec<Slot>,
+    mask: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    len: u8,
+    packed: u64,
+    id: u32,
+}
+
+fn hash_gram(len: u8, packed: u64) -> u64 {
+    let mut z = packed.wrapping_add(u64::from(len).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl VocabIndex {
+    pub(crate) fn build(vocab: &Vocabulary) -> Self {
+        let cap = (4 * vocab.len().max(1)).next_power_of_two();
+        let mut slots = vec![
+            Slot {
+                len: 0,
+                packed: 0,
+                id: 0
+            };
+            cap
+        ];
+        let mask = cap - 1;
+        for (i, g) in vocab.grams().iter().enumerate() {
+            let (len, packed) = (g.len() as u8, g.packed());
+            let mut at = hash_gram(len, packed) as usize & mask;
+            while slots[at].len != 0 {
+                at = (at + 1) & mask;
+            }
+            slots[at] = Slot {
+                len,
+                packed,
+                id: i as u32,
+            };
+        }
+        VocabIndex { slots, mask }
+    }
+
+    #[inline]
+    fn get(&self, len: u8, packed: u64) -> Option<u32> {
+        let mut at = hash_gram(len, packed) as usize & self.mask;
+        loop {
+            let s = self.slots[at];
+            if s.len == 0 {
+                return None;
+            }
+            if s.len == len && s.packed == packed {
+                return Some(s.id);
+            }
+            at = (at + 1) & self.mask;
+        }
+    }
+}
+
+/// The two interned vocabularies, built once per fitted extractor and
+/// cached behind a `OnceLock` (rebuilt transparently after deserialize).
+#[derive(Debug, Clone)]
+pub(crate) struct FastTables {
+    dbl: VocabIndex,
+    lbl: VocabIndex,
+}
+
+impl FastTables {
+    pub(crate) fn build(dbl: &Vocabulary, lbl: &Vocabulary) -> Self {
+        FastTables {
+            dbl: VocabIndex::build(dbl),
+            lbl: VocabIndex::build(lbl),
+        }
+    }
+}
+
+/// Reusable count/total buffers for one extraction.
+#[derive(Default)]
+struct Scratch {
+    /// Per-walk dense counts: `count` DBL blocks then `count` LBL blocks.
+    counts: Vec<u32>,
+    /// Column sums over walks, DBL block then LBL block.
+    merged: Vec<u32>,
+    /// Per-walk window totals (including out-of-vocabulary windows).
+    totals: Vec<u64>,
+}
+
+static SCRATCH_POOL: Mutex<Vec<Scratch>> = Mutex::new(Vec::new());
+const SCRATCH_POOL_CAP: usize = 32;
+
+fn checkout() -> Scratch {
+    SCRATCH_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+        .unwrap_or_default()
+}
+
+fn checkin(scratch: Scratch) {
+    let mut pool = SCRATCH_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if pool.len() < SCRATCH_POOL_CAP {
+        pool.push(scratch);
+    }
+}
+
+/// The fast path's output; the extractor wraps it into `SampleFeatures`.
+pub(crate) struct FastOutput {
+    pub(crate) dbl_walks: Vec<Vec<f64>>,
+    pub(crate) lbl_walks: Vec<Vec<f64>>,
+    pub(crate) combined: Vec<f64>,
+}
+
+/// One walk's unit of work: its global index (which fixes its RNG word
+/// offset), its labeling, and disjoint output slices.
+struct WalkUnit<'a> {
+    w: usize,
+    labels: &'a [usize],
+    idf: &'a [f64],
+    index: &'a VocabIndex,
+    vlen: usize,
+    counts: &'a mut [u32],
+    total: &'a mut u64,
+    out: &'a mut [f64],
+}
+
+/// Appends one label to the fused walk/count state: the ring keeps the last
+/// four labels, and every configured window ending at this position is
+/// packed and counted. Counting all windows in `total` (in-vocabulary or
+/// not) mirrors the reference's TF denominator.
+#[inline]
+fn push_label(
+    label: usize,
+    ring: &mut [u64; 4],
+    pos: &mut usize,
+    sizes: &[usize],
+    index: &VocabIndex,
+    counts: &mut [u32],
+    total: &mut u64,
+) {
+    ring[*pos & 3] = label as u64;
+    *pos += 1;
+    for &n in sizes {
+        if *pos < n {
+            continue;
+        }
+        let mut packed = 0u64;
+        for j in 0..n {
+            packed |= ring[(*pos - n + j) & 3] << (16 * j);
+        }
+        *total += 1;
+        if let Some(id) = index.get(n as u8, packed) {
+            counts[id as usize] += 1;
+        }
+    }
+}
+
+/// Runs one walk end to end: jump the RNG to the walk's predicted word
+/// offset, walk and count fused, verify the speculation, then transform and
+/// normalize into the walk's output slice.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    unit: &mut WalkUnit<'_>,
+    csr: &CsrAdjacency,
+    entry: usize,
+    len: usize,
+    sizes: &[usize],
+    seed: u64,
+    words_per_walk: u64,
+    ok: &AtomicBool,
+) {
+    if !ok.load(Ordering::Relaxed) {
+        return;
+    }
+    let start = (unit.w as u64).wrapping_mul(words_per_walk);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_word_pos(start);
+
+    let mut ring = [0u64; 4];
+    let mut pos = 0usize;
+    let mut total = 0u64;
+    let mut at = entry;
+    push_label(
+        unit.labels[at],
+        &mut ring,
+        &mut pos,
+        sizes,
+        unit.index,
+        unit.counts,
+        &mut total,
+    );
+    for _ in 0..len {
+        let neighbors = csr.neighbors(at);
+        if neighbors.is_empty() {
+            break;
+        }
+        at = neighbors[rng.gen_range(0..neighbors.len())] as usize;
+        push_label(
+            unit.labels[at],
+            &mut ring,
+            &mut pos,
+            sizes,
+            unit.index,
+            unit.counts,
+            &mut total,
+        );
+    }
+    if rng.get_word_pos() != start.wrapping_add(words_per_walk) {
+        // A Lemire rejection shifted the sequential stream: this walk (and
+        // every later one) no longer matches the reference. Abort the whole
+        // sample; the caller falls back to the reference path.
+        ok.store(false, Ordering::Relaxed);
+        return;
+    }
+    *unit.total = total;
+    if total > 0 {
+        for i in 0..unit.vlen {
+            let c = unit.counts[i];
+            if c > 0 {
+                let tf = f64::from(c) / total as f64;
+                unit.out[i] = tf * unit.idf[i];
+            }
+        }
+    }
+    // Same operation order as the reference's `l2_normalized`.
+    let norm = unit.out.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for x in unit.out.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Extracts one sample on the fast path, or returns `None` when the fast
+/// path cannot guarantee bit-identical output and the caller must use the
+/// reference implementation: an n-gram size the 4-label ring cannot hold
+/// (the reference panics on those, and the fallback reproduces that), a
+/// label outside the packable range, a vocabulary wider than `top_k`, or an
+/// RNG speculation miss.
+pub(crate) fn extract_fast(
+    config: &ExtractorConfig,
+    dbl_vocab: &Vocabulary,
+    lbl_vocab: &Vocabulary,
+    tables: &FastTables,
+    cfg: &Cfg,
+    seed: u64,
+) -> Option<FastOutput> {
+    let k = config.top_k;
+    if config.ngram_sizes.iter().any(|&n| n == 0 || n > 4) {
+        return None;
+    }
+    if dbl_vocab.len() > k || lbl_vocab.len() > k {
+        return None;
+    }
+
+    let (reachable, _) = cfg.reachable_subgraph();
+    let (dbl_labels, lbl_labels) = {
+        let _span = soteria_telemetry::span("features.stage.labeling");
+        let keys = labeling::NodeKeys::compute(&reachable);
+        (
+            labeling::label_nodes_with(&reachable, Labeling::Density, &keys),
+            labeling::label_nodes_with(&reachable, Labeling::Level, &keys),
+        )
+    };
+    if dbl_labels
+        .iter()
+        .chain(lbl_labels.iter())
+        .any(|&l| l > MAX_LABEL)
+    {
+        return None;
+    }
+
+    let csr = reachable.csr_adjacency();
+    let entry = reachable.entry().index();
+    let len = config.walk_multiplier * reachable.node_count();
+    let count = config.walks_per_labeling;
+    let total_walks = 2 * count;
+    let (dl, ll) = (dbl_vocab.len(), lbl_vocab.len());
+    // Every accepted uniform draw costs exactly two keystream words; a walk
+    // from an isolated entry stops before its first draw.
+    let words_per_walk = if csr.degree(entry) == 0 {
+        0
+    } else {
+        2 * len as u64
+    };
+
+    let mut scratch = checkout();
+    let (dstride, lstride) = (dl.max(1), ll.max(1));
+    scratch.counts.clear();
+    scratch.counts.resize(count * (dstride + lstride), 0);
+    scratch.totals.clear();
+    scratch.totals.resize(total_walks, 0);
+    scratch.merged.clear();
+    scratch.merged.resize(dl + ll, 0);
+
+    let mut dbl_walks: Vec<Vec<f64>> = (0..count).map(|_| vec![0.0; k]).collect();
+    let mut lbl_walks: Vec<Vec<f64>> = (0..count).map(|_| vec![0.0; k]).collect();
+
+    let ok = AtomicBool::new(true);
+    {
+        let _span = soteria_telemetry::span("features.stage.walks");
+        let (dbl_flat, lbl_flat) = scratch.counts.split_at_mut(count * dstride);
+        let (dbl_totals, lbl_totals) = scratch.totals.split_at_mut(count);
+        let mut units: Vec<WalkUnit<'_>> = Vec::with_capacity(total_walks);
+        for (w, ((counts, out), total)) in dbl_flat
+            .chunks_mut(dstride)
+            .zip(dbl_walks.iter_mut())
+            .zip(dbl_totals.iter_mut())
+            .enumerate()
+        {
+            units.push(WalkUnit {
+                w,
+                labels: &dbl_labels,
+                idf: dbl_vocab.idf_weights(),
+                index: &tables.dbl,
+                vlen: dl,
+                counts,
+                total,
+                out,
+            });
+        }
+        for (j, ((counts, out), total)) in lbl_flat
+            .chunks_mut(lstride)
+            .zip(lbl_walks.iter_mut())
+            .zip(lbl_totals.iter_mut())
+            .enumerate()
+        {
+            units.push(WalkUnit {
+                w: count + j,
+                labels: &lbl_labels,
+                idf: lbl_vocab.idf_weights(),
+                index: &tables.lbl,
+                vlen: ll,
+                counts,
+                total,
+                out,
+            });
+        }
+
+        let sizes: &[usize] = &config.ngram_sizes;
+        let jobs = (soteria_pool::pool_threads() + 1).min(units.len().max(1));
+        if jobs <= 1 {
+            for unit in &mut units {
+                run_unit(unit, csr, entry, len, sizes, seed, words_per_walk, &ok);
+            }
+        } else {
+            let per = units.len().div_ceil(jobs);
+            let ok = &ok;
+            let tasks: Vec<soteria_pool::ScopedTask<'_>> = units
+                .chunks_mut(per)
+                .map(|chunk| {
+                    Box::new(move || {
+                        for unit in chunk.iter_mut() {
+                            run_unit(unit, csr, entry, len, sizes, seed, words_per_walk, ok);
+                        }
+                    }) as soteria_pool::ScopedTask<'_>
+                })
+                .collect();
+            soteria_telemetry::counter("features.fastpath.walk_jobs", tasks.len() as u64);
+            soteria_pool::run_scoped(tasks);
+        }
+    }
+    if !ok.load(Ordering::Relaxed) {
+        checkin(scratch);
+        return None;
+    }
+
+    // Merged vectors are integer column sums over the per-walk counts
+    // (order-independent), then the same transform + single normalization
+    // as the reference's combined vector.
+    let _span = soteria_telemetry::span("features.stage.tfidf_transform");
+    let (dbl_flat, lbl_flat) = scratch.counts.split_at(count * dstride);
+    let (dbl_merged, lbl_merged) = scratch.merged.split_at_mut(dl);
+    for walk in dbl_flat.chunks(dstride) {
+        for (m, &c) in dbl_merged.iter_mut().zip(walk.iter()) {
+            *m += c;
+        }
+    }
+    for walk in lbl_flat.chunks(lstride) {
+        for (m, &c) in lbl_merged.iter_mut().zip(walk.iter()) {
+            *m += c;
+        }
+    }
+    let dbl_total: u64 = scratch.totals[..count].iter().sum();
+    let lbl_total: u64 = scratch.totals[count..].iter().sum();
+
+    let mut combined = vec![0.0f64; 2 * k];
+    if dbl_total > 0 {
+        for (i, &c) in dbl_merged.iter().enumerate() {
+            if c > 0 {
+                let tf = f64::from(c) / dbl_total as f64;
+                combined[i] = tf * dbl_vocab.idf(i);
+            }
+        }
+    }
+    if lbl_total > 0 {
+        for (i, &c) in lbl_merged.iter().enumerate() {
+            if c > 0 {
+                let tf = f64::from(c) / lbl_total as f64;
+                combined[k + i] = tf * lbl_vocab.idf(i);
+            }
+        }
+    }
+    let norm = combined.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for x in &mut combined {
+            *x /= norm;
+        }
+    }
+
+    checkin(scratch);
+    Some(FastOutput {
+        dbl_walks,
+        lbl_walks,
+        combined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::Gram;
+    use crate::ngram::GramCounts;
+
+    fn vocab_of(walks: &[&[usize]], sizes: &[usize], k: usize) -> Vocabulary {
+        let docs: Vec<GramCounts> = walks
+            .iter()
+            .map(|w| {
+                let mut c = GramCounts::new();
+                c.add_walk(w, sizes);
+                c
+            })
+            .collect();
+        Vocabulary::fit(&docs, k)
+    }
+
+    #[test]
+    fn vocab_index_finds_every_gram_and_rejects_others() {
+        let vocab = vocab_of(&[&[0, 1, 2, 3, 0, 1], &[2, 2, 2]], &[2, 3], 64);
+        let index = VocabIndex::build(&vocab);
+        for (i, g) in vocab.grams().iter().enumerate() {
+            assert_eq!(index.get(g.len() as u8, g.packed()), Some(i as u32));
+        }
+        let absent = Gram::new(&[9, 9, 9, 9]);
+        assert_eq!(index.get(absent.len() as u8, absent.packed()), None);
+    }
+
+    #[test]
+    fn vocab_index_on_empty_vocabulary_is_empty() {
+        let vocab = Vocabulary::fit(&[], 8);
+        let index = VocabIndex::build(&vocab);
+        assert_eq!(index.get(2, 0), None);
+    }
+
+    #[test]
+    fn push_label_counts_every_window_like_the_reference() {
+        let walk = [0usize, 1, 0, 1, 2, 0];
+        let sizes = [2usize, 3];
+        let vocab = vocab_of(&[&walk], &sizes, 64);
+        let index = VocabIndex::build(&vocab);
+
+        let mut counts = vec![0u32; vocab.len()];
+        let mut total = 0u64;
+        let mut ring = [0u64; 4];
+        let mut pos = 0usize;
+        for &l in &walk {
+            push_label(
+                l,
+                &mut ring,
+                &mut pos,
+                &sizes,
+                &index,
+                &mut counts,
+                &mut total,
+            );
+        }
+
+        let mut reference = GramCounts::new();
+        reference.add_walk(&walk, &sizes);
+        assert_eq!(total, reference.total());
+        for (i, g) in vocab.grams().iter().enumerate() {
+            assert_eq!(counts[i], reference.count(*g), "gram {g}");
+        }
+    }
+
+    #[test]
+    fn scratch_pool_round_trips() {
+        let mut s = checkout();
+        s.counts.resize(10, 7);
+        checkin(s);
+        let s2 = checkout();
+        // Buffers come back with stale contents; extract_fast re-zeroes.
+        checkin(s2);
+    }
+}

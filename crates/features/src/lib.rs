@@ -39,6 +39,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod extractor;
+pub(crate) mod fastpath;
 pub mod labeling;
 pub mod ngram;
 pub mod pca;

@@ -52,6 +52,12 @@ impl Gram {
         self.len == 0
     }
 
+    /// The raw packed label bits (16 bits per label, first label in the low
+    /// bits) — the fast path's interned key.
+    pub(crate) fn packed(&self) -> u64 {
+        self.packed
+    }
+
     /// Unpacks the labels.
     pub fn labels(&self) -> Vec<usize> {
         (0..self.len as usize)

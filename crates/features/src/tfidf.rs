@@ -170,6 +170,12 @@ impl Vocabulary {
         self.idf[i]
     }
 
+    /// All IDF weights in feature order (parallel to
+    /// [`grams`](Vocabulary::grams)).
+    pub fn idf_weights(&self) -> &[f64] {
+        &self.idf
+    }
+
     /// Transforms a sample's gram counts into its TF-IDF vector.
     pub fn transform(&self, sample: &GramCounts) -> Vec<f64> {
         let mut out = vec![0.0; self.grams.len()];

@@ -121,6 +121,37 @@ impl ChaCha8Rng {
         rng
     }
 
+    /// Number of 32-bit keystream words consumed so far (the upstream
+    /// `rand_chacha` "word position"). `set_word_pos(get_word_pos())` is an
+    /// exact no-op on the output stream.
+    pub fn get_word_pos(&self) -> u64 {
+        if self.index >= 16 * LANES {
+            // Fresh or fully drained: everything before `counter` is spent.
+            self.counter.wrapping_mul(16)
+        } else {
+            self.counter
+                .wrapping_sub(LANES as u64)
+                .wrapping_mul(16)
+                .wrapping_add(self.index as u64)
+        }
+    }
+
+    /// Jumps the generator so the next `next_u32` returns keystream word
+    /// `word_pos` (16 words per block). Because each block is a pure
+    /// function of `(key, stream, counter)`, seeking is O(1) block work and
+    /// the continuation is bit-identical to sequentially consuming
+    /// `word_pos` words from a fresh generator — this is what makes
+    /// per-walk RNG stream-splitting exact (see soteria-features).
+    pub fn set_word_pos(&mut self, word_pos: u64) {
+        self.counter = word_pos / 16;
+        self.index = 16 * LANES;
+        let within = (word_pos % 16) as usize;
+        if within != 0 {
+            self.refill();
+            self.index = within;
+        }
+    }
+
     /// Selects an independent stream for the same key (handy for
     /// splitting; unused seed space otherwise).
     pub fn set_stream(&mut self, stream: u64) {
@@ -332,6 +363,45 @@ mod tests {
         let _ = rng.next_u64();
         let mut restored = ChaCha8Rng::from_state(rng.state());
         assert_eq!(rng.next_u64(), restored.next_u64());
+    }
+
+    #[test]
+    fn set_word_pos_matches_sequential_consumption() {
+        for pos in [0u64, 1, 7, 15, 16, 17, 31, 32, 48, 63, 64, 65, 100, 257] {
+            let mut seq = ChaCha8Rng::seed_from_u64(31);
+            for _ in 0..pos {
+                let _ = seq.next_u32();
+            }
+            let mut jumped = ChaCha8Rng::seed_from_u64(31);
+            jumped.set_word_pos(pos);
+            assert_eq!(jumped.get_word_pos(), pos);
+            let a: Vec<u32> = (0..80).map(|_| seq.next_u32()).collect();
+            let b: Vec<u32> = (0..80).map(|_| jumped.next_u32()).collect();
+            assert_eq!(a, b, "divergence jumping to word {pos}");
+        }
+    }
+
+    #[test]
+    fn get_word_pos_counts_consumed_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for consumed in 0..200u64 {
+            assert_eq!(rng.get_word_pos(), consumed);
+            let _ = rng.next_u32();
+        }
+    }
+
+    #[test]
+    fn word_pos_round_trip_is_a_no_op() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..37 {
+            let _ = rng.next_u32();
+        }
+        let mut twin = rng.clone();
+        let pos = twin.get_word_pos();
+        twin.set_word_pos(pos);
+        let a: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..32).map(|_| twin.next_u64()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -41,6 +41,20 @@ cargo run -q --release -p soteria-eval --bin soteria-exp -- \
     nn-bench --smoke --out "$tmpdir" "${nn_baseline[@]}"
 rm -rf "$tmpdir"
 
+# Extraction smoke gate: a shrunk extract-bench run drives the parallel
+# fast path (jumped RNG streams, interned counting, scratch arenas) against
+# the sequential reference and FAILS if the outputs are not bit-identical.
+# Speedup drift against the committed baseline is a *note*, never fatal.
+echo "==> extract bench gate: soteria-exp extract-bench --smoke"
+tmpdir="$(mktemp -d)"
+extract_baseline=()
+if [[ -f results/BENCH_extract.json ]]; then
+    extract_baseline=(--baseline results/BENCH_extract.json)
+fi
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    extract-bench --smoke --out "$tmpdir" "${extract_baseline[@]}"
+rm -rf "$tmpdir"
+
 # Bench-drift note (non-fatal): wall-clock throughput is hardware-bound,
 # so a slowdown against the committed baseline only prints a warning —
 # but a non-bit-identical serve run fails the command itself.

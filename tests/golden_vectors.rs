@@ -47,6 +47,124 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_features.json")
 }
 
+fn extraction_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_extraction.json")
+}
+
+fn crc_of(v: &[f64]) -> u32 {
+    let mut bytes = Vec::with_capacity(v.len() * 8);
+    for &x in v {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+/// Extraction-stage fixture at the paper's full dimensions: for three
+/// fixture binaries, the CRC of every per-labeling walk matrix (10 × 500
+/// per labeling) and of the combined 1×1000 vector.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct ExtractionFixture {
+    corpus_seed: u64,
+    extractor_seed: u64,
+    per_labeling_dim: usize,
+    combined_dim: usize,
+    samples: Vec<ExtractionSample>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct ExtractionSample {
+    index: usize,
+    walk_seed: u64,
+    dbl_walks_crc32: u32,
+    lbl_walks_crc32: u32,
+    combined_crc32: u32,
+}
+
+fn compute_current_extraction() -> ExtractionFixture {
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: [8, 8, 8, 8],
+        seed: CORPUS_SEED,
+        av_noise: false,
+        lineages: 3,
+    });
+    let graphs: Vec<_> = corpus
+        .samples()
+        .iter()
+        .take(SAMPLES)
+        .map(|s| s.graph().clone())
+        .collect();
+    // The paper's configuration: 500 grams per labeling, 10 walks of
+    // 5·|V| steps each — the committed CRCs pin the full-size extraction
+    // stage, not just the scaled-down test config.
+    let extractor = FeatureExtractor::fit(&ExtractorConfig::default(), &graphs, EXTRACTOR_SEED);
+
+    let samples = graphs
+        .iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, g)| {
+            let walk_seed = 2_000 + i as u64;
+            let features = extractor.extract(g, walk_seed);
+            let flat = |walks: &[Vec<f64>]| -> u32 {
+                let mut all = Vec::new();
+                for w in walks {
+                    all.extend_from_slice(w);
+                }
+                crc_of(&all)
+            };
+            ExtractionSample {
+                index: i,
+                walk_seed,
+                dbl_walks_crc32: flat(features.dbl_walks()),
+                lbl_walks_crc32: flat(features.lbl_walks()),
+                combined_crc32: crc_of(features.combined()),
+            }
+        })
+        .collect();
+
+    ExtractionFixture {
+        corpus_seed: CORPUS_SEED,
+        extractor_seed: EXTRACTOR_SEED,
+        per_labeling_dim: extractor.per_labeling_dim(),
+        combined_dim: extractor.combined_dim(),
+        samples,
+    }
+}
+
+#[test]
+fn extraction_stage_matches_committed_golden_vectors() {
+    let current = compute_current_extraction();
+    let path = extraction_fixture_path();
+
+    if std::env::var("SOTERIA_BLESS").is_ok() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize fixture");
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        eprintln!("blessed extraction fixture at {}", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing extraction fixture {} ({e}); generate it with \
+             `SOTERIA_BLESS=1 cargo test --test golden_vectors`",
+            path.display()
+        )
+    });
+    let recorded: ExtractionFixture = serde_json::from_str(&raw).expect("parse extraction fixture");
+
+    assert_eq!(
+        recorded,
+        current,
+        "EXTRACTION STAGE DRIFT: the extractor no longer reproduces the \
+         committed per-walk and combined vectors in {}. The fast path and \
+         the sequential reference must stay bit-identical; if this drift is \
+         intentional, re-bless with `SOTERIA_BLESS=1 cargo test --test \
+         golden_vectors` and explain it in the commit message.",
+        extraction_fixture_path().display()
+    );
+}
+
 fn compute_current() -> GoldenFixture {
     let corpus = Corpus::generate(&CorpusConfig {
         counts: [8, 8, 8, 8],
