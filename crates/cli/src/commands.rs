@@ -328,7 +328,8 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 
 /// `serve (--corpus DIR | --model MODEL.json) [--seed N] [--workers N]
 ///        [--queue N] [--cache N] [--batch-window-ms N] [--max-batch N]
-///        [--listen ADDR] [--metrics PATH]`
+///        [--listen ADDR] [--metrics PATH] [--metrics-interval SECS]
+///        [--trace F]`
 ///
 /// Runs the concurrent screening service over a line protocol: each
 /// request line is a file path or `hex:`-prefixed bytes, each response
@@ -336,6 +337,12 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 /// stdin/stdout (EOF drains and shuts down); with `--listen ADDR` it runs
 /// over a TCP accept loop (`quit` closes a connection, `shutdown` stops
 /// the server).
+///
+/// Observability: `--trace F` samples a fraction `F` of requests into
+/// per-stage traces (`SOTERIA_TRACE` sets the default), the `METRICS` /
+/// `TRACES [n]` / `HEALTH` admin verbs answer in-band on either front
+/// end, and `--metrics-interval SECS` rewrites the `--metrics` snapshot
+/// file periodically while the service runs.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
     let seed = flag_u64(&flags, "seed", 7)?;
@@ -350,6 +357,15 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         return Err("serve needs --corpus DIR or --model MODEL.json".into());
     };
 
+    // --trace overrides SOTERIA_TRACE, which overrides "off".
+    let trace_default = std::env::var("SOTERIA_TRACE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let trace_sampling = flag_f64(&flags, "trace", trace_default)?;
+    if !(0.0..=1.0).contains(&trace_sampling) {
+        return Err(format!("--trace wants 0.0..=1.0, got {trace_sampling}"));
+    }
     let config = ServeConfig {
         workers: flag_u64(&flags, "workers", 2)? as usize,
         queue_capacity: flag_u64(&flags, "queue", 64)? as usize,
@@ -357,9 +373,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         batch_window: std::time::Duration::from_millis(flag_u64(&flags, "batch-window-ms", 2)?),
         max_batch: flag_u64(&flags, "max-batch", 32)? as usize,
         seed,
+        trace_sampling,
         ..ServeConfig::default()
     };
     let service = ScreeningService::start(system, &config);
+    let snapshot_writer = start_snapshot_writer(&flags)?;
 
     if let Some(addr) = flags.get("listen") {
         serve_tcp(&service, addr)?;
@@ -367,6 +385,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         serve_stdin(&service)?;
     }
 
+    if let Some((stop, handle)) = snapshot_writer {
+        let _ = stop.send(());
+        let _ = handle.join();
+    }
     let stats = service.stats();
     service.shutdown();
     eprintln!(
@@ -380,12 +402,98 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     write_metrics_if_requested(&flags)
 }
 
-/// Resolves one request line to one JSON response line (`None` for blank
-/// lines, which are ignored).
+/// Honors `--metrics-interval SECS` (requires `--metrics PATH`): spawns a
+/// thread that rewrites the snapshot file every interval until told to
+/// stop, so a running service can be inspected without admin access.
+/// The write is best-effort — an unwritable path must not kill serving.
+#[allow(clippy::type_complexity)]
+fn start_snapshot_writer(
+    flags: &HashMap<String, String>,
+) -> Result<Option<(std::sync::mpsc::Sender<()>, std::thread::JoinHandle<()>)>, String> {
+    let interval = flag_u64(flags, "metrics-interval", 0)?;
+    if interval == 0 {
+        return Ok(None);
+    }
+    let path = flags
+        .get("metrics")
+        .cloned()
+        .ok_or("--metrics-interval needs --metrics PATH")?;
+    let interval = std::time::Duration::from_secs(interval);
+    let telemetry = soteria_telemetry::RegistryHandle::current();
+    let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+    let handle = std::thread::Builder::new()
+        .name("soteria-metrics-writer".to_owned())
+        .spawn(move || {
+            let _telemetry = telemetry.attach();
+            let path = PathBuf::from(path);
+            while stop_rx.recv_timeout(interval).is_err() {
+                if let Err(e) = soteria_telemetry::snapshot().write_json(&path) {
+                    eprintln!("metrics writer: {e}");
+                }
+            }
+        })
+        .map_err(|e| format!("spawn metrics writer: {e}"))?;
+    Ok(Some((stop_tx, handle)))
+}
+
+/// `metrics (--file PATH | --connect ADDR)`
+///
+/// Renders a telemetry snapshot as the human-readable summary table:
+/// either a JSON file written by `--metrics` / `--metrics-interval`, or
+/// the live `METRICS` exposition fetched from a serving `--listen`
+/// address.
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let report = if let Some(path) = flags.get("file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str::<soteria_telemetry::MetricsReport>(&text)
+            .map_err(|e| format!("parse {path}: {e}"))?
+    } else if let Some(addr) = flags.get("connect") {
+        fetch_metrics(addr)?
+    } else {
+        return Err("metrics needs --file PATH or --connect ADDR".into());
+    };
+    print!("{}", report.summary_table());
+    Ok(())
+}
+
+/// Fetches the `METRICS` text exposition from a serving TCP address and
+/// parses it back into a report.
+fn fetch_metrics(addr: &str) -> Result<soteria_telemetry::MetricsReport, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(b"METRICS\n")
+        .map_err(|e| format!("send METRICS: {e}"))?;
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut text = String::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read {addr}: {e}"))?;
+        if line.trim() == "# EOF" {
+            break;
+        }
+        text.push_str(&line);
+        text.push('\n');
+    }
+    soteria_telemetry::MetricsReport::parse_text(&text)
+}
+
+/// Resolves one request line to one response (`None` for blank lines,
+/// which are ignored). Admin verbs (`METRICS`, `TRACES`, `HEALTH`) answer
+/// from live telemetry; anything else is a screening request that answers
+/// with one JSON verdict line.
 fn serve_line(service: &ScreeningService, line: &str) -> Option<String> {
     let line = line.trim();
     if line.is_empty() {
         return None;
+    }
+    if let Some(response) = soteria_serve::handle_admin(service, line) {
+        return Some(response);
     }
     let bytes = if let Some(hex) = line.strip_prefix("hex:") {
         match protocol::parse_hex(hex) {

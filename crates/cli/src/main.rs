@@ -11,8 +11,9 @@
 //!                                                       train and persist a system
 //! soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] FILE...
 //!                                                       screen files with a system
-//! soteria-cli serve (--corpus DIR | --model MODEL) [--listen ADDR]
+//! soteria-cli serve (--corpus DIR | --model MODEL) [--listen ADDR] [--trace F]
 //!                                                       run the screening service
+//! soteria-cli metrics (--file PATH | --connect ADDR)    render a telemetry snapshot
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -31,15 +32,24 @@ fn usage() -> &'static str {
      [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]\n  \
      soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--metrics PATH] FILE...\n  \
      soteria-cli serve (--corpus DIR | --model MODEL) [--seed N] [--workers N] [--queue N]\n    \
-     [--cache N] [--batch-window-ms N] [--max-batch N] [--listen ADDR] [--metrics PATH]\n\n\
+     [--cache N] [--batch-window-ms N] [--max-batch N] [--listen ADDR] [--metrics PATH]\n    \
+     [--metrics-interval SECS] [--trace F]\n  \
+     soteria-cli metrics (--file PATH | --connect ADDR)\n\n\
      serve reads one request per line (a file path, or hex:<bytes>) and answers\n  \
      with one JSON verdict per line; without --listen the protocol runs on\n  \
      stdin/stdout, with --listen ADDR over TCP (quit ends a connection,\n  \
      shutdown stops the server). Verdicts are cached by content and screened\n  \
-     in micro-batches; identical content always gets the identical verdict.\n\n\
+     in micro-batches; identical content always gets the identical verdict.\n  \
+     The METRICS [json], TRACES [n], and HEALTH admin verbs answer in-band on\n  \
+     either front end; --trace F samples that fraction of requests into\n  \
+     per-stage traces (SOTERIA_TRACE=F sets the default). Tracing never\n  \
+     changes a verdict.\n\n\
      --checkpoint-every N snapshots training state every N epochs (atomic,\n  \
      crash-safe); --resume PATH continues a killed run bit-for-bit.\n  \
-     --metrics PATH writes a telemetry snapshot (counters + span timings) as JSON.\n  \
+     --metrics PATH writes a telemetry snapshot (counters + span timings) as\n  \
+     JSON; --metrics-interval SECS rewrites it periodically while serving.\n  \
+     metrics renders such a snapshot (or a live METRICS response fetched\n  \
+     from a serving --listen address) as a summary table.\n  \
      SOTERIA_METRICS=summary prints a timing summary table to stderr on exit."
 }
 
@@ -53,6 +63,7 @@ fn main() -> ExitCode {
         Some("train") => commands::train(&args[1..]),
         Some("analyze") => commands::analyze(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("metrics") => commands::metrics(&args[1..]),
         Some("--help") | Some("-h") => {
             // An explicitly requested help text is a successful run and
             // belongs on stdout (so `soteria-cli --help | less` works).

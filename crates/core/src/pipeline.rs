@@ -69,8 +69,12 @@ impl Verdict {
 
 /// Counts a degraded verdict into telemetry and wraps the fault.
 fn degraded(reason: FaultKind) -> Verdict {
-    soteria_telemetry::counter("pipeline.verdicts.degraded", 1);
-    soteria_telemetry::counter(&format!("resilience.faults.{}", reason.slug()), 1);
+    // The format! below allocates, so gate it: the disabled path must
+    // stay allocation-free (see telemetry's alloc_free test).
+    if soteria_telemetry::enabled() {
+        soteria_telemetry::counter("pipeline.verdicts.degraded", 1);
+        soteria_telemetry::counter(&format!("resilience.faults.{}", reason.slug()), 1);
+    }
     Verdict::Degraded { reason }
 }
 
@@ -136,7 +140,11 @@ impl StageClock {
         let start = Instant::now();
         let out = f();
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        soteria_telemetry::record(&format!("{}.{name}", self.prefix), ms);
+        // Gated: the name is built with format!, which must not run on
+        // the allocation-free disabled path.
+        if soteria_telemetry::enabled() {
+            soteria_telemetry::record(&format!("{}.{name}", self.prefix), ms);
+        }
         self.stages.push(StageTime {
             name: name.to_string(),
             ms,

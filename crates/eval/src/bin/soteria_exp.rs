@@ -57,7 +57,8 @@ fn usage() -> &'static str {
      soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
-     soteria-exp serve-smoke [--seed N] [--scale F]\n       \
+     soteria-exp serve-smoke [--seed N] [--scale F] [--trace F]\n       \
+     soteria-exp telemetry-bench [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
      experiments: table2 table3 table4 table6 \
      table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext\n\n       \
@@ -734,6 +735,48 @@ struct ServeBenchRun {
     cache_hit_rate: f64,
     speedup_vs_sequential: f64,
     bit_identical: bool,
+    /// Per-stage latency attribution from the run's `serve.stage.*`
+    /// histograms (empty for the sequential baseline and for reports
+    /// written before the service emitted stage timings).
+    #[serde(default)]
+    stages: Vec<StageAttribution>,
+}
+
+/// Where one service run's latency went: the aggregate of one
+/// `serve.stage.*` histogram over every request in the run.
+#[derive(Debug, Serialize, Deserialize)]
+struct StageAttribution {
+    stage: String,
+    count: u64,
+    mean_ms: f64,
+    p95_ms: f64,
+    total_ms: f64,
+}
+
+/// Pulls the `serve.stage.*` histograms out of a run's metrics snapshot,
+/// in pipeline order.
+fn stage_attribution(report: &soteria_telemetry::MetricsReport) -> Vec<StageAttribution> {
+    [
+        "queue_wait",
+        "extract",
+        "batch_wait",
+        "infer",
+        "total",
+        "cache_hit",
+    ]
+    .iter()
+    .filter_map(|stage| {
+        report
+            .span(&format!("serve.stage.{stage}"))
+            .map(|s| StageAttribution {
+                stage: (*stage).to_owned(),
+                count: s.count,
+                mean_ms: s.mean_ms,
+                p95_ms: s.p95_ms,
+                total_ms: s.total_ms,
+            })
+    })
+    .collect()
 }
 
 /// Nearest-rank percentile of an unsorted latency sample.
@@ -839,10 +882,15 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
         cache_hit_rate: 0.0,
         speedup_vs_sequential: 1.0,
         bit_identical: true,
+        stages: Vec::new(),
     };
 
     let mut runs = Vec::new();
     for concurrency in [1usize, 2, 4, 8] {
+        // Each concurrency level records into its own scoped registry so
+        // the stage attribution is per-run, not cumulative.
+        let scope = soteria_telemetry::scoped();
+        let telemetry = scope.handle();
         let config = ServeConfig {
             workers: concurrency,
             queue_capacity: requests.len().max(1),
@@ -851,6 +899,7 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
             batch_window: std::time::Duration::ZERO,
             max_batch: 32,
             seed,
+            trace_sampling: 1.0,
         };
         let service = ScreeningService::start(system, &config);
         let started = std::time::Instant::now();
@@ -861,7 +910,11 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
             let requests = &requests;
             let handles: Vec<_> = (0..concurrency)
                 .map(|t| {
+                    let telemetry = telemetry.clone();
                     s.spawn(move || {
+                        // Cache-hit stage timings record on the
+                        // submitting thread, so it joins the registry too.
+                        let _telemetry = telemetry.attach();
                         let mut mine = Vec::new();
                         for i in (t..requests.len()).step_by(concurrency) {
                             let clock = std::time::Instant::now();
@@ -883,6 +936,13 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
         let total_ms = started.elapsed().as_secs_f64() * 1e3;
         let stats = service.stats();
         system = service.shutdown();
+        let run_metrics = soteria_telemetry::snapshot();
+        let traces = soteria_telemetry::recent_traces(usize::MAX);
+        if traces.is_empty() {
+            return Err(format!(
+                "serve-bench c={concurrency}: tracing at 1.0 captured no traces"
+            ));
+        }
 
         let bit_identical = measured.iter().all(|(i, _, v)| *v == expected[*i]);
         let mut latencies: Vec<f64> = measured.iter().map(|&(_, ms, _)| ms).collect();
@@ -899,6 +959,7 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
             cache_hit_rate: stats.cache.hit_rate(),
             speedup_vs_sequential: throughput / sequential.throughput_per_sec,
             bit_identical,
+            stages: stage_attribution(&run_metrics),
         });
     }
 
@@ -931,6 +992,15 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
     row("sequential", &report.sequential);
     for run in &report.runs {
         row(&format!("service c={}", run.concurrency), run);
+    }
+    println!("  stage attribution (mean ms / p95 ms per request):");
+    for run in &report.runs {
+        let breakdown: Vec<String> = run
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.2}/{:.2}", s.stage, s.mean_ms, s.p95_ms))
+            .collect();
+        println!("    c={}: {}", run.concurrency, breakdown.join(" | "));
     }
 
     if report.runs.iter().any(|r| !r.bit_identical) {
@@ -973,15 +1043,259 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `serve-smoke [--seed N] [--scale F]` — the serving gate for CI: train
-/// the tiny preset, start the service, screen a small mixed batch (clean
-/// binaries plus one corrupted), and assert clean shutdown with exactly
-/// the corrupted sample degraded and consistent cache accounting.
+/// Telemetry hot-path overhead report, serialized to
+/// `BENCH_telemetry.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct TelemetryBenchReport {
+    iters_per_thread: u64,
+    /// Per-op cost of each telemetry primitive, enabled and disabled.
+    runs: Vec<TelemetryBenchRun>,
+    /// End-to-end cost of telemetry on a synthetic screening-shaped
+    /// workload (hashing work plus the per-request metrics the service
+    /// records).
+    workload: WorkloadOverhead,
+}
+
+/// One (op, thread count, enabled) cell of the overhead matrix.
+#[derive(Debug, Serialize, Deserialize)]
+struct TelemetryBenchRun {
+    op: String,
+    threads: usize,
+    enabled: bool,
+    ns_per_op: f64,
+    mops_per_sec: f64,
+}
+
+/// Throughput of the synthetic workload with telemetry on vs off.
+#[derive(Debug, Serialize, Deserialize)]
+struct WorkloadOverhead {
+    items: u64,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    /// `(enabled - disabled) / disabled`, as a percentage. The budget is
+    /// 2%: above that the instrumentation is taxing the serving fleet.
+    overhead_percent: f64,
+}
+
+/// Times `iters` calls of `op` on each of `threads` threads recording
+/// into the currently active registry; returns wall-clock ns per op.
+fn time_telemetry_op<F>(threads: usize, iters: u64, op: F) -> f64
+where
+    F: Fn(u64) + Sync,
+{
+    let telemetry = soteria_telemetry::RegistryHandle::current();
+    let op = &op;
+    let started = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let telemetry = telemetry.clone();
+            s.spawn(move || {
+                let _telemetry = telemetry.attach();
+                for i in 0..iters {
+                    op(i);
+                }
+            });
+        }
+    });
+    started.elapsed().as_nanos() as f64 / (iters * threads as u64) as f64
+}
+
+/// A screening-shaped unit of work: serially-dependent hashing sized to
+/// ~20 µs, the floor of what one real request costs in extraction plus
+/// inference (real p50 is milliseconds — this is the *hardest* case for
+/// the overhead budget, not the typical one). Returns the hash so the
+/// optimizer cannot delete the loop.
+fn synthetic_screen_work(i: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ i;
+    for round in 0..16_384u64 {
+        h = (h ^ round).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `telemetry-bench [--out DIR] [--baseline PATH] [--smoke]` — measure
+/// the hot-path cost of every telemetry primitive (enabled and disabled,
+/// single-threaded and contended) plus the end-to-end overhead on a
+/// screening-shaped workload, and write `BENCH_telemetry.json`.
+///
+/// Overhead above the 2% budget and drift against `--baseline` are
+/// *noted*, never fatal: wall-clock numbers are hardware-dependent.
+fn run_telemetry_bench(argv: &[String]) -> Result<(), String> {
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown telemetry-bench flag {other}\n{}", usage())),
+        }
+    }
+    let iters: u64 = if smoke { 200_000 } else { 2_000_000 };
+    let items: u64 = if smoke { 5_000 } else { 50_000 };
+
+    type OpFn = fn(u64);
+    let ops: [(&str, OpFn); 4] = [
+        ("counter", |_| soteria_telemetry::counter("tb.counter", 1)),
+        ("record", |i| {
+            soteria_telemetry::record("tb.hist", (i & 0xff) as f64)
+        }),
+        ("span", |_| drop(soteria_telemetry::span("tb.span"))),
+        ("event", |i| soteria_telemetry::event("tb.event", i as f64)),
+    ];
+
+    let mut runs = Vec::new();
+    for (op_name, op) in ops {
+        for threads in [1usize, 8] {
+            for enabled in [true, false] {
+                // Fresh registry per cell so interning and histogram
+                // state never carry across measurements.
+                let _scope = soteria_telemetry::scoped();
+                soteria_telemetry::set_enabled(enabled);
+                // Warm up: intern the name and assign counter stripes.
+                op(0);
+                let ns_per_op = time_telemetry_op(threads, iters, op);
+                runs.push(TelemetryBenchRun {
+                    op: op_name.to_owned(),
+                    threads,
+                    enabled,
+                    ns_per_op,
+                    mops_per_sec: 1e3 / ns_per_op,
+                });
+            }
+        }
+    }
+
+    // End-to-end: the same hashing workload with the per-request metrics
+    // the service records, telemetry off vs on. Alternating best-of-three
+    // passes, so a turbo/scheduling hiccup in one pass cannot masquerade
+    // as instrumentation overhead; the sleep lets the 8-thread per-op
+    // benches above stop biasing the first passes thermally.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let mut workload_ms = [f64::INFINITY; 2];
+    let mut sink = 0u64;
+    for (slot, enabled) in [
+        (0usize, false),
+        (1, true),
+        (0, false),
+        (1, true),
+        (0, false),
+        (1, true),
+    ] {
+        let _scope = soteria_telemetry::scoped();
+        soteria_telemetry::set_enabled(enabled);
+        let started = std::time::Instant::now();
+        for i in 0..items {
+            sink = sink.wrapping_add(synthetic_screen_work(i));
+            // The per-request metric set the screening service records:
+            // a counter, the queue-depth gauge up and down, and the five
+            // stage histograms.
+            soteria_telemetry::counter("tb.workload.submitted", 1);
+            soteria_telemetry::gauge_add("tb.workload.queue", 1);
+            soteria_telemetry::record("tb.workload.queue_wait", 0.01);
+            soteria_telemetry::record("tb.workload.extract", 0.8);
+            soteria_telemetry::record("tb.workload.batch_wait", 0.05);
+            soteria_telemetry::record("tb.workload.infer", 0.2);
+            soteria_telemetry::record("tb.workload.total", 1.1);
+            soteria_telemetry::gauge_add("tb.workload.queue", -1);
+        }
+        workload_ms[slot] = workload_ms[slot].min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    std::hint::black_box(sink);
+    let workload = WorkloadOverhead {
+        items,
+        disabled_ms: workload_ms[0],
+        enabled_ms: workload_ms[1],
+        overhead_percent: (workload_ms[1] - workload_ms[0]) / workload_ms[0].max(1e-9) * 100.0,
+    };
+
+    println!("telemetry-bench ({iters} iters/thread):");
+    println!("  op       threads  enabled   ns/op    Mops/s");
+    for r in &runs {
+        println!(
+            "  {:<8} {:>7} {:>8} {:>8.1} {:>9.2}",
+            r.op,
+            r.threads,
+            if r.enabled { "on" } else { "off" },
+            r.ns_per_op,
+            r.mops_per_sec
+        );
+    }
+    println!(
+        "  workload ({} items): disabled {:.1} ms, enabled {:.1} ms -> {:+.2}% overhead",
+        workload.items, workload.disabled_ms, workload.enabled_ms, workload.overhead_percent
+    );
+    if workload.overhead_percent > 2.0 {
+        eprintln!(
+            "note: telemetry overhead {:.2}% exceeds the 2% budget — wall-clock numbers are \
+             hardware-dependent, but investigate before shipping instrumentation changes",
+            workload.overhead_percent
+        );
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| {
+                serde_json::from_str::<TelemetryBenchReport>(&s).map_err(|e| e.to_string())
+            }) {
+            Ok(committed) => {
+                for old in &committed.runs {
+                    let Some(new) = runs.iter().find(|r| {
+                        r.op == old.op && r.threads == old.threads && r.enabled == old.enabled
+                    }) else {
+                        continue;
+                    };
+                    if new.ns_per_op > old.ns_per_op.max(1.0) * 1.5 {
+                        eprintln!(
+                            "note: telemetry-bench drift: {} (threads {}, {}) {:.1} ns/op vs \
+                             baseline {:.1} — refresh results/BENCH_telemetry.json if this host \
+                             is the reference",
+                            new.op,
+                            new.threads,
+                            if new.enabled { "on" } else { "off" },
+                            new.ns_per_op,
+                            old.ns_per_op
+                        );
+                    }
+                }
+            }
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    let report = TelemetryBenchReport {
+        iters_per_thread: iters,
+        runs,
+        workload,
+    };
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_telemetry.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// `serve-smoke [--seed N] [--scale F] [--trace F]` — the serving gate
+/// for CI: train the tiny preset, start the service, screen a small mixed
+/// batch (clean binaries plus one corrupted), and assert clean shutdown
+/// with exactly the corrupted sample degraded and consistent cache
+/// accounting. With `--trace` above zero the run also fails if the
+/// sampled requests produced no (or empty) stage timelines.
 fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
     use soteria_serve::{ScreeningService, ServeConfig, Submit};
 
     let mut seed = 11u64;
     let mut scale = 0.004f64;
+    let mut trace_sampling = 0.0f64;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -998,6 +1312,13 @@ fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
                     .ok_or("--scale needs a value")?
                     .parse()
                     .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--trace" => {
+                trace_sampling = it
+                    .next()
+                    .ok_or("--trace needs a rate in [0, 1]")?
+                    .parse()
+                    .map_err(|e| format!("bad trace rate: {e}"))?;
             }
             other => return Err(format!("unknown serve-smoke flag {other}\n{}", usage())),
         }
@@ -1020,6 +1341,7 @@ fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
         batch_window: std::time::Duration::from_millis(1),
         max_batch: 8,
         seed,
+        trace_sampling,
     };
     let service = ScreeningService::start(system, &config);
 
@@ -1075,6 +1397,26 @@ fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
             "submit accounting broken: {} submitted, {} rejected",
             stats.submitted, stats.rejected
         ));
+    }
+    if trace_sampling > 0.0 {
+        let traces = soteria_telemetry::recent_traces(usize::MAX);
+        if traces.is_empty() {
+            return Err(format!(
+                "tracing at {trace_sampling} produced no traces for {} requests",
+                requests.len()
+            ));
+        }
+        if let Some(empty) = traces.iter().find(|t| t.stages.is_empty()) {
+            return Err(format!(
+                "trace {:016x} has an empty stage timeline",
+                empty.id
+            ));
+        }
+        println!(
+            "serve-smoke: {} traces captured; flame view:\n{}",
+            traces.len(),
+            soteria_telemetry::flame_view(&traces)
+        );
     }
     println!("ok: serve smoke passed (clean shutdown, fault isolated)");
     Ok(())
@@ -1258,6 +1600,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("serve-bench") {
         let result = run_serve_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("telemetry-bench") {
+        let result = run_telemetry_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

@@ -104,7 +104,9 @@ pub fn ensure_threads(n: usize) -> usize {
             .expect("spawn pool worker");
         *workers += 1;
     }
-    soteria_telemetry::record("nn.pool.threads", *workers as f64);
+    // A gauge, not a histogram: thread count is live state, not a sample
+    // distribution.
+    soteria_telemetry::gauge_set("nn.pool.threads", *workers as i64);
     *workers
 }
 

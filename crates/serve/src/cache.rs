@@ -172,17 +172,26 @@ impl VerdictCache {
                 shard.map.remove(&lru);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 soteria_telemetry::counter("serve.cache.evictions", 1);
+                soteria_telemetry::gauge_add("serve.cache.entries", -1);
             }
         }
-        shard.map.insert(
-            key,
-            Entry {
-                verdict,
-                last_used: tick,
-            },
-        );
+        let fresh = shard
+            .map
+            .insert(
+                key,
+                Entry {
+                    verdict,
+                    last_used: tick,
+                },
+            )
+            .is_none();
         self.inserts.fetch_add(1, Ordering::Relaxed);
         soteria_telemetry::counter("serve.cache.inserts", 1);
+        if fresh {
+            // Residency gauge: +1 per new key; evictions decrement above,
+            // so the gauge tracks `len()` without a cross-shard scan.
+            soteria_telemetry::gauge_add("serve.cache.entries", 1);
+        }
     }
 
     /// Entries currently resident across all shards.

@@ -10,6 +10,8 @@
 //!   verdicts by exact binary content.
 //! - [`protocol`] — the line protocol (path or hex in, JSON verdict out)
 //!   used by `soteria-cli serve`.
+//! - [`admin`] — in-band observability verbs (`METRICS`, `TRACES`,
+//!   `HEALTH`) any front end can answer between screening requests.
 //!
 //! ## Why caching and batching cannot change an answer
 //!
@@ -23,9 +25,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod cache;
 pub mod protocol;
 mod service;
 
+pub use admin::handle_admin;
 pub use cache::{fnv1a64, CacheStats, VerdictCache};
 pub use service::{request_seed, ScreeningService, ServeConfig, ServiceStats, Submit, Ticket};

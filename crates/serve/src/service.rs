@@ -27,11 +27,24 @@
 //! row-independence of every inference stage, this makes the service's
 //! verdict for given bytes *bit-identical* regardless of worker count,
 //! batch window, arrival order, or whether the answer came from the cache.
+//!
+//! # Observability
+//!
+//! Every request unconditionally feeds per-stage latency histograms
+//! (`serve.stage.{queue_wait, extract, batch_wait, infer, total,
+//! cache_hit}`) and live gauges (`serve.queue.depth`, `serve.inflight`) —
+//! all lock-free atomics. When [`ServeConfig::trace_sampling`] admits a
+//! request (a pure function of its content key and the service seed, see
+//! [`soteria_telemetry::sample_decision`]), a [`TraceBuilder`] travels
+//! with the job through the pipeline and publishes a parent/child stage
+//! timeline at verdict time. None of it feeds back into computation:
+//! tracing on or off, verdicts are bit-identical.
 
 use crate::cache::{fnv1a64, CacheStats, VerdictCache};
 use soteria::{Soteria, Verdict};
 use soteria_features::{FeatureExtractor, SampleFeatures};
 use soteria_resilience::{FaultKind, ResourceGuards};
+use soteria_telemetry::TraceBuilder;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
@@ -68,6 +81,12 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Service seed folded into every request seed.
     pub seed: u64,
+    /// Fraction of requests that record a full stage-timeline trace
+    /// (0.0 = never, 1.0 = every request). The decision is a pure
+    /// function of the request's content key and the service seed, so
+    /// the same corpus always samples the same requests. Stage
+    /// *histograms* are recorded regardless of this rate.
+    pub trace_sampling: f64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +99,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             max_batch: 32,
             seed: 0,
+            trace_sampling: 0.0,
         }
     }
 }
@@ -152,6 +172,9 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Submissions turned away by backpressure.
     pub rejected: u64,
+    /// Requests admitted to the pipeline whose verdict has not resolved
+    /// yet (cache hits resolve at submit time and never count).
+    pub in_flight: u64,
     /// Verdict-cache counters.
     pub cache: CacheStats,
 }
@@ -162,6 +185,11 @@ struct Job {
     key: u64,
     seed: u64,
     reply: Sender<Verdict>,
+    /// When the request entered the bounded queue (queue-wait start).
+    enqueued: Instant,
+    /// Stage timeline for sampled requests; travels with the job, so
+    /// appending stages never synchronizes.
+    trace: Option<TraceBuilder>,
 }
 
 /// A request after the worker half: extracted (or faulted) and waiting for
@@ -171,6 +199,11 @@ struct InferJob {
     seed: u64,
     reply: Sender<Verdict>,
     features: Result<SampleFeatures, FaultKind>,
+    /// When the request entered the queue (for end-to-end latency).
+    enqueued: Instant,
+    /// When extraction finished (batch-wait start).
+    extracted: Instant,
+    trace: Option<TraceBuilder>,
 }
 
 /// A running screening service wrapping one trained [`Soteria`].
@@ -187,9 +220,16 @@ pub struct ScreeningService {
     batcher: Option<JoinHandle<Soteria>>,
     cache: Arc<VerdictCache>,
     seed: u64,
+    trace_sampling: f64,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    in_flight: Arc<AtomicU64>,
+    started: Instant,
 }
+
+/// Index of the root `request` stage in every service trace (it is
+/// always the first stage the builder opens).
+const TRACE_ROOT: u32 = 0;
 
 impl ScreeningService {
     /// Starts the worker pool and batcher around a trained system.
@@ -207,15 +247,24 @@ impl ScreeningService {
 
         let extractor = soteria.extractor().clone();
         let guards = soteria.config().guards.clone();
+        // Worker and batcher threads inherit the registry that is active
+        // on the *starting* thread, so a service started under a scoped
+        // registry (tests, benches) records there, not globally.
+        let telemetry = soteria_telemetry::RegistryHandle::current();
+        let in_flight = Arc::new(AtomicU64::new(0));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let submit_rx = Arc::clone(&submit_rx);
                 let infer_tx = infer_tx.clone();
                 let extractor = extractor.clone();
                 let guards = guards.clone();
+                let telemetry = telemetry.clone();
                 std::thread::Builder::new()
                     .name(format!("soteria-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&submit_rx, &infer_tx, &extractor, &guards))
+                    .spawn(move || {
+                        let _telemetry = telemetry.attach();
+                        worker_loop(&submit_rx, &infer_tx, &extractor, &guards)
+                    })
                     .expect("spawn screening worker")
             })
             .collect();
@@ -226,10 +275,20 @@ impl ScreeningService {
         let batch_window = config.batch_window;
         let max_batch = config.max_batch.max(1);
         let batcher_cache = Arc::clone(&cache);
+        let batcher_in_flight = Arc::clone(&in_flight);
+        let batcher_telemetry = telemetry.clone();
         let batcher = std::thread::Builder::new()
             .name("soteria-serve-batcher".to_owned())
             .spawn(move || {
-                batcher_loop(soteria, &infer_rx, batch_window, max_batch, &batcher_cache)
+                let _telemetry = batcher_telemetry.attach();
+                batcher_loop(
+                    soteria,
+                    &infer_rx,
+                    batch_window,
+                    max_batch,
+                    &batcher_cache,
+                    &batcher_in_flight,
+                )
             })
             .expect("spawn screening batcher");
 
@@ -239,9 +298,17 @@ impl ScreeningService {
             batcher: Some(batcher),
             cache,
             seed: config.seed,
+            trace_sampling: config.trace_sampling,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            in_flight,
+            started: Instant::now(),
         }
+    }
+
+    /// Time elapsed since [`start`](ScreeningService::start) returned.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Submits a binary for screening. Identical content always produces an
@@ -249,29 +316,55 @@ impl ScreeningService {
     /// first; on a miss the sample enters the bounded queue, and a full
     /// queue pushes back with [`Submit::Rejected`].
     pub fn submit(&self, bytes: Vec<u8>) -> Submit {
+        let submit_start = Instant::now();
         self.submitted.fetch_add(1, Ordering::Relaxed);
         soteria_telemetry::counter("serve.submitted", 1);
         let key = fnv1a64(&bytes);
+        let sampled = soteria_telemetry::sample_decision(key, self.seed, self.trace_sampling);
         if let Some(verdict) = self.cache.get(key) {
+            soteria_telemetry::record(
+                "serve.stage.cache_hit",
+                submit_start.elapsed().as_secs_f64() * 1e3,
+            );
+            if sampled {
+                let mut trace = TraceBuilder::new(key);
+                let root = trace.begin_at("request", None, submit_start);
+                trace.stage("cache_hit", Some(root), submit_start, Instant::now());
+                trace.end(root);
+                soteria_telemetry::publish_trace(trace.finish());
+            }
             return Submit::Accepted(Ticket {
                 inner: TicketInner::Ready(verdict),
             });
         }
+        let trace = sampled.then(|| {
+            let mut trace = TraceBuilder::new(key);
+            trace.begin_at("request", None, submit_start); // TRACE_ROOT
+            trace.stage("enqueue", Some(TRACE_ROOT), submit_start, Instant::now());
+            trace
+        });
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {
             seed: key ^ self.seed,
             bytes,
             key,
             reply: reply_tx,
+            enqueued: Instant::now(),
+            trace,
         };
         let submit_tx = self
             .submit_tx
             .as_ref()
             .expect("submit on a running service");
         match submit_tx.try_send(job) {
-            Ok(()) => Submit::Accepted(Ticket {
-                inner: TicketInner::Pending(reply_rx),
-            }),
+            Ok(()) => {
+                self.in_flight.fetch_add(1, Ordering::Relaxed);
+                soteria_telemetry::gauge_add("serve.queue.depth", 1);
+                soteria_telemetry::gauge_add("serve.inflight", 1);
+                Submit::Accepted(Ticket {
+                    inner: TicketInner::Pending(reply_rx),
+                })
+            }
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 soteria_telemetry::counter("serve.submit.rejected", 1);
@@ -285,6 +378,7 @@ impl ScreeningService {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
     }
@@ -342,14 +436,36 @@ fn worker_loop(
             let rx = submit_rx.lock().unwrap_or_else(|e| e.into_inner());
             rx.recv()
         };
-        let Ok(job) = job else { break };
-        let _span = soteria_telemetry::span("serve.worker.extract");
+        let Ok(mut job) = job else { break };
+        let dequeued = Instant::now();
+        soteria_telemetry::gauge_add("serve.queue.depth", -1);
+        soteria_telemetry::record(
+            "serve.stage.queue_wait",
+            dequeued
+                .saturating_duration_since(job.enqueued)
+                .as_secs_f64()
+                * 1e3,
+        );
+        if let Some(trace) = job.trace.as_mut() {
+            trace.stage("queue_wait", Some(TRACE_ROOT), job.enqueued, dequeued);
+        }
         let features = extract_features(extractor, guards, &job.bytes, job.seed);
+        let extracted = Instant::now();
+        soteria_telemetry::record(
+            "serve.stage.extract",
+            extracted.saturating_duration_since(dequeued).as_secs_f64() * 1e3,
+        );
+        if let Some(trace) = job.trace.as_mut() {
+            trace.stage("extract", Some(TRACE_ROOT), dequeued, extracted);
+        }
         let handoff = infer_tx.send(InferJob {
             key: job.key,
             seed: job.seed,
             reply: job.reply,
             features,
+            enqueued: job.enqueued,
+            extracted,
+            trace: job.trace,
         });
         if handoff.is_err() {
             // Batcher gone; the job's reply sender just dropped, so its
@@ -387,6 +503,7 @@ fn batcher_loop(
     window: Duration,
     max_batch: usize,
     cache: &VerdictCache,
+    in_flight: &AtomicU64,
 ) -> Soteria {
     loop {
         // Block for the batch's first sample; queue closed means drained.
@@ -417,44 +534,107 @@ fn batcher_loop(
                 }
             }
         }
-        process_batch(&mut soteria, jobs, cache);
+        process_batch(&mut soteria, jobs, cache, in_flight);
     }
     soteria
 }
 
+/// One batched request awaiting its verdict inside [`process_batch`].
+struct PendingReply {
+    key: u64,
+    reply: Sender<Verdict>,
+    verdict: Option<Verdict>,
+    enqueued: Instant,
+    trace: Option<TraceBuilder>,
+    /// Whether the request went through inference (degraded ones skip it).
+    inferred: bool,
+}
+
 /// Screens one collected batch and resolves its tickets.
-fn process_batch(soteria: &mut Soteria, jobs: Vec<InferJob>, cache: &VerdictCache) {
+fn process_batch(
+    soteria: &mut Soteria,
+    jobs: Vec<InferJob>,
+    cache: &VerdictCache,
+    in_flight: &AtomicU64,
+) {
+    let batch_start = Instant::now();
     let _span = soteria_telemetry::span("serve.batch");
     soteria_telemetry::record("serve.batch.size", jobs.len() as f64);
-    let mut pending: Vec<(u64, Sender<Verdict>, Option<Verdict>)> = Vec::with_capacity(jobs.len());
+    let mut pending: Vec<PendingReply> = Vec::with_capacity(jobs.len());
     let mut items: Vec<(SampleFeatures, u64)> = Vec::new();
     let mut item_slots: Vec<usize> = Vec::new();
-    for job in jobs {
-        match job.features {
+    for mut job in jobs {
+        soteria_telemetry::record(
+            "serve.stage.batch_wait",
+            batch_start
+                .saturating_duration_since(job.extracted)
+                .as_secs_f64()
+                * 1e3,
+        );
+        if let Some(trace) = job.trace.as_mut() {
+            trace.stage("batch_wait", Some(TRACE_ROOT), job.extracted, batch_start);
+        }
+        let (verdict, inferred) = match job.features {
             Ok(features) => {
                 item_slots.push(pending.len());
                 items.push((features, job.seed));
-                pending.push((job.key, job.reply, None));
+                (None, true)
             }
             Err(fault) => {
                 soteria_telemetry::counter("serve.verdicts.degraded", 1);
-                pending.push((
-                    job.key,
-                    job.reply,
-                    Some(Verdict::Degraded { reason: fault }),
-                ));
+                (Some(Verdict::Degraded { reason: fault }), false)
             }
-        }
+        };
+        pending.push(PendingReply {
+            key: job.key,
+            reply: job.reply,
+            verdict,
+            enqueued: job.enqueued,
+            trace: job.trace,
+            inferred,
+        });
     }
+    let infer_start = Instant::now();
     let screened = soteria.screen_features_batch(&items);
+    let infer_end = Instant::now();
+    let infer_ms = infer_end
+        .saturating_duration_since(infer_start)
+        .as_secs_f64()
+        * 1e3;
     for (slot, verdict) in item_slots.into_iter().zip(screened) {
-        pending[slot].2 = Some(verdict);
+        pending[slot].verdict = Some(verdict);
     }
-    for (key, reply, verdict) in pending {
-        let verdict = verdict.expect("every batched job resolved");
-        cache.insert(key, verdict.clone());
+    for p in pending {
+        let verdict = p.verdict.expect("every batched job resolved");
+        if p.inferred {
+            // Attribute the stacked pass to each request it served: the
+            // whole batch waited on the same forward passes.
+            soteria_telemetry::record("serve.stage.infer", infer_ms);
+        }
+        cache.insert(p.key, verdict.clone());
+        let resolve_end = Instant::now();
+        soteria_telemetry::record(
+            "serve.stage.total",
+            resolve_end
+                .saturating_duration_since(p.enqueued)
+                .as_secs_f64()
+                * 1e3,
+        );
+        if let Some(mut trace) = p.trace {
+            if p.inferred {
+                trace.stage("infer", Some(TRACE_ROOT), infer_start, infer_end);
+            }
+            trace.stage("resolve", Some(TRACE_ROOT), infer_end, resolve_end);
+            trace.end_at(TRACE_ROOT, resolve_end);
+            soteria_telemetry::publish_trace(trace.finish());
+        }
+        // Decrement before replying so a submitter that wakes on the reply
+        // never reads a stale in-flight count. Every batched job was
+        // counted at submit time, so this never underflows.
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        soteria_telemetry::gauge_add("serve.inflight", -1);
         // A dropped receiver just means the submitter stopped waiting.
-        let _ = reply.send(verdict);
+        let _ = p.reply.send(verdict);
     }
 }
 
@@ -491,6 +671,7 @@ mod tests {
             batch_window: Duration::from_millis(1),
             max_batch: 8,
             seed: 9,
+            trace_sampling: 1.0,
         }
     }
 
@@ -560,6 +741,77 @@ mod tests {
             real,
             soteria.screen_binary(&binaries[0], request_seed(9, &binaries[0]))
         );
+    }
+
+    #[test]
+    fn traces_capture_the_stage_timeline_without_changing_verdicts() {
+        let (soteria, binaries) = trained();
+        // Everything records into a scoped registry: the service captures
+        // it at start and attaches it in the worker/batcher threads.
+        let scope = soteria_telemetry::scoped();
+        let service = ScreeningService::start(soteria, &config());
+        let traced: Vec<Verdict> = binaries
+            .iter()
+            .map(|b| {
+                service
+                    .submit(b.clone())
+                    .into_ticket()
+                    .expect("accepted")
+                    .wait()
+            })
+            .collect();
+        assert_eq!(service.stats().in_flight, 0, "all requests resolved");
+        let traces = soteria_telemetry::recent_traces(usize::MAX);
+        assert_eq!(
+            traces.len(),
+            binaries.len(),
+            "sampling 1.0 traces every request"
+        );
+        for t in &traces {
+            let names: Vec<&str> = t.stages.iter().map(|s| s.name).collect();
+            for want in ["request", "enqueue", "queue_wait", "extract", "infer"] {
+                assert!(names.contains(&want), "stage {want} missing in {names:?}");
+            }
+            // Children hang off the root request stage.
+            assert!(t.stages[1..].iter().all(|s| s.parent == Some(TRACE_ROOT)));
+        }
+        let report = soteria_telemetry::snapshot();
+        for stage in ["queue_wait", "extract", "batch_wait", "infer", "total"] {
+            let name = format!("serve.stage.{stage}");
+            let s = report
+                .span(&name)
+                .unwrap_or_else(|| panic!("{name} recorded"));
+            assert_eq!(s.count, binaries.len() as u64, "{name} count");
+        }
+        let soteria = service.shutdown();
+        drop(scope);
+
+        // Identical run with tracing off: verdicts must be bit-identical.
+        let scope = soteria_telemetry::scoped();
+        let service = ScreeningService::start(
+            soteria,
+            &ServeConfig {
+                trace_sampling: 0.0,
+                ..config()
+            },
+        );
+        let untraced: Vec<Verdict> = binaries
+            .iter()
+            .map(|b| {
+                service
+                    .submit(b.clone())
+                    .into_ticket()
+                    .expect("accepted")
+                    .wait()
+            })
+            .collect();
+        assert_eq!(traced, untraced, "tracing changed a verdict");
+        assert!(
+            soteria_telemetry::recent_traces(usize::MAX).is_empty(),
+            "sampling 0.0 must trace nothing"
+        );
+        drop(service);
+        drop(scope);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Property test: the `METRICS` text exposition is lossless.
+//!
+//! Generates arbitrary reports, renders them through the same path the
+//! admin verb uses, and asserts the parse reconstructs the exact report —
+//! floats included, because the exposition uses Rust's shortest
+//! round-trip float formatting.
+
+use proptest::prelude::*;
+use soteria_serve::admin::parse_metrics_response;
+use soteria_telemetry::{CounterStats, GaugeStats, MetricsReport, SpanStats};
+
+fn counters() -> impl Strategy<Value = Vec<CounterStats>> {
+    proptest::collection::vec((0u32..100, 0u64..u64::MAX), 0..8).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(id, value)| CounterStats {
+                name: format!("prop.counter.{id}"),
+                value,
+            })
+            .collect()
+    })
+}
+
+fn gauges() -> impl Strategy<Value = Vec<GaugeStats>> {
+    proptest::collection::vec((0u32..100, i64::MIN..i64::MAX), 0..8).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(id, value)| GaugeStats {
+                name: format!("prop.gauge.{id}"),
+                value,
+            })
+            .collect()
+    })
+}
+
+fn spans() -> impl Strategy<Value = Vec<SpanStats>> {
+    let span = (
+        (0u32..100, 1u64..1_000_000, 0.0f64..1e9),
+        (
+            0.0f64..1e9,
+            0.0f64..1e9,
+            0.0f64..1e9,
+            0.0f64..1e9,
+            0.0f64..1e9,
+        ),
+    )
+        .prop_map(
+            |((id, count, total_ms), (min_ms, max_ms, p50_ms, p90_ms, p95_ms))| {
+                SpanStats {
+                    name: format!("prop.span.{id}"),
+                    count,
+                    total_ms,
+                    // The exposition omits the mean and recomputes it as
+                    // total/count on parse; mirror that here so equality of
+                    // the whole struct is the property under test.
+                    mean_ms: total_ms / count as f64,
+                    min_ms,
+                    max_ms,
+                    p50_ms,
+                    p90_ms,
+                    p95_ms,
+                    p99_ms: max_ms,
+                }
+            },
+        );
+    proptest::collection::vec(span, 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exposition_round_trips_bit_identically(
+        counters in counters(),
+        gauges in gauges(),
+        spans in spans(),
+    ) {
+        let report = MetricsReport { counters, gauges, spans };
+        // The admin METRICS response is render_text plus the terminator.
+        let wire = format!("{}# EOF", report.render_text());
+        let parsed = parse_metrics_response(&wire).expect("well-formed exposition parses");
+        prop_assert_eq!(parsed, report);
+    }
+}

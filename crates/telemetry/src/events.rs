@@ -1,0 +1,222 @@
+//! A bounded lock-free ring buffer of sampled diagnostic events.
+//!
+//! Writers claim a slot with one `fetch_add` and fill it with relaxed
+//! atomic stores guarded by a per-slot sequence word (a seqlock in
+//! miniature): readers accept a slot only when the sequence reads the
+//! same non-zero ticket before and after the field loads, so a torn
+//! read is detected and skipped rather than surfaced. The collection is
+//! best-effort diagnostics by design — under pathological wrap-around
+//! (exactly a multiple of the capacity between the two sequence loads) a
+//! stale-but-consistent event could be returned, which is acceptable for
+//! an event log and keeps the write path wait-free.
+//!
+//! Admission is governed by seeded sampling over a monotone attempt
+//! counter, so an overloaded process degrades to a deterministic subset
+//! of events instead of a lock convoy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ring capacity (power of two).
+const RING_CAP: usize = 1024;
+
+struct EventSlot {
+    /// 0 = never written; otherwise the writer's ticket.
+    seq: AtomicU64,
+    time_us: AtomicU64,
+    name_slot: AtomicU64,
+    value_bits: AtomicU64,
+}
+
+impl EventSlot {
+    fn new() -> EventSlot {
+        EventSlot {
+            seq: AtomicU64::new(0),
+            time_us: AtomicU64::new(0),
+            name_slot: AtomicU64::new(0),
+            value_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The ring itself. One per [`Registry`](crate::Registry).
+pub(crate) struct EventRing {
+    slots: Box<[EventSlot]>,
+    /// Next write ticket (starts at 1; 0 is the "empty" sentinel).
+    head: AtomicU64,
+    /// Admission attempts, the sampling key stream.
+    attempts: AtomicU64,
+    /// Sample rate as `f64` bits (default 1.0 = keep everything).
+    rate_bits: AtomicU64,
+    /// Sampling seed.
+    seed: AtomicU64,
+}
+
+impl EventRing {
+    pub(crate) fn new() -> EventRing {
+        EventRing {
+            slots: (0..RING_CAP).map(|_| EventSlot::new()).collect(),
+            head: AtomicU64::new(1),
+            attempts: AtomicU64::new(0),
+            rate_bits: AtomicU64::new(1.0f64.to_bits()),
+            seed: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the admission sampling rate (clamped to `[0, 1]`) and seed.
+    pub(crate) fn configure(&self, rate: f64, seed: u64) {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        self.rate_bits.store(rate.to_bits(), Ordering::Relaxed);
+        self.seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// Offers an event; returns whether sampling admitted it.
+    pub(crate) fn try_push(&self, time_us: u64, name_slot: u64, value: f64) -> bool {
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+        let rate = f64::from_bits(self.rate_bits.load(Ordering::Relaxed));
+        if rate < 1.0 {
+            let seed = self.seed.load(Ordering::Relaxed);
+            if !crate::trace::sample_decision(attempt, seed, rate) {
+                return false;
+            }
+        }
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & (RING_CAP - 1)];
+        // Mark in-progress so readers reject the slot mid-write.
+        slot.seq.store(0, Ordering::Release);
+        slot.time_us.store(time_us, Ordering::Relaxed);
+        slot.name_slot.store(name_slot, Ordering::Relaxed);
+        slot.value_bits.store(value.to_bits(), Ordering::Relaxed);
+        slot.seq.store(ticket, Ordering::Release);
+        true
+    }
+
+    /// Admission attempts so far (sampled + skipped).
+    #[cfg(test)]
+    pub(crate) fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Collects every consistent slot, oldest ticket first.
+    pub(crate) fn collect(&self) -> Vec<RawEvent> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 {
+                continue;
+            }
+            let time_us = slot.time_us.load(Ordering::Acquire);
+            let name_slot = slot.name_slot.load(Ordering::Acquire);
+            let value_bits = slot.value_bits.load(Ordering::Acquire);
+            let after = slot.seq.load(Ordering::Acquire);
+            if after != before {
+                continue; // torn by a concurrent writer; skip
+            }
+            out.push(RawEvent {
+                seq: before,
+                time_us,
+                name_slot,
+                value: f64::from_bits(value_bits),
+            });
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Empties the ring (ticket and attempt counters keep advancing, so
+    /// sampling decisions stay on the same deterministic stream).
+    pub(crate) fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// One event as stored in the ring; the name is still a registry slot
+/// index (resolved to a string by the registry when snapshotting).
+pub(crate) struct RawEvent {
+    pub(crate) seq: u64,
+    pub(crate) time_us: u64,
+    pub(crate) name_slot: u64,
+    pub(crate) value: f64,
+}
+
+/// One resolved event from [`events_snapshot`](crate::events_snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Global write ticket (monotone across the ring's lifetime).
+    pub seq: u64,
+    /// Microseconds since the owning registry was created.
+    pub time_us: u64,
+    /// Event name.
+    pub name: String,
+    /// Attached value.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_cap_events() {
+        let ring = EventRing::new();
+        for i in 0..(RING_CAP as u64 + 50) {
+            assert!(ring.try_push(i, 1, i as f64));
+        }
+        let events = ring.collect();
+        assert_eq!(events.len(), RING_CAP);
+        // Oldest retained ticket is 51 (tickets start at 1).
+        assert_eq!(events[0].seq, 51);
+        assert_eq!(events.last().map(|e| e.seq), Some(RING_CAP as u64 + 50));
+        ring.clear();
+        assert!(ring.collect().is_empty());
+    }
+
+    #[test]
+    fn sampling_thins_admissions_deterministically() {
+        let a = EventRing::new();
+        a.configure(0.25, 42);
+        let b = EventRing::new();
+        b.configure(0.25, 42);
+        let mut kept_a = 0;
+        let mut kept_b = 0;
+        for i in 0..1000u64 {
+            if a.try_push(i, 0, 0.0) {
+                kept_a += 1;
+            }
+            if b.try_push(i, 0, 0.0) {
+                kept_b += 1;
+            }
+        }
+        assert_eq!(kept_a, kept_b, "same seed + stream → same admissions");
+        assert!((150..=350).contains(&kept_a), "kept {kept_a}/1000 at 0.25");
+        assert_eq!(a.attempts(), 1000);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_yield_torn_reads() {
+        let ring = EventRing::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        // Value mirrors the timestamp so a torn slot is
+                        // detectable below.
+                        let v = (t * 10_000 + i) as f64;
+                        ring.try_push(t * 10_000 + i, t, v);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                for e in ring.collect() {
+                    assert_eq!(e.time_us as f64, e.value, "torn slot surfaced");
+                }
+            }
+        });
+    }
+}

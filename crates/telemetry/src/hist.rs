@@ -1,0 +1,224 @@
+//! Fixed log-linear bucket histograms recorded entirely with atomics.
+//!
+//! Each histogram owns a flat array of relaxed `AtomicU64` bucket counts.
+//! A value maps to its bucket straight from its IEEE-754 bit pattern: the
+//! exponent selects an octave, the top [`SUB_BITS`] mantissa bits select a
+//! linear sub-bucket inside it. With 32 sub-buckets per octave the bucket
+//! representative is within ~1.6% of any value it absorbs, which bounds
+//! the relative error of every quantile query — while `min`, `max`, `sum`
+//! and `count` stay exact (they are tracked separately, also atomically).
+//!
+//! Recording is wait-free apart from the bounded CAS loops for the
+//! floating-point `sum` stripes and the `min`/`max` cells; there is no
+//! mutex anywhere on the record path.
+
+use crate::registry::{stripe_id, PaddedU64, STRIPES};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mantissa bits used for linear sub-buckets (32 per octave).
+pub(crate) const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+pub(crate) const SUBS: usize = 1 << SUB_BITS;
+/// Smallest represented octave: values below 2^E_MIN share one band.
+pub(crate) const E_MIN: i32 = -40;
+/// Largest represented octave: values at or above 2^E_MAX share the top
+/// bucket.
+pub(crate) const E_MAX: i32 = 40;
+/// Total bucket count: one zero/negative bucket plus the log-linear grid.
+pub(crate) const BUCKETS: usize = 1 + ((E_MAX - E_MIN) as usize) * SUBS;
+
+/// Maps a value to its bucket index. Non-positive and non-finite values
+/// (which the span timers never produce, but `record` accepts any `f64`)
+/// fall into bucket 0.
+pub(crate) fn bucket_index(v: f64) -> usize {
+    // NaN lands in bucket 0 via the is_finite check.
+    if v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if e < E_MIN {
+        return 1;
+    }
+    if e >= E_MAX {
+        return BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    1 + ((e - E_MIN) as usize) * SUBS + sub
+}
+
+/// The representative value of a bucket (the linear midpoint of its
+/// range), used when answering quantile queries.
+pub(crate) fn bucket_value(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    let i = i - 1;
+    let e = E_MIN + (i / SUBS) as i32;
+    let sub = (i % SUBS) as f64;
+    2f64.powi(e) * (1.0 + (sub + 0.5) / SUBS as f64)
+}
+
+/// One atomic log-linear histogram.
+pub(crate) struct Hist {
+    buckets: Box<[AtomicU64]>,
+    /// Striped running sum, stored as `f64` bit patterns and combined at
+    /// snapshot time. Striping keeps the CAS loops contention-free when
+    /// many threads record under the same name.
+    sum_cells: [PaddedU64; STRIPES],
+    /// Exact smallest observation (`f64` bits, `+inf` when empty).
+    min_bits: AtomicU64,
+    /// Exact largest observation (`f64` bits, `-inf` when empty).
+    max_bits: AtomicU64,
+}
+
+impl Hist {
+    pub(crate) fn new() -> Hist {
+        Hist {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_cells: std::array::from_fn(|_| PaddedU64::default()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation. Atomics only: a relaxed `fetch_add` on the
+    /// bucket, a striped CAS on the sum, and rarely-contended CAS loops on
+    /// min/max.
+    pub(crate) fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let cell = &self.sum_cells[stripe_id()].0;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        update_extreme(&self.min_bits, v, |new, cur| new < cur);
+        update_extreme(&self.max_bits, v, |new, cur| new > cur);
+    }
+
+    /// Clears the histogram. Race-safe, not linearizable: observations
+    /// recorded concurrently with a reset may land on either side of it,
+    /// but the histogram is never torn or corrupted.
+    pub(crate) fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        for c in &self.sum_cells {
+            c.0.store(0.0f64.to_bits(), Ordering::Relaxed);
+        }
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the aggregates and bucket counts.
+    pub(crate) fn load(&self) -> HistSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum: f64 = self
+            .sum_cells
+            .iter()
+            .map(|c| f64::from_bits(c.0.load(Ordering::Relaxed)))
+            .sum();
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistSnapshot {
+            counts,
+            count,
+            sum,
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+        }
+    }
+}
+
+/// CAS loop updating a `f64`-bits extreme cell when `better(new, cur)`.
+fn update_extreme(cell: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while better(v, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Point-in-time histogram contents.
+pub(crate) struct HistSnapshot {
+    counts: Vec<u64>,
+    pub(crate) count: u64,
+    pub(crate) sum: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+}
+
+impl HistSnapshot {
+    /// Nearest-rank quantile answered from the bucket counts. The bucket
+    /// representative is clamped into the exact `[min, max]` envelope, so
+    /// quantiles never stray outside what was actually observed.
+    pub(crate) fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * (self.count - 1) as f64).round() as u64).min(self.count - 1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_in_value() {
+        let values = [1e-13, 1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 3.0, 1e6, 1e13];
+        let mut last = 0;
+        for v in values {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket order broken at {v}: {b} < {last}");
+            last = b;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn representative_value_is_within_bucket_resolution() {
+        for v in [0.002, 0.7, 1.0, 3.3, 12.5, 900.0, 123456.0] {
+            let rep = bucket_value(bucket_index(v));
+            let rel = (rep - v).abs() / v;
+            assert!(rel < 1.0 / SUBS as f64, "value {v} rep {rep} rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_into_observed_envelope() {
+        let h = Hist::new();
+        h.record(5.0);
+        let s = h.load();
+        assert_eq!(s.quantile(0.5), 5.0, "single observation is its own p50");
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+}

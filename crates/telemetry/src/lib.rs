@@ -1,15 +1,24 @@
-//! Workspace-wide observability: counters, latency histograms, and RAII
-//! span timers behind one thread-safe global registry.
+//! Workspace-wide observability: lock-free counters, log-linear latency
+//! histograms, gauges, RAII span timers, a sampled event ring, and
+//! per-request traces.
 //!
 //! Design constraints, in order:
 //!
 //! 1. **Determinism.** Recording never touches any RNG and never feeds
 //!    back into computation, so enabling or disabling telemetry cannot
 //!    change a verdict, a loss, or a feature vector (there is a test for
-//!    this in `soteria`).
-//! 2. **Cheap when off.** [`set_enabled`]`(false)` reduces every
-//!    recording call to one relaxed atomic load.
-//! 3. **No new dependencies.** Built on `parking_lot` + `serde`, which
+//!    this in `soteria`). Sampling decisions are pure functions of
+//!    `(key, seed, rate)` — see [`sample_decision`].
+//! 2. **Mutex-free hot path.** [`counter`], [`record`], the gauges, and
+//!    the event ring touch only atomics (plus a one-time allocation when
+//!    a name is first interned). The only mutex in the crate guards the
+//!    finished-trace sink, which is written once per *sampled request*,
+//!    never per stage.
+//! 3. **Cheap when off.** With recording disabled every call reduces to
+//!    a thread-local read plus one relaxed atomic load, and allocates
+//!    nothing (`tests/alloc_free.rs` asserts this with a counting
+//!    allocator).
+//! 4. **No new dependencies.** Built on `std` atomics + `serde`, which
 //!    the workspace already carries.
 //!
 //! # Usage
@@ -30,138 +39,311 @@
 //! Span names are dot-separated paths (`features.extract.walks`); the
 //! summary table and JSON export sort by name, so related spans group
 //! together.
+//!
+//! # Registries and scoping
+//!
+//! All free functions act on the *active* registry: the top of a
+//! thread-local stack, falling back to a process-wide default. Tests
+//! create an isolated registry with [`scoped`] (so they run in parallel
+//! without a lock), and hand it to worker threads via
+//! [`ScopedRegistry::handle`] + [`RegistryHandle::attach`].
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod hist;
+mod registry;
+mod report;
+mod trace;
+
+pub use events::EventRecord;
+pub use registry::Registry;
+pub use report::{CounterStats, GaugeStats, MetricsReport, SpanStats};
+pub use trace::{flame_view, sample_decision, Trace, TraceBuilder, TraceStage};
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// Raw samples kept per histogram for quantile estimation. Aggregates
-/// (count/sum/min/max) stay exact past the cap; quantiles then describe
-/// the first `SAMPLE_CAP` observations.
-const SAMPLE_CAP: usize = 65_536;
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
 
-static ENABLED: AtomicBool = AtomicBool::new(true);
-static REGISTRY: Mutex<Option<Inner>> = Mutex::new(None);
-
-#[derive(Default)]
-struct Inner {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+fn global() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
 }
 
-#[derive(Default)]
-struct Histogram {
-    samples: Vec<f64>,
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
+thread_local! {
+    /// Per-thread stack of scoped registries; the top is "active".
+    static STACK: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
 }
 
-impl Histogram {
-    fn record(&mut self, value: f64) {
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
+/// Runs `f` against the active registry without cloning the `Arc`.
+fn with_active<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        match stack.last() {
+            Some(reg) => f(reg),
+            None => f(global()),
         }
-        self.count += 1;
-        self.sum += value;
-        if self.samples.len() < SAMPLE_CAP {
-            self.samples.push(value);
-        }
-    }
+    })
+}
 
-    fn entry(&self, name: &str) -> SpanStats {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        SpanStats {
-            name: name.to_string(),
-            count: self.count,
-            total_ms: self.sum,
-            mean_ms: if self.count == 0 {
-                0.0
-            } else {
-                self.sum / self.count as f64
-            },
-            min_ms: if self.count == 0 { 0.0 } else { self.min },
-            max_ms: if self.count == 0 { 0.0 } else { self.max },
-            p50_ms: quantile(&sorted, 0.50),
-            p90_ms: quantile(&sorted, 0.90),
-            p99_ms: quantile(&sorted, 0.99),
-        }
+/// Pushes a fresh, isolated [`Registry`] as this thread's active
+/// registry until the returned guard drops. Scopes nest (LIFO). The
+/// guard is not `Send`: it must drop on the thread that created it.
+///
+/// This is how tests isolate their metrics from each other and run in
+/// parallel — nothing they record reaches the process-wide registry.
+pub fn scoped() -> ScopedRegistry {
+    let reg = Arc::new(Registry::new());
+    STACK.with(|s| s.borrow_mut().push(reg.clone()));
+    ScopedRegistry {
+        reg,
+        _not_send: PhantomData,
     }
 }
 
-/// Nearest-rank quantile over an ascending slice.
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Guard returned by [`scoped`]; the scope ends when it drops.
+pub struct ScopedRegistry {
+    reg: Arc<Registry>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ScopedRegistry {
+    /// A handle to this scope's registry, for attaching worker threads.
+    pub fn handle(&self) -> RegistryHandle {
+        RegistryHandle(Some(self.reg.clone()))
     }
-    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
-fn with_inner<R>(f: impl FnOnce(&mut Inner) -> R) -> R {
-    let mut guard = REGISTRY.lock();
-    f(guard.get_or_insert_with(Inner::default))
+impl std::ops::Deref for ScopedRegistry {
+    type Target = Registry;
+
+    fn deref(&self) -> &Registry {
+        &self.reg
+    }
 }
 
-/// Globally enables or disables all recording.
+impl Drop for ScopedRegistry {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|r| Arc::ptr_eq(r, &self.reg)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// A cloneable, sendable reference to a registry, used to carry the
+/// caller's active registry into spawned threads: capture
+/// [`RegistryHandle::current`] before spawning, then [`attach`] inside
+/// the thread.
+///
+/// [`attach`]: RegistryHandle::attach
+#[derive(Clone)]
+pub struct RegistryHandle(Option<Arc<Registry>>);
+
+impl RegistryHandle {
+    /// The calling thread's active registry (`None` means the process
+    /// default, which every thread already sees — attaching is then a
+    /// no-op).
+    pub fn current() -> RegistryHandle {
+        RegistryHandle(STACK.with(|s| s.borrow().last().cloned()))
+    }
+
+    /// Makes this handle's registry the calling thread's active registry
+    /// until the returned guard drops (not `Send`; drop it on the same
+    /// thread).
+    pub fn attach(&self) -> AttachGuard {
+        let active = match &self.0 {
+            Some(reg) => {
+                STACK.with(|s| s.borrow_mut().push(reg.clone()));
+                Some(reg.clone())
+            }
+            None => None,
+        };
+        AttachGuard {
+            reg: active,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard returned by [`RegistryHandle::attach`].
+pub struct AttachGuard {
+    reg: Option<Arc<Registry>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        if let Some(reg) = self.reg.take() {
+            STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|r| Arc::ptr_eq(r, &reg)) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Enables or disables all recording on the active registry.
 pub fn set_enabled(enabled: bool) {
-    ENABLED.store(enabled, Ordering::Relaxed);
+    with_active(|r| r.set_enabled(enabled));
 }
 
-/// Whether recording is currently enabled.
+/// Whether recording is currently enabled on the active registry.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    with_active(|r| r.enabled())
 }
 
-/// Adds `delta` to the named monotonic counter.
+/// Adds `delta` to the named monotonic counter. Lock-free: an FNV probe
+/// to the interned cell plus one relaxed striped `fetch_add`.
 pub fn counter(name: &str, delta: u64) {
-    if !enabled() {
-        return;
-    }
-    with_inner(|inner| {
-        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    with_active(|r| {
+        if r.enabled() {
+            r.counter(name, delta);
+        }
     });
 }
 
 /// Records one raw histogram observation under `name` (same stream the
-/// span timers write their millisecond durations to).
+/// span timers write their millisecond durations to). Lock-free.
 pub fn record(name: &str, value: f64) {
-    if !enabled() {
-        return;
-    }
-    with_inner(|inner| {
-        inner
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
+    with_active(|r| {
+        if r.enabled() {
+            r.record(name, value);
+        }
     });
 }
 
+/// Sets the named gauge to an absolute value (instantaneous state such
+/// as a thread-pool size). Lock-free.
+pub fn gauge_set(name: &str, value: i64) {
+    with_active(|r| {
+        if r.enabled() {
+            r.gauge_set(name, value);
+        }
+    });
+}
+
+/// Adds `delta` (possibly negative) to the named gauge — the increment/
+/// decrement form used for queue depth and in-flight tracking. Lock-free.
+pub fn gauge_add(name: &str, delta: i64) {
+    with_active(|r| {
+        if r.enabled() {
+            r.gauge_add(name, delta);
+        }
+    });
+}
+
+/// Records a sampled diagnostic event into the bounded lock-free ring.
+pub fn event(name: &str, value: f64) {
+    with_active(|r| {
+        if !r.enabled() {
+            return;
+        }
+        if let Some(slot) = r.intern_event(name) {
+            let time_us = r.epoch.elapsed().as_micros() as u64;
+            r.events.try_push(time_us, slot as u64, value);
+        }
+    });
+}
+
+/// Configures event-ring admission sampling on the active registry
+/// (`rate` clamped to `[0, 1]`; decisions are a pure function of the
+/// attempt index and `seed`).
+pub fn set_event_sampling(rate: f64, seed: u64) {
+    with_active(|r| r.events.configure(rate, seed));
+}
+
+/// Snapshots the event ring, oldest first, with names resolved.
+pub fn events_snapshot() -> Vec<EventRecord> {
+    with_active(|r| {
+        r.events
+            .collect()
+            .into_iter()
+            .map(|e| EventRecord {
+                seq: e.seq,
+                time_us: e.time_us,
+                name: r
+                    .node(e.name_slot as usize)
+                    .map(|n| n.name.clone())
+                    .unwrap_or_default(),
+                value: e.value,
+            })
+            .collect()
+    })
+}
+
+/// Publishes a finished trace into the active registry's bounded sink
+/// (dropped when recording is disabled).
+pub fn publish_trace(trace: Trace) {
+    with_active(|r| {
+        if r.enabled() {
+            r.traces.publish(trace);
+        }
+    });
+}
+
+/// Up to `n` most recent finished traces, oldest first.
+pub fn recent_traces(n: usize) -> Vec<Trace> {
+    with_active(|r| r.traces.recent(n))
+}
+
+/// Number of traces currently retained.
+pub fn trace_count() -> usize {
+    with_active(|r| r.traces.len())
+}
+
+/// Operations dropped by the active registry (name-table exhaustion or a
+/// name reused with a different metric kind).
+pub fn dropped_ops() -> u64 {
+    with_active(|r| r.dropped_ops())
+}
+
 /// Starts an RAII span timer; the elapsed wall time in milliseconds is
-/// recorded under `name` when the guard drops.
+/// recorded under `name` when the guard drops. The guard pins the
+/// registry that was active at creation, so it can safely drop on
+/// another thread. Disabled telemetry returns an inert guard without
+/// allocating.
 pub fn span(name: &str) -> Span {
-    if !enabled() {
-        return Span { active: None };
-    }
-    Span {
-        active: Some((name.to_string(), Instant::now())),
-    }
+    STACK.with(|s| {
+        let stack = s.borrow();
+        let reg = match stack.last() {
+            Some(reg) => reg,
+            None => global(),
+        };
+        if !reg.enabled() {
+            return Span { active: None };
+        }
+        match reg.hist_slot(name) {
+            Some(slot) => Span {
+                active: Some(SpanTarget {
+                    reg: reg.clone(),
+                    slot,
+                    start: Instant::now(),
+                }),
+            },
+            None => Span { active: None },
+        }
+    })
+}
+
+struct SpanTarget {
+    reg: Arc<Registry>,
+    slot: usize,
+    start: Instant,
 }
 
 /// Guard returned by [`span`]. Records on drop; [`Span::cancel`] discards
 /// the measurement instead.
 #[must_use = "a span records its duration when dropped; binding it to `_` drops immediately"]
 pub struct Span {
-    active: Option<(String, Instant)>,
+    active: Option<SpanTarget>,
 }
 
 impl Span {
@@ -173,142 +355,25 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, start)) = self.active.take() {
-            record(&name, start.elapsed().as_secs_f64() * 1e3);
+        if let Some(t) = self.active.take() {
+            t.reg
+                .record_at(t.slot, t.start.elapsed().as_secs_f64() * 1e3);
         }
     }
 }
 
-/// Clears all recorded metrics (the enabled flag is unchanged).
+/// Clears the active registry's counters, histograms, events, and traces
+/// (gauges mirror live state and are left alone; the enabled flag is
+/// unchanged). Race-safe: recording from other threads may land on
+/// either side of the reset but is never torn.
 pub fn reset() {
-    *REGISTRY.lock() = None;
+    with_active(|r| r.reset());
 }
 
-/// Takes a consistent copy of everything recorded so far.
+/// Takes a point-in-time copy of everything recorded so far. Each metric
+/// is read atomically; there is no cross-metric linearization point.
 pub fn snapshot() -> MetricsReport {
-    with_inner(|inner| MetricsReport {
-        counters: inner
-            .counters
-            .iter()
-            .map(|(name, value)| CounterStats {
-                name: name.clone(),
-                value: *value,
-            })
-            .collect(),
-        spans: inner
-            .histograms
-            .iter()
-            .map(|(name, h)| h.entry(name))
-            .collect(),
-    })
-}
-
-/// A point-in-time export of the registry. Serializes to stable JSON:
-/// both lists are sorted by name.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MetricsReport {
-    /// Monotonic counters.
-    pub counters: Vec<CounterStats>,
-    /// Histogram/span statistics (milliseconds for span-recorded names).
-    pub spans: Vec<SpanStats>,
-}
-
-/// One counter in a [`MetricsReport`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CounterStats {
-    /// Counter name.
-    pub name: String,
-    /// Accumulated value.
-    pub value: u64,
-}
-
-/// Summary statistics for one histogram in a [`MetricsReport`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SpanStats {
-    /// Histogram name.
-    pub name: String,
-    /// Number of observations.
-    pub count: u64,
-    /// Sum of all observations.
-    pub total_ms: f64,
-    /// Arithmetic mean.
-    pub mean_ms: f64,
-    /// Smallest observation.
-    pub min_ms: f64,
-    /// Largest observation.
-    pub max_ms: f64,
-    /// Median (nearest rank).
-    pub p50_ms: f64,
-    /// 90th percentile (nearest rank).
-    pub p90_ms: f64,
-    /// 99th percentile (nearest rank).
-    pub p99_ms: f64,
-}
-
-impl MetricsReport {
-    /// Looks up a counter value by name.
-    pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| c.value)
-    }
-
-    /// Looks up span statistics by name.
-    pub fn span(&self, name: &str) -> Option<&SpanStats> {
-        self.spans.iter().find(|s| s.name == name)
-    }
-
-    /// Serializes the report as pretty JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns the serializer's message (the report model cannot actually
-    /// fail to serialize).
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
-    }
-
-    /// Writes the report as pretty JSON to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message naming the path on I/O failure.
-    pub fn write_json(&self, path: &std::path::Path) -> Result<(), String> {
-        let json = self.to_json()?;
-        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
-    }
-
-    /// Renders a human-readable summary table (spans first, then
-    /// counters; empty sections are omitted).
-    pub fn summary_table(&self) -> String {
-        let mut out = String::new();
-        if !self.spans.is_empty() {
-            out.push_str(&format!(
-                "{:<44} {:>8} {:>11} {:>11} {:>11} {:>11} {:>12}\n",
-                "span", "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "total_ms"
-            ));
-            for s in &self.spans {
-                out.push_str(&format!(
-                    "{:<44} {:>8} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>12.1}\n",
-                    s.name, s.count, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms, s.total_ms
-                ));
-            }
-        }
-        if !self.counters.is_empty() {
-            if !out.is_empty() {
-                out.push('\n');
-            }
-            out.push_str(&format!("{:<44} {:>12}\n", "counter", "value"));
-            for c in &self.counters {
-                out.push_str(&format!("{:<44} {:>12}\n", c.name, c.value));
-            }
-        }
-        if out.is_empty() {
-            out.push_str("(no metrics recorded)\n");
-        }
-        out
-    }
+    with_active(|r| r.snapshot())
 }
 
 /// Prints the summary table to stderr when `SOTERIA_METRICS=summary` is
@@ -324,14 +389,12 @@ pub fn print_summary_if_requested() {
 mod tests {
     use super::*;
 
-    /// The registry is global, so tests that reset it must not run
-    /// concurrently with each other.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    // Every test pins its own scoped registry, so they run in parallel
+    // with no shared state and no lock.
 
     #[test]
     fn counters_accumulate_and_reset() {
-        let _l = TEST_LOCK.lock();
-        reset();
+        let _scope = scoped();
         counter("t.a", 2);
         counter("t.a", 3);
         counter("t.b", 1);
@@ -340,14 +403,14 @@ mod tests {
         assert_eq!(report.counter("t.b"), Some(1));
         assert_eq!(report.counter("t.missing"), None);
         reset();
+        // Zeroed counters drop out of the report, as before the rewrite.
         assert_eq!(snapshot().counter("t.a"), None);
     }
 
     #[test]
-    fn histogram_quantiles_are_exact() {
-        let _l = TEST_LOCK.lock();
-        reset();
-        // 1..=100 in scrambled order: quantiles are known exactly.
+    fn histogram_aggregates_are_exact_and_quantiles_tight() {
+        let _scope = scoped();
+        // 1..=100 in scrambled order.
         for i in 0..100u64 {
             record("t.h", ((i * 37 + 11) % 100 + 1) as f64);
         }
@@ -358,50 +421,60 @@ mod tests {
         assert_eq!(s.max_ms, 100.0);
         assert_eq!(s.total_ms, 5050.0);
         assert_eq!(s.mean_ms, 50.5);
-        // Nearest-rank: index round(0.5 * 99) = 50 of the ascending
-        // 1..=100 sequence.
-        assert_eq!(s.p50_ms, 51.0);
-        assert_eq!(s.p90_ms, 90.0);
-        assert_eq!(s.p99_ms, 99.0);
+        // Nearest-rank targets 51 / 90 / 95 / 99; the log-linear buckets
+        // answer within their ~1.6% resolution.
+        for (got, want) in [
+            (s.p50_ms, 51.0),
+            (s.p90_ms, 90.0),
+            (s.p95_ms, 95.0),
+            (s.p99_ms, 99.0),
+        ] {
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.02, "quantile {got} vs {want}: rel err {rel}");
+        }
     }
 
     #[test]
     fn span_records_on_drop_and_cancel_discards() {
-        let _l = TEST_LOCK.lock();
-        reset();
+        let _scope = scoped();
         {
             let _s = span("t.span");
         }
         span("t.cancelled").cancel();
         let report = snapshot();
         assert_eq!(report.span("t.span").map(|s| s.count), Some(1));
-        assert!(report.span("t.span").unwrap().total_ms >= 0.0);
+        assert!(report.span("t.span").expect("exists").total_ms >= 0.0);
         assert!(report.span("t.cancelled").is_none());
     }
 
     #[test]
     fn disabled_recording_is_dropped() {
-        let _l = TEST_LOCK.lock();
-        reset();
+        let _scope = scoped();
         set_enabled(false);
         counter("t.off", 1);
         record("t.off.h", 1.0);
-        let _s = span("t.off.span");
-        drop(_s);
+        gauge_set("t.off.g", 5);
+        event("t.off.e", 1.0);
+        let s = span("t.off.span");
+        drop(s);
         set_enabled(true);
         let report = snapshot();
         assert_eq!(report.counter("t.off"), None);
         assert!(report.span("t.off.h").is_none());
+        assert_eq!(report.gauge("t.off.g"), None);
         assert!(report.span("t.off.span").is_none());
+        assert!(events_snapshot().is_empty());
     }
 
     #[test]
     fn concurrent_writers_lose_nothing() {
-        let _l = TEST_LOCK.lock();
-        reset();
+        let scope = scoped();
+        let handle = scope.handle();
         std::thread::scope(|s| {
             for t in 0..8 {
+                let handle = handle.clone();
                 s.spawn(move || {
+                    let _attach = handle.attach();
                     for i in 0..1000u64 {
                         counter("t.conc", 1);
                         record("t.conc.h", (t * 1000 + i) as f64);
@@ -411,50 +484,142 @@ mod tests {
         });
         let report = snapshot();
         assert_eq!(report.counter("t.conc"), Some(8000));
-        let h = report.span("t.conc.h").unwrap();
+        let h = report.span("t.conc.h").expect("histogram exists");
         assert_eq!(h.count, 8000);
         assert_eq!(h.min_ms, 0.0);
         assert_eq!(h.max_ms, 7999.0);
-        // Sum of 0..8000 regardless of interleaving.
+        // Small-integer sums are order-independent in f64, so the striped
+        // sum is exact regardless of interleaving.
         assert_eq!(h.total_ms, (7999.0 * 8000.0) / 2.0);
     }
 
     #[test]
-    fn report_round_trips_through_json() {
-        let _l = TEST_LOCK.lock();
+    fn scoped_registries_isolate_and_nest() {
+        let outer = scoped();
+        counter("t.scope", 1);
+        {
+            let _inner = scoped();
+            counter("t.scope", 10);
+            assert_eq!(snapshot().counter("t.scope"), Some(10));
+        }
+        assert_eq!(snapshot().counter("t.scope"), Some(1));
+        drop(outer);
+    }
+
+    #[test]
+    fn spans_survive_scope_teardown_on_other_threads() {
+        // A span created under a scope pins that registry, so dropping it
+        // after the scope ends must not panic or write elsewhere.
+        let s = {
+            let _scope = scoped();
+            span("t.pin")
+        };
+        drop(s);
+    }
+
+    #[test]
+    fn gauges_track_instantaneous_state() {
+        let _scope = scoped();
+        gauge_add("t.depth", 3);
+        gauge_add("t.depth", -1);
+        gauge_set("t.threads", 8);
+        let report = snapshot();
+        assert_eq!(report.gauge("t.depth"), Some(2));
+        assert_eq!(report.gauge("t.threads"), Some(8));
+        // Reset leaves gauges alone: they mirror live state.
         reset();
+        assert_eq!(snapshot().gauge("t.threads"), Some(8));
+    }
+
+    #[test]
+    fn events_flow_through_the_ring() {
+        let _scope = scoped();
+        event("t.ev", 1.5);
+        event("t.ev", 2.5);
+        let events = events_snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "t.ev");
+        assert_eq!(events[0].value, 1.5);
+        assert!(events[0].seq < events[1].seq);
+        reset();
+        assert!(events_snapshot().is_empty());
+    }
+
+    #[test]
+    fn traces_publish_and_expose() {
+        let _scope = scoped();
+        let mut b = TraceBuilder::new(7);
+        let root = b.begin("request", None);
+        b.end(root);
+        publish_trace(b.finish());
+        assert_eq!(trace_count(), 1);
+        let traces = recent_traces(10);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].id, 7);
+        reset();
+        assert_eq!(trace_count(), 0);
+    }
+
+    #[test]
+    fn kind_conflicts_are_counted_not_corrupting() {
+        let _scope = scoped();
+        counter("t.kind", 1);
+        record("t.kind", 2.0); // same name, different kind → dropped
+        let report = snapshot();
+        assert_eq!(report.counter("t.kind"), Some(1));
+        assert!(report.span("t.kind").is_none());
+        assert!(dropped_ops() >= 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let _scope = scoped();
         counter("t.json", 7);
+        gauge_set("t.json.g", -2);
         record("t.json.h", 1.25);
         record("t.json.h", 2.5);
         let report = snapshot();
-        let json = report.to_json().unwrap();
-        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        let json = report.to_json().expect("serializes");
+        let back: MetricsReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn exposition_round_trips_from_live_snapshot() {
+        let _scope = scoped();
+        counter("t.expo", 3);
+        gauge_add("t.expo.g", 4);
+        record("t.expo.h", 0.125);
+        record("t.expo.h", 7.5);
+        let report = snapshot();
+        let back = MetricsReport::parse_text(&report.render_text()).expect("parses");
         assert_eq!(back, report);
     }
 
     #[test]
     fn summary_table_lists_everything() {
-        let _l = TEST_LOCK.lock();
-        reset();
+        let _scope = scoped();
         counter("t.table.c", 4);
+        gauge_set("t.table.g", 2);
         record("t.table.h", 3.0);
         let table = snapshot().summary_table();
         assert!(table.contains("t.table.c"));
+        assert!(table.contains("t.table.g"));
         assert!(table.contains("t.table.h"));
-        reset();
+        let empty = scoped();
         assert!(snapshot().summary_table().contains("no metrics"));
+        drop(empty);
     }
 
     #[test]
-    fn sample_cap_keeps_aggregates_exact() {
-        let _l = TEST_LOCK.lock();
-        reset();
-        let n = (SAMPLE_CAP + 100) as u64;
+    fn large_histograms_keep_aggregates_exact() {
+        let _scope = scoped();
+        let n = 100_000u64;
         for i in 0..n {
             record("t.cap", i as f64);
         }
         let report = snapshot();
-        let h = report.span("t.cap").unwrap();
+        let h = report.span("t.cap").expect("histogram exists");
         assert_eq!(h.count, n);
         assert_eq!(h.max_ms, (n - 1) as f64);
         assert_eq!(h.total_ms, (n * (n - 1) / 2) as f64);

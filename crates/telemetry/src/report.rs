@@ -1,0 +1,333 @@
+//! The snapshot model: what a registry looks like frozen at an instant,
+//! plus its JSON and text-exposition serializations.
+//!
+//! The text exposition is a line protocol (one metric per line, space
+//! separated) designed to round-trip exactly: floats render with Rust's
+//! shortest-round-trip formatting, so `parse_text(render)` reconstructs
+//! the identical snapshot — a property the serve admin tests assert by
+//! proptest.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time export of a registry. Serializes to stable JSON: all
+/// lists are sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Monotonic counters.
+    pub counters: Vec<CounterStats>,
+    /// Instantaneous gauges (absent in reports written by older builds).
+    #[serde(default)]
+    pub gauges: Vec<GaugeStats>,
+    /// Histogram/span statistics (milliseconds for span-recorded names).
+    pub spans: Vec<SpanStats>,
+}
+
+/// One counter in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterStats {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeStats {
+    /// Gauge name.
+    pub name: String,
+    /// Instantaneous value (signed: deltas may transiently dip below 0).
+    pub value: i64,
+}
+
+/// Summary statistics for one histogram in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Histogram name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (exact).
+    pub total_ms: f64,
+    /// Arithmetic mean (exact).
+    pub mean_ms: f64,
+    /// Smallest observation (exact).
+    pub min_ms: f64,
+    /// Largest observation (exact).
+    pub max_ms: f64,
+    /// Median, within the ~1.6% bucket resolution.
+    pub p50_ms: f64,
+    /// 90th percentile, within the bucket resolution.
+    pub p90_ms: f64,
+    /// 95th percentile (absent in reports written by older builds).
+    #[serde(default)]
+    pub p95_ms: f64,
+    /// 99th percentile, within the bucket resolution.
+    pub p99_ms: f64,
+}
+
+impl MetricsReport {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up span statistics by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's message (the report model cannot actually
+    /// fail to serialize).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Writes the report as pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path on I/O failure.
+    pub fn write_json(&self, path: &std::path::Path) -> Result<(), String> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Renders the text exposition: one metric per line,
+    ///
+    /// ```text
+    /// counter <name> <value>
+    /// gauge <name> <value>
+    /// histogram <name> <count> <total> <min> <max> <p50> <p90> <p95> <p99>
+    /// ```
+    ///
+    /// Floats use shortest-round-trip formatting, so [`parse_text`]
+    /// reconstructs this exact report. Metric names contain no
+    /// whitespace by construction (they are code literals).
+    ///
+    /// [`parse_text`]: MetricsReport::parse_text
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!("counter {} {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("gauge {} {}\n", g.name, g.value));
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "histogram {} {} {} {} {} {} {} {} {}\n",
+                s.name,
+                s.count,
+                s.total_ms,
+                s.min_ms,
+                s.max_ms,
+                s.p50_ms,
+                s.p90_ms,
+                s.p95_ms,
+                s.p99_ms
+            ));
+        }
+        out
+    }
+
+    /// Parses the text exposition produced by [`render_text`]. Blank
+    /// lines and `#`-prefixed comment lines are skipped; the mean is
+    /// recomputed as `total / count` (bit-identical to how the snapshot
+    /// computed it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    ///
+    /// [`render_text`]: MetricsReport::render_text
+    pub fn parse_text(text: &str) -> Result<MetricsReport, String> {
+        let mut report = MetricsReport {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            spans: Vec::new(),
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let bad = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            match fields.first().copied() {
+                Some("counter") => {
+                    let [_, name, value] = fields[..] else {
+                        return Err(bad("counter wants 2 fields"));
+                    };
+                    let value: u64 = value.parse().map_err(|_| bad("bad counter value"))?;
+                    report.counters.push(CounterStats {
+                        name: name.to_owned(),
+                        value,
+                    });
+                }
+                Some("gauge") => {
+                    let [_, name, value] = fields[..] else {
+                        return Err(bad("gauge wants 2 fields"));
+                    };
+                    let value: i64 = value.parse().map_err(|_| bad("bad gauge value"))?;
+                    report.gauges.push(GaugeStats {
+                        name: name.to_owned(),
+                        value,
+                    });
+                }
+                Some("histogram") => {
+                    let [_, name, count, total, min, max, p50, p90, p95, p99] = fields[..] else {
+                        return Err(bad("histogram wants 9 fields"));
+                    };
+                    let count: u64 = count.parse().map_err(|_| bad("bad histogram count"))?;
+                    let f = |s: &str| -> Result<f64, String> {
+                        s.parse().map_err(|_| bad("bad histogram float"))
+                    };
+                    let total = f(total)?;
+                    report.spans.push(SpanStats {
+                        name: name.to_owned(),
+                        count,
+                        total_ms: total,
+                        mean_ms: if count == 0 {
+                            0.0
+                        } else {
+                            total / count as f64
+                        },
+                        min_ms: f(min)?,
+                        max_ms: f(max)?,
+                        p50_ms: f(p50)?,
+                        p90_ms: f(p90)?,
+                        p95_ms: f(p95)?,
+                        p99_ms: f(p99)?,
+                    });
+                }
+                Some(other) => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+                None => {}
+            }
+        }
+        Ok(report)
+    }
+
+    /// Renders a human-readable summary table (spans first, then gauges,
+    /// then counters; empty sections are omitted).
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>11} {:>11} {:>11} {:>11} {:>12}\n",
+                "span", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "total_ms"
+            ));
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "{:<44} {:>8} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>12.1}\n",
+                    s.name, s.count, s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.total_ms
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<44} {:>12}\n", "gauge", "value"));
+            for g in &self.gauges {
+                out.push_str(&format!("{:<44} {:>12}\n", g.name, g.value));
+            }
+        }
+        if !self.counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<44} {:>12}\n", "counter", "value"));
+            for c in &self.counters {
+                out.push_str(&format!("{:<44} {:>12}\n", c.name, c.value));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        MetricsReport {
+            counters: vec![CounterStats {
+                name: "t.c".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeStats {
+                name: "t.g".into(),
+                value: -3,
+            }],
+            spans: vec![SpanStats {
+                name: "t.h".into(),
+                count: 3,
+                total_ms: 6.75,
+                mean_ms: 6.75 / 3.0,
+                min_ms: 0.25,
+                max_ms: 4.0,
+                p50_ms: 2.5,
+                p90_ms: 4.0,
+                p95_ms: 4.0,
+                p99_ms: 4.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn exposition_round_trips_exactly() {
+        let report = sample();
+        let text = report.render_text();
+        let back = MetricsReport::parse_text(&text).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn exposition_skips_comments_and_rejects_garbage() {
+        let ok = MetricsReport::parse_text("# comment\n\ncounter a 1\n").expect("parses");
+        assert_eq!(ok.counter("a"), Some(1));
+        assert!(MetricsReport::parse_text("counter a\n").is_err());
+        assert!(MetricsReport::parse_text("blob a 1\n").is_err());
+        assert!(MetricsReport::parse_text("histogram h 1 2 3\n").is_err());
+        assert!(MetricsReport::parse_text("gauge g notanumber\n").is_err());
+    }
+
+    #[test]
+    fn old_json_without_new_fields_still_parses() {
+        let legacy = r#"{
+            "counters": [{"name": "a", "value": 1}],
+            "spans": [{
+                "name": "h", "count": 1, "total_ms": 2.0, "mean_ms": 2.0,
+                "min_ms": 2.0, "max_ms": 2.0, "p50_ms": 2.0, "p90_ms": 2.0,
+                "p99_ms": 2.0
+            }]
+        }"#;
+        let report: MetricsReport = serde_json::from_str(legacy).expect("legacy JSON parses");
+        assert!(report.gauges.is_empty());
+        assert_eq!(report.span("h").map(|s| s.p95_ms), Some(0.0));
+    }
+
+    #[test]
+    fn summary_table_includes_gauges() {
+        let table = sample().summary_table();
+        assert!(table.contains("t.c"));
+        assert!(table.contains("t.g"));
+        assert!(table.contains("t.h"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-request tracing: structured stage timelines built alongside a
+//! request as it moves through a pipeline, published to a bounded sink.
+//!
+//! A [`TraceBuilder`] travels *with* the request (moved between stages,
+//! never shared), so appending a stage is plain non-atomic work; the only
+//! synchronized step is publishing the finished [`Trace`] into the
+//! [`TraceSink`], which is off the per-stage hot path. Sampling decisions
+//! are seeded and keyed ([`sample_decision`]), so the same request key
+//! under the same seed always makes the same decision — traced and
+//! untraced runs of the same workload stay bit-identical because tracing
+//! only ever *observes* timestamps.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Retained finished traces; older traces are evicted first.
+const TRACE_CAP: usize = 512;
+
+/// SplitMix64 finalizer — the workspace's stateless hash-to-uniform mixer.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic sampling decision for `key` under `seed` at `rate`
+/// (0.0 = never, 1.0 = always). Pure: no RNG state, no clock — the same
+/// inputs always answer the same way, which is what keeps sampled runs
+/// reproducible.
+pub fn sample_decision(key: u64, seed: u64, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    // A NaN rate samples nothing.
+    if rate <= 0.0 || rate.is_nan() {
+        return false;
+    }
+    let h = splitmix64(key ^ seed);
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+}
+
+/// One stage being timed inside a [`TraceBuilder`].
+struct BuildStage {
+    name: &'static str,
+    parent: Option<u32>,
+    start: Instant,
+    end: Option<Instant>,
+}
+
+/// Accumulates the stage timeline of one request. Moved along with the
+/// request (no interior synchronization); call [`TraceBuilder::finish`]
+/// at verdict time to freeze it into a [`Trace`].
+pub struct TraceBuilder {
+    id: u64,
+    origin: Instant,
+    stages: Vec<BuildStage>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace identified by `id`; the origin instant is now.
+    pub fn new(id: u64) -> TraceBuilder {
+        TraceBuilder {
+            id,
+            origin: Instant::now(),
+            stages: Vec::with_capacity(8),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a stage starting now; returns its index for [`end`] and for
+    /// use as a `parent` of child stages.
+    ///
+    /// [`end`]: TraceBuilder::end
+    pub fn begin(&mut self, name: &'static str, parent: Option<u32>) -> u32 {
+        self.begin_at(name, parent, Instant::now())
+    }
+
+    /// Opens a stage with an explicit start instant (for intervals whose
+    /// beginning was captured earlier, e.g. queue wait measured from the
+    /// enqueue timestamp).
+    pub fn begin_at(&mut self, name: &'static str, parent: Option<u32>, start: Instant) -> u32 {
+        let idx = self.stages.len() as u32;
+        self.stages.push(BuildStage {
+            name,
+            parent,
+            start,
+            end: None,
+        });
+        idx
+    }
+
+    /// Closes a stage now.
+    pub fn end(&mut self, idx: u32) {
+        self.end_at(idx, Instant::now());
+    }
+
+    /// Closes a stage at an explicit instant.
+    pub fn end_at(&mut self, idx: u32, at: Instant) {
+        if let Some(stage) = self.stages.get_mut(idx as usize) {
+            stage.end = Some(at);
+        }
+    }
+
+    /// Records an already-measured interval as a closed stage.
+    pub fn stage(
+        &mut self,
+        name: &'static str,
+        parent: Option<u32>,
+        start: Instant,
+        end: Instant,
+    ) -> u32 {
+        let idx = self.begin_at(name, parent, start);
+        self.end_at(idx, end);
+        idx
+    }
+
+    /// Freezes the timeline into an immutable [`Trace`]. Stages still
+    /// open are closed now.
+    pub fn finish(self) -> Trace {
+        let now = Instant::now();
+        let origin = self.origin;
+        let ms = |i: Instant| i.saturating_duration_since(origin).as_secs_f64() * 1e3;
+        let mut latest = now;
+        let stages: Vec<TraceStage> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let end = s.end.unwrap_or(now);
+                if end > latest {
+                    latest = end;
+                }
+                TraceStage {
+                    name: s.name,
+                    parent: s.parent,
+                    start_ms: ms(s.start),
+                    dur_ms: end.saturating_duration_since(s.start).as_secs_f64() * 1e3,
+                }
+            })
+            .collect();
+        Trace {
+            id: self.id,
+            total_ms: ms(latest),
+            stages,
+        }
+    }
+}
+
+/// A finished per-request trace: an id plus its stage timeline, all
+/// offsets in milliseconds relative to the trace origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Request trace id (the request key under the service seed).
+    pub id: u64,
+    /// Wall time from trace origin to the latest stage end.
+    pub total_ms: f64,
+    /// Stage timeline in creation order; `parent` indexes into this list.
+    pub stages: Vec<TraceStage>,
+}
+
+/// One closed stage of a [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStage {
+    /// Stage name (a code literal, e.g. `"queue_wait"`).
+    pub name: &'static str,
+    /// Index of the parent stage, if any.
+    pub parent: Option<u32>,
+    /// Offset of the stage start from the trace origin.
+    pub start_ms: f64,
+    /// Stage duration.
+    pub dur_ms: f64,
+}
+
+impl Trace {
+    /// Serializes the trace as one JSON line (stage names are code
+    /// literals and need no escaping).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.stages.len() * 64);
+        out.push_str(&format!(
+            "{{\"id\":\"{:016x}\",\"total_ms\":{},\"stages\":[",
+            self.id, self.total_ms
+        ));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match s.parent {
+                Some(p) => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"parent\":{p},\"start_ms\":{},\"dur_ms\":{}}}",
+                    s.name, s.start_ms, s.dur_ms
+                )),
+                None => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"parent\":null,\"start_ms\":{},\"dur_ms\":{}}}",
+                    s.name, s.start_ms, s.dur_ms
+                )),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `parent;child` path of a stage (root first).
+    fn path(&self, idx: u32) -> String {
+        let mut parts: Vec<&'static str> = Vec::new();
+        let mut cur = Some(idx);
+        // Bounded walk: a well-formed trace has no parent cycles, but a
+        // malformed one must not hang the renderer.
+        for _ in 0..=self.stages.len() {
+            let Some(i) = cur else { break };
+            let Some(s) = self.stages.get(i as usize) else {
+                break;
+            };
+            parts.push(s.name);
+            cur = s.parent;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+}
+
+/// Renders an aggregated flame view of many traces: one row per distinct
+/// `parent;child` stage path with occurrence count, total and mean
+/// milliseconds. Rows sort by path, so siblings group under their parent.
+pub fn flame_view(traces: &[Trace]) -> String {
+    let mut agg: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for t in traces {
+        for i in 0..t.stages.len() {
+            let entry = agg.entry(t.path(i as u32)).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += t.stages[i].dur_ms;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>8} {:>12} {:>11}\n",
+        "stage path", "count", "total_ms", "mean_ms"
+    ));
+    if agg.is_empty() {
+        out.push_str("(no traces recorded)\n");
+        return out;
+    }
+    for (path, (count, total)) in &agg {
+        out.push_str(&format!(
+            "{:<52} {:>8} {:>12.3} {:>11.3}\n",
+            path,
+            count,
+            total,
+            total / *count as f64
+        ));
+    }
+    out
+}
+
+/// Bounded sink of finished traces. Publishing locks a mutex, but that
+/// happens once per *sampled request* at verdict time — never inside a
+/// stage — so the per-stage hot path stays lock-free.
+pub(crate) struct TraceSink {
+    inner: Mutex<VecDeque<Trace>>,
+}
+
+impl TraceSink {
+    pub(crate) fn new() -> TraceSink {
+        TraceSink {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Trace>> {
+        // A panic while holding the lock poisons it; trace retention is
+        // diagnostics, so recover the data rather than propagate.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn publish(&self, trace: Trace) {
+        let mut q = self.lock();
+        if q.len() >= TRACE_CAP {
+            q.pop_front();
+        }
+        q.push_back(trace);
+    }
+
+    /// Up to `n` most recent traces, oldest first.
+    pub(crate) fn recent(&self, n: usize) -> Vec<Trace> {
+        let q = self.lock();
+        let skip = q.len().saturating_sub(n);
+        q.iter().skip(skip).cloned().collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_monotone_in_rate() {
+        for key in 0..64u64 {
+            let a = sample_decision(key, 7, 0.3);
+            let b = sample_decision(key, 7, 0.3);
+            assert_eq!(a, b, "same inputs must agree");
+            if a {
+                assert!(
+                    sample_decision(key, 7, 0.8),
+                    "raising the rate never un-samples a key"
+                );
+            }
+        }
+        assert!(sample_decision(1, 2, 1.0));
+        assert!(!sample_decision(1, 2, 0.0));
+        assert!(!sample_decision(1, 2, f64::NAN));
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_honoured() {
+        let hits = (0..10_000u64)
+            .filter(|&k| sample_decision(k, 99, 0.25))
+            .count();
+        assert!(
+            (1_800..=3_200).contains(&hits),
+            "0.25 rate sampled {hits}/10000"
+        );
+    }
+
+    #[test]
+    fn builder_produces_offsets_and_paths() {
+        let mut b = TraceBuilder::new(0xabcd);
+        let root = b.begin("request", None);
+        let child = b.begin("extract", Some(root));
+        b.end(child);
+        b.end(root);
+        let t = b.finish();
+        assert_eq!(t.id, 0xabcd);
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[1].parent, Some(0));
+        assert!(t.stages[1].start_ms >= t.stages[0].start_ms);
+        assert!(t.total_ms >= t.stages[1].dur_ms);
+        assert_eq!(t.path(1), "request;extract");
+        let line = t.to_json_line();
+        assert!(line.starts_with("{\"id\":\"000000000000abcd\""));
+        assert!(line.contains("\"name\":\"extract\",\"parent\":0"));
+    }
+
+    #[test]
+    fn sink_is_bounded_and_returns_recent() {
+        let sink = TraceSink::new();
+        for i in 0..(TRACE_CAP + 10) as u64 {
+            let b = TraceBuilder::new(i);
+            sink.publish(b.finish());
+        }
+        assert_eq!(sink.len(), TRACE_CAP);
+        let recent = sink.recent(3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[2].id, (TRACE_CAP + 9) as u64);
+        sink.clear();
+        assert_eq!(sink.len(), 0);
+    }
+
+    #[test]
+    fn flame_view_aggregates_paths() {
+        let mut traces = Vec::new();
+        for i in 0..3 {
+            let mut b = TraceBuilder::new(i);
+            let r = b.begin("request", None);
+            let c = b.begin("infer", Some(r));
+            b.end(c);
+            b.end(r);
+            traces.push(b.finish());
+        }
+        let view = flame_view(&traces);
+        assert!(view.contains("request;infer"));
+        assert!(view.contains("stage path"));
+        assert!(flame_view(&[]).contains("no traces"));
+    }
+}

@@ -22,9 +22,12 @@ cargo run -q --release -p soteria-eval --bin soteria-exp -- chaos --seed 42 --sa
 
 # Serve smoke gate: a live ScreeningService under a clean/garbage mix must
 # accept every submission, degrade exactly the malformed one, keep the
-# cache accounting consistent, and shut down without panicking.
-echo "==> serve gate: soteria-exp serve-smoke"
-cargo run -q --release -p soteria-eval --bin soteria-exp -- serve-smoke
+# cache accounting consistent, and shut down without panicking. Tracing at
+# 1.0 additionally fails the gate on missing or empty stage timelines, and
+# SOTERIA_METRICS=summary exercises the exit-time exposition path.
+echo "==> serve gate: soteria-exp serve-smoke --trace 1.0"
+SOTERIA_METRICS=summary cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    serve-smoke --trace 1.0
 
 # Compute-backend smoke gate: a shrunk nn-bench run drives the GEMM /
 # im2col-conv kernels and a real training loop end to end. Throughput
@@ -65,5 +68,19 @@ if [[ -f results/BENCH_serve.json ]]; then
         serve-bench --out "$tmpdir" --baseline results/BENCH_serve.json
     rm -rf "$tmpdir"
 fi
+
+# Telemetry overhead gate: per-op cost of the metrics hot path plus the
+# end-to-end overhead on a screening-shaped workload. Overhead above the
+# 2% budget and drift against the committed baseline are *notes*, never
+# fatal — wall-clock numbers are hardware-bound.
+echo "==> telemetry bench gate: soteria-exp telemetry-bench --smoke"
+tmpdir="$(mktemp -d)"
+telemetry_baseline=()
+if [[ -f results/BENCH_telemetry.json ]]; then
+    telemetry_baseline=(--baseline results/BENCH_telemetry.json)
+fi
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    telemetry-bench --smoke --out "$tmpdir" "${telemetry_baseline[@]}"
+rm -rf "$tmpdir"
 
 echo "==> all checks passed"

@@ -36,6 +36,7 @@ fn serve_config(workers: usize, window: Duration) -> ServeConfig {
         batch_window: window,
         max_batch: 4,
         seed: 17,
+        trace_sampling: 1.0,
     }
 }
 
@@ -160,6 +161,7 @@ fn concurrent_mixed_load_resolves_every_submission() {
         batch_window: Duration::from_millis(1),
         max_batch: 4,
         seed: 23,
+        trace_sampling: 0.25,
     };
     let service = ScreeningService::start(soteria, &config);
 
