@@ -5,7 +5,10 @@ use soteria::{Soteria, SoteriaConfig, SoteriaState, TrainCheckpoint, Verdict};
 use soteria_cfg::{density, dot, GraphStats};
 use soteria_corpus::{disasm, Corpus, CorpusConfig, Family};
 use soteria_gea::gea_merge;
-use soteria_serve::{protocol, ScreeningService, ServeConfig, Submit};
+use soteria_serve::{
+    protocol, AdmissionConfig, BreakerConfig, RateLimit, ScreeningService, ServeConfig, Submit,
+    SubmitOptions,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -329,7 +332,8 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 /// `serve (--corpus DIR | --model MODEL.json) [--seed N] [--workers N]
 ///        [--queue N] [--cache N] [--batch-window-ms N] [--max-batch N]
 ///        [--listen ADDR] [--metrics PATH] [--metrics-interval SECS]
-///        [--trace F]`
+///        [--trace F] [--deadline-ms N] [--rate-limit R] [--burst B]
+///        [--brownout F] [--reject-threshold F] [--breaker N]`
 ///
 /// Runs the concurrent screening service over a line protocol: each
 /// request line is a file path or `hex:`-prefixed bytes, each response
@@ -343,6 +347,17 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 /// `TRACES [n]` / `HEALTH` admin verbs answer in-band on either front
 /// end, and `--metrics-interval SECS` rewrites the `--metrics` snapshot
 /// file periodically while the service runs.
+///
+/// Overload hardening (all off by default): `--deadline-ms N` bounds
+/// every request's end-to-end latency (expired requests answer a
+/// `degraded`/`deadline` verdict), `--rate-limit R` enforces R requests
+/// per second per client (TCP connections are distinct clients; `--burst
+/// B` sets the bucket size, default R), `--brownout F` and
+/// `--reject-threshold F` shed load at the given queue-pressure
+/// fractions (brownout answers from the AE detector only), and
+/// `--breaker N` opens a circuit after N extraction panics inside its
+/// rolling window. Rejected requests answer
+/// `{"verdict":"rejected","reason":…[,"retry_after_ms":…]}`.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
     let seed = flag_u64(&flags, "seed", 7)?;
@@ -374,6 +389,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         max_batch: flag_u64(&flags, "max-batch", 32)? as usize,
         seed,
         trace_sampling,
+        admission: admission_from_flags(&flags)?,
         ..ServeConfig::default()
     };
     let service = ScreeningService::start(system, &config);
@@ -400,6 +416,41 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         stats.cache.hit_rate() * 100.0
     );
     write_metrics_if_requested(&flags)
+}
+
+/// Builds the admission config from the overload flags. Every knob
+/// defaults to disabled, so a flagless `serve` behaves exactly as it did
+/// before admission control existed.
+fn admission_from_flags(flags: &HashMap<String, String>) -> Result<AdmissionConfig, String> {
+    let deadline_ms = flag_u64(flags, "deadline-ms", 0)?;
+    let rate = flag_f64(flags, "rate-limit", 0.0)?;
+    let burst = flag_f64(flags, "burst", rate)?;
+    let brownout = flag_f64(flags, "brownout", -1.0)?;
+    let reject = flag_f64(flags, "reject-threshold", -1.0)?;
+    let breaker_faults = flag_u64(flags, "breaker", 0)?;
+    if rate < 0.0 || burst < 0.0 {
+        return Err("--rate-limit and --burst must be non-negative".into());
+    }
+    for (name, v) in [("brownout", brownout), ("reject-threshold", reject)] {
+        if v > 1.0 {
+            return Err(format!(
+                "--{name} is a fraction of queue capacity (0.0..=1.0)"
+            ));
+        }
+    }
+    Ok(AdmissionConfig {
+        default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        rate_limit: (rate > 0.0).then_some(RateLimit {
+            rate_per_sec: rate,
+            burst: burst.max(1.0),
+        }),
+        brownout_threshold: (brownout >= 0.0).then_some(brownout),
+        reject_threshold: (reject >= 0.0).then_some(reject),
+        breaker: (breaker_faults > 0).then_some(BreakerConfig {
+            fault_threshold: breaker_faults as u32,
+            ..BreakerConfig::default()
+        }),
+    })
 }
 
 /// Honors `--metrics-interval SECS` (requires `--metrics PATH`): spawns a
@@ -486,8 +537,10 @@ fn fetch_metrics(addr: &str) -> Result<soteria_telemetry::MetricsReport, String>
 /// Resolves one request line to one response (`None` for blank lines,
 /// which are ignored). Admin verbs (`METRICS`, `TRACES`, `HEALTH`) answer
 /// from live telemetry; anything else is a screening request that answers
-/// with one JSON verdict line.
-fn serve_line(service: &ScreeningService, line: &str) -> Option<String> {
+/// with one JSON verdict line. `client` identifies the submitter for
+/// per-client rate limiting (each TCP connection gets its own id; stdin
+/// is one client).
+fn serve_line(service: &ScreeningService, line: &str, client: Option<u64>) -> Option<String> {
     let line = line.trim();
     if line.is_empty() {
         return None;
@@ -517,9 +570,16 @@ fn serve_line(service: &ScreeningService, line: &str) -> Option<String> {
             }
         }
     };
-    Some(match service.submit(bytes) {
+    let options = SubmitOptions {
+        client,
+        ..SubmitOptions::default()
+    };
+    Some(match service.submit_with(bytes, options) {
         Submit::Accepted(ticket) => protocol::verdict_json(&ticket.wait()),
-        Submit::Rejected => "{\"error\":\"rejected: queue full\"}".to_owned(),
+        Submit::Rejected {
+            reason,
+            retry_after,
+        } => protocol::reject_json(reason, retry_after),
     })
 }
 
@@ -529,7 +589,7 @@ fn serve_stdin(service: &ScreeningService) -> Result<(), String> {
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("read stdin: {e}"))?;
-        if let Some(response) = serve_line(service, &line) {
+        if let Some(response) = serve_line(service, &line, None) {
             println!("{response}");
         }
     }
@@ -545,6 +605,7 @@ fn serve_tcp(service: &ScreeningService, addr: &str) -> Result<(), String> {
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
     eprintln!("listening on {local}");
+    let mut next_client = 0u64;
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,
@@ -553,6 +614,8 @@ fn serve_tcp(service: &ScreeningService, addr: &str) -> Result<(), String> {
                 continue;
             }
         };
+        next_client += 1;
+        let client = Some(next_client);
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -566,7 +629,7 @@ fn serve_tcp(service: &ScreeningService, addr: &str) -> Result<(), String> {
                 "shutdown" => return Ok(()),
                 _ => {}
             }
-            if let Some(response) = serve_line(service, &line) {
+            if let Some(response) = serve_line(service, &line, client) {
                 if writeln!(writer, "{response}").is_err() {
                     break;
                 }

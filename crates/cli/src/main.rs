@@ -33,7 +33,8 @@ fn usage() -> &'static str {
      soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--metrics PATH] FILE...\n  \
      soteria-cli serve (--corpus DIR | --model MODEL) [--seed N] [--workers N] [--queue N]\n    \
      [--cache N] [--batch-window-ms N] [--max-batch N] [--listen ADDR] [--metrics PATH]\n    \
-     [--metrics-interval SECS] [--trace F]\n  \
+     [--metrics-interval SECS] [--trace F] [--deadline-ms N] [--rate-limit R] [--burst B]\n    \
+     [--brownout F] [--reject-threshold F] [--breaker N]\n  \
      soteria-cli metrics (--file PATH | --connect ADDR)\n\n\
      serve reads one request per line (a file path, or hex:<bytes>) and answers\n  \
      with one JSON verdict per line; without --listen the protocol runs on\n  \
@@ -44,6 +45,12 @@ fn usage() -> &'static str {
      either front end; --trace F samples that fraction of requests into\n  \
      per-stage traces (SOTERIA_TRACE=F sets the default). Tracing never\n  \
      changes a verdict.\n\n\
+     Overload hardening (all off by default): --deadline-ms bounds each\n  \
+     request's end-to-end latency, --rate-limit R (with --burst B) caps each\n  \
+     client's request rate, --brownout F degrades to AE-only screening and\n  \
+     --reject-threshold F sheds load at those queue-pressure fractions, and\n  \
+     --breaker N opens a circuit after N extraction panics. Shed requests\n  \
+     answer {\"verdict\":\"rejected\",\"reason\":...,\"retry_after_ms\":...}.\n\n\
      --checkpoint-every N snapshots training state every N epochs (atomic,\n  \
      crash-safe); --resume PATH continues a killed run bit-for-bit.\n  \
      --metrics PATH writes a telemetry snapshot (counters + span timings) as\n  \

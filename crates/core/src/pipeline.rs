@@ -590,6 +590,92 @@ impl Soteria {
             .collect()
     }
 
+    /// The brownout fast path: runs **only the AE detector** over a batch
+    /// of pre-extracted features, skipping the (much heavier) ensemble
+    /// classifier entirely.
+    ///
+    /// For samples the detector flags (reconstruction error above
+    /// threshold) the full pipeline never consults the classifier — see
+    /// [`analyze_features`](Soteria::analyze_features) — so the
+    /// `Adversarial` verdicts returned here are **bit-identical** to what
+    /// the full path would produce, and safe to cache under the sample's
+    /// content key. Samples the detector passes would normally go on to
+    /// classification; here they return
+    /// `Degraded(FaultKind::Overload { tier: "ae-only" })` instead, which
+    /// is load-derived and must never be cached.
+    ///
+    /// Faults (chaos gates, detector panics) degrade their sample only,
+    /// mirroring [`screen_features_batch`](Soteria::screen_features_batch).
+    pub fn screen_features_batch_ae_only(
+        &mut self,
+        items: &[(SampleFeatures, u64)],
+    ) -> Vec<Verdict> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let _span = soteria_telemetry::span("pipeline.screen_ae_only");
+        soteria_telemetry::counter("pipeline.screen_ae_only.samples", items.len() as u64);
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; items.len()];
+        // Same per-sample chaos gate (and stage name) as the full path, so
+        // a chaos schedule injects identically into both tiers.
+        let mut live: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, (_, key)) in items.iter().enumerate() {
+            let gate = soteria_resilience::isolate(AssertUnwindSafe(|| {
+                soteria_resilience::chaos_point("pipeline.screen", *key);
+            }));
+            match gate {
+                Ok(()) => live.push(i),
+                Err(fault) => verdicts[i] = Some(degraded(fault)),
+            }
+        }
+        if !live.is_empty() {
+            let batched = soteria_resilience::isolate(AssertUnwindSafe(|| {
+                let rows: Vec<&[f64]> = live.iter().map(|&i| items[i].0.combined()).collect();
+                let errors = self.detector.reconstruction_errors_of(&rows);
+                let threshold = self.detector.stats().threshold();
+                live.iter()
+                    .zip(errors)
+                    .map(|(&i, re)| {
+                        if re > threshold {
+                            soteria_telemetry::counter("pipeline.verdicts.adversarial", 1);
+                            (
+                                i,
+                                Verdict::Adversarial {
+                                    reconstruction_error: re,
+                                },
+                            )
+                        } else {
+                            (
+                                i,
+                                degraded(FaultKind::Overload {
+                                    tier: "ae-only".to_owned(),
+                                }),
+                            )
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            }));
+            match batched {
+                Ok(resolved) => {
+                    for (i, verdict) in resolved {
+                        verdicts[i] = Some(verdict);
+                    }
+                }
+                Err(fault) => {
+                    // Detector panics are rare enough that attributing the
+                    // whole sub-batch is acceptable for a shedding tier.
+                    for &i in &live {
+                        verdicts[i] = Some(degraded(fault.clone()));
+                    }
+                }
+            }
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every item resolved"))
+            .collect()
+    }
+
     /// Runs detector + classifier on pre-extracted features (the reuse
     /// path).
     pub fn analyze_features(&mut self, features: &SampleFeatures) -> Verdict {
@@ -872,10 +958,63 @@ mod tests {
     }
 
     #[test]
+    fn ae_only_tier_is_bit_identical_where_it_answers() {
+        let (mut soteria, corpus, test) = trained();
+        // Mix clean test samples with GEA-merged ones so both detector
+        // outcomes appear in one batch.
+        let selection = TargetSelection::select(&corpus);
+        let target = selection.sample(
+            &corpus,
+            selection
+                .target(Family::Benign, soteria_gea::SizeClass::Large)
+                .unwrap(),
+        );
+        let malicious: Vec<usize> = test
+            .iter()
+            .copied()
+            .filter(|&i| corpus.samples()[i].family() != Family::Benign)
+            .take(3)
+            .collect();
+        let mut items: Vec<(soteria_features::SampleFeatures, u64)> = Vec::new();
+        for &i in test.iter().take(3) {
+            let seed = 900 + i as u64;
+            items.push((soteria.features(corpus.samples()[i].graph(), seed), seed));
+        }
+        for &i in &malicious {
+            let seed = 1900 + i as u64;
+            let merged = gea_merge(&corpus.samples()[i], target).unwrap();
+            items.push((soteria.features(merged.sample().graph(), seed), seed));
+        }
+        let full = soteria.screen_features_batch(&items);
+        let ae_only = soteria.screen_features_batch_ae_only(&items);
+        let mut flagged = 0;
+        for (f, a) in full.iter().zip(&ae_only) {
+            match a {
+                Verdict::Adversarial { .. } => {
+                    // Where the detector answers, the fast tier must be
+                    // bit-identical to the full pipeline.
+                    assert_eq!(f, a);
+                    flagged += 1;
+                }
+                Verdict::Degraded { reason } => {
+                    assert_eq!(reason.slug(), "overload", "unexpected fault: {reason}");
+                    assert!(
+                        !f.is_degraded(),
+                        "full path degraded where ae-only shed: {f:?}"
+                    );
+                }
+                Verdict::Clean { .. } => panic!("ae-only tier can never answer Clean"),
+            }
+        }
+        assert!(flagged > 0, "no adversarial sample in the batch");
+    }
+
+    #[test]
     fn empty_batches_screen_to_empty() {
         let (mut soteria, _, _) = trained();
         assert!(soteria.screen_many(&[], 0).is_empty());
         assert!(soteria.screen_features_batch(&[]).is_empty());
+        assert!(soteria.screen_features_batch_ae_only(&[]).is_empty());
     }
 
     #[test]

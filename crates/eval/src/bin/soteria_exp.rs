@@ -8,6 +8,7 @@
 //! soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
 //! soteria-exp serve-smoke [--seed N] [--scale F]
+//! soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]
 //!
 //! experiments: table2 table3 table4 table6 table7 table8
@@ -58,6 +59,7 @@ fn usage() -> &'static str {
      soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
      soteria-exp serve-smoke [--seed N] [--scale F] [--trace F]\n       \
+     soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp telemetry-bench [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
      experiments: table2 table3 table4 table6 \
@@ -900,6 +902,7 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
             max_batch: 32,
             seed,
             trace_sampling: 1.0,
+            ..ServeConfig::default()
         };
         let service = ScreeningService::start(system, &config);
         let started = std::time::Instant::now();
@@ -920,7 +923,9 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
                             let clock = std::time::Instant::now();
                             let verdict = match service.submit(requests[i].to_vec()) {
                                 Submit::Accepted(ticket) => ticket.wait(),
-                                Submit::Rejected => unreachable!("queue sized to request count"),
+                                Submit::Rejected { .. } => {
+                                    unreachable!("queue sized to request count")
+                                }
                             };
                             mine.push((i, clock.elapsed().as_secs_f64() * 1e3, verdict));
                         }
@@ -1342,6 +1347,7 @@ fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
         max_batch: 8,
         seed,
         trace_sampling,
+        ..ServeConfig::default()
     };
     let service = ScreeningService::start(system, &config);
 
@@ -1361,7 +1367,9 @@ fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
         .iter()
         .map(|bytes| match service.submit(bytes.clone()) {
             Submit::Accepted(ticket) => Ok(ticket),
-            Submit::Rejected => Err("smoke queue rejected a sample (sized for 32)".to_string()),
+            Submit::Rejected { .. } => {
+                Err("smoke queue rejected a sample (sized for 32)".to_string())
+            }
         })
         .collect::<Result<_, _>>()?;
     let verdicts: Vec<Verdict> = tickets.into_iter().map(|t| t.wait()).collect();
@@ -1419,6 +1427,376 @@ fn run_serve_smoke(argv: &[String]) -> Result<(), String> {
         );
     }
     println!("ok: serve smoke passed (clean shutdown, fault isolated)");
+    Ok(())
+}
+
+/// Overload harness report, serialized to `BENCH_overload.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct OverloadBenchReport {
+    seed: u64,
+    smoke: bool,
+    corpus_scale: f64,
+    chaos: bool,
+    workers: usize,
+    queue_capacity: usize,
+    deadline_ms: u64,
+    /// Closed-loop service rate measured by the calibration pass; the
+    /// open-loop arrival rates are multiples of this.
+    saturation_rps: f64,
+    runs: Vec<OverloadRun>,
+    /// p99 of *accepted* requests at 4x saturation over the same p99 at
+    /// 0.5x (the uncontended baseline). The contract is that shedding
+    /// absorbs the excess: this should stay near 1, and above 2 the
+    /// admission layer is letting the queue eat the overload.
+    p99_ratio_4x_vs_uncontended: f64,
+    /// Every accepted, non-degraded verdict compared bit-identical to a
+    /// sequential chaos-free `screen_binary` of the same content.
+    accepted_bit_identical: bool,
+    accepted_verified: usize,
+}
+
+/// One open-loop arrival-rate point of the overload harness.
+#[derive(Debug, Serialize, Deserialize)]
+struct OverloadRun {
+    rate_multiplier: f64,
+    offered_rps: f64,
+    requests: usize,
+    accepted: usize,
+    rejected: usize,
+    rejected_by_reason: std::collections::BTreeMap<String, usize>,
+    /// Accepted requests that resolved `Degraded` (deadline expiry,
+    /// brownout, chaos) — still exactly one terminal outcome each.
+    degraded: usize,
+    degraded_by_slug: std::collections::BTreeMap<String, usize>,
+    shed_rate: f64,
+    accepted_p50_ms: f64,
+    accepted_p95_ms: f64,
+    accepted_p99_ms: f64,
+    deadline_expired: u64,
+    brownout: u64,
+    breaker_trips: u64,
+}
+
+/// `overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
+/// [--smoke]` — the chaos-driven overload harness. Trains the tiny
+/// preset, calibrates the service's closed-loop saturation rate, then
+/// replays open-loop arrival schedules at 0.5x/1x/2x/4x saturation with
+/// deterministic chaos armed (slow workers + extraction panics) and the
+/// full admission stack on (deadlines, brownout, reject tier, breaker).
+///
+/// Hard invariants (fatal on violation):
+/// - every submission reaches exactly one terminal outcome — rejected at
+///   admission, or exactly one verdict; a ticket that stays unresolved
+///   past the hang budget fails the run;
+/// - every accepted, non-degraded verdict is bit-identical to a
+///   sequential chaos-free `screen_binary` of the identical content.
+///
+/// The p99-flatness contract (accepted p99 at 4x within 2x of the
+/// uncontended baseline) is recorded in the report and *noted* when
+/// violated; drift vs `--baseline` is likewise never fatal.
+fn run_overload_bench(argv: &[String]) -> Result<(), String> {
+    use soteria_serve::{
+        request_seed, AdmissionConfig, BreakerConfig, RateLimit, ScreeningService, ServeConfig,
+        Submit, SubmitOptions, Ticket,
+    };
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    let mut seed = 7u64;
+    let mut scale = 0.01f64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown overload-bench flag {other}\n{}", usage())),
+        }
+    }
+    if smoke {
+        scale = scale.min(0.004);
+    }
+
+    soteria_resilience::set_chaos_seed(None);
+    let corpus = Corpus::generate(&CorpusConfig::scaled(scale, seed));
+    let split = corpus.split(0.8, seed);
+    eprintln!(
+        "[overload-bench] corpus scale {scale} -> {} samples; training tiny system...",
+        corpus.len()
+    );
+    let mut system = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| format!("overload-bench training failed: {e}"))?;
+
+    // Unique request contents: each held-out binary with a distinct
+    // trailing salt, so no request hits the verdict cache and every
+    // accepted request pays the full extract+infer cost. Trailing bytes
+    // change the content hash (and therefore the walk seed) without
+    // making the binary unparseable.
+    let per_rate = if smoke { 32usize } else { 160 };
+    let rates = [0.5f64, 1.0, 2.0, 4.0];
+    let make_request = |rate_idx: usize, i: usize| -> Vec<u8> {
+        let mut bytes = corpus.samples()[split.test[i % split.test.len()]]
+            .binary()
+            .to_bytes();
+        bytes.extend_from_slice(&((rate_idx as u64) << 32 | i as u64).to_le_bytes());
+        bytes
+    };
+
+    // Calibration: closed-loop sequential screening of one rate's worth
+    // of requests measures the per-sample service time. Chaos stays off
+    // here — the arrival schedule should target the healthy service rate.
+    let calibrate = per_rate.min(16);
+    let cal_started = Instant::now();
+    for i in 0..calibrate {
+        let bytes = make_request(usize::MAX, i);
+        let _ = system.screen_binary(&bytes, request_seed(seed, &bytes));
+    }
+    let mean_ms = cal_started.elapsed().as_secs_f64() * 1e3 / calibrate as f64;
+    let workers = if smoke { 2usize } else { 4 };
+    let saturation_rps = workers as f64 * 1e3 / mean_ms.max(1e-3);
+    let deadline = Duration::from_secs_f64((mean_ms * 8.0 / 1e3).clamp(0.05, 1.0));
+    let queue_capacity = workers * 8;
+    eprintln!(
+        "[overload-bench] mean service {mean_ms:.2} ms -> saturation {saturation_rps:.0} req/s, \
+         deadline {} ms, queue {queue_capacity}",
+        deadline.as_millis()
+    );
+
+    // Arm deterministic chaos (slow workers + extraction panics) and
+    // silence the hook: injected panics are caught by the isolates.
+    std::panic::set_hook(Box::new(|_| {}));
+    soteria_resilience::set_chaos_seed(Some(seed));
+
+    let hang_budget = Duration::from_secs(30);
+    let mut runs = Vec::new();
+    // Accepted, non-degraded verdicts to verify bit-identical afterwards.
+    let mut to_verify: Vec<(Vec<u8>, Verdict)> = Vec::new();
+    for (rate_idx, &multiplier) in rates.iter().enumerate() {
+        let offered = saturation_rps * multiplier;
+        let interarrival = Duration::from_secs_f64(1.0 / offered.max(1e-9));
+        let config = ServeConfig {
+            workers,
+            queue_capacity,
+            cache_capacity: 0,
+            batch_window: Duration::ZERO,
+            max_batch: 8,
+            seed,
+            admission: AdmissionConfig {
+                default_deadline: Some(deadline),
+                // Per-client limiting is exercised by the unit tests; the
+                // bench offers one open-loop stream, so a per-client cap
+                // would only re-measure the configured rate.
+                rate_limit: None::<RateLimit>,
+                brownout_threshold: Some(0.75),
+                reject_threshold: Some(0.95),
+                breaker: Some(BreakerConfig::default()),
+            },
+            ..ServeConfig::default()
+        };
+        let service = ScreeningService::start(system, &config);
+
+        // Open-loop arrivals: the submitter never blocks on a verdict —
+        // it paces submissions and hands accepted tickets to waiters.
+        let mut outcomes = 0usize;
+        let mut rejected_by_reason: BTreeMap<String, usize> = BTreeMap::new();
+        let mut pending: Vec<(usize, Instant, Ticket)> = Vec::new();
+        let mut next_due = Instant::now();
+        for i in 0..per_rate {
+            let now = Instant::now();
+            if now < next_due {
+                std::thread::sleep(next_due - now);
+            }
+            next_due += interarrival;
+            let bytes = make_request(rate_idx, i);
+            match service.submit_with(bytes, SubmitOptions::default()) {
+                Submit::Accepted(ticket) => pending.push((i, Instant::now(), ticket)),
+                Submit::Rejected { reason, .. } => {
+                    outcomes += 1;
+                    *rejected_by_reason
+                        .entry(reason.slug().to_owned())
+                        .or_default() += 1;
+                }
+            }
+        }
+
+        // Drain every accepted ticket; one that outlives the hang budget
+        // is a stuck request and fails the whole run.
+        let mut accepted_latencies = Vec::with_capacity(pending.len());
+        let mut degraded_by_slug: BTreeMap<String, usize> = BTreeMap::new();
+        let accepted = pending.len();
+        for (i, submitted, ticket) in pending {
+            let verdict = ticket.wait_for(hang_budget).map_err(|_| {
+                format!(
+                    "overload-bench {multiplier}x: request {i} hung past {}s",
+                    hang_budget.as_secs()
+                )
+            })?;
+            accepted_latencies.push(submitted.elapsed().as_secs_f64() * 1e3);
+            outcomes += 1;
+            match &verdict {
+                Verdict::Degraded { reason } => {
+                    *degraded_by_slug
+                        .entry(reason.slug().to_owned())
+                        .or_default() += 1;
+                }
+                _ => to_verify.push((make_request(rate_idx, i), verdict)),
+            }
+        }
+        let stats = service.stats();
+        system = service.shutdown();
+
+        if outcomes != per_rate {
+            return Err(format!(
+                "overload-bench {multiplier}x: {outcomes} terminal outcomes for {per_rate} \
+                 submissions — exactly-one-outcome invariant violated"
+            ));
+        }
+        accepted_latencies.sort_by(|a, b| a.total_cmp(b));
+        let rejected: usize = rejected_by_reason.values().sum();
+        runs.push(OverloadRun {
+            rate_multiplier: multiplier,
+            offered_rps: offered,
+            requests: per_rate,
+            accepted,
+            rejected,
+            rejected_by_reason,
+            degraded: degraded_by_slug.values().sum(),
+            degraded_by_slug,
+            shed_rate: rejected as f64 / per_rate as f64,
+            accepted_p50_ms: percentile_ms(&accepted_latencies, 50.0),
+            accepted_p95_ms: percentile_ms(&accepted_latencies, 95.0),
+            accepted_p99_ms: percentile_ms(&accepted_latencies, 99.0),
+            deadline_expired: stats.deadline_expired,
+            brownout: stats.brownout,
+            breaker_trips: stats.breaker_trips,
+        });
+    }
+
+    // Restore normal panic reporting, disarm chaos, and verify: every
+    // accepted non-degraded verdict must equal the sequential chaos-free
+    // screening of the identical content.
+    let _ = std::panic::take_hook();
+    soteria_resilience::set_chaos_seed(None);
+    let accepted_verified = to_verify.len();
+    let mut accepted_bit_identical = true;
+    for (bytes, verdict) in &to_verify {
+        let expected = system.screen_binary(bytes, request_seed(seed, bytes));
+        if *verdict != expected {
+            accepted_bit_identical = false;
+            eprintln!("overload-bench: divergent verdict {verdict:?} (expected {expected:?})");
+        }
+    }
+
+    let p99_ratio = runs[3].accepted_p99_ms / runs[0].accepted_p99_ms.max(1e-9);
+    let report = OverloadBenchReport {
+        seed,
+        smoke,
+        corpus_scale: scale,
+        chaos: true,
+        workers,
+        queue_capacity,
+        deadline_ms: deadline.as_millis() as u64,
+        saturation_rps,
+        runs,
+        p99_ratio_4x_vs_uncontended: p99_ratio,
+        accepted_bit_identical,
+        accepted_verified,
+    };
+
+    println!(
+        "overload-bench (seed {seed}{}, {} workers, deadline {} ms, saturation {:.0} req/s):",
+        if smoke { ", smoke" } else { "" },
+        report.workers,
+        report.deadline_ms,
+        report.saturation_rps
+    );
+    println!("  rate  offered/s  accepted  rejected  degraded  shed%   p50ms   p95ms   p99ms");
+    for run in &report.runs {
+        println!(
+            "  {:>3.1}x {:>9.0} {:>9} {:>9} {:>9} {:>6.0} {:>7.2} {:>7.2} {:>7.2}",
+            run.rate_multiplier,
+            run.offered_rps,
+            run.accepted,
+            run.rejected,
+            run.degraded,
+            run.shed_rate * 100.0,
+            run.accepted_p50_ms,
+            run.accepted_p95_ms,
+            run.accepted_p99_ms
+        );
+    }
+    println!(
+        "  p99 4x/uncontended {:.2}x; {} accepted verdicts verified bit-identical: {}",
+        report.p99_ratio_4x_vs_uncontended,
+        report.accepted_verified,
+        if report.accepted_bit_identical {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+
+    if !report.accepted_bit_identical {
+        return Err("overload-bench: accepted verdicts diverged from sequential screening".into());
+    }
+    if report.p99_ratio_4x_vs_uncontended > 2.0 {
+        eprintln!(
+            "note: accepted p99 grew {:.2}x from 0.5x to 4x saturation (budget 2x) — the \
+             shed tiers are letting queueing delay through; wall-clock numbers are \
+             hardware-dependent, but investigate before shipping admission changes",
+            report.p99_ratio_4x_vs_uncontended
+        );
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| {
+                serde_json::from_str::<OverloadBenchReport>(&s).map_err(|e| e.to_string())
+            }) {
+            Ok(committed) => {
+                let ratio = report.p99_ratio_4x_vs_uncontended
+                    / committed.p99_ratio_4x_vs_uncontended.max(1e-9);
+                if ratio > 1.5 {
+                    eprintln!(
+                        "note: overload-bench drift: p99 ratio {:.2}x vs baseline {:.2}x — \
+                         wall-clock numbers are hardware-dependent, refresh \
+                         results/BENCH_overload.json if this host is the reference",
+                        report.p99_ratio_4x_vs_uncontended, committed.p99_ratio_4x_vs_uncontended
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_overload.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
     Ok(())
 }
 
@@ -1611,6 +1989,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("telemetry-bench") {
         let result = run_telemetry_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("overload-bench") {
+        let result = run_overload_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,408 @@
+//! A circuit breaker for fault bursts in pipeline stages.
+//!
+//! The serving layer isolates every sample, so a single panicking input
+//! degrades only itself — but a *burst* of panics (a pathological input
+//! family, a poisoned model shard, armed chaos) means each admitted
+//! request burns a worker slot just to fail. The breaker watches the
+//! fault stream and, past a threshold of panic-class faults inside a
+//! rolling window, trips [open](BreakerState::Open): new work is refused
+//! up front with a `retry_after` hint. After a backoff it
+//! [half-opens](BreakerState::HalfOpen), admitting a few probe requests;
+//! enough consecutive successes close it again, while any probe fault
+//! re-opens it with doubled (capped, deterministically jittered) backoff.
+//!
+//! Time is always passed in by the caller (`Instant`s), so tests drive
+//! the state machine with synthetic clocks and the production path costs
+//! one relaxed atomic load while the breaker is closed.
+
+use crate::FaultKind;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Panic-class faults inside `window` that trip the breaker open.
+    pub fault_threshold: u32,
+    /// Rolling window over which faults are counted.
+    pub window: Duration,
+    /// Open duration after the first trip; doubles per consecutive trip.
+    pub base_backoff: Duration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Probe requests admitted while half-open.
+    pub half_open_probes: u32,
+    /// Consecutive probe successes required to close from half-open.
+    pub success_to_close: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            fault_threshold: 5,
+            window: Duration::from_secs(1),
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            half_open_probes: 2,
+            success_to_close: 2,
+            jitter_seed: 0x5073_1a5e_d1ce_0007,
+        }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: every request is admitted.
+    Closed,
+    /// Tripped: requests are refused until the backoff elapses.
+    Open,
+    /// Probing: a bounded number of requests are admitted to test
+    /// recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (telemetry / wire).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `serve.breaker.state` gauge
+    /// (0 closed, 1 open, 2 half-open).
+    pub fn gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+const STATE_CLOSED: u8 = 0;
+const STATE_OPEN: u8 = 1;
+const STATE_HALF_OPEN: u8 = 2;
+
+/// Everything that needs the lock: fault timestamps, trip bookkeeping,
+/// and half-open probe accounting.
+#[derive(Debug)]
+struct Inner {
+    /// Instants of recent panic-class faults (bounded by the threshold:
+    /// older entries are pruned on every record).
+    faults: Vec<Instant>,
+    /// When the current open period ends (meaningful while open).
+    open_until: Option<Instant>,
+    /// Consecutive trips without an intervening close (backoff exponent).
+    trips: u32,
+    /// Probes handed out in the current half-open period.
+    probes_issued: u32,
+    /// Consecutive probe successes in the current half-open period.
+    probe_successes: u32,
+}
+
+/// See the [module docs](self). Thread-safe; the closed-state fast path
+/// is a single relaxed atomic load.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    /// Mirror of the state for lock-free reads; the mutex is authoritative.
+    state: AtomicU8,
+    /// Monotonic count of trips to open (see [`CircuitBreaker::trips`]).
+    trip_count: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: AtomicU8::new(STATE_CLOSED),
+            trip_count: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                faults: Vec::new(),
+                open_until: None,
+                trips: 0,
+                probes_issued: 0,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// The current state (transitions driven by `now`-carrying calls; a
+    /// bare read never moves the clock forward).
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Relaxed) {
+            STATE_OPEN => BreakerState::Open,
+            STATE_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Decides whether to admit a request at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns how long the caller should wait before retrying when the
+    /// breaker is open (or half-open with all probes already issued).
+    pub fn admit(&self, now: Instant) -> Result<(), Duration> {
+        if self.state.load(Ordering::Relaxed) == STATE_CLOSED {
+            return Ok(());
+        }
+        let mut inner = self.lock();
+        match self.state.load(Ordering::Relaxed) {
+            STATE_OPEN => {
+                let until = inner.open_until.unwrap_or(now);
+                if now < until {
+                    return Err(until - now);
+                }
+                // Backoff elapsed: half-open and hand out the first probe.
+                self.state.store(STATE_HALF_OPEN, Ordering::Relaxed);
+                inner.probes_issued = 1;
+                inner.probe_successes = 0;
+                Ok(())
+            }
+            STATE_HALF_OPEN => {
+                if inner.probes_issued < self.config.half_open_probes {
+                    inner.probes_issued += 1;
+                    Ok(())
+                } else {
+                    // Probes are out; ask the caller to retry after one
+                    // base backoff (the probes decide the real outcome).
+                    Err(self.config.base_backoff)
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Records a successful request outcome at `now`.
+    pub fn record_success(&self, now: Instant) {
+        if self.state.load(Ordering::Relaxed) == STATE_CLOSED {
+            return;
+        }
+        let mut inner = self.lock();
+        if self.state.load(Ordering::Relaxed) != STATE_HALF_OPEN {
+            return;
+        }
+        inner.probe_successes += 1;
+        if inner.probe_successes >= self.config.success_to_close {
+            self.state.store(STATE_CLOSED, Ordering::Relaxed);
+            inner.trips = 0;
+            inner.faults.clear();
+            inner.open_until = None;
+            let _ = now; // close is success-count driven, not clock driven
+        }
+    }
+
+    /// Records a request fault at `now`. Only panic-class faults (organic
+    /// panics and injected chaos) count toward tripping: content faults
+    /// like malformed input or an oversized graph are the pipeline doing
+    /// its job, not the pipeline being broken.
+    pub fn record_fault(&self, fault: &FaultKind, now: Instant) {
+        if !matches!(
+            fault,
+            FaultKind::Panic { .. } | FaultKind::ChaosInjected { .. }
+        ) {
+            return;
+        }
+        let mut inner = self.lock();
+        match self.state.load(Ordering::Relaxed) {
+            STATE_HALF_OPEN => self.trip(&mut inner, now),
+            STATE_OPEN => {}
+            _ => {
+                let window = self.config.window;
+                inner.faults.retain(|&t| now.duration_since(t) < window);
+                inner.faults.push(now);
+                if inner.faults.len() as u32 >= self.config.fault_threshold {
+                    self.trip(&mut inner, now);
+                }
+            }
+        }
+    }
+
+    /// Trips (or re-trips) open, computing the jittered backoff.
+    fn trip(&self, inner: &mut Inner, now: Instant) {
+        inner.trips = inner.trips.saturating_add(1);
+        let exp = inner.trips.saturating_sub(1).min(20);
+        let base = self
+            .config
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.config.max_backoff);
+        // Deterministic jitter in [0, base/4): a function of the seed and
+        // the trip count, so replays with the same schedule reproduce.
+        let jitter_ns = if base.is_zero() {
+            0
+        } else {
+            crate::mix(self.config.jitter_seed ^ u64::from(inner.trips))
+                % (base.as_nanos() as u64 / 4).max(1)
+        };
+        inner.open_until = Some(now + base + Duration::from_nanos(jitter_ns));
+        inner.faults.clear();
+        inner.probes_issued = 0;
+        inner.probe_successes = 0;
+        self.state.store(STATE_OPEN, Ordering::Relaxed);
+        self.trip_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total times the breaker has tripped open (monotonic; the serve
+    /// layer mirrors this into the `serve.breaker.trips` counter — this
+    /// crate stays telemetry-free).
+    pub fn trips(&self) -> u64 {
+        self.trip_count.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panic_fault() -> FaultKind {
+        FaultKind::Panic {
+            message: "boom".into(),
+        }
+    }
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            fault_threshold: 3,
+            window: Duration::from_millis(100),
+            base_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_millis(400),
+            half_open_probes: 2,
+            success_to_close: 2,
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn trips_on_a_burst_and_stays_closed_below_threshold() {
+        let b = CircuitBreaker::new(config());
+        let t0 = Instant::now();
+        b.record_fault(&panic_fault(), t0);
+        b.record_fault(&panic_fault(), t0 + Duration::from_millis(10));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(t0 + Duration::from_millis(11)).is_ok());
+        b.record_fault(&panic_fault(), t0 + Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::Open);
+        let retry = b.admit(t0 + Duration::from_millis(21)).unwrap_err();
+        assert!(retry > Duration::ZERO);
+    }
+
+    #[test]
+    fn stale_faults_fall_out_of_the_window() {
+        let b = CircuitBreaker::new(config());
+        let t0 = Instant::now();
+        b.record_fault(&panic_fault(), t0);
+        b.record_fault(&panic_fault(), t0 + Duration::from_millis(10));
+        // Third fault arrives after the first two left the 100 ms window.
+        b.record_fault(&panic_fault(), t0 + Duration::from_millis(200));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn content_faults_never_trip() {
+        let b = CircuitBreaker::new(config());
+        let t0 = Instant::now();
+        for i in 0..20 {
+            b.record_fault(
+                &FaultKind::MalformedInput {
+                    message: format!("bad {i}"),
+                },
+                t0 + Duration::from_millis(i),
+            );
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_opens_probes_and_closes_on_success() {
+        let b = CircuitBreaker::new(config());
+        let t0 = Instant::now();
+        for i in 0..3 {
+            b.record_fault(&panic_fault(), t0 + Duration::from_millis(i));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Well past any jittered backoff (base 40ms + <10ms jitter).
+        let later = t0 + Duration::from_millis(120);
+        assert!(b.admit(later).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit(later).is_ok(), "second probe admitted");
+        assert!(b.admit(later).is_err(), "probes exhausted");
+        b.record_success(later);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(later);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(later).is_ok());
+    }
+
+    #[test]
+    fn probe_fault_reopens_with_longer_backoff() {
+        let b = CircuitBreaker::new(config());
+        let t0 = Instant::now();
+        for i in 0..3 {
+            b.record_fault(&panic_fault(), t0 + Duration::from_millis(i));
+        }
+        let first_retry = b.admit(t0 + Duration::from_millis(3)).unwrap_err();
+        let later = t0 + Duration::from_millis(120);
+        assert!(b.admit(later).is_ok());
+        b.record_fault(&panic_fault(), later);
+        assert_eq!(b.state(), BreakerState::Open);
+        let second_retry = b.admit(later).unwrap_err();
+        // Second trip doubles the base backoff; jitter is < base/4 so the
+        // ordering is robust.
+        assert!(
+            second_retry > first_retry,
+            "{second_retry:?} vs {first_retry:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let schedule = |seed: u64| {
+            let b = CircuitBreaker::new(BreakerConfig {
+                jitter_seed: seed,
+                ..config()
+            });
+            let t0 = Instant::now();
+            let mut retries = Vec::new();
+            for trip in 0..8u64 {
+                let now = t0 + Duration::from_secs(trip * 10);
+                for i in 0..3 {
+                    b.record_fault(&panic_fault(), now + Duration::from_millis(i));
+                }
+                // Probe through half-open so the next burst re-trips from
+                // a comparable state.
+                retries.push(b.admit(now + Duration::from_millis(3)).unwrap_err());
+                assert!(b.admit(now + Duration::from_secs(9)).is_ok());
+            }
+            retries
+        };
+        // Deterministic: identical seeds give identical schedules.
+        // (Instant bases differ between runs but retry_after durations are
+        // pure functions of config + trip count.)
+        let a = schedule(7);
+        let b = schedule(7);
+        let approx = |x: Duration, y: Duration| x.abs_diff(y) < Duration::from_millis(5);
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| approx(*x, *y)),
+            "{a:?}\n{b:?}"
+        );
+        // Capped: max_backoff 400ms + jitter < 100ms, minus probe elapsed.
+        assert!(a.iter().all(|d| *d < Duration::from_millis(520)), "{a:?}");
+    }
+}

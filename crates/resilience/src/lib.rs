@@ -22,6 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod breaker;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::Write as _;
@@ -82,6 +86,22 @@ pub enum FaultKind {
         /// The stage the fault was injected into.
         stage: String,
     },
+    /// The request's deadline expired before a verdict was computed. A
+    /// load/timing outcome, not a content one — carriers of this fault
+    /// must never enter content-keyed caches.
+    DeadlineExceeded {
+        /// Observed elapsed milliseconds when expiry was detected.
+        elapsed_ms: u64,
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The service answered in a degraded tier (e.g. an AE-only fast
+    /// verdict) because it was shedding load. Also load-derived and
+    /// therefore never cacheable.
+    Overload {
+        /// The degradation tier that answered (e.g. `"ae-only"`).
+        tier: String,
+    },
 }
 
 /// Prefix chaos-injected panics carry, letting the catch site classify
@@ -121,7 +141,22 @@ impl FaultKind {
             FaultKind::Timeout { .. } => "timeout",
             FaultKind::MalformedInput { .. } => "malformed_input",
             FaultKind::ChaosInjected { .. } => "chaos",
+            FaultKind::DeadlineExceeded { .. } => "deadline",
+            FaultKind::Overload { .. } => "overload",
         }
+    }
+
+    /// Whether this fault is a pure function of the sample's content (and
+    /// therefore safe to memoize in a content-keyed verdict cache). Load
+    /// and timing faults return `false`: the same bytes may well succeed
+    /// once the pressure passes.
+    pub fn content_derived(&self) -> bool {
+        !matches!(
+            self,
+            FaultKind::DeadlineExceeded { .. }
+                | FaultKind::Overload { .. }
+                | FaultKind::Timeout { .. }
+        )
     }
 }
 
@@ -151,6 +186,16 @@ impl fmt::Display for FaultKind {
             ),
             FaultKind::MalformedInput { message } => write!(f, "malformed input: {message}"),
             FaultKind::ChaosInjected { stage } => write!(f, "chaos fault injected at {stage}"),
+            FaultKind::DeadlineExceeded {
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed > {deadline_ms} ms deadline"
+            ),
+            FaultKind::Overload { tier } => {
+                write!(f, "degraded under overload (tier {tier})")
+            }
         }
     }
 }
@@ -313,7 +358,7 @@ pub fn chaos_seed() -> Option<u64> {
 
 /// SplitMix64-style mix used to make chaos decisions deterministic in
 /// `(seed, stage, key)` regardless of thread scheduling.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -432,12 +477,46 @@ mod tests {
                 message: "y".into(),
             },
             FaultKind::ChaosInjected { stage: "s".into() },
+            FaultKind::DeadlineExceeded {
+                elapsed_ms: 9,
+                deadline_ms: 5,
+            },
+            FaultKind::Overload {
+                tier: "ae-only".into(),
+            },
         ];
         let slugs: std::collections::BTreeSet<&str> = faults.iter().map(|f| f.slug()).collect();
         assert_eq!(slugs.len(), faults.len());
         for f in &faults {
             assert!(!f.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn load_derived_faults_are_not_cacheable() {
+        assert!(FaultKind::MalformedInput {
+            message: "m".into()
+        }
+        .content_derived());
+        assert!(FaultKind::ChaosInjected { stage: "s".into() }.content_derived());
+        assert!(FaultKind::Panic {
+            message: "p".into()
+        }
+        .content_derived());
+        assert!(!FaultKind::DeadlineExceeded {
+            elapsed_ms: 2,
+            deadline_ms: 1
+        }
+        .content_derived());
+        assert!(!FaultKind::Overload {
+            tier: "ae-only".into()
+        }
+        .content_derived());
+        assert!(!FaultKind::Timeout {
+            elapsed_ms: 2,
+            budget_ms: 1
+        }
+        .content_derived());
     }
 
     #[test]

@@ -100,18 +100,29 @@ fn traces_text(n: usize) -> String {
 }
 
 /// One JSON line of liveness state (integers only, so the line is stable
-/// to parse from any client).
+/// to parse from any client). Besides service counters this surfaces the
+/// telemetry registry's own saturation signals — `dropped_ops`
+/// (name-table exhaustion / kind conflicts) and `events_overflow`
+/// (event-ring wrap-around) — so a registry silently losing data is
+/// visible from the same probe that watches the service.
 fn health_json(stats: &ServiceStats, uptime: Duration) -> String {
     format!(
         "{{\"status\":\"ok\",\"uptime_ms\":{},\"submitted\":{},\"rejected\":{},\
-         \"in_flight\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_lookups\":{}}}",
+         \"in_flight\":{},\"deadline_expired\":{},\"brownout\":{},\"breaker_trips\":{},\
+         \"cache_entries\":{},\"cache_hits\":{},\"cache_lookups\":{},\
+         \"telemetry_dropped_ops\":{},\"telemetry_events_overflow\":{}}}",
         uptime.as_millis(),
         stats.submitted,
         stats.rejected,
         stats.in_flight,
+        stats.deadline_expired,
+        stats.brownout,
+        stats.breaker_trips,
         stats.cache.entries,
         stats.cache.hits,
-        stats.cache.lookups
+        stats.cache.lookups,
+        soteria_telemetry::dropped_ops(),
+        soteria_telemetry::events_overflow()
     )
 }
 
@@ -135,6 +146,9 @@ mod tests {
             submitted: 10,
             rejected: 1,
             in_flight: 2,
+            deadline_expired: 3,
+            brownout: 4,
+            breaker_trips: 1,
             cache: CacheStats {
                 lookups: 10,
                 hits: 4,
@@ -163,11 +177,37 @@ mod tests {
 
     #[test]
     fn health_is_one_json_line_of_integers() {
+        let _scope = soteria_telemetry::scoped();
         let line = respond(&stats(), Duration::from_millis(1234), "HEALTH").expect("admin verb");
         assert!(!line.contains('\n'));
         assert!(line.contains("\"uptime_ms\":1234"));
         assert!(line.contains("\"in_flight\":2"));
         assert!(line.contains("\"cache_entries\":6"));
+        assert!(line.contains("\"deadline_expired\":3"));
+        assert!(line.contains("\"brownout\":4"));
+        assert!(line.contains("\"breaker_trips\":1"));
+        assert!(line.contains("\"telemetry_dropped_ops\":0"));
+        assert!(line.contains("\"telemetry_events_overflow\":0"));
+    }
+
+    #[test]
+    fn health_surfaces_registry_saturation() {
+        let _scope = soteria_telemetry::scoped();
+        // Force a kind conflict (one dropped op) and an event-ring wrap.
+        soteria_telemetry::counter("admin.conflict", 1);
+        soteria_telemetry::record("admin.conflict", 1.0);
+        for i in 0..1030u64 {
+            soteria_telemetry::event("admin.flood", i as f64);
+        }
+        let line = respond(&stats(), Duration::ZERO, "HEALTH").expect("admin verb");
+        assert!(
+            line.contains("\"telemetry_dropped_ops\":1"),
+            "dropped op invisible: {line}"
+        );
+        assert!(
+            line.contains("\"telemetry_events_overflow\":6"),
+            "ring overflow invisible: {line}"
+        );
     }
 
     #[test]

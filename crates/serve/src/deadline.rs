@@ -1,0 +1,112 @@
+//! Per-request deadlines, propagated through every pipeline stage.
+//!
+//! A [`Deadline`] travels with its job from admission to verdict. Stages
+//! check it *cooperatively* at their boundaries (worker dequeue, batch
+//! assembly): an expired request resolves immediately to
+//! `Degraded(FaultKind::DeadlineExceeded)` instead of burning extraction
+//! or inference work whose answer nobody is waiting for. Cooperative
+//! checking means a verdict whose computation straddles the expiry
+//! instant is still delivered — the deadline bounds *wasted* work, it
+//! does not preempt useful work already in flight.
+//!
+//! Deadline outcomes are timing-derived, never content-derived, so they
+//! are excluded from the verdict cache (see
+//! [`FaultKind::content_derived`]).
+
+use soteria_resilience::FaultKind;
+use std::time::{Duration, Instant};
+
+/// A request's deadline: the admission instant plus an optional budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    started: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (the default for requests submitted
+    /// without one).
+    pub fn unbounded(started: Instant) -> Deadline {
+        Deadline {
+            started,
+            budget: None,
+        }
+    }
+
+    /// Expires `budget` after `started`.
+    pub fn after(started: Instant, budget: Duration) -> Deadline {
+        Deadline {
+            started,
+            budget: Some(budget),
+        }
+    }
+
+    /// Builds from an optional budget (`None` = unbounded).
+    pub fn from_budget(started: Instant, budget: Option<Duration>) -> Deadline {
+        Deadline { started, budget }
+    }
+
+    /// Whether the deadline had passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        match self.budget {
+            Some(budget) => now.saturating_duration_since(self.started) > budget,
+            None => false,
+        }
+    }
+
+    /// Time left at `now` (`None` = unbounded, `Some(ZERO)` = expired).
+    pub fn remaining(&self, now: Instant) -> Option<Duration> {
+        self.budget
+            .map(|b| b.saturating_sub(now.saturating_duration_since(self.started)))
+    }
+
+    /// The fault carried by a verdict degraded on this deadline.
+    pub fn fault(&self, now: Instant) -> FaultKind {
+        FaultKind::DeadlineExceeded {
+            elapsed_ms: now.saturating_duration_since(self.started).as_millis() as u64,
+            deadline_ms: self
+                .budget
+                .map(|b| b.as_millis() as u64)
+                .unwrap_or(u64::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires_and_has_no_remaining() {
+        let t0 = Instant::now();
+        let d = Deadline::unbounded(t0);
+        assert!(!d.expired(t0 + Duration::from_secs(3600)));
+        assert_eq!(d.remaining(t0), None);
+    }
+
+    #[test]
+    fn bounded_expires_exactly_past_the_budget() {
+        let t0 = Instant::now();
+        let d = Deadline::after(t0, Duration::from_millis(10));
+        assert!(!d.expired(t0));
+        assert!(!d.expired(t0 + Duration::from_millis(10)));
+        assert!(d.expired(t0 + Duration::from_millis(11)));
+        assert_eq!(
+            d.remaining(t0 + Duration::from_millis(4)),
+            Some(Duration::from_millis(6))
+        );
+        assert_eq!(
+            d.remaining(t0 + Duration::from_secs(1)),
+            Some(Duration::ZERO)
+        );
+        let fault = d.fault(t0 + Duration::from_millis(25));
+        assert!(matches!(
+            fault,
+            FaultKind::DeadlineExceeded {
+                elapsed_ms: 25,
+                deadline_ms: 10
+            }
+        ));
+        assert!(!fault.content_derived());
+    }
+}

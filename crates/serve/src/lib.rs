@@ -12,6 +12,10 @@
 //!   used by `soteria-cli serve`.
 //! - [`admin`] — in-band observability verbs (`METRICS`, `TRACES`,
 //!   `HEALTH`) any front end can answer between screening requests.
+//! - [`admission`] / [`deadline`] — overload hardening: per-request
+//!   deadlines, per-client rate limits, pressure-tiered shedding with an
+//!   AE-only brownout tier, and a circuit breaker over extraction
+//!   faults. All disabled by default.
 //!
 //! ## Why caching and batching cannot change an answer
 //!
@@ -26,10 +30,19 @@
 #![warn(missing_docs)]
 
 pub mod admin;
+pub mod admission;
 pub mod cache;
+pub mod deadline;
 pub mod protocol;
 mod service;
 
 pub use admin::handle_admin;
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, RateLimit, RejectReason,
+};
 pub use cache::{fnv1a64, CacheStats, VerdictCache};
-pub use service::{request_seed, ScreeningService, ServeConfig, ServiceStats, Submit, Ticket};
+pub use deadline::Deadline;
+pub use service::{
+    request_seed, ScreeningService, ServeConfig, ServiceStats, Submit, SubmitOptions, Ticket,
+};
+pub use soteria_resilience::BreakerConfig;

@@ -5,7 +5,9 @@
 //! closed [`Verdict`] shape so the wire format stays explicit and
 //! dependency-free.
 
+use crate::admission::RejectReason;
 use soteria::Verdict;
+use std::time::Duration;
 
 /// Encodes a verdict as a single-line JSON object.
 ///
@@ -38,6 +40,24 @@ pub fn verdict_json(verdict: &Verdict) -> String {
             "{{\"verdict\":\"degraded\",\"kind\":\"{}\",\"reason\":\"{}\"}}",
             reason.slug(),
             escape_json(&reason.to_string())
+        ),
+    }
+}
+
+/// Encodes a rejected submission as a single-line JSON object:
+/// `{"verdict":"rejected","reason":"queue_full","retry_after_ms":12}`
+/// (the `retry_after_ms` field is omitted when the service has no
+/// estimate).
+pub fn reject_json(reason: RejectReason, retry_after: Option<Duration>) -> String {
+    match retry_after {
+        Some(wait) => format!(
+            "{{\"verdict\":\"rejected\",\"reason\":\"{}\",\"retry_after_ms\":{}}}",
+            reason.slug(),
+            wait.as_millis().max(1)
+        ),
+        None => format!(
+            "{{\"verdict\":\"rejected\",\"reason\":\"{}\"}}",
+            reason.slug()
         ),
     }
 }
@@ -133,6 +153,23 @@ mod tests {
         assert!(line.starts_with("{\"verdict\":\"degraded\",\"kind\":\"panic\""));
         assert!(line.contains("\\\"hi\\\""), "quotes escaped: {line}");
         assert!(line.contains("\\n"), "newline escaped: {line}");
+    }
+
+    #[test]
+    fn rejections_encode_reason_and_optional_retry() {
+        assert_eq!(
+            reject_json(RejectReason::QueueFull, None),
+            "{\"verdict\":\"rejected\",\"reason\":\"queue_full\"}"
+        );
+        assert_eq!(
+            reject_json(RejectReason::RateLimited, Some(Duration::from_millis(250))),
+            "{\"verdict\":\"rejected\",\"reason\":\"rate_limited\",\"retry_after_ms\":250}"
+        );
+        // Sub-millisecond hints round up so clients never busy-spin.
+        assert!(
+            reject_json(RejectReason::BreakerOpen, Some(Duration::from_micros(10)))
+                .contains("\"retry_after_ms\":1")
+        );
     }
 
     #[test]

@@ -28,26 +28,45 @@
 //! verdict for given bytes *bit-identical* regardless of worker count,
 //! batch window, arrival order, or whether the answer came from the cache.
 //!
+//! # Overload behavior
+//!
+//! Submissions that miss the cache pass through the
+//! [`AdmissionController`](crate::admission::AdmissionController):
+//! per-client token buckets, pressure-tiered shedding (full pipeline /
+//! AE-only brownout / typed reject with `retry_after`), and a circuit
+//! breaker fed by extraction faults. Each admitted request carries a
+//! [`Deadline`] checked cooperatively at every stage boundary; expired
+//! requests resolve to `Degraded(DeadlineExceeded)` instead of burning
+//! further work. Load-derived outcomes (deadline, overload) never enter
+//! the verdict cache, so accepted verdicts stay a pure function of
+//! content. The default [`AdmissionConfig`] disables all of it.
+//!
 //! # Observability
 //!
 //! Every request unconditionally feeds per-stage latency histograms
 //! (`serve.stage.{queue_wait, extract, batch_wait, infer, total,
 //! cache_hit}`) and live gauges (`serve.queue.depth`, `serve.inflight`) —
-//! all lock-free atomics. When [`ServeConfig::trace_sampling`] admits a
-//! request (a pure function of its content key and the service seed, see
+//! all lock-free atomics. Shedding feeds `serve.shed.<reason>` counters,
+//! deadline expiries `serve.deadline.expired`, the brownout tier
+//! `serve.brownout.ae_only`, and the breaker a `serve.breaker.state`
+//! gauge plus a `serve.breaker.trips` counter. When
+//! [`ServeConfig::trace_sampling`] admits a request (a pure function of
+//! its content key and the service seed, see
 //! [`soteria_telemetry::sample_decision`]), a [`TraceBuilder`] travels
 //! with the job through the pipeline and publishes a parent/child stage
 //! timeline at verdict time. None of it feeds back into computation:
 //! tracing on or off, verdicts are bit-identical.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 use crate::cache::{fnv1a64, CacheStats, VerdictCache};
+use crate::deadline::Deadline;
 use soteria::{Soteria, Verdict};
 use soteria_features::{FeatureExtractor, SampleFeatures};
 use soteria_resilience::{FaultKind, ResourceGuards};
 use soteria_telemetry::TraceBuilder;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -87,6 +106,10 @@ pub struct ServeConfig {
     /// the same corpus always samples the same requests. Stage
     /// *histograms* are recorded regardless of this rate.
     pub trace_sampling: f64,
+    /// Admission control, deadlines, shedding, and breaker tuning. The
+    /// default disables every mechanism (the only rejection is a full
+    /// queue), so existing deployments see no behavior change.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -100,8 +123,20 @@ impl Default for ServeConfig {
             max_batch: 32,
             seed: 0,
             trace_sampling: 0.0,
+            admission: AdmissionConfig::default(),
         }
     }
+}
+
+/// Per-submission options for [`ScreeningService::submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// This request's deadline budget; overrides the service-wide
+    /// [`AdmissionConfig::default_deadline`]. `None` inherits it.
+    pub deadline: Option<Duration>,
+    /// Rate-limiting identity. Anonymous submissions (`None`) share one
+    /// token bucket.
+    pub client: Option<u64>,
 }
 
 /// Outcome of [`ScreeningService::submit`].
@@ -109,22 +144,27 @@ impl Default for ServeConfig {
 pub enum Submit {
     /// The sample was admitted; the ticket resolves to its verdict.
     Accepted(Ticket),
-    /// The queue was full — backpressure. The caller decides whether to
-    /// retry, shed, or block.
-    Rejected,
+    /// The sample was turned away before entering the pipeline.
+    Rejected {
+        /// Why (queue backpressure, rate limit, breaker, shedding, …).
+        reason: RejectReason,
+        /// How long the caller should wait before retrying, when the
+        /// service can estimate it.
+        retry_after: Option<Duration>,
+    },
 }
 
 impl Submit {
     /// Whether the sample was turned away.
     pub fn is_rejected(&self) -> bool {
-        matches!(self, Submit::Rejected)
+        matches!(self, Submit::Rejected { .. })
     }
 
     /// The ticket, if the sample was admitted.
     pub fn into_ticket(self) -> Option<Ticket> {
         match self {
             Submit::Accepted(t) => Some(t),
-            Submit::Rejected => None,
+            Submit::Rejected { .. } => None,
         }
     }
 }
@@ -156,12 +196,39 @@ impl Ticket {
     pub fn wait(self) -> Verdict {
         match self.inner {
             TicketInner::Ready(verdict) => verdict,
-            TicketInner::Pending(rx) => rx.recv().unwrap_or_else(|_| Verdict::Degraded {
-                reason: FaultKind::Panic {
-                    message: "screening service dropped the request".to_owned(),
-                },
-            }),
+            TicketInner::Pending(rx) => rx.recv().unwrap_or_else(|_| dropped_verdict()),
         }
+    }
+
+    /// Like [`wait`](Ticket::wait) but gives up after `timeout`,
+    /// returning the still-pending ticket so the caller can keep waiting
+    /// (or record a hang). A cached ticket always resolves immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the verdict did not arrive in time.
+    pub fn wait_for(self, timeout: Duration) -> Result<Verdict, Ticket> {
+        match self.inner {
+            TicketInner::Ready(verdict) => Ok(verdict),
+            TicketInner::Pending(rx) => match rx.recv_timeout(timeout) {
+                Ok(verdict) => Ok(verdict),
+                Err(RecvTimeoutError::Disconnected) => Ok(dropped_verdict()),
+                Err(RecvTimeoutError::Timeout) => Err(Ticket {
+                    inner: TicketInner::Pending(rx),
+                }),
+            },
+        }
+    }
+}
+
+/// The degraded verdict a ticket resolves to if the service side dies
+/// before replying (it should not — all per-sample work is
+/// fault-isolated).
+fn dropped_verdict() -> Verdict {
+    Verdict::Degraded {
+        reason: FaultKind::Panic {
+            message: "screening service dropped the request".to_owned(),
+        },
     }
 }
 
@@ -175,8 +242,31 @@ pub struct ServiceStats {
     /// Requests admitted to the pipeline whose verdict has not resolved
     /// yet (cache hits resolve at submit time and never count).
     pub in_flight: u64,
+    /// Requests whose deadline expired before a verdict was computed.
+    pub deadline_expired: u64,
+    /// Requests answered by the AE-only brownout tier.
+    pub brownout: u64,
+    /// Times the extraction circuit breaker has tripped open.
+    pub breaker_trips: u64,
     /// Verdict-cache counters.
     pub cache: CacheStats,
+}
+
+/// Which screening tier an admitted job runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobMode {
+    /// Detector + classifier (the normal path).
+    Full,
+    /// Detector only (brownout): bit-identical `Adversarial` verdicts,
+    /// `Degraded(Overload)` where the classifier would have run.
+    AeOnly,
+}
+
+/// Counters shared between the submit side and the pipeline threads.
+#[derive(Debug, Default)]
+struct SharedCounters {
+    deadline_expired: AtomicU64,
+    brownout: AtomicU64,
 }
 
 /// One queued request.
@@ -187,6 +277,8 @@ struct Job {
     reply: Sender<Verdict>,
     /// When the request entered the bounded queue (queue-wait start).
     enqueued: Instant,
+    deadline: Deadline,
+    mode: JobMode,
     /// Stage timeline for sampled requests; travels with the job, so
     /// appending stages never synchronizes.
     trace: Option<TraceBuilder>,
@@ -203,6 +295,8 @@ struct InferJob {
     enqueued: Instant,
     /// When extraction finished (batch-wait start).
     extracted: Instant,
+    deadline: Deadline,
+    mode: JobMode,
     trace: Option<TraceBuilder>,
 }
 
@@ -219,6 +313,8 @@ pub struct ScreeningService {
     workers: Vec<JoinHandle<()>>,
     batcher: Option<JoinHandle<Soteria>>,
     cache: Arc<VerdictCache>,
+    admission: Arc<AdmissionController>,
+    shared: Arc<SharedCounters>,
     seed: u64,
     trace_sampling: f64,
     submitted: AtomicU64,
@@ -252,6 +348,12 @@ impl ScreeningService {
         // registry (tests, benches) records there, not globally.
         let telemetry = soteria_telemetry::RegistryHandle::current();
         let in_flight = Arc::new(AtomicU64::new(0));
+        let admission = Arc::new(AdmissionController::new(
+            config.admission.clone(),
+            config.queue_capacity.max(1),
+            config.workers.max(1),
+        ));
+        let shared = Arc::new(SharedCounters::default());
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let submit_rx = Arc::clone(&submit_rx);
@@ -259,11 +361,17 @@ impl ScreeningService {
                 let extractor = extractor.clone();
                 let guards = guards.clone();
                 let telemetry = telemetry.clone();
+                let admission = Arc::clone(&admission);
+                let shared = Arc::clone(&shared);
+                let in_flight = Arc::clone(&in_flight);
                 std::thread::Builder::new()
                     .name(format!("soteria-serve-worker-{i}"))
                     .spawn(move || {
                         let _telemetry = telemetry.attach();
-                        worker_loop(&submit_rx, &infer_tx, &extractor, &guards)
+                        worker_loop(
+                            &submit_rx, &infer_tx, &extractor, &guards, &admission, &shared,
+                            &in_flight,
+                        )
                     })
                     .expect("spawn screening worker")
             })
@@ -277,6 +385,7 @@ impl ScreeningService {
         let batcher_cache = Arc::clone(&cache);
         let batcher_in_flight = Arc::clone(&in_flight);
         let batcher_telemetry = telemetry.clone();
+        let batcher_shared = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
             .name("soteria-serve-batcher".to_owned())
             .spawn(move || {
@@ -288,6 +397,7 @@ impl ScreeningService {
                     max_batch,
                     &batcher_cache,
                     &batcher_in_flight,
+                    &batcher_shared,
                 )
             })
             .expect("spawn screening batcher");
@@ -297,6 +407,8 @@ impl ScreeningService {
             workers,
             batcher: Some(batcher),
             cache,
+            admission,
+            shared,
             seed: config.seed,
             trace_sampling: config.trace_sampling,
             submitted: AtomicU64::new(0),
@@ -311,11 +423,18 @@ impl ScreeningService {
         self.started.elapsed()
     }
 
-    /// Submits a binary for screening. Identical content always produces an
-    /// identical verdict, so the content-addressed cache is consulted
-    /// first; on a miss the sample enters the bounded queue, and a full
-    /// queue pushes back with [`Submit::Rejected`].
+    /// Submits a binary for screening with default [`SubmitOptions`].
+    /// Identical content always produces an identical verdict, so the
+    /// content-addressed cache is consulted first; on a miss the sample
+    /// passes admission control and enters the bounded queue. A full
+    /// queue (or any shedding tier) pushes back with [`Submit::Rejected`].
     pub fn submit(&self, bytes: Vec<u8>) -> Submit {
+        self.submit_with(bytes, SubmitOptions::default())
+    }
+
+    /// [`submit`](ScreeningService::submit) with a per-request deadline
+    /// and rate-limiting client identity.
+    pub fn submit_with(&self, bytes: Vec<u8>, options: SubmitOptions) -> Submit {
         let submit_start = Instant::now();
         self.submitted.fetch_add(1, Ordering::Relaxed);
         soteria_telemetry::counter("serve.submitted", 1);
@@ -337,6 +456,22 @@ impl ScreeningService {
                 inner: TicketInner::Ready(verdict),
             });
         }
+        let deadline = Deadline::from_budget(
+            submit_start,
+            options.deadline.or(self.admission.default_deadline()),
+        );
+        let mode = match self.admission.decide(
+            submit_start,
+            options.client,
+            deadline.remaining(submit_start),
+        ) {
+            AdmissionDecision::Accept => JobMode::Full,
+            AdmissionDecision::AeOnly => JobMode::AeOnly,
+            AdmissionDecision::Reject {
+                reason,
+                retry_after,
+            } => return self.reject(reason, retry_after),
+        };
         let trace = sampled.then(|| {
             let mut trace = TraceBuilder::new(key);
             trace.begin_at("request", None, submit_start); // TRACE_ROOT
@@ -350,26 +485,46 @@ impl ScreeningService {
             key,
             reply: reply_tx,
             enqueued: Instant::now(),
+            deadline,
+            mode,
             trace,
         };
         let submit_tx = self
             .submit_tx
             .as_ref()
             .expect("submit on a running service");
+        // Count the job in *before* the send: a worker may dequeue it the
+        // instant `try_send` returns, and its decrements must never land
+        // on gauges that have not seen the increment (the transiently
+        // negative `serve.queue.depth` bug). A rejected send rolls all
+        // four back; the job never entered the queue, so no worker can
+        // have consumed the increments.
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.admission.depth_add(1);
+        soteria_telemetry::gauge_add("serve.queue.depth", 1);
+        soteria_telemetry::gauge_add("serve.inflight", 1);
         match submit_tx.try_send(job) {
-            Ok(()) => {
-                self.in_flight.fetch_add(1, Ordering::Relaxed);
-                soteria_telemetry::gauge_add("serve.queue.depth", 1);
-                soteria_telemetry::gauge_add("serve.inflight", 1);
-                Submit::Accepted(Ticket {
-                    inner: TicketInner::Pending(reply_rx),
-                })
-            }
+            Ok(()) => Submit::Accepted(Ticket {
+                inner: TicketInner::Pending(reply_rx),
+            }),
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                soteria_telemetry::counter("serve.submit.rejected", 1);
-                Submit::Rejected
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                self.admission.depth_add(-1);
+                soteria_telemetry::gauge_add("serve.queue.depth", -1);
+                soteria_telemetry::gauge_add("serve.inflight", -1);
+                self.reject(RejectReason::QueueFull, None)
             }
+        }
+    }
+
+    /// Accounts one rejection and builds its [`Submit`] value.
+    fn reject(&self, reason: RejectReason, retry_after: Option<Duration>) -> Submit {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        soteria_telemetry::counter("serve.submit.rejected", 1);
+        soteria_telemetry::counter(&format!("serve.shed.{}", reason.slug()), 1);
+        Submit::Rejected {
+            reason,
+            retry_after,
         }
     }
 
@@ -379,6 +534,9 @@ impl ScreeningService {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
+            brownout: self.shared.brownout.load(Ordering::Relaxed),
+            breaker_trips: self.admission.breaker_trips(),
             cache: self.cache.stats(),
         }
     }
@@ -423,12 +581,17 @@ impl Drop for ScreeningService {
 }
 
 /// Worker half: pull a job, parse + lift + extract with per-sample fault
-/// isolation, pass the result to the batcher.
+/// isolation, pass the result to the batcher. Expired jobs resolve
+/// immediately (deadline degrade) without paying for extraction; fault
+/// outcomes feed the admission breaker.
 fn worker_loop(
     submit_rx: &Arc<Mutex<Receiver<Job>>>,
     infer_tx: &Sender<InferJob>,
     extractor: &FeatureExtractor,
     guards: &ResourceGuards,
+    admission: &AdmissionController,
+    shared: &SharedCounters,
+    in_flight: &AtomicU64,
 ) {
     loop {
         // Hold the lock only for the dequeue, never while working.
@@ -438,6 +601,7 @@ fn worker_loop(
         };
         let Ok(mut job) = job else { break };
         let dequeued = Instant::now();
+        admission.depth_add(-1);
         soteria_telemetry::gauge_add("serve.queue.depth", -1);
         soteria_telemetry::record(
             "serve.stage.queue_wait",
@@ -449,8 +613,18 @@ fn worker_loop(
         if let Some(trace) = job.trace.as_mut() {
             trace.stage("queue_wait", Some(TRACE_ROOT), job.enqueued, dequeued);
         }
+        if job.deadline.expired(dequeued) {
+            resolve_expired(job, dequeued, shared, in_flight);
+            continue;
+        }
         let features = extract_features(extractor, guards, &job.bytes, job.seed);
+        match &features {
+            Ok(_) => admission.record_success(dequeued),
+            Err(fault) => admission.record_fault(fault, Instant::now()),
+        }
         let extracted = Instant::now();
+        admission
+            .observe_extract_ms(extracted.saturating_duration_since(dequeued).as_secs_f64() * 1e3);
         soteria_telemetry::record(
             "serve.stage.extract",
             extracted.saturating_duration_since(dequeued).as_secs_f64() * 1e3,
@@ -465,6 +639,8 @@ fn worker_loop(
             features,
             enqueued: job.enqueued,
             extracted,
+            deadline: job.deadline,
+            mode: job.mode,
             trace: job.trace,
         });
         if handoff.is_err() {
@@ -473,6 +649,29 @@ fn worker_loop(
             break;
         }
     }
+}
+
+/// Resolves a job whose deadline expired before extraction: one terminal
+/// `Degraded(DeadlineExceeded)` outcome, full accounting, no cache entry
+/// (the outcome is timing-derived, not content-derived).
+fn resolve_expired(job: Job, now: Instant, shared: &SharedCounters, in_flight: &AtomicU64) {
+    shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    soteria_telemetry::counter("serve.deadline.expired", 1);
+    soteria_telemetry::counter("serve.verdicts.degraded", 1);
+    soteria_telemetry::record(
+        "serve.stage.total",
+        now.saturating_duration_since(job.enqueued).as_secs_f64() * 1e3,
+    );
+    if let Some(mut trace) = job.trace {
+        trace.stage("deadline_expired", Some(TRACE_ROOT), job.enqueued, now);
+        trace.end_at(TRACE_ROOT, now);
+        soteria_telemetry::publish_trace(trace.finish());
+    }
+    in_flight.fetch_sub(1, Ordering::Relaxed);
+    soteria_telemetry::gauge_add("serve.inflight", -1);
+    let _ = job.reply.send(Verdict::Degraded {
+        reason: job.deadline.fault(now),
+    });
 }
 
 /// Parse → lift → extract with every failure confined to the sample —
@@ -485,6 +684,10 @@ fn extract_features(
     seed: u64,
 ) -> Result<SampleFeatures, FaultKind> {
     let lifted = soteria_resilience::isolate(AssertUnwindSafe(|| {
+        // Serving-path chaos gate: lets the overload harness inject
+        // worker faults (and exercise the breaker) deterministically per
+        // content seed. A no-op unless chaos is armed.
+        soteria_resilience::chaos_point("serve.extract", seed);
         let binary = soteria_corpus::Binary::parse(bytes).map_err(FaultKind::from)?;
         let lifted = soteria_corpus::disasm::lift(&binary).map_err(FaultKind::from)?;
         Ok(lifted.cfg)
@@ -504,6 +707,7 @@ fn batcher_loop(
     max_batch: usize,
     cache: &VerdictCache,
     in_flight: &AtomicU64,
+    shared: &SharedCounters,
 ) -> Soteria {
     loop {
         // Block for the batch's first sample; queue closed means drained.
@@ -534,7 +738,7 @@ fn batcher_loop(
                 }
             }
         }
-        process_batch(&mut soteria, jobs, cache, in_flight);
+        process_batch(&mut soteria, jobs, cache, in_flight, shared);
     }
     soteria
 }
@@ -550,12 +754,15 @@ struct PendingReply {
     inferred: bool,
 }
 
-/// Screens one collected batch and resolves its tickets.
+/// Screens one collected batch and resolves its tickets. Full-tier jobs
+/// run detector + classifier; brownout (AE-only) jobs run the detector
+/// alone; jobs whose deadline expired in the queue degrade uninferred.
 fn process_batch(
     soteria: &mut Soteria,
     jobs: Vec<InferJob>,
     cache: &VerdictCache,
     in_flight: &AtomicU64,
+    shared: &SharedCounters,
 ) {
     let batch_start = Instant::now();
     let _span = soteria_telemetry::span("serve.batch");
@@ -563,6 +770,8 @@ fn process_batch(
     let mut pending: Vec<PendingReply> = Vec::with_capacity(jobs.len());
     let mut items: Vec<(SampleFeatures, u64)> = Vec::new();
     let mut item_slots: Vec<usize> = Vec::new();
+    let mut ae_items: Vec<(SampleFeatures, u64)> = Vec::new();
+    let mut ae_slots: Vec<usize> = Vec::new();
     for mut job in jobs {
         soteria_telemetry::record(
             "serve.stage.batch_wait",
@@ -575,9 +784,30 @@ fn process_batch(
             trace.stage("batch_wait", Some(TRACE_ROOT), job.extracted, batch_start);
         }
         let (verdict, inferred) = match job.features {
+            Ok(_) if job.deadline.expired(batch_start) => {
+                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                soteria_telemetry::counter("serve.deadline.expired", 1);
+                soteria_telemetry::counter("serve.verdicts.degraded", 1);
+                (
+                    Some(Verdict::Degraded {
+                        reason: job.deadline.fault(batch_start),
+                    }),
+                    false,
+                )
+            }
             Ok(features) => {
-                item_slots.push(pending.len());
-                items.push((features, job.seed));
+                match job.mode {
+                    JobMode::Full => {
+                        item_slots.push(pending.len());
+                        items.push((features, job.seed));
+                    }
+                    JobMode::AeOnly => {
+                        shared.brownout.fetch_add(1, Ordering::Relaxed);
+                        soteria_telemetry::counter("serve.brownout.ae_only", 1);
+                        ae_slots.push(pending.len());
+                        ae_items.push((features, job.seed));
+                    }
+                }
                 (None, true)
             }
             Err(fault) => {
@@ -596,12 +826,16 @@ fn process_batch(
     }
     let infer_start = Instant::now();
     let screened = soteria.screen_features_batch(&items);
+    let ae_screened = soteria.screen_features_batch_ae_only(&ae_items);
     let infer_end = Instant::now();
     let infer_ms = infer_end
         .saturating_duration_since(infer_start)
         .as_secs_f64()
         * 1e3;
     for (slot, verdict) in item_slots.into_iter().zip(screened) {
+        pending[slot].verdict = Some(verdict);
+    }
+    for (slot, verdict) in ae_slots.into_iter().zip(ae_screened) {
         pending[slot].verdict = Some(verdict);
     }
     for p in pending {
@@ -611,7 +845,17 @@ fn process_batch(
             // whole batch waited on the same forward passes.
             soteria_telemetry::record("serve.stage.infer", infer_ms);
         }
-        cache.insert(p.key, verdict.clone());
+        // Memoize only content-derived outcomes: a verdict (or fault)
+        // that is a pure function of the bytes answers future identical
+        // submissions. Load/timing degrades (deadline, overload) must
+        // not — the same bytes may succeed once pressure passes.
+        let cacheable = match &verdict {
+            Verdict::Degraded { reason } => reason.content_derived(),
+            _ => true,
+        };
+        if cacheable {
+            cache.insert(p.key, verdict.clone());
+        }
         let resolve_end = Instant::now();
         soteria_telemetry::record(
             "serve.stage.total",
@@ -672,6 +916,7 @@ mod tests {
             max_batch: 8,
             seed: 9,
             trace_sampling: 1.0,
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -812,6 +1057,200 @@ mod tests {
         );
         drop(service);
         drop(scope);
+    }
+
+    #[test]
+    fn expired_deadlines_degrade_and_never_enter_the_cache() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(
+            soteria,
+            &ServeConfig {
+                admission: AdmissionConfig {
+                    default_deadline: Some(Duration::ZERO),
+                    ..AdmissionConfig::default()
+                },
+                ..config()
+            },
+        );
+        let expired = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("admitted")
+            .wait();
+        match &expired {
+            Verdict::Degraded { reason } => {
+                assert_eq!(reason.slug(), "deadline", "unexpected fault: {reason}")
+            }
+            other => panic!("zero deadline must expire: {other:?}"),
+        }
+        assert_eq!(service.stats().deadline_expired, 1);
+        // The degrade was timing-derived: an identical resubmission with a
+        // workable deadline must go through the pipeline, not the cache.
+        let retry = service
+            .submit_with(
+                binaries[0].clone(),
+                SubmitOptions {
+                    deadline: Some(Duration::from_secs(30)),
+                    client: None,
+                },
+            )
+            .into_ticket()
+            .expect("admitted");
+        assert!(!retry.is_cached(), "deadline degrade leaked into the cache");
+        let verdict = retry.wait();
+        assert!(!verdict.is_degraded(), "retry must resolve: {verdict:?}");
+        let mut soteria = service.shutdown();
+        assert_eq!(
+            verdict,
+            soteria.screen_binary(&binaries[0], request_seed(9, &binaries[0]))
+        );
+    }
+
+    #[test]
+    fn brownout_tier_sheds_clean_samples_without_caching() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(
+            soteria,
+            &ServeConfig {
+                admission: AdmissionConfig {
+                    // Pressure 0.0 >= 0.0: every admission is AE-only.
+                    brownout_threshold: Some(0.0),
+                    ..AdmissionConfig::default()
+                },
+                ..config()
+            },
+        );
+        let first = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("admitted")
+            .wait();
+        match &first {
+            Verdict::Degraded { reason } => {
+                assert_eq!(reason.slug(), "overload", "unexpected fault: {reason}")
+            }
+            Verdict::Adversarial { .. } => {} // detector answered; also fine
+            Verdict::Clean { .. } => panic!("ae-only tier can never answer Clean"),
+        }
+        assert!(service.stats().brownout >= 1);
+        if first.is_degraded() {
+            // Overload degrades are load-derived and must not be memoized.
+            let again = service
+                .submit(binaries[0].clone())
+                .into_ticket()
+                .expect("admitted");
+            assert!(!again.is_cached(), "overload degrade leaked into cache");
+            let _ = again.wait();
+        }
+        drop(service);
+    }
+
+    #[test]
+    fn overload_rejections_carry_a_reason_and_leak_no_gauges() {
+        let (soteria, binaries) = trained();
+        let scope = soteria_telemetry::scoped();
+        let service = ScreeningService::start(
+            soteria,
+            &ServeConfig {
+                admission: AdmissionConfig {
+                    reject_threshold: Some(0.0), // reject everything
+                    ..AdmissionConfig::default()
+                },
+                ..config()
+            },
+        );
+        match service.submit(binaries[0].clone()) {
+            Submit::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::Overloaded);
+            }
+            Submit::Accepted(_) => panic!("reject threshold 0.0 must shed"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.in_flight, 0);
+        let report = soteria_telemetry::snapshot();
+        assert_eq!(report.counter("serve.shed.overloaded"), Some(1));
+        assert_eq!(report.gauge("serve.queue.depth").unwrap_or(0), 0);
+        assert_eq!(report.gauge("serve.inflight").unwrap_or(0), 0);
+        drop(service);
+        drop(scope);
+    }
+
+    #[test]
+    fn gauges_never_go_negative_under_concurrent_reject_and_drain() {
+        let (soteria, binaries) = trained();
+        let scope = soteria_telemetry::scoped();
+        let handle = scope.handle();
+        // A tiny queue with garbage (fast-failing) samples maximizes the
+        // submit/dequeue race that used to drive serve.queue.depth below
+        // zero: the increment landed after try_send, so a worker's
+        // decrement could come first.
+        let service = ScreeningService::start(
+            soteria,
+            &ServeConfig {
+                workers: 4,
+                queue_capacity: 2,
+                cache_capacity: 0, // every submit takes the queue path
+                batch_window: Duration::ZERO,
+                ..config()
+            },
+        );
+        std::thread::scope(|ts| {
+            for t in 0..4u8 {
+                let service = &service;
+                let handle = handle.clone();
+                ts.spawn(move || {
+                    let _attach = handle.attach();
+                    for i in 0..200u32 {
+                        let mut bytes = vec![0xA5u8; 32];
+                        bytes[0] = t;
+                        bytes[1] = i as u8;
+                        bytes[2] = (i >> 8) as u8;
+                        if let Submit::Accepted(ticket) = service.submit(bytes) {
+                            let _ = ticket.wait();
+                        }
+                    }
+                });
+            }
+            // Sample the gauges while the hammering runs: the invariant is
+            // "never negative at any observable instant".
+            for _ in 0..500 {
+                let report = soteria_telemetry::snapshot();
+                let depth = report.gauge("serve.queue.depth").unwrap_or(0);
+                let inflight = report.gauge("serve.inflight").unwrap_or(0);
+                assert!(depth >= 0, "queue depth went negative: {depth}");
+                assert!(inflight >= 0, "inflight went negative: {inflight}");
+            }
+        });
+        let _ = &binaries;
+        let stats = service.stats();
+        drop(service);
+        let report = soteria_telemetry::snapshot();
+        assert_eq!(report.gauge("serve.queue.depth"), Some(0));
+        assert_eq!(report.gauge("serve.inflight"), Some(0));
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.submitted, 800);
+        drop(scope);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_then_resolves() {
+        let (soteria, binaries) = trained();
+        let service = ScreeningService::start(soteria, &config());
+        let ticket = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("admitted");
+        // An impossible timeout hands the ticket back; a generous retry
+        // resolves it.
+        let verdict = match ticket.wait_for(Duration::ZERO) {
+            Ok(v) => v,
+            Err(pending) => pending
+                .wait_for(Duration::from_secs(30))
+                .expect("verdict within 30s"),
+        };
+        assert!(!verdict.is_degraded(), "verdict: {verdict:?}");
+        drop(service);
     }
 
     #[test]

@@ -316,6 +316,31 @@ pub mod de {
     impl<T: crate::Deserialize> DeserializeOwned for T {}
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
@@ -496,5 +521,17 @@ mod tests {
         let v = (1u8, 2u32).to_value();
         assert_eq!(<(u8, u32)>::from_value(&v).unwrap(), (1, 2));
         assert!(<(u8, u32, u8)>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn string_keyed_maps_round_trip_as_objects() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("deadline".to_owned(), 3usize);
+        map.insert("overload".to_owned(), 1);
+        let v = map.to_value();
+        assert!(matches!(&v, Value::Object(pairs) if pairs.len() == 2));
+        let back = std::collections::BTreeMap::<String, usize>::from_value(&v).unwrap();
+        assert_eq!(back, map);
+        assert!(std::collections::BTreeMap::<String, usize>::from_value(&Value::Int(1)).is_err());
     }
 }

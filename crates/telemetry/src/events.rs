@@ -100,6 +100,19 @@ impl EventRing {
         self.attempts.load(Ordering::Relaxed)
     }
 
+    /// Events written into the ring so far (tickets start at 1).
+    pub(crate) fn writes(&self) -> u64 {
+        self.head.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    /// Events lost to wrap-around: writes beyond the ring's capacity have
+    /// overwritten the oldest slots. `clear` does not reset this — the
+    /// ticket stream keeps advancing — so treat it as a monotone
+    /// saturation indicator, not a residency count.
+    pub(crate) fn overflow(&self) -> u64 {
+        self.writes().saturating_sub(RING_CAP as u64)
+    }
+
     /// Collects every consistent slot, oldest ticket first.
     pub(crate) fn collect(&self) -> Vec<RawEvent> {
         let mut out = Vec::new();
@@ -172,8 +185,24 @@ mod tests {
         // Oldest retained ticket is 51 (tickets start at 1).
         assert_eq!(events[0].seq, 51);
         assert_eq!(events.last().map(|e| e.seq), Some(RING_CAP as u64 + 50));
+        assert_eq!(ring.writes(), RING_CAP as u64 + 50);
+        assert_eq!(ring.overflow(), 50);
         ring.clear();
         assert!(ring.collect().is_empty());
+        assert_eq!(ring.overflow(), 50, "overflow is monotone across clears");
+    }
+
+    #[test]
+    fn overflow_is_zero_until_the_ring_wraps() {
+        let ring = EventRing::new();
+        assert_eq!(ring.writes(), 0);
+        assert_eq!(ring.overflow(), 0);
+        for i in 0..RING_CAP as u64 {
+            ring.try_push(i, 0, 0.0);
+        }
+        assert_eq!(ring.overflow(), 0, "exactly full, nothing lost yet");
+        ring.try_push(0, 0, 0.0);
+        assert_eq!(ring.overflow(), 1);
     }
 
     #[test]

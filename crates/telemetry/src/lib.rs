@@ -305,6 +305,13 @@ pub fn dropped_ops() -> u64 {
     with_active(|r| r.dropped_ops())
 }
 
+/// Events lost to ring wrap-around in the active registry. Monotone over
+/// the registry's lifetime (a snapshot reset does not rewind it), so a
+/// non-zero value means the event ring has been saturated at least once.
+pub fn events_overflow() -> u64 {
+    with_active(|r| r.events_overflow())
+}
+
 /// Starts an RAII span timer; the elapsed wall time in milliseconds is
 /// recorded under `name` when the guard drops. The guard pins the
 /// registry that was active at creation, so it can safely drop on
@@ -432,6 +439,19 @@ mod tests {
             let rel = (got - want).abs() / want;
             assert!(rel < 0.02, "quantile {got} vs {want}: rel err {rel}");
         }
+    }
+
+    #[test]
+    fn events_overflow_counts_wrapped_writes() {
+        let _scope = scoped();
+        assert_eq!(events_overflow(), 0);
+        // The ring holds 1024 events; 1100 writes lose the oldest 76.
+        for i in 0..1100u64 {
+            event("t.overflow", i as f64);
+        }
+        assert_eq!(events_overflow(), 76);
+        reset();
+        assert_eq!(events_overflow(), 76, "monotone across resets");
     }
 
     #[test]

@@ -184,6 +184,11 @@ impl Registry {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Events lost to ring wrap-around (monotone; see the events module).
+    pub fn events_overflow(&self) -> u64 {
+        self.events.overflow()
+    }
+
     /// Interns `name` as `kind` and returns its slot index. Lock-free on
     /// the hit path; first use of a name allocates its node (losing an
     /// insertion race allocates a node that is immediately discarded,

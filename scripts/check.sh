@@ -69,6 +69,23 @@ if [[ -f results/BENCH_serve.json ]]; then
     rm -rf "$tmpdir"
 fi
 
+# Overload smoke gate: a shrunk overload-bench run sweeps open-loop
+# arrival rates at 0.5x-4x calibrated saturation with chaos armed and the
+# full admission stack on. The command itself HARD-FAILS on any hung
+# request, double outcome, or accepted verdict that is not bit-identical
+# to the sequential replay; latency-curve drift against the committed
+# baseline is a *note*, never fatal — wall-clock numbers are
+# hardware-bound.
+echo "==> overload gate: soteria-exp overload-bench --smoke"
+tmpdir="$(mktemp -d)"
+overload_baseline=()
+if [[ -f results/BENCH_overload.json ]]; then
+    overload_baseline=(--baseline results/BENCH_overload.json)
+fi
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    overload-bench --smoke --out "$tmpdir" "${overload_baseline[@]}"
+rm -rf "$tmpdir"
+
 # Telemetry overhead gate: per-op cost of the metrics hot path plus the
 # end-to-end overhead on a screening-shaped workload. Overhead above the
 # 2% budget and drift against the committed baseline are *notes*, never

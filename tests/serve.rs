@@ -37,6 +37,7 @@ fn serve_config(workers: usize, window: Duration) -> ServeConfig {
         max_batch: 4,
         seed: 17,
         trace_sampling: 1.0,
+        ..ServeConfig::default()
     }
 }
 
@@ -162,6 +163,7 @@ fn concurrent_mixed_load_resolves_every_submission() {
         max_batch: 4,
         seed: 23,
         trace_sampling: 0.25,
+        ..ServeConfig::default()
     };
     let service = ScreeningService::start(soteria, &config);
 
@@ -185,7 +187,7 @@ fn concurrent_mixed_load_resolves_every_submission() {
                                 let _verdict = ticket.wait();
                                 resolved += 1;
                             }
-                            Submit::Rejected => rejected += 1,
+                            Submit::Rejected { .. } => rejected += 1,
                         }
                     }
                     (resolved, rejected)
