@@ -1,0 +1,105 @@
+//! The shared candidate-edit moves the search-based attacks
+//! ([`crate::FeatureMimicry`], [`crate::AdaptiveAttack`]) choose from.
+//!
+//! Each move is a deterministic `Cfg -> Option<Cfg>` function (no RNG):
+//! given the same graph it always proposes the same edit, so a greedy
+//! search over a fixed candidate order is fully reproducible. A move
+//! returns `None` when it does not apply (nothing to split, bridge already
+//! present), and every resulting graph stays structured enough to lower
+//! and re-lift cleanly.
+
+use soteria_cfg::{Cfg, CfgBuilder};
+
+/// Appends a minimal pass-through block after the first exit — the
+/// gentlest density-lowering edit (mirrors the §V low-density insertion).
+pub(crate) fn pad_exit(g: &Cfg) -> Option<Cfg> {
+    let exit = g.exits().first().copied()?;
+    let mut b = CfgBuilder::from(g);
+    let w = b.add_block(0, 1);
+    b.add_edge_idempotent(exit, w).ok()?;
+    b.build(g.entry()).ok()
+}
+
+/// Splits the widest block (strictly most instructions, first on ties)
+/// by attaching a half-size continuation block — a semantics-preserving
+/// equivalence rewrite.
+pub(crate) fn split_widest(g: &Cfg) -> Option<Cfg> {
+    let mut victim = None;
+    let mut widest = 1u32;
+    for id in g.block_ids() {
+        let c = g.block(id).instruction_count();
+        if c >= 2 && c > widest {
+            widest = c;
+            victim = Some(id);
+        }
+    }
+    let victim = victim?;
+    let mut b = CfgBuilder::from(g);
+    let tail = b.add_block(0, (widest / 2).max(1));
+    b.add_edge(victim, tail).ok()?;
+    b.build(g.entry()).ok()
+}
+
+/// Adds a direct entry→exit shortcut edge when absent — shifts every
+/// shortest path and therefore the level-based labeling.
+pub(crate) fn entry_bridge(g: &Cfg) -> Option<Cfg> {
+    let exit = g.exits().first().copied()?;
+    if exit == g.entry() || g.has_edge(g.entry(), exit) {
+        return None;
+    }
+    let mut b = CfgBuilder::from(g);
+    b.add_edge(g.entry(), exit).ok()?;
+    b.build(g.entry()).ok()
+}
+
+/// All moves in their fixed search order.
+pub(crate) fn candidates(g: &Cfg) -> Vec<Cfg> {
+    [pad_exit(g), split_widest(g), entry_bridge(g)]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::{Family, SampleGenerator};
+
+    fn graph() -> Cfg {
+        SampleGenerator::new(11)
+            .generate(Family::Gafgyt)
+            .graph()
+            .clone()
+    }
+
+    #[test]
+    fn pad_exit_adds_one_block_and_edge() {
+        let g = graph();
+        let out = pad_exit(&g).unwrap();
+        assert_eq!(out.node_count(), g.node_count() + 1);
+        assert_eq!(out.edge_count(), g.edge_count() + 1);
+    }
+
+    #[test]
+    fn split_widest_is_deterministic() {
+        let g = graph();
+        let a = split_widest(&g).unwrap();
+        let b = split_widest(&g).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.node_count(), g.node_count() + 1);
+    }
+
+    #[test]
+    fn entry_bridge_applies_at_most_once() {
+        let g = graph();
+        if let Some(bridged) = entry_bridge(&g) {
+            assert_eq!(bridged.edge_count(), g.edge_count() + 1);
+            assert!(entry_bridge(&bridged).is_none());
+        }
+    }
+
+    #[test]
+    fn candidates_are_nonempty_for_generated_samples() {
+        assert!(!candidates(&graph()).is_empty());
+    }
+}

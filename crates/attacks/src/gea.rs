@@ -1,0 +1,113 @@
+//! The paper's GEA attack behind the [`Attack`] trait.
+//!
+//! This is a zero-cost wrapper over [`soteria_gea::merge::gea_merge`]: the
+//! crafted binary is byte-for-byte the `MergedSample` the old entry point
+//! produces (the regression test in `tests/attack_validity.rs` pins that).
+
+use crate::{Attack, AttackKind, CraftedSample};
+use soteria_corpus::{corpus::Sample, CorpusError, Family};
+use soteria_gea::{gea_merge, SizeClass};
+
+/// Graph Embedding and Augmentation with a fixed embedding target.
+///
+/// Direction is a property of use, not of the attack: embedding a benign
+/// target into malware is the paper's malware→benign evasion; embedding a
+/// malware target into a benign sample is the benign→malware poisoning
+/// direction. The zoo enumerates both.
+#[derive(Debug, Clone)]
+pub struct GeaAttack {
+    target: Sample,
+    size: SizeClass,
+}
+
+impl GeaAttack {
+    /// An attack that embeds `target` (a sample of the class the adversary
+    /// wants classifiers to see), labeled with its size class.
+    pub fn new(target: &Sample, size: SizeClass) -> Self {
+        GeaAttack {
+            target: target.clone(),
+            size,
+        }
+    }
+
+    /// The class the embedded target belongs to.
+    pub fn target_family(&self) -> Family {
+        self.target.family()
+    }
+
+    /// The embedded target's size class.
+    pub fn size(&self) -> SizeClass {
+        self.size
+    }
+}
+
+impl Attack for GeaAttack {
+    fn name(&self) -> String {
+        format!("gea({}/{})", self.target.family(), self.size)
+    }
+
+    fn kind(&self) -> AttackKind {
+        AttackKind::Gea
+    }
+
+    /// GEA is deterministic given the pair of samples; `seed` is unused.
+    fn craft(&self, original: &Sample, _seed: u64) -> Result<CraftedSample, CorpusError> {
+        let merged = gea_merge(original, &self.target)?;
+        Ok(CraftedSample::new(
+            original,
+            merged.into_sample(),
+            Some(self.target.family()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::SampleGenerator;
+
+    #[test]
+    fn trait_gea_matches_direct_merge_byte_for_byte() {
+        let mut gen = SampleGenerator::new(17);
+        let original = gen.generate(Family::Gafgyt);
+        let target = gen.generate(Family::Benign);
+
+        let direct = gea_merge(&original, &target).unwrap();
+        let attack = GeaAttack::new(&target, SizeClass::Medium);
+        let crafted = attack.craft(&original, 0xDEAD).unwrap();
+
+        assert_eq!(
+            crafted.sample().binary().to_bytes(),
+            direct.sample().binary().to_bytes()
+        );
+        assert_eq!(crafted.true_family(), Family::Gafgyt);
+        assert_eq!(crafted.intended_family(), Some(Family::Benign));
+    }
+
+    #[test]
+    fn cost_records_the_embedded_subgraph() {
+        let mut gen = SampleGenerator::new(3);
+        let original = gen.generate(Family::Mirai);
+        let target = gen.generate(Family::Benign);
+        let crafted = GeaAttack::new(&target, SizeClass::Small)
+            .craft(&original, 0)
+            .unwrap();
+        // Shared entry + shared exit + the whole target graph.
+        assert_eq!(crafted.cost().nodes_added, target.graph().node_count() + 2);
+        assert_eq!(crafted.cost().refinement_edits, 0);
+    }
+
+    #[test]
+    fn craft_is_seed_independent() {
+        let mut gen = SampleGenerator::new(9);
+        let original = gen.generate(Family::Tsunami);
+        let target = gen.generate(Family::Benign);
+        let attack = GeaAttack::new(&target, SizeClass::Large);
+        let a = attack.craft(&original, 1).unwrap();
+        let b = attack.craft(&original, 2).unwrap();
+        assert_eq!(
+            a.sample().binary().to_bytes(),
+            b.sample().binary().to_bytes()
+        );
+    }
+}

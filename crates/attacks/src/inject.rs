@@ -1,0 +1,199 @@
+//! Sub-CFG injection: grafting a synthetic code fragment into a sample,
+//! either at a *reachable* call site (the fragment becomes part of the
+//! static CFG Soteria sees) or as an *unreachable* dead section (the
+//! paper's impractical byte-level variant, invisible to reachability-
+//! restricted features).
+
+use crate::{Attack, AttackKind, CraftedSample};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use soteria_cfg::CfgBuilder;
+use soteria_corpus::{asm, corpus::Sample, CorpusError, SampleGenerator};
+use soteria_gea::append;
+
+/// Injects a chain of `blocks` synthetic basic blocks.
+///
+/// * `reachable: true` — the chain is spliced in as an alternative path
+///   between a seeded call site and one of its successors, so every
+///   injected block is statically reachable and changes the features.
+/// * `reachable: false` — the chain is emitted as a well-formed but
+///   unreachable section via [`soteria_gea::append::inject_dead_section`];
+///   the reachable view (and therefore the features) must not change.
+#[derive(Debug, Clone, Copy)]
+pub struct SubCfgInjection {
+    blocks: usize,
+    reachable: bool,
+}
+
+impl SubCfgInjection {
+    /// A reachable-call-site injection of `blocks` basic blocks.
+    pub fn reachable(blocks: usize) -> Self {
+        SubCfgInjection {
+            blocks,
+            reachable: true,
+        }
+    }
+
+    /// An unreachable dead-section injection of `blocks` basic blocks.
+    pub fn unreachable(blocks: usize) -> Self {
+        SubCfgInjection {
+            blocks,
+            reachable: false,
+        }
+    }
+
+    /// Number of injected blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Whether the injected fragment is reachable from the entry.
+    pub fn is_reachable(&self) -> bool {
+        self.reachable
+    }
+
+    fn craft_reachable(&self, original: &Sample, seed: u64) -> Result<Sample, CorpusError> {
+        let g = original.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        // Call site: a seeded pick among reachable blocks that flow on
+        // somewhere (the fragment becomes an alternative path site → … →
+        // successor). Graphs without such a block (single-block programs)
+        // get the fragment appended after the entry instead.
+        let reach = g.reachable();
+        let sites: Vec<_> = g
+            .block_ids()
+            .filter(|id| reach[id.index()] && g.out_degree(*id) >= 1)
+            .collect();
+        let (site, succ) = if sites.is_empty() {
+            (g.entry(), None)
+        } else {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let outs = g.successors(site);
+            (site, Some(outs[rng.gen_range(0..outs.len())]))
+        };
+
+        let mut b = CfgBuilder::from(g);
+        let mut prev = site;
+        for _ in 0..self.blocks {
+            let insns = rng.gen_range(1..=3u32);
+            let block = b.add_block(0, insns);
+            b.add_edge(prev, block)?;
+            prev = block;
+        }
+        if let Some(succ) = succ {
+            let _ = b.add_edge_idempotent(prev, succ)?;
+        }
+        let cfg = b.build(g.entry())?;
+        let lowered = asm::assemble(&cfg);
+        SampleGenerator::lift(
+            format!("inject[{}+{}b]", original.name(), self.blocks),
+            original.family(),
+            lowered.binary,
+        )
+    }
+}
+
+impl Attack for SubCfgInjection {
+    fn name(&self) -> String {
+        format!(
+            "inject({},b={})",
+            if self.reachable {
+                "reachable"
+            } else {
+                "unreachable"
+            },
+            self.blocks
+        )
+    }
+
+    fn kind(&self) -> AttackKind {
+        AttackKind::Inject
+    }
+
+    fn craft(&self, original: &Sample, seed: u64) -> Result<CraftedSample, CorpusError> {
+        let sample = if self.reachable {
+            self.craft_reachable(original, seed)?
+        } else {
+            append::inject_dead_section(original, self.blocks)?
+        };
+        Ok(CraftedSample::new(original, sample, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::Family;
+
+    fn sample() -> Sample {
+        SampleGenerator::new(21).generate(Family::Mirai)
+    }
+
+    #[test]
+    fn reachable_injection_grows_the_reachable_view() {
+        let s = sample();
+        let crafted = SubCfgInjection::reachable(4).craft(&s, 9).unwrap();
+        let g = crafted.sample().graph();
+        assert_eq!(g.node_count(), s.graph().node_count() + 4);
+        // Every injected block is reachable: the reachable view grows by
+        // exactly the fragment.
+        let (reach, _) = g.reachable_subgraph();
+        let (orig_reach, _) = s.graph().reachable_subgraph();
+        assert_eq!(reach.node_count(), orig_reach.node_count() + 4);
+    }
+
+    #[test]
+    fn unreachable_injection_leaves_the_reachable_view_alone() {
+        let s = sample();
+        let crafted = SubCfgInjection::unreachable(4).craft(&s, 9).unwrap();
+        let g = crafted.sample().graph();
+        assert_eq!(g.node_count(), s.graph().node_count() + 4);
+        assert_eq!(
+            g.reachable_subgraph().0.node_count(),
+            s.graph().reachable_subgraph().0.node_count()
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_bytes() {
+        let s = sample();
+        let attack = SubCfgInjection::reachable(3);
+        let a = attack.craft(&s, 5).unwrap();
+        let b = attack.craft(&s, 5).unwrap();
+        assert_eq!(
+            a.sample().binary().to_bytes(),
+            b.sample().binary().to_bytes()
+        );
+    }
+
+    #[test]
+    fn different_seeds_pick_different_sites() {
+        let s = sample();
+        let attack = SubCfgInjection::reachable(3);
+        let outputs: Vec<_> = (0..8)
+            .map(|seed| attack.craft(&s, seed).unwrap().sample().binary().to_bytes())
+            .collect();
+        assert!(
+            outputs.iter().any(|o| o != &outputs[0]),
+            "eight seeds never moved the call site"
+        );
+    }
+
+    #[test]
+    fn crafted_sample_round_trips_through_its_binary() {
+        let s = sample();
+        for attack in [
+            SubCfgInjection::reachable(2),
+            SubCfgInjection::unreachable(2),
+        ] {
+            let crafted = attack.craft(&s, 3).unwrap();
+            assert_eq!(
+                &crafted.sample().cfg().unwrap(),
+                crafted.sample().graph(),
+                "{}",
+                attack.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The adversarial attack zoo: every way this repository knows to craft an
+//! adversarial control-flow graph, behind one [`Attack`] trait.
+//!
+//! The Soteria paper evaluates a single attack — GEA (`soteria-gea`).
+//! Robustness claims need more than one adversary, so this crate subsumes
+//! the GEA crate and generalizes it:
+//!
+//! * [`GeaAttack`] — the paper's graph-embedding attack, parameterized by
+//!   target sample and size class, usable in both directions
+//!   (malware→benign and benign→malware),
+//! * [`SubCfgInjection`] — a sub-CFG spliced in at a *reachable* call site,
+//!   or injected as an *unreachable* dead section (the paper's impractical
+//!   variant),
+//! * [`FeatureMimicry`] — greedy structural edits that move the sample's
+//!   feature vector toward a target-class centroid, always projected back
+//!   to a valid, liftable graph,
+//! * [`AdaptiveAttack`] — a detector-aware adversary that embeds a target
+//!   and then minimizes the autoencoder reconstruction error under an
+//!   explicit edit budget,
+//! * thin probe wrappers ([`LowDensityInsert`], [`BlockSplit`],
+//!   [`Obfuscate`]) over the §V adaptive manipulations in
+//!   `soteria_gea::adaptive`, byte-identical to the direct calls.
+//!
+//! # Determinism contract (DESIGN.md §8)
+//!
+//! `craft(original, seed)` is a pure function of `(attack parameters,
+//! original bytes, seed)`: the same call always returns the same crafted
+//! binary, bit for bit, regardless of pool size, call order, or process.
+//! [`batch::craft_batch`] fans crafting out over the worker pool with
+//! per-sample derived seeds and is bit-identical to the sequential loop —
+//! the property-test battery in `tests/attack_validity.rs` enforces both.
+//!
+//! # Validity contract
+//!
+//! Every crafted sample is a *real binary*: the attack assembles its edited
+//! CFG and re-lifts the bytes, so `sample.cfg()` reproduces
+//! `sample.graph()` exactly. [`validity::validate`] checks that round trip,
+//! entry reachability, in-vocabulary feature projection, and the declared
+//! edit budget; the `robustness-bench` gate hard-fails on any violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod adaptive;
+pub mod batch;
+mod edits;
+pub mod gea;
+pub mod inject;
+pub mod mimicry;
+pub mod validity;
+pub mod zoo;
+
+use serde::{Deserialize, Serialize};
+use soteria_corpus::{corpus::Sample, CorpusError, Family};
+
+pub use adaptive::{AdaptiveAttack, BlockSplit, LowDensityInsert, Obfuscate};
+pub use batch::{batch_seed, craft_batch};
+pub use gea::GeaAttack;
+pub use inject::SubCfgInjection;
+pub use mimicry::FeatureMimicry;
+pub use validity::{validate, ValidityError};
+pub use zoo::{standard_zoo, Direction, ZooBuild, ZooEntry};
+
+/// Which family of the zoo an attack belongs to (the rows of the
+/// robustness matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Graph embedding (the paper's GEA).
+    Gea,
+    /// Sub-CFG injection at a reachable or unreachable call site.
+    Inject,
+    /// Feature-space mimicry projected back to a valid graph.
+    Mimicry,
+    /// Detector-aware reconstruction-error minimization.
+    Adaptive,
+    /// §V adaptive-adversary probes (low-density insert, block split,
+    /// obfuscation).
+    Probe,
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AttackKind::Gea => "gea",
+            AttackKind::Inject => "inject",
+            AttackKind::Mimicry => "mimicry",
+            AttackKind::Adaptive => "adaptive",
+            AttackKind::Probe => "probe",
+        })
+    }
+}
+
+/// What an attack changed, relative to the original sample.
+///
+/// Structural counts are diffs of the whole lifted graph (node/edge counts,
+/// not an alignment); `refinement_edits` counts the greedy search steps a
+/// budgeted attack actually spent, which is what its
+/// [`budget`](Attack::budget) bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EditCost {
+    /// Nodes the crafted graph has beyond the original's.
+    pub nodes_added: usize,
+    /// Edges the crafted graph has beyond the original's.
+    pub edges_added: usize,
+    /// Edges of the original graph missing from the crafted one
+    /// (obfuscation-style hiding).
+    pub edges_removed: usize,
+    /// Bytes appended outside the reachable code (trailing junk or dead
+    /// sections).
+    pub bytes_appended: usize,
+    /// Greedy search steps spent by a budgeted attack (0 for one-shot
+    /// attacks).
+    pub refinement_edits: usize,
+}
+
+impl EditCost {
+    /// Structural diff between the original and crafted samples, with the
+    /// byte-level delta of everything outside the code section.
+    pub fn between(original: &Sample, crafted: &Sample) -> Self {
+        let og = original.graph();
+        let cg = crafted.graph();
+        let extra_bytes = (crafted.binary().to_bytes().len())
+            .saturating_sub(original.binary().to_bytes().len())
+            .saturating_sub(
+                crafted
+                    .binary()
+                    .code()
+                    .len()
+                    .saturating_sub(original.binary().code().len()),
+            );
+        EditCost {
+            nodes_added: cg.node_count().saturating_sub(og.node_count()),
+            edges_added: cg.edge_count().saturating_sub(og.edge_count()),
+            edges_removed: og.edge_count().saturating_sub(cg.edge_count()),
+            bytes_appended: extra_bytes,
+            refinement_edits: 0,
+        }
+    }
+
+    /// Sum of all structural changes (nodes + edges either way).
+    pub fn total_structural(&self) -> usize {
+        self.nodes_added + self.edges_added + self.edges_removed
+    }
+}
+
+/// One adversarial example with provenance and cost accounting.
+#[derive(Debug, Clone)]
+pub struct CraftedSample {
+    sample: Sample,
+    true_family: Family,
+    intended_family: Option<Family>,
+    cost: EditCost,
+}
+
+impl CraftedSample {
+    /// Builds a crafted sample, deriving the structural cost from the
+    /// original automatically.
+    pub fn new(original: &Sample, sample: Sample, intended_family: Option<Family>) -> Self {
+        let cost = EditCost::between(original, &sample);
+        CraftedSample {
+            true_family: original.family(),
+            sample,
+            intended_family,
+            cost,
+        }
+    }
+
+    /// The crafted sample itself; its `family()` is the ground-truth class.
+    pub fn sample(&self) -> &Sample {
+        &self.sample
+    }
+
+    /// Consumes `self`, returning the inner sample.
+    pub fn into_sample(self) -> Sample {
+        self.sample
+    }
+
+    /// Ground-truth class of the attacked original.
+    pub fn true_family(&self) -> Family {
+        self.true_family
+    }
+
+    /// Class the adversary steers classifiers toward (`None` for
+    /// undirected probes).
+    pub fn intended_family(&self) -> Option<Family> {
+        self.intended_family
+    }
+
+    /// What the attack changed.
+    pub fn cost(&self) -> EditCost {
+        self.cost
+    }
+
+    /// Overwrites the recorded refinement-step count (used by budgeted
+    /// attacks after their greedy search finishes).
+    pub fn with_refinement_edits(mut self, edits: usize) -> Self {
+        self.cost.refinement_edits = edits;
+        self
+    }
+}
+
+/// A deterministic adversarial-example generator.
+///
+/// Implementations must satisfy the determinism contract: `craft` is a
+/// pure function of `(self, original bytes, seed)` — no ambient
+/// randomness, no dependence on call order or thread count.
+pub trait Attack: Send + Sync {
+    /// Parameterized display name, e.g. `gea(Benign/Small)`.
+    fn name(&self) -> String;
+
+    /// Which zoo family the attack belongs to.
+    fn kind(&self) -> AttackKind;
+
+    /// Maximum greedy refinement steps the attack may spend, when it
+    /// searches at all. [`validity::validate`] enforces
+    /// `cost.refinement_edits <= budget`.
+    fn budget(&self) -> Option<usize> {
+        None
+    }
+
+    /// Crafts one adversarial example from `original`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly/lift failures (which indicate a bug — edited
+    /// structured graphs always lower cleanly).
+    fn craft(&self, original: &Sample, seed: u64) -> Result<CraftedSample, CorpusError>;
+}
+
+/// SplitMix-style per-sample seed derivation, identical to the feature
+/// extractor's, so batch crafting gets independent streams per index.
+pub(crate) fn derive_seed(master: u64, i: u64) -> u64 {
+    let mut z = master ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::SampleGenerator;
+
+    #[test]
+    fn edit_cost_between_identical_samples_is_zero() {
+        let s = SampleGenerator::new(5).generate(Family::Mirai);
+        let c = EditCost::between(&s, &s);
+        assert_eq!(c, EditCost::default());
+        assert_eq!(c.total_structural(), 0);
+    }
+
+    #[test]
+    fn derive_seed_spreads_indices() {
+        let a = derive_seed(7, 0);
+        let b = derive_seed(7, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(7, 0));
+    }
+}

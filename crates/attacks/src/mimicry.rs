@@ -1,0 +1,182 @@
+//! Feature-space mimicry: structural edits that move a sample's combined
+//! TF-IDF vector toward a target-class centroid, always projected back to
+//! a valid graph.
+//!
+//! The adversary here knows the feature extractor (white-box on features,
+//! black-box on the detector): each greedy round proposes the fixed
+//! candidate edits, extracts the candidate's features, and keeps the edit
+//! that most reduces the L2 distance to the centroid. Because every edit
+//! is a structured-CFG rewrite and the final graph is lowered and
+//! re-lifted, the crafted sample is a real binary — there is no
+//! feature-vector forgery that could not exist as code.
+
+use crate::{edits, Attack, AttackKind, CraftedSample};
+use soteria_cfg::Cfg;
+use soteria_corpus::{asm, corpus::Sample, CorpusError, Family, SampleGenerator};
+use soteria_features::FeatureExtractor;
+
+/// Greedy feature-space mimicry toward a class centroid.
+#[derive(Debug, Clone)]
+pub struct FeatureMimicry {
+    extractor: FeatureExtractor,
+    centroid: Vec<f64>,
+    intended: Family,
+    budget: usize,
+}
+
+impl FeatureMimicry {
+    /// An attack steering toward `intended`, whose training-set centroid
+    /// (mean combined vector) is `centroid`, spending at most `budget`
+    /// greedy edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the centroid's dimension does not match the extractor's
+    /// combined dimension — mimicry against a mismatched feature space is
+    /// always a harness bug.
+    pub fn new(
+        extractor: &FeatureExtractor,
+        centroid: Vec<f64>,
+        intended: Family,
+        budget: usize,
+    ) -> Self {
+        assert_eq!(
+            centroid.len(),
+            extractor.combined_dim(),
+            "centroid dimension must match the extractor"
+        );
+        FeatureMimicry {
+            extractor: extractor.clone(),
+            centroid,
+            intended,
+            budget,
+        }
+    }
+
+    /// Maximum greedy edits.
+    pub fn rounds(&self) -> usize {
+        self.budget
+    }
+
+    fn distance(&self, g: &Cfg, seed: u64) -> f64 {
+        let f = self.extractor.extract(g, seed);
+        f.combined()
+            .iter()
+            .zip(&self.centroid)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Attack for FeatureMimicry {
+    fn name(&self) -> String {
+        format!("mimicry({},e={})", self.intended, self.budget)
+    }
+
+    fn kind(&self) -> AttackKind {
+        AttackKind::Mimicry
+    }
+
+    fn budget(&self) -> Option<usize> {
+        Some(self.budget)
+    }
+
+    fn craft(&self, original: &Sample, seed: u64) -> Result<CraftedSample, CorpusError> {
+        let mut current = original.graph().clone();
+        let mut current_dist = self.distance(&current, seed);
+        let mut spent = 0usize;
+        while spent < self.budget {
+            // Fixed candidate order + strict improvement = deterministic
+            // search; all candidates are scored under the same walk seed so
+            // distances are comparable.
+            let mut best: Option<(f64, Cfg)> = None;
+            for cand in edits::candidates(&current) {
+                let d = self.distance(&cand, seed);
+                if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                    best = Some((d, cand));
+                }
+            }
+            match best {
+                Some((d, cfg)) if d < current_dist => {
+                    current = cfg;
+                    current_dist = d;
+                    spent += 1;
+                }
+                _ => break,
+            }
+        }
+        let lowered = asm::assemble(&current);
+        let sample = SampleGenerator::lift(
+            format!("mimicry[{}]", original.name()),
+            original.family(),
+            lowered.binary,
+        )?;
+        Ok(CraftedSample::new(original, sample, Some(self.intended)).with_refinement_edits(spent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_features::ExtractorConfig;
+
+    fn setup() -> (FeatureExtractor, Vec<Sample>, Vec<f64>) {
+        let mut gen = SampleGenerator::new(33);
+        let benign: Vec<Sample> = (0..4).map(|_| gen.generate(Family::Benign)).collect();
+        let graphs: Vec<Cfg> = benign.iter().map(|s| s.graph().clone()).collect();
+        let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &graphs, 5);
+        let dim = extractor.combined_dim();
+        let mut centroid = vec![0.0; dim];
+        for (i, g) in graphs.iter().enumerate() {
+            let f = extractor.extract(g, 100 + i as u64);
+            for (c, x) in centroid.iter_mut().zip(f.combined()) {
+                *c += x / graphs.len() as f64;
+            }
+        }
+        (extractor, benign, centroid)
+    }
+
+    #[test]
+    fn mimicry_never_exceeds_its_budget() {
+        let (extractor, _, centroid) = setup();
+        let malware = SampleGenerator::new(44).generate(Family::Mirai);
+        let attack = FeatureMimicry::new(&extractor, centroid, Family::Benign, 3);
+        let crafted = attack.craft(&malware, 7).unwrap();
+        assert!(crafted.cost().refinement_edits <= 3);
+        assert_eq!(crafted.intended_family(), Some(Family::Benign));
+    }
+
+    #[test]
+    fn adopted_edits_strictly_reduce_centroid_distance() {
+        let (extractor, _, centroid) = setup();
+        let malware = SampleGenerator::new(44).generate(Family::Mirai);
+        let attack = FeatureMimicry::new(&extractor, centroid.clone(), Family::Benign, 4);
+        let crafted = attack.craft(&malware, 7).unwrap();
+        if crafted.cost().refinement_edits > 0 {
+            let before = attack.distance(malware.graph(), 7);
+            let after = attack.distance(crafted.sample().graph(), 7);
+            assert!(after < before, "{after} !< {before}");
+        }
+    }
+
+    #[test]
+    fn crafting_is_reproducible() {
+        let (extractor, _, centroid) = setup();
+        let malware = SampleGenerator::new(44).generate(Family::Gafgyt);
+        let attack = FeatureMimicry::new(&extractor, centroid, Family::Benign, 2);
+        let a = attack.craft(&malware, 9).unwrap();
+        let b = attack.craft(&malware, 9).unwrap();
+        assert_eq!(
+            a.sample().binary().to_bytes(),
+            b.sample().binary().to_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid dimension")]
+    fn mismatched_centroid_is_rejected() {
+        let (extractor, _, _) = setup();
+        let _ = FeatureMimicry::new(&extractor, vec![0.0; 3], Family::Benign, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! The attack-validity contract: every crafted sample must be a real,
+//! well-formed binary whose features live in the trained vocabulary
+//! space, and budgeted attacks must respect their budgets.
+//!
+//! `robustness-bench` treats any violation as fatal (a crafted graph that
+//! is not valid proves nothing about the detector), and the property-test
+//! battery in `tests/attack_validity.rs` drives these checks over
+//! arbitrary seed corpora.
+
+use crate::{Attack, CraftedSample};
+use soteria_features::FeatureExtractor;
+use std::fmt;
+
+/// Why a crafted sample failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidityError {
+    /// The crafted graph has no blocks.
+    EmptyGraph,
+    /// The entry block cannot reach any exit (the program would not
+    /// terminate along any static path).
+    NoReachableExit,
+    /// Re-lifting the crafted binary does not reproduce the crafted graph
+    /// — the "adversarial example" is not the program its bytes encode.
+    RoundTripMismatch,
+    /// The projected feature vector has the wrong dimension for the
+    /// trained vocabulary.
+    DimensionMismatch {
+        /// Dimension the extractor produces for this sample.
+        got: usize,
+        /// Dimension the trained vocabulary defines.
+        expected: usize,
+    },
+    /// The projected feature vector contains a non-finite value.
+    NonFiniteFeature,
+    /// A budgeted attack spent more refinement edits than it declared.
+    BudgetExceeded {
+        /// Edits actually spent.
+        spent: usize,
+        /// Declared maximum.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::EmptyGraph => write!(f, "crafted graph has no blocks"),
+            ValidityError::NoReachableExit => {
+                write!(f, "no exit is reachable from the crafted entry")
+            }
+            ValidityError::RoundTripMismatch => write!(
+                f,
+                "re-lifting the crafted binary does not reproduce the crafted graph"
+            ),
+            ValidityError::DimensionMismatch { got, expected } => {
+                write!(
+                    f,
+                    "feature dimension {got} != vocabulary dimension {expected}"
+                )
+            }
+            ValidityError::NonFiniteFeature => {
+                write!(f, "projected feature vector contains a non-finite value")
+            }
+            ValidityError::BudgetExceeded { spent, budget } => {
+                write!(
+                    f,
+                    "attack spent {spent} refinement edits, budget is {budget}"
+                )
+            }
+        }
+    }
+}
+
+/// Validates one crafted sample against the full contract:
+///
+/// 1. **Well-formed graph** — non-empty, with at least one exit reachable
+///    from the entry.
+/// 2. **Round trip** — the crafted binary re-lifts to exactly the crafted
+///    graph (`sample.cfg() == sample.graph()`).
+/// 3. **In-vocabulary projection** (when an extractor is given) — the
+///    combined vector extracted at `seed` has the trained dimension and
+///    only finite values.
+/// 4. **Budget** — `cost.refinement_edits <= attack.budget()` when the
+///    attack declares one.
+///
+/// # Errors
+///
+/// The first violated clause, as a [`ValidityError`].
+pub fn validate(
+    attack: &dyn Attack,
+    crafted: &CraftedSample,
+    extractor: Option<&FeatureExtractor>,
+    seed: u64,
+) -> Result<(), ValidityError> {
+    let g = crafted.sample().graph();
+    if g.node_count() == 0 {
+        return Err(ValidityError::EmptyGraph);
+    }
+    let reach = g.reachable();
+    let exit_reachable = g
+        .block_ids()
+        .any(|id| reach[id.index()] && g.out_degree(id) == 0)
+        // Fully cyclic reachable regions (no sink) still terminate via the
+        // instruction budget; treat a reachable cycle as an exit path.
+        || g.block_ids().any(|id| reach[id.index()] && id != g.entry());
+    if !exit_reachable && g.node_count() > 1 {
+        return Err(ValidityError::NoReachableExit);
+    }
+
+    match crafted.sample().cfg() {
+        Ok(relifted) if &relifted == g => {}
+        _ => return Err(ValidityError::RoundTripMismatch),
+    }
+
+    if let Some(extractor) = extractor {
+        let f = extractor.extract(g, seed);
+        if f.combined().len() != extractor.combined_dim() {
+            return Err(ValidityError::DimensionMismatch {
+                got: f.combined().len(),
+                expected: extractor.combined_dim(),
+            });
+        }
+        if f.combined().iter().any(|x| !x.is_finite()) {
+            return Err(ValidityError::NonFiniteFeature);
+        }
+    }
+
+    if let Some(budget) = attack.budget() {
+        let spent = crafted.cost().refinement_edits;
+        if spent > budget {
+            return Err(ValidityError::BudgetExceeded { spent, budget });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeaAttack, SubCfgInjection};
+    use soteria_corpus::{Family, SampleGenerator};
+    use soteria_features::ExtractorConfig;
+    use soteria_gea::SizeClass;
+
+    #[test]
+    fn valid_crafted_samples_pass_every_clause() {
+        let mut gen = SampleGenerator::new(61);
+        let original = gen.generate(Family::Mirai);
+        let target = gen.generate(Family::Benign);
+        let graphs = [original.graph().clone(), target.graph().clone()];
+        let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &graphs, 5);
+
+        let gea = GeaAttack::new(&target, SizeClass::Small);
+        let crafted = gea.craft(&original, 3).unwrap();
+        validate(&gea, &crafted, Some(&extractor), 3).unwrap();
+
+        let inject = SubCfgInjection::reachable(2);
+        let crafted = inject.craft(&original, 3).unwrap();
+        validate(&inject, &crafted, None, 3).unwrap();
+    }
+
+    #[test]
+    fn budget_violations_are_reported() {
+        // Forge a crafted sample claiming more edits than the attack's
+        // declared budget to prove the clause actually trips.
+        struct TinyBudget;
+        impl Attack for TinyBudget {
+            fn name(&self) -> String {
+                "tiny".into()
+            }
+            fn kind(&self) -> crate::AttackKind {
+                crate::AttackKind::Adaptive
+            }
+            fn budget(&self) -> Option<usize> {
+                Some(1)
+            }
+            fn craft(
+                &self,
+                original: &soteria_corpus::corpus::Sample,
+                _seed: u64,
+            ) -> Result<CraftedSample, soteria_corpus::CorpusError> {
+                Ok(CraftedSample::new(original, original.clone(), None).with_refinement_edits(5))
+            }
+        }
+        let original = SampleGenerator::new(2).generate(Family::Benign);
+        let crafted = TinyBudget.craft(&original, 0).unwrap();
+        assert_eq!(
+            validate(&TinyBudget, &crafted, None, 0),
+            Err(ValidityError::BudgetExceeded {
+                spent: 5,
+                budget: 1
+            })
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The standard attack zoo: the attack × strength × direction enumeration
+//! the `robustness-bench` matrix is built from.
+
+use crate::{AdaptiveAttack, Attack, AttackKind, FeatureMimicry, GeaAttack, SubCfgInjection};
+use soteria::AeDetector;
+use soteria_corpus::{Corpus, Family};
+use soteria_features::FeatureExtractor;
+use soteria_gea::{SizeClass, TargetSelection};
+
+/// Which way an attack moves samples across the benign/malware boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Malware disguised as benign (the paper's evasion direction).
+    MalwareToBenign,
+    /// Benign steered toward a malware family.
+    BenignToMalware,
+    /// Structural manipulation with no class target.
+    Undirected,
+}
+
+impl Direction {
+    /// Whether `family` is an eligible original for this direction.
+    pub fn applies_to(&self, family: Family) -> bool {
+        match self {
+            Direction::MalwareToBenign => family != Family::Benign,
+            Direction::BenignToMalware => family == Family::Benign,
+            Direction::Undirected => true,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Direction::MalwareToBenign => "mal->benign",
+            Direction::BenignToMalware => "benign->mal",
+            Direction::Undirected => "undirected",
+        })
+    }
+}
+
+/// One zoo row: an attack instance plus the matrix coordinates it fills.
+pub struct ZooEntry {
+    /// The attack itself.
+    pub attack: Box<dyn Attack>,
+    /// Matrix row family (`gea`, `inject`, `mimicry`, `adaptive`).
+    pub kind: AttackKind,
+    /// Strength label within the family (size class, block count, edit
+    /// budget).
+    pub strength: String,
+    /// Which originals the attack applies to.
+    pub direction: Direction,
+}
+
+impl std::fmt::Debug for ZooEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZooEntry")
+            .field("name", &self.attack.name())
+            .field("kind", &self.kind)
+            .field("strength", &self.strength)
+            .field("direction", &self.direction)
+            .finish()
+    }
+}
+
+/// Everything the standard zoo needs from a trained pipeline.
+#[derive(Debug)]
+pub struct ZooBuild<'a> {
+    /// The corpus targets are drawn from.
+    pub corpus: &'a Corpus,
+    /// The paper's target table over that corpus.
+    pub selection: &'a TargetSelection,
+    /// The trained feature extractor (cloned into the model-aware
+    /// attacks).
+    pub extractor: &'a FeatureExtractor,
+    /// The trained detector (copied into the adaptive attacks).
+    pub detector: &'a AeDetector,
+    /// Mean combined feature vector of the benign training samples (the
+    /// mimicry goal).
+    pub benign_centroid: Vec<f64>,
+}
+
+/// Builds the standard zoo: ≥ 4 attack families, each at several
+/// strengths.
+///
+/// * GEA — benign targets at Small/Medium/Large (mal→benign) plus one
+///   malware-family target (benign→mal),
+/// * injection — reachable sub-CFGs at 2 and 8 blocks, unreachable at 8,
+/// * mimicry — benign-centroid mimicry at edit budgets 2 and 4,
+/// * adaptive — detector-aware refinement at edit budgets 2 and 4.
+///
+/// Entries whose targets are missing from the selection (empty classes)
+/// are skipped, so the zoo degrades gracefully on tiny corpora.
+pub fn standard_zoo(build: &ZooBuild<'_>) -> Vec<ZooEntry> {
+    let mut entries: Vec<ZooEntry> = Vec::new();
+
+    for size in SizeClass::ALL {
+        if let Some(target) = build.selection.target(Family::Benign, size) {
+            let sample = build.selection.sample(build.corpus, target);
+            entries.push(ZooEntry {
+                attack: Box::new(GeaAttack::new(sample, size)),
+                kind: AttackKind::Gea,
+                strength: size.to_string(),
+                direction: Direction::MalwareToBenign,
+            });
+        }
+    }
+    if let Some(target) = build.selection.target(Family::Mirai, SizeClass::Medium) {
+        let sample = build.selection.sample(build.corpus, target);
+        entries.push(ZooEntry {
+            attack: Box::new(GeaAttack::new(sample, SizeClass::Medium)),
+            kind: AttackKind::Gea,
+            strength: "Medium".into(),
+            direction: Direction::BenignToMalware,
+        });
+    }
+
+    for blocks in [2usize, 8] {
+        entries.push(ZooEntry {
+            attack: Box::new(SubCfgInjection::reachable(blocks)),
+            kind: AttackKind::Inject,
+            strength: format!("reachable/{blocks}"),
+            direction: Direction::Undirected,
+        });
+    }
+    entries.push(ZooEntry {
+        attack: Box::new(SubCfgInjection::unreachable(8)),
+        kind: AttackKind::Inject,
+        strength: "unreachable/8".into(),
+        direction: Direction::Undirected,
+    });
+
+    for budget in [2usize, 4] {
+        entries.push(ZooEntry {
+            attack: Box::new(FeatureMimicry::new(
+                build.extractor,
+                build.benign_centroid.clone(),
+                Family::Benign,
+                budget,
+            )),
+            kind: AttackKind::Mimicry,
+            strength: format!("budget/{budget}"),
+            direction: Direction::MalwareToBenign,
+        });
+    }
+
+    if let Some(target) = build.selection.target(Family::Benign, SizeClass::Medium) {
+        let sample = build.selection.sample(build.corpus, target);
+        for budget in [2usize, 4] {
+            entries.push(ZooEntry {
+                attack: Box::new(AdaptiveAttack::new(
+                    sample,
+                    SizeClass::Medium,
+                    build.extractor,
+                    build.detector,
+                    budget,
+                )),
+                kind: AttackKind::Adaptive,
+                strength: format!("budget/{budget}"),
+                direction: Direction::MalwareToBenign,
+            });
+        }
+    }
+
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria::{DetectorConfig, SoteriaConfig};
+    use soteria_corpus::CorpusConfig;
+    use soteria_features::ExtractorConfig;
+
+    #[test]
+    fn standard_zoo_covers_four_attack_families() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [6, 6, 6, 6],
+            seed: 8,
+            av_noise: false,
+            lineages: 3,
+        });
+        let selection = TargetSelection::select(&corpus);
+        let graphs: Vec<_> = corpus.samples().iter().map(|s| s.graph().clone()).collect();
+        let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &graphs, 5);
+        let features: Vec<Vec<f64>> = graphs
+            .iter()
+            .take(6)
+            .enumerate()
+            .map(|(i, g)| extractor.extract(g, i as u64).combined().to_vec())
+            .collect();
+        let detector = AeDetector::train(
+            &DetectorConfig {
+                epochs: 2,
+                ..SoteriaConfig::tiny().detector
+            },
+            &features,
+            9,
+        );
+        let centroid = vec![0.0; extractor.combined_dim()];
+
+        let zoo = standard_zoo(&ZooBuild {
+            corpus: &corpus,
+            selection: &selection,
+            extractor: &extractor,
+            detector: &detector,
+            benign_centroid: centroid,
+        });
+
+        let kinds: std::collections::HashSet<_> = zoo.iter().map(|e| e.kind).collect();
+        for kind in [
+            AttackKind::Gea,
+            AttackKind::Inject,
+            AttackKind::Mimicry,
+            AttackKind::Adaptive,
+        ] {
+            assert!(kinds.contains(&kind), "zoo is missing {kind}");
+        }
+        // Both directions are represented.
+        assert!(zoo
+            .iter()
+            .any(|e| e.direction == Direction::MalwareToBenign));
+        assert!(zoo
+            .iter()
+            .any(|e| e.direction == Direction::BenignToMalware));
+    }
+
+    #[test]
+    fn direction_filters_follow_the_class_boundary() {
+        assert!(Direction::MalwareToBenign.applies_to(Family::Mirai));
+        assert!(!Direction::MalwareToBenign.applies_to(Family::Benign));
+        assert!(Direction::BenignToMalware.applies_to(Family::Benign));
+        assert!(Direction::Undirected.applies_to(Family::Gafgyt));
+    }
+}

@@ -2,9 +2,12 @@
 
 use crate::store;
 use soteria::{Soteria, SoteriaConfig, SoteriaState, TrainCheckpoint, Verdict};
+use soteria_attacks::{
+    Attack, BlockSplit, GeaAttack, LowDensityInsert, Obfuscate, SubCfgInjection,
+};
 use soteria_cfg::{density, dot, GraphStats};
 use soteria_corpus::{disasm, Corpus, CorpusConfig, Family};
-use soteria_gea::gea_merge;
+use soteria_gea::SizeClass;
 use soteria_serve::{
     protocol, AdmissionConfig, BreakerConfig, RateLimit, ScreeningService, ServeConfig, Submit,
     SubmitOptions,
@@ -168,29 +171,67 @@ pub fn disassemble(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `attack --original FILE --target FILE --out FILE`
+/// `attack --original FILE --out FILE [--attack KIND] [--target FILE]
+///         [--seed N] [--blocks N] [--count N] [--fraction F]`
+///
+/// Kinds: `gea` (default, needs `--target`), `inject` (reachable sub-CFG,
+/// `--blocks`), `inject-dead` (unreachable section, `--blocks`),
+/// `lowdensity`, `blocksplit` (`--count`), `obfuscate` (`--fraction`).
+/// Model-aware attacks (mimicry, adaptive) need a trained pipeline and
+/// live in `soteria-exp robustness-bench`.
 pub fn attack(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
     let original_path = flags
         .get("original")
         .ok_or("attack needs --original FILE")?;
-    let target_path = flags.get("target").ok_or("attack needs --target FILE")?;
     let out = flags.get("out").ok_or("attack needs --out FILE")?;
+    let kind = flags.get("attack").map(String::as_str).unwrap_or("gea");
+    let seed = flag_u64(&flags, "seed", 7)?;
 
     let original = store::read_binary(
         &PathBuf::from(original_path),
         Family::Benign, // class is irrelevant for crafting
         "original",
     )?;
-    let target = store::read_binary(&PathBuf::from(target_path), Family::Benign, "target")?;
-    let merged = gea_merge(&original, &target).map_err(|e| e.to_string())?;
-    std::fs::write(out, merged.sample().binary().to_bytes())
+
+    let attack: Box<dyn Attack> = match kind {
+        "gea" => {
+            let target_path = flags
+                .get("target")
+                .ok_or("attack gea needs --target FILE")?;
+            let target = store::read_binary(&PathBuf::from(target_path), Family::Benign, "target")?;
+            // The size tag only labels the attack — the whole target embeds
+            // regardless, so the crafted bytes equal a direct `gea_merge`.
+            Box::new(GeaAttack::new(&target, SizeClass::Medium))
+        }
+        "inject" => Box::new(SubCfgInjection::reachable(
+            flag_u64(&flags, "blocks", 4)? as usize
+        )),
+        "inject-dead" => Box::new(SubCfgInjection::unreachable(
+            flag_u64(&flags, "blocks", 4)? as usize
+        )),
+        "lowdensity" => Box::new(LowDensityInsert),
+        "blocksplit" => Box::new(BlockSplit::new(flag_u64(&flags, "count", 2)? as usize)),
+        "obfuscate" => Box::new(Obfuscate::new(flag_f64(&flags, "fraction", 0.3)?)),
+        other => {
+            return Err(format!(
+                "unknown --attack {other} \
+                 (gea | inject | inject-dead | lowdensity | blocksplit | obfuscate)"
+            ))
+        }
+    };
+    let crafted = attack.craft(&original, seed).map_err(|e| e.to_string())?;
+    std::fs::write(out, crafted.sample().binary().to_bytes())
         .map_err(|e| format!("write {out}: {e}"))?;
+    let cost = crafted.cost();
     println!(
-        "wrote GEA example to {out}: {} + {} -> {} blocks",
+        "wrote {} example to {out}: {} -> {} blocks (+{} nodes, +{} edges, -{} edges)",
+        attack.name(),
         original.graph().node_count(),
-        target.graph().node_count(),
-        merged.sample().graph().node_count()
+        crafted.sample().graph().node_count(),
+        cost.nodes_added,
+        cost.edges_added,
+        cost.edges_removed,
     );
     Ok(())
 }

@@ -4,8 +4,8 @@
 //! soteria-cli gen --out DIR [--scale F] [--seed N]      generate a corpus to disk
 //! soteria-cli inspect FILE [--dot]                      lift a binary, print CFG facts
 //! soteria-cli disasm FILE                               print an assembly listing
-//! soteria-cli attack --original FILE --target FILE --out FILE
-//!                                                       craft a GEA adversarial example
+//! soteria-cli attack --original FILE --out FILE [--attack KIND] [--target FILE]
+//!                                                       craft an adversarial example
 //! soteria-cli train --corpus DIR --out MODEL [--seed N]
 //!                   [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
 //!                                                       train and persist a system
@@ -27,7 +27,10 @@ fn usage() -> &'static str {
     "usage:\n  soteria-cli gen --out DIR [--scale F] [--seed N]\n  \
      soteria-cli inspect FILE [--dot]\n  \
      soteria-cli disasm FILE\n  \
-     soteria-cli attack --original FILE --target FILE --out FILE\n  \
+     soteria-cli attack --original FILE --out FILE [--attack KIND] [--target FILE]\n    \
+     [--seed N] [--blocks N] [--count N] [--fraction F]\n    \
+     KIND: gea (default, needs --target) | inject | inject-dead |\n    \
+     lowdensity | blocksplit | obfuscate\n  \
      soteria-cli train --corpus DIR --out MODEL [--seed N] [--metrics PATH]\n    \
      [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]\n  \
      soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--metrics PATH] FILE...\n  \

@@ -371,6 +371,74 @@ impl Soteria {
         (verdicts, metrics)
     }
 
+    /// Analyzes many pre-lifted graphs with an explicit walk seed per
+    /// graph — the attack-evaluation batch entry point: crafted
+    /// adversarial samples arrive as `(graph, seed)` pairs whose seeds the
+    /// harness derived per sample, so the derived-seed scheme of
+    /// [`analyze_batch`](Soteria::analyze_batch) does not apply.
+    ///
+    /// Bit-identical per item to [`analyze`](Soteria::analyze)`(cfg, seed)`:
+    /// extraction runs in parallel across the worker pool and screening in
+    /// one batched forward pass, but every forward pass is row-independent
+    /// and each sample keeps its seed as both walk seed and screen key.
+    /// Faults degrade their sample only.
+    pub fn analyze_graphs_seeded(&mut self, items: &[(&Cfg, u64)]) -> Vec<Verdict> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let _span = soteria_telemetry::span("pipeline.analyze_graphs_seeded");
+        soteria_telemetry::counter("pipeline.analyze_graphs_seeded.samples", items.len() as u64);
+        let guards = self.config.guards.clone();
+        let extractor = &self.extractor;
+        let jobs = (soteria_nn::backend::warm() + 1).min(items.len());
+        let chunk = items.len().div_ceil(jobs.max(1));
+        let mut extracted: Vec<Option<Result<SampleFeatures, FaultKind>>> = vec![None; items.len()];
+        let tasks: Vec<soteria_nn::backend::ScopedTask<'_>> = items
+            .chunks(chunk)
+            .zip(extracted.chunks_mut(chunk))
+            .map(|(item_chunk, slot_chunk)| {
+                let guards = &guards;
+                Box::new(move || {
+                    let worker = soteria_resilience::isolate(AssertUnwindSafe(|| {
+                        for ((cfg, seed), slot) in item_chunk.iter().zip(slot_chunk) {
+                            *slot = Some(extractor.try_extract(cfg, *seed, guards));
+                        }
+                    }));
+                    if worker.is_err() {
+                        soteria_telemetry::counter("pipeline.screen_many.worker_deaths", 1);
+                    }
+                }) as soteria_nn::backend::ScopedTask<'_>
+            })
+            .collect();
+        soteria_nn::backend::run_scoped(tasks);
+
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; items.len()];
+        let mut batch: Vec<(SampleFeatures, u64)> = Vec::new();
+        let mut batch_indices: Vec<usize> = Vec::new();
+        for (i, slot) in extracted.into_iter().enumerate() {
+            match slot {
+                Some(Ok(features)) => {
+                    batch_indices.push(i);
+                    batch.push((features, items[i].1));
+                }
+                Some(Err(fault)) => verdicts[i] = Some(degraded(fault)),
+                None => {
+                    verdicts[i] = Some(degraded(FaultKind::Panic {
+                        message: "screening worker died before reaching this sample".to_owned(),
+                    }))
+                }
+            }
+        }
+        let screened = self.screen_features_batch(&batch);
+        for (i, verdict) in batch_indices.into_iter().zip(screened) {
+            verdicts[i] = Some(verdict);
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every sample resolved"))
+            .collect()
+    }
+
     /// Runs the full pipeline on a serialized binary: parse → lift →
     /// analyze, with every failure mode — malformed container, undecodable
     /// reachable code, guard trips, stage panics — confined to a
@@ -768,6 +836,28 @@ mod tests {
             ae_rate > clean_rate,
             "AE detection rate {ae_rate:.2} not above clean false-positive rate {clean_rate:.2}"
         );
+    }
+
+    #[test]
+    fn analyze_graphs_seeded_matches_per_sample_analyze() {
+        let (mut soteria, corpus, test) = trained();
+        // Arbitrary, non-consecutive seeds — the crafted-sample screening
+        // path uses harness-derived seeds, not an offset scheme.
+        let items: Vec<(&Cfg, u64)> = test
+            .iter()
+            .map(|&i| {
+                (
+                    corpus.samples()[i].graph(),
+                    (i as u64).wrapping_mul(0x9e37) ^ 0xA77,
+                )
+            })
+            .collect();
+        let sequential: Vec<Verdict> = items
+            .iter()
+            .map(|&(cfg, seed)| soteria.analyze(cfg, seed))
+            .collect();
+        let batched = soteria.analyze_graphs_seeded(&items);
+        assert_eq!(batched, sequential);
     }
 
     #[test]

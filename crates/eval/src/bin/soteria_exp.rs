@@ -6,6 +6,7 @@
 //! soteria-exp bench [--seed N] [--scale F] [--out DIR]
 //! soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
+//! soteria-exp robustness-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
 //! soteria-exp serve-smoke [--seed N] [--scale F]
 //! soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]
@@ -57,6 +58,7 @@ fn usage() -> &'static str {
      soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
      soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
+     soteria-exp robustness-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
      soteria-exp serve-smoke [--seed N] [--scale F] [--trace F]\n       \
      soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]\n       \
@@ -703,6 +705,356 @@ fn run_extract_bench(argv: &[String]) -> Result<(), String> {
 
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let path = out.join("BENCH_extract.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// One attack × strength × direction cell of the robustness matrix.
+#[derive(Debug, Serialize, Deserialize)]
+struct RobustnessCell {
+    kind: String,
+    name: String,
+    strength: String,
+    direction: String,
+    /// Crafted adversarial samples screened in this cell (all valid — an
+    /// invalid crafted sample aborts the bench).
+    crafted: usize,
+    detected: usize,
+    evaded: usize,
+    degraded: usize,
+    detection_rate: f64,
+    evasion_rate: f64,
+    /// Mean structural diff (nodes + edges changed) per crafted sample.
+    mean_structural_edits: f64,
+    mean_nodes_added: f64,
+    /// Mean greedy refinement steps spent (0 for one-shot attacks).
+    mean_refinement_edits: f64,
+}
+
+/// Robustness matrix over the standard attack zoo, serialized to
+/// `BENCH_robustness.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct RobustnessBenchReport {
+    seed: u64,
+    smoke: bool,
+    pool_threads: usize,
+    corpus_samples: usize,
+    train_samples: usize,
+    test_samples: usize,
+    /// Detector threshold (μ + α·σ) of the trained pipeline.
+    threshold: f64,
+    /// Distinct attack families (matrix row groups) covered.
+    attack_families: usize,
+    /// Detection rate pooled over every cell.
+    overall_detection_rate: f64,
+    cells: Vec<RobustnessCell>,
+}
+
+fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
+    use soteria::AeDetector;
+    use soteria_attacks::{batch_seed, craft_batch, standard_zoo, validate, ZooBuild};
+    use soteria_corpus::corpus::Sample;
+    use soteria_gea::TargetSelection;
+
+    let mut seed = 7u64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => {
+                return Err(format!(
+                    "unknown robustness-bench flag {other}\n{}",
+                    usage()
+                ))
+            }
+        }
+    }
+
+    // Pin the pool: crafting and screening are bit-identical at any size
+    // (enforced by tests/attack_validity.rs), so this only fixes timing.
+    soteria_pool::ensure_threads(8);
+    let pool_threads = soteria_pool::pool_threads();
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: if smoke {
+            [6, 6, 6, 6]
+        } else {
+            [16, 16, 16, 16]
+        },
+        seed,
+        av_noise: false,
+        lineages: 3,
+    });
+    let split = corpus.split(0.8, seed ^ 0x5917);
+    let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| format!("robustness-bench: training failed: {e}"))?;
+    let threshold = soteria.detector_mut().stats().threshold();
+    let extractor = soteria.extractor().clone();
+
+    // Mimicry goal: the mean combined feature vector of the benign
+    // training samples, under the trained vocabulary.
+    let benign_graphs: Vec<&Cfg> = split
+        .train
+        .iter()
+        .map(|&i| &corpus.samples()[i])
+        .filter(|s| s.family() == soteria_corpus::Family::Benign)
+        .map(|s| s.graph())
+        .collect();
+    let benign_feats = extractor.extract_batch(&benign_graphs, seed ^ 0xCE27);
+    let mut benign_centroid = vec![0.0; extractor.combined_dim()];
+    for f in &benign_feats {
+        for (c, x) in benign_centroid.iter_mut().zip(f.combined()) {
+            *c += x;
+        }
+    }
+    for c in &mut benign_centroid {
+        *c /= benign_feats.len().max(1) as f64;
+    }
+
+    let selection = TargetSelection::select(&corpus);
+    let zoo = {
+        let detector: &AeDetector = soteria.detector_mut();
+        standard_zoo(&ZooBuild {
+            corpus: &corpus,
+            selection: &selection,
+            extractor: &extractor,
+            detector,
+            benign_centroid,
+        })
+    };
+
+    let cap = if smoke { 6 } else { 12 };
+    let mut cells: Vec<RobustnessCell> = Vec::new();
+    let mut total_crafted = 0usize;
+    let mut total_detected = 0usize;
+    for (ei, entry) in zoo.iter().enumerate() {
+        let originals: Vec<&Sample> = split
+            .test
+            .iter()
+            .map(|&i| &corpus.samples()[i])
+            .filter(|s| entry.direction.applies_to(s.family()))
+            .take(cap)
+            .collect();
+        if originals.is_empty() {
+            eprintln!(
+                "note: robustness-bench: no eligible originals for {} ({}), cell skipped",
+                entry.attack.name(),
+                entry.direction
+            );
+            continue;
+        }
+        let master = seed ^ (0xA77 + ei as u64 * 1000);
+        let mut crafted = Vec::with_capacity(originals.len());
+        for (i, result) in craft_batch(entry.attack.as_ref(), &originals, master)
+            .into_iter()
+            .enumerate()
+        {
+            let sample = result.map_err(|e| {
+                format!(
+                    "robustness-bench: {} failed to craft sample {i}: {e}",
+                    entry.attack.name()
+                )
+            })?;
+            // Validity is the gate: an invalid "adversarial example" proves
+            // nothing about the detector, so any violation is fatal.
+            validate(
+                entry.attack.as_ref(),
+                &sample,
+                Some(&extractor),
+                batch_seed(master, i as u64),
+            )
+            .map_err(|v| {
+                format!(
+                    "robustness-bench: {} crafted an invalid sample ({v})",
+                    entry.attack.name()
+                )
+            })?;
+            crafted.push(sample);
+        }
+        // Determinism spot-check: re-crafting with the batch's own seed
+        // must reproduce the binary bit for bit.
+        let recraft = entry
+            .attack
+            .craft(originals[0], batch_seed(master, 0))
+            .map_err(|e| format!("robustness-bench: re-craft failed: {e}"))?;
+        if recraft.sample().binary().to_bytes() != crafted[0].sample().binary().to_bytes() {
+            return Err(format!(
+                "robustness-bench: {} is nondeterministic — re-crafting with the same seed \
+                 produced different bytes",
+                entry.attack.name()
+            ));
+        }
+
+        let items: Vec<(&Cfg, u64)> = crafted
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.sample().graph(), batch_seed(master, i as u64)))
+            .collect();
+        let verdicts = soteria.analyze_graphs_seeded(&items);
+        let detected = verdicts.iter().filter(|v| v.is_adversarial()).count();
+        let degraded = verdicts.iter().filter(|v| v.is_degraded()).count();
+        let evaded = verdicts.len() - detected - degraded;
+        let n = crafted.len() as f64;
+        total_crafted += crafted.len();
+        total_detected += detected;
+        cells.push(RobustnessCell {
+            kind: entry.kind.to_string(),
+            name: entry.attack.name(),
+            strength: entry.strength.clone(),
+            direction: entry.direction.to_string(),
+            crafted: crafted.len(),
+            detected,
+            evaded,
+            degraded,
+            detection_rate: detected as f64 / n,
+            evasion_rate: evaded as f64 / n,
+            mean_structural_edits: crafted
+                .iter()
+                .map(|c| c.cost().total_structural() as f64)
+                .sum::<f64>()
+                / n,
+            mean_nodes_added: crafted
+                .iter()
+                .map(|c| c.cost().nodes_added as f64)
+                .sum::<f64>()
+                / n,
+            mean_refinement_edits: crafted
+                .iter()
+                .map(|c| c.cost().refinement_edits as f64)
+                .sum::<f64>()
+                / n,
+        });
+    }
+
+    let families: std::collections::HashSet<&str> = cells.iter().map(|c| c.kind.as_str()).collect();
+    if families.len() < 4 {
+        return Err(format!(
+            "robustness-bench: only {} attack families produced cells (need ≥ 4)",
+            families.len()
+        ));
+    }
+
+    let report = RobustnessBenchReport {
+        seed,
+        smoke,
+        pool_threads,
+        corpus_samples: corpus.samples().len(),
+        train_samples: split.train.len(),
+        test_samples: split.test.len(),
+        threshold,
+        attack_families: families.len(),
+        overall_detection_rate: total_detected as f64 / total_crafted.max(1) as f64,
+        cells,
+    };
+
+    println!(
+        "robustness-bench (seed {seed}{}, {} pool threads): {} attack families, {} cells, \
+         {} crafted samples, threshold {:.4}",
+        if smoke { ", smoke" } else { "" },
+        report.pool_threads,
+        report.attack_families,
+        report.cells.len(),
+        total_crafted,
+        report.threshold,
+    );
+    println!(
+        "  {:<28} {:<12} {:>7} {:>9} {:>8} {:>9} {:>10}",
+        "attack", "direction", "crafted", "detected", "evaded", "det-rate", "mean-edits"
+    );
+    for c in &report.cells {
+        println!(
+            "  {:<28} {:<12} {:>7} {:>9} {:>8} {:>8.0}% {:>10.1}",
+            c.name,
+            c.direction,
+            c.crafted,
+            c.detected,
+            c.evaded,
+            c.detection_rate * 100.0,
+            c.mean_structural_edits,
+        );
+    }
+    println!(
+        "  overall detection rate {:.0}%",
+        report.overall_detection_rate * 100.0
+    );
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| {
+                serde_json::from_str::<RobustnessBenchReport>(&s).map_err(|e| e.to_string())
+            }) {
+            Ok(committed) if committed.smoke == report.smoke && committed.seed == report.seed => {
+                // The run is fully deterministic under (seed, smoke), so the
+                // committed detection rates are a floor, not a noisy estimate:
+                // any drop is a real robustness regression and fails the gate.
+                for old in &committed.cells {
+                    let Some(new) = report.cells.iter().find(|c| {
+                        c.kind == old.kind
+                            && c.strength == old.strength
+                            && c.direction == old.direction
+                    }) else {
+                        return Err(format!(
+                            "robustness-bench: baseline cell {} ({}, {}) missing from this run",
+                            old.name, old.strength, old.direction
+                        ));
+                    };
+                    if new.detection_rate < old.detection_rate - 1e-9 {
+                        return Err(format!(
+                            "robustness-bench: detection rate for {} ({}) dropped below the \
+                             baseline floor: {:.3} < {:.3}",
+                            new.name, new.direction, new.detection_rate, old.detection_rate
+                        ));
+                    }
+                    if new.detection_rate > old.detection_rate + 1e-9 {
+                        eprintln!(
+                            "note: robustness-bench drift: {} ({}) detection rate {:.3} vs \
+                             baseline {:.3} — refresh results/BENCH_robustness.json to ratchet \
+                             the floor",
+                            new.name, new.direction, new.detection_rate, old.detection_rate
+                        );
+                    }
+                }
+                println!(
+                    "  baseline floor held across {} cells ({})",
+                    committed.cells.len(),
+                    path.display()
+                );
+            }
+            Ok(committed) => eprintln!(
+                "note: baseline {} was recorded with seed {} smoke {}, this run is seed {} \
+                 smoke {} — floor not comparable, skipping",
+                path.display(),
+                committed.seed,
+                committed.smoke,
+                report.seed,
+                report.smoke
+            ),
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_robustness.json");
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {}", path.display());
@@ -1967,6 +2319,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("extract-bench") {
         let result = run_extract_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("robustness-bench") {
+        let result = run_robustness_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

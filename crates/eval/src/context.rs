@@ -3,8 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 use soteria::{Soteria, SoteriaConfig};
+use soteria_attacks::{Attack, GeaAttack};
 use soteria_corpus::{Corpus, CorpusConfig, Family, Split};
-use soteria_gea::{gea_merge, SizeClass, TargetSelection};
+use soteria_gea::{SizeClass, TargetSelection};
 
 /// Evaluation-wide configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -216,8 +217,10 @@ impl ExperimentContext {
             let mut evals = Vec::with_capacity(targets.len());
             for (ti, target) in targets.iter().enumerate() {
                 let target_sample = self.selection.sample(&self.corpus, target).clone();
-                // Merge every out-of-class test sample, then extract the
-                // whole batch in parallel.
+                // Merge every out-of-class test sample via the Attack trait
+                // (GEA crafting ignores the seed — the merge is exhaustive,
+                // not sampled), then extract the whole batch in parallel.
+                let attack = GeaAttack::new(&target_sample, target.size);
                 let mut merged_samples = Vec::new();
                 let mut origins = Vec::new();
                 for &idx in &self.split.test {
@@ -226,7 +229,8 @@ impl ExperimentContext {
                         continue;
                     }
                     merged_samples.push(
-                        gea_merge(original, &target_sample)
+                        attack
+                            .craft(original, 0)
                             .expect("GEA merge of well-formed samples"),
                     );
                     origins.push((idx, original.family()));

@@ -13,7 +13,7 @@
 
 use super::ExperimentOutput;
 use crate::{ExperimentContext, TextTable};
-use soteria_gea::adaptive;
+use soteria_attacks::{Attack, BlockSplit, LowDensityInsert, Obfuscate};
 
 /// Runs all three adaptive probes over the clean test split.
 pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
@@ -52,8 +52,13 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
             }
         }
 
-        // Probe 1.
-        let ld = adaptive::insert_low_density_block(&sample).expect("insertion");
+        // Probe 1. The probes route through the attack-zoo wrappers, which
+        // call `soteria_gea::adaptive` with the same seeds — crafted bytes
+        // (and therefore these tables) are unchanged by the indirection.
+        let ld = LowDensityInsert
+            .craft(&sample, seed)
+            .expect("insertion")
+            .into_sample();
         let f = ctx.soteria.features(ld.graph(), seed ^ 0x1);
         let re = ctx
             .soteria
@@ -70,7 +75,10 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
 
         // Probe 2.
         for (si, &count) in split_counts.iter().enumerate() {
-            let split = adaptive::split_blocks(&sample, count, seed ^ 0x20).expect("split");
+            let split = BlockSplit::new(count)
+                .craft(&sample, seed ^ 0x20)
+                .expect("split")
+                .into_sample();
             let f = ctx
                 .soteria
                 .features(split.graph(), seed ^ (0x30 + si as u64));
@@ -86,7 +94,10 @@ pub fn run(ctx: &mut ExperimentContext) -> ExperimentOutput {
 
         // Probe 3.
         for (oi, &frac) in obf_fractions.iter().enumerate() {
-            let obf = adaptive::obfuscate(&sample, frac, seed ^ 0x40).expect("obfuscate");
+            let obf = Obfuscate::new(frac)
+                .craft(&sample, seed ^ 0x40)
+                .expect("obfuscate")
+                .into_sample();
             let f = ctx.soteria.features(obf.graph(), seed ^ (0x50 + oi as u64));
             let re = ctx
                 .soteria

@@ -9,6 +9,14 @@
 //! blind (clean-only, μ+α·σ) detector. The shape to reproduce: the
 //! supervised detector excels on its training attack but generalizes
 //! worse across the remaining configurations.
+//!
+//! The AEs come from [`ExperimentContext::adversarial_results`], which
+//! crafts them through the `soteria-attacks` [`Attack`] trait (GEA rows of
+//! the zoo). The full attack × strength × direction matrix lives in the
+//! `soteria-exp robustness-bench` subcommand; this experiment is only the
+//! operating-mode comparison.
+//!
+//! [`Attack`]: soteria_attacks::Attack
 
 use super::ExperimentOutput;
 use crate::context::TargetEval;

@@ -20,6 +20,13 @@
 //!   classifies as *impractical* AEs (unreachable, therefore invisible to
 //!   CFG features).
 //!
+//! This crate is the low-level GEA implementation. The `soteria-attacks`
+//! crate subsumes it behind the general `Attack` trait (alongside sub-CFG
+//! injection, feature mimicry, and detector-aware adaptive attacks) —
+//! harnesses and evaluations should go through that trait; the functions
+//! here remain the byte-exact ground truth the wrappers are tested
+//! against.
+//!
 //! # Example
 //!
 //! ```

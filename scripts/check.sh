@@ -100,4 +100,22 @@ cargo run -q --release -p soteria-eval --bin soteria-exp -- \
     telemetry-bench --smoke --out "$tmpdir" "${telemetry_baseline[@]}"
 rm -rf "$tmpdir"
 
+# Robustness smoke gate: the attack zoo (GEA, sub-CFG injection, feature
+# mimicry, detector-aware adaptive) against the trained pipeline. The
+# command itself HARD-FAILS if any crafted graph is structurally invalid
+# (round-trip, reachability, vocabulary, budget), if crafting is
+# nondeterministic, or if a cell's detection rate drops below the
+# committed baseline floor — the run is fully seeded, so any drop is a
+# real robustness regression, not noise. A detection-rate *improvement*
+# only prints a note suggesting a baseline refresh.
+echo "==> robustness gate: soteria-exp robustness-bench --smoke"
+tmpdir="$(mktemp -d)"
+robustness_baseline=()
+if [[ -f results/BENCH_robustness.json ]]; then
+    robustness_baseline=(--baseline results/BENCH_robustness.json)
+fi
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    robustness-bench --smoke --out "$tmpdir" "${robustness_baseline[@]}"
+rm -rf "$tmpdir"
+
 echo "==> all checks passed"

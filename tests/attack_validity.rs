@@ -1,0 +1,197 @@
+//! The attack-validity test battery (DESIGN.md §8).
+//!
+//! Every attack in the zoo must craft *valid* adversarial examples —
+//! well-formed graphs whose binaries re-lift to exactly the crafted CFG,
+//! with in-vocabulary feature projections and declared budgets respected —
+//! and must be bit-for-bit deterministic: the same `(attack, original,
+//! seed)` always yields the same bytes, across reruns and at any
+//! worker-pool size. `soteria-exp robustness-bench` enforces the same
+//! contract at run time; this battery drives it over arbitrary inputs.
+
+use proptest::prelude::*;
+use soteria::{AeDetector, DetectorConfig, SoteriaConfig};
+use soteria_attacks::{
+    batch_seed, craft_batch, validate, AdaptiveAttack, Attack, BlockSplit, FeatureMimicry,
+    GeaAttack, LowDensityInsert, Obfuscate, SubCfgInjection,
+};
+use soteria_corpus::{corpus::Sample, Corpus, CorpusConfig, Family, SampleGenerator};
+use soteria_features::{ExtractorConfig, FeatureExtractor};
+use soteria_gea::{gea_merge, SizeClass, TargetSelection};
+
+/// The structural (model-free) half of the zoo, freshly parameterized.
+fn structural_attacks(seed: u64) -> Vec<Box<dyn Attack>> {
+    let target = SampleGenerator::new(seed ^ 0x7A6).generate(Family::Benign);
+    vec![
+        Box::new(GeaAttack::new(&target, SizeClass::Medium)),
+        Box::new(SubCfgInjection::reachable(3)),
+        Box::new(SubCfgInjection::unreachable(4)),
+        Box::new(LowDensityInsert),
+        Box::new(BlockSplit::new(2)),
+        Box::new(Obfuscate::new(0.3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every structural attack crafts a valid sample from an arbitrary
+    /// original, and re-crafting with the same seed reproduces the binary
+    /// bit for bit.
+    #[test]
+    fn crafted_samples_are_valid_and_seed_deterministic(
+        seed in 0u64..300,
+        fam in 0usize..4,
+        craft_seed in 0u64..1_000,
+    ) {
+        let original = SampleGenerator::new(seed).generate(Family::from_index(fam));
+        for attack in structural_attacks(seed) {
+            let crafted = attack.craft(&original, craft_seed).expect("craft");
+            if let Err(v) = validate(attack.as_ref(), &crafted, None, craft_seed) {
+                panic!("{} crafted an invalid sample: {v}", attack.name());
+            }
+            let again = attack.craft(&original, craft_seed).expect("re-craft");
+            prop_assert_eq!(
+                crafted.sample().binary().to_bytes(),
+                again.sample().binary().to_bytes(),
+                "{} is not seed-deterministic", attack.name()
+            );
+        }
+    }
+}
+
+/// GEA through the `Attack` trait is the paper's attack, byte for byte:
+/// on the seed corpus, every (target, out-of-class original) pair crafts
+/// exactly what a direct `soteria_gea::gea_merge` produces.
+#[test]
+fn gea_via_trait_matches_gea_merge_on_the_seed_corpus() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: [6, 6, 6, 6],
+        seed: 123,
+        av_noise: false,
+        lineages: 3,
+    });
+    let selection = TargetSelection::select(&corpus);
+    for target in selection.targets() {
+        let target_sample = selection.sample(&corpus, target);
+        let attack = GeaAttack::new(target_sample, target.size);
+        for original in corpus
+            .samples()
+            .iter()
+            .filter(|s| s.family() != target.family)
+            .take(4)
+        {
+            let via_trait = attack.craft(original, 0).expect("craft");
+            let direct = gea_merge(original, target_sample).expect("merge");
+            assert_eq!(
+                via_trait.sample().binary().to_bytes(),
+                direct.sample().binary().to_bytes(),
+                "GEA trait wrapper diverged from gea_merge for target {} {}",
+                target.family,
+                target.size
+            );
+        }
+    }
+}
+
+/// Batch crafting is bit-identical to the sequential loop at 1, 2, and 8
+/// pool threads — three genuinely different worker counts within one
+/// process (the pool only grows, so the sequence must stay ascending).
+#[test]
+fn craft_batch_is_pool_size_invariant() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: [3, 3, 3, 3],
+        seed: 9,
+        av_noise: false,
+        lineages: 3,
+    });
+    let originals: Vec<&Sample> = corpus.samples().iter().collect();
+    let attack = SubCfgInjection::reachable(3);
+    let master = 0xBEEF;
+    let sequential: Vec<Vec<u8>> = originals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            attack
+                .craft(s, batch_seed(master, i as u64))
+                .expect("craft")
+                .sample()
+                .binary()
+                .to_bytes()
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        soteria_pool::ensure_threads(threads);
+        let batch: Vec<Vec<u8>> = craft_batch(&attack, &originals, master)
+            .into_iter()
+            .map(|r| r.expect("craft").sample().binary().to_bytes())
+            .collect();
+        assert_eq!(
+            batch, sequential,
+            "craft_batch diverged from the sequential loop at pool size {threads}"
+        );
+    }
+}
+
+/// The model-aware attacks (mimicry, detector-aware adaptive) stay within
+/// their declared edit budgets, project into the trained vocabulary, and
+/// are seed-deterministic.
+#[test]
+fn model_aware_attacks_respect_budgets_and_stay_in_vocabulary() {
+    let mut gen = SampleGenerator::new(31);
+    let originals: Vec<Sample> = (0..3).map(|_| gen.generate(Family::Mirai)).collect();
+    let target = gen.generate(Family::Benign);
+    let graphs: Vec<_> = originals
+        .iter()
+        .chain(std::iter::once(&target))
+        .map(|s| s.graph().clone())
+        .collect();
+    let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &graphs, 5);
+    let features: Vec<Vec<f64>> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| extractor.extract(g, i as u64).combined().to_vec())
+        .collect();
+    let detector = AeDetector::train(
+        &DetectorConfig {
+            epochs: 2,
+            ..SoteriaConfig::tiny().detector
+        },
+        &features,
+        9,
+    );
+    let centroid = vec![0.0; extractor.combined_dim()];
+
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(FeatureMimicry::new(&extractor, centroid, Family::Benign, 3)),
+        Box::new(AdaptiveAttack::new(
+            &target,
+            SizeClass::Small,
+            &extractor,
+            &detector,
+            3,
+        )),
+    ];
+    for attack in &attacks {
+        for (i, original) in originals.iter().enumerate() {
+            let seed = 100 + i as u64;
+            let crafted = attack.craft(original, seed).expect("craft");
+            if let Err(v) = validate(attack.as_ref(), &crafted, Some(&extractor), seed) {
+                panic!("{} crafted an invalid sample: {v}", attack.name());
+            }
+            let budget = attack.budget().expect("model-aware attacks are budgeted");
+            assert!(
+                crafted.cost().refinement_edits <= budget,
+                "{} spent {} edits with budget {budget}",
+                attack.name(),
+                crafted.cost().refinement_edits
+            );
+            let again = attack.craft(original, seed).expect("re-craft");
+            assert_eq!(
+                crafted.sample().binary().to_bytes(),
+                again.sample().binary().to_bytes(),
+                "{} is not seed-deterministic",
+                attack.name()
+            );
+        }
+    }
+}

@@ -165,6 +165,156 @@ fn extraction_stage_matches_committed_golden_vectors() {
     );
 }
 
+/// Per-attack crafted-binary fixture (`tests/fixtures/golden_attacks.json`):
+/// for a fixed corpus seed and craft seed, the CRC-32 of each zoo attack's
+/// crafted binary bytes plus its lifted node/edge counts. Any drift in an
+/// attack's crafting — merge layout, injection site choice, greedy edit
+/// search, probe seeding — fails loudly; bless intentional changes with
+/// `SOTERIA_BLESS=1 cargo test --test golden_vectors`.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct AttackFixture {
+    corpus_seed: u64,
+    craft_seed: u64,
+    attacks: Vec<AttackGolden>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct AttackGolden {
+    name: String,
+    binary_crc32: u32,
+    nodes: usize,
+    edges: usize,
+}
+
+fn attack_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_attacks.json")
+}
+
+fn compute_current_attacks() -> AttackFixture {
+    use soteria::{AeDetector, DetectorConfig, SoteriaConfig};
+    use soteria_attacks::{
+        AdaptiveAttack, Attack, BlockSplit, FeatureMimicry, GeaAttack, LowDensityInsert, Obfuscate,
+        SubCfgInjection,
+    };
+    use soteria_gea::SizeClass;
+
+    const CRAFT_SEED: u64 = 41;
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: [4, 4, 4, 4],
+        seed: CORPUS_SEED,
+        av_noise: false,
+        lineages: 3,
+    });
+    let original = corpus
+        .samples()
+        .iter()
+        .find(|s| s.family() == soteria_corpus::Family::Mirai)
+        .expect("corpus has mirai samples")
+        .clone();
+    let target = corpus
+        .samples()
+        .iter()
+        .find(|s| s.family() == soteria_corpus::Family::Benign)
+        .expect("corpus has benign samples")
+        .clone();
+
+    // A small trained vocabulary + detector so the model-aware attacks are
+    // pinned too (training is deterministic under these seeds).
+    let graphs: Vec<_> = corpus.samples().iter().map(|s| s.graph().clone()).collect();
+    let extractor = FeatureExtractor::fit(&ExtractorConfig::small(), &graphs, EXTRACTOR_SEED);
+    let features: Vec<Vec<f64>> = graphs
+        .iter()
+        .take(8)
+        .enumerate()
+        .map(|(i, g)| extractor.extract(g, i as u64).combined().to_vec())
+        .collect();
+    let detector = AeDetector::train(
+        &DetectorConfig {
+            epochs: 2,
+            ..SoteriaConfig::tiny().detector
+        },
+        &features,
+        9,
+    );
+    let centroid = vec![0.0; extractor.combined_dim()];
+
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(GeaAttack::new(&target, SizeClass::Medium)),
+        Box::new(SubCfgInjection::reachable(3)),
+        Box::new(SubCfgInjection::unreachable(4)),
+        Box::new(LowDensityInsert),
+        Box::new(BlockSplit::new(2)),
+        Box::new(Obfuscate::new(0.3)),
+        Box::new(FeatureMimicry::new(
+            &extractor,
+            centroid,
+            soteria_corpus::Family::Benign,
+            3,
+        )),
+        Box::new(AdaptiveAttack::new(
+            &target,
+            SizeClass::Medium,
+            &extractor,
+            &detector,
+            3,
+        )),
+    ];
+
+    let attacks = attacks
+        .iter()
+        .map(|attack| {
+            let crafted = attack.craft(&original, CRAFT_SEED).expect("craft");
+            let g = crafted.sample().graph();
+            AttackGolden {
+                name: attack.name(),
+                binary_crc32: crc32(&crafted.sample().binary().to_bytes()),
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+            }
+        })
+        .collect();
+
+    AttackFixture {
+        corpus_seed: CORPUS_SEED,
+        craft_seed: CRAFT_SEED,
+        attacks,
+    }
+}
+
+#[test]
+fn attack_zoo_matches_committed_golden_fixtures() {
+    let current = compute_current_attacks();
+    let path = attack_fixture_path();
+
+    if std::env::var("SOTERIA_BLESS").is_ok() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize fixture");
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        eprintln!("blessed attack fixture at {}", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing attack fixture {} ({e}); generate it with \
+             `SOTERIA_BLESS=1 cargo test --test golden_vectors`",
+            path.display()
+        )
+    });
+    let recorded: AttackFixture = serde_json::from_str(&raw).expect("parse attack fixture");
+
+    assert_eq!(
+        recorded,
+        current,
+        "ATTACK ZOO DRIFT: an attack no longer reproduces the committed \
+         crafted binaries in {}. Crafting must be a pure function of \
+         (attack parameters, original bytes, seed); if this drift is \
+         intentional, re-bless with `SOTERIA_BLESS=1 cargo test --test \
+         golden_vectors` and explain it in the commit message.",
+        attack_fixture_path().display()
+    );
+}
+
 fn compute_current() -> GoldenFixture {
     let corpus = Corpus::generate(&CorpusConfig {
         counts: [8, 8, 8, 8],
