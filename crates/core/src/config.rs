@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use soteria_features::ExtractorConfig;
+use soteria_nn::Backend;
 use soteria_resilience::ResourceGuards;
 
 /// Auto-encoder detector hyperparameters.
@@ -71,6 +72,13 @@ pub struct SoteriaConfig {
     /// before this field existed (serde default).
     #[serde(default)]
     pub guards: ResourceGuards,
+    /// Inference compute backend. [`Backend::F32`] is the reference path,
+    /// bit-identical to the training-time model; [`Backend::Int8`] runs
+    /// the quantized inference path (calibrated at the end of training, or
+    /// via [`Soteria::quantize`](crate::Soteria::quantize)). Absent from
+    /// configs saved before this field existed (serde default = f32).
+    #[serde(default)]
+    pub backend: Backend,
 }
 
 impl SoteriaConfig {
@@ -99,6 +107,7 @@ impl SoteriaConfig {
             },
             classes: 4,
             guards: ResourceGuards::default(),
+            backend: Backend::F32,
         }
     }
 
@@ -135,6 +144,7 @@ impl SoteriaConfig {
             },
             classes: 4,
             guards: ResourceGuards::default(),
+            backend: Backend::F32,
         }
     }
 
@@ -167,6 +177,7 @@ impl SoteriaConfig {
             },
             classes: 4,
             guards: ResourceGuards::default(),
+            backend: Backend::F32,
         }
     }
 }

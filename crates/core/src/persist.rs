@@ -27,6 +27,7 @@ use crate::pipeline::Soteria;
 use serde::{Deserialize, Serialize};
 use soteria_features::FeatureExtractor;
 use soteria_nn::persist::{spec_of, ModelSpec};
+use soteria_nn::{Backend, QuantizedModel};
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
@@ -145,6 +146,16 @@ pub struct SoteriaState {
     pub dbl_cnn: ModelSpec,
     /// The LBL CNN weights.
     pub lbl_cnn: ModelSpec,
+    /// Calibrated int8 auto-encoder, if the system was quantized. Absent
+    /// from states saved before the int8 path existed (serde default).
+    #[serde(default)]
+    pub detector_quant: Option<QuantizedModel>,
+    /// Calibrated int8 DBL CNN, if quantized.
+    #[serde(default)]
+    pub dbl_quant: Option<QuantizedModel>,
+    /// Calibrated int8 LBL CNN, if quantized.
+    #[serde(default)]
+    pub lbl_quant: Option<QuantizedModel>,
 }
 
 impl SoteriaState {
@@ -237,23 +248,39 @@ impl Soteria {
             detector_stats: self.detector_ref().stats(),
             dbl_cnn: spec_of(self.classifier_ref().dbl_model())?,
             lbl_cnn: spec_of(self.classifier_ref().lbl_model())?,
+            detector_quant: self.detector_ref().quantized().cloned(),
+            dbl_quant: self.classifier_ref().quantized().0.cloned(),
+            lbl_quant: self.classifier_ref().quantized().1.cloned(),
         })
     }
 
-    /// Restores a system from saved state.
+    /// Restores a system from saved state, including any calibrated int8
+    /// weights. If the saved config selects [`Backend::Int8`] but the
+    /// quantized weights are missing (e.g. a hand-edited config), the
+    /// system falls back to [`Backend::F32`] and records
+    /// `persist.backend.int8_fallback` in telemetry rather than failing.
     pub fn from_state(state: SoteriaState) -> Self {
-        let detector = AeDetector::from_parts(
+        let mut detector = AeDetector::from_parts(
             state.detector_model.into_sequential(),
             state.detector_stats,
             state.config.detector.clone(),
         );
-        let classifier = FamilyClassifier::from_parts(
+        detector.set_quantized(state.detector_quant);
+        let mut classifier = FamilyClassifier::from_parts(
             state.dbl_cnn.into_sequential(),
             state.lbl_cnn.into_sequential(),
             state.config.classes,
             state.config.classifier.clone(),
         );
-        Soteria::from_parts(state.config, state.extractor, detector, classifier)
+        classifier.set_quantized(state.dbl_quant, state.lbl_quant);
+        let mut config = state.config;
+        let wanted = config.backend;
+        config.backend = Backend::F32;
+        let mut system = Soteria::from_parts(config, state.extractor, detector, classifier);
+        if wanted == Backend::Int8 && system.set_backend(Backend::Int8).is_err() {
+            soteria_telemetry::counter("persist.backend.int8_fallback", 1);
+        }
+        system
     }
 }
 
@@ -295,6 +322,41 @@ mod tests {
                 "verdict mismatch on test sample {i}"
             );
         }
+    }
+
+    #[test]
+    fn quantized_system_round_trips_with_backend_intact() {
+        let (mut original, corpus, test) = small_trained();
+        let features: Vec<soteria_features::SampleFeatures> = test
+            .iter()
+            .map(|&i| original.features(corpus.samples()[i].graph(), i as u64))
+            .collect();
+        original.quantize(&features).expect("quantize");
+        original.set_backend(Backend::Int8).expect("switch");
+
+        let json = original.save_state().unwrap().to_json().unwrap();
+        let mut restored = Soteria::from_state(SoteriaState::from_json(&json).unwrap());
+        assert_eq!(restored.backend(), Backend::Int8);
+        for (i, &idx) in test.iter().enumerate() {
+            let g = corpus.samples()[idx].graph();
+            assert_eq!(
+                restored.analyze(g, i as u64),
+                original.analyze(g, i as u64),
+                "int8 verdict mismatch on test sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_config_without_quant_weights_falls_back_to_f32() {
+        let (original, ..) = small_trained();
+        let mut state = original.save_state().unwrap();
+        // A hand-edited config asking for int8 without calibrated weights
+        // must load (on f32) rather than fail.
+        state.config.backend = Backend::Int8;
+        state.detector_quant = None;
+        let restored = Soteria::from_state(state);
+        assert_eq!(restored.backend(), Backend::F32);
     }
 
     #[test]

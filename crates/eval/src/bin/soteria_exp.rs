@@ -7,6 +7,8 @@
 //! soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp robustness-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
+//!                              [--backend f32|int8]
+//! soteria-exp quant-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
 //! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
 //! soteria-exp serve-smoke [--seed N] [--scale F]
 //! soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]
@@ -58,7 +60,9 @@ fn usage() -> &'static str {
      soteria-exp bench [--seed N] [--scale F] [--out DIR]\n       \
      soteria-exp nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp extract-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
-     soteria-exp robustness-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
+     soteria-exp robustness-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke] \
+     [--backend f32|int8]\n       \
+     soteria-exp quant-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]\n       \
      soteria-exp serve-smoke [--seed N] [--scale F] [--trace F]\n       \
      soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]\n       \
@@ -232,11 +236,24 @@ fn run_bench(argv: &[String]) -> Result<(), String> {
 struct NnBenchReport {
     seed: u64,
     smoke: bool,
-    /// Worker threads in the shared pool (the caller participates too).
-    pool_threads: usize,
+    /// Threads that actually execute work: pool workers plus the calling
+    /// thread. Never 0 — reports written before this rename recorded the
+    /// worker count alone, which read as `"pool_threads": 0` on
+    /// single-core hosts even though one thread was computing.
+    #[serde(default)]
+    effective_threads: usize,
     matmul: Vec<MatmulBench>,
+    /// m=1 row-vector shapes exercising the dedicated gemv fast path (the
+    /// single-sample serving hot path: one feature row through the dense
+    /// stacks).
+    #[serde(default)]
+    gemv: Vec<MatmulBench>,
     conv1d: Conv1dBench,
     classifier: ClassifierBench,
+    /// f32-vs-int8 forward throughput on a detector-like dense stack,
+    /// with both paths' determinism re-checked in-run.
+    #[serde(default)]
+    int8: Option<Int8Bench>,
 }
 
 /// One `matmul` shape: `[m×k]·[k×n]`, best-of-reps wall time.
@@ -272,6 +289,20 @@ struct ClassifierBench {
     final_loss: f32,
 }
 
+/// f32 vs int8 inference throughput on a detector-shaped dense stack.
+#[derive(Debug, Serialize, Deserialize)]
+struct Int8Bench {
+    /// Layer widths of the benched stack, input first.
+    dims: Vec<usize>,
+    /// Batch rows pushed through per forward.
+    rows: usize,
+    reps: usize,
+    f32_rows_per_sec: f64,
+    int8_rows_per_sec: f64,
+    /// int8 / f32 throughput ratio.
+    speedup: f64,
+}
+
 /// `nn-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]` — time
 /// the soteria-nn compute backend in isolation: blocked-GEMM throughput by
 /// shape, im2col Conv1d forward/backward throughput, and epochs/sec of a
@@ -281,7 +312,8 @@ struct ClassifierBench {
 /// hardware-dependent).
 fn run_nn_bench(argv: &[String]) -> Result<(), String> {
     use soteria_nn::{
-        Activation, Conv1d, Dense, Layer, Loss, Matrix, MaxPool1d, Sequential, TrainConfig, Trainer,
+        Activation, Conv1d, Dense, Layer, Loss, Matrix, MaxPool1d, QuantizedModel, Sequential,
+        TrainConfig, Trainer,
     };
 
     let mut seed = 7u64;
@@ -307,7 +339,8 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
         }
     }
 
-    let pool_threads = soteria_nn::backend::warm();
+    soteria_nn::backend::warm();
+    let effective_threads = soteria_pool::effective_threads();
 
     // Deterministic dense filler (no zeros: the zero-skip fast path would
     // flatter the FLOP count).
@@ -336,8 +369,7 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
         ]
     };
     let reps = if smoke { 2 } else { 5 };
-    let mut matmul = Vec::new();
-    for &(m, k, n) in shapes {
+    let time_matmul = |m: usize, k: usize, n: usize, reps: usize| -> MatmulBench {
         let a = Matrix::from_vec(m, k, fill(m * k, seed ^ (m as u64)));
         let b = Matrix::from_vec(k, n, fill(k * n, seed ^ (n as u64)));
         let mut best = f64::INFINITY;
@@ -348,14 +380,32 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
             assert!(c.data()[0].is_finite());
             best = best.min(dt);
         }
-        matmul.push(MatmulBench {
+        MatmulBench {
             m,
             k,
             n,
             reps,
             best_ms: best * 1e3,
             gflops: 2.0 * (m * k * n) as f64 / best / 1e9,
-        });
+        }
+    };
+    let mut matmul = Vec::new();
+    for &(m, k, n) in shapes {
+        matmul.push(time_matmul(m, k, n, reps));
+    }
+
+    // gemv regression guard: the m=1 dispatch is its own kernel (the
+    // single-request serving path), so it gets its own shapes — a
+    // regression here would hide inside the batched numbers above.
+    let gemv_shapes: &[(usize, usize)] = if smoke {
+        &[(256, 256)]
+    } else {
+        &[(1000, 2000), (2000, 3000), (512, 512)]
+    };
+    let gemv_reps = if smoke { 4 } else { 20 };
+    let mut gemv = Vec::new();
+    for &(k, n) in gemv_shapes {
+        gemv.push(time_matmul(1, k, n, gemv_reps));
     }
 
     // Conv1d on a classifier-like shape (the paper's CNN runs 64-channel
@@ -433,25 +483,100 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
         final_loss: history.final_loss(),
     };
 
+    // Both-backend coverage: a detector-shaped dense stack through the f32
+    // reference path and the int8 quantized path. Each path's determinism
+    // is re-checked in-run (forward twice, compare bit patterns) — a
+    // mismatch is a hard failure, not a note, because it means the
+    // committed golden vectors no longer pin anything.
+    let dims: Vec<usize> = if smoke {
+        vec![256, 384, 256]
+    } else {
+        vec![1000, 2000, 3000, 2000, 1000]
+    };
+    let rows = if smoke { 32 } else { 128 };
+    let int8_reps = if smoke { 3 } else { 10 };
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    for w in dims.windows(2) {
+        let last = w[1] == *dims.last().expect("dims non-empty");
+        layers.push(Box::new(Dense::new(
+            w[0],
+            w[1],
+            if last {
+                Activation::Linear
+            } else {
+                Activation::Relu
+            },
+            seed ^ (w[1] as u64),
+        )));
+    }
+    let mut stack = Sequential::new(layers);
+    let calib = Matrix::from_vec(rows, dims[0], fill(rows * dims[0], seed ^ 0xCA11));
+    let quantized = QuantizedModel::from_model(&stack, &calib)
+        .map_err(|e| format!("nn-bench: quantizing the dense stack failed: {e}"))?;
+    let x = Matrix::from_vec(rows, dims[0], fill(rows * dims[0], seed ^ 0x18));
+    let bits = |m: &Matrix| -> Vec<u32> { m.data().iter().map(|v| v.to_bits()).collect() };
+    let mut f32_best = f64::INFINITY;
+    let mut int8_best = f64::INFINITY;
+    let f32_ref = stack.predict(&x);
+    let int8_ref = quantized.forward(&x);
+    for _ in 0..int8_reps {
+        let t = std::time::Instant::now();
+        let y = stack.predict(&x);
+        f32_best = f32_best.min(t.elapsed().as_secs_f64());
+        if bits(&y) != bits(&f32_ref) {
+            return Err(
+                "nn-bench: f32 bit-identity drift — repeated forward passes over the \
+                        same input disagree; the reference path must be deterministic"
+                    .into(),
+            );
+        }
+        let t = std::time::Instant::now();
+        let y = quantized.forward(&x);
+        int8_best = int8_best.min(t.elapsed().as_secs_f64());
+        if bits(&y) != bits(&int8_ref) {
+            return Err(
+                "nn-bench: int8 determinism drift — repeated quantized forward passes \
+                        over the same input disagree; see DESIGN.md §9"
+                    .into(),
+            );
+        }
+    }
+    let int8 = Int8Bench {
+        dims,
+        rows,
+        reps: int8_reps,
+        f32_rows_per_sec: rows as f64 / f32_best,
+        int8_rows_per_sec: rows as f64 / int8_best,
+        speedup: f32_best / int8_best,
+    };
+
     let report = NnBenchReport {
         seed,
         smoke,
-        pool_threads,
+        effective_threads,
         matmul,
+        gemv,
         conv1d,
         classifier,
+        int8: Some(int8),
     };
 
     println!(
-        "nn-bench (seed {seed}{}, {} pool threads):",
+        "nn-bench (seed {seed}{}, {} effective threads):",
         if smoke { ", smoke" } else { "" },
-        report.pool_threads
+        report.effective_threads
     );
     println!("  matmul         m      k      n   best ms   GFLOP/s");
-    for mm in &report.matmul {
+    for mm in report.matmul.iter().chain(&report.gemv) {
         println!(
             "         {:>7} {:>6} {:>6} {:>9.2} {:>9.2}",
             mm.m, mm.k, mm.n, mm.best_ms, mm.gflops
+        );
+    }
+    if let Some(q) = &report.int8 {
+        println!(
+            "  int8    dense {:?} x {} rows  f32 {:>9.0} rows/s  int8 {:>9.0} rows/s  ({:.2}x)",
+            q.dims, q.rows, q.f32_rows_per_sec, q.int8_rows_per_sec, q.speedup
         );
     }
     println!(
@@ -478,10 +603,11 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
             .and_then(|s| serde_json::from_str::<NnBenchReport>(&s).map_err(|e| e.to_string()))
         {
             Ok(committed) => {
-                for old in &committed.matmul {
+                for old in committed.matmul.iter().chain(&committed.gemv) {
                     let Some(new) = report
                         .matmul
                         .iter()
+                        .chain(&report.gemv)
                         .find(|b| (b.m, b.k, b.n) == (old.m, old.k, old.n))
                     else {
                         continue;
@@ -522,8 +648,10 @@ fn run_nn_bench(argv: &[String]) -> Result<(), String> {
 struct ExtractBenchReport {
     seed: u64,
     smoke: bool,
-    /// Worker threads in the shared pool during the fast-path runs.
-    pool_threads: usize,
+    /// Threads that actually execute work during the fast-path runs:
+    /// pool workers plus the calling thread (never 0).
+    #[serde(default)]
+    effective_threads: usize,
     samples: usize,
     avg_nodes: f64,
     top_k: usize,
@@ -580,7 +708,7 @@ fn run_extract_bench(argv: &[String]) -> Result<(), String> {
     // must produce the same bytes at any size (the pool only grows, so
     // this also covers every smaller size for later subcommands).
     soteria_pool::ensure_threads(8);
-    let pool_threads = soteria_pool::pool_threads();
+    let effective_threads = soteria_pool::effective_threads();
 
     let corpus = Corpus::generate(&CorpusConfig {
         counts: if smoke { [3, 3, 3, 3] } else { [8, 8, 8, 8] },
@@ -645,7 +773,7 @@ fn run_extract_bench(argv: &[String]) -> Result<(), String> {
     let report = ExtractBenchReport {
         seed,
         smoke,
-        pool_threads,
+        effective_threads,
         samples: graphs.len(),
         avg_nodes,
         top_k: config.top_k,
@@ -659,9 +787,9 @@ fn run_extract_bench(argv: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "extract-bench (seed {seed}{}, {} pool threads): {} samples, avg {:.1} nodes, top_k {}",
+        "extract-bench (seed {seed}{}, {} effective threads): {} samples, avg {:.1} nodes, top_k {}",
         if smoke { ", smoke" } else { "" },
-        report.pool_threads,
+        report.effective_threads,
         report.samples,
         report.avg_nodes,
         report.top_k,
@@ -739,7 +867,13 @@ struct RobustnessCell {
 struct RobustnessBenchReport {
     seed: u64,
     smoke: bool,
-    pool_threads: usize,
+    /// Inference backend the matrix was screened under (`f32` or `int8`).
+    /// Baseline floors only compare within the same backend.
+    #[serde(default)]
+    backend: String,
+    /// Pool workers plus the calling thread (never 0).
+    #[serde(default)]
+    effective_threads: usize,
     corpus_samples: usize,
     train_samples: usize,
     test_samples: usize,
@@ -762,6 +896,7 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
     let mut out = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
     let mut smoke = false;
+    let mut backend = soteria::Backend::F32;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -777,6 +912,13 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
                 baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
             }
             "--smoke" => smoke = true,
+            "--backend" => {
+                backend = it
+                    .next()
+                    .ok_or("--backend needs a value")?
+                    .parse()
+                    .map_err(|e: String| format!("bad backend: {e}"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown robustness-bench flag {other}\n{}",
@@ -789,7 +931,7 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
     // Pin the pool: crafting and screening are bit-identical at any size
     // (enforced by tests/attack_validity.rs), so this only fixes timing.
     soteria_pool::ensure_threads(8);
-    let pool_threads = soteria_pool::pool_threads();
+    let effective_threads = soteria_pool::effective_threads();
 
     let corpus = Corpus::generate(&CorpusConfig {
         counts: if smoke {
@@ -802,7 +944,9 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
         lineages: 3,
     });
     let split = corpus.split(0.8, seed ^ 0x5917);
-    let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+    let mut config = SoteriaConfig::tiny();
+    config.backend = backend;
+    let mut soteria = Soteria::train(&config, &corpus, &split.train, seed)
         .map_err(|e| format!("robustness-bench: training failed: {e}"))?;
     let threshold = soteria.detector_mut().stats().threshold();
     let extractor = soteria.extractor().clone();
@@ -953,7 +1097,8 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
     let report = RobustnessBenchReport {
         seed,
         smoke,
-        pool_threads,
+        backend: backend.to_string(),
+        effective_threads,
         corpus_samples: corpus.samples().len(),
         train_samples: split.train.len(),
         test_samples: split.test.len(),
@@ -964,10 +1109,11 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "robustness-bench (seed {seed}{}, {} pool threads): {} attack families, {} cells, \
-         {} crafted samples, threshold {:.4}",
+        "robustness-bench (seed {seed}{}, backend {}, {} effective threads): {} attack \
+         families, {} cells, {} crafted samples, threshold {:.4}",
         if smoke { ", smoke" } else { "" },
-        report.pool_threads,
+        report.backend,
+        report.effective_threads,
         report.attack_families,
         report.cells.len(),
         total_crafted,
@@ -1000,7 +1146,11 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
             .and_then(|s| {
                 serde_json::from_str::<RobustnessBenchReport>(&s).map_err(|e| e.to_string())
             }) {
-            Ok(committed) if committed.smoke == report.smoke && committed.seed == report.seed => {
+            Ok(committed)
+                if committed.smoke == report.smoke
+                    && committed.seed == report.seed
+                    && committed.backend == report.backend =>
+            {
                 // The run is fully deterministic under (seed, smoke), so the
                 // committed detection rates are a floor, not a noisy estimate:
                 // any drop is a real robustness regression and fails the gate.
@@ -1038,13 +1188,15 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
                 );
             }
             Ok(committed) => eprintln!(
-                "note: baseline {} was recorded with seed {} smoke {}, this run is seed {} \
-                 smoke {} — floor not comparable, skipping",
+                "note: baseline {} was recorded with seed {} smoke {} backend '{}', this run \
+                 is seed {} smoke {} backend '{}' — floor not comparable, skipping",
                 path.display(),
                 committed.seed,
                 committed.smoke,
+                committed.backend,
                 report.seed,
-                report.smoke
+                report.smoke,
+                report.backend
             ),
             Err(e) => eprintln!(
                 "note: cannot compare against baseline {}: {e}",
@@ -1061,11 +1213,427 @@ fn run_robustness_bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// f32-vs-int8 accuracy delta and calibration report, serialized to
+/// `BENCH_quant.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct QuantBenchReport {
+    seed: u64,
+    smoke: bool,
+    /// Pool workers plus the calling thread (never 0).
+    effective_threads: usize,
+    /// Detector threshold (μ + α·σ) of the trained pipeline (shared by
+    /// both backends — quantization never moves the committed threshold).
+    threshold: f64,
+    /// Clean held-out samples screened under both backends.
+    clean_samples: usize,
+    /// Fraction of clean samples whose verdicts agree across backends.
+    clean_agreement: f64,
+    /// Clean false-positive (flagged-adversarial) rate per backend.
+    clean_fp_f32: f64,
+    clean_fp_int8: f64,
+    /// Detector batch-screening throughput over the clean feature rows.
+    f32_rows_per_sec: f64,
+    int8_rows_per_sec: f64,
+    /// Detection rate pooled over every attack-matrix cell, per backend.
+    overall_f32: f64,
+    overall_int8: f64,
+    /// Largest |int8 − f32| detection-rate delta across the cells. The
+    /// gate: exceeding [`QUANT_DELTA_BUDGET`] fails the command.
+    max_detection_delta: f64,
+    cells: Vec<QuantCell>,
+    /// Per-layer calibration (activation scale, weight-scale range) for
+    /// each quantized model.
+    calibration: Vec<QuantModelScales>,
+}
+
+/// One attack-matrix cell screened under both backends.
+#[derive(Debug, Serialize, Deserialize)]
+struct QuantCell {
+    kind: String,
+    name: String,
+    strength: String,
+    direction: String,
+    crafted: usize,
+    detected_f32: usize,
+    detected_int8: usize,
+    rate_f32: f64,
+    rate_int8: f64,
+    /// `rate_int8 − rate_f32` (signed; the gate bounds its magnitude).
+    delta: f64,
+}
+
+/// Committed calibration summary of one quantized model.
+#[derive(Debug, Serialize, Deserialize)]
+struct QuantModelScales {
+    model: String,
+    layers: Vec<soteria_nn::QuantLayerReport>,
+}
+
+/// Maximum tolerated |detection-rate delta| between the int8 and f32
+/// backends on any attack-matrix cell: half a percentage point.
+const QUANT_DELTA_BUDGET: f64 = 0.005;
+
+/// `quant-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]` —
+/// train the pipeline once, quantize it, and screen the same clean split
+/// and attack matrix under both backends. HARD-FAILS if any cell's
+/// detection-rate delta exceeds [`QUANT_DELTA_BUDGET`] — the int8 path is
+/// only shippable while it detects what the f32 path detects. Also
+/// records the per-layer calibration scales and both backends' detector
+/// throughput. With `--baseline PATH`, drift against a committed report
+/// is *noted* (throughput is hardware-bound; the delta gate is absolute).
+fn run_quant_bench(argv: &[String]) -> Result<(), String> {
+    use soteria::{AeDetector, Backend};
+    use soteria_attacks::{batch_seed, craft_batch, standard_zoo, ZooBuild};
+    use soteria_corpus::corpus::Sample;
+    use soteria_gea::TargetSelection;
+
+    let mut seed = 7u64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown quant-bench flag {other}\n{}", usage())),
+        }
+    }
+
+    soteria_pool::ensure_threads(8);
+    let effective_threads = soteria_pool::effective_threads();
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: if smoke {
+            [6, 6, 6, 6]
+        } else {
+            [16, 16, 16, 16]
+        },
+        seed,
+        av_noise: false,
+        lineages: 3,
+    });
+    let split = corpus.split(0.8, seed ^ 0x5917);
+    let mut soteria = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, seed)
+        .map_err(|e| format!("quant-bench: training failed: {e}"))?;
+    let threshold = soteria.detector_mut().stats().threshold();
+    let extractor = soteria.extractor().clone();
+
+    // Calibrate on the training split — the same data the committed
+    // train-time quantization stage sees.
+    let train_graphs: Vec<&Cfg> = split
+        .train
+        .iter()
+        .map(|&i| corpus.samples()[i].graph())
+        .collect();
+    let calib = extractor.extract_batch(&train_graphs, seed ^ 0xCA11);
+    soteria
+        .quantize(&calib)
+        .map_err(|e| format!("quant-bench: quantization failed: {e}"))?;
+    let calibration = {
+        let det = soteria
+            .detector_mut()
+            .quantized()
+            .expect("just quantized")
+            .report();
+        let (dbl, lbl) = soteria.classifier_ref().quantized();
+        vec![
+            QuantModelScales {
+                model: "detector".into(),
+                layers: det,
+            },
+            QuantModelScales {
+                model: "classifier_dbl".into(),
+                layers: dbl.expect("just quantized").report(),
+            },
+            QuantModelScales {
+                model: "classifier_lbl".into(),
+                layers: lbl.expect("just quantized").report(),
+            },
+        ]
+    };
+
+    // Clean split: identical features + walk seeds through both backends.
+    let clean_feats: Vec<_> = split
+        .test
+        .iter()
+        .enumerate()
+        .map(|(i, &idx)| soteria.features(corpus.samples()[idx].graph(), 9_000 + i as u64))
+        .collect();
+    let mut clean_verdicts: Vec<Vec<Verdict>> = Vec::new();
+    let mut throughput = [0.0f64; 2];
+    for (bi, backend) in [Backend::F32, Backend::Int8].into_iter().enumerate() {
+        soteria
+            .set_backend(backend)
+            .map_err(|e| format!("quant-bench: cannot select {backend}: {e}"))?;
+        clean_verdicts.push(
+            clean_feats
+                .iter()
+                .map(|f| soteria.analyze_features(f))
+                .collect(),
+        );
+        let rows: Vec<&[f64]> = clean_feats.iter().map(|f| f.combined()).collect();
+        let mut best = f64::INFINITY;
+        for _ in 0..if smoke { 3 } else { 10 } {
+            let t = std::time::Instant::now();
+            let errors = soteria.detector_mut().reconstruction_errors_of(&rows);
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(errors.len(), rows.len());
+        }
+        throughput[bi] = rows.len() as f64 / best.max(1e-12);
+    }
+    let agreement = clean_verdicts[0]
+        .iter()
+        .zip(&clean_verdicts[1])
+        .filter(|(a, b)| a.is_adversarial() == b.is_adversarial() && a.family() == b.family())
+        .count() as f64
+        / clean_feats.len().max(1) as f64;
+    let fp_rate = |vs: &[Verdict]| {
+        vs.iter().filter(|v| v.is_adversarial()).count() as f64 / vs.len().max(1) as f64
+    };
+
+    // Attack matrix: craft once against the committed f32 detector, then
+    // screen the same crafted samples (same per-sample seeds) under both
+    // backends. Structural validity and craft determinism are
+    // robustness-bench's gates; this command measures the verdict delta.
+    soteria
+        .set_backend(Backend::F32)
+        .map_err(|e| format!("quant-bench: cannot restore f32: {e}"))?;
+    let benign_graphs: Vec<&Cfg> = split
+        .train
+        .iter()
+        .map(|&i| &corpus.samples()[i])
+        .filter(|s| s.family() == soteria_corpus::Family::Benign)
+        .map(|s| s.graph())
+        .collect();
+    let benign_feats = extractor.extract_batch(&benign_graphs, seed ^ 0xCE27);
+    let mut benign_centroid = vec![0.0; extractor.combined_dim()];
+    for f in &benign_feats {
+        for (c, x) in benign_centroid.iter_mut().zip(f.combined()) {
+            *c += x;
+        }
+    }
+    for c in &mut benign_centroid {
+        *c /= benign_feats.len().max(1) as f64;
+    }
+    let selection = TargetSelection::select(&corpus);
+    let zoo = {
+        let detector: &AeDetector = soteria.detector_mut();
+        standard_zoo(&ZooBuild {
+            corpus: &corpus,
+            selection: &selection,
+            extractor: &extractor,
+            detector,
+            benign_centroid,
+        })
+    };
+
+    let cap = if smoke { 6 } else { 12 };
+    let mut crafted_cells = Vec::new();
+    for (ei, entry) in zoo.iter().enumerate() {
+        let originals: Vec<&Sample> = split
+            .test
+            .iter()
+            .map(|&i| &corpus.samples()[i])
+            .filter(|s| entry.direction.applies_to(s.family()))
+            .take(cap)
+            .collect();
+        if originals.is_empty() {
+            continue;
+        }
+        let master = seed ^ (0xA77 + ei as u64 * 1000);
+        let mut crafted = Vec::with_capacity(originals.len());
+        for (i, result) in craft_batch(entry.attack.as_ref(), &originals, master)
+            .into_iter()
+            .enumerate()
+        {
+            crafted.push(result.map_err(|e| {
+                format!(
+                    "quant-bench: {} failed to craft sample {i}: {e}",
+                    entry.attack.name()
+                )
+            })?);
+        }
+        crafted_cells.push((entry, master, crafted));
+    }
+
+    let mut detected = vec![[0usize; 2]; crafted_cells.len()];
+    let mut total = [0usize; 2];
+    let mut total_crafted = 0usize;
+    for (bi, backend) in [Backend::F32, Backend::Int8].into_iter().enumerate() {
+        soteria
+            .set_backend(backend)
+            .map_err(|e| format!("quant-bench: cannot select {backend}: {e}"))?;
+        for (ci, (_, master, crafted)) in crafted_cells.iter().enumerate() {
+            let items: Vec<(&Cfg, u64)> = crafted
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.sample().graph(), batch_seed(*master, i as u64)))
+                .collect();
+            let verdicts = soteria.analyze_graphs_seeded(&items);
+            let hits = verdicts.iter().filter(|v| v.is_adversarial()).count();
+            detected[ci][bi] = hits;
+            total[bi] += hits;
+            if bi == 0 {
+                total_crafted += crafted.len();
+            }
+        }
+    }
+
+    let cells: Vec<QuantCell> = crafted_cells
+        .iter()
+        .enumerate()
+        .map(|(ci, (entry, _, crafted))| {
+            let n = crafted.len() as f64;
+            let rate_f32 = detected[ci][0] as f64 / n;
+            let rate_int8 = detected[ci][1] as f64 / n;
+            QuantCell {
+                kind: entry.kind.to_string(),
+                name: entry.attack.name(),
+                strength: entry.strength.clone(),
+                direction: entry.direction.to_string(),
+                crafted: crafted.len(),
+                detected_f32: detected[ci][0],
+                detected_int8: detected[ci][1],
+                rate_f32,
+                rate_int8,
+                delta: rate_int8 - rate_f32,
+            }
+        })
+        .collect();
+    let max_detection_delta = cells.iter().map(|c| c.delta.abs()).fold(0.0, f64::max);
+
+    let report = QuantBenchReport {
+        seed,
+        smoke,
+        effective_threads,
+        threshold,
+        clean_samples: clean_feats.len(),
+        clean_agreement: agreement,
+        clean_fp_f32: fp_rate(&clean_verdicts[0]),
+        clean_fp_int8: fp_rate(&clean_verdicts[1]),
+        f32_rows_per_sec: throughput[0],
+        int8_rows_per_sec: throughput[1],
+        overall_f32: total[0] as f64 / total_crafted.max(1) as f64,
+        overall_int8: total[1] as f64 / total_crafted.max(1) as f64,
+        max_detection_delta,
+        cells,
+        calibration,
+    };
+
+    println!(
+        "quant-bench (seed {seed}{}, {} effective threads): {} clean samples, {} cells, \
+         {} crafted samples",
+        if smoke { ", smoke" } else { "" },
+        report.effective_threads,
+        report.clean_samples,
+        report.cells.len(),
+        total_crafted,
+    );
+    println!(
+        "  clean: agreement {:.0}%  fp f32 {:.1}%  fp int8 {:.1}%  detector {:.0} rows/s f32, \
+         {:.0} rows/s int8",
+        report.clean_agreement * 100.0,
+        report.clean_fp_f32 * 100.0,
+        report.clean_fp_int8 * 100.0,
+        report.f32_rows_per_sec,
+        report.int8_rows_per_sec,
+    );
+    println!(
+        "  {:<28} {:<12} {:>7} {:>9} {:>9} {:>8}",
+        "attack", "direction", "crafted", "f32-rate", "int8-rate", "delta"
+    );
+    for c in &report.cells {
+        println!(
+            "  {:<28} {:<12} {:>7} {:>8.0}% {:>8.0}% {:>+7.1}%",
+            c.name,
+            c.direction,
+            c.crafted,
+            c.rate_f32 * 100.0,
+            c.rate_int8 * 100.0,
+            c.delta * 100.0,
+        );
+    }
+    println!(
+        "  overall detection f32 {:.1}%  int8 {:.1}%  max |delta| {:.2}% (budget {:.2}%)",
+        report.overall_f32 * 100.0,
+        report.overall_int8 * 100.0,
+        report.max_detection_delta * 100.0,
+        QUANT_DELTA_BUDGET * 100.0,
+    );
+
+    if max_detection_delta > QUANT_DELTA_BUDGET {
+        let worst = report
+            .cells
+            .iter()
+            .max_by(|a, b| a.delta.abs().total_cmp(&b.delta.abs()))
+            .expect("cells non-empty when delta > 0");
+        return Err(format!(
+            "quant-bench: int8 detection-rate delta {:.3} on {} ({}) exceeds the {:.3} budget \
+             — the quantized path no longer detects what the f32 path detects",
+            worst.delta.abs(),
+            worst.name,
+            worst.direction,
+            QUANT_DELTA_BUDGET
+        ));
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<QuantBenchReport>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(committed) if committed.smoke == report.smoke && committed.seed == report.seed => {
+                if report.max_detection_delta > committed.max_detection_delta + 1e-9 {
+                    eprintln!(
+                        "note: quant-bench drift: max |delta| {:.3} vs committed {:.3} — still \
+                         inside the budget, refresh results/BENCH_quant.json if intentional",
+                        report.max_detection_delta, committed.max_detection_delta
+                    );
+                }
+            }
+            Ok(committed) => eprintln!(
+                "note: baseline {} was recorded with seed {} smoke {}, this run is seed {} \
+                 smoke {} — not comparable, skipping",
+                path.display(),
+                committed.seed,
+                committed.smoke,
+                report.seed,
+                report.smoke
+            ),
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_quant.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Serving throughput/latency report, serialized to `BENCH_serve.json`.
 #[derive(Debug, Serialize, Deserialize)]
 struct ServeBenchReport {
     seed: u64,
     corpus_scale: f64,
+    /// Pool workers plus the calling thread during the runs (never 0).
+    #[serde(default)]
+    effective_threads: usize,
     requests: usize,
     unique_binaries: usize,
     /// Sequential `screen_binary` replay of the same request list — the
@@ -1323,6 +1891,7 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
     let report = ServeBenchReport {
         seed,
         corpus_scale: scale,
+        effective_threads: soteria_pool::effective_threads(),
         requests: requests.len(),
         unique_binaries: unique.len(),
         sequential,
@@ -1330,8 +1899,9 @@ fn run_serve_bench(argv: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "serve-bench (seed {seed}, scale {scale}, {} requests over {} unique binaries):",
-        report.requests, report.unique_binaries
+        "serve-bench (seed {seed}, scale {scale}, {} effective threads, {} requests over {} \
+         unique binaries):",
+        report.effective_threads, report.requests, report.unique_binaries
     );
     println!("  mode            req/s    p50ms    p95ms    p99ms  hit%  speedup  identical");
     let row = |label: &str, run: &ServeBenchRun| {
@@ -2330,6 +2900,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("robustness-bench") {
         let result = run_robustness_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("quant-bench") {
+        let result = run_quant_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

@@ -28,11 +28,21 @@
 //! submissions (a pooled GEMM inside a pooled pipeline chunk)
 //! deadlock-free by construction.
 
-pub use soteria_pool::{chunk_rows, ensure_threads, pool_threads, run_scoped, warm, ScopedTask};
+pub use soteria_pool::{
+    chunk_rows, effective_threads, ensure_threads, pool_threads, run_scoped, warm, ScopedTask,
+};
+
+use crate::simd;
 
 /// Work threshold (multiply-adds) below which pooled dispatch costs more
 /// than it saves.
 const PAR_THRESHOLD: usize = 1 << 22;
+
+/// Work threshold (multiply-adds) below which the packed SIMD tier's
+/// panel-packing overhead outweighs its throughput win and the scalar
+/// reference kernels run instead. Both sides are bit-identical, so the
+/// crossover is a pure tuning knob.
+const PACK_THRESHOLD: usize = 1 << 13;
 
 /// How many parallel jobs to split `items` independent output units into,
 /// given `work` total multiply-adds: 1 (serial) below the dispatch
@@ -61,6 +71,14 @@ pub(crate) fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if m == 1 {
+        // The single-sample serving shape: a register-tiled row·matrix
+        // kernel that keeps the reference's per-p zero-skip (bit-identical
+        // chains either way).
+        soteria_telemetry::counter("nn.gemm.gemv", 1);
+        simd::gemv(a, b, n, out);
+        return;
+    }
     let work = m.saturating_mul(k).saturating_mul(n);
     let threads = pool_threads();
     if work >= PAR_THRESHOLD && m >= 2 && threads > 0 {
@@ -81,10 +99,25 @@ pub(crate) fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &
     }
 }
 
-/// Serial ikj kernel over `out.len() / n` rows: 4-row blocks, `NB`-wide
-/// column tiles, fused all-nonzero fast path. `a` starts at the first row
-/// of this chunk.
+/// Serial `a·b` over `out.len() / n` rows: dispatches between the packed
+/// SIMD tier ([`crate::simd`]) and the scalar reference by work size.
+/// `a` starts at the first row of this chunk. Both paths are bit-identical
+/// (see the module docs of [`crate::simd`] for the zero-skip lemma).
 fn gemm_nn_serial(a: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    let rows = out.len().checked_div(n).unwrap_or(0);
+    if rows.saturating_mul(k).saturating_mul(n) >= PACK_THRESHOLD {
+        simd::packed_gemm_acc(simd::ASrc::Rows(a), simd::BSrc::Rows(b), k, n, out);
+    } else {
+        gemm_nn_reference(a, b, k, n, out);
+    }
+}
+
+/// The retained scalar `a·b` kernel — the bit-identity oracle for the
+/// packed SIMD tier and the fallback for small shapes: ikj loops, 4-row
+/// blocks, `NB`-wide column tiles, `p`-ascending chains with the `a == 0`
+/// zero-skip. Accumulates into `out` over `out.len() / n` rows; `a`
+/// starts at the first row of this chunk.
+pub fn gemm_nn_reference(a: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
     let rows = out.len() / n;
     let mut i = 0;
     while i + 4 <= rows {
@@ -177,7 +210,35 @@ pub(crate) fn gemm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &
     }
 }
 
-/// Serial `aᵀ·b` over the output rows `[row0, row0 + chunk_rows)`.
+/// Serial `aᵀ·b` over the output rows `[row0, row0 + chunk_rows)`:
+/// dispatches between the packed SIMD tier and the scalar reference by
+/// work size (both bit-identical).
+fn gemm_tn_serial(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row0: usize,
+    out: &mut [f32],
+) {
+    let rows = out.len().checked_div(n).unwrap_or(0);
+    if rows.saturating_mul(k).saturating_mul(n) >= PACK_THRESHOLD {
+        simd::packed_gemm_acc(
+            simd::ASrc::Cols { a, m, row0 },
+            simd::BSrc::Rows(b),
+            k,
+            n,
+            out,
+        );
+    } else {
+        gemm_tn_reference(a, b, m, k, n, row0, out);
+    }
+}
+
+/// The retained scalar `aᵀ·b` kernel over the output rows
+/// `[row0, row0 + chunk_rows)` — the bit-identity oracle for the packed
+/// SIMD tier and the fallback for small shapes.
 ///
 /// For short reductions (small `k`, the training-batch case) each output
 /// row's `NB`-wide tile is carried in a stack accumulator across the whole
@@ -189,7 +250,7 @@ pub(crate) fn gemm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &
 /// `out[r][j]` chain is still `p`-ascending, so the result is bit-identical
 /// to the streaming form, which is kept for long reductions (where
 /// re-reading `b` per output row would thrash the cache).
-fn gemm_tn_serial(
+pub fn gemm_tn_reference(
     a: &[f32],
     b: &[f32],
     m: usize,
@@ -277,13 +338,43 @@ pub(crate) fn gemm_nt(
     }
 }
 
-/// Serial `a·bᵀ` kernel: 8-column (falling back to 4-column) dot blocks
-/// share one streaming pass over the `a` row; the independent per-column
-/// accumulator chains hide FMA latency. `out[i·n+j] = init[i] +
-/// Σ_p a[i·k+p]·b[j·k+p]`, `p` ascending, no zero-skip. The conv layers
-/// call this directly per sample (their parallelism is over samples, not
-/// within one GEMM).
+/// Serial `a·bᵀ` kernel: `out[i·n+j] = init[i] + Σ_p a[i·k+p]·b[j·k+p]`,
+/// `p` ascending, no zero-skip. Dispatches between the packed SIMD tier
+/// (seeding `out` from `init` first, then accumulating — the same chains)
+/// and the scalar reference by work size. The conv layers call this
+/// directly per sample (their parallelism is over samples, not within one
+/// GEMM).
 pub(crate) fn gemm_nt_serial(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    init: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let rows = out.len().checked_div(n).unwrap_or(0);
+    if rows.saturating_mul(k).saturating_mul(n) >= PACK_THRESHOLD {
+        match init {
+            Some(init) => {
+                for (row, &seed) in out.chunks_mut(n).zip(init) {
+                    row.fill(seed);
+                }
+            }
+            None => out.fill(0.0),
+        }
+        simd::packed_gemm_acc(simd::ASrc::Rows(a), simd::BSrc::Cols(b, k), k, n, out);
+    } else {
+        gemm_nt_reference(a, b, k, n, init, out);
+    }
+}
+
+/// The retained scalar `a·bᵀ` kernel — the bit-identity oracle for the
+/// packed SIMD tier and the fallback for small shapes: 8-column (falling
+/// back to 4-column) dot blocks share one streaming pass over the `a`
+/// row; the independent per-column accumulator chains hide FP latency.
+/// `out[i·n+j] = init[i] + Σ_p a[i·k+p]·b[j·k+p]`, `p` ascending, no
+/// zero-skip.
+pub fn gemm_nt_reference(
     a: &[f32],
     b: &[f32],
     k: usize,

@@ -243,6 +243,41 @@ impl Conv1d {
         self.in_channels * self.length
     }
 
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel width (odd).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Signal length per channel.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Whether a ReLU is fused onto the output.
+    pub fn relu(&self) -> bool {
+        self.relu
+    }
+
+    /// The `[out_c × in_c × kernel]` weight tensor, flattened.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The per-output-channel bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
     /// Restores transient buffers after deserialization (serde skips the
     /// gradient/arena fields).
     pub fn rebuild_buffers(&mut self) {

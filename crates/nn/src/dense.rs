@@ -22,7 +22,8 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f32) -> f32 {
+    /// Applies the activation to one pre-activation value.
+    pub(crate) fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Linear => x,
             Activation::Relu => x.max(0.0),
@@ -109,6 +110,21 @@ impl Dense {
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.out_dim
+    }
+
+    /// The `[in_dim × out_dim]` weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The per-output bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The fused activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// Restores transient buffers after deserialization (serde skips the

@@ -53,6 +53,8 @@ pub mod model;
 pub mod optimizer;
 pub mod persist;
 pub mod pool;
+pub mod quant;
+pub mod simd;
 pub mod trainer;
 
 pub use conv::Conv1d;
@@ -65,4 +67,5 @@ pub use matrix::Matrix;
 pub use model::Sequential;
 pub use optimizer::{Adam, Optimizer, OptimizerState, Sgd};
 pub use pool::MaxPool1d;
+pub use quant::{Backend, QuantLayerReport, QuantizedModel};
 pub use trainer::{RngState, TrainConfig, Trainer, TrainerCheckpoint, TrainingHistory};

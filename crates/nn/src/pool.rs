@@ -57,6 +57,21 @@ impl MaxPool1d {
     pub fn in_width(&self) -> usize {
         self.channels * self.length
     }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Signal length per channel.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Pooling window (= stride).
+    pub fn window(&self) -> usize {
+        self.window
+    }
 }
 
 impl Layer for MaxPool1d {

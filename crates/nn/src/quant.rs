@@ -1,0 +1,577 @@
+//! Inference-only int8 quantization for Dense/Conv1d stacks.
+//!
+//! # Scheme
+//!
+//! Per-**output-channel symmetric** weight quantization plus a per-layer
+//! per-tensor activation scale:
+//!
+//! * weight scale `s_w[oc] = maxabs(W[oc]) / 127`, weights stored as `i8`
+//!   in `[-127, 127]` (symmetric, so the zero point is exactly 0 and
+//!   same-padding contributes exact zeros);
+//! * activation scale `s_in = maxabs(layer input over the calibration
+//!   batch) / 127`, committed at quantization time — inference never
+//!   adapts scales;
+//! * inputs are quantized with `clamp(round(x / s_in), -127, 127)`
+//!   (`f32::round`, half away from zero — a total, deterministic
+//!   function);
+//! * accumulation is exact `i32` arithmetic (`≤ 127·127·k ≪ i32::MAX`
+//!   for every shape in this workspace), so results are independent of
+//!   evaluation order by construction;
+//! * dequantization is `acc as f32 · (s_in · s_w[oc]) + bias[oc]` (the
+//!   two scales are multiplied once at quantization time), then the f32
+//!   activation.
+//!
+//! # Determinism contract (DESIGN.md §9)
+//!
+//! The int8 path is **not** bit-identical to the f32 path — it is a
+//! different committed function with its own golden vectors
+//! (`tests/fixtures/golden_quant.json`) and a committed accuracy delta
+//! (`results/BENCH_quant.json`). It *is* fully deterministic: quantized
+//! weights and scales are pure functions of (f32 model, calibration
+//! batch), and inference is integer arithmetic plus exact scalar f32
+//! post-scaling — bit-identical across runs, hosts, and thread counts.
+//!
+//! Calibration runs the **f32** model over a seeded calibration batch and
+//! records each quantizable layer's input max-abs; the forward used for
+//! calibration reuses the same GEMM tier as training, so the recorded
+//! ranges are exactly the activations the f32 model produces.
+
+use crate::conv::Conv1d;
+use crate::dense::{Activation, Dense};
+use crate::dropout::Dropout;
+use crate::matrix::Matrix;
+use crate::model::Sequential;
+use crate::pool::MaxPool1d;
+use serde::{Deserialize, Serialize};
+
+/// Which compute path the pipeline's inference uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Backend {
+    /// The reference f32 path: bit-identical to the training-time model.
+    #[default]
+    F32,
+    /// The quantized int8 inference path (requires calibrated weights).
+    Int8,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::F32 => "f32",
+            Backend::Int8 => "int8",
+        })
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" => Ok(Backend::F32),
+            "int8" => Ok(Backend::Int8),
+            other => Err(format!("unknown backend '{other}' (expected f32 or int8)")),
+        }
+    }
+}
+
+/// `clamp(round(x / scale), -127, 127)` as `i8`. `round` is half away
+/// from zero; the clamp makes the function total (±inf and NaN-free
+/// inputs map into range; NaN would clamp to 127 via the max chain, but
+/// calibrated models never produce it).
+#[inline]
+fn quantize_value(x: f32, inv_scale: f32) -> i8 {
+    let v = (x * inv_scale).round();
+    v.clamp(-127.0, 127.0) as i8
+}
+
+/// Symmetric max-abs scale for a slice: `maxabs / 127`, or 1.0 for an
+/// all-zero slice (any scale represents zeros exactly).
+fn maxabs_scale(values: &[f32]) -> f32 {
+    let maxabs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if maxabs == 0.0 {
+        1.0
+    } else {
+        maxabs / 127.0
+    }
+}
+
+/// One quantized (or pass-through) layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum QLayer {
+    /// `y = act(dequant(xq · Wqᵀ))`.
+    Dense {
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        /// `[out_dim × in_dim]` — transposed from the f32 layout so each
+        /// output's dot product is contiguous.
+        w: Vec<i8>,
+        /// Combined dequantization scale per output: `s_in · s_w[oc]`.
+        scale: Vec<f32>,
+        bias: Vec<f32>,
+        /// `1 / s_in`, applied when quantizing the incoming activations.
+        inv_in_scale: f32,
+    },
+    /// Same-padded stride-1 1-D convolution with fused ReLU.
+    Conv1d {
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        length: usize,
+        relu: bool,
+        /// `[out_c × (in_c·kernel)]`.
+        w: Vec<i8>,
+        /// Combined scale per output channel.
+        scale: Vec<f32>,
+        bias: Vec<f32>,
+        inv_in_scale: f32,
+    },
+    /// Max pooling runs on the dequantized f32 activations unchanged.
+    MaxPool1d {
+        channels: usize,
+        length: usize,
+        window: usize,
+    },
+    /// Dropout at inference.
+    Identity,
+}
+
+/// Per-layer calibration record for the committed quantization report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantLayerReport {
+    /// Layer kind (`dense` / `conv1d` / `maxpool1d` / `identity`).
+    pub kind: String,
+    /// Calibrated activation scale (`maxabs / 127`); 0 for scale-free
+    /// layers.
+    pub in_scale: f64,
+    /// Smallest per-output-channel weight scale; 0 for weight-free layers.
+    pub w_scale_min: f64,
+    /// Largest per-output-channel weight scale; 0 for weight-free layers.
+    pub w_scale_max: f64,
+}
+
+/// A quantized, inference-only copy of a [`Sequential`] stack.
+///
+/// Immutable after construction: `forward` takes `&self`, so one model
+/// serves concurrent requests without locks or per-request clones.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    layers: Vec<QLayer>,
+}
+
+impl QuantizedModel {
+    /// Quantizes `model` using `calib` (a batch of representative input
+    /// rows) to set every layer's activation scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the model contains a layer type the int8
+    /// path does not support (2-D layers), or if `calib` is empty.
+    pub fn from_model(model: &Sequential, calib: &Matrix) -> Result<Self, String> {
+        if calib.rows() == 0 || calib.cols() == 0 {
+            return Err("empty calibration batch".to_string());
+        }
+        let mut layers = Vec::with_capacity(model.len());
+        // The running f32 activations of the calibration batch.
+        let mut cur = calib.clone();
+        for (i, layer) in model.layers().iter().enumerate() {
+            let any = layer.as_any();
+            if let Some(d) = any.downcast_ref::<Dense>() {
+                let (in_dim, out_dim) = (d.in_dim(), d.out_dim());
+                if cur.cols() != in_dim {
+                    return Err(format!("layer {i}: calibration width mismatch"));
+                }
+                let in_scale = maxabs_scale(cur.data());
+                let wm = d.weights(); // [in_dim × out_dim]
+                let mut w = vec![0i8; out_dim * in_dim];
+                let mut scale = vec![0.0f32; out_dim];
+                for oc in 0..out_dim {
+                    let col: Vec<f32> = (0..in_dim).map(|p| wm.get(p, oc)).collect();
+                    let s_w = maxabs_scale(&col);
+                    let inv = 1.0 / s_w;
+                    for (p, &v) in col.iter().enumerate() {
+                        w[oc * in_dim + p] = quantize_value(v, inv);
+                    }
+                    scale[oc] = in_scale * s_w;
+                }
+                layers.push(QLayer::Dense {
+                    in_dim,
+                    out_dim,
+                    activation: d.activation(),
+                    w,
+                    scale,
+                    bias: d.bias().to_vec(),
+                    inv_in_scale: 1.0 / in_scale,
+                });
+                cur = dense_f32(d, &cur);
+            } else if let Some(c) = any.downcast_ref::<Conv1d>() {
+                if cur.cols() != c.in_width() {
+                    return Err(format!("layer {i}: calibration width mismatch"));
+                }
+                let in_scale = maxabs_scale(cur.data());
+                let patch = c.in_channels() * c.kernel();
+                let mut w = vec![0i8; c.out_channels() * patch];
+                let mut scale = vec![0.0f32; c.out_channels()];
+                for oc in 0..c.out_channels() {
+                    let row = &c.weights()[oc * patch..(oc + 1) * patch];
+                    let s_w = maxabs_scale(row);
+                    let inv = 1.0 / s_w;
+                    for (p, &v) in row.iter().enumerate() {
+                        w[oc * patch + p] = quantize_value(v, inv);
+                    }
+                    scale[oc] = in_scale * s_w;
+                }
+                layers.push(QLayer::Conv1d {
+                    in_c: c.in_channels(),
+                    out_c: c.out_channels(),
+                    kernel: c.kernel(),
+                    length: c.length(),
+                    relu: c.relu(),
+                    w,
+                    scale,
+                    bias: c.bias().to_vec(),
+                    inv_in_scale: 1.0 / in_scale,
+                });
+                cur = c.forward_reference(&cur);
+            } else if let Some(p) = any.downcast_ref::<MaxPool1d>() {
+                layers.push(QLayer::MaxPool1d {
+                    channels: p.channels(),
+                    length: p.length(),
+                    window: p.window(),
+                });
+                cur = maxpool_f32(p.channels(), p.length(), p.window(), &cur);
+            } else if any.downcast_ref::<Dropout>().is_some() {
+                layers.push(QLayer::Identity);
+            } else {
+                return Err(format!("layer {i}: unsupported type for int8 inference"));
+            }
+        }
+        Ok(QuantizedModel { layers })
+    }
+
+    /// Runs the quantized stack over a batch of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the first layer's input width.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        let mut xq: Vec<i8> = Vec::new();
+        let mut col: Vec<i8> = Vec::new();
+        for layer in &self.layers {
+            cur = match layer {
+                QLayer::Dense {
+                    in_dim,
+                    out_dim,
+                    activation,
+                    w,
+                    scale,
+                    bias,
+                    inv_in_scale,
+                } => {
+                    assert_eq!(cur.cols(), *in_dim, "quantized dense width mismatch");
+                    let mut out = Matrix::zeros(cur.rows(), *out_dim);
+                    xq.resize(*in_dim, 0);
+                    for r in 0..cur.rows() {
+                        let row = cur.row(r);
+                        for (q, &v) in xq.iter_mut().zip(row) {
+                            *q = quantize_value(v, *inv_in_scale);
+                        }
+                        let o = out.row_mut(r);
+                        for oc in 0..*out_dim {
+                            let wrow = &w[oc * in_dim..(oc + 1) * in_dim];
+                            let acc = dot_i8(&xq, wrow);
+                            o[oc] = activation.apply(acc as f32 * scale[oc] + bias[oc]);
+                        }
+                    }
+                    out
+                }
+                QLayer::Conv1d {
+                    in_c,
+                    out_c,
+                    kernel,
+                    length,
+                    relu,
+                    w,
+                    scale,
+                    bias,
+                    inv_in_scale,
+                } => {
+                    assert_eq!(cur.cols(), in_c * length, "quantized conv width mismatch");
+                    let patch = in_c * kernel;
+                    let mut out = Matrix::zeros(cur.rows(), out_c * length);
+                    xq.resize(in_c * length, 0);
+                    col.resize(length * patch, 0);
+                    for r in 0..cur.rows() {
+                        for (q, &v) in xq.iter_mut().zip(cur.row(r)) {
+                            *q = quantize_value(v, *inv_in_scale);
+                        }
+                        im2col_1d_i8(&xq, *in_c, *length, *kernel, &mut col);
+                        let o = out.row_mut(r);
+                        for oc in 0..*out_c {
+                            let wrow = &w[oc * patch..(oc + 1) * patch];
+                            let o_ch = &mut o[oc * length..(oc + 1) * length];
+                            for (t, ov) in o_ch.iter_mut().enumerate() {
+                                let acc = dot_i8(&col[t * patch..(t + 1) * patch], wrow);
+                                let y = acc as f32 * scale[oc] + bias[oc];
+                                *ov = if *relu { y.max(0.0) } else { y };
+                            }
+                        }
+                    }
+                    out
+                }
+                QLayer::MaxPool1d {
+                    channels,
+                    length,
+                    window,
+                } => maxpool_f32(*channels, *length, *window, &cur),
+                QLayer::Identity => cur,
+            };
+        }
+        cur
+    }
+
+    /// Input width of the first weighted layer (0 for an empty model).
+    pub fn input_dim(&self) -> usize {
+        for layer in &self.layers {
+            match layer {
+                QLayer::Dense { in_dim, .. } => return *in_dim,
+                QLayer::Conv1d { in_c, length, .. } => return in_c * length,
+                QLayer::MaxPool1d {
+                    channels, length, ..
+                } => return channels * length,
+                QLayer::Identity => continue,
+            }
+        }
+        0
+    }
+
+    /// Per-layer calibration summary for the committed quantization
+    /// report.
+    pub fn report(&self) -> Vec<QuantLayerReport> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Dense {
+                    scale,
+                    inv_in_scale,
+                    ..
+                }
+                | QLayer::Conv1d {
+                    scale,
+                    inv_in_scale,
+                    ..
+                } => {
+                    let in_scale = 1.0 / *inv_in_scale as f64;
+                    let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+                    for &s in scale {
+                        let w = s as f64 / in_scale;
+                        lo = lo.min(w);
+                        hi = hi.max(w);
+                    }
+                    QuantLayerReport {
+                        kind: if matches!(l, QLayer::Dense { .. }) {
+                            "dense".into()
+                        } else {
+                            "conv1d".into()
+                        },
+                        in_scale,
+                        w_scale_min: lo,
+                        w_scale_max: hi,
+                    }
+                }
+                QLayer::MaxPool1d { .. } => QuantLayerReport {
+                    kind: "maxpool1d".into(),
+                    in_scale: 0.0,
+                    w_scale_min: 0.0,
+                    w_scale_max: 0.0,
+                },
+                QLayer::Identity => QuantLayerReport {
+                    kind: "identity".into(),
+                    in_scale: 0.0,
+                    w_scale_min: 0.0,
+                    w_scale_max: 0.0,
+                },
+            })
+            .collect()
+    }
+}
+
+/// Exact `i32` dot product of two i8 slices, index-ascending.
+#[inline]
+fn dot_i8(x: &[i8], w: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&xv, &wv) in x.iter().zip(w) {
+        acc += xv as i32 * wv as i32;
+    }
+    acc
+}
+
+/// i8 im2col for same-padded stride-1 1-D convolution; padding slots are
+/// exact zeros (symmetric quantization maps 0.0 to 0).
+fn im2col_1d_i8(x: &[i8], channels: usize, length: usize, kernel: usize, col: &mut [i8]) {
+    let half = kernel / 2;
+    debug_assert_eq!(x.len(), channels * length);
+    debug_assert_eq!(col.len(), length * channels * kernel);
+    let patch = channels * kernel;
+    col.fill(0);
+    for c in 0..channels {
+        let sig = &x[c * length..(c + 1) * length];
+        for k in 0..kernel {
+            let shift = k as isize - half as isize;
+            let t0 = (-shift).max(0) as usize;
+            let t1 = ((length as isize - shift).min(length as isize)).max(0) as usize;
+            let mut idx = t0 * patch + c * kernel + k;
+            for &sv in &sig[(t0 as isize + shift) as usize..(t1 as isize + shift) as usize] {
+                col[idx] = sv;
+                idx += patch;
+            }
+        }
+    }
+}
+
+/// f32 dense forward used during calibration: `act(x·W + b)`, the same
+/// GEMM tier and chain order as `Dense::forward`.
+fn dense_f32(d: &Dense, x: &Matrix) -> Matrix {
+    let mut out = x.matmul(d.weights());
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        for (o, &b) in row.iter_mut().zip(d.bias()) {
+            *o = d.activation().apply(*o + b);
+        }
+    }
+    out
+}
+
+/// f32 max-pool used by both calibration and the quantized forward:
+/// floor-window max with first-of-ties semantics, matching
+/// `MaxPool1d::forward`.
+fn maxpool_f32(channels: usize, length: usize, window: usize, x: &Matrix) -> Matrix {
+    assert_eq!(x.cols(), channels * length, "pool width mismatch");
+    let out_l = length / window;
+    let mut out = Matrix::zeros(x.rows(), channels * out_l);
+    for r in 0..x.rows() {
+        let xr = x.row(r);
+        let o_row = out.row_mut(r);
+        for c in 0..channels {
+            let base = c * length;
+            let o_ch = &mut o_row[c * out_l..(c + 1) * out_l];
+            for (t, o) in o_ch.iter_mut().enumerate() {
+                let start = base + t * window;
+                let mut best = xr[start];
+                for &v in &xr[start + 1..start + window] {
+                    if v > best {
+                        best = v;
+                    }
+                }
+                *o = best;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Conv1d::new(1, 4, 3, 16, true, 3)),
+            Box::new(MaxPool1d::new(4, 16, 2)),
+            Box::new(Dropout::new(0.25, 4)),
+            Box::new(Dense::new(4 * 8, 8, Activation::Relu, 5)),
+            Box::new(Dense::new(8, 3, Activation::Linear, 6)),
+        ])
+    }
+
+    fn calib_batch(rows: usize, cols: usize) -> Matrix {
+        let mut s = 0x5EEDu64;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 1000) as f32 - 500.0) / 250.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_closely() {
+        let mut model = toy_model();
+        let calib = calib_batch(16, 16);
+        let q = QuantizedModel::from_model(&model, &calib).expect("quantizes");
+        let probe = calib_batch(4, 16);
+        let want = model.predict(&probe);
+        let got = q.forward(&probe);
+        assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+        let maxabs = want.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!(
+                (g - w).abs() <= 0.1 * maxabs.max(1.0),
+                "int8 {g} vs f32 {w} drifts beyond 10%"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_forward_is_deterministic() {
+        let model = toy_model();
+        let calib = calib_batch(8, 16);
+        let q1 = QuantizedModel::from_model(&model, &calib).unwrap();
+        let q2 = QuantizedModel::from_model(&model, &calib).unwrap();
+        let probe = calib_batch(3, 16);
+        let bits = |m: &Matrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&q1.forward(&probe)), bits(&q2.forward(&probe)));
+    }
+
+    #[test]
+    fn quantized_model_round_trips_serde() {
+        let model = toy_model();
+        let calib = calib_batch(8, 16);
+        let q = QuantizedModel::from_model(&model, &calib).unwrap();
+        let json = serde_json::to_string(&q).unwrap();
+        let q2: QuantizedModel = serde_json::from_str(&json).unwrap();
+        let probe = calib_batch(2, 16);
+        let bits = |m: &Matrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&q.forward(&probe)), bits(&q2.forward(&probe)));
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let model = toy_model();
+        assert!(QuantizedModel::from_model(&model, &Matrix::zeros(0, 16)).is_err());
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("f32".parse::<Backend>().unwrap(), Backend::F32);
+        assert_eq!("INT8".parse::<Backend>().unwrap(), Backend::Int8);
+        assert!("fp16".parse::<Backend>().is_err());
+        assert_eq!(Backend::Int8.to_string(), "int8");
+        assert_eq!(Backend::default(), Backend::F32);
+    }
+
+    #[test]
+    fn quantize_value_rounds_half_away_and_clamps() {
+        assert_eq!(quantize_value(0.0, 1.0), 0);
+        assert_eq!(quantize_value(2.5, 1.0), 3);
+        assert_eq!(quantize_value(-2.5, 1.0), -3);
+        assert_eq!(quantize_value(1000.0, 1.0), 127);
+        assert_eq!(quantize_value(-1000.0, 1.0), -127);
+    }
+
+    #[test]
+    fn report_covers_every_layer() {
+        let model = toy_model();
+        let calib = calib_batch(8, 16);
+        let q = QuantizedModel::from_model(&model, &calib).unwrap();
+        let report = q.report();
+        assert_eq!(report.len(), 5);
+        assert_eq!(report[0].kind, "conv1d");
+        assert!(report[0].in_scale > 0.0);
+        assert!(report[0].w_scale_min <= report[0].w_scale_max);
+    }
+}

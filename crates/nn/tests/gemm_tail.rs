@@ -1,0 +1,134 @@
+//! Differential proptests for the packed SIMD GEMM tier's tail handling:
+//! shapes that are **not** multiples of the 8×16 microkernel tile (or of
+//! the 64-wide gemv tile) must be bit-identical to the retained scalar
+//! reference kernels.
+//!
+//! The public `Matrix` entry points dispatch by work size, so small
+//! shapes would silently exercise only the reference path; these tests
+//! inflate the reduction axis enough to clear the packing threshold and
+//! then compare against the references exported from
+//! `soteria_nn::backend`.
+
+use proptest::prelude::*;
+use soteria_nn::backend::{gemm_nn_reference, gemm_nt_reference, gemm_tn_reference};
+use soteria_nn::Matrix;
+
+/// Deterministic mixed-sign values with exact zeros sprinkled in (zeros
+/// exercise the dropped zero-skip lemma).
+fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s.is_multiple_of(5) {
+                0.0
+            } else {
+                ((s % 2000) as f32 - 1000.0) / 256.0
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Off-tile dimensions: primes and near-tile-boundary values around the
+/// MR=8 / NR=16 / gemv-64 widths, picked by index (the proptest shim has
+/// no `sample::select`).
+const ODD_DIMS: [usize; 12] = [1, 3, 7, 9, 15, 17, 23, 31, 33, 63, 65, 129];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `Matrix::matmul` (gemm_nn) over off-tile shapes. `k` is padded to
+    /// clear the packing threshold so the SIMD tier actually runs.
+    #[test]
+    fn matmul_tails_match_reference_bitwise(
+        mi in 0usize..12,
+        ni in 0usize..12,
+        k_extra in 0usize..40,
+        seed in 0u64..500,
+    ) {
+        let (m, n) = (ODD_DIMS[mi], ODD_DIMS[ni]);
+        // rows·k·n ≥ 2¹³ forces the packed path even for 1×·×1 shapes.
+        let k = 8192 / (m * n).min(64) + k_extra + 1;
+        let a = Matrix::from_vec(m, k, pseudo(seed, m * k));
+        let b = Matrix::from_vec(k, n, pseudo(seed ^ 0xA5A5, k * n));
+        let got = a.matmul(&b);
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn_reference(a.data(), b.data(), k, n, &mut want);
+        prop_assert_eq!(bits(got.data()), bits(&want), "m={} k={} n={}", m, k, n);
+    }
+
+    /// `Matrix::t_matmul` (gemm_tn) over off-tile shapes.
+    #[test]
+    fn t_matmul_tails_match_reference_bitwise(
+        mi in 0usize..12,
+        ni in 0usize..12,
+        k_extra in 0usize..40,
+        seed in 500u64..1000,
+    ) {
+        let (m, n) = (ODD_DIMS[mi], ODD_DIMS[ni]);
+        let k = 8192 / (m * n).min(64) + k_extra + 1;
+        // a is [k × m]; out = aᵀ·b is [m × n].
+        let a = Matrix::from_vec(k, m, pseudo(seed, k * m));
+        let b = Matrix::from_vec(k, n, pseudo(seed ^ 0x3C3C, k * n));
+        let got = a.t_matmul(&b);
+        let mut want = vec![0.0f32; m * n];
+        gemm_tn_reference(a.data(), b.data(), m, k, n, 0, &mut want);
+        prop_assert_eq!(bits(got.data()), bits(&want), "m={} k={} n={}", m, k, n);
+    }
+
+    /// `Matrix::matmul_t` (gemm_nt) over off-tile shapes.
+    #[test]
+    fn matmul_t_tails_match_reference_bitwise(
+        mi in 0usize..12,
+        ni in 0usize..12,
+        k_extra in 0usize..40,
+        seed in 1000u64..1500,
+    ) {
+        let (m, n) = (ODD_DIMS[mi], ODD_DIMS[ni]);
+        let k = 8192 / (m * n).min(64) + k_extra + 1;
+        // b is [n × k]; out = a·bᵀ is [m × n].
+        let a = Matrix::from_vec(m, k, pseudo(seed, m * k));
+        let b = Matrix::from_vec(n, k, pseudo(seed ^ 0x7171, n * k));
+        let got = a.matmul_t(&b);
+        let mut want = vec![0.0f32; m * n];
+        gemm_nt_reference(a.data(), b.data(), k, n, None, &mut want);
+        prop_assert_eq!(bits(got.data()), bits(&want), "m={} k={} n={}", m, k, n);
+    }
+
+    /// The m=1 gemv fast path over off-tile column counts, including the
+    /// scalar column tail.
+    #[test]
+    fn gemv_tails_match_reference_bitwise(
+        ni in 0usize..12,
+        k in 1usize..300,
+        seed in 1500u64..2000,
+    ) {
+        let n = ODD_DIMS[ni];
+        let a = Matrix::from_vec(1, k, pseudo(seed, k));
+        let b = Matrix::from_vec(k, n, pseudo(seed ^ 0x5E5E, k * n));
+        let got = a.matmul(&b);
+        let mut want = vec![0.0f32; n];
+        gemm_nn_reference(a.data(), b.data(), k, n, &mut want);
+        prop_assert_eq!(bits(got.data()), bits(&want), "k={} n={}", k, n);
+    }
+}
+
+/// Pooled dispatch must not change results either: force worker threads
+/// and compare a mid-size shape against the serial reference.
+#[test]
+fn pooled_packed_gemm_is_bit_identical_to_reference() {
+    soteria_nn::backend::ensure_threads(3);
+    let (m, k, n) = (129, 257, 65);
+    let a = Matrix::from_vec(m, k, pseudo(42, m * k));
+    let b = Matrix::from_vec(k, n, pseudo(43, k * n));
+    let got = a.matmul(&b);
+    let mut want = vec![0.0f32; m * n];
+    gemm_nn_reference(a.data(), b.data(), k, n, &mut want);
+    assert_eq!(bits(got.data()), bits(&want));
+}

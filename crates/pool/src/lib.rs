@@ -125,6 +125,16 @@ pub fn pool_threads() -> usize {
     }
 }
 
+/// Number of threads that actually execute work: the pool workers plus
+/// the calling thread (which always runs tasks itself in [`run_scoped`]).
+/// This is the number benches should report — on a single-core host the
+/// pool spawns zero workers, yet one thread still computes, so the
+/// historical habit of reporting `pool_threads()` produced the misleading
+/// `"pool_threads": 0`.
+pub fn effective_threads() -> usize {
+    pool_threads() + 1
+}
+
 /// Worker threads pull jobs forever; each job is panic-isolated by its
 /// wrapper, so the loop itself never unwinds.
 fn worker_loop(shared: &Shared) {

@@ -60,7 +60,7 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 use crate::cache::{fnv1a64, CacheStats, VerdictCache};
 use crate::deadline::Deadline;
-use soteria::{Soteria, Verdict};
+use soteria::{Backend, Soteria, Verdict};
 use soteria_features::{FeatureExtractor, SampleFeatures};
 use soteria_resilience::{FaultKind, ResourceGuards};
 use soteria_telemetry::TraceBuilder;
@@ -110,6 +110,11 @@ pub struct ServeConfig {
     /// default disables every mechanism (the only rejection is a full
     /// queue), so existing deployments see no behavior change.
     pub admission: AdmissionConfig,
+    /// Inference compute backend for the batcher's forward passes.
+    /// Requesting [`Backend::Int8`] on a system without calibrated int8
+    /// weights falls back to [`Backend::F32`] and records
+    /// `serve.backend.int8_fallback` in telemetry.
+    pub backend: Backend,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +129,7 @@ impl Default for ServeConfig {
             seed: 0,
             trace_sampling: 0.0,
             admission: AdmissionConfig::default(),
+            backend: Backend::F32,
         }
     }
 }
@@ -333,6 +339,13 @@ impl ScreeningService {
         // Spin up the shared compute pool before the first request so the
         // batcher's forward passes never pay thread-spawn latency.
         let _ = soteria_nn::backend::warm();
+        let mut soteria = soteria;
+        if soteria.set_backend(config.backend).is_err() {
+            soteria_telemetry::counter("serve.backend.int8_fallback", 1);
+            soteria
+                .set_backend(Backend::F32)
+                .expect("f32 backend always available");
+        }
         let cache = Arc::new(VerdictCache::new(
             config.cache_capacity,
             config.cache_shards.max(1),
@@ -917,6 +930,7 @@ mod tests {
             seed: 9,
             trace_sampling: 1.0,
             admission: AdmissionConfig::default(),
+            backend: Backend::F32,
         }
     }
 

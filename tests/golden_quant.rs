@@ -1,0 +1,187 @@
+//! Golden-vector regression fixture for the **int8 quantized inference
+//! path** (DESIGN.md §9).
+//!
+//! The int8 path is a different committed function from the f32 path —
+//! deliberately not bit-identical to it — so it gets its own fixture
+//! (`tests/fixtures/golden_quant.json`) pinning, for a fixed corpus seed
+//! and training seed:
+//!
+//! * a CRC-32 of the quantized detector's reconstruction errors over the
+//!   test split (f64 little-endian bytes),
+//! * a CRC-32 of each quantized CNN's raw logits over one sample's walk
+//!   matrices (f32 little-endian bit patterns),
+//! * every test sample's verdict and vote tally under `Backend::Int8`.
+//!
+//! Quantized weights and scales are a pure function of (f32 model,
+//! calibration batch) and inference is exact integer arithmetic plus
+//! scalar f32 post-scaling, so these values must reproduce bit-for-bit
+//! across runs, hosts, and thread counts. If a drift is *intentional* (a
+//! quantization-scheme change, not an accident), regenerate with:
+//!
+//! ```text
+//! SOTERIA_BLESS=1 cargo test --test golden_quant
+//! ```
+
+use serde::{Deserialize, Serialize};
+use soteria::{Backend, Soteria, SoteriaConfig};
+use soteria_corpus::{Corpus, CorpusConfig};
+use soteria_features::SampleFeatures;
+use soteria_nn::Matrix;
+use soteria_resilience::crc32;
+use std::path::PathBuf;
+
+const CORPUS_SEED: u64 = 123;
+const TRAIN_SEED: u64 = 5;
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct QuantFixture {
+    corpus_seed: u64,
+    train_seed: u64,
+    backend: String,
+    /// CRC over the detector's reconstruction errors on the test split.
+    re_crc32: u32,
+    /// CRC over the quantized DBL CNN's logits for sample 0's walks.
+    dbl_logits_crc32: u32,
+    /// CRC over the quantized LBL CNN's logits for sample 0's walks.
+    lbl_logits_crc32: u32,
+    samples: Vec<QuantSample>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct QuantSample {
+    index: usize,
+    walk_seed: u64,
+    /// `"adversarial"` or the voted family's display name.
+    verdict: String,
+    /// Vote tally for clean verdicts (empty for adversarial ones).
+    votes: Vec<usize>,
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_quant.json")
+}
+
+fn crc_f64(v: &[f64]) -> u32 {
+    let mut bytes = Vec::with_capacity(v.len() * 8);
+    for &x in v {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+fn crc_f32(v: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(v.len() * 4);
+    for &x in v {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+fn compute_current() -> QuantFixture {
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: [10, 10, 10, 10],
+        seed: CORPUS_SEED,
+        av_noise: false,
+        lineages: 3,
+    });
+    let split = corpus.split(0.8, 1);
+    let mut config = SoteriaConfig::tiny();
+    config.backend = Backend::Int8;
+    let mut soteria = Soteria::train(&config, &corpus, &split.train, TRAIN_SEED).expect("train");
+    assert_eq!(soteria.backend(), Backend::Int8);
+
+    let features: Vec<(SampleFeatures, u64)> = split
+        .test
+        .iter()
+        .enumerate()
+        .map(|(i, &idx)| {
+            let walk_seed = 3_000 + i as u64;
+            (
+                soteria.features(corpus.samples()[idx].graph(), walk_seed),
+                walk_seed,
+            )
+        })
+        .collect();
+
+    let rows: Vec<&[f64]> = features.iter().map(|(f, _)| f.combined()).collect();
+    let errors = soteria.detector_mut().reconstruction_errors_of(&rows);
+
+    // Pin the quantized CNNs' raw logits, not just the (coarse) argmax
+    // votes: any change to weight quantization, activation scales, or the
+    // i32 accumulation shows up here immediately.
+    let walk_matrix = |walks: &[Vec<f64>]| Matrix::from_rows(walks);
+    let (dbl_q, lbl_q) = soteria.classifier_ref().quantized();
+    let dbl_logits = dbl_q
+        .expect("int8 training quantizes the DBL CNN")
+        .forward(&walk_matrix(features[0].0.dbl_walks()));
+    let lbl_logits = lbl_q
+        .expect("int8 training quantizes the LBL CNN")
+        .forward(&walk_matrix(features[0].0.lbl_walks()));
+
+    let samples = features
+        .iter()
+        .enumerate()
+        .map(|(i, (f, walk_seed))| {
+            let (verdict, votes) = match soteria.analyze_features(f) {
+                soteria::Verdict::Adversarial { .. } => ("adversarial".to_string(), Vec::new()),
+                soteria::Verdict::Clean { family, report, .. } => {
+                    (format!("{family}"), report.votes)
+                }
+                soteria::Verdict::Degraded { reason } => {
+                    panic!("fixture sample {i} degraded: {reason}")
+                }
+            };
+            QuantSample {
+                index: i,
+                walk_seed: *walk_seed,
+                verdict,
+                votes,
+            }
+        })
+        .collect();
+
+    QuantFixture {
+        corpus_seed: CORPUS_SEED,
+        train_seed: TRAIN_SEED,
+        backend: Backend::Int8.to_string(),
+        re_crc32: crc_f64(&errors),
+        dbl_logits_crc32: crc_f32(dbl_logits.data()),
+        lbl_logits_crc32: crc_f32(lbl_logits.data()),
+        samples,
+    }
+}
+
+#[test]
+fn int8_inference_matches_committed_golden_vectors() {
+    let current = compute_current();
+    let path = fixture_path();
+
+    if std::env::var("SOTERIA_BLESS").is_ok() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize fixture");
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        eprintln!("blessed quant fixture at {}", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing quant fixture {} ({e}); generate it with \
+             `SOTERIA_BLESS=1 cargo test --test golden_quant`",
+            path.display()
+        )
+    });
+    let recorded: QuantFixture = serde_json::from_str(&raw).expect("parse quant fixture");
+
+    assert_eq!(
+        recorded,
+        current,
+        "INT8 PATH DRIFT: the quantized inference path no longer reproduces \
+         the committed golden vectors in {}. Quantized weights, scales, and \
+         integer accumulation must be a pure function of (f32 model, \
+         calibration batch); if this drift is intentional, re-bless with \
+         `SOTERIA_BLESS=1 cargo test --test golden_quant` and explain it in \
+         the commit message.",
+        fixture_path().display()
+    );
+}
