@@ -1,7 +1,9 @@
 //! CLI subcommand implementations.
 
 use crate::store;
-use soteria::{Backend, Soteria, SoteriaConfig, SoteriaState, TrainCheckpoint, Verdict};
+use soteria::{
+    Backend, Soteria, SoteriaConfig, SoteriaState, StateImage, TrainCheckpoint, Verdict,
+};
 use soteria_attacks::{
     Attack, BlockSplit, GeaAttack, LowDensityInsert, Obfuscate, SubCfgInjection,
 };
@@ -332,6 +334,67 @@ pub fn train(args: &[String]) -> Result<(), String> {
     write_metrics_if_requested(&flags)
 }
 
+/// `export-artifact --model STATE --out ARTIFACT`
+///
+/// Converts a saved model (v2 JSON envelope or an existing v3 artifact)
+/// into the `SOTERIA-STATE v3` binary artifact: aligned, checksummed,
+/// and loadable by reference — `serve --artifact` and `SWAP` start from
+/// it without deserializing a single tensor.
+pub fn export_artifact(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let model = flags
+        .get("model")
+        .ok_or("export-artifact needs --model STATE")?;
+    let out = flags
+        .get("out")
+        .ok_or("export-artifact needs --out ARTIFACT")?;
+    let state = SoteriaState::load_from_path(&PathBuf::from(model)).map_err(|e| e.to_string())?;
+    state
+        .save_artifact_to_path(&PathBuf::from(out))
+        .map_err(|e| e.to_string())?;
+    let image = StateImage::open(&PathBuf::from(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote v3 artifact to {out} ({} bytes, {} sections)",
+        image.len_bytes(),
+        image.sections().len()
+    );
+    Ok(())
+}
+
+/// `swap --connect ADDR --model PATH`
+///
+/// Sends the in-band `SWAP` admin verb to a serving `--listen` address:
+/// the server loads the state file at PATH (a path on the *server's*
+/// filesystem — v3 artifact or v2 JSON) and atomically installs it as
+/// the serving model without dropping a request. Prints the server's
+/// one-line JSON response.
+pub fn swap(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let (flags, _) = parse(args)?;
+    let addr = flags.get("connect").ok_or("swap needs --connect ADDR")?;
+    let model = flags.get("model").ok_or("swap needs --model PATH")?;
+    if model.chars().any(char::is_whitespace) {
+        return Err("the line protocol cannot carry paths with whitespace".into());
+    }
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    writeln!(stream, "SWAP {model}").map_err(|e| format!("send SWAP: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(format!("no response from {addr}"));
+    }
+    println!("{line}");
+    if line.contains("\"error\"") {
+        return Err("server rejected the swap".into());
+    }
+    Ok(())
+}
+
 /// `analyze (--corpus DIR | --model MODEL.json) [--seed N] [--metrics PATH] FILE...`
 pub fn analyze(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse(args)?;
@@ -417,7 +480,21 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse(args)?;
     let seed = flag_u64(&flags, "seed", 7)?;
     let backend = flag_backend(&flags)?;
-    let system = if let Some(model_path) = flags.get("model") {
+    let system = if let Some(path) = flags.get("artifact") {
+        // Instant start: validate once, then borrow every weight matrix
+        // straight out of the mapped buffer — no JSON, no per-tensor
+        // copies.
+        let load_start = std::time::Instant::now();
+        let image = StateImage::open(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+        let system = Soteria::load_image(&image).map_err(|e| e.to_string())?;
+        eprintln!(
+            "mapped artifact {path} ({} bytes, {} sections, zero-copy) in {:.1}ms",
+            image.len_bytes(),
+            image.sections().len(),
+            load_start.elapsed().as_secs_f64() * 1e3
+        );
+        system
+    } else if let Some(model_path) = flags.get("model") {
         let state =
             SoteriaState::load_from_path(&PathBuf::from(model_path)).map_err(|e| e.to_string())?;
         eprintln!("loaded model from {model_path}");
@@ -425,7 +502,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     } else if let Some(corpus_dir) = flags.get("corpus") {
         train_on_dir(corpus_dir, seed, backend)?
     } else {
-        return Err("serve needs --corpus DIR or --model MODEL.json".into());
+        return Err("serve needs --artifact FILE, --corpus DIR, or --model MODEL.json".into());
     };
 
     // --trace overrides SOTERIA_TRACE, which overrides "off".

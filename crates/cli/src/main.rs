@@ -11,8 +11,10 @@
 //!                                                       train and persist a system
 //! soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] FILE...
 //!                                                       screen files with a system
-//! soteria-cli serve (--corpus DIR | --model MODEL) [--listen ADDR] [--trace F]
-//!                                                       run the screening service
+//! soteria-cli serve (--artifact FILE | --corpus DIR | --model MODEL) [--listen ADDR]
+//!                   [--trace F]                         run the screening service
+//! soteria-cli export-artifact --model STATE --out FILE  write the v3 binary artifact
+//! soteria-cli swap --connect ADDR --model PATH          hot-swap a serving model
 //! soteria-cli metrics (--file PATH | --connect ADDR)    render a telemetry snapshot
 //! ```
 
@@ -35,21 +37,28 @@ fn usage() -> &'static str {
      [--backend f32|int8] [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]\n  \
      soteria-cli analyze (--corpus DIR | --model MODEL) [--seed N] [--backend f32|int8]\n    \
      [--metrics PATH] FILE...\n  \
-     soteria-cli serve (--corpus DIR | --model MODEL) [--seed N] [--backend f32|int8]\n    \
-     [--workers N] [--queue N]\n    \
+     soteria-cli serve (--artifact FILE | --corpus DIR | --model MODEL) [--seed N]\n    \
+     [--backend f32|int8] [--workers N] [--queue N]\n    \
      [--cache N] [--batch-window-ms N] [--max-batch N] [--listen ADDR] [--metrics PATH]\n    \
      [--metrics-interval SECS] [--trace F] [--deadline-ms N] [--rate-limit R] [--burst B]\n    \
      [--brownout F] [--reject-threshold F] [--breaker N]\n  \
+     soteria-cli export-artifact --model STATE --out ARTIFACT\n  \
+     soteria-cli swap --connect ADDR --model PATH\n  \
      soteria-cli metrics (--file PATH | --connect ADDR)\n\n\
      serve reads one request per line (a file path, or hex:<bytes>) and answers\n  \
      with one JSON verdict per line; without --listen the protocol runs on\n  \
      stdin/stdout, with --listen ADDR over TCP (quit ends a connection,\n  \
      shutdown stops the server). Verdicts are cached by content and screened\n  \
      in micro-batches; identical content always gets the identical verdict.\n  \
-     The METRICS [json], TRACES [n], and HEALTH admin verbs answer in-band on\n  \
-     either front end; --trace F samples that fraction of requests into\n  \
-     per-stage traces (SOTERIA_TRACE=F sets the default). Tracing never\n  \
+     The METRICS [json], TRACES [n], HEALTH, and SWAP <path> admin verbs answer\n  \
+     in-band on either front end; --trace F samples that fraction of requests\n  \
+     into per-stage traces (SOTERIA_TRACE=F sets the default). Tracing never\n  \
      changes a verdict.\n\n\
+     export-artifact converts a saved model into the SOTERIA-STATE v3 binary\n  \
+     artifact: aligned, checksummed, loaded by reference with zero\n  \
+     deserialization, so serve --artifact starts instantly. SWAP <path> (or\n  \
+     soteria-cli swap --connect ADDR --model PATH) hot-swaps the serving model\n  \
+     from such a file without dropping a request.\n\n\
      Overload hardening (all off by default): --deadline-ms bounds each\n  \
      request's end-to-end latency, --rate-limit R (with --burst B) caps each\n  \
      client's request rate, --brownout F degrades to AE-only screening and\n  \
@@ -78,6 +87,8 @@ fn main() -> ExitCode {
         Some("train") => commands::train(&args[1..]),
         Some("analyze") => commands::analyze(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("export-artifact") => commands::export_artifact(&args[1..]),
+        Some("swap") => commands::swap(&args[1..]),
         Some("metrics") => commands::metrics(&args[1..]),
         Some("--help") | Some("-h") => {
             // An explicitly requested help text is a successful run and

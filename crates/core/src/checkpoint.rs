@@ -426,7 +426,7 @@ mod tests {
         // Unlike model states, checkpoints have no legacy bare-JSON form.
         assert!(matches!(
             TrainCheckpoint::from_envelope("{}"),
-            Err(StateError::BadHeader(_))
+            Err(StateError::BadHeader { .. })
         ));
     }
 }

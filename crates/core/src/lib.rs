@@ -40,6 +40,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod artifact;
 pub mod checkpoint;
 pub mod classifier;
 pub mod config;
@@ -48,6 +49,7 @@ pub mod error;
 pub mod persist;
 pub mod pipeline;
 
+pub use artifact::{SectionEntry, StateImage};
 pub use checkpoint::{StageCheckpoint, TrainCheckpoint};
 pub use classifier::{ClassifierReport, FamilyClassifier};
 pub use config::{ClassifierConfig, DetectorConfig, SoteriaConfig};

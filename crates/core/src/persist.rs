@@ -43,8 +43,20 @@ const STATE_VERSION: u32 = 2;
 pub enum StateError {
     /// Filesystem failure, rendered.
     Io(String),
-    /// The file does not start with the expected envelope header.
-    BadHeader(String),
+    /// The file's header (text envelope line or binary artifact header /
+    /// section table) is not acceptable. Carries the file offset of the
+    /// offending bytes and a hex dump of what was actually found there, so
+    /// a truncated copy or a wrong file is diagnosable from the message
+    /// alone.
+    BadHeader {
+        /// Why the header is unacceptable.
+        why: String,
+        /// File offset of the offending bytes.
+        offset: u64,
+        /// The first bytes found at that offset (up to 16; rendered as hex
+        /// by `Display`).
+        found: Vec<u8>,
+    },
     /// The envelope declares a format version this build cannot read.
     UnsupportedVersion {
         /// Version found in the file.
@@ -63,13 +75,66 @@ pub enum StateError {
     /// The payload passed its checksum but is not valid JSON for this
     /// schema.
     Parse(String),
+    /// The file ends before a structure its header declares.
+    Truncated {
+        /// Bytes the structure needs.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+        /// Which structure was cut short.
+        what: String,
+    },
+    /// A binary artifact section entry is malformed (unknown kind,
+    /// misaligned offset, out-of-bounds window, or a shape mismatch
+    /// against the metadata).
+    BadSection {
+        /// Section id from the table entry.
+        id: u32,
+        /// What is wrong with it.
+        why: String,
+    },
+    /// A binary artifact section's payload fails its recorded checksum.
+    SectionChecksum {
+        /// Section id from the table entry.
+        id: u32,
+        /// CRC recorded in the section table.
+        expected: u32,
+        /// CRC of the payload actually on disk.
+        actual: u32,
+    },
+}
+
+/// Renders up to 16 bytes as space-separated hex for header diagnostics.
+fn hex_bytes(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .take(16)
+        .map(|b| format!("{b:02x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl StateError {
+    /// Builds a [`StateError::BadHeader`] pointing at `offset`, capturing
+    /// the first bytes found there.
+    pub(crate) fn bad_header(why: impl Into<String>, offset: u64, found: &[u8]) -> Self {
+        StateError::BadHeader {
+            why: why.into(),
+            offset,
+            found: found.iter().take(16).copied().collect(),
+        }
+    }
 }
 
 impl fmt::Display for StateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StateError::Io(why) => write!(f, "i/o error: {why}"),
-            StateError::BadHeader(why) => write!(f, "bad state header: {why}"),
+            StateError::BadHeader { why, offset, found } => write!(
+                f,
+                "bad state header: {why} (at offset {offset}, found [{}])",
+                hex_bytes(found)
+            ),
             StateError::UnsupportedVersion { found, supported } => write!(
                 f,
                 "state format v{found} is newer than supported v{supported}"
@@ -80,6 +145,26 @@ impl fmt::Display for StateError {
                  file is truncated or corrupted"
             ),
             StateError::Parse(why) => write!(f, "state payload does not parse: {why}"),
+            StateError::Truncated {
+                expected,
+                actual,
+                what,
+            } => write!(
+                f,
+                "state file truncated: {what} needs {expected} bytes, file has {actual}"
+            ),
+            StateError::BadSection { id, why } => {
+                write!(f, "bad artifact section {id}: {why}")
+            }
+            StateError::SectionChecksum {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "artifact section {id} checksum mismatch (table {expected:08x}, \
+                 payload {actual:08x}): the file is corrupted"
+            ),
         }
     }
 }
@@ -99,20 +184,28 @@ pub(crate) fn decode_envelope<'a>(
     data: &'a str,
 ) -> Result<&'a str, StateError> {
     let (header, payload) = data.split_once('\n').ok_or_else(|| {
-        StateError::BadHeader("missing newline after envelope header".to_string())
+        StateError::bad_header("missing newline after envelope header", 0, data.as_bytes())
     })?;
     let mut parts = header.split_whitespace();
     let found_magic = parts.next().unwrap_or("");
     if found_magic != magic {
-        return Err(StateError::BadHeader(format!(
-            "expected magic {magic:?}, found {found_magic:?}"
-        )));
+        return Err(StateError::bad_header(
+            format!("expected magic {magic:?}, found {found_magic:?}"),
+            0,
+            header.as_bytes(),
+        ));
     }
     let version: u32 = parts
         .next()
         .and_then(|v| v.strip_prefix('v'))
         .and_then(|v| v.parse().ok())
-        .ok_or_else(|| StateError::BadHeader("missing or malformed version field".to_string()))?;
+        .ok_or_else(|| {
+            StateError::bad_header(
+                "missing or malformed version field",
+                magic.len() as u64 + 1,
+                &header.as_bytes()[(magic.len() + 1).min(header.len())..],
+            )
+        })?;
     if version > supported {
         return Err(StateError::UnsupportedVersion {
             found: version,
@@ -123,7 +216,9 @@ pub(crate) fn decode_envelope<'a>(
         .next()
         .and_then(|v| v.strip_prefix("crc32="))
         .and_then(|v| u32::from_str_radix(v, 16).ok())
-        .ok_or_else(|| StateError::BadHeader("missing or malformed crc32 field".to_string()))?;
+        .ok_or_else(|| {
+            StateError::bad_header("missing or malformed crc32 field", 0, header.as_bytes())
+        })?;
     let actual = soteria_resilience::crc32(payload.as_bytes());
     if actual != expected {
         return Err(StateError::ChecksumMismatch { expected, actual });
@@ -200,10 +295,69 @@ impl SoteriaState {
     /// the file.
     pub fn from_envelope(data: &str) -> Result<Self, StateError> {
         if data.starts_with('{') {
+            // Pre-envelope legacy state: count it so fleets migrating to
+            // enveloped/artifact files can see stragglers in telemetry.
+            soteria_telemetry::counter("persist.state.legacy_loads", 1);
             return Self::from_json(data).map_err(|e| StateError::Parse(e.to_string()));
         }
         let payload = decode_envelope(STATE_MAGIC, STATE_VERSION, data)?;
         Self::from_json(payload).map_err(|e| StateError::Parse(e.to_string()))
+    }
+
+    /// Detects the on-disk flavor and parses accordingly: a v3 binary
+    /// artifact (sniffed by its 16-byte magic), the v2 text envelope, or
+    /// legacy bare JSON (counted in `persist.state.legacy_loads`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`StateError`] diagnosing what is wrong with
+    /// the file.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, StateError> {
+        if data.starts_with(crate::artifact::ARTIFACT_MAGIC) {
+            return crate::artifact::StateImage::parse(data)?.to_state();
+        }
+        let text = std::str::from_utf8(data).map_err(|_| {
+            StateError::bad_header(
+                "state file is neither a v3 artifact nor UTF-8 text",
+                0,
+                data,
+            )
+        })?;
+        Self::from_envelope(text)
+    }
+
+    /// Serializes to the v3 zero-copy binary artifact (see
+    /// [`crate::artifact`] for the layout contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Parse`] if the state contains a layer type
+    /// the artifact format does not describe.
+    pub fn to_artifact(&self) -> Result<Vec<u8>, StateError> {
+        crate::artifact::write_artifact(self)
+    }
+
+    /// Parses a v3 artifact. The returned state's tensors borrow one
+    /// aligned copy of `data`; nothing is parsed or copied per tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`StateError`] diagnosing the corruption.
+    pub fn from_artifact(data: &[u8]) -> Result<Self, StateError> {
+        crate::artifact::StateImage::parse(data)?.to_state()
+    }
+
+    /// Writes the v3 artifact to `path` crash-safely (temp file + fsync +
+    /// atomic rename), like [`save_to_path`](SoteriaState::save_to_path)
+    /// does for the v2 envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] on filesystem failure.
+    pub fn save_artifact_to_path(&self, path: &Path) -> Result<(), StateError> {
+        let bytes = self.to_artifact()?;
+        soteria_resilience::atomic_write(path, &bytes)
+            .map_err(|e| StateError::Io(format!("{}: {e}", path.display())))
     }
 
     /// Writes the enveloped state to `path` crash-safely (temp file +
@@ -227,9 +381,9 @@ impl SoteriaState {
     /// Returns the specific [`StateError`] diagnosing what is wrong with
     /// the file.
     pub fn load_from_path(path: &Path) -> Result<Self, StateError> {
-        let data = std::fs::read_to_string(path)
-            .map_err(|e| StateError::Io(format!("{}: {e}", path.display())))?;
-        Self::from_envelope(&data)
+        let data =
+            std::fs::read(path).map_err(|e| StateError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&data)
     }
 }
 
@@ -360,6 +514,30 @@ mod tests {
     }
 
     #[test]
+    fn legacy_bare_json_loads_are_counted_in_telemetry() {
+        let (original, ..) = small_trained();
+        let state = original.save_state().unwrap();
+        let bare = state.to_json().unwrap();
+        let envelope = state.to_envelope().unwrap();
+        let artifact = state.to_artifact().unwrap();
+
+        let _scope = soteria_telemetry::scoped();
+        SoteriaState::from_bytes(bare.as_bytes()).expect("legacy load");
+        assert_eq!(
+            soteria_telemetry::snapshot().counter("persist.state.legacy_loads"),
+            Some(1),
+            "bare-JSON fallback must announce itself so migrating fleets can find stragglers"
+        );
+        // The modern formats never touch the counter.
+        SoteriaState::from_bytes(envelope.as_bytes()).expect("v2 load");
+        SoteriaState::from_bytes(&artifact).expect("v3 load");
+        assert_eq!(
+            soteria_telemetry::snapshot().counter("persist.state.legacy_loads"),
+            Some(1)
+        );
+    }
+
+    #[test]
     fn state_json_is_self_describing() {
         let corpus = Corpus::generate(&CorpusConfig {
             counts: [8, 8, 8, 8],
@@ -422,7 +600,7 @@ mod tests {
     fn header_problems_are_typed() {
         assert!(matches!(
             SoteriaState::from_envelope("WRONG-MAGIC v2 crc32=00000000\n{}"),
-            Err(StateError::BadHeader(_))
+            Err(StateError::BadHeader { .. })
         ));
         assert!(matches!(
             SoteriaState::from_envelope("SOTERIA-STATE v9999 crc32=00000000\n{}"),
@@ -433,11 +611,11 @@ mod tests {
         ));
         assert!(matches!(
             SoteriaState::from_envelope("SOTERIA-STATE v2\n{}"),
-            Err(StateError::BadHeader(_))
+            Err(StateError::BadHeader { .. })
         ));
         assert!(matches!(
             SoteriaState::from_envelope("no newline at all"),
-            Err(StateError::BadHeader(_))
+            Err(StateError::BadHeader { .. })
         ));
     }
 

@@ -51,6 +51,64 @@ impl fmt::Display for Mutation {
     }
 }
 
+/// Structure-aware damage for `SOTERIA-STATE v3` binary model artifacts.
+///
+/// These mutations aim at the artifact's load-bearing regions — the
+/// 64-byte header, the 32-byte-per-entry section table, the tensor
+/// payloads, the section boundaries — instead of uniformly random bytes,
+/// so a corruption battery hits every validation layer of the reader
+/// rather than mostly tripping the first magic check.
+///
+/// Deliberately a separate enum from [`Mutation`]: extending
+/// `Mutation::ALL` would shift the kind every existing `(seed, index)`
+/// pair maps to and silently re-key all recorded chaos streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ArtifactMutation {
+    /// Flip 1–4 bits inside the 64-byte header (magic, version, counts,
+    /// offsets, checksums, reserved bytes).
+    HeaderBitFlip,
+    /// Flip 1–4 bits inside the section table (kinds, element codes,
+    /// offsets, lengths, per-section CRCs, ids).
+    TableBitFlip,
+    /// Flip 1–8 bits inside one section's payload (META JSON or a tensor
+    /// blob).
+    PayloadBitFlip,
+    /// Truncate at a structural boundary: the header end, the table end,
+    /// or a section's start or end — the exact cuts a torn write or a
+    /// partial download produces.
+    TruncateAtBoundary,
+    /// Insert 1–63 bytes at a section's start, shifting every later
+    /// payload off its declared offset and off 64-byte alignment.
+    AlignmentSplice,
+}
+
+impl ArtifactMutation {
+    /// All artifact mutation kinds, in the order
+    /// [`corrupt_artifact`](FaultInjector::corrupt_artifact) cycles
+    /// through them.
+    pub const ALL: [ArtifactMutation; 5] = [
+        ArtifactMutation::HeaderBitFlip,
+        ArtifactMutation::TableBitFlip,
+        ArtifactMutation::PayloadBitFlip,
+        ArtifactMutation::TruncateAtBoundary,
+        ArtifactMutation::AlignmentSplice,
+    ];
+}
+
+impl fmt::Display for ArtifactMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ArtifactMutation::HeaderBitFlip => "header-bit-flip",
+            ArtifactMutation::TableBitFlip => "table-bit-flip",
+            ArtifactMutation::PayloadBitFlip => "payload-bit-flip",
+            ArtifactMutation::TruncateAtBoundary => "truncate-at-boundary",
+            ArtifactMutation::AlignmentSplice => "alignment-splice",
+        };
+        f.write_str(name)
+    }
+}
+
 /// A seeded source of corrupted binary images.
 ///
 /// Each call to [`corrupt`](FaultInjector::corrupt) derives an independent
@@ -89,6 +147,31 @@ impl FaultInjector {
     pub fn corrupt_with(&self, base: &[u8], index: u64, kind: Mutation) -> Vec<u8> {
         let mut rng = self.rng_for(index);
         apply(kind, base, &mut rng)
+    }
+
+    /// Produces artifact-aware corruption number `index` of `base`,
+    /// returning the damaged bytes and the mutation kind that was
+    /// applied. Indices cycle through every [`ArtifactMutation`] kind.
+    ///
+    /// `base` should be a `SOTERIA-STATE v3` artifact; if its section
+    /// table cannot be located (already unparseable), the mutation falls
+    /// back to the equivalent structure-blind [`Mutation`] so the call is
+    /// total and still deterministic.
+    pub fn corrupt_artifact(&self, base: &[u8], index: u64) -> (Vec<u8>, ArtifactMutation) {
+        let kind = ArtifactMutation::ALL[(index % ArtifactMutation::ALL.len() as u64) as usize];
+        (self.corrupt_artifact_with(base, index, kind), kind)
+    }
+
+    /// Like [`corrupt_artifact`](FaultInjector::corrupt_artifact) but
+    /// with a caller-chosen mutation kind.
+    pub fn corrupt_artifact_with(
+        &self,
+        base: &[u8],
+        index: u64,
+        kind: ArtifactMutation,
+    ) -> Vec<u8> {
+        let mut rng = self.rng_for(index);
+        apply_artifact(kind, base, &mut rng)
     }
 
     fn rng_for(&self, index: u64) -> ChaCha8Rng {
@@ -138,6 +221,136 @@ fn apply(kind: Mutation, base: &[u8], rng: &mut ChaCha8Rng) -> Vec<u8> {
             let chunk: Vec<u8> = bytes[start..start + len].to_vec();
             let at = rng.gen_range(0..=bytes.len());
             bytes.splice(at..at, chunk);
+        }
+    }
+    bytes
+}
+
+/// The artifact regions the structure-aware mutations aim at, recovered
+/// from the documented `SOTERIA-STATE v3` layout: 64-byte header with the
+/// section count at offset 24 (native-endian u32), then 32-byte table
+/// entries at offset 64 whose payload offset/length are native-endian
+/// u64s at entry offsets 8 and 16.
+///
+/// This crate deliberately re-derives the layout from the documented
+/// constants instead of depending on the reader (`soteria-core` depends
+/// on this crate, not vice versa) — the fuzzer aiming at the same bytes
+/// the reader validates is the point.
+struct ArtifactLayout {
+    /// Section-table window `[start, end)`.
+    table: (usize, usize),
+    /// Per-section payload windows `[start, end)`, table order.
+    sections: Vec<(usize, usize)>,
+}
+
+const ARTIFACT_HEADER_LEN: usize = 64;
+const ARTIFACT_ENTRY_LEN: usize = 32;
+
+fn parse_layout(bytes: &[u8]) -> Option<ArtifactLayout> {
+    if bytes.len() < ARTIFACT_HEADER_LEN {
+        return None;
+    }
+    let count = u32::from_ne_bytes(bytes[24..28].try_into().ok()?) as usize;
+    if count == 0 {
+        return None;
+    }
+    let table_end = ARTIFACT_HEADER_LEN.checked_add(count.checked_mul(ARTIFACT_ENTRY_LEN)?)?;
+    if table_end > bytes.len() {
+        return None;
+    }
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let e = ARTIFACT_HEADER_LEN + ARTIFACT_ENTRY_LEN * i;
+        let off = u64::from_ne_bytes(bytes[e + 8..e + 16].try_into().ok()?);
+        let len = u64::from_ne_bytes(bytes[e + 16..e + 24].try_into().ok()?);
+        let end = off.checked_add(len)?;
+        if end > bytes.len() as u64 {
+            return None;
+        }
+        sections.push((off as usize, end as usize));
+    }
+    Some(ArtifactLayout {
+        table: (ARTIFACT_HEADER_LEN, table_end),
+        sections,
+    })
+}
+
+/// Flips `flips` random bits inside `window` of `bytes`.
+fn flip_in(bytes: &mut [u8], window: (usize, usize), flips: usize, rng: &mut ChaCha8Rng) {
+    let (start, end) = window;
+    for _ in 0..flips {
+        let pos = rng.gen_range(start..end);
+        let bit = rng.gen_range(0..8u32);
+        bytes[pos] ^= 1 << bit;
+    }
+}
+
+fn apply_artifact(kind: ArtifactMutation, base: &[u8], rng: &mut ChaCha8Rng) -> Vec<u8> {
+    let Some(layout) = parse_layout(base) else {
+        // Not parseable as an artifact: degrade to the structure-blind
+        // equivalent so the stream stays total and deterministic.
+        let fallback = match kind {
+            ArtifactMutation::HeaderBitFlip
+            | ArtifactMutation::TableBitFlip
+            | ArtifactMutation::PayloadBitFlip => Mutation::BitFlip,
+            ArtifactMutation::TruncateAtBoundary => Mutation::Truncate,
+            ArtifactMutation::AlignmentSplice => Mutation::Splice,
+        };
+        return apply(fallback, base, rng);
+    };
+    let mut bytes = base.to_vec();
+    match kind {
+        ArtifactMutation::HeaderBitFlip => {
+            let flips = rng.gen_range(1..=4usize);
+            flip_in(&mut bytes, (0, ARTIFACT_HEADER_LEN), flips, rng);
+        }
+        ArtifactMutation::TableBitFlip => {
+            let flips = rng.gen_range(1..=4usize);
+            flip_in(&mut bytes, layout.table, flips, rng);
+        }
+        ArtifactMutation::PayloadBitFlip => {
+            let targets: Vec<(usize, usize)> = layout
+                .sections
+                .iter()
+                .copied()
+                .filter(|(s, e)| e > s)
+                .collect();
+            if targets.is_empty() {
+                let window = (0, bytes.len());
+                flip_in(&mut bytes, window, 1, rng);
+            } else {
+                let window = targets[rng.gen_range(0..targets.len())];
+                let flips = rng.gen_range(1..=8usize);
+                flip_in(&mut bytes, window, flips, rng);
+            }
+        }
+        ArtifactMutation::TruncateAtBoundary => {
+            // Every structural seam: header end, table end, each
+            // section's start and end. A sweep of indices visits all of
+            // them.
+            let mut cuts = vec![ARTIFACT_HEADER_LEN, layout.table.1];
+            for (s, e) in &layout.sections {
+                cuts.push(*s);
+                cuts.push(*e);
+            }
+            cuts.retain(|&c| c < bytes.len());
+            cuts.sort_unstable();
+            cuts.dedup();
+            if cuts.is_empty() {
+                bytes.truncate(bytes.len() / 2);
+            } else {
+                bytes.truncate(cuts[rng.gen_range(0..cuts.len())]);
+            }
+        }
+        ArtifactMutation::AlignmentSplice => {
+            let at = if layout.sections.is_empty() {
+                layout.table.1
+            } else {
+                layout.sections[rng.gen_range(0..layout.sections.len())].0
+            };
+            let shift = rng.gen_range(1..64usize);
+            let filler: Vec<u8> = (0..shift).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+            bytes.splice(at..at, filler);
         }
     }
     bytes
@@ -211,5 +424,99 @@ mod tests {
     fn empty_input_is_returned_unchanged() {
         let inj = FaultInjector::new(0);
         assert!(inj.corrupt(&[], 0).0.is_empty());
+    }
+
+    /// A synthetic buffer following the documented v3 layout: 64-byte
+    /// header with the section count at offset 24, two 32-byte table
+    /// entries, and two 64-byte-aligned payloads.
+    fn fake_artifact() -> Vec<u8> {
+        let mut bytes = vec![0u8; 320];
+        bytes[..16].copy_from_slice(b"SOTERIA-STATE v3");
+        bytes[24..28].copy_from_slice(&2u32.to_ne_bytes()); // section count
+                                                            // Entry 0: payload at 192, 40 bytes. Entry 1: payload at 256, 64.
+        bytes[64 + 8..64 + 16].copy_from_slice(&192u64.to_ne_bytes());
+        bytes[64 + 16..64 + 24].copy_from_slice(&40u64.to_ne_bytes());
+        bytes[96 + 8..96 + 16].copy_from_slice(&256u64.to_ne_bytes());
+        bytes[96 + 16..96 + 24].copy_from_slice(&64u64.to_ne_bytes());
+        for (i, b) in bytes[192..].iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        bytes
+    }
+
+    #[test]
+    fn artifact_corruption_is_deterministic_and_cycles_all_kinds() {
+        let base = fake_artifact();
+        let inj = FaultInjector::new(42);
+        for index in 0..10 {
+            assert_eq!(
+                inj.corrupt_artifact(&base, index),
+                inj.corrupt_artifact(&base, index)
+            );
+        }
+        let kinds: Vec<ArtifactMutation> =
+            (0..5).map(|i| inj.corrupt_artifact(&base, i).1).collect();
+        assert_eq!(kinds, ArtifactMutation::ALL.to_vec());
+    }
+
+    #[test]
+    fn artifact_mutations_hit_their_declared_regions() {
+        let base = fake_artifact();
+        let inj = FaultInjector::new(13);
+        for i in 0..20u64 {
+            let flipped = inj.corrupt_artifact_with(&base, i, ArtifactMutation::HeaderBitFlip);
+            assert_eq!(flipped.len(), base.len());
+            assert_eq!(flipped[64..], base[64..], "header flip leaked past byte 64");
+            assert_ne!(flipped[..64], base[..64]);
+
+            let flipped = inj.corrupt_artifact_with(&base, i, ArtifactMutation::TableBitFlip);
+            assert_eq!(flipped[..64], base[..64]);
+            assert_eq!(flipped[128..], base[128..], "table flip left the table");
+            assert_ne!(flipped[64..128], base[64..128]);
+
+            let flipped = inj.corrupt_artifact_with(&base, i, ArtifactMutation::PayloadBitFlip);
+            assert_eq!(flipped[..192], base[..192], "payload flip hit the metadata");
+            assert_ne!(flipped[192..], base[192..]);
+        }
+    }
+
+    #[test]
+    fn boundary_truncation_visits_every_seam() {
+        let base = fake_artifact();
+        let inj = FaultInjector::new(21);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let cut = inj.corrupt_artifact_with(&base, i, ArtifactMutation::TruncateAtBoundary);
+            assert!(cut.len() < base.len());
+            seen.insert(cut.len());
+        }
+        // Seams: header end 64, table end 128, payload starts 192/256,
+        // payload end 232 (320 is the full length, never a cut).
+        for seam in [64usize, 128, 192, 232, 256] {
+            assert!(seen.contains(&seam), "seam {seam} never cut: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn alignment_splice_grows_and_shifts_a_section() {
+        let base = fake_artifact();
+        let inj = FaultInjector::new(8);
+        for i in 0..8u64 {
+            let spliced = inj.corrupt_artifact_with(&base, i, ArtifactMutation::AlignmentSplice);
+            assert!(spliced.len() > base.len());
+            assert!(spliced.len() < base.len() + 64);
+            assert_eq!(spliced[..64], base[..64], "splice must not edit the header");
+        }
+    }
+
+    #[test]
+    fn non_artifact_input_falls_back_to_blind_damage() {
+        let inj = FaultInjector::new(3);
+        let junk = vec![0xABu8; 40]; // shorter than a header
+        for (i, kind) in ArtifactMutation::ALL.iter().enumerate() {
+            let out = inj.corrupt_artifact_with(&junk, i as u64, *kind);
+            assert_ne!(out, junk, "{kind} must still damage non-artifacts");
+        }
+        assert!(inj.corrupt_artifact(&[], 0).0.is_empty());
     }
 }

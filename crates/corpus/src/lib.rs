@@ -54,5 +54,5 @@ pub use binary::Binary;
 pub use corpus::{Corpus, CorpusConfig, Sample, Split};
 pub use error::CorpusError;
 pub use families::Family;
-pub use faults::{FaultInjector, Mutation};
+pub use faults::{ArtifactMutation, FaultInjector, Mutation};
 pub use generator::SampleGenerator;

@@ -12,7 +12,8 @@
 //! soteria-exp serve-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH]
 //! soteria-exp serve-smoke [--seed N] [--scale F]
 //! soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]
-//! soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]
+//! soteria-exp artifact-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]
+//! soteria-exp chaos [--seed N] [--samples N] [--artifact-cases N] [--scale F] [--metrics PATH]
 //!
 //! experiments: table2 table3 table4 table6 table7 table8
 //!              fig8 fig9_11 fig12 fig13 adaptive robustness
@@ -24,7 +25,18 @@
 //! binaries (bit flips, truncations, garbage, splices) through the full
 //! parse → lift → extract → screen pipeline, and fails unless every single
 //! sample came back with a verdict — no panic may escape, no abort may
-//! occur.
+//! occur. A second phase sweeps artifact-aware corruptions over the
+//! trained model's v3 binary artifact (`--artifact-cases`, default 500):
+//! every mutated artifact must be rejected with a typed error or load into
+//! a verdict-identical model — a panic or a silently different verdict
+//! fails the gate.
+//!
+//! `artifact-bench` measures the instant-start story: cold-load wall time
+//! of the same trained state from the v2 JSON envelope vs the v3 binary
+//! artifact, HARD-FAILING if the two loads are not verdict-identical on
+//! both backends or if any corrupted artifact panics the loader. The
+//! speedup is recorded in `BENCH_artifact.json`; drift against a committed
+//! baseline is noted, not fatal (wall clock is hardware-bound).
 //!
 //! Tables print to stdout; with `--out DIR`, each table is also written as
 //! CSV for plotting, plus a `<experiment>_metrics.json` telemetry snapshot.
@@ -36,7 +48,7 @@
 //! `BENCH_pipeline.json`.
 
 use serde::{Deserialize, Serialize};
-use soteria::{PipelineMetrics, Soteria, SoteriaConfig, Verdict};
+use soteria::{PipelineMetrics, Soteria, SoteriaConfig, SoteriaState, StateImage, Verdict};
 use soteria_cfg::Cfg;
 use soteria_corpus::{Corpus, CorpusConfig};
 use soteria_eval::experiments::{self, ALL_EXPERIMENTS, PAPER_EXPERIMENTS};
@@ -67,7 +79,8 @@ fn usage() -> &'static str {
      soteria-exp serve-smoke [--seed N] [--scale F] [--trace F]\n       \
      soteria-exp overload-bench [--seed N] [--scale F] [--out DIR] [--baseline PATH] [--smoke]\n       \
      soteria-exp telemetry-bench [--out DIR] [--baseline PATH] [--smoke]\n       \
-     soteria-exp chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]\n       \
+     soteria-exp artifact-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]\n       \
+     soteria-exp chaos [--seed N] [--samples N] [--artifact-cases N] [--scale F] [--metrics PATH]\n       \
      experiments: table2 table3 table4 table6 \
      table7 table8 fig8 fig9_11 fig12 fig13 adaptive robustness ablation | all | ext\n\n       \
      chaos corrupts binaries and injects deterministic faults, asserting the\n       \
@@ -2722,12 +2735,332 @@ fn run_overload_bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `chaos [--seed N] [--samples N] [--scale F] [--metrics PATH]` — the
-/// fault-injection gate. Returns `Err` (nonzero exit) if any corrupted
-/// sample failed to produce a verdict.
+/// The cold-start comparison and its correctness gates, committed as
+/// `results/BENCH_artifact.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct ArtifactBenchReport {
+    seed: u64,
+    smoke: bool,
+    /// Serialized sizes of the identical trained state.
+    json_bytes: u64,
+    artifact_bytes: u64,
+    sections: usize,
+    /// Median cold-load wall time from disk, file → ready-to-serve system.
+    json_cold_ms: f64,
+    artifact_cold_ms: f64,
+    /// `json_cold_ms / artifact_cold_ms` — the instant-start headline.
+    speedup: f64,
+    /// HARD GATE: both loads verdict-identical on both backends.
+    verdicts_identical: bool,
+    probe_count: usize,
+    /// Corruption mini-sweep over the artifact (same gate as `chaos`).
+    corruption_cases: usize,
+    corruption_rejected: usize,
+    corruption_loaded_identical: usize,
+    /// HARD GATES: both must be zero.
+    corruption_diverged: usize,
+    corruption_panics: usize,
+}
+
+/// `artifact-bench [--seed N] [--out DIR] [--baseline PATH] [--smoke]` —
+/// trains one system, saves it as both the v2 JSON envelope and the v3
+/// binary artifact, and measures the cold file → ready-to-serve wall time
+/// of each. HARD-FAILS if the two loads are not verdict-identical on both
+/// backends, or if any corrupted artifact panics the loader or loads with
+/// different verdicts. The speedup itself is recorded, and drift against
+/// `--baseline` is noted, not fatal — wall clock is hardware-bound,
+/// correctness is not.
+fn run_artifact_bench(argv: &[String]) -> Result<(), String> {
+    use soteria::Backend;
+
+    let mut seed = 7u64;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown artifact-bench flag {other}\n{}", usage())),
+        }
+    }
+
+    soteria_pool::ensure_threads(8);
+
+    // Wide detector layers make the persisted state serving-sized, so the
+    // measured ratio reflects a real deployment, not a toy file. Int8
+    // training persists the quantized tensors too — they ride along in
+    // both formats.
+    let corpus = Corpus::generate(&CorpusConfig {
+        counts: if smoke { [6, 6, 6, 6] } else { [8, 8, 8, 8] },
+        seed,
+        av_noise: false,
+        lineages: 2,
+    });
+    let split = corpus.split(0.8, seed ^ 0x517);
+    let mut config = SoteriaConfig {
+        backend: Backend::Int8,
+        ..SoteriaConfig::tiny()
+    };
+    config.detector.hidden = if smoke {
+        [96, 128, 96]
+    } else {
+        [384, 512, 384]
+    };
+    config.detector.epochs = 1;
+    eprintln!(
+        "[artifact-bench] training (detector {:?}, {} samples)...",
+        config.detector.hidden,
+        corpus.len()
+    );
+    let mut trained = Soteria::train(&config, &corpus, &split.train, seed)
+        .map_err(|e| format!("artifact-bench: training failed: {e}"))?;
+
+    // Both formats on disk, loaded back through the real cold-start paths.
+    let dir = std::env::temp_dir().join(format!(
+        "soteria-artifact-bench-{}-{seed}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let json_path = dir.join("state.json");
+    let artifact_path = dir.join("state.sot3");
+    let state = trained
+        .save_state()
+        .map_err(|e| format!("artifact-bench: save_state failed: {e}"))?;
+    state
+        .save_to_path(&json_path)
+        .map_err(|e| format!("artifact-bench: v2 save failed: {e}"))?;
+    state
+        .save_artifact_to_path(&artifact_path)
+        .map_err(|e| format!("artifact-bench: v3 save failed: {e}"))?;
+    let json_bytes = std::fs::metadata(&json_path)
+        .map_err(|e| e.to_string())?
+        .len();
+    let artifact_bytes = std::fs::metadata(&artifact_path)
+        .map_err(|e| e.to_string())?
+        .len();
+
+    let iters = if smoke { 5 } else { 15 };
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let mut json_ms = Vec::with_capacity(iters);
+    let mut json_model = None;
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        let loaded = Soteria::from_state(
+            SoteriaState::load_from_path(&json_path)
+                .map_err(|e| format!("artifact-bench: v2 load failed: {e}"))?,
+        );
+        json_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        json_model = Some(loaded);
+    }
+    let mut artifact_ms = Vec::with_capacity(iters);
+    let mut artifact_model = None;
+    let mut sections = 0usize;
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        let image = StateImage::open(&artifact_path)
+            .map_err(|e| format!("artifact-bench: v3 open failed: {e}"))?;
+        let loaded = Soteria::load_image(&image)
+            .map_err(|e| format!("artifact-bench: v3 load failed: {e}"))?;
+        artifact_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        sections = image.sections().len();
+        artifact_model = Some(loaded);
+    }
+    let json_cold_ms = median(json_ms);
+    let artifact_cold_ms = median(artifact_ms);
+    let speedup = json_cold_ms / artifact_cold_ms.max(1e-9);
+    let mut json_model = json_model.expect("iters >= 1");
+    let mut artifact_model = artifact_model.expect("iters >= 1");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Gate 1: the three systems (trained, JSON-loaded, artifact-loaded)
+    // must be verdict-identical on both backends, bit for bit.
+    let probes: Vec<Vec<u8>> = split
+        .test
+        .iter()
+        .take(4)
+        .map(|&i| corpus.samples()[i].binary().to_bytes())
+        .collect();
+    let mut verdicts_identical = true;
+    for backend in [Backend::Int8, Backend::F32] {
+        for m in [&mut trained, &mut json_model, &mut artifact_model] {
+            m.set_backend(backend)
+                .map_err(|e| format!("artifact-bench: cannot select {backend}: {e}"))?;
+        }
+        let screen = |m: &mut Soteria| -> String {
+            let items: Vec<(&[u8], u64)> = probes
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.as_slice(), 3_000 + i as u64))
+                .collect();
+            format!("{:?}", m.screen_many_seeded(&items))
+        };
+        let reference = screen(&mut trained);
+        if screen(&mut json_model) != reference || screen(&mut artifact_model) != reference {
+            verdicts_identical = false;
+        }
+    }
+
+    // Gate 2: corruption mini-sweep — typed rejection or identical load,
+    // never a panic, never a different verdict.
+    let corruption_cases = if smoke { 100 } else { 250 };
+    let probe_verdicts = |m: &mut Soteria| -> String {
+        let items: Vec<(&[u8], u64)> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.as_slice(), 3_000 + i as u64))
+            .collect();
+        format!("{:?}", m.screen_many_seeded(&items))
+    };
+    let artifact = state
+        .to_artifact()
+        .map_err(|e| format!("artifact-bench: re-export failed: {e}"))?;
+    // The baseline must come from a FRESH pristine load: corrupted-but-
+    // valid artifacts load on their persisted backend, while the models
+    // above were switched around by the backend comparison.
+    let baseline_verdicts = {
+        let image = StateImage::parse(&artifact)
+            .map_err(|e| format!("artifact-bench: pristine parse failed: {e}"))?;
+        let mut m = Soteria::load_image(&image)
+            .map_err(|e| format!("artifact-bench: pristine load failed: {e}"))?;
+        probe_verdicts(&mut m)
+    };
+    let injector = soteria_corpus::FaultInjector::new(seed ^ 0xBE2C);
+    let mut counts = [0usize; 4];
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for i in 0..corruption_cases {
+        let (corrupted, _mutation) = injector.corrupt_artifact(&artifact, i as u64);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match StateImage::parse(&corrupted).and_then(|img| Soteria::load_image(&img)) {
+                Err(_) => 0usize,
+                Ok(mut m) => {
+                    if probe_verdicts(&mut m) == baseline_verdicts {
+                        1
+                    } else {
+                        2
+                    }
+                }
+            }
+        }))
+        .unwrap_or(3);
+        counts[outcome] += 1;
+    }
+    std::panic::set_hook(prior_hook);
+
+    let report = ArtifactBenchReport {
+        seed,
+        smoke,
+        json_bytes,
+        artifact_bytes,
+        sections,
+        json_cold_ms,
+        artifact_cold_ms,
+        speedup,
+        verdicts_identical,
+        probe_count: probes.len(),
+        corruption_cases,
+        corruption_rejected: counts[0],
+        corruption_loaded_identical: counts[1],
+        corruption_diverged: counts[2],
+        corruption_panics: counts[3],
+    };
+    println!(
+        "artifact-bench (seed {seed}{}):",
+        if smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "  state size      v2 json {:.1} KiB, v3 artifact {:.1} KiB ({sections} sections)",
+        json_bytes as f64 / 1024.0,
+        artifact_bytes as f64 / 1024.0
+    );
+    println!(
+        "  cold start      v2 json {json_cold_ms:.2} ms, v3 artifact {artifact_cold_ms:.3} ms \
+         -> {speedup:.0}x"
+    );
+    println!("  verdicts        identical on both backends: {verdicts_identical}");
+    println!(
+        "  corruption      {corruption_cases} cases: {} rejected, {} identical, {} diverged, \
+         {} panicked",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| {
+                serde_json::from_str::<ArtifactBenchReport>(&s).map_err(|e| e.to_string())
+            }) {
+            Ok(committed) => {
+                let ratio = (report.speedup / committed.speedup.max(1e-9))
+                    .max(committed.speedup / report.speedup.max(1e-9));
+                if ratio > 1.5 {
+                    eprintln!(
+                        "note: artifact-bench drift: speedup {:.0}x vs baseline {:.0}x — \
+                         wall-clock numbers are hardware-dependent, refresh \
+                         results/BENCH_artifact.json if this host is the reference",
+                        report.speedup, committed.speedup
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "note: cannot compare against baseline {}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join("BENCH_artifact.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+
+    if !verdicts_identical {
+        return Err(
+            "artifact-bench: JSON-loaded and artifact-loaded systems are NOT \
+             verdict-identical — the binary format is not a faithful serialization"
+                .to_string(),
+        );
+    }
+    if counts[3] > 0 {
+        return Err(format!(
+            "artifact-bench: {} corrupted artifacts PANICKED the loader",
+            counts[3]
+        ));
+    }
+    if counts[2] > 0 {
+        return Err(format!(
+            "artifact-bench: {} corrupted artifacts loaded with DIFFERENT verdicts",
+            counts[2]
+        ));
+    }
+    Ok(())
+}
+
+/// `chaos [--seed N] [--samples N] [--artifact-cases N] [--scale F]
+/// [--metrics PATH]` — the fault-injection gate. Returns `Err` (nonzero
+/// exit) if any corrupted sample failed to produce a verdict, or if any
+/// corrupted model artifact panicked the loader or loaded into a model
+/// with different verdicts.
 fn run_chaos(argv: &[String]) -> Result<(), String> {
     let mut seed = 42u64;
     let mut samples = 500usize;
+    let mut artifact_cases = 500usize;
     let mut scale = 0.004f64;
     let mut metrics: Option<PathBuf> = None;
     let mut it = argv.iter();
@@ -2746,6 +3079,13 @@ fn run_chaos(argv: &[String]) -> Result<(), String> {
                     .ok_or("--samples needs a value")?
                     .parse()
                     .map_err(|e| format!("bad samples: {e}"))?;
+            }
+            "--artifact-cases" => {
+                artifact_cases = it
+                    .next()
+                    .ok_or("--artifact-cases needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad artifact-cases: {e}"))?;
             }
             "--scale" => {
                 scale = it
@@ -2809,9 +3149,62 @@ fn run_chaos(argv: &[String]) -> Result<(), String> {
         }
     }
 
-    // Restore normal panic reporting and disarm chaos.
-    let _ = std::panic::take_hook();
+    // Phase 2: artifact corruption — the model-loading surface. Chaos is
+    // disarmed so corruption alone explains every rejection; the panic
+    // hook stays silenced because the phase exists to prove no panic
+    // happens (and to avoid backtrace spray if one ever does).
     soteria_resilience::set_chaos_seed(None);
+    let artifact = system
+        .save_state()
+        .map_err(|e| format!("chaos: save_state failed: {e}"))?
+        .to_artifact()
+        .map_err(|e| format!("chaos: artifact export failed: {e}"))?;
+    let probes: Vec<Vec<u8>> = (0..2)
+        .map(|i| {
+            corpus.samples()[split.test[i % split.test.len()]]
+                .binary()
+                .to_bytes()
+        })
+        .collect();
+    let probe_verdicts = |m: &mut Soteria| -> String {
+        let items: Vec<(&[u8], u64)> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.as_slice(), 7_000 + i as u64))
+            .collect();
+        format!("{:?}", m.screen_many_seeded(&items))
+    };
+    let baseline_verdicts = {
+        let image = StateImage::parse(&artifact).map_err(|e| format!("pristine parse: {e}"))?;
+        let mut m = Soteria::load_image(&image).map_err(|e| format!("pristine load: {e}"))?;
+        probe_verdicts(&mut m)
+    };
+    // Per mutation kind: [rejected, loaded-identical, diverged, panicked].
+    let mut by_artifact_mutation: std::collections::BTreeMap<String, [usize; 4]> =
+        std::collections::BTreeMap::new();
+    let injector = soteria_corpus::FaultInjector::new(seed ^ 0xA27);
+    for i in 0..artifact_cases {
+        let (corrupted, mutation) = injector.corrupt_artifact(&artifact, i as u64);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match StateImage::parse(&corrupted).and_then(|img| Soteria::load_image(&img)) {
+                Err(_) => 0usize,
+                Ok(mut m) => {
+                    if probe_verdicts(&mut m) == baseline_verdicts {
+                        1
+                    } else {
+                        2
+                    }
+                }
+            }
+        }))
+        .unwrap_or(3);
+        by_artifact_mutation
+            .entry(mutation.to_string())
+            .or_default()[outcome] += 1;
+    }
+
+    // Restore normal panic reporting.
+    let _ = std::panic::take_hook();
 
     let degraded: usize = degraded_by_slug.values().sum();
     println!("chaos (seed {seed}, {samples} corrupted samples):");
@@ -2824,6 +3217,18 @@ fn run_chaos(argv: &[String]) -> Result<(), String> {
     println!("  by mutation (survived/degraded):");
     for (mutation, [ok, bad]) in &by_mutation {
         println!("    {mutation:<10} {ok:>4} / {bad}");
+    }
+    let mut artifact_counts = [0usize; 4];
+    println!("artifact chaos ({artifact_cases} corrupted artifacts):");
+    println!("  by mutation (rejected/identical/diverged/panicked):");
+    for (mutation, counts) in &by_artifact_mutation {
+        println!(
+            "    {mutation:<20} {:>4} / {} / {} / {}",
+            counts[0], counts[1], counts[2], counts[3]
+        );
+        for (total, n) in artifact_counts.iter_mut().zip(counts) {
+            *total += n;
+        }
     }
 
     if let Some(path) = &metrics {
@@ -2843,7 +3248,32 @@ fn run_chaos(argv: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
-    println!("ok: zero aborts, {samples}/{samples} verdicts");
+    if artifact_counts[3] > 0 {
+        return Err(format!(
+            "artifact chaos: {} corrupted artifacts PANICKED the loader — corruption \
+             must always surface as a typed StateError",
+            artifact_counts[3]
+        ));
+    }
+    if artifact_counts[2] > 0 {
+        return Err(format!(
+            "artifact chaos: {} corrupted artifacts loaded with DIFFERENT verdicts — \
+             a checksum hole is letting silent model corruption through",
+            artifact_counts[2]
+        ));
+    }
+    if artifact_cases > 0 && artifact_counts[0] == 0 {
+        return Err(
+            "suspicious run: artifact corruption rejected zero artifacts (is the \
+             corruptor wired up?)"
+                .to_string(),
+        );
+    }
+    println!(
+        "ok: zero aborts, {samples}/{samples} verdicts; artifacts {} rejected, \
+         {} identical, 0 diverged, 0 panicked",
+        artifact_counts[0], artifact_counts[1]
+    );
     Ok(())
 }
 
@@ -2933,6 +3363,17 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("telemetry-bench") {
         let result = run_telemetry_bench(&argv[1..]);
+        soteria_telemetry::print_summary_if_requested();
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("artifact-bench") {
+        let result = run_artifact_bench(&argv[1..]);
         soteria_telemetry::print_summary_if_requested();
         return match result {
             Ok(()) => ExitCode::SUCCESS,

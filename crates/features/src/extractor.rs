@@ -257,6 +257,23 @@ impl FeatureExtractor {
         (dbl_docs, lbl_docs)
     }
 
+    /// Rebuilds a fitted extractor from its configuration and fitted
+    /// vocabularies (the binary artifact loader's constructor). The fast
+    /// gram-lookup tables are rebuilt lazily on first use, exactly as
+    /// after deserialization.
+    pub fn from_parts(
+        config: ExtractorConfig,
+        dbl_vocab: Vocabulary,
+        lbl_vocab: Vocabulary,
+    ) -> Self {
+        FeatureExtractor {
+            config,
+            dbl_vocab,
+            lbl_vocab,
+            fast: OnceLock::new(),
+        }
+    }
+
     /// The extraction configuration.
     pub fn config(&self) -> &ExtractorConfig {
         &self.config

@@ -53,9 +53,27 @@ impl Gram {
     }
 
     /// The raw packed label bits (16 bits per label, first label in the low
-    /// bits) — the fast path's interned key.
-    pub(crate) fn packed(&self) -> u64 {
+    /// bits) — the fast path's interned key and the binary artifact's
+    /// on-disk form.
+    pub fn packed(&self) -> u64 {
         self.packed
+    }
+
+    /// Rebuilds a gram from its raw parts (the inverse of
+    /// [`packed`](Gram::packed) + [`len`](Gram::len), used by the binary
+    /// artifact loader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not in `1..=4` or `packed` carries bits beyond
+    /// `len` labels.
+    pub fn from_raw(len: u8, packed: u64) -> Self {
+        assert!((1..=4).contains(&len), "gram length {len} not in 1..=4");
+        assert!(
+            len == 4 || packed >> (16 * len as u32) == 0,
+            "packed bits beyond gram length"
+        );
+        Gram { len, packed }
     }
 
     /// Unpacks the labels.

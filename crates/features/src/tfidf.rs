@@ -131,6 +131,19 @@ impl Vocabulary {
         Self::from_grams(selected, documents)
     }
 
+    /// Rebuilds a fitted vocabulary from its gram list and IDF weights
+    /// (the binary artifact loader's constructor — the lookup index is the
+    /// only thing recomputed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grams` and `idf` lengths differ.
+    pub fn from_parts(grams: Vec<Gram>, idf: Vec<f64>) -> Self {
+        assert_eq!(grams.len(), idf.len(), "grams/idf length mismatch");
+        let index = grams.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        Vocabulary { grams, index, idf }
+    }
+
     fn from_grams(grams: Vec<Gram>, documents: &[GramCounts]) -> Self {
         let index: HashMap<Gram, usize> = grams.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         let n = documents.len() as f64;

@@ -25,6 +25,7 @@ use crate::backend;
 use crate::init;
 use crate::layer::Layer;
 use crate::matrix::Matrix;
+use crate::storage::WeightStore;
 use serde::{Deserialize, Serialize};
 
 /// A same-padded, stride-1, 1-D convolution with fused ReLU.
@@ -37,8 +38,8 @@ pub struct Conv1d {
     relu: bool,
     /// `[out_c × in_c × kernel]`, flattened — equivalently a row-major
     /// `[out_c × (in_c·kernel)]` GEMM operand.
-    weights: Vec<f32>,
-    bias: Vec<f32>,
+    weights: WeightStore<f32>,
+    bias: WeightStore<f32>,
     #[serde(skip)]
     grad_weights: Vec<f32>,
     #[serde(skip)]
@@ -213,10 +214,54 @@ impl Conv1d {
             kernel,
             length,
             relu,
-            weights: init::he_uniform(out_channels * in_channels * kernel, fan_in, seed),
-            bias: vec![0.0; out_channels],
+            weights: init::he_uniform(out_channels * in_channels * kernel, fan_in, seed).into(),
+            bias: vec![0.0; out_channels].into(),
             grad_weights: vec![0.0; out_channels * in_channels * kernel],
             grad_bias: vec![0.0; out_channels],
+            col: Vec::new(),
+            mask: Vec::new(),
+            delta: Vec::new(),
+            delta_col: Vec::new(),
+            wflip: Vec::new(),
+            cached_input: Vec::new(),
+            cached_rows: None,
+        }
+    }
+
+    /// Assembles a layer from existing parameters (the zero-copy artifact
+    /// loader passes artifact-shared stores; gradient buffers stay empty
+    /// until training materializes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight/bias lengths do not match the shape or the
+    /// kernel is even.
+    pub fn from_parts(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        length: usize,
+        relu: bool,
+        weights: WeightStore<f32>,
+        bias: WeightStore<f32>,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "same padding requires an odd kernel");
+        assert_eq!(
+            weights.len(),
+            out_channels * in_channels * kernel,
+            "conv1d weight length mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "conv1d bias length mismatch");
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            length,
+            relu,
+            weights,
+            bias,
+            grad_weights: Vec::new(),
+            grad_bias: Vec::new(),
             col: Vec::new(),
             mask: Vec::new(),
             delta: Vec::new(),
@@ -279,10 +324,22 @@ impl Conv1d {
     }
 
     /// Restores transient buffers after deserialization (serde skips the
-    /// gradient/arena fields).
+    /// gradient/arena fields). Gradient buffers are left empty and
+    /// materialized lazily on the first backward pass.
     pub fn rebuild_buffers(&mut self) {
-        self.grad_weights = vec![0.0; self.weights.len()];
-        self.grad_bias = vec![0.0; self.bias.len()];
+        self.grad_weights = Vec::new();
+        self.grad_bias = Vec::new();
+    }
+
+    /// Materializes the gradient buffers if a previous load left them
+    /// empty (they always start zeroed, matching `new`).
+    fn ensure_grads(&mut self) {
+        if self.grad_weights.len() != self.weights.len() {
+            self.grad_weights = vec![0.0; self.weights.len()];
+        }
+        if self.grad_bias.len() != self.bias.len() {
+            self.grad_bias = vec![0.0; self.bias.len()];
+        }
     }
 
     #[inline]
@@ -393,7 +450,7 @@ impl Layer for Conv1d {
 
         let jobs = backend::job_count(rows * self.out_channels * l * patch.saturating_mul(2), rows);
         let rows_per = rows.div_ceil(jobs.max(1)).max(1);
-        let (weights, bias, relu) = (&self.weights, &self.bias, self.relu);
+        let (weights, bias, relu) = (self.weights.as_slice(), self.bias.as_slice(), self.relu);
         let (in_c, oc_n, kernel, half) = (
             self.in_channels,
             self.out_channels,
@@ -508,8 +565,9 @@ impl Layer for Conv1d {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        visitor(&mut self.weights, &mut self.grad_weights);
-        visitor(&mut self.bias, &mut self.grad_bias);
+        self.ensure_grads();
+        visitor(self.weights.as_mut_slice(), &mut self.grad_weights);
+        visitor(self.bias.as_mut_slice(), &mut self.grad_bias);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -523,6 +581,7 @@ impl Conv1d {
     /// Reconstructs δ from the cached ReLU mask and accumulates dW/db.
     /// Returns the batch size, which arms [`Conv1d::backward_input`].
     fn backward_params(&mut self, grad_out: &Matrix) -> usize {
+        self.ensure_grads();
         let rows = self
             .cached_rows
             .take()
@@ -677,7 +736,7 @@ impl Conv1d {
             }
             backend::ensure_len(&mut self.delta_col, gi_jobs * l * ock);
         }
-        let (delta, wflip, weights) = (&self.delta, &self.wflip, &self.weights);
+        let (delta, wflip, weights) = (&self.delta, &self.wflip, self.weights.as_slice());
         let mut tasks: Vec<backend::ScopedTask<'_>> = Vec::with_capacity(gi_jobs);
         let mut gi_rest: &mut [f32] = grad_in.data_mut();
         let mut scratch_rest: &mut [f32] = &mut self.delta_col;

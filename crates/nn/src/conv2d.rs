@@ -14,6 +14,7 @@ use crate::backend;
 use crate::init;
 use crate::layer::Layer;
 use crate::matrix::Matrix;
+use crate::storage::WeightStore;
 use serde::{Deserialize, Serialize};
 
 /// A same-padded, stride-1, square-kernel 2-D convolution with fused ReLU.
@@ -27,8 +28,8 @@ pub struct Conv2d {
     relu: bool,
     /// `[out_c × in_c × kernel × kernel]`, flattened — equivalently a
     /// row-major `[out_c × (in_c·kernel²)]` GEMM operand.
-    weights: Vec<f32>,
-    bias: Vec<f32>,
+    weights: WeightStore<f32>,
+    bias: WeightStore<f32>,
     #[serde(skip)]
     grad_weights: Vec<f32>,
     #[serde(skip)]
@@ -78,8 +79,8 @@ impl Conv2d {
             height,
             width,
             relu,
-            weights: init::he_uniform(out_channels * fan_in, fan_in, seed),
-            bias: vec![0.0; out_channels],
+            weights: init::he_uniform(out_channels * fan_in, fan_in, seed).into(),
+            bias: vec![0.0; out_channels].into(),
             grad_weights: vec![0.0; out_channels * fan_in],
             grad_bias: vec![0.0; out_channels],
             col: Vec::new(),
@@ -89,6 +90,92 @@ impl Conv2d {
             wflip: Vec::new(),
             cached_rows: None,
         }
+    }
+
+    /// Assembles a layer from existing parameters (the zero-copy artifact
+    /// loader passes artifact-shared stores; gradient buffers stay empty
+    /// until training materializes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight/bias lengths do not match the shape or the
+    /// kernel is even.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        height: usize,
+        width: usize,
+        relu: bool,
+        weights: WeightStore<f32>,
+        bias: WeightStore<f32>,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "same padding requires an odd kernel");
+        assert_eq!(
+            weights.len(),
+            out_channels * in_channels * kernel * kernel,
+            "conv2d weight length mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "conv2d bias length mismatch");
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            height,
+            width,
+            relu,
+            weights,
+            bias,
+            grad_weights: Vec::new(),
+            grad_bias: Vec::new(),
+            col: Vec::new(),
+            mask: Vec::new(),
+            delta: Vec::new(),
+            delta_col: Vec::new(),
+            wflip: Vec::new(),
+            cached_rows: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel width (odd, square).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether a ReLU is fused onto the output.
+    pub fn relu(&self) -> bool {
+        self.relu
+    }
+
+    /// The `[out_c × in_c × kernel × kernel]` weight tensor, flattened.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The per-output-channel bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
     }
 
     /// Output width per sample (same padding keeps spatial dims).
@@ -102,10 +189,22 @@ impl Conv2d {
     }
 
     /// Restores transient buffers after deserialization (serde skips the
-    /// gradient/arena fields).
+    /// gradient/arena fields). Gradient buffers are left empty and
+    /// materialized lazily on the first backward pass.
     pub fn rebuild_buffers(&mut self) {
-        self.grad_weights = vec![0.0; self.weights.len()];
-        self.grad_bias = vec![0.0; self.bias.len()];
+        self.grad_weights = Vec::new();
+        self.grad_bias = Vec::new();
+    }
+
+    /// Materializes the gradient buffers if a previous load left them
+    /// empty (they always start zeroed, matching `new`).
+    fn ensure_grads(&mut self) {
+        if self.grad_weights.len() != self.weights.len() {
+            self.grad_weights = vec![0.0; self.weights.len()];
+        }
+        if self.grad_bias.len() != self.bias.len() {
+            self.grad_bias = vec![0.0; self.bias.len()];
+        }
     }
 
     #[inline]
@@ -231,7 +330,7 @@ impl Layer for Conv2d {
             rows,
         );
         let rows_per = rows.div_ceil(jobs.max(1)).max(1);
-        let (weights, bias, relu) = (&self.weights, &self.bias, self.relu);
+        let (weights, bias, relu) = (self.weights.as_slice(), self.bias.as_slice(), self.relu);
         let (in_c, kernel, h, w) = (self.in_channels, self.kernel, self.height, self.width);
         let mut tasks: Vec<backend::ScopedTask<'_>> = Vec::with_capacity(jobs);
         let mut col_rest: &mut [f32] = &mut self.col;
@@ -283,6 +382,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        self.ensure_grads();
         let rows = self
             .cached_rows
             .take()
@@ -394,8 +494,9 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        visitor(&mut self.weights, &mut self.grad_weights);
-        visitor(&mut self.bias, &mut self.grad_bias);
+        self.ensure_grads();
+        visitor(self.weights.as_mut_slice(), &mut self.grad_weights);
+        visitor(self.bias.as_mut_slice(), &mut self.grad_bias);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -436,6 +537,26 @@ impl MaxPool2d {
             argmax: Vec::new(),
             in_shape: None,
         }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pooling window (= stride).
+    pub fn window(&self) -> usize {
+        self.window
     }
 
     /// Pooled height.

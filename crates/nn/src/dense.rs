@@ -8,6 +8,7 @@ use crate::backend;
 use crate::init;
 use crate::layer::Layer;
 use crate::matrix::Matrix;
+use crate::storage::WeightStore;
 use serde::{Deserialize, Serialize};
 
 /// Activation fused into a [`Dense`] layer.
@@ -55,7 +56,7 @@ pub struct Dense {
     activation: Activation,
     /// `[in_dim × out_dim]`, row-major.
     weights: Matrix,
-    bias: Vec<f32>,
+    bias: WeightStore<f32>,
     #[serde(skip)]
     grad_weights: Vec<f32>,
     #[serde(skip)]
@@ -92,9 +93,34 @@ impl Dense {
             out_dim,
             activation,
             weights,
-            bias: vec![0.0; out_dim],
+            bias: vec![0.0; out_dim].into(),
             grad_weights: vec![0.0; in_dim * out_dim],
             grad_bias: vec![0.0; out_dim],
+            cached_input: Matrix::default(),
+            act_deriv: Vec::new(),
+            delta: Matrix::default(),
+            cache_ready: false,
+        }
+    }
+
+    /// Assembles a layer from existing parameters (the zero-copy artifact
+    /// loader passes artifact-shared stores; gradient buffers stay empty
+    /// until training materializes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len()` does not match the weight matrix's column
+    /// count.
+    pub fn from_parts(activation: Activation, weights: Matrix, bias: WeightStore<f32>) -> Self {
+        assert_eq!(bias.len(), weights.cols(), "dense bias length mismatch");
+        Dense {
+            in_dim: weights.rows(),
+            out_dim: weights.cols(),
+            activation,
+            weights,
+            bias,
+            grad_weights: Vec::new(),
+            grad_bias: Vec::new(),
             cached_input: Matrix::default(),
             act_deriv: Vec::new(),
             delta: Matrix::default(),
@@ -128,10 +154,23 @@ impl Dense {
     }
 
     /// Restores transient buffers after deserialization (serde skips the
-    /// gradient/cache fields).
+    /// gradient/cache fields). Gradient buffers are left empty and
+    /// materialized lazily on the first backward pass, so a freshly loaded
+    /// model costs nothing until trained.
     pub fn rebuild_buffers(&mut self) {
-        self.grad_weights = vec![0.0; self.in_dim * self.out_dim];
-        self.grad_bias = vec![0.0; self.out_dim];
+        self.grad_weights = Vec::new();
+        self.grad_bias = Vec::new();
+    }
+
+    /// Materializes the gradient buffers if a previous load left them
+    /// empty (they always start zeroed, matching `new`).
+    fn ensure_grads(&mut self) {
+        if self.grad_weights.len() != self.in_dim * self.out_dim {
+            self.grad_weights = vec![0.0; self.in_dim * self.out_dim];
+        }
+        if self.grad_bias.len() != self.out_dim {
+            self.grad_bias = vec![0.0; self.out_dim];
+        }
     }
 
     /// The parameter-gradient half of `backward`: builds δ in the arena
@@ -142,6 +181,7 @@ impl Dense {
             std::mem::take(&mut self.cache_ready),
             "backward without forward(train=true)"
         );
+        self.ensure_grads();
         // δ = grad_out ⊙ act'(y), built in the reused arena.
         self.delta.copy_from(grad_out);
         for (d, &dv) in self.delta.data_mut().iter_mut().zip(&self.act_deriv) {
@@ -173,7 +213,7 @@ impl Layer for Dense {
         let mut out = input.matmul(&self.weights);
         for r in 0..out.rows() {
             let row = out.row_mut(r);
-            for (o, &b) in row.iter_mut().zip(&self.bias) {
+            for (o, &b) in row.iter_mut().zip(self.bias.iter()) {
                 *o = self.activation.apply(*o + b);
             }
         }
@@ -202,8 +242,9 @@ impl Layer for Dense {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.ensure_grads();
         visitor(self.weights.data_mut(), &mut self.grad_weights);
-        visitor(&mut self.bias, &mut self.grad_bias);
+        visitor(self.bias.as_mut_slice(), &mut self.grad_bias);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -48,6 +48,28 @@ impl Dropout {
     pub fn probability(&self) -> f64 {
         self.p
     }
+
+    /// The mask-stream seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Training forwards taken so far (the mask-stream position).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Rebuilds a layer mid-stream: a resumed or artifact-loaded model
+    /// continues the identical mask sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn from_parts(p: f64, seed: u64, draws: u64) -> Self {
+        let mut d = Dropout::new(p, seed);
+        d.draws = draws;
+        d
+    }
 }
 
 impl Layer for Dropout {

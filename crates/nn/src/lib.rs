@@ -55,6 +55,8 @@ pub mod persist;
 pub mod pool;
 pub mod quant;
 pub mod simd;
+#[allow(unsafe_code)]
+pub mod storage;
 pub mod trainer;
 
 pub use conv::Conv1d;
@@ -67,5 +69,6 @@ pub use matrix::Matrix;
 pub use model::Sequential;
 pub use optimizer::{Adam, Optimizer, OptimizerState, Sgd};
 pub use pool::MaxPool1d;
-pub use quant::{Backend, QuantLayerReport, QuantizedModel};
+pub use quant::{Backend, QuantLayerParts, QuantLayerReport, QuantizedModel};
+pub use storage::{AlignedBytes, Scalar, TensorView, ViewError, WeightStore, BUFFER_ALIGN};
 pub use trainer::{RngState, TrainConfig, Trainer, TrainerCheckpoint, TrainingHistory};

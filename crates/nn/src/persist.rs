@@ -96,6 +96,12 @@ impl ModelSpec {
         self.layers.is_empty()
     }
 
+    /// The layer specs in model order (the binary artifact writer walks
+    /// these to collect tensors).
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
     /// Converts into a live [`Sequential`].
     pub fn into_sequential(self) -> Sequential {
         Sequential::new(self.layers.into_iter().map(LayerSpec::into_layer).collect())

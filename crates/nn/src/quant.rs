@@ -42,6 +42,7 @@ use crate::dropout::Dropout;
 use crate::matrix::Matrix;
 use crate::model::Sequential;
 use crate::pool::MaxPool1d;
+use crate::storage::WeightStore;
 use serde::{Deserialize, Serialize};
 
 /// Which compute path the pipeline's inference uses.
@@ -105,10 +106,10 @@ enum QLayer {
         activation: Activation,
         /// `[out_dim × in_dim]` — transposed from the f32 layout so each
         /// output's dot product is contiguous.
-        w: Vec<i8>,
+        w: WeightStore<i8>,
         /// Combined dequantization scale per output: `s_in · s_w[oc]`.
-        scale: Vec<f32>,
-        bias: Vec<f32>,
+        scale: WeightStore<f32>,
+        bias: WeightStore<f32>,
         /// `1 / s_in`, applied when quantizing the incoming activations.
         inv_in_scale: f32,
     },
@@ -120,10 +121,10 @@ enum QLayer {
         length: usize,
         relu: bool,
         /// `[out_c × (in_c·kernel)]`.
-        w: Vec<i8>,
+        w: WeightStore<i8>,
         /// Combined scale per output channel.
-        scale: Vec<f32>,
-        bias: Vec<f32>,
+        scale: WeightStore<f32>,
+        bias: WeightStore<f32>,
         inv_in_scale: f32,
     },
     /// Max pooling runs on the dequantized f32 activations unchanged.
@@ -133,6 +134,64 @@ enum QLayer {
         window: usize,
     },
     /// Dropout at inference.
+    Identity,
+}
+
+/// One quantized layer's parameters, exposed for the binary artifact
+/// path: `QuantizedModel::to_parts` exports them (tensor blobs + shape
+/// metadata), `QuantizedModel::from_parts` rebuilds a model around
+/// artifact-shared stores without copying any tensor.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum QuantLayerParts {
+    /// A quantized dense layer.
+    Dense {
+        /// Input width.
+        in_dim: usize,
+        /// Output width.
+        out_dim: usize,
+        /// Fused activation.
+        activation: Activation,
+        /// `[out_dim × in_dim]` quantized weights (transposed layout).
+        w: WeightStore<i8>,
+        /// Combined dequantization scale per output.
+        scale: WeightStore<f32>,
+        /// Per-output bias.
+        bias: WeightStore<f32>,
+        /// Reciprocal input activation scale.
+        inv_in_scale: f32,
+    },
+    /// A quantized 1-D convolution.
+    Conv1d {
+        /// Input channel count.
+        in_c: usize,
+        /// Output channel count.
+        out_c: usize,
+        /// Kernel width.
+        kernel: usize,
+        /// Signal length per channel.
+        length: usize,
+        /// Whether a ReLU is fused onto the output.
+        relu: bool,
+        /// `[out_c × (in_c·kernel)]` quantized weights.
+        w: WeightStore<i8>,
+        /// Combined dequantization scale per output channel.
+        scale: WeightStore<f32>,
+        /// Per-output-channel bias.
+        bias: WeightStore<f32>,
+        /// Reciprocal input activation scale.
+        inv_in_scale: f32,
+    },
+    /// Pass-through max pooling.
+    MaxPool1d {
+        /// Channel count.
+        channels: usize,
+        /// Signal length per channel.
+        length: usize,
+        /// Pooling window (= stride).
+        window: usize,
+    },
+    /// Pass-through layer (dropout at inference).
     Identity,
 }
 
@@ -198,9 +257,9 @@ impl QuantizedModel {
                     in_dim,
                     out_dim,
                     activation: d.activation(),
-                    w,
-                    scale,
-                    bias: d.bias().to_vec(),
+                    w: w.into(),
+                    scale: scale.into(),
+                    bias: d.bias().to_vec().into(),
                     inv_in_scale: 1.0 / in_scale,
                 });
                 cur = dense_f32(d, &cur);
@@ -227,9 +286,9 @@ impl QuantizedModel {
                     kernel: c.kernel(),
                     length: c.length(),
                     relu: c.relu(),
-                    w,
-                    scale,
-                    bias: c.bias().to_vec(),
+                    w: w.into(),
+                    scale: scale.into(),
+                    bias: c.bias().to_vec().into(),
                     inv_in_scale: 1.0 / in_scale,
                 });
                 cur = c.forward_reference(&cur);
@@ -346,6 +405,144 @@ impl QuantizedModel {
         0
     }
 
+    /// Exports every layer's parameters for the binary artifact writer.
+    /// Weight stores are cloned (an `Arc` bump when already shared).
+    pub fn to_parts(&self) -> Vec<QuantLayerParts> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Dense {
+                    in_dim,
+                    out_dim,
+                    activation,
+                    w,
+                    scale,
+                    bias,
+                    inv_in_scale,
+                } => QuantLayerParts::Dense {
+                    in_dim: *in_dim,
+                    out_dim: *out_dim,
+                    activation: *activation,
+                    w: w.clone(),
+                    scale: scale.clone(),
+                    bias: bias.clone(),
+                    inv_in_scale: *inv_in_scale,
+                },
+                QLayer::Conv1d {
+                    in_c,
+                    out_c,
+                    kernel,
+                    length,
+                    relu,
+                    w,
+                    scale,
+                    bias,
+                    inv_in_scale,
+                } => QuantLayerParts::Conv1d {
+                    in_c: *in_c,
+                    out_c: *out_c,
+                    kernel: *kernel,
+                    length: *length,
+                    relu: *relu,
+                    w: w.clone(),
+                    scale: scale.clone(),
+                    bias: bias.clone(),
+                    inv_in_scale: *inv_in_scale,
+                },
+                QLayer::MaxPool1d {
+                    channels,
+                    length,
+                    window,
+                } => QuantLayerParts::MaxPool1d {
+                    channels: *channels,
+                    length: *length,
+                    window: *window,
+                },
+                QLayer::Identity => QuantLayerParts::Identity,
+            })
+            .collect()
+    }
+
+    /// Rebuilds a model from exported parts (the zero-copy artifact loader
+    /// passes artifact-shared stores).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any layer's tensor lengths disagree with its
+    /// declared shape.
+    pub fn from_parts(parts: Vec<QuantLayerParts>) -> Result<Self, String> {
+        let mut layers = Vec::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            layers.push(match part {
+                QuantLayerParts::Dense {
+                    in_dim,
+                    out_dim,
+                    activation,
+                    w,
+                    scale,
+                    bias,
+                    inv_in_scale,
+                } => {
+                    if w.len() != in_dim * out_dim
+                        || scale.len() != out_dim
+                        || bias.len() != out_dim
+                    {
+                        return Err(format!("quant layer {i}: dense tensor shape mismatch"));
+                    }
+                    QLayer::Dense {
+                        in_dim,
+                        out_dim,
+                        activation,
+                        w,
+                        scale,
+                        bias,
+                        inv_in_scale,
+                    }
+                }
+                QuantLayerParts::Conv1d {
+                    in_c,
+                    out_c,
+                    kernel,
+                    length,
+                    relu,
+                    w,
+                    scale,
+                    bias,
+                    inv_in_scale,
+                } => {
+                    if w.len() != out_c * in_c * kernel
+                        || scale.len() != out_c
+                        || bias.len() != out_c
+                    {
+                        return Err(format!("quant layer {i}: conv1d tensor shape mismatch"));
+                    }
+                    QLayer::Conv1d {
+                        in_c,
+                        out_c,
+                        kernel,
+                        length,
+                        relu,
+                        w,
+                        scale,
+                        bias,
+                        inv_in_scale,
+                    }
+                }
+                QuantLayerParts::MaxPool1d {
+                    channels,
+                    length,
+                    window,
+                } => QLayer::MaxPool1d {
+                    channels,
+                    length,
+                    window,
+                },
+                QuantLayerParts::Identity => QLayer::Identity,
+            });
+        }
+        Ok(QuantizedModel { layers })
+    }
+
     /// Per-layer calibration summary for the committed quantization
     /// report.
     pub fn report(&self) -> Vec<QuantLayerReport> {
@@ -364,7 +561,7 @@ impl QuantizedModel {
                 } => {
                     let in_scale = 1.0 / *inv_in_scale as f64;
                     let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
-                    for &s in scale {
+                    for &s in scale.iter() {
                         let w = s as f64 / in_scale;
                         lo = lo.min(w);
                         hi = hi.max(w);

@@ -10,6 +10,7 @@
 //! | `METRICS json` | the full [`MetricsReport`] as one JSON line        |
 //! | `TRACES [n]`   | up to `n` recent traces as JSON lines + `# EOF`    |
 //! | `HEALTH`       | one JSON line of liveness counters                 |
+//! | `SWAP <path>`  | hot-swaps the served model from a state file       |
 //!
 //! Verbs are upper-case to stay disjoint from request lines (filesystem
 //! paths and `hex:` payloads). Malformed arguments answer with the same
@@ -29,7 +30,25 @@ pub const TRACES_DEFAULT: usize = 16;
 
 /// Answers `line` if it is an admin verb, reading live state from the
 /// service; `None` hands the line back to the screening protocol.
+///
+/// `SWAP <path>` is handled here (not in [`respond`]) because it mutates
+/// the service: it loads a state file — v3 binary artifact or v2 JSON,
+/// sniffed automatically — and atomically installs it as the serving
+/// model. A load failure answers with the usual `{"error":…}` line and
+/// leaves the current model serving.
 pub fn handle_admin(service: &ScreeningService, line: &str) -> Option<String> {
+    let mut parts = line.split_whitespace();
+    if parts.next() == Some("SWAP") {
+        let response = match (parts.next(), parts.next()) {
+            (Some(path), None) => match service.swap_from_path(std::path::Path::new(path)) {
+                Ok(epoch) => format!("{{\"swapped\":true,\"epoch\":{epoch}}}"),
+                Err(e) => error_line(&format!("swap failed: {e}")),
+            },
+            _ => error_line("SWAP wants exactly one state-file path"),
+        };
+        soteria_telemetry::counter("serve.admin.requests", 1);
+        return Some(response);
+    }
     respond(&service.stats(), service.uptime(), line)
 }
 
@@ -109,6 +128,7 @@ fn health_json(stats: &ServiceStats, uptime: Duration) -> String {
     format!(
         "{{\"status\":\"ok\",\"uptime_ms\":{},\"submitted\":{},\"rejected\":{},\
          \"in_flight\":{},\"deadline_expired\":{},\"brownout\":{},\"breaker_trips\":{},\
+         \"epoch\":{},\"swaps\":{},\
          \"cache_entries\":{},\"cache_hits\":{},\"cache_lookups\":{},\
          \"telemetry_dropped_ops\":{},\"telemetry_events_overflow\":{}}}",
         uptime.as_millis(),
@@ -118,6 +138,8 @@ fn health_json(stats: &ServiceStats, uptime: Duration) -> String {
         stats.deadline_expired,
         stats.brownout,
         stats.breaker_trips,
+        stats.epoch,
+        stats.swaps,
         stats.cache.entries,
         stats.cache.hits,
         stats.cache.lookups,
@@ -149,6 +171,8 @@ mod tests {
             deadline_expired: 3,
             brownout: 4,
             breaker_trips: 1,
+            epoch: 2,
+            swaps: 2,
             cache: CacheStats {
                 lookups: 10,
                 hits: 4,
@@ -186,6 +210,8 @@ mod tests {
         assert!(line.contains("\"deadline_expired\":3"));
         assert!(line.contains("\"brownout\":4"));
         assert!(line.contains("\"breaker_trips\":1"));
+        assert!(line.contains("\"epoch\":2"));
+        assert!(line.contains("\"swaps\":2"));
         assert!(line.contains("\"telemetry_dropped_ops\":0"));
         assert!(line.contains("\"telemetry_events_overflow\":0"));
     }

@@ -194,6 +194,25 @@ impl VerdictCache {
         }
     }
 
+    /// Drops every resident entry (counters are preserved). Used by hot
+    /// model swap: a cached verdict must not outlive the model that
+    /// computed it. Shards are cleared one at a time, so a concurrent
+    /// reader may still hit an entry in a not-yet-cleared shard — callers
+    /// that need strict cutover must also guard inserts (the service's
+    /// epoch check).
+    pub fn clear(&self) {
+        let mut dropped = 0i64;
+        for shard in &self.shards {
+            let mut shard = lock(shard);
+            dropped += shard.map.len() as i64;
+            shard.map.clear();
+        }
+        if dropped > 0 {
+            soteria_telemetry::gauge_add("serve.cache.entries", -dropped);
+        }
+        soteria_telemetry::counter("serve.cache.clears", 1);
+    }
+
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock(s).map.len()).sum()
@@ -290,6 +309,29 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.inserts, 0);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn clear_empties_every_shard_and_keeps_counters() {
+        let scope = soteria_telemetry::scoped();
+        let cache = VerdictCache::new(16, 4);
+        // Shards hash on the high 32 bits; spread the keys across them.
+        for k in 0..10u64 {
+            cache.insert(k << 32, verdict(k as f64));
+        }
+        assert_eq!(cache.len(), 10);
+        cache.clear();
+        assert!(cache.is_empty());
+        for k in 0..10u64 {
+            assert_eq!(cache.get(k << 32), None);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 10, "clear must not rewind counters");
+        assert_eq!(stats.entries, 0);
+        let report = soteria_telemetry::snapshot();
+        assert_eq!(report.gauge("serve.cache.entries"), Some(0));
+        assert_eq!(report.counter("serve.cache.clears"), Some(1));
+        drop(scope);
     }
 
     #[test]

@@ -56,15 +56,31 @@
 //! with the job through the pipeline and publishes a parent/child stage
 //! timeline at verdict time. None of it feeds back into computation:
 //! tracing on or off, verdicts are bit-identical.
+//!
+//! # Hot model swap
+//!
+//! [`ScreeningService::swap`] replaces the served model without dropping
+//! a single request. Each swap advances a monotonically increasing
+//! *epoch*: workers stamp every job with the epoch of the extractor they
+//! used, the swap command travels through the same channel as the jobs,
+//! and the batcher keeps every epoch's model alive until shutdown so
+//! stragglers extracted under an old epoch are still screened by *their*
+//! model. Batches never mix epochs, so every verdict during a swap is
+//! bit-identical to either the old model's sequential answer or the new
+//! model's — never a hybrid. The verdict cache is cleared at the swap
+//! point and inserts are epoch-guarded, so a stale verdict can never
+//! outlive the model that produced it.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 use crate::cache::{fnv1a64, CacheStats, VerdictCache};
 use crate::deadline::Deadline;
-use soteria::{Backend, Soteria, Verdict};
+use soteria::{Backend, Soteria, SoteriaState, StateError, Verdict};
 use soteria_features::{FeatureExtractor, SampleFeatures};
 use soteria_resilience::{FaultKind, ResourceGuards};
 use soteria_telemetry::TraceBuilder;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -254,6 +270,10 @@ pub struct ServiceStats {
     pub brownout: u64,
     /// Times the extraction circuit breaker has tripped open.
     pub breaker_trips: u64,
+    /// Current model epoch (0 until the first hot swap).
+    pub epoch: u64,
+    /// Completed [`swap`](ScreeningService::swap) calls.
+    pub swaps: u64,
     /// Verdict-cache counters.
     pub cache: CacheStats,
 }
@@ -303,8 +323,32 @@ struct InferJob {
     extracted: Instant,
     deadline: Deadline,
     mode: JobMode,
+    /// Model epoch of the extractor that produced `features`; the batcher
+    /// screens the job with the model of the same epoch, never another.
+    epoch: u64,
     trace: Option<TraceBuilder>,
 }
+
+/// What travels from the workers (and the swap path) to the batcher.
+/// Routing swaps through the same channel as jobs gives them a
+/// well-defined position in the stream without a second synchronization
+/// primitive.
+// The large variant is the hot one: every job is moved through the
+// channel exactly once, so boxing it to shrink the rare Swap variant
+// would add an allocation per request for nothing.
+#[allow(clippy::large_enum_variant)]
+enum BatchMsg {
+    /// An extracted request awaiting inference.
+    Job(InferJob),
+    /// Install `model` as the serving model for `epoch` and newer jobs.
+    /// Boxed: a trained model is orders of magnitude larger than a job.
+    Swap { epoch: u64, model: Box<Soteria> },
+}
+
+/// The shared (epoch, extractor) slot workers read per job. The mutex is
+/// held only for the copy-out (and, on the swap path, the epoch bump), so
+/// it is never contended for longer than two pointer copies.
+type ExtractorSlot = Arc<Mutex<(u64, Arc<FeatureExtractor>)>>;
 
 /// A running screening service wrapping one trained [`Soteria`].
 ///
@@ -316,15 +360,21 @@ struct InferJob {
 #[derive(Debug)]
 pub struct ScreeningService {
     submit_tx: Option<SyncSender<Job>>,
+    /// The service's own sender into the batcher channel, used for swap
+    /// commands. Dropped after the workers join so the batcher drains.
+    infer_tx: Option<Sender<BatchMsg>>,
     workers: Vec<JoinHandle<()>>,
     batcher: Option<JoinHandle<Soteria>>,
     cache: Arc<VerdictCache>,
     admission: Arc<AdmissionController>,
     shared: Arc<SharedCounters>,
+    slot: ExtractorSlot,
+    backend: Backend,
     seed: u64,
     trace_sampling: f64,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    swaps: AtomicU64,
     in_flight: Arc<AtomicU64>,
     started: Instant,
 }
@@ -352,9 +402,9 @@ impl ScreeningService {
         ));
         let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
         let submit_rx = Arc::new(Mutex::new(submit_rx));
-        let (infer_tx, infer_rx) = mpsc::channel::<InferJob>();
+        let (infer_tx, infer_rx) = mpsc::channel::<BatchMsg>();
 
-        let extractor = soteria.extractor().clone();
+        let slot: ExtractorSlot = Arc::new(Mutex::new((0, Arc::new(soteria.extractor().clone()))));
         let guards = soteria.config().guards.clone();
         // Worker and batcher threads inherit the registry that is active
         // on the *starting* thread, so a service started under a scoped
@@ -371,7 +421,7 @@ impl ScreeningService {
             .map(|i| {
                 let submit_rx = Arc::clone(&submit_rx);
                 let infer_tx = infer_tx.clone();
-                let extractor = extractor.clone();
+                let slot = Arc::clone(&slot);
                 let guards = guards.clone();
                 let telemetry = telemetry.clone();
                 let admission = Arc::clone(&admission);
@@ -382,16 +432,12 @@ impl ScreeningService {
                     .spawn(move || {
                         let _telemetry = telemetry.attach();
                         worker_loop(
-                            &submit_rx, &infer_tx, &extractor, &guards, &admission, &shared,
-                            &in_flight,
+                            &submit_rx, &infer_tx, &slot, &guards, &admission, &shared, &in_flight,
                         )
                     })
                     .expect("spawn screening worker")
             })
             .collect();
-        // Workers hold the only remaining senders: once they exit, the
-        // batcher's queue closes and it drains to completion.
-        drop(infer_tx);
 
         let batch_window = config.batch_window;
         let max_batch = config.max_batch.max(1);
@@ -417,18 +463,82 @@ impl ScreeningService {
 
         ScreeningService {
             submit_tx: Some(submit_tx),
+            infer_tx: Some(infer_tx),
             workers,
             batcher: Some(batcher),
             cache,
             admission,
             shared,
+            slot,
+            backend: config.backend,
             seed: config.seed,
             trace_sampling: config.trace_sampling,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             in_flight,
             started: Instant::now(),
         }
+    }
+
+    /// Atomically replaces the served model with `soteria` without
+    /// dropping a request, returning the new model epoch.
+    ///
+    /// In-flight requests extracted under the old model are still
+    /// screened by it (bit-identical to its sequential answers); requests
+    /// extracted after this call returns are screened by the new model.
+    /// The verdict cache is cleared so no old-model verdict outlives the
+    /// swap, and batches never mix the two models.
+    ///
+    /// If the new model cannot serve the configured backend (e.g. int8
+    /// without calibrated weights) it falls back to [`Backend::F32`] and
+    /// records `serve.backend.int8_fallback`, exactly like
+    /// [`start`](ScreeningService::start).
+    pub fn swap(&self, soteria: Soteria) -> u64 {
+        let mut soteria = soteria;
+        if soteria.set_backend(self.backend).is_err() {
+            soteria_telemetry::counter("serve.backend.int8_fallback", 1);
+            soteria
+                .set_backend(Backend::F32)
+                .expect("f32 backend always available");
+        }
+        // The slot mutex serializes concurrent swaps: the epoch bump, the
+        // extractor publish, and the command send happen as one unit, so
+        // epochs observed by workers and the batcher are both monotone.
+        let epoch = {
+            let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+            let epoch = slot.0 + 1;
+            *slot = (epoch, Arc::new(soteria.extractor().clone()));
+            let send = self
+                .infer_tx
+                .as_ref()
+                .expect("swap on a running service")
+                .send(BatchMsg::Swap {
+                    epoch,
+                    model: Box::new(soteria),
+                });
+            debug_assert!(send.is_ok(), "batcher outlives the service handle");
+            epoch
+        };
+        // Clear promptly so submit-side lookups stop answering with the
+        // old model; the batcher clears again when it installs the new
+        // model, catching any old-epoch insert that raced this clear.
+        self.cache.clear();
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        soteria_telemetry::counter("serve.swap.requested", 1);
+        epoch
+    }
+
+    /// [`swap`](ScreeningService::swap) from a state file on disk — a v3
+    /// binary artifact or a v2 JSON envelope, sniffed automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StateError`] diagnosing an unreadable or corrupt
+    /// file; the served model is untouched on error.
+    pub fn swap_from_path(&self, path: &Path) -> Result<u64, StateError> {
+        let state = SoteriaState::load_from_path(path)?;
+        Ok(self.swap(Soteria::from_state(state)))
     }
 
     /// Time elapsed since [`start`](ScreeningService::start) returned.
@@ -550,8 +660,15 @@ impl ScreeningService {
             deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
             brownout: self.shared.brownout.load(Ordering::Relaxed),
             breaker_trips: self.admission.breaker_trips(),
+            epoch: self.epoch(),
+            swaps: self.swaps.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
+    }
+
+    /// The current model epoch: 0 at start, +1 per hot swap.
+    pub fn epoch(&self) -> u64 {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).0
     }
 
     /// The service seed (for deriving [`request_seed`] externally).
@@ -559,8 +676,9 @@ impl ScreeningService {
         self.seed
     }
 
-    /// Drains every admitted sample, stops the threads, and hands the model
-    /// back.
+    /// Drains every admitted sample, stops the threads, and hands the
+    /// current model back (the newest epoch, if the service was hot
+    /// swapped).
     ///
     /// # Panics
     ///
@@ -575,12 +693,15 @@ impl ScreeningService {
         }
     }
 
-    /// Closes the queue and joins the workers (queued jobs drain first).
+    /// Closes the queue and joins the workers (queued jobs drain first),
+    /// then drops the service's own batcher sender so the batcher's
+    /// channel closes once the workers' clones are gone too.
     fn stop_intake(&mut self) {
         drop(self.submit_tx.take());
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        drop(self.infer_tx.take());
     }
 }
 
@@ -599,8 +720,8 @@ impl Drop for ScreeningService {
 /// outcomes feed the admission breaker.
 fn worker_loop(
     submit_rx: &Arc<Mutex<Receiver<Job>>>,
-    infer_tx: &Sender<InferJob>,
-    extractor: &FeatureExtractor,
+    infer_tx: &Sender<BatchMsg>,
+    slot: &ExtractorSlot,
     guards: &ResourceGuards,
     admission: &AdmissionController,
     shared: &SharedCounters,
@@ -630,7 +751,14 @@ fn worker_loop(
             resolve_expired(job, dequeued, shared, in_flight);
             continue;
         }
-        let features = extract_features(extractor, guards, &job.bytes, job.seed);
+        // Snapshot the current (epoch, extractor) pair: the job is
+        // extracted by this extractor and must be screened by this
+        // epoch's model, even if a swap lands while extraction runs.
+        let (epoch, extractor) = {
+            let slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+            (slot.0, Arc::clone(&slot.1))
+        };
+        let features = extract_features(&extractor, guards, &job.bytes, job.seed);
         match &features {
             Ok(_) => admission.record_success(dequeued),
             Err(fault) => admission.record_fault(fault, Instant::now()),
@@ -645,7 +773,7 @@ fn worker_loop(
         if let Some(trace) = job.trace.as_mut() {
             trace.stage("extract", Some(TRACE_ROOT), dequeued, extracted);
         }
-        let handoff = infer_tx.send(InferJob {
+        let handoff = infer_tx.send(BatchMsg::Job(InferJob {
             key: job.key,
             seed: job.seed,
             reply: job.reply,
@@ -654,8 +782,9 @@ fn worker_loop(
             extracted,
             deadline: job.deadline,
             mode: job.mode,
+            epoch,
             trace: job.trace,
-        });
+        }));
         if handoff.is_err() {
             // Batcher gone; the job's reply sender just dropped, so its
             // ticket degrades rather than hangs.
@@ -711,49 +840,174 @@ fn extract_features(
     }
 }
 
-/// Batcher half: own the model, collect a latency-bounded window of
-/// extracted samples, screen them in one stacked pass, reply and memoize.
+/// The batcher's view of the model fleet: one live model per epoch seen
+/// so far, plus jobs stamped with an epoch whose model has not arrived
+/// yet (a worker published the new extractor before the swap command
+/// reached this thread — the command is in flight and will mature them).
+struct EpochModels {
+    /// Every epoch's model, kept alive until shutdown so a straggler
+    /// extracted under an old epoch is screened by *its* model. Bounded
+    /// by the number of swaps, which are explicit operator actions.
+    models: Vec<(u64, Soteria)>,
+    /// Highest epoch with an installed model.
+    latest: u64,
+    /// Jobs waiting for their epoch's model to arrive.
+    premature: Vec<InferJob>,
+}
+
+impl EpochModels {
+    /// Routes one channel message: jobs with a live epoch go to `ready`
+    /// for batching, future-epoch jobs wait, and a swap installs its
+    /// model, clears the cache, and matures any waiting jobs.
+    fn accept(&mut self, msg: BatchMsg, ready: &mut VecDeque<InferJob>, cache: &VerdictCache) {
+        match msg {
+            BatchMsg::Job(job) => {
+                if job.epoch <= self.latest {
+                    ready.push_back(job);
+                } else {
+                    self.premature.push(job);
+                }
+            }
+            BatchMsg::Swap { epoch, model } => {
+                self.models.push((epoch, *model));
+                self.latest = self.latest.max(epoch);
+                // Drop every memoized verdict: entries inserted by an
+                // old-epoch batch that raced the submit-side clear die
+                // here, and the epoch guard in `process_batch` keeps any
+                // still-running old batch from re-inserting.
+                cache.clear();
+                soteria_telemetry::counter("serve.swap.applied", 1);
+                let latest = self.latest;
+                let (matured, waiting): (Vec<_>, Vec<_>) = std::mem::take(&mut self.premature)
+                    .into_iter()
+                    .partition(|j| j.epoch <= latest);
+                self.premature = waiting;
+                ready.extend(matured);
+            }
+        }
+    }
+
+    /// The model for `epoch`, which is guaranteed live for any job that
+    /// reached the ready queue.
+    fn model_mut(&mut self, epoch: u64) -> &mut Soteria {
+        self.models
+            .iter_mut()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, m)| m)
+            .expect("ready jobs only carry live epochs")
+    }
+
+    /// Hands back the newest model at shutdown.
+    fn into_latest(self) -> Soteria {
+        self.models
+            .into_iter()
+            .max_by_key(|(e, _)| *e)
+            .map(|(_, m)| m)
+            .expect("at least the starting model")
+    }
+}
+
+/// Batcher half: own the model fleet, collect a latency-bounded window of
+/// extracted samples, screen them per epoch in stacked passes, reply and
+/// memoize. Each collected window is partitioned by model epoch — a batch
+/// never mixes two models' samples.
 fn batcher_loop(
-    mut soteria: Soteria,
-    infer_rx: &Receiver<InferJob>,
+    soteria: Soteria,
+    infer_rx: &Receiver<BatchMsg>,
     window: Duration,
     max_batch: usize,
     cache: &VerdictCache,
     in_flight: &AtomicU64,
     shared: &SharedCounters,
 ) -> Soteria {
+    let mut fleet = EpochModels {
+        models: vec![(0, soteria)],
+        latest: 0,
+        premature: Vec::new(),
+    };
+    let mut ready: VecDeque<InferJob> = VecDeque::new();
+    let mut open = true;
     loop {
-        // Block for the batch's first sample; queue closed means drained.
-        let first = match infer_rx.recv() {
-            Ok(job) => job,
-            Err(_) => break,
+        // Block for the batch's first sample; queue closed and ready
+        // queue empty means drained.
+        while ready.is_empty() {
+            if !open {
+                break;
+            }
+            match infer_rx.recv() {
+                Ok(msg) => fleet.accept(msg, &mut ready, cache),
+                Err(_) => open = false,
+            }
+        }
+        let Some(first) = ready.pop_front() else {
+            break;
         };
         let mut jobs = vec![first];
         // Whatever is already queued batches for free — amortization with
         // zero added latency, even with a zero window.
         while jobs.len() < max_batch {
+            if let Some(job) = ready.pop_front() {
+                jobs.push(job);
+                continue;
+            }
             match infer_rx.try_recv() {
-                Ok(job) => jobs.push(job),
+                Ok(msg) => fleet.accept(msg, &mut ready, cache),
                 Err(_) => break,
             }
         }
         // Then wait out the remaining window for stragglers.
-        if !window.is_zero() && jobs.len() < max_batch {
+        if open && !window.is_zero() && jobs.len() < max_batch {
             let deadline = Instant::now() + window;
             loop {
+                if jobs.len() >= max_batch {
+                    break;
+                }
+                if let Some(job) = ready.pop_front() {
+                    jobs.push(job);
+                    continue;
+                }
                 let now = Instant::now();
-                if now >= deadline || jobs.len() >= max_batch {
+                if now >= deadline {
                     break;
                 }
                 match infer_rx.recv_timeout(deadline - now) {
-                    Ok(job) => jobs.push(job),
-                    Err(_) => break,
+                    Ok(msg) => fleet.accept(msg, &mut ready, cache),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
                 }
             }
         }
-        process_batch(&mut soteria, jobs, cache, in_flight, shared);
+        // Partition by epoch so every stacked pass runs one model. The
+        // BTreeMap keeps epoch order; arrival order within an epoch is
+        // preserved (irrelevant to verdicts, kind to latency fairness).
+        let mut by_epoch: BTreeMap<u64, Vec<InferJob>> = BTreeMap::new();
+        for job in jobs {
+            by_epoch.entry(job.epoch).or_default().push(job);
+        }
+        for (epoch, group) in by_epoch {
+            let current = epoch == fleet.latest;
+            process_batch(
+                fleet.model_mut(epoch),
+                group,
+                cache,
+                in_flight,
+                shared,
+                current,
+            );
+        }
     }
-    soteria
+    // Defensive: a premature job whose swap command never arrived cannot
+    // happen while the service holds its sender, but degrade rather than
+    // hang if the invariant is ever broken.
+    for job in fleet.premature.drain(..) {
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        soteria_telemetry::gauge_add("serve.inflight", -1);
+        let _ = job.reply.send(dropped_verdict());
+    }
+    fleet.into_latest()
 }
 
 /// One batched request awaiting its verdict inside [`process_batch`].
@@ -767,15 +1021,19 @@ struct PendingReply {
     inferred: bool,
 }
 
-/// Screens one collected batch and resolves its tickets. Full-tier jobs
-/// run detector + classifier; brownout (AE-only) jobs run the detector
-/// alone; jobs whose deadline expired in the queue degrade uninferred.
+/// Screens one collected batch (all one model epoch) and resolves its
+/// tickets. Full-tier jobs run detector + classifier; brownout (AE-only)
+/// jobs run the detector alone; jobs whose deadline expired in the queue
+/// degrade uninferred. `current` is whether this epoch is the newest one:
+/// verdicts from superseded models still answer their tickets but must
+/// not enter the cache, where they would outlive their model.
 fn process_batch(
     soteria: &mut Soteria,
     jobs: Vec<InferJob>,
     cache: &VerdictCache,
     in_flight: &AtomicU64,
     shared: &SharedCounters,
+    current: bool,
 ) {
     let batch_start = Instant::now();
     let _span = soteria_telemetry::span("serve.batch");
@@ -861,11 +1119,14 @@ fn process_batch(
         // Memoize only content-derived outcomes: a verdict (or fault)
         // that is a pure function of the bytes answers future identical
         // submissions. Load/timing degrades (deadline, overload) must
-        // not — the same bytes may succeed once pressure passes.
-        let cacheable = match &verdict {
-            Verdict::Degraded { reason } => reason.content_derived(),
-            _ => true,
-        };
+        // not — the same bytes may succeed once pressure passes. And
+        // only the newest epoch inserts: a superseded model's verdict in
+        // the cache would survive the swap that retired it.
+        let cacheable = current
+            && match &verdict {
+                Verdict::Degraded { reason } => reason.content_derived(),
+                _ => true,
+            };
         if cacheable {
             cache.insert(p.key, verdict.clone());
         }
@@ -954,6 +1215,124 @@ mod tests {
             .map(|b| soteria.screen_binary(b, request_seed(9, b)))
             .collect();
         assert_eq!(served, sequential);
+    }
+
+    #[test]
+    fn hot_swap_switches_models_and_clears_the_cache() {
+        let (mut old, binaries) = trained();
+        let old_oracle: Vec<Verdict> = binaries
+            .iter()
+            .map(|b| old.screen_binary(b, request_seed(9, b)))
+            .collect();
+        let service = ScreeningService::start(old, &config());
+        let before: Vec<Verdict> = binaries
+            .iter()
+            .map(|b| {
+                service
+                    .submit(b.clone())
+                    .into_ticket()
+                    .expect("accepted")
+                    .wait()
+            })
+            .collect();
+        assert_eq!(
+            before, old_oracle,
+            "pre-swap verdicts come from the old model"
+        );
+        assert!(
+            service
+                .submit(binaries[0].clone())
+                .into_ticket()
+                .expect("accepted")
+                .is_cached(),
+            "verdict memoized before the swap"
+        );
+
+        // A model trained from a different seed: same corpus, different
+        // weights, so its verdicts are distinguishable from the old ones.
+        let corpus = Corpus::generate(&CorpusConfig {
+            counts: [8, 8, 8, 8],
+            seed: 77,
+            av_noise: false,
+            lineages: 3,
+        });
+        let split = corpus.split(0.75, 1);
+        let new = Soteria::train(&SoteriaConfig::tiny(), &corpus, &split.train, 11).expect("train");
+        assert_eq!(service.epoch(), 0);
+        let epoch = service.swap(new);
+        assert_eq!(epoch, 1);
+        assert_eq!(service.epoch(), 1);
+
+        // The swap dropped every memoized verdict: identical content goes
+        // back through the pipeline and is answered by the new model.
+        let retry = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("accepted");
+        assert!(!retry.is_cached(), "swap must clear the cache");
+        let after: Vec<Verdict> = std::iter::once(retry.wait())
+            .chain(binaries[1..].iter().map(|b| {
+                service
+                    .submit(b.clone())
+                    .into_ticket()
+                    .expect("accepted")
+                    .wait()
+            }))
+            .collect();
+        let stats = service.stats();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.epoch, 1);
+        let mut newest = service.shutdown();
+        let new_oracle: Vec<Verdict> = binaries
+            .iter()
+            .map(|b| newest.screen_binary(b, request_seed(9, b)))
+            .collect();
+        assert_eq!(
+            after, new_oracle,
+            "post-swap verdicts come from the new model"
+        );
+        assert_ne!(
+            old_oracle, new_oracle,
+            "differently seeded training must be observable, or this test proves nothing"
+        );
+    }
+
+    #[test]
+    fn swap_from_path_loads_artifact_and_json_states() {
+        let (soteria, binaries) = trained();
+        let state = soteria.save_state().expect("state");
+        let dir = std::env::temp_dir().join(format!(
+            "soteria-swap-test-{}-{:x}",
+            std::process::id(),
+            fnv1a64(&binaries[0])
+        ));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let artifact = dir.join("model.soteria");
+        let json = dir.join("model.json");
+        state.save_artifact_to_path(&artifact).expect("artifact");
+        state.save_to_path(&json).expect("json");
+
+        let service = ScreeningService::start(Soteria::from_state(state), &config());
+        let e1 = service.swap_from_path(&artifact).expect("artifact swap");
+        assert_eq!(e1, 1);
+        let e2 = service.swap_from_path(&json).expect("json swap");
+        assert_eq!(e2, 2);
+        let missing = service.swap_from_path(&dir.join("nope.soteria"));
+        assert!(missing.is_err(), "missing file must not swap");
+        assert_eq!(service.epoch(), 2, "failed swap leaves the epoch alone");
+        // All three models are the same weights, so verdicts are stable
+        // across every epoch that served them.
+        let v = service
+            .submit(binaries[0].clone())
+            .into_ticket()
+            .expect("accepted")
+            .wait();
+        let mut newest = service.shutdown();
+        assert_eq!(
+            v,
+            newest.screen_binary(&binaries[0], request_seed(9, &binaries[0]))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

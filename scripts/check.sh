@@ -14,11 +14,31 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 # Chaos smoke gate: corrupted binaries + injected faults through the full
-# serving path must yield a verdict per sample and zero process aborts.
+# serving path must yield a verdict per sample and zero process aborts,
+# then 500 artifact-aware corruptions of the trained model's v3 binary
+# artifact must each be rejected with a typed error or load into a
+# verdict-identical model — never panic, never silently diverge.
 # (clippy above already denies unwrap_used in non-test code via the
 # per-crate cfg_attr warns escalated by -D warnings.)
-echo "==> chaos gate: soteria-exp chaos --seed 42 --samples 200"
-cargo run -q --release -p soteria-eval --bin soteria-exp -- chaos --seed 42 --samples 200
+echo "==> chaos gate: soteria-exp chaos --seed 42 --samples 200 --artifact-cases 500"
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    chaos --seed 42 --samples 200 --artifact-cases 500
+
+# Artifact smoke gate: the v3 zero-copy artifact must load into a system
+# verdict-identical to the v2 JSON load on BOTH backends, and a corruption
+# mini-sweep must produce zero loader panics and zero silent divergences —
+# all HARD failures. Cold-start speedup drift against the committed
+# results/BENCH_artifact.json is a *note*, never fatal — wall-clock
+# numbers are hardware-bound.
+echo "==> artifact gate: soteria-exp artifact-bench --smoke"
+tmpdir="$(mktemp -d)"
+artifact_baseline=()
+if [[ -f results/BENCH_artifact.json ]]; then
+    artifact_baseline=(--baseline results/BENCH_artifact.json)
+fi
+cargo run -q --release -p soteria-eval --bin soteria-exp -- \
+    artifact-bench --smoke --out "$tmpdir" "${artifact_baseline[@]}"
+rm -rf "$tmpdir"
 
 # Serve smoke gate: a live ScreeningService under a clean/garbage mix must
 # accept every submission, degrade exactly the malformed one, keep the

@@ -113,6 +113,99 @@ fn cache_hits_equal_the_cold_path_verdicts() {
     drop(service);
 }
 
+/// Hot swap under concurrent load: every verdict produced while the swap
+/// is in flight is bit-identical to either the old model's sequential
+/// oracle or the new model's — never a mixture — and once the swap
+/// settles, only new-model verdicts remain.
+#[test]
+fn hot_swap_mid_load_serves_only_whole_model_verdicts() {
+    let (old, corpus, test) = trained();
+    let mut new = Soteria::train(
+        &SoteriaConfig::tiny(),
+        &corpus,
+        &corpus.split(0.8, 2).train,
+        11,
+    )
+    .expect("train");
+    let requests: Vec<Vec<u8>> = test
+        .iter()
+        .take(6)
+        .map(|&i| corpus.samples()[i].binary().to_bytes())
+        .collect();
+    let mut old = old;
+    let old_oracle: Vec<Verdict> = requests
+        .iter()
+        .map(|b| old.screen_binary(b, request_seed(17, b)))
+        .collect();
+    let new_oracle: Vec<Verdict> = requests
+        .iter()
+        .map(|b| new.screen_binary(b, request_seed(17, b)))
+        .collect();
+    assert_ne!(
+        old_oracle, new_oracle,
+        "differently seeded training must be observable, or this test proves nothing"
+    );
+
+    let config = ServeConfig {
+        workers: 3,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        cache_shards: 4,
+        batch_window: Duration::from_millis(1),
+        max_batch: 4,
+        seed: 17,
+        ..ServeConfig::default()
+    };
+    let service = ScreeningService::start(old, &config);
+    std::thread::scope(|s| {
+        let service = &service;
+        let requests = &requests;
+        let old_oracle = &old_oracle;
+        let new_oracle = &new_oracle;
+        for t in 0..4usize {
+            s.spawn(move || {
+                for i in 0..30usize {
+                    let idx = (t * 7 + i) % requests.len();
+                    if let Submit::Accepted(ticket) = service.submit(requests[idx].clone()) {
+                        let v = ticket.wait();
+                        assert!(
+                            v == old_oracle[idx] || v == new_oracle[idx],
+                            "verdict matches neither model's oracle for request {idx}: {v:?}"
+                        );
+                    }
+                }
+            });
+        }
+        // Swap roughly mid-load; verdicts before and after must each be
+        // whole-model answers.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(service.swap(new), 1);
+    });
+    // A sentinel with never-seen content forces one post-swap job through
+    // the pipeline: when it resolves, the batcher has installed the new
+    // model and dropped every memoized old-model verdict.
+    let mut sentinel = requests[0].clone();
+    sentinel.push(0xEE);
+    let _ = service
+        .submit(sentinel)
+        .into_ticket()
+        .expect("accepted")
+        .wait();
+    for (idx, b) in requests.iter().enumerate() {
+        let v = service
+            .submit(b.clone())
+            .into_ticket()
+            .expect("accepted")
+            .wait();
+        assert_eq!(
+            v, new_oracle[idx],
+            "request {idx} still answered by the retired model after the swap settled"
+        );
+    }
+    assert_eq!(service.stats().epoch, 1);
+    let _ = service.shutdown();
+}
+
 #[test]
 fn concurrent_mixed_load_resolves_every_submission() {
     let (soteria, corpus, test) = trained();
